@@ -1,0 +1,193 @@
+// Micro-benchmarks (google-benchmark) for the library's computational
+// kernels, including the DESIGN.md ablation: full graphical lasso vs
+// Meinshausen–Bühlmann neighbourhood selection for LabelPick's Markov
+// blanket, label-model fitting, TF-IDF featurization, and LR training.
+
+#include <benchmark/benchmark.h>
+
+#include "core/label_pick.h"
+#include "data/synthetic_text.h"
+#include "graphical/markov_blanket.h"
+#include "labelmodel/dawid_skene.h"
+#include "labelmodel/generative_model.h"
+#include "labelmodel/majority_vote.h"
+#include "labelmodel/metal_completion.h"
+#include "labelmodel/metal_model.h"
+#include "lf/lf_applier.h"
+#include "math/stats.h"
+#include "ml/featurizer.h"
+#include "ml/linear_model.h"
+#include "util/rng.h"
+
+namespace activedp {
+namespace {
+
+/// Planted binary weak-label matrix with m LFs over n rows.
+LabelMatrix MakeMatrix(int n, int m, Rng& rng, std::vector<int>* labels) {
+  labels->resize(n);
+  for (int i = 0; i < n; ++i) (*labels)[i] = rng.Bernoulli(0.5);
+  LabelMatrix matrix(n);
+  for (int j = 0; j < m; ++j) {
+    const double accuracy = rng.Uniform(0.6, 0.9);
+    const double coverage = rng.Uniform(0.05, 0.3);
+    std::vector<int8_t> column(n, kAbstain);
+    for (int i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(coverage)) continue;
+      const bool correct = rng.Bernoulli(accuracy);
+      column[i] =
+          static_cast<int8_t>(correct ? (*labels)[i] : 1 - (*labels)[i]);
+    }
+    matrix.AddColumn(std::move(column));
+  }
+  return matrix;
+}
+
+void BM_MetalModelFit(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<int> labels;
+  const LabelMatrix matrix = MakeMatrix(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+      rng, &labels);
+  for (auto _ : state) {
+    MetalModel model;
+    benchmark::DoNotOptimize(model.Fit(matrix, 2));
+  }
+}
+BENCHMARK(BM_MetalModelFit)->Args({2000, 50})->Args({2000, 200})
+    ->Args({10000, 100});
+
+void BM_DawidSkeneFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<int> labels;
+  const LabelMatrix matrix = MakeMatrix(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+      rng, &labels);
+  for (auto _ : state) {
+    DawidSkeneModel model;
+    benchmark::DoNotOptimize(model.Fit(matrix, 2));
+  }
+}
+BENCHMARK(BM_DawidSkeneFit)->Args({2000, 50})->Args({2000, 200});
+
+void BM_MetalCompletionFit(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<int> labels;
+  const LabelMatrix matrix = MakeMatrix(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+      rng, &labels);
+  for (auto _ : state) {
+    MetalCompletionModel model;
+    benchmark::DoNotOptimize(model.Fit(matrix, 2));
+  }
+}
+BENCHMARK(BM_MetalCompletionFit)->Args({2000, 50})->Args({2000, 200});
+
+void BM_GenerativeModelFit(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<int> labels;
+  const LabelMatrix matrix = MakeMatrix(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
+      rng, &labels);
+  for (auto _ : state) {
+    GenerativeModel model;
+    benchmark::DoNotOptimize(model.Fit(matrix, 2));
+  }
+}
+BENCHMARK(BM_GenerativeModelFit)->Args({2000, 50})->Args({2000, 200});
+
+void BM_MajorityVoteFit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<int> labels;
+  const LabelMatrix matrix = MakeMatrix(2000, 100, rng, &labels);
+  for (auto _ : state) {
+    MajorityVoteModel model;
+    benchmark::DoNotOptimize(model.Fit(matrix, 2));
+  }
+}
+BENCHMARK(BM_MajorityVoteFit);
+
+/// The LabelPick ablation: blanket via graphical lasso vs neighbourhood
+/// selection on a (t x p) query table.
+void BM_MarkovBlanket(benchmark::State& state) {
+  const int t = 300;
+  const int p = static_cast<int>(state.range(0));
+  const bool neighborhood = state.range(1) == 1;
+  Rng rng(9);
+  Matrix data(t, p);
+  for (int i = 0; i < t; ++i) {
+    const double y = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    for (int j = 0; j < p - 1; ++j) {
+      data(i, j) = rng.Bernoulli(0.2)
+                       ? (rng.Bernoulli(0.75) ? y : -y)
+                       : 0.0;
+    }
+    data(i, p - 1) = y;
+  }
+  MarkovBlanketOptions options;
+  options.method = neighborhood ? BlanketMethod::kNeighborhoodSelection
+                                : BlanketMethod::kGraphicalLasso;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MarkovBlanket(data, p - 1, options));
+  }
+}
+BENCHMARK(BM_MarkovBlanket)
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->Args({60, 0})
+    ->Args({60, 1})
+    ->Args({120, 0})
+    ->Args({120, 1})
+    ->ArgNames({"p", "mb"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TfidfFeaturize(benchmark::State& state) {
+  SyntheticTextConfig config;
+  config.num_examples = 2000;
+  Rng rng(11);
+  const Dataset dataset = GenerateSyntheticText(config, rng);
+  const TextFeaturizer featurizer(dataset);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FeaturizeAll(featurizer, dataset));
+  }
+}
+BENCHMARK(BM_TfidfFeaturize)->Unit(benchmark::kMillisecond);
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  SyntheticTextConfig config;
+  config.num_examples = static_cast<int>(state.range(0));
+  Rng rng(13);
+  const Dataset dataset = GenerateSyntheticText(config, rng);
+  const TextFeaturizer featurizer(dataset);
+  const std::vector<SparseVector> features = FeaturizeAll(featurizer, dataset);
+  const std::vector<int> labels = dataset.Labels();
+  LogisticRegressionOptions options;
+  options.epochs = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogisticRegression::FitHard(
+        features, labels, 2, featurizer.dim(), options));
+  }
+}
+BENCHMARK(BM_LogisticRegressionFit)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ApplyLfs(benchmark::State& state) {
+  SyntheticTextConfig config;
+  config.num_examples = 5000;
+  Rng rng(15);
+  const Dataset dataset = GenerateSyntheticText(config, rng);
+  std::vector<LfPtr> lfs;
+  for (int k = 0; k < 100; ++k) {
+    const int token = rng.UniformInt(dataset.vocabulary().size());
+    lfs.push_back(std::make_shared<KeywordLf>(
+        token, dataset.vocabulary().GetWord(token), rng.UniformInt(2)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyLfs(lfs, dataset));
+  }
+}
+BENCHMARK(BM_ApplyLfs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace activedp
+
+BENCHMARK_MAIN();

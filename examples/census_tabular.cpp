@@ -1,0 +1,61 @@
+// Tabular workflow on the Census-like income dataset: compares ActiveDP
+// against pure active learning (uncertainty sampling) under the same
+// interaction budget, reproducing the paper's tabular story — both improve
+// steadily, ActiveDP is strong from the first checkpoints because decision
+// stumps give it a warm start.
+//
+// Build & run:  cmake --build build && ./build/examples/census_tabular
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "data/dataset_zoo.h"
+
+using namespace activedp;  // NOLINT: example code
+
+int main() {
+  Result<DataSplit> split = MakeZooDataset("census", /*scale=*/0.2,
+                                           /*seed=*/11);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("census-like dataset: train=%d valid=%d test=%d, %d features\n",
+              split->train.size(), split->valid.size(), split->test.size(),
+              split->train.meta().num_features);
+
+  FrameworkContext context = FrameworkContext::Build(*split);
+  ProtocolOptions protocol;
+  protocol.iterations = 100;
+  protocol.eval_every = 20;
+
+  ActiveDpOptions options;
+  options.seed = 3;
+  // The ADP trade-off factor defaults to the paper's tabular setting
+  // (alpha = 0.99, i.e. the sampler follows the AL model almost entirely).
+
+  std::printf("\n%-10s", "budget");
+  std::vector<RunResult> results;
+  for (FrameworkType type : {FrameworkType::kActiveDp, FrameworkType::kUs}) {
+    std::unique_ptr<InteractiveFramework> framework =
+        MakeFramework(type, context, options);
+    results.push_back(RunProtocol(*framework, context, protocol));
+    std::printf("%-12s", FrameworkDisplayName(type).c_str());
+  }
+  std::printf("\n");
+  for (size_t row = 0; row < results[0].budgets.size(); ++row) {
+    std::printf("%-10d", results[0].budgets[row]);
+    for (const auto& result : results) {
+      std::printf("%-12.4f", result.test_accuracy[row]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\naverage over the run: ActiveDP %.4f vs US %.4f\n",
+              results[0].average_test_accuracy,
+              results[1].average_test_accuracy);
+  std::printf(
+      "ActiveDP also reports its label quality: final accuracy %.3f at "
+      "coverage %.3f\n",
+      results[0].label_accuracy.back(), results[0].label_coverage.back());
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "active/adp.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+
+namespace activedp {
+
+int AdpSampler::SelectQuery(const SamplerContext& context, Rng& rng) {
+  const bool has_al = context.al_proba != nullptr;
+  const bool has_lm = context.lm_proba != nullptr;
+  if (!has_al && !has_lm) {
+    return internal::RandomUnqueried(context, rng);
+  }
+  const auto& queried = *context.queried;
+  const double alpha = context.adp_alpha;
+  const int n = context.train->size();
+  int best = -1;
+  double best_score = -1.0;
+  for (int i = 0; i < n; ++i) {
+    if (queried[i]) continue;
+    double score;
+    if (has_al && has_lm) {
+      const double ea = Entropy((*context.al_proba)[i]);
+      const double el = Entropy((*context.lm_proba)[i]);
+      score = std::pow(ea, alpha) * std::pow(el, 1.0 - alpha);
+    } else if (has_al) {
+      score = Entropy((*context.al_proba)[i]);
+    } else {
+      score = Entropy((*context.lm_proba)[i]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace activedp

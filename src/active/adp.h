@@ -1,0 +1,23 @@
+#ifndef ACTIVEDP_ACTIVE_ADP_H_
+#define ACTIVEDP_ACTIVE_ADP_H_
+
+#include <string>
+
+#include "active/sampler.h"
+
+namespace activedp {
+
+/// The paper's ADP sampler (Eq. 2, §3.3): selects
+///   argmax_x Ent(f_a(x))^alpha * Ent(f_l(x))^(1-alpha),
+/// balancing uncertainty of the active-learning model against uncertainty of
+/// the label model. When only one model exists its entropy alone is used;
+/// before either exists, selection is random.
+class AdpSampler : public Sampler {
+ public:
+  std::string name() const override { return "adp"; }
+  int SelectQuery(const SamplerContext& context, Rng& rng) override;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ACTIVE_ADP_H_

@@ -1,0 +1,86 @@
+#include "active/coreset.h"
+
+#include <limits>
+
+#include "data/example.h"
+#include "util/check.h"
+
+namespace activedp {
+namespace {
+
+double SquaredDistance(const SparseVector& a, const SparseVector& b,
+                       double norm_a, double norm_b) {
+  // ||a - b||^2 = ||a||^2 + ||b||^2 - 2 <a, b> with a sparse-sparse dot.
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.indices.size() && j < b.indices.size()) {
+    if (a.indices[i] == b.indices[j]) {
+      dot += a.values[i] * b.values[j];
+      ++i;
+      ++j;
+    } else if (a.indices[i] < b.indices[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return norm_a + norm_b - 2.0 * dot;
+}
+
+double SquaredNorm(const SparseVector& v) {
+  double sum = 0.0;
+  for (double value : v.values) sum += value * value;
+  return sum;
+}
+
+}  // namespace
+
+void CoresetSampler::EnsureState(const SamplerContext& context) {
+  if (initialized_for_ == context.train) return;
+  initialized_for_ = context.train;
+  const auto& features = *context.features;
+  norms_.resize(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    norms_[i] = SquaredNorm(features[i]);
+  }
+  min_distance_.assign(features.size(),
+                       std::numeric_limits<double>::infinity());
+  last_query_ = -1;
+}
+
+int CoresetSampler::SelectQuery(const SamplerContext& context, Rng& rng) {
+  CHECK(context.features != nullptr);
+  EnsureState(context);
+  const auto& features = *context.features;
+  const auto& queried = *context.queried;
+
+  // Fold the previous query into the min-distance table.
+  if (last_query_ >= 0) {
+    for (size_t i = 0; i < features.size(); ++i) {
+      if (queried[i]) continue;
+      const double d = SquaredDistance(features[i], features[last_query_],
+                                       norms_[i], norms_[last_query_]);
+      if (d < min_distance_[i]) min_distance_[i] = d;
+    }
+  }
+
+  int best = -1;
+  double best_distance = -1.0;
+  bool any_covered = last_query_ >= 0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (queried[i]) continue;
+    if (!any_covered) {
+      // First query: no centers yet, pick at random.
+      best = internal::RandomUnqueried(context, rng);
+      break;
+    }
+    if (min_distance_[i] > best_distance) {
+      best_distance = min_distance_[i];
+      best = static_cast<int>(i);
+    }
+  }
+  last_query_ = best;
+  return best;
+}
+
+}  // namespace activedp

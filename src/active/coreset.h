@@ -1,0 +1,35 @@
+#ifndef ACTIVEDP_ACTIVE_CORESET_H_
+#define ACTIVEDP_ACTIVE_CORESET_H_
+
+#include <string>
+#include <vector>
+
+#include "active/sampler.h"
+
+namespace activedp {
+
+/// Core-set selection (Sener & Savarese 2018; surveyed in §2.2): greedy
+/// k-center in feature space — query the instance farthest (Euclidean) from
+/// every already-queried instance, maximizing diversity of the labelled
+/// set. The per-point minimum distance to the queried set is maintained
+/// incrementally, so each query costs one pass over the pool.
+class CoresetSampler : public Sampler {
+ public:
+  std::string name() const override { return "coreset"; }
+  int SelectQuery(const SamplerContext& context, Rng& rng) override;
+
+ private:
+  void EnsureState(const SamplerContext& context);
+
+  const Dataset* initialized_for_ = nullptr;
+  /// Squared norm of each training row's feature vector.
+  std::vector<double> norms_;
+  /// Min squared distance from each row to the queried set.
+  std::vector<double> min_distance_;
+  /// Number of queried rows already folded into min_distance_.
+  int last_query_ = -1;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ACTIVE_CORESET_H_

@@ -1,0 +1,55 @@
+#ifndef ACTIVEDP_ACTIVE_LAL_H_
+#define ACTIVEDP_ACTIVE_LAL_H_
+
+#include <string>
+#include <vector>
+
+#include "active/sampler.h"
+#include "ml/random_forest.h"
+
+namespace activedp {
+
+struct LalOptions {
+  /// Offline meta-training: number of synthetic AL episodes and steps each.
+  int episodes = 24;
+  int steps_per_episode = 24;
+  /// Synthetic task size (train and test pools).
+  int task_size = 150;
+  /// Candidates scored per query at run time.
+  int pool_subsample = 64;
+  uint64_t seed = 31;
+};
+
+/// Learning Active Learning (Konyushkova et al. 2017): a regressor is
+/// meta-trained offline on synthetic 2-Gaussian AL episodes to predict the
+/// generalization-error reduction of labelling a candidate from hand-crafted
+/// state features; at run time the candidate with the highest predicted
+/// reduction is queried. The regressor is the random forest the original
+/// work uses.
+class LalSampler : public Sampler {
+ public:
+  explicit LalSampler(LalOptions options = {});
+
+  std::string name() const override { return "lal"; }
+  int SelectQuery(const SamplerContext& context, Rng& rng) override;
+
+  bool trained() const { return trained_; }
+
+  /// State features: [p_max, entropy, margin, frac_labelled,
+  /// labelled class balance, mean unlabelled p_max, unlabelled p_max var].
+  static std::vector<double> StateFeatures(
+      const std::vector<double>& candidate_proba, double frac_labeled,
+      double labeled_positive_fraction, double mean_unlabeled_pmax,
+      double var_unlabeled_pmax);
+
+ private:
+  void MetaTrain();
+
+  LalOptions options_;
+  RandomForestRegressor forest_;
+  bool trained_ = false;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ACTIVE_LAL_H_

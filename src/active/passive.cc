@@ -1,0 +1,9 @@
+#include "active/passive.h"
+
+namespace activedp {
+
+int PassiveSampler::SelectQuery(const SamplerContext& context, Rng& rng) {
+  return internal::RandomUnqueried(context, rng);
+}
+
+}  // namespace activedp

@@ -1,0 +1,19 @@
+#ifndef ACTIVEDP_ACTIVE_PASSIVE_H_
+#define ACTIVEDP_ACTIVE_PASSIVE_H_
+
+#include <string>
+
+#include "active/sampler.h"
+
+namespace activedp {
+
+/// Uniformly random selection over unqueried instances.
+class PassiveSampler : public Sampler {
+ public:
+  std::string name() const override { return "passive"; }
+  int SelectQuery(const SamplerContext& context, Rng& rng) override;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ACTIVE_PASSIVE_H_

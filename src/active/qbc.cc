@@ -1,0 +1,93 @@
+#include "active/qbc.h"
+
+#include <vector>
+
+#include "math/vector_ops.h"
+#include "ml/linear_model.h"
+#include "util/check.h"
+
+namespace activedp {
+namespace {
+
+bool HasTwoClasses(const std::vector<int>& labels) {
+  for (size_t i = 1; i < labels.size(); ++i) {
+    if (labels[i] != labels[0]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int QbcSampler::SelectQuery(const SamplerContext& context, Rng& rng) {
+  const bool has_labels =
+      context.labeled_rows != nullptr && context.labeled_values != nullptr &&
+      static_cast<int>(context.labeled_rows->size()) >= options_.min_labeled;
+  if (!has_labels || context.features == nullptr ||
+      context.feature_dim <= 0 || !HasTwoClasses(*context.labeled_values)) {
+    return internal::RandomUnqueried(context, rng);
+  }
+  const auto& rows = *context.labeled_rows;
+  const auto& values = *context.labeled_values;
+  const int num_classes = context.train->meta().num_classes;
+  const int t = static_cast<int>(rows.size());
+
+  // Bootstrap committee of logistic regressions.
+  std::vector<LogisticRegression> committee;
+  committee.reserve(options_.committee);
+  for (int k = 0; k < options_.committee; ++k) {
+    std::vector<SparseVector> x;
+    std::vector<int> y;
+    x.reserve(t);
+    y.reserve(t);
+    for (int i = 0; i < t; ++i) {
+      const int pick = rng.UniformInt(t);
+      x.push_back((*context.features)[rows[pick]]);
+      y.push_back(values[pick]);
+    }
+    if (!HasTwoClasses(y)) continue;  // degenerate bootstrap; skip member
+    LogisticRegressionOptions lr;
+    lr.epochs = 20;
+    lr.seed = rng.Next();
+    Result<LogisticRegression> model = LogisticRegression::FitHard(
+        x, y, num_classes, context.feature_dim, lr);
+    if (model.ok()) committee.push_back(std::move(*model));
+  }
+  if (committee.size() < 2) return internal::RandomUnqueried(context, rng);
+
+  // Candidate pool.
+  std::vector<int> unqueried;
+  for (int i = 0; i < context.train->size(); ++i) {
+    if (!(*context.queried)[i]) unqueried.push_back(i);
+  }
+  if (unqueried.empty()) return -1;
+  std::vector<int> pool;
+  if (static_cast<int>(unqueried.size()) <= options_.pool_subsample) {
+    pool = unqueried;
+  } else {
+    for (int idx :
+         rng.SampleWithoutReplacement(static_cast<int>(unqueried.size()),
+                                      options_.pool_subsample)) {
+      pool.push_back(unqueried[idx]);
+    }
+  }
+
+  // Maximum vote entropy = maximum committee disagreement.
+  int best = pool.front();
+  double best_disagreement = -1.0;
+  std::vector<double> votes(num_classes);
+  for (int i : pool) {
+    std::fill(votes.begin(), votes.end(), 0.0);
+    for (const auto& member : committee) {
+      votes[member.Predict((*context.features)[i])] += 1.0;
+    }
+    for (double& v : votes) v /= committee.size();
+    const double disagreement = Entropy(votes);
+    if (disagreement > best_disagreement) {
+      best_disagreement = disagreement;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace activedp

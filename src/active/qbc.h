@@ -1,0 +1,37 @@
+#ifndef ACTIVEDP_ACTIVE_QBC_H_
+#define ACTIVEDP_ACTIVE_QBC_H_
+
+#include <string>
+
+#include "active/sampler.h"
+
+namespace activedp {
+
+struct QbcOptions {
+  /// Committee size.
+  int committee = 5;
+  /// Candidates scored per query (bounds the committee-prediction cost).
+  int pool_subsample = 128;
+  /// Minimum labelled instances before a committee can be trained.
+  int min_labeled = 6;
+};
+
+/// Query-by-committee (Seung, Opper & Sompolinsky 1992; surveyed in §2.2):
+/// trains a committee of logistic regressions on bootstrap resamples of the
+/// pseudo-labelled set and queries the instance with the highest vote
+/// entropy (maximum committee disagreement). Falls back to random selection
+/// before enough labelled data exists.
+class QbcSampler : public Sampler {
+ public:
+  explicit QbcSampler(QbcOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "qbc"; }
+  int SelectQuery(const SamplerContext& context, Rng& rng) override;
+
+ private:
+  QbcOptions options_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ACTIVE_QBC_H_

@@ -1,0 +1,51 @@
+#ifndef ACTIVEDP_ACTIVE_SEU_H_
+#define ACTIVEDP_ACTIVE_SEU_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "active/sampler.h"
+
+namespace activedp {
+
+struct SeuOptions {
+  /// Candidate query instances scored per iteration.
+  int pool_subsample = 32;
+  /// Candidate LFs considered per instance (highest-coverage first).
+  int max_candidates_per_instance = 24;
+};
+
+/// Nemo's "select by expected utility" strategy [12]: score each candidate
+/// instance x by the expected utility of the LF the user would return,
+///   score(x) = sum_λ P_user(λ | x) * utility(λ),
+/// with the user model P_user ∝ LF coverage (the same model the simulated
+/// user follows) and utility(λ) the model-estimated net correct labels over
+/// λ's coverage set, up-weighting currently uncovered rows. Uses only
+/// system-visible information (current label-model probabilities), never
+/// ground truth.
+class SeuSampler : public Sampler {
+ public:
+  explicit SeuSampler(SeuOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "seu"; }
+  int SelectQuery(const SamplerContext& context, Rng& rng) override;
+
+ private:
+  /// utility(λ): expected (correct - incorrect) over λ's coverage under the
+  /// current probabilistic labels; uncovered rows get full weight, covered
+  /// rows a small one.
+  double Utility(const LabelFunction& lf, const SamplerContext& context,
+                 std::unordered_map<std::string, double>& cache) const;
+
+  void EnsureIndex(const SamplerContext& context);
+
+  SeuOptions options_;
+  const Dataset* indexed_dataset_ = nullptr;
+  /// Text tasks: token id -> train rows containing the token.
+  std::vector<std::vector<int>> token_rows_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ACTIVE_SEU_H_

@@ -1,0 +1,21 @@
+#ifndef ACTIVEDP_ACTIVE_UNCERTAINTY_H_
+#define ACTIVEDP_ACTIVE_UNCERTAINTY_H_
+
+#include <string>
+
+#include "active/sampler.h"
+
+namespace activedp {
+
+/// Classical uncertainty sampling [16]: query the instance with the highest
+/// predictive entropy under the active-learning model. Falls back to random
+/// selection before the first model exists.
+class UncertaintySampler : public Sampler {
+ public:
+  std::string name() const override { return "us"; }
+  int SelectQuery(const SamplerContext& context, Rng& rng) override;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ACTIVE_UNCERTAINTY_H_

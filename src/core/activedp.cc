@@ -1,0 +1,259 @@
+#include "core/activedp.h"
+
+#include <numeric>
+
+#include "ml/metrics.h"
+
+#include "util/check.h"
+
+namespace activedp {
+
+ActiveDp::ActiveDp(const FrameworkContext& context, ActiveDpOptions options)
+    : context_(&context),
+      options_(options),
+      user_(context.split->train, options.user),
+      sampler_(MakeSampler(options.sampler_type, options.seed ^ 0x5a5a)),
+      rng_(options.seed),
+      train_matrix_(context.split->train.size()),
+      valid_matrix_(context.split->valid.size()),
+      queried_(context.split->train.size(), false) {
+  if (options_.adp_alpha >= 0.0) {
+    alpha_ = options_.adp_alpha;
+  } else {
+    // Paper §3.3: α = 0.5 for textual datasets, 0.99 for tabular ones.
+    alpha_ = context.split->train.meta().task == TaskType::kTextClassification
+                 ? 0.5
+                 : 0.99;
+  }
+  label_model_ = MakeLabelModel(options_.label_model_type);
+}
+
+SamplerContext ActiveDp::BuildSamplerContext() const {
+  SamplerContext ctx;
+  ctx.train = &context_->split->train;
+  ctx.features = &context_->train_features;
+  ctx.feature_dim = context_->feature_dim;
+  ctx.labeled_rows = &query_indices_;
+  ctx.labeled_values = &pseudo_labels_;
+  ctx.al_proba = al_model_.has_value() ? &al_proba_train_ : nullptr;
+  ctx.lm_proba = label_model_ready_ ? &lm_proba_train_ : nullptr;
+  ctx.lm_active = label_model_ready_ ? &lm_active_train_ : nullptr;
+  ctx.queried = &queried_;
+  ctx.num_labeled = static_cast<int>(query_indices_.size());
+  if (!pseudo_labels_.empty()) {
+    double positive = 0.0;
+    for (int y : pseudo_labels_) positive += (y == 1);
+    ctx.labeled_positive_fraction = positive / pseudo_labels_.size();
+  }
+  ctx.lf_space = &user_.lf_space();
+  ctx.adp_alpha = alpha_;
+  return ctx;
+}
+
+Status ActiveDp::Step() {
+  const SamplerContext sampler_context = BuildSamplerContext();
+  const int query = sampler_->SelectQuery(sampler_context, rng_);
+  if (query < 0)
+    return Status::FailedPrecondition("all training instances queried");
+  CHECK(!queried_[query]);
+  queried_[query] = true;
+  last_query_ = query;
+
+  std::optional<LfCandidate> response = user_.CreateLf(query);
+  if (!response.has_value()) {
+    // The user could not come up with a (new) rule for this instance; the
+    // interaction is spent but the models are unchanged.
+    return Status::Ok();
+  }
+  const LfPtr lf = response->lf;
+  lfs_.push_back(lf);
+  train_matrix_.AddColumn(ApplyLf(*lf, context_->split->train));
+  valid_matrix_.AddColumn(ApplyLf(*lf, context_->split->valid));
+
+  // The LF was designed while looking at the query instance, so it fires on
+  // it; its vote is the query's pseudo-label ỹ = λ_t(x_t) (§3.1).
+  CHECK_NE(lf->Apply(context_->split->train.example(query)), kAbstain);
+  query_indices_.push_back(query);
+  pseudo_labels_.push_back(lf->label());
+
+  RetrainAlModel();
+  RetrainLabelModel();
+  return Status::Ok();
+}
+
+Status ActiveDp::Restore(const SessionState& state) {
+  if (!lfs_.empty() || user_.num_queries_answered() > 0) {
+    return Status::FailedPrecondition(
+        "Restore must run on a fresh pipeline");
+  }
+  if (state.query_indices.size() != state.lfs.size() ||
+      state.pseudo_labels.size() != state.lfs.size()) {
+    return Status::InvalidArgument("session state sizes are inconsistent");
+  }
+  const int n = context_->split->train.size();
+  for (size_t i = 0; i < state.lfs.size(); ++i) {
+    const LfPtr& lf = state.lfs[i];
+    lfs_.push_back(lf);
+    train_matrix_.AddColumn(ApplyLf(*lf, context_->split->train));
+    valid_matrix_.AddColumn(ApplyLf(*lf, context_->split->valid));
+    const int query = state.query_indices[i];
+    if (query < 0) continue;  // hand-written LF: no pseudo-label anchor
+    if (query >= n) {
+      return Status::OutOfRange("query index " + std::to_string(query) +
+                                " outside the training set");
+    }
+    if (!queried_[query]) queried_[query] = true;
+    query_indices_.push_back(query);
+    pseudo_labels_.push_back(state.pseudo_labels[i] >= 0
+                                 ? state.pseudo_labels[i]
+                                 : lf->label());
+  }
+  if (!lfs_.empty()) {
+    RetrainAlModel();
+    RetrainLabelModel();
+  }
+  return Status::Ok();
+}
+
+SessionState ActiveDp::Snapshot() const {
+  SessionState state;
+  state.lfs = lfs_;
+  state.query_indices = query_indices_;
+  state.pseudo_labels = pseudo_labels_;
+  return state;
+}
+
+void ActiveDp::RetrainAlModel() {
+  const int t = static_cast<int>(query_indices_.size());
+  if (t < options_.min_labeled_for_al) return;
+  bool has_two_classes = false;
+  for (int i = 1; i < t; ++i) {
+    if (pseudo_labels_[i] != pseudo_labels_[0]) {
+      has_two_classes = true;
+      break;
+    }
+  }
+  if (!has_two_classes) return;
+
+  std::vector<SparseVector> x;
+  x.reserve(t);
+  for (int idx : query_indices_) x.push_back(context_->train_features[idx]);
+  LogisticRegressionOptions lr = options_.al_lr;
+  lr.seed = options_.seed ^ 0x11;
+  Result<LogisticRegression> model = LogisticRegression::FitHard(
+      x, pseudo_labels_, context_->num_classes, context_->feature_dim, lr);
+  if (!model.ok()) return;
+  al_model_ = std::move(*model);
+  al_proba_train_ = AlProba(context_->train_features);
+}
+
+double ActiveDp::ValidationLabelModelAccuracy(
+    const std::vector<int>& columns) const {
+  const LabelMatrix valid_selected = valid_matrix_.SelectColumns(columns);
+  const LabelMatrix train_selected = train_matrix_.SelectColumns(columns);
+  auto model = MakeLabelModel(options_.label_model_type);
+  if (!model->Fit(train_selected, context_->num_classes).ok()) return -1.0;
+  const std::vector<int> predictions = model->PredictAll(valid_selected);
+  return Accuracy(predictions, context_->valid_labels);
+}
+
+void ActiveDp::RetrainLabelModel() {
+  const int m = static_cast<int>(lfs_.size());
+  if (m == 0) return;
+
+  std::vector<int> all(m);
+  std::iota(all.begin(), all.end(), 0);
+  if (options_.use_label_pick) {
+    Result<std::vector<int>> picked = LabelPick(
+        m, context_->num_classes, valid_matrix_, context_->valid_labels,
+        train_matrix_.SelectRows(query_indices_), pseudo_labels_,
+        options_.label_pick);
+    selected_ = picked.ok() ? std::move(*picked) : all;
+    if (selected_.empty()) selected_ = all;
+    // LabelPick proposes; the holdout disposes: keep the pruned set only
+    // when it does not hurt label-model accuracy on the validation split
+    // (the same holdout §3.2/§3.4 already consult).
+    if (selected_.size() < all.size()) {
+      if (ValidationLabelModelAccuracy(selected_) + 1e-9 <
+          ValidationLabelModelAccuracy(all)) {
+        selected_ = all;
+      }
+    }
+  } else {
+    selected_ = all;
+  }
+
+  const LabelMatrix train_selected = train_matrix_.SelectColumns(selected_);
+  const Status fit = label_model_->Fit(train_selected, context_->num_classes);
+  if (!fit.ok()) {
+    label_model_ready_ = false;
+    return;
+  }
+  label_model_ready_ = true;
+  LabelModelPredictions(train_selected, &lm_proba_train_, &lm_active_train_);
+}
+
+std::vector<std::vector<double>> ActiveDp::AlProba(
+    const std::vector<SparseVector>& features) const {
+  std::vector<std::vector<double>> proba(features.size());
+  if (!al_model_.has_value()) return proba;  // empty rows = no prediction
+  for (size_t i = 0; i < features.size(); ++i) {
+    proba[i] = al_model_->PredictProba(features[i]);
+  }
+  return proba;
+}
+
+void ActiveDp::LabelModelPredictions(const LabelMatrix& matrix,
+                                     std::vector<std::vector<double>>* proba,
+                                     std::vector<bool>* active) const {
+  proba->assign(matrix.num_rows(), {});
+  active->assign(matrix.num_rows(), false);
+  for (int i = 0; i < matrix.num_rows(); ++i) {
+    (*proba)[i] = label_model_->PredictProba(matrix.Row(i));
+    (*active)[i] = matrix.AnyActive(i);
+  }
+}
+
+std::vector<std::vector<double>> ActiveDp::CurrentTrainingLabels() {
+  const int n = context_->split->train.size();
+  if (!label_model_ready_ && !al_model_.has_value()) {
+    return std::vector<std::vector<double>>(n);
+  }
+
+  std::vector<std::vector<double>> lm_proba_train = lm_proba_train_;
+  std::vector<bool> lm_active_train = lm_active_train_;
+  if (!label_model_ready_) {
+    lm_proba_train.assign(n, {});
+    lm_active_train.assign(n, false);
+  }
+
+  if (!options_.use_confusion) {
+    // DP-only inference: label-model predictions on covered rows.
+    std::vector<std::vector<double>> soft(n);
+    for (int i = 0; i < n; ++i) {
+      if (lm_active_train[i]) soft[i] = lm_proba_train[i];
+    }
+    return soft;
+  }
+
+  // ConFusion: tune τ on validation, aggregate on train (Eq. 1).
+  const std::vector<std::vector<double>> al_valid =
+      AlProba(context_->valid_features);
+  std::vector<std::vector<double>> lm_valid(context_->split->valid.size());
+  std::vector<bool> lm_valid_active(context_->split->valid.size(), false);
+  if (label_model_ready_) {
+    LabelModelPredictions(valid_matrix_.SelectColumns(selected_), &lm_valid,
+                          &lm_valid_active);
+  }
+  last_threshold_ =
+      ConFusion::TuneThreshold(al_valid, lm_valid, lm_valid_active,
+                               context_->valid_labels, options_.tune_objective);
+
+  const std::vector<std::vector<double>> al_train =
+      AlProba(context_->train_features);
+  AggregatedLabels aggregated = ConFusion::Aggregate(
+      al_train, lm_proba_train, lm_active_train, last_threshold_);
+  return std::move(aggregated.soft);
+}
+
+}  // namespace activedp

@@ -1,0 +1,140 @@
+#include "core/auto_lf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "util/check.h"
+
+namespace activedp {
+namespace {
+
+/// Wilson score interval lower bound for a proportion p observed over n
+/// (weighted) trials.
+double WilsonLowerBound(double p, double n, double z) {
+  if (n <= 0.0) return 0.0;
+  const double z2 = z * z;
+  const double denominator = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return (centre - margin) / denominator;
+}
+
+}  // namespace
+
+Result<std::vector<SynthesizedLf>> SynthesizeLfs(
+    const Dataset& train, const LfSpace& space,
+    const std::vector<int>& seed_rows, const std::vector<int>& seed_labels,
+    const AutoLfOptions& options) {
+  if (seed_rows.size() != seed_labels.size())
+    return Status::InvalidArgument("seed rows/labels size mismatch");
+  if (seed_rows.empty())
+    return Status::InvalidArgument("empty labelled seed");
+  for (int row : seed_rows) {
+    if (row < 0 || row >= train.size())
+      return Status::OutOfRange("seed row out of range");
+  }
+
+  const std::vector<LfCandidate> pool =
+      space.AllCandidates(options.min_coverage);
+  if (pool.empty()) return Status::FailedPrecondition("empty candidate pool");
+
+  // Cache each candidate's outputs on the seed.
+  const int s = static_cast<int>(seed_rows.size());
+  std::vector<std::vector<int8_t>> outputs(pool.size());
+  for (size_t c = 0; c < pool.size(); ++c) {
+    outputs[c].resize(s);
+    for (int i = 0; i < s; ++i) {
+      outputs[c][i] =
+          static_cast<int8_t>(pool[c].lf->Apply(train.example(seed_rows[i])));
+    }
+  }
+
+  std::vector<SynthesizedLf> accepted;
+  std::vector<bool> taken(pool.size(), false);
+  std::vector<bool> covered(s, false);
+  std::set<std::string> keys;
+  const int num_classes = train.meta().num_classes;
+  std::vector<int> accepted_per_class(num_classes, 0);
+
+  // Finds the highest-scoring qualifying candidate, optionally restricted to
+  // LFs voting a least-represented class. Returns the pool index or -1.
+  auto find_best = [&](bool restricted, int scarce_count,
+                       double* best_accuracy) {
+    int best = -1;
+    double best_score = 0.0;
+    for (size_t c = 0; c < pool.size(); ++c) {
+      if (taken[c]) continue;
+      if (restricted &&
+          accepted_per_class[pool[c].lf->label()] != scarce_count) {
+        continue;
+      }
+      double weighted_correct = 0.0, weighted_total = 0.0;
+      int activations = 0, correct = 0;
+      for (int i = 0; i < s; ++i) {
+        const int vote = outputs[c][i];
+        if (vote == kAbstain) continue;
+        ++activations;
+        const bool right = vote == seed_labels[i];
+        correct += right;
+        const double weight = covered[i] ? options.covered_row_weight : 1.0;
+        weighted_total += weight;
+        if (right) weighted_correct += weight;
+      }
+      if (activations < options.min_seed_activations || weighted_total <= 0.0)
+        continue;
+      // Statistical gate on the raw seed evidence; the boosting weights
+      // only shape the ranking below.
+      const double raw_accuracy = static_cast<double>(correct) / activations;
+      if (WilsonLowerBound(raw_accuracy, activations, options.wilson_z) <
+          options.min_seed_accuracy) {
+        continue;
+      }
+      // Net weighted evidence: rewards accuracy on uncovered seed rows.
+      const double score =
+          weighted_correct - (weighted_total - weighted_correct);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(c);
+        *best_accuracy = weighted_correct / weighted_total;
+      }
+    }
+    return best;
+  };
+
+  while (static_cast<int>(accepted.size()) < options.max_lfs) {
+    // A class-skewed LF set yields class-skewed weak labels that poison the
+    // downstream model, so each round first considers only LFs voting a
+    // least-represented class, falling back to any class.
+    int scarce_count = accepted_per_class[0];
+    for (int y = 1; y < num_classes; ++y) {
+      scarce_count = std::min(scarce_count, accepted_per_class[y]);
+    }
+    double best_accuracy = 0.0;
+    int best = find_best(/*restricted=*/true, scarce_count, &best_accuracy);
+    if (best < 0) {
+      best = find_best(/*restricted=*/false, scarce_count, &best_accuracy);
+    }
+    if (best < 0) break;  // nothing clears the bar any more
+    taken[best] = true;
+    if (!keys.insert(pool[best].lf->Key()).second) continue;  // duplicate
+    ++accepted_per_class[pool[best].lf->label()];
+    SynthesizedLf chosen;
+    chosen.lf = pool[best].lf;
+    chosen.seed_accuracy = best_accuracy;
+    chosen.coverage = pool[best].coverage;
+    accepted.push_back(std::move(chosen));
+    for (int i = 0; i < s; ++i) {
+      if (outputs[best][i] != kAbstain) covered[i] = true;
+    }
+  }
+
+  if (accepted.empty())
+    return Status::FailedPrecondition(
+        "no candidate LF cleared the seed-accuracy bar");
+  return accepted;
+}
+
+}  // namespace activedp

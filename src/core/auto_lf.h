@@ -1,0 +1,57 @@
+#ifndef ACTIVEDP_CORE_AUTO_LF_H_
+#define ACTIVEDP_CORE_AUTO_LF_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "lf/lf_candidates.h"
+#include "util/result.h"
+
+namespace activedp {
+
+struct AutoLfOptions {
+  /// Maximum number of LFs to synthesize.
+  int max_lfs = 40;
+  /// Minimum (weighted) accuracy an LF must reach on the labelled seed.
+  /// Judged by the Wilson lower confidence bound of the observed accuracy,
+  /// so a lucky 3-for-3 on the seed does not qualify — Snuba's guard
+  /// against seed overfitting.
+  double min_seed_accuracy = 0.6;
+  /// z of the Wilson lower bound (2.0 ~ one-sided 97.7%, strict because thousands of candidates are tested).
+  double wilson_z = 2.0;
+  /// Minimum seed instances an LF must fire on before it is trusted.
+  int min_seed_activations = 4;
+  /// Minimum unlabelled coverage for pool candidates.
+  double min_coverage = 0.005;
+  /// Down-weight applied to seed rows already covered by an accepted LF,
+  /// steering later picks toward uncovered data (Snuba's diversity
+  /// mechanism).
+  double covered_row_weight = 0.25;
+};
+
+/// One synthesized LF with its seed statistics.
+struct SynthesizedLf {
+  LfPtr lf;
+  /// Weighted accuracy on the seed at the time it was accepted.
+  double seed_accuracy = 0.0;
+  /// Unlabelled coverage.
+  double coverage = 0.0;
+};
+
+/// Snuba-style automatic LF synthesis (Varma & Ré 2018, cited as the
+/// paper's [35]): given a small labelled seed, repeatedly pick from the
+/// candidate space the rule that best classifies the *not-yet-covered* part
+/// of the seed, until no candidate clears the accuracy bar. No human in the
+/// loop — this trades the paper's interactive LF creation for a seed of
+/// instance labels. The returned set feeds any label model.
+///
+/// `seed_rows` index into `train`; `seed_labels` are their labels (supplied
+/// by the caller — the function never touches train's hidden labels).
+Result<std::vector<SynthesizedLf>> SynthesizeLfs(
+    const Dataset& train, const LfSpace& space,
+    const std::vector<int>& seed_rows, const std::vector<int>& seed_labels,
+    const AutoLfOptions& options = {});
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_CORE_AUTO_LF_H_

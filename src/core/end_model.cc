@@ -1,0 +1,37 @@
+#include "core/end_model.h"
+
+#include "util/check.h"
+
+namespace activedp {
+
+Result<LogisticRegression> TrainEndModel(
+    const std::vector<SparseVector>& features,
+    const std::vector<std::vector<double>>& soft_labels, int num_classes,
+    int dim, const EndModelOptions& options) {
+  CHECK_EQ(features.size(), soft_labels.size());
+  std::vector<SparseVector> x;
+  std::vector<std::vector<double>> y;
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (soft_labels[i].empty()) continue;  // rejected by ConFusion
+    CHECK_EQ(static_cast<int>(soft_labels[i].size()), num_classes);
+    x.push_back(features[i]);
+    y.push_back(soft_labels[i]);
+  }
+  if (x.empty())
+    return Status::FailedPrecondition("no labelled rows to train on");
+  return LogisticRegression::Fit(x, y, num_classes, dim, options.lr);
+}
+
+double EvaluateAccuracy(const LogisticRegression& model,
+                        const std::vector<SparseVector>& features,
+                        const std::vector<int>& labels) {
+  CHECK_EQ(features.size(), labels.size());
+  if (features.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (model.Predict(features[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / features.size();
+}
+
+}  // namespace activedp

@@ -1,0 +1,32 @@
+#ifndef ACTIVEDP_CORE_END_MODEL_H_
+#define ACTIVEDP_CORE_END_MODEL_H_
+
+#include <vector>
+
+#include "data/example.h"
+#include "ml/linear_model.h"
+#include "util/result.h"
+
+namespace activedp {
+
+struct EndModelOptions {
+  LogisticRegressionOptions lr;
+};
+
+/// Trains the downstream model (§4.1.3: logistic regression on TF-IDF /
+/// standardized features) on the rows that received an aggregated label.
+/// `soft_labels[i]` empty means row i was rejected and is discarded, exactly
+/// as the paper discards uncovered instances.
+Result<LogisticRegression> TrainEndModel(
+    const std::vector<SparseVector>& features,
+    const std::vector<std::vector<double>>& soft_labels, int num_classes,
+    int dim, const EndModelOptions& options);
+
+/// Test-set classification accuracy of a trained model.
+double EvaluateAccuracy(const LogisticRegression& model,
+                        const std::vector<SparseVector>& features,
+                        const std::vector<int>& labels);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_CORE_END_MODEL_H_

@@ -1,0 +1,164 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "data/dataset_zoo.h"
+#include "math/vector_ops.h"
+#include "ml/metrics.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace activedp {
+
+std::string FrameworkDisplayName(FrameworkType type) {
+  switch (type) {
+    case FrameworkType::kActiveDp:
+      return "ActiveDP";
+    case FrameworkType::kNemo:
+      return "Nemo";
+    case FrameworkType::kIws:
+      return "IWS";
+    case FrameworkType::kRlf:
+      return "RevisingLF";
+    case FrameworkType::kUs:
+      return "US";
+    case FrameworkType::kActiveWeasul:
+      return "ActiveWeaSuL";
+  }
+  return "unknown";
+}
+
+FrameworkType ParseFrameworkType(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "nemo") return FrameworkType::kNemo;
+  if (lower == "iws") return FrameworkType::kIws;
+  if (lower == "rlf" || lower == "revisinglf") return FrameworkType::kRlf;
+  if (lower == "us" || lower == "uncertainty") return FrameworkType::kUs;
+  if (lower == "aw" || lower == "active-weasul" || lower == "activeweasul") {
+    return FrameworkType::kActiveWeasul;
+  }
+  return FrameworkType::kActiveDp;
+}
+
+std::unique_ptr<InteractiveFramework> MakeFramework(
+    FrameworkType type, const FrameworkContext& context,
+    const ActiveDpOptions& adp_options) {
+  if (type == FrameworkType::kActiveDp) {
+    return std::make_unique<ActiveDp>(context, adp_options);
+  }
+  BaselineOptions baseline;
+  baseline.label_model_type = adp_options.label_model_type;
+  baseline.user = adp_options.user;
+  baseline.al_lr = adp_options.al_lr;
+  baseline.seed = adp_options.seed;
+  switch (type) {
+    case FrameworkType::kNemo:
+      return std::make_unique<NemoFramework>(context, baseline);
+    case FrameworkType::kIws:
+      return std::make_unique<IwsFramework>(context, baseline);
+    case FrameworkType::kRlf:
+      return std::make_unique<RlfFramework>(context, baseline);
+    case FrameworkType::kUs:
+      return std::make_unique<UncertaintyFramework>(context, baseline);
+    case FrameworkType::kActiveWeasul:
+      return std::make_unique<ActiveWeasulFramework>(context, baseline);
+    case FrameworkType::kActiveDp:
+      break;
+  }
+  return std::make_unique<ActiveDp>(context, adp_options);
+}
+
+RunResult RunProtocol(InteractiveFramework& framework,
+                      const FrameworkContext& context,
+                      const ProtocolOptions& options) {
+  RunResult result;
+  for (int iteration = 1; iteration <= options.iterations; ++iteration) {
+    const Status status = framework.Step();
+    if (!status.ok()) {
+      LOG(Debug) << framework.name() << " stopped at iteration " << iteration
+                 << ": " << status.ToString();
+      break;
+    }
+    if (iteration % options.eval_every != 0) continue;
+
+    const std::vector<std::vector<double>> labels =
+        framework.CurrentTrainingLabels();
+    const LabelQuality quality =
+        MeasureLabelQuality(labels, context.split->train);
+    double accuracy = 0.0;
+    Result<LogisticRegression> end_model =
+        TrainEndModel(context.train_features, labels, context.num_classes,
+                      context.feature_dim, options.end_model);
+    if (end_model.ok()) {
+      accuracy = EvaluateAccuracy(*end_model, context.test_features,
+                                  context.test_labels);
+    }
+    result.budgets.push_back(iteration);
+    result.test_accuracy.push_back(accuracy);
+    result.label_accuracy.push_back(quality.accuracy);
+    result.label_coverage.push_back(quality.coverage);
+  }
+  result.average_test_accuracy = CurveAverage(result.test_accuracy);
+  return result;
+}
+
+Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
+  CHECK_GT(spec.num_seeds, 0);
+
+  // Each seed is a self-contained (dataset, framework, protocol) run.
+  auto run_seed = [&spec](int s) -> Result<RunResult> {
+    const uint64_t seed = spec.base_seed + 1000003ULL * s;
+    ASSIGN_OR_RETURN(DataSplit split,
+                     MakeZooDataset(spec.dataset, spec.data_scale, seed));
+    FrameworkContext context = FrameworkContext::Build(split);
+    ActiveDpOptions adp = spec.adp;
+    adp.seed = seed ^ 0x9e37;
+    adp.user.seed = seed ^ 0x1234;
+    std::unique_ptr<InteractiveFramework> framework =
+        MakeFramework(spec.framework, context, adp);
+    return RunProtocol(*framework, context, spec.protocol);
+  };
+
+  std::vector<Result<RunResult>> runs;
+  runs.reserve(spec.num_seeds);
+  if (spec.num_threads > 1 && spec.num_seeds > 1) {
+    runs.assign(spec.num_seeds, Status::Internal("seed not run"));
+    ThreadPool pool(std::min(spec.num_threads, spec.num_seeds));
+    ParallelFor(&pool, spec.num_seeds,
+                [&](int s) { runs[s] = run_seed(s); });
+  } else {
+    for (int s = 0; s < spec.num_seeds; ++s) runs.push_back(run_seed(s));
+  }
+
+  RunResult accumulated;
+  for (int s = 0; s < spec.num_seeds; ++s) {
+    if (!runs[s].ok()) return runs[s].status();
+    const RunResult& run = *runs[s];
+    if (s == 0) {
+      accumulated = run;
+    } else {
+      // Point-wise averaging; a run that stopped early keeps its last value.
+      const size_t k =
+          std::min(accumulated.budgets.size(), run.budgets.size());
+      accumulated.budgets.resize(k);
+      accumulated.test_accuracy.resize(k);
+      accumulated.label_accuracy.resize(k);
+      accumulated.label_coverage.resize(k);
+      for (size_t i = 0; i < k; ++i) {
+        accumulated.test_accuracy[i] += run.test_accuracy[i];
+        accumulated.label_accuracy[i] += run.label_accuracy[i];
+        accumulated.label_coverage[i] += run.label_coverage[i];
+      }
+    }
+  }
+  const double inv = 1.0 / spec.num_seeds;
+  for (auto& v : accumulated.test_accuracy) v *= inv;
+  for (auto& v : accumulated.label_accuracy) v *= inv;
+  for (auto& v : accumulated.label_coverage) v *= inv;
+  accumulated.average_test_accuracy = CurveAverage(accumulated.test_accuracy);
+  return accumulated;
+}
+
+}  // namespace activedp

@@ -1,0 +1,76 @@
+#ifndef ACTIVEDP_CORE_EXPERIMENT_H_
+#define ACTIVEDP_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/activedp.h"
+#include "core/baselines.h"
+#include "core/end_model.h"
+#include "core/framework.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// kActiveWeasul is an extension beyond the paper's Figure-3 line-up,
+/// completing its Table 1 (see core/baselines.h).
+enum class FrameworkType { kActiveDp, kNemo, kIws, kRlf, kUs, kActiveWeasul };
+
+std::string FrameworkDisplayName(FrameworkType type);
+
+/// Parses "activedp" / "nemo" / "iws" / "rlf" / "us"; defaults to kActiveDp.
+FrameworkType ParseFrameworkType(const std::string& name);
+
+/// Instantiates a framework over the shared context. ActiveDP consumes
+/// `adp_options`; baselines consume the shared fields mirrored into
+/// BaselineOptions (user simulation, label model, AL hyper-parameters).
+std::unique_ptr<InteractiveFramework> MakeFramework(
+    FrameworkType type, const FrameworkContext& context,
+    const ActiveDpOptions& adp_options);
+
+/// The paper's evaluation protocol (§4.1.3): run `iterations` interactions,
+/// every `eval_every` iterations train the downstream model on the
+/// framework's current labels and record test accuracy.
+struct ProtocolOptions {
+  int iterations = 100;  // paper: 300
+  int eval_every = 10;
+  EndModelOptions end_model;
+};
+
+struct RunResult {
+  std::vector<int> budgets;           // queries consumed at each checkpoint
+  std::vector<double> test_accuracy;  // downstream test accuracy
+  std::vector<double> label_accuracy; // generated-label accuracy (diagnostic)
+  std::vector<double> label_coverage; // generated-label coverage (diagnostic)
+  /// Mean of test_accuracy — the paper's summary metric (area under the
+  /// performance curve).
+  double average_test_accuracy = 0.0;
+};
+
+RunResult RunProtocol(InteractiveFramework& framework,
+                      const FrameworkContext& context,
+                      const ProtocolOptions& options);
+
+/// Full experiment spec for one (dataset, framework) cell averaged over
+/// seeds, regenerating the dataset per seed as the paper does.
+struct ExperimentSpec {
+  std::string dataset;
+  FrameworkType framework = FrameworkType::kActiveDp;
+  ActiveDpOptions adp;
+  ProtocolOptions protocol;
+  double data_scale = 0.1;  // fraction of paper's Table 2 sizes
+  int num_seeds = 2;        // paper: 5
+  uint64_t base_seed = 1;
+  /// Seeds are independent; > 1 runs them on a thread pool. Results are
+  /// identical to the serial run (every seed is self-contained and
+  /// deterministic).
+  int num_threads = 1;
+};
+
+/// Runs the spec for each seed and returns the point-wise averaged curves.
+Result<RunResult> RunExperiment(const ExperimentSpec& spec);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_CORE_EXPERIMENT_H_

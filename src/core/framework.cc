@@ -1,0 +1,42 @@
+#include "core/framework.h"
+
+#include "math/vector_ops.h"
+#include "util/check.h"
+
+namespace activedp {
+
+FrameworkContext FrameworkContext::Build(const DataSplit& split) {
+  FrameworkContext context;
+  context.split = &split;
+  context.featurizer = MakeFeaturizer(split.train);
+  context.train_features = FeaturizeAll(*context.featurizer, split.train);
+  context.valid_features = FeaturizeAll(*context.featurizer, split.valid);
+  context.test_features = FeaturizeAll(*context.featurizer, split.test);
+  context.valid_labels = split.valid.Labels();
+  context.test_labels = split.test.Labels();
+  context.num_classes = split.train.meta().num_classes;
+  context.feature_dim = context.featurizer->dim();
+  return context;
+}
+
+LabelQuality MeasureLabelQuality(
+    const std::vector<std::vector<double>>& soft_labels,
+    const Dataset& train) {
+  CHECK_EQ(static_cast<int>(soft_labels.size()), train.size());
+  LabelQuality quality;
+  int covered = 0, correct = 0;
+  for (int i = 0; i < train.size(); ++i) {
+    if (soft_labels[i].empty()) continue;
+    ++covered;
+    if (ArgMax(soft_labels[i]) == train.example(i).label) ++correct;
+  }
+  if (train.size() > 0) {
+    quality.coverage = static_cast<double>(covered) / train.size();
+  }
+  if (covered > 0) {
+    quality.accuracy = static_cast<double>(correct) / covered;
+  }
+  return quality;
+}
+
+}  // namespace activedp

@@ -1,0 +1,69 @@
+#ifndef ACTIVEDP_CORE_FRAMEWORK_H_
+#define ACTIVEDP_CORE_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/example.h"
+#include "ml/featurizer.h"
+#include "util/status.h"
+
+namespace activedp {
+
+/// Everything an interactive labelling framework needs about a dataset,
+/// built once per (dataset, seed) and shared by every framework under
+/// comparison: the split, the fitted featurizer, and featurized train /
+/// valid / test sets. Validation labels are available (the paper's holdout
+/// set is used for threshold tuning and LF pruning); training ground truth
+/// is reserved for the simulated user and diagnostics.
+struct FrameworkContext {
+  const DataSplit* split = nullptr;
+  std::unique_ptr<Featurizer> featurizer;
+  std::vector<SparseVector> train_features;
+  std::vector<SparseVector> valid_features;
+  std::vector<SparseVector> test_features;
+  std::vector<int> valid_labels;
+  std::vector<int> test_labels;
+  int num_classes = 2;
+  int feature_dim = 0;
+
+  static FrameworkContext Build(const DataSplit& split);
+};
+
+/// Quality of generated training labels measured against ground truth
+/// (diagnostic; frameworks never see these numbers).
+struct LabelQuality {
+  double accuracy = 0.0;
+  double coverage = 0.0;
+};
+
+/// An interactive data-labelling framework under the paper's protocol
+/// (§4.1.3): each Step() consumes exactly one unit of human supervision
+/// (one LF designed, one LF verified, or one instance labelled, depending
+/// on the framework), and CurrentTrainingLabels() yields the training
+/// labels the framework would hand to the downstream model right now.
+class InteractiveFramework {
+ public:
+  virtual ~InteractiveFramework() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs one interaction iteration. FailedPrecondition when the framework
+  /// has exhausted every possible query.
+  virtual Status Step() = 0;
+
+  /// Soft training label per training row; an empty vector means the row is
+  /// rejected/uncovered and must be discarded by the downstream trainer.
+  virtual std::vector<std::vector<double>> CurrentTrainingLabels() = 0;
+};
+
+/// Accuracy/coverage of soft labels against the training ground truth.
+LabelQuality MeasureLabelQuality(
+    const std::vector<std::vector<double>>& soft_labels,
+    const Dataset& train);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_CORE_FRAMEWORK_H_

@@ -1,0 +1,84 @@
+#include "core/label_pick.h"
+
+#include "math/matrix.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace activedp {
+
+double EncodeWeakLabel(int weak_label, int num_classes) {
+  if (weak_label == kAbstain) return 0.0;
+  if (num_classes == 2) return weak_label == 1 ? 1.0 : -1.0;
+  return static_cast<double>(weak_label) - (num_classes - 1) / 2.0;
+}
+
+Result<std::vector<int>> LabelPick(int num_lfs, int num_classes,
+                                   const LabelMatrix& valid_matrix,
+                                   const std::vector<int>& valid_labels,
+                                   const LabelMatrix& query_matrix,
+                                   const std::vector<int>& pseudo_labels,
+                                   const LabelPickOptions& options) {
+  if (num_lfs <= 0) return Status::InvalidArgument("no LFs to select from");
+  CHECK_EQ(valid_matrix.num_cols(), num_lfs);
+  CHECK_EQ(query_matrix.num_cols(), num_lfs);
+  CHECK_EQ(query_matrix.num_rows(),
+           static_cast<int>(pseudo_labels.size()));
+
+  // Step 1: validation-accuracy pruning.
+  std::vector<int> survivors;
+  if (options.prune_by_validation_accuracy) {
+    const double random_accuracy = 1.0 / num_classes;
+    for (int j = 0; j < num_lfs; ++j) {
+      const LfColumnStats stats =
+          ComputeColumnStats(valid_matrix.column(j), valid_labels);
+      // Too little evidence (including never firing on validation) is not
+      // "worse than random"; keep such LFs.
+      if (stats.activations < options.min_activations_to_prune ||
+          stats.accuracy > random_accuracy) {
+        survivors.push_back(j);
+      }
+    }
+    if (survivors.empty()) {
+      // Everything looked worse than random; trusting step 1 here would
+      // leave the label model with nothing, so keep all.
+      survivors.resize(num_lfs);
+      for (int j = 0; j < num_lfs; ++j) survivors[j] = j;
+    }
+  } else {
+    survivors.resize(num_lfs);
+    for (int j = 0; j < num_lfs; ++j) survivors[j] = j;
+  }
+
+  const int t = query_matrix.num_rows();
+  if (!options.select_markov_blanket || t < options.min_queries_for_blanket ||
+      survivors.size() < 2) {
+    return survivors;
+  }
+
+  // Step 2: Markov blanket of the label over L_Λ = {(Λ_t(x_l), ỹ_l)}.
+  const int p = static_cast<int>(survivors.size()) + 1;  // + label column
+  Matrix data(t, p);
+  for (int i = 0; i < t; ++i) {
+    for (size_t jj = 0; jj < survivors.size(); ++jj) {
+      data(i, static_cast<int>(jj)) =
+          EncodeWeakLabel(query_matrix.At(i, survivors[jj]), num_classes);
+    }
+    data(i, p - 1) = EncodeWeakLabel(pseudo_labels[i], num_classes);
+  }
+  Result<std::vector<int>> blanket =
+      MarkovBlanket(data, /*target=*/p - 1, options.blanket);
+  if (!blanket.ok()) {
+    LOG(Warning) << "LabelPick blanket failed ("
+                 << blanket.status().ToString() << "); keeping "
+                 << survivors.size() << " accuracy-pruned LFs";
+    return survivors;
+  }
+  if (blanket->empty()) return survivors;
+
+  std::vector<int> selected;
+  selected.reserve(blanket->size());
+  for (int idx : *blanket) selected.push_back(survivors[idx]);
+  return selected;
+}
+
+}  // namespace activedp

@@ -1,0 +1,112 @@
+#include "core/session_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace activedp {
+namespace {
+
+constexpr char kHeader[] = "activedp-session v1";
+
+}  // namespace
+
+Status SaveSession(const SessionState& state, const std::string& path) {
+  if (state.query_indices.size() != state.lfs.size() &&
+      !state.query_indices.empty()) {
+    return Status::InvalidArgument("query_indices size mismatch");
+  }
+  if (state.pseudo_labels.size() != state.lfs.size() &&
+      !state.pseudo_labels.empty()) {
+    return Status::InvalidArgument("pseudo_labels size mismatch");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << kHeader << "\n";
+  for (size_t i = 0; i < state.lfs.size(); ++i) {
+    const int query =
+        state.query_indices.empty() ? -1 : state.query_indices[i];
+    const int pseudo =
+        state.pseudo_labels.empty() ? -1 : state.pseudo_labels[i];
+    if (const auto* keyword =
+            dynamic_cast<const KeywordLf*>(state.lfs[i].get())) {
+      if (keyword->word().find_first_of(" \t\n") != std::string::npos) {
+        return Status::InvalidArgument("keyword contains whitespace: " +
+                                       keyword->word());
+      }
+      out << "kw " << keyword->token_id() << " " << keyword->word() << " "
+          << keyword->label() << " " << query << " " << pseudo << "\n";
+    } else if (const auto* stump =
+                   dynamic_cast<const ThresholdLf*>(state.lfs[i].get())) {
+      char threshold[64];
+      std::snprintf(threshold, sizeof(threshold), "%.17g",
+                    stump->threshold());
+      out << "st " << stump->feature() << " " << threshold << " "
+          << (stump->op() == StumpOp::kLessEqual ? "le" : "ge") << " "
+          << stump->label() << " " << query << " " << pseudo << "\n";
+    } else {
+      return Status::Unimplemented("cannot serialize custom LF type: " +
+                                   state.lfs[i]->Name());
+    }
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<SessionState> LoadSession(const std::string& path,
+                                 const Vocabulary* vocab) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kHeader) {
+    return Status::InvalidArgument("not an activedp session file: " + path);
+  }
+  SessionState state;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+    const std::string where = " at line " + std::to_string(line_number);
+    int query = -1, pseudo = -1;
+    if (kind == "kw") {
+      int token_id, label;
+      std::string word;
+      if (!(fields >> token_id >> word >> label >> query >> pseudo)) {
+        return Status::InvalidArgument("malformed keyword LF" + where);
+      }
+      if (vocab != nullptr) {
+        token_id = vocab->GetId(word);
+        if (token_id == Vocabulary::kUnknownId) {
+          return Status::NotFound("keyword not in vocabulary: " + word +
+                                  where);
+        }
+      }
+      state.lfs.push_back(std::make_shared<KeywordLf>(token_id, word, label));
+    } else if (kind == "st") {
+      int feature, label;
+      double threshold;
+      std::string op;
+      if (!(fields >> feature >> threshold >> op >> label >> query >>
+            pseudo) ||
+          (op != "le" && op != "ge")) {
+        return Status::InvalidArgument("malformed stump LF" + where);
+      }
+      state.lfs.push_back(std::make_shared<ThresholdLf>(
+          feature, threshold,
+          op == "le" ? StumpOp::kLessEqual : StumpOp::kGreaterEqual, label));
+    } else {
+      return Status::InvalidArgument("unknown LF kind '" + kind + "'" +
+                                     where);
+    }
+    state.query_indices.push_back(query);
+    state.pseudo_labels.push_back(pseudo);
+  }
+  return state;
+}
+
+}  // namespace activedp

@@ -1,0 +1,38 @@
+#ifndef ACTIVEDP_CORE_SESSION_IO_H_
+#define ACTIVEDP_CORE_SESSION_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "lf/label_function.h"
+#include "text/vocabulary.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// A persisted labelling session: the LF set the user has built plus the
+/// query/pseudo-label pairs that anchor them. Lets a session be resumed, an
+/// LF set be shared between runs, or rules be reviewed offline.
+struct SessionState {
+  std::vector<LfPtr> lfs;
+  std::vector<int> query_indices;
+  std::vector<int> pseudo_labels;
+};
+
+/// Serializes the session to a line-based text format:
+///   activedp-session v1
+///   kw <token_id> <word> <label> <query_index> <pseudo_label>
+///   st <feature> <threshold> <op:le|ge> <label> <query_index> <pseudo_label>
+/// query_index/pseudo_label are -1 when unknown (e.g. hand-written LF sets).
+Status SaveSession(const SessionState& state, const std::string& path);
+
+/// Loads a session. When `vocab` is non-null, keyword token ids are
+/// re-resolved against it by word (so an LF set can be moved to a dataset
+/// with a different vocabulary); keywords missing from the vocabulary are
+/// an error. With a null vocab the stored ids are trusted.
+Result<SessionState> LoadSession(const std::string& path,
+                                 const Vocabulary* vocab = nullptr);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_CORE_SESSION_IO_H_

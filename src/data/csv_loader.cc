@@ -1,0 +1,158 @@
+#include "data/csv_loader.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "text/tokenizer.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace activedp {
+namespace {
+
+/// Finds a header column by name (case-sensitive).
+Result<int> FindColumn(const std::vector<std::string>& header,
+                       const std::string& name) {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("column not found: " + name);
+}
+
+/// Maps string labels to dense ids in first-appearance order; numeric
+/// labels map to themselves when they already form 0..C-1.
+class LabelMapper {
+ public:
+  Result<int> Map(const std::string& raw) {
+    auto it = ids_.find(raw);
+    if (it != ids_.end()) return it->second;
+    const int id = static_cast<int>(names_.size());
+    ids_[raw] = id;
+    names_.push_back(raw);
+    return id;
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::map<std::string, int> ids_;
+  std::vector<std::string> names_;
+};
+
+Result<std::vector<std::vector<std::string>>> ReadRows(
+    const std::string& path) {
+  ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                   ParseCsv(content));
+  if (rows.size() < 2)
+    return Status::InvalidArgument("CSV needs a header and at least one row");
+  return rows;
+}
+
+}  // namespace
+
+Result<Dataset> LoadTextCsv(const std::string& path,
+                            const CsvLoadOptions& options) {
+  ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                   ReadRows(path));
+  ASSIGN_OR_RETURN(int text_col, FindColumn(rows[0], options.text_column));
+  ASSIGN_OR_RETURN(int label_col, FindColumn(rows[0], options.label_column));
+
+  Tokenizer tokenizer;
+  LabelMapper labels;
+  std::vector<Example> examples;
+  std::vector<std::vector<std::string>> documents;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (static_cast<int>(rows[r].size()) <=
+        std::max(text_col, label_col)) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " has too few columns");
+    }
+    Example e;
+    e.text = rows[r][text_col];
+    ASSIGN_OR_RETURN(e.label, labels.Map(rows[r][label_col]));
+    documents.push_back(tokenizer.Tokenize(e.text));
+    examples.push_back(std::move(e));
+  }
+  if (labels.names().size() < 2)
+    return Status::InvalidArgument("dataset has fewer than 2 classes");
+
+  Vocabulary vocab = Vocabulary::Build(documents, options.min_doc_count,
+                                       options.max_vocabulary);
+  for (size_t i = 0; i < examples.size(); ++i) {
+    std::map<int, int> counts;
+    for (const auto& token : documents[i]) {
+      const int id = vocab.GetId(token);
+      if (id != Vocabulary::kUnknownId) ++counts[id];
+    }
+    auto& tc = examples[i].term_counts;
+    tc.reserve(counts.size());
+    for (const auto& [id, count] : counts) tc.emplace_back(id, count);
+  }
+
+  DatasetMeta meta;
+  meta.name = options.name;
+  meta.task_description = "user CSV (text)";
+  meta.task = TaskType::kTextClassification;
+  meta.num_classes = static_cast<int>(labels.names().size());
+  meta.class_names = labels.names();
+  Dataset dataset(std::move(meta), std::move(examples));
+  dataset.set_vocabulary(std::move(vocab));
+  return dataset;
+}
+
+Result<Dataset> LoadTabularCsv(const std::string& path,
+                               const CsvLoadOptions& options) {
+  ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                   ReadRows(path));
+  ASSIGN_OR_RETURN(int label_col, FindColumn(rows[0], options.label_column));
+
+  std::vector<std::string> feature_names;
+  std::vector<int> feature_cols;
+  for (size_t c = 0; c < rows[0].size(); ++c) {
+    if (static_cast<int>(c) == label_col) continue;
+    feature_names.push_back(rows[0][c]);
+    feature_cols.push_back(static_cast<int>(c));
+  }
+  if (feature_cols.empty())
+    return Status::InvalidArgument("no feature columns besides the label");
+
+  LabelMapper labels;
+  std::vector<Example> examples;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != rows[0].size()) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " has a different column count");
+    }
+    Example e;
+    e.features.reserve(feature_cols.size());
+    for (int c : feature_cols) {
+      char* end = nullptr;
+      const std::string& cell = rows[r][c];
+      const double value = std::strtod(cell.c_str(), &end);
+      // The whole cell (modulo surrounding whitespace) must parse.
+      if (end == cell.c_str() || !Trim(std::string_view(end)).empty()) {
+        return Status::InvalidArgument("non-numeric feature value '" + cell +
+                                       "' in row " + std::to_string(r));
+      }
+      e.features.push_back(value);
+    }
+    ASSIGN_OR_RETURN(e.label, labels.Map(rows[r][label_col]));
+    examples.push_back(std::move(e));
+  }
+  if (labels.names().size() < 2)
+    return Status::InvalidArgument("dataset has fewer than 2 classes");
+
+  DatasetMeta meta;
+  meta.name = options.name;
+  meta.task_description = "user CSV (tabular)";
+  meta.task = TaskType::kTabularClassification;
+  meta.num_classes = static_cast<int>(labels.names().size());
+  meta.class_names = labels.names();
+  meta.num_features = static_cast<int>(feature_cols.size());
+  Dataset dataset(std::move(meta), std::move(examples));
+  dataset.set_feature_names(std::move(feature_names));
+  return dataset;
+}
+
+}  // namespace activedp

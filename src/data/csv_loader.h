@@ -1,0 +1,40 @@
+#ifndef ACTIVEDP_DATA_CSV_LOADER_H_
+#define ACTIVEDP_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// Options for loading user-supplied datasets from CSV, so the library can
+/// be pointed at real corpora (e.g. the original YouTube Spam or Census
+/// files) instead of the synthetic zoo.
+struct CsvLoadOptions {
+  /// Column holding the class label (by header name).
+  std::string label_column = "label";
+  /// Text tasks: column holding the document text.
+  std::string text_column = "text";
+  /// First row is a header (required; columns are addressed by name).
+  /// Vocabulary pruning for text tasks.
+  int min_doc_count = 2;
+  int max_vocabulary = 0;  // 0 = unlimited
+  std::string name = "csv-dataset";
+};
+
+/// Loads a text-classification dataset from a CSV with (at least) a text
+/// column and a label column. Labels may be integers (0..C-1) or arbitrary
+/// strings (mapped to ids in first-appearance order). Builds the vocabulary
+/// and term counts so the full LF/TF-IDF machinery applies.
+Result<Dataset> LoadTextCsv(const std::string& path,
+                            const CsvLoadOptions& options = {});
+
+/// Loads a tabular dataset from a CSV where every non-label column is a
+/// numeric feature. Non-numeric feature cells are an error.
+Result<Dataset> LoadTabularCsv(const std::string& path,
+                               const CsvLoadOptions& options = {});
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_DATA_CSV_LOADER_H_

@@ -1,0 +1,59 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace activedp {
+
+std::vector<int> Dataset::Labels() const {
+  std::vector<int> labels;
+  labels.reserve(examples_.size());
+  for (const auto& e : examples_) labels.push_back(e.label);
+  return labels;
+}
+
+std::vector<double> Dataset::ClassBalance() const {
+  std::vector<double> balance(meta_.num_classes, 0.0);
+  for (const auto& e : examples_) {
+    CHECK_GE(e.label, 0);
+    CHECK_LT(e.label, meta_.num_classes);
+    balance[e.label] += 1.0;
+  }
+  if (!examples_.empty()) {
+    for (double& b : balance) b /= static_cast<double>(examples_.size());
+  }
+  return balance;
+}
+
+DataSplit SplitDataset(const Dataset& full, double train_fraction,
+                       double valid_fraction, Rng& rng) {
+  CHECK_GT(train_fraction, 0.0);
+  CHECK_GE(valid_fraction, 0.0);
+  CHECK_LT(train_fraction + valid_fraction, 1.0 + 1e-9);
+  const int n = full.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  const int n_train = static_cast<int>(train_fraction * n);
+  const int n_valid = static_cast<int>(valid_fraction * n);
+
+  auto make_part = [&](int begin, int end) {
+    std::vector<Example> part;
+    part.reserve(end - begin);
+    for (int i = begin; i < end; ++i) part.push_back(full.example(order[i]));
+    Dataset d(full.meta(), std::move(part));
+    d.set_vocabulary(full.vocabulary());
+    d.set_feature_names(full.feature_names());
+    return d;
+  };
+
+  DataSplit split;
+  split.train = make_part(0, n_train);
+  split.valid = make_part(n_train, n_train + n_valid);
+  split.test = make_part(n_train + n_valid, n);
+  return split;
+}
+
+}  // namespace activedp

@@ -1,0 +1,80 @@
+#ifndef ACTIVEDP_DATA_DATASET_H_
+#define ACTIVEDP_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace activedp {
+
+enum class TaskType { kTextClassification, kTabularClassification };
+
+/// Static description of a labelled classification dataset.
+struct DatasetMeta {
+  std::string name;
+  std::string task_description;
+  TaskType task = TaskType::kTextClassification;
+  int num_classes = 2;
+  std::vector<std::string> class_names;
+  /// Tabular only: number of raw features.
+  int num_features = 0;
+};
+
+/// An in-memory labelled dataset. Text datasets carry a shared Vocabulary;
+/// tabular datasets carry feature names. Ground-truth labels are stored on
+/// the examples but the interactive frameworks only access them through the
+/// simulated-user oracle and final evaluation.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(DatasetMeta meta, std::vector<Example> examples)
+      : meta_(std::move(meta)), examples_(std::move(examples)) {}
+
+  const DatasetMeta& meta() const { return meta_; }
+  int size() const { return static_cast<int>(examples_.size()); }
+  const Example& example(int i) const { return examples_[i]; }
+  const std::vector<Example>& examples() const { return examples_; }
+  std::vector<Example>& mutable_examples() { return examples_; }
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+  void set_vocabulary(Vocabulary vocab) { vocab_ = std::move(vocab); }
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  void set_feature_names(std::vector<std::string> names) {
+    feature_names_ = std::move(names);
+  }
+
+  /// Ground-truth labels of all examples, in order.
+  std::vector<int> Labels() const;
+
+  /// Fraction of examples in each class.
+  std::vector<double> ClassBalance() const;
+
+ private:
+  DatasetMeta meta_;
+  std::vector<Example> examples_;
+  Vocabulary vocab_;
+  std::vector<std::string> feature_names_;
+};
+
+/// A train/validation/test partition sharing one meta/vocabulary.
+struct DataSplit {
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+
+/// Randomly partitions `examples` into train/valid/test with the given
+/// fractions (test gets the remainder). Vocabulary/feature names/meta are
+/// copied from `full` into each part.
+DataSplit SplitDataset(const Dataset& full, double train_fraction,
+                       double valid_fraction, Rng& rng);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_DATA_DATASET_H_

@@ -1,0 +1,132 @@
+#include "data/dataset_zoo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "data/synthetic_tabular.h"
+#include "data/synthetic_text.h"
+#include "util/check.h"
+
+namespace activedp {
+
+const std::vector<ZooEntry>& DatasetZoo() {
+  static const std::vector<ZooEntry>* const kZoo = new std::vector<ZooEntry>{
+      {"youtube", "Youtube", "Spam classification",
+       TaskType::kTextClassification, 1566, 195, 195},
+      {"imdb", "IMDB", "Sentiment analysis", TaskType::kTextClassification,
+       20000, 2500, 2500},
+      {"yelp", "Yelp", "Sentiment analysis", TaskType::kTextClassification,
+       20000, 2500, 2500},
+      {"amazon", "Amazon", "Sentiment analysis", TaskType::kTextClassification,
+       20000, 2500, 2500},
+      {"bios-pt", "Bios-PT", "Biography classification",
+       TaskType::kTextClassification, 19672, 2458, 2458},
+      {"bios-jp", "Bios-JP", "Biography classification",
+       TaskType::kTextClassification, 25808, 3225, 3225},
+      {"occupancy", "Occupancy", "Occupancy prediction",
+       TaskType::kTabularClassification, 14317, 1789, 1789},
+      {"census", "Census", "Income classification",
+       TaskType::kTabularClassification, 25541, 3192, 3192},
+  };
+  return *kZoo;
+}
+
+std::vector<std::string> ZooDatasetNames() {
+  std::vector<std::string> names;
+  for (const auto& entry : DatasetZoo()) names.push_back(entry.name);
+  return names;
+}
+
+Result<ZooEntry> FindZooEntry(const std::string& name) {
+  for (const auto& entry : DatasetZoo()) {
+    if (entry.name == name) return entry;
+  }
+  return Status::NotFound("unknown zoo dataset: " + name);
+}
+
+namespace {
+
+/// Difficulty calibration per dataset (see DESIGN.md §1). The knobs trade
+/// off keyword/stump LF accuracy spread (confusion range, separation) and
+/// irreducible error (label noise) so end-model accuracy lands in the range
+/// the paper reports.
+struct TextDifficulty {
+  double confusion_min;
+  double confusion_max;
+  double label_noise;
+  double signal_rate;  // strong (LF-visible) channel
+  double weak_rate;    // weak-cue channel (invisible to LFs)
+  double doc_length_mean;
+};
+
+TextDifficulty TextDifficultyFor(const std::string& name) {
+  if (name == "youtube") return {0.03, 0.22, 0.025, 0.30, 0.36, 12.0};
+  if (name == "imdb") return {0.08, 0.32, 0.10, 0.26, 0.36, 24.0};
+  if (name == "yelp") return {0.10, 0.35, 0.11, 0.24, 0.33, 22.0};
+  if (name == "amazon") return {0.15, 0.42, 0.13, 0.22, 0.32, 20.0};
+  if (name == "bios-pt") return {0.05, 0.28, 0.06, 0.26, 0.34, 22.0};
+  if (name == "bios-jp") return {0.04, 0.24, 0.035, 0.28, 0.36, 22.0};
+  CHECK(false) << "no text difficulty profile for " << name;
+  return {};
+}
+
+struct TabularDifficulty {
+  int num_features;
+  int informative_features;
+  double class_separation;
+  double label_noise;
+};
+
+TabularDifficulty TabularDifficultyFor(const std::string& name) {
+  if (name == "occupancy") return {5, 3, 3.0, 0.005};
+  if (name == "census") return {14, 6, 1.0, 0.14};
+  CHECK(false) << "no tabular difficulty profile for " << name;
+  return {};
+}
+
+}  // namespace
+
+Result<DataSplit> MakeZooDataset(const std::string& name, double scale,
+                                 uint64_t seed) {
+  ASSIGN_OR_RETURN(ZooEntry entry, FindZooEntry(name));
+  if (scale <= 0.0) return Status::InvalidArgument("scale must be positive");
+
+  const int total = std::max(
+      60, static_cast<int>(std::lround(
+              scale * (entry.paper_train + entry.paper_valid +
+                       entry.paper_test))));
+
+  Rng rng(seed ^ std::hash<std::string>{}(name));
+  Dataset full;
+  if (entry.type == TaskType::kTextClassification) {
+    const TextDifficulty diff = TextDifficultyFor(name);
+    SyntheticTextConfig config;
+    config.name = entry.name;
+    config.task_description = entry.task;
+    config.num_examples = total;
+    config.confusion_min = diff.confusion_min;
+    config.confusion_max = diff.confusion_max;
+    config.label_noise = diff.label_noise;
+    config.signal_rate = diff.signal_rate;
+    config.weak_rate = diff.weak_rate;
+    config.doc_length_mean = diff.doc_length_mean;
+    full = GenerateSyntheticText(config, rng);
+  } else {
+    const TabularDifficulty diff = TabularDifficultyFor(name);
+    SyntheticTabularConfig config;
+    config.name = entry.name;
+    config.task_description = entry.task;
+    config.num_examples = total;
+    config.num_features = diff.num_features;
+    config.informative_features = diff.informative_features;
+    config.class_separation = diff.class_separation;
+    config.label_noise = diff.label_noise;
+    full = GenerateSyntheticTabular(config, rng);
+  }
+
+  // 80/10/10 split as in the paper (§4.1.1).
+  return SplitDataset(full, 0.8, 0.1, rng);
+}
+
+}  // namespace activedp

@@ -1,0 +1,41 @@
+#include "data/example.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace activedp {
+
+double SparseDot(const SparseVector& x, const std::vector<double>& w) {
+  double sum = 0.0;
+  for (size_t i = 0; i < x.indices.size(); ++i) {
+    DCHECK(x.indices[i] < static_cast<int>(w.size()));
+    sum += x.values[i] * w[x.indices[i]];
+  }
+  return sum;
+}
+
+void SparseAxpy(double alpha, const SparseVector& x, std::vector<double>& w) {
+  for (size_t i = 0; i < x.indices.size(); ++i) {
+    DCHECK(x.indices[i] < static_cast<int>(w.size()));
+    w[x.indices[i]] += alpha * x.values[i];
+  }
+}
+
+void L2Normalize(SparseVector& x) {
+  double ss = 0.0;
+  for (double v : x.values) ss += v * v;
+  if (ss <= 0.0) return;
+  const double inv = 1.0 / std::sqrt(ss);
+  for (double& v : x.values) v *= inv;
+}
+
+bool Example::HasToken(int id) const {
+  auto it = std::lower_bound(
+      term_counts.begin(), term_counts.end(), id,
+      [](const std::pair<int, int>& tc, int key) { return tc.first < key; });
+  return it != term_counts.end() && it->first == id;
+}
+
+}  // namespace activedp

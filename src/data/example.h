@@ -1,0 +1,49 @@
+#ifndef ACTIVEDP_DATA_EXAMPLE_H_
+#define ACTIVEDP_DATA_EXAMPLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace activedp {
+
+/// Sparse feature vector with strictly increasing indices. Used for TF-IDF
+/// text features and (densely populated) tabular features.
+struct SparseVector {
+  std::vector<int> indices;
+  std::vector<double> values;
+
+  int nnz() const { return static_cast<int>(indices.size()); }
+
+  void PushBack(int index, double value) {
+    indices.push_back(index);
+    values.push_back(value);
+  }
+};
+
+/// x . w for dense weights (w must cover all indices).
+double SparseDot(const SparseVector& x, const std::vector<double>& w);
+
+/// w += alpha * x.
+void SparseAxpy(double alpha, const SparseVector& x, std::vector<double>& w);
+
+/// Scales x to unit Euclidean norm (no-op on the zero vector).
+void L2Normalize(SparseVector& x);
+
+/// One labelled instance. Text tasks populate `text` and `term_counts`
+/// (vocabulary-id -> in-document count, sorted by id); tabular tasks populate
+/// `features`. `label` is the hidden ground truth, visible only to the
+/// simulated user and the final evaluation.
+struct Example {
+  std::string text;
+  std::vector<std::pair<int, int>> term_counts;
+  std::vector<double> features;
+  int label = -1;
+
+  /// True if the (text) example contains the vocabulary word `id`.
+  bool HasToken(int id) const;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_DATA_EXAMPLE_H_

@@ -1,0 +1,74 @@
+#include "data/synthetic_tabular.h"
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace activedp {
+
+Dataset GenerateSyntheticTabular(const SyntheticTabularConfig& config,
+                                 Rng& rng) {
+  CHECK_GE(config.num_classes, 2);
+  CHECK_GT(config.num_features, 0);
+  CHECK_GT(config.informative_features, 0);
+  CHECK_LE(config.informative_features, config.num_features);
+
+  const int classes = config.num_classes;
+  const int d = config.num_features;
+  const int k_informative = config.informative_features;
+
+  // Per-class means. Informative feature k separates the classes along a
+  // random sign with graded strength; other features are shared noise.
+  std::vector<std::vector<double>> means(classes,
+                                         std::vector<double>(d, 0.0));
+  for (int k = 0; k < k_informative; ++k) {
+    const double strength =
+        config.class_separation *
+        (1.0 - static_cast<double>(k) / (2.0 * k_informative));
+    const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    for (int y = 0; y < classes; ++y) {
+      // Spread class means evenly in [-1/2, 1/2] * strength along this axis.
+      const double position =
+          classes == 1 ? 0.0
+                       : (static_cast<double>(y) / (classes - 1)) - 0.5;
+      means[y][k] = sign * strength * position * 2.0;
+    }
+  }
+
+  std::vector<Example> examples;
+  examples.reserve(config.num_examples);
+  for (int n = 0; n < config.num_examples; ++n) {
+    const int y = rng.UniformInt(classes);
+    Example e;
+    e.features.resize(d);
+    for (int j = 0; j < d; ++j) {
+      e.features[j] = rng.Normal(means[y][j], 1.0);
+    }
+    e.label = y;
+    if (config.label_noise > 0.0 && rng.Bernoulli(config.label_noise)) {
+      int flipped = rng.UniformInt(classes - 1);
+      if (flipped >= e.label) ++flipped;
+      e.label = flipped;
+    }
+    examples.push_back(std::move(e));
+  }
+
+  DatasetMeta meta;
+  meta.name = config.name;
+  meta.task_description = config.task_description;
+  meta.task = TaskType::kTabularClassification;
+  meta.num_classes = classes;
+  meta.num_features = d;
+  for (int y = 0; y < classes; ++y) {
+    meta.class_names.push_back("class" + std::to_string(y));
+  }
+
+  Dataset dataset(std::move(meta), std::move(examples));
+  std::vector<std::string> feature_names(d);
+  for (int j = 0; j < d; ++j) feature_names[j] = "f" + std::to_string(j);
+  dataset.set_feature_names(std::move(feature_names));
+  return dataset;
+}
+
+}  // namespace activedp

@@ -1,0 +1,173 @@
+#include "data/synthetic_text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/check.h"
+
+namespace activedp {
+namespace {
+
+/// Zipf-like weights 1/(rank+1)^exponent over `n` items.
+std::vector<double> ZipfWeights(int n, double exponent) {
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  return w;
+}
+
+}  // namespace
+
+Dataset GenerateSyntheticText(const SyntheticTextConfig& config, Rng& rng) {
+  CHECK_GE(config.num_classes, 2);
+  CHECK_GT(config.signal_words_per_class, 0);
+  CHECK_GT(config.background_words, 0);
+  CHECK_GE(config.confusion_min, 0.0);
+  CHECK_LE(config.confusion_max, 0.5);
+  CHECK_LE(config.confusion_min, config.confusion_max);
+
+  const int classes = config.num_classes;
+  const int s = config.signal_words_per_class;
+  const int w = config.weak_words_per_class;
+
+  // Word tables. Class-y strong keyword i is "c<y>w<i>", weak cue i is
+  // "c<y>q<i>", background is "bg<i>".
+  std::vector<std::vector<std::string>> signal_words(classes);
+  std::vector<std::vector<double>> signal_leak(classes);
+  std::vector<std::vector<std::string>> weak_words(classes);
+  std::vector<std::vector<double>> weak_leak(classes);
+  for (int y = 0; y < classes; ++y) {
+    signal_words[y].reserve(s);
+    signal_leak[y].reserve(s);
+    for (int i = 0; i < s; ++i) {
+      signal_words[y].push_back("c" + std::to_string(y) + "w" +
+                                std::to_string(i));
+      signal_leak[y].push_back(
+          rng.Uniform(config.confusion_min, config.confusion_max));
+    }
+    weak_words[y].reserve(w);
+    weak_leak[y].reserve(w);
+    for (int i = 0; i < w; ++i) {
+      weak_words[y].push_back("c" + std::to_string(y) + "q" +
+                              std::to_string(i));
+      weak_leak[y].push_back(
+          rng.Uniform(config.weak_confusion_min, config.weak_confusion_max));
+    }
+  }
+  std::vector<std::string> background_words(config.background_words);
+  for (int i = 0; i < config.background_words; ++i) {
+    background_words[i] = "bg" + std::to_string(i);
+  }
+
+  const std::vector<double> signal_dist = ZipfWeights(s, 0.8);
+  const std::vector<double> weak_dist = ZipfWeights(w, 0.5);
+  const std::vector<double> background_dist =
+      ZipfWeights(config.background_words, 1.0);
+
+  std::vector<Example> examples;
+  examples.reserve(config.num_examples);
+  std::vector<std::vector<std::string>> documents;
+  documents.reserve(config.num_examples);
+
+  // Template groups over strong keywords (see header). group_of[i] is the
+  // co-occurrence group of keyword index i.
+  const int group_size = std::max(1, config.signal_group_size);
+  const int num_groups = (s + group_size - 1) / group_size;
+  const int groups_per_doc =
+      std::min(num_groups, std::max(1, config.groups_per_doc));
+
+  for (int n = 0; n < config.num_examples; ++n) {
+    const int y = rng.UniformInt(classes);
+    const int length =
+        std::max(config.min_doc_length, rng.Poisson(config.doc_length_mean));
+    // The document's template: which keyword groups it may draw from.
+    std::vector<int> doc_groups =
+        rng.SampleWithoutReplacement(num_groups, groups_per_doc);
+    // Keyword weights restricted to the chosen groups.
+    std::vector<double> doc_signal_dist(s, 0.0);
+    for (int g : doc_groups) {
+      for (int i = g * group_size; i < std::min(s, (g + 1) * group_size);
+           ++i) {
+        doc_signal_dist[i] = signal_dist[i];
+      }
+    }
+    std::vector<std::string> tokens;
+    tokens.reserve(length);
+    for (int t = 0; t < length; ++t) {
+      const double channel = rng.Uniform();
+      if (channel < config.signal_rate) {
+        // Draw a keyword owned by class y from this document's template
+        // groups, then apply its per-word leak: with probability leak the
+        // document instead shows a keyword owned by a different class (so
+        // that keyword's LF misfires here).
+        const int word = rng.Discrete(doc_signal_dist);
+        int owner = y;
+        if (rng.Bernoulli(signal_leak[y][word])) {
+          owner = rng.UniformInt(classes - 1);
+          if (owner >= y) ++owner;
+        }
+        tokens.push_back(signal_words[owner][word]);
+      } else if (channel < config.signal_rate + config.weak_rate) {
+        const int word = rng.Discrete(weak_dist);
+        int owner = y;
+        if (rng.Bernoulli(weak_leak[y][word])) {
+          owner = rng.UniformInt(classes - 1);
+          if (owner >= y) ++owner;
+        }
+        tokens.push_back(weak_words[owner][word]);
+      } else {
+        tokens.push_back(background_words[rng.Discrete(background_dist)]);
+      }
+    }
+    Example e;
+    e.label = y;
+    if (config.label_noise > 0.0 && rng.Bernoulli(config.label_noise)) {
+      int flipped = rng.UniformInt(classes - 1);
+      if (flipped >= e.label) ++flipped;
+      e.label = flipped;
+    }
+    std::string text;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i > 0) text += ' ';
+      text += tokens[i];
+    }
+    e.text = std::move(text);
+    examples.push_back(std::move(e));
+    documents.push_back(std::move(tokens));
+  }
+
+  Vocabulary vocab = Vocabulary::Build(documents, /*min_doc_count=*/2);
+
+  // Index each document against the vocabulary.
+  for (int n = 0; n < config.num_examples; ++n) {
+    std::map<int, int> counts;
+    for (const auto& token : documents[n]) {
+      const int id = vocab.GetId(token);
+      if (id != Vocabulary::kUnknownId) ++counts[id];
+    }
+    auto& tc = examples[n].term_counts;
+    tc.reserve(counts.size());
+    for (const auto& [id, count] : counts) tc.emplace_back(id, count);
+  }
+
+  DatasetMeta meta;
+  meta.name = config.name;
+  meta.task_description = config.task_description;
+  meta.task = TaskType::kTextClassification;
+  meta.num_classes = classes;
+  for (int y = 0; y < classes; ++y) {
+    meta.class_names.push_back("class" + std::to_string(y));
+  }
+
+  Dataset dataset(std::move(meta), std::move(examples));
+  dataset.set_vocabulary(std::move(vocab));
+  return dataset;
+}
+
+}  // namespace activedp

@@ -1,0 +1,64 @@
+#ifndef ACTIVEDP_DATA_SYNTHETIC_TEXT_H_
+#define ACTIVEDP_DATA_SYNTHETIC_TEXT_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace activedp {
+
+/// Configuration of the class-conditional keyword generative model that
+/// stands in for the paper's real text corpora (YouTube Spam, IMDB, Yelp,
+/// Amazon, BiasBios). Each class has `signal_words_per_class` indicative
+/// keywords; each keyword carries its own cross-class leak probability drawn
+/// from [confusion_min, confusion_max], so keyword label functions span a
+/// spectrum of accuracies exactly as they do on real data. `label_noise`
+/// flips a fraction of ground-truth labels, setting the irreducible error
+/// (how "hard" the dataset is for the downstream model).
+struct SyntheticTextConfig {
+  std::string name = "synthetic-text";
+  std::string task_description = "synthetic classification";
+  int num_examples = 2000;
+  int num_classes = 2;
+  /// Strong keywords: the LF-usable channel. Each word's leak is drawn from
+  /// [confusion_min, confusion_max], giving keyword LFs accuracies roughly
+  /// in [1-confusion_max, 1-confusion_min].
+  int signal_words_per_class = 60;
+  double signal_rate = 0.25;
+  double confusion_min = 0.05;
+  double confusion_max = 0.30;
+  /// Template structure: each class's strong keywords are partitioned into
+  /// co-occurrence groups of this size, and every document draws its strong
+  /// keywords from `groups_per_doc` randomly chosen groups. Keywords within
+  /// a group therefore co-occur heavily — like "check"/"channel" in one spam
+  /// template — giving the label model the correlated, dependency-violating
+  /// LFs that LabelPick's Markov blanket exists to prune (§3.4). Set
+  /// signal_group_size <= 1 for independent keywords.
+  int signal_group_size = 4;
+  int groups_per_doc = 6;
+  /// Weak cue words: individually too noisy for an LF (leak drawn from
+  /// [weak_confusion_min, weak_confusion_max], putting their accuracy below
+  /// the 0.6 candidate threshold) but collectively informative — the
+  /// distributional signal only a trained feature model can exploit. This
+  /// is what lets active learning overtake pure data programming at large
+  /// budgets, as on the paper's real datasets.
+  int weak_words_per_class = 80;
+  double weak_rate = 0.35;
+  double weak_confusion_min = 0.40;
+  double weak_confusion_max = 0.48;
+  int background_words = 400;
+  /// Fraction of documents whose label is flipped after generation.
+  double label_noise = 0.05;
+  double doc_length_mean = 18.0;
+  int min_doc_length = 4;
+};
+
+/// Generates a dataset from the keyword mixture model. The dataset's
+/// vocabulary is built from the generated corpus, so downstream TF-IDF and
+/// keyword-LF machinery run exactly as they would on real text.
+Dataset GenerateSyntheticText(const SyntheticTextConfig& config, Rng& rng);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_DATA_SYNTHETIC_TEXT_H_

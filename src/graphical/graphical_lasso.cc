@@ -1,0 +1,106 @@
+#include "graphical/graphical_lasso.h"
+
+#include <cmath>
+
+#include "graphical/lasso.h"
+#include "util/check.h"
+
+namespace activedp {
+
+Result<GraphicalLassoResult> GraphicalLasso(
+    const Matrix& sample_covariance, const GraphicalLassoOptions& options) {
+  const int p = sample_covariance.rows();
+  if (sample_covariance.cols() != p)
+    return Status::InvalidArgument("covariance must be square");
+  if (p < 2) return Status::InvalidArgument("need at least 2 variables");
+  if (options.rho < 0.0)
+    return Status::InvalidArgument("rho must be non-negative");
+
+  const Matrix& s = sample_covariance;
+  // W starts at S with rho added to the diagonal (keeps W positive definite
+  // even for degenerate S, e.g. constant columns).
+  Matrix w = s;
+  for (int j = 0; j < p; ++j) w(j, j) += options.rho;
+
+  // Per-column lasso coefficients, kept across sweeps for warm starts and
+  // for the final precision reconstruction.
+  std::vector<std::vector<double>> betas(p, std::vector<double>(p - 1, 0.0));
+
+  Matrix w11(p - 1, p - 1);
+  std::vector<double> s12(p - 1);
+  int iterations = 0;
+  for (; iterations < options.max_iterations; ++iterations) {
+    double max_change = 0.0;
+    for (int col = 0; col < p; ++col) {
+      // Partition: w11 = W without row/col `col`; s12 = S column `col`.
+      for (int i = 0, ii = 0; i < p; ++i) {
+        if (i == col) continue;
+        for (int j = 0, jj = 0; j < p; ++j) {
+          if (j == col) continue;
+          w11(ii, jj) = w(i, j);
+          ++jj;
+        }
+        ++ii;
+      }
+      for (int i = 0, ii = 0; i < p; ++i) {
+        if (i == col) continue;
+        s12[ii++] = s(i, col);
+      }
+
+      std::vector<double> beta =
+          LassoQuadratic(w11, s12, options.rho, options.lasso_max_iterations,
+                         options.lasso_tolerance);
+      // w12 = W11 * beta.
+      for (int i = 0, ii = 0; i < p; ++i) {
+        if (i == col) continue;
+        double val = 0.0;
+        for (int jj = 0; jj < p - 1; ++jj) val += w11(ii, jj) * beta[jj];
+        max_change = std::max(max_change, std::fabs(w(i, col) - val));
+        w(i, col) = val;
+        w(col, i) = val;
+        ++ii;
+      }
+      betas[col] = std::move(beta);
+    }
+    if (max_change < options.tolerance) {
+      ++iterations;
+      break;
+    }
+  }
+
+  // Reconstruct Theta from the final W and betas:
+  //   theta_cc = 1 / (w_cc - w12' beta),  theta_12 = -beta * theta_cc.
+  Matrix theta(p, p);
+  for (int col = 0; col < p; ++col) {
+    double w12_beta = 0.0;
+    for (int i = 0, ii = 0; i < p; ++i) {
+      if (i == col) continue;
+      w12_beta += w(i, col) * betas[col][ii++];
+    }
+    const double denom = w(col, col) - w12_beta;
+    if (denom <= 0.0)
+      return Status::Internal("graphical lasso: non-positive pivot");
+    const double theta_cc = 1.0 / denom;
+    theta(col, col) = theta_cc;
+    for (int i = 0, ii = 0; i < p; ++i) {
+      if (i == col) continue;
+      theta(i, col) = -betas[col][ii++] * theta_cc;
+    }
+  }
+  // Symmetrize by averaging the two directed estimates.
+  for (int i = 0; i < p; ++i) {
+    for (int j = i + 1; j < p; ++j) {
+      const double avg = 0.5 * (theta(i, j) + theta(j, i));
+      theta(i, j) = avg;
+      theta(j, i) = avg;
+    }
+  }
+
+  GraphicalLassoResult result;
+  result.covariance = std::move(w);
+  result.precision = std::move(theta);
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace activedp

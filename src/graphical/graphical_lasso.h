@@ -1,0 +1,37 @@
+#ifndef ACTIVEDP_GRAPHICAL_GRAPHICAL_LASSO_H_
+#define ACTIVEDP_GRAPHICAL_GRAPHICAL_LASSO_H_
+
+#include "math/matrix.h"
+#include "util/result.h"
+
+namespace activedp {
+
+struct GraphicalLassoOptions {
+  /// L1 penalty on precision off-diagonals (rho in Friedman et al. 2008).
+  double rho = 0.1;
+  int max_iterations = 100;
+  double tolerance = 1e-4;
+  /// Inner lasso solver controls.
+  int lasso_max_iterations = 500;
+  double lasso_tolerance = 1e-6;
+};
+
+struct GraphicalLassoResult {
+  /// Estimated covariance W (= S + rho adjustments).
+  Matrix covariance;
+  /// Estimated sparse precision matrix Theta = W^{-1}.
+  Matrix precision;
+  int iterations = 0;
+};
+
+/// Sparse inverse covariance estimation via the block-coordinate descent
+/// algorithm of Friedman, Hastie & Tibshirani (2008) — the method the paper
+/// cites [8] for LabelPick's dependency-structure learning (§3.4). Input is
+/// a sample covariance matrix; the result's precision zeros encode
+/// conditional independences.
+Result<GraphicalLassoResult> GraphicalLasso(
+    const Matrix& sample_covariance, const GraphicalLassoOptions& options);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_GRAPHICAL_GRAPHICAL_LASSO_H_

@@ -1,0 +1,87 @@
+#include "graphical/lasso.h"
+
+#include <cmath>
+
+namespace activedp {
+
+double SoftThreshold(double z, double threshold) {
+  if (z > threshold) return z - threshold;
+  if (z < -threshold) return z + threshold;
+  return 0.0;
+}
+
+Result<std::vector<double>> LassoRegression(const Matrix& x,
+                                            const std::vector<double>& y,
+                                            const LassoOptions& options) {
+  const int n = x.rows();
+  const int p = x.cols();
+  if (n == 0 || p == 0) return Status::InvalidArgument("empty design matrix");
+  if (static_cast<int>(y.size()) != n)
+    return Status::InvalidArgument("y length mismatch");
+
+  // Precompute column norms and X'y / n.
+  std::vector<double> col_sq(p, 0.0), xty(p, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = x.RowPtr(i);
+    for (int j = 0; j < p; ++j) {
+      col_sq[j] += row[j] * row[j];
+      xty[j] += row[j] * y[i];
+    }
+  }
+  for (int j = 0; j < p; ++j) {
+    col_sq[j] /= n;
+    xty[j] /= n;
+  }
+
+  std::vector<double> beta(p, 0.0);
+  std::vector<double> residual = y;  // y - X beta
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (int j = 0; j < p; ++j) {
+      if (col_sq[j] <= 0.0) continue;  // constant-zero column
+      // rho_j = (1/n) x_j' (residual + x_j beta_j).
+      double rho = 0.0;
+      for (int i = 0; i < n; ++i) rho += x(i, j) * residual[i];
+      rho = rho / n + col_sq[j] * beta[j];
+      const double new_beta = SoftThreshold(rho, options.lambda) / col_sq[j];
+      const double delta = new_beta - beta[j];
+      if (delta != 0.0) {
+        for (int i = 0; i < n; ++i) residual[i] -= delta * x(i, j);
+        beta[j] = new_beta;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < options.tolerance) break;
+  }
+  return beta;
+}
+
+std::vector<double> LassoQuadratic(const Matrix& w11,
+                                   const std::vector<double>& s12,
+                                   double lambda, int max_iterations,
+                                   double tolerance) {
+  const int p = w11.rows();
+  CHECK_EQ(w11.cols(), p);
+  CHECK_EQ(static_cast<int>(s12.size()), p);
+  std::vector<double> beta(p, 0.0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (int j = 0; j < p; ++j) {
+      const double wjj = w11(j, j);
+      if (wjj <= 0.0) continue;
+      double grad = s12[j];
+      const double* row = w11.RowPtr(j);
+      for (int k = 0; k < p; ++k) {
+        if (k != j) grad -= row[k] * beta[k];
+      }
+      const double new_beta = SoftThreshold(grad, lambda) / wjj;
+      const double delta = std::fabs(new_beta - beta[j]);
+      beta[j] = new_beta;
+      max_delta = std::max(max_delta, delta);
+    }
+    if (max_delta < tolerance) break;
+  }
+  return beta;
+}
+
+}  // namespace activedp

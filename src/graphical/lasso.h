@@ -1,0 +1,38 @@
+#ifndef ACTIVEDP_GRAPHICAL_LASSO_H_
+#define ACTIVEDP_GRAPHICAL_LASSO_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/result.h"
+
+namespace activedp {
+
+struct LassoOptions {
+  double lambda = 0.1;
+  int max_iterations = 1000;
+  double tolerance = 1e-6;
+};
+
+/// L1-penalized least squares min_b (1/2n)||y - X b||^2 + lambda ||b||_1
+/// solved by cyclic coordinate descent with soft-thresholding. No intercept;
+/// center inputs beforehand if needed. Substrate of the graphical lasso and
+/// of Meinshausen–Bühlmann neighbourhood selection.
+Result<std::vector<double>> LassoRegression(const Matrix& x,
+                                            const std::vector<double>& y,
+                                            const LassoOptions& options);
+
+/// Soft-thresholding operator S(z, t) = sign(z) * max(|z| - t, 0).
+double SoftThreshold(double z, double threshold);
+
+/// Solves the graphical-lasso column subproblem
+///   min_b (1/2) b' W11 b - s12' b + lambda ||b||_1
+/// by coordinate descent. `w11` is (p-1)x(p-1) SPD-ish, `s12` length p-1.
+std::vector<double> LassoQuadratic(const Matrix& w11,
+                                   const std::vector<double>& s12,
+                                   double lambda, int max_iterations,
+                                   double tolerance);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_GRAPHICAL_LASSO_H_

@@ -1,0 +1,39 @@
+#ifndef ACTIVEDP_GRAPHICAL_MARKOV_BLANKET_H_
+#define ACTIVEDP_GRAPHICAL_MARKOV_BLANKET_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// How LabelPick extracts the label's Markov blanket (§3.4; DESIGN.md
+/// ablation): full graphical lasso over all variables, or the
+/// Meinshausen–Bühlmann fast path (a single lasso regression of the target
+/// on the others, whose non-zero coefficients are the blanket).
+enum class BlanketMethod { kGraphicalLasso, kNeighborhoodSelection };
+
+struct MarkovBlanketOptions {
+  BlanketMethod method = BlanketMethod::kGraphicalLasso;
+  /// L1 penalty (graphical-lasso rho / lasso lambda).
+  double penalty = 0.05;
+  /// |precision entry| (or |coefficient|) above this counts as an edge.
+  double edge_tolerance = 1e-6;
+};
+
+/// Indices adjacent to `target` in the precision matrix (edge iff
+/// |Theta(i, target)| > tolerance).
+std::vector<int> BlanketFromPrecision(const Matrix& precision, int target,
+                                      double tolerance);
+
+/// Computes the Markov blanket of column `target` of `data` (rows =
+/// observations). Columns are standardized internally; constant columns can
+/// never enter the blanket. Falls back to neighbourhood selection if the
+/// graphical lasso fails numerically.
+Result<std::vector<int>> MarkovBlanket(const Matrix& data, int target,
+                                       const MarkovBlanketOptions& options);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_GRAPHICAL_MARKOV_BLANKET_H_

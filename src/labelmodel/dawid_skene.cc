@@ -1,0 +1,156 @@
+#include "labelmodel/dawid_skene.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/check.h"
+
+namespace activedp {
+
+int DawidSkeneModel::OutcomeIndex(int weak_label) const {
+  if (weak_label == kAbstain) {
+    return options_.model_abstentions ? num_classes_ : -1;
+  }
+  return weak_label;
+}
+
+Status DawidSkeneModel::Fit(const LabelMatrix& matrix, int num_classes) {
+  return FitSemiSupervised(matrix, num_classes, {}, {});
+}
+
+Status DawidSkeneModel::FitSemiSupervised(
+    const LabelMatrix& matrix, int num_classes,
+    const std::vector<int>& labeled_rows,
+    const std::vector<int>& labeled_values) {
+  if (num_classes < 2) return Status::InvalidArgument("need >= 2 classes");
+  if (matrix.num_cols() == 0)
+    return Status::InvalidArgument("label matrix has no LF columns");
+  if (labeled_rows.size() != labeled_values.size())
+    return Status::InvalidArgument("labeled rows/values size mismatch");
+  num_classes_ = num_classes;
+  const int n = matrix.num_rows();
+  const int m = matrix.num_cols();
+
+  // Anchor map: row -> known label.
+  std::vector<int> anchor(n, -1);
+  for (size_t i = 0; i < labeled_rows.size(); ++i) {
+    if (labeled_rows[i] < 0 || labeled_rows[i] >= n)
+      return Status::OutOfRange("labeled row out of range");
+    if (labeled_values[i] < 0 || labeled_values[i] >= num_classes)
+      return Status::InvalidArgument("labeled value out of range");
+    anchor[labeled_rows[i]] = labeled_values[i];
+  }
+  const int outcomes =
+      options_.model_abstentions ? num_classes + 1 : num_classes;
+
+  // Initialize posteriors from (soft) majority vote; anchored rows are
+  // pinned to their known label.
+  std::vector<std::vector<double>> q(n,
+                                     std::vector<double>(num_classes, 0.0));
+  for (int i = 0; i < n; ++i) {
+    if (anchor[i] >= 0) {
+      q[i][anchor[i]] = 1.0;
+      continue;
+    }
+    double active = 0.0;
+    for (int j = 0; j < m; ++j) {
+      const int l = matrix.At(i, j);
+      if (l == kAbstain) continue;
+      q[i][l] += 1.0;
+      active += 1.0;
+    }
+    if (active > 0.0) {
+      for (double& p : q[i]) p /= active;
+    } else {
+      for (double& p : q[i]) p = 1.0 / num_classes;
+    }
+  }
+
+  priors_.assign(num_classes, 1.0 / num_classes);
+  confusions_.assign(m, Matrix(num_classes, outcomes));
+  double prev_loglik = -1e300;
+
+  for (iterations_run_ = 0; iterations_run_ < options_.max_iterations;
+       ++iterations_run_) {
+    // M-step: priors and outcome distributions from current posteriors.
+    std::vector<double> prior_counts(num_classes, options_.smoothing);
+    for (int i = 0; i < n; ++i) {
+      for (int c = 0; c < num_classes; ++c) prior_counts[c] += q[i][c];
+    }
+    const double prior_total = Sum(prior_counts);
+    for (int c = 0; c < num_classes; ++c) {
+      priors_[c] = prior_counts[c] / prior_total;
+    }
+    for (int j = 0; j < m; ++j) {
+      int activations = 0;
+      for (int i = 0; i < n; ++i) {
+        if (matrix.At(i, j) != kAbstain) ++activations;
+      }
+      const double anchor =
+          options_.diagonal_prior +
+          options_.diagonal_prior_fraction * activations;
+      Matrix counts(num_classes, outcomes, options_.smoothing);
+      for (int c = 0; c < num_classes; ++c) {
+        counts(c, c) += anchor;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int l = OutcomeIndex(matrix.At(i, j));
+        if (l < 0) continue;
+        for (int c = 0; c < num_classes; ++c) counts(c, l) += q[i][c];
+      }
+      for (int c = 0; c < num_classes; ++c) {
+        double row_total = 0.0;
+        for (int l = 0; l < outcomes; ++l) row_total += counts(c, l);
+        for (int l = 0; l < outcomes; ++l) {
+          confusions_[j](c, l) = counts(c, l) / row_total;
+        }
+      }
+    }
+
+    // E-step: posteriors from parameters; track the data log-likelihood.
+    double loglik = 0.0;
+    std::vector<double> log_post(num_classes);
+    for (int i = 0; i < n; ++i) {
+      for (int c = 0; c < num_classes; ++c) {
+        log_post[c] = std::log(priors_[c]);
+      }
+      for (int j = 0; j < m; ++j) {
+        const int l = OutcomeIndex(matrix.At(i, j));
+        if (l < 0) continue;
+        for (int c = 0; c < num_classes; ++c) {
+          log_post[c] += std::log(confusions_[j](c, l));
+        }
+      }
+      const double lse = LogSumExp(log_post);
+      loglik += lse;
+      if (anchor[i] >= 0) continue;  // clamped posterior
+      for (int c = 0; c < num_classes; ++c) {
+        q[i][c] = std::exp(log_post[c] - lse);
+      }
+    }
+    if (std::fabs(loglik - prev_loglik) <
+        options_.tolerance * (std::fabs(loglik) + 1.0)) {
+      break;
+    }
+    prev_loglik = loglik;
+  }
+  return Status::Ok();
+}
+
+std::vector<double> DawidSkeneModel::PredictProba(
+    const std::vector<int>& weak_labels) const {
+  CHECK_GT(num_classes_, 0) << "Fit before PredictProba";
+  CHECK_EQ(weak_labels.size(), confusions_.size());
+  std::vector<double> log_post(num_classes_);
+  for (int c = 0; c < num_classes_; ++c) log_post[c] = std::log(priors_[c]);
+  for (size_t j = 0; j < weak_labels.size(); ++j) {
+    const int l = OutcomeIndex(weak_labels[j]);
+    if (l < 0) continue;
+    for (int c = 0; c < num_classes_; ++c) {
+      log_post[c] += std::log(confusions_[j](c, l));
+    }
+  }
+  return Softmax(log_post);
+}
+
+}  // namespace activedp

@@ -1,0 +1,84 @@
+#ifndef ACTIVEDP_LABELMODEL_DAWID_SKENE_H_
+#define ACTIVEDP_LABELMODEL_DAWID_SKENE_H_
+
+#include <string>
+#include <vector>
+
+#include "labelmodel/label_model.h"
+#include "math/matrix.h"
+
+namespace activedp {
+
+struct DawidSkeneOptions {
+  /// EM is early-stopped by default (standard weak-supervision practice):
+  /// the majority-vote initialization is close to the good solution, and on
+  /// matrices with correlated LF activations long EM runs drift toward a
+  /// latent factor other than the class.
+  int max_iterations = 5;
+  double tolerance = 1e-5;
+  /// Pseudo-count added to every confusion-matrix cell.
+  double smoothing = 0.5;
+  /// Extra pseudo-count on the vote diagonal, encoding the better-than-
+  /// random prior on LFs. Without it EM drifts to a degenerate optimum on
+  /// weak-supervision matrices where most covered rows carry a single vote
+  /// or LF activations are correlated (EM then tracks a latent factor other
+  /// than the class); the diagonal anchor is the EM analogue of MeTaL's
+  /// positive-accuracy sign assumption. The effective pseudo-count per LF is
+  /// diagonal_prior + diagonal_prior_fraction * (its activation count), so
+  /// the anchor keeps pace with the evidence.
+  double diagonal_prior = 2.0;
+  double diagonal_prior_fraction = 0.1;
+  /// Model abstention as an explicit outcome, i.e. learn
+  /// P(λ_j = abstain | Y = c). Weak-supervision LFs typically have class-
+  /// conditional *activation* (a "spam"-keyword LF fires almost only on
+  /// spam), so discarding abstains — the classic crowdsourcing assumption —
+  /// throws away most of the signal of single-polarity LFs.
+  bool model_abstentions = true;
+};
+
+/// Generative aggregator in the Dawid & Skene (1979) family: each LF j has
+/// a class-conditional outcome distribution π_j[c][l] over its votes (and,
+/// by default, its abstentions); parameters and label posteriors are
+/// estimated jointly with EM, initialized from majority vote.
+/// Multiclass-capable.
+class DawidSkeneModel : public LabelModel {
+ public:
+  explicit DawidSkeneModel(DawidSkeneOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const LabelMatrix& matrix, int num_classes) override;
+
+  /// Semi-supervised fit: posteriors of `labeled_rows` are clamped to their
+  /// known `labeled_values` throughout EM, so expert labels steer the
+  /// confusion-matrix estimates — the mechanism behind the Active WeaSuL
+  /// baseline (Biegel et al. 2021), which uses a small labelled subset to
+  /// guide label-model training.
+  Status FitSemiSupervised(const LabelMatrix& matrix, int num_classes,
+                           const std::vector<int>& labeled_rows,
+                           const std::vector<int>& labeled_values);
+
+  std::vector<double> PredictProba(
+      const std::vector<int>& weak_labels) const override;
+  std::string name() const override { return "dawid-skene"; }
+
+  const std::vector<double>& class_priors() const { return priors_; }
+  /// π_j as a num_classes x (num_classes [+1]) matrix; the trailing column
+  /// is the abstain outcome when model_abstentions is on.
+  const Matrix& confusion(int lf_index) const { return confusions_[lf_index]; }
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  /// Outcome column for a weak label (votes map to themselves; abstain maps
+  /// to the trailing column when modelled, or -1 for "skip").
+  int OutcomeIndex(int weak_label) const;
+
+  DawidSkeneOptions options_;
+  int num_classes_ = 0;
+  std::vector<double> priors_;
+  std::vector<Matrix> confusions_;
+  int iterations_run_ = 0;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LABELMODEL_DAWID_SKENE_H_

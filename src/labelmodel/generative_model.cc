@@ -1,0 +1,91 @@
+#include "labelmodel/generative_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "labelmodel/spin_utils.h"
+#include "util/check.h"
+
+namespace activedp {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Status GenerativeModel::Fit(const LabelMatrix& matrix, int num_classes) {
+  if (num_classes != 2) {
+    return Status::InvalidArgument(
+        "GenerativeModel supports binary tasks only");
+  }
+  if (matrix.num_cols() == 0)
+    return Status::InvalidArgument("label matrix has no LF columns");
+
+  const int n = matrix.num_rows();
+  const int m = matrix.num_cols();
+  num_lfs_ = m;
+  thetas_.assign(m, 0.2);  // mildly better-than-random initialization
+  theta0_ = 0.0;
+
+  // Per-row spin lists (sparse) for fast gradient passes.
+  std::vector<std::vector<std::pair<int, double>>> active(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double s = ToSpin(matrix.At(i, j));
+      if (s != 0.0) active[i].emplace_back(j, s);
+    }
+  }
+
+  std::vector<double> grad(m);
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad0 = 0.0;
+
+    // Data term: E_y[λ_j y | λ_i] summed over rows. With y ∈ {-1, +1} and
+    // score(y) = θ_0 y + Σ_j θ_j λ_ij y, the posterior is
+    // p_i = P(y=+1 | λ_i) = sigmoid(2 * score_half) where
+    // score_half = θ_0 + Σ θ_j λ_ij.
+    for (int i = 0; i < n; ++i) {
+      double score_half = theta0_;
+      for (const auto& [j, s] : active[i]) score_half += thetas_[j] * s;
+      const double p = Sigmoid(2.0 * score_half);
+      const double ey = 2.0 * p - 1.0;  // E[y | λ_i]
+      grad0 += ey;
+      for (const auto& [j, s] : active[i]) grad[j] += s * ey;
+    }
+
+    // Model term: n * E_model[λ_j y]. Under the factorized model
+    // E[λ_j y] = 2 sinh(θ_j) / (1 + 2 cosh θ_j); E[y] = tanh(θ_0) under the
+    // class-bias factor alone (the per-LF sums are independent of y).
+    for (int j = 0; j < m; ++j) {
+      const double expected =
+          2.0 * std::sinh(thetas_[j]) / (1.0 + 2.0 * std::cosh(thetas_[j]));
+      grad[j] -= n * expected;
+      grad[j] -= options_.l2 * n * thetas_[j];
+    }
+    grad0 -= n * std::tanh(theta0_);
+
+    const double step = options_.learning_rate / n;
+    for (int j = 0; j < m; ++j) {
+      thetas_[j] = std::clamp(thetas_[j] + step * grad[j],
+                              -options_.theta_clamp, options_.theta_clamp);
+    }
+    theta0_ = std::clamp(theta0_ + step * grad0, -options_.theta_clamp,
+                         options_.theta_clamp);
+  }
+  return Status::Ok();
+}
+
+std::vector<double> GenerativeModel::PredictProba(
+    const std::vector<int>& weak_labels) const {
+  CHECK_GT(num_lfs_, 0) << "Fit before PredictProba";
+  CHECK_EQ(static_cast<int>(weak_labels.size()), num_lfs_);
+  double score_half = theta0_;
+  for (int j = 0; j < num_lfs_; ++j) {
+    score_half += thetas_[j] * ToSpin(weak_labels[j]);
+  }
+  const double p1 = Sigmoid(2.0 * score_half);
+  return {1.0 - p1, p1};
+}
+
+}  // namespace activedp

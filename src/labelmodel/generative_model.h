@@ -1,0 +1,53 @@
+#ifndef ACTIVEDP_LABELMODEL_GENERATIVE_MODEL_H_
+#define ACTIVEDP_LABELMODEL_GENERATIVE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "labelmodel/label_model.h"
+
+namespace activedp {
+
+struct GenerativeModelOptions {
+  int iterations = 300;
+  double learning_rate = 0.05;
+  /// L2 shrinkage on the accuracy parameters.
+  double l2 = 1e-3;
+  /// θ are clamped into [-clamp, clamp] (|θ|=4 already means ~98% accuracy).
+  double theta_clamp = 4.0;
+};
+
+/// The original data-programming generative model (Ratner et al., NeurIPS
+/// 2016 [25]; the Snorkel label model [23]) specialized to binary tasks with
+/// accuracy factors:
+///     P(λ, y) ∝ exp(θ_0 y + Σ_j θ_j λ_j y),   λ_j ∈ {-1, 0, +1}
+/// Because the factors are per-LF, the partition function factorizes
+/// (Σ_{λ_j} exp(θ_j λ_j y) = 1 + 2 cosh θ_j, independent of y), so the
+/// marginal likelihood of the observed weak labels and its gradient are
+/// exact and cheap — no Gibbs sampling needed. Trained by full-batch
+/// gradient ascent on the marginal log-likelihood.
+class GenerativeModel : public LabelModel {
+ public:
+  explicit GenerativeModel(GenerativeModelOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const LabelMatrix& matrix, int num_classes) override;
+  std::vector<double> PredictProba(
+      const std::vector<int>& weak_labels) const override;
+  std::string name() const override { return "generative-dp"; }
+
+  /// Learned accuracy parameter θ_j; the implied accuracy conditional on a
+  /// non-abstain vote is sigmoid(2 θ_j).
+  double theta(int lf_index) const { return thetas_[lf_index]; }
+  double class_bias() const { return theta0_; }
+
+ private:
+  GenerativeModelOptions options_;
+  std::vector<double> thetas_;
+  double theta0_ = 0.0;
+  int num_lfs_ = 0;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LABELMODEL_GENERATIVE_MODEL_H_

@@ -1,0 +1,69 @@
+#include "labelmodel/label_model.h"
+
+#include "labelmodel/dawid_skene.h"
+#include "labelmodel/generative_model.h"
+#include "labelmodel/majority_vote.h"
+#include "labelmodel/metal_completion.h"
+#include "labelmodel/metal_model.h"
+#include "math/vector_ops.h"
+#include "util/string_util.h"
+
+namespace activedp {
+
+std::vector<std::vector<double>> LabelModel::PredictProbaAll(
+    const LabelMatrix& matrix) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(matrix.num_rows());
+  for (int i = 0; i < matrix.num_rows(); ++i) {
+    out.push_back(PredictProba(matrix.Row(i)));
+  }
+  return out;
+}
+
+std::vector<int> LabelModel::PredictAll(const LabelMatrix& matrix) const {
+  std::vector<int> out;
+  out.reserve(matrix.num_rows());
+  for (int i = 0; i < matrix.num_rows(); ++i) {
+    if (!matrix.AnyActive(i)) {
+      out.push_back(kAbstain);
+      continue;
+    }
+    out.push_back(ArgMax(PredictProba(matrix.Row(i))));
+  }
+  return out;
+}
+
+std::unique_ptr<LabelModel> MakeLabelModel(LabelModelType type) {
+  switch (type) {
+    case LabelModelType::kMajorityVote:
+      return std::make_unique<MajorityVoteModel>();
+    case LabelModelType::kDawidSkene:
+      return std::make_unique<DawidSkeneModel>();
+    case LabelModelType::kMetal:
+      return std::make_unique<MetalModel>();
+    case LabelModelType::kMetalCompletion:
+      return std::make_unique<MetalCompletionModel>();
+    case LabelModelType::kGenerative:
+      return std::make_unique<GenerativeModel>();
+  }
+  return std::make_unique<MetalCompletionModel>();
+}
+
+LabelModelType ParseLabelModelType(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "mv" || lower == "majority-vote") {
+    return LabelModelType::kMajorityVote;
+  }
+  if (lower == "ds" || lower == "dawid-skene") {
+    return LabelModelType::kDawidSkene;
+  }
+  if (lower == "metal" || lower == "triplet") {
+    return LabelModelType::kMetal;
+  }
+  if (lower == "generative" || lower == "snorkel" || lower == "dp") {
+    return LabelModelType::kGenerative;
+  }
+  return LabelModelType::kMetalCompletion;
+}
+
+}  // namespace activedp

@@ -1,0 +1,61 @@
+#ifndef ACTIVEDP_LABELMODEL_LABEL_MODEL_H_
+#define ACTIVEDP_LABELMODEL_LABEL_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lf/lf_applier.h"
+#include "util/status.h"
+
+namespace activedp {
+
+/// The generative model of data programming (§2.1): estimates LF accuracies
+/// without ground truth from the weak-label matrix and turns each row of
+/// weak labels into a probabilistic label f_l(x, Λ).
+class LabelModel {
+ public:
+  virtual ~LabelModel() = default;
+
+  /// Fits the model to the training weak-label matrix.
+  virtual Status Fit(const LabelMatrix& matrix, int num_classes) = 0;
+
+  /// Probabilistic label for one row of weak labels (entries in
+  /// {kAbstain, 0..C-1}). On an all-abstain row returns the estimated class
+  /// prior (callers decide coverage semantics separately).
+  virtual std::vector<double> PredictProba(
+      const std::vector<int>& weak_labels) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Probabilistic labels for every row of a matrix.
+  std::vector<std::vector<double>> PredictProbaAll(
+      const LabelMatrix& matrix) const;
+
+  /// Hard labels for every row; kAbstain on rows with no active LF.
+  std::vector<int> PredictAll(const LabelMatrix& matrix) const;
+};
+
+enum class LabelModelType {
+  kMajorityVote,
+  kDawidSkene,
+  /// Robust MeTaL-style moments estimator (median over triplets).
+  kMetal,
+  /// Faithful MeTaL matrix-completion estimator (the paper's label model;
+  /// fragile under dependent LFs like the original).
+  kMetalCompletion,
+  /// Original data-programming generative model (NeurIPS 2016 / Snorkel),
+  /// trained by exact marginal-likelihood gradient ascent.
+  kGenerative,
+};
+
+/// Factory for the configured label-model type.
+std::unique_ptr<LabelModel> MakeLabelModel(LabelModelType type);
+
+/// Parses "mv" / "ds" / "metal" / "metal-mc" (case-insensitive); defaults to
+/// kMetalCompletion on unknown input.
+LabelModelType ParseLabelModelType(const std::string& name);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LABELMODEL_LABEL_MODEL_H_

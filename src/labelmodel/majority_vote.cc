@@ -1,0 +1,60 @@
+#include "labelmodel/majority_vote.h"
+
+#include "util/check.h"
+
+namespace activedp {
+
+Status MajorityVoteModel::Fit(const LabelMatrix& matrix, int num_classes) {
+  if (num_classes < 2) return Status::InvalidArgument("need >= 2 classes");
+  if (matrix.num_cols() == 0)
+    return Status::InvalidArgument("label matrix has no LF columns");
+  num_classes_ = num_classes;
+  // Estimate class priors from per-row majority votes (uniform fallback).
+  std::vector<double> counts(num_classes, 1.0);  // Laplace smoothing
+  for (int i = 0; i < matrix.num_rows(); ++i) {
+    std::vector<double> votes(num_classes, 0.0);
+    bool any = false;
+    for (int j = 0; j < matrix.num_cols(); ++j) {
+      const int l = matrix.At(i, j);
+      if (l == kAbstain) continue;
+      votes[l] += 1.0;
+      any = true;
+    }
+    if (!any) continue;
+    int best = 0;
+    for (int c = 1; c < num_classes; ++c) {
+      if (votes[c] > votes[best]) best = c;
+    }
+    counts[best] += 1.0;
+  }
+  double total = 0.0;
+  for (double c : counts) total += c;
+  priors_.resize(num_classes);
+  for (int c = 0; c < num_classes; ++c) priors_[c] = counts[c] / total;
+  return Status::Ok();
+}
+
+std::vector<double> MajorityVoteModel::PredictProba(
+    const std::vector<int>& weak_labels) const {
+  CHECK_GT(num_classes_, 0) << "Fit before PredictProba";
+  std::vector<double> votes(num_classes_, 0.0);
+  int active = 0;
+  for (int l : weak_labels) {
+    if (l == kAbstain) continue;
+    CHECK_LT(l, num_classes_);
+    votes[l] += 1.0;
+    ++active;
+  }
+  if (active == 0) return priors_;
+  // Blend with a weak prior so ties resolve toward the prior.
+  std::vector<double> proba(num_classes_);
+  double total = 0.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    proba[c] = votes[c] + 0.1 * priors_[c];
+    total += proba[c];
+  }
+  for (double& p : proba) p /= total;
+  return proba;
+}
+
+}  // namespace activedp

@@ -1,0 +1,29 @@
+#ifndef ACTIVEDP_LABELMODEL_MAJORITY_VOTE_H_
+#define ACTIVEDP_LABELMODEL_MAJORITY_VOTE_H_
+
+#include <string>
+#include <vector>
+
+#include "labelmodel/label_model.h"
+
+namespace activedp {
+
+/// Baseline label model: each active LF casts one vote; the probabilistic
+/// label is the normalized vote histogram blended with a weak prior.
+class MajorityVoteModel : public LabelModel {
+ public:
+  Status Fit(const LabelMatrix& matrix, int num_classes) override;
+  std::vector<double> PredictProba(
+      const std::vector<int>& weak_labels) const override;
+  std::string name() const override { return "majority-vote"; }
+
+  const std::vector<double>& class_priors() const { return priors_; }
+
+ private:
+  int num_classes_ = 0;
+  std::vector<double> priors_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LABELMODEL_MAJORITY_VOTE_H_

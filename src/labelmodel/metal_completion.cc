@@ -1,0 +1,151 @@
+#include "labelmodel/metal_completion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "labelmodel/spin_utils.h"
+#include "math/linalg.h"
+#include "math/matrix.h"
+#include "util/check.h"
+
+namespace activedp {
+
+Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
+  if (num_classes != 2) {
+    return Status::InvalidArgument(
+        "MetalCompletionModel supports binary tasks only");
+  }
+  if (matrix.num_cols() == 0)
+    return Status::InvalidArgument("label matrix has no LF columns");
+
+  const int n = matrix.num_rows();
+  const int m = matrix.num_cols();
+  num_lfs_ = m;
+
+  if (m < options_.min_lfs_for_completion) {
+    fallback_.emplace();
+    return fallback_->Fit(matrix, num_classes);
+  }
+  fallback_.reset();
+
+  // Spin means, coverages and class balance via majority vote.
+  std::vector<double> mean(m, 0.0), coverage(m, 0.0);
+  double mv_positive = 1.0, mv_total = 2.0;  // Laplace
+  for (int i = 0; i < n; ++i) {
+    double vote = 0.0;
+    for (int j = 0; j < m; ++j) {
+      const double s = ToSpin(matrix.At(i, j));
+      mean[j] += s;
+      if (s != 0.0) coverage[j] += 1.0;
+      vote += s;
+    }
+    if (vote != 0.0) {
+      mv_total += 1.0;
+      if (vote > 0.0) mv_positive += 1.0;
+    }
+  }
+  for (int j = 0; j < m; ++j) {
+    mean[j] /= n;
+    coverage[j] /= n;
+  }
+  positive_prior_ = mv_positive / mv_total;
+  const double ey = 2.0 * positive_prior_ - 1.0;
+  const double var_y = std::max(1e-3, 1.0 - ey * ey);
+
+  // Spin covariance with a ridge (abstains contribute 0 spins).
+  Matrix sigma(m, m);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double sj = ToSpin(matrix.At(i, j)) - mean[j];
+      if (sj == 0.0) continue;
+      for (int k = j; k < m; ++k) {
+        sigma(j, k) += sj * (ToSpin(matrix.At(i, k)) - mean[k]);
+      }
+    }
+  }
+  for (int j = 0; j < m; ++j) {
+    for (int k = j; k < m; ++k) {
+      sigma(j, k) /= n;
+      sigma(k, j) = sigma(j, k);
+    }
+    sigma(j, j) += options_.ridge;
+  }
+
+  ASSIGN_OR_RETURN(Matrix k_matrix, InverseSpd(sigma));
+
+  // Rank-one completion: minimize L(z) = sum_{i != j} (K_ij + z_i z_j)^2 by
+  // gradient descent. Initialize from sqrt of |K| row means with the
+  // better-than-random sign convention.
+  std::vector<double> z(m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < m; ++j) {
+      if (j != i) acc += std::fabs(k_matrix(i, j));
+    }
+    z[i] = std::sqrt(acc / std::max(1, m - 1)) + 1e-3;
+  }
+  // Scale the step size by the magnitude of K so a badly conditioned
+  // covariance (e.g. duplicated LFs pushing Σ toward singularity) cannot
+  // blow the iteration up, and keep z in a sane box.
+  double max_abs_k = 1.0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (j != i) max_abs_k = std::max(max_abs_k, std::fabs(k_matrix(i, j)));
+    }
+  }
+  const double step = options_.gd_learning_rate / max_abs_k;
+  std::vector<double> grad(m);
+  for (int iter = 0; iter < options_.gd_iterations; ++iter) {
+    // grad_i = 4 * sum_{j != i} (K_ij + z_i z_j) z_j.
+    for (int i = 0; i < m; ++i) {
+      double g = 0.0;
+      for (int j = 0; j < m; ++j) {
+        if (j == i) continue;
+        g += (k_matrix(i, j) + z[i] * z[j]) * z[j];
+      }
+      grad[i] = 4.0 * g;
+    }
+    for (int i = 0; i < m; ++i) {
+      z[i] = std::clamp(z[i] - step * grad[i], -100.0, 100.0);
+    }
+  }
+
+  // Cov(λ, Y) = Σ_O z / sqrt(d) with d = (1 + z' Σ_O z) / Var(Y).
+  std::vector<double> sigma_z = sigma.MultiplyVector(z);
+  double ztsz = 0.0;
+  for (int i = 0; i < m; ++i) ztsz += z[i] * sigma_z[i];
+  const double d = std::max(1e-6, (1.0 + ztsz) / var_y);
+  std::vector<double> cov_ly(m);
+  for (int i = 0; i < m; ++i) cov_ly[i] = sigma_z[i] / std::sqrt(d);
+
+  // Global sign: LFs are better than random on average.
+  double sign_probe = 0.0;
+  for (int i = 0; i < m; ++i) sign_probe += cov_ly[i];
+  const double sign = sign_probe >= 0.0 ? 1.0 : -1.0;
+
+  // a_i = E[λ_i Y | active] = (Cov(λ_i, Y) + E[λ_i] E[Y]) / coverage_i.
+  accuracies_.assign(m, 0.0);
+  bool finite = true;
+  for (int i = 0; i < m; ++i) {
+    if (coverage[i] <= 0.0) continue;
+    const double e_ly = sign * cov_ly[i] + mean[i] * ey;
+    accuracies_[i] = std::clamp(e_ly / coverage[i], -options_.accuracy_clamp,
+                                options_.accuracy_clamp);
+    if (!std::isfinite(accuracies_[i])) finite = false;
+  }
+  if (!finite) {
+    // The completion solve diverged; fall back to the robust estimator.
+    fallback_.emplace();
+    return fallback_->Fit(matrix, num_classes);
+  }
+  return Status::Ok();
+}
+
+std::vector<double> MetalCompletionModel::PredictProba(
+    const std::vector<int>& weak_labels) const {
+  CHECK_GT(num_lfs_, 0) << "Fit before PredictProba";
+  if (fallback_.has_value()) return fallback_->PredictProba(weak_labels);
+  return SpinNaiveBayesProba(accuracies_, positive_prior_, weak_labels);
+}
+
+}  // namespace activedp

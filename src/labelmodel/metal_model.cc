@@ -1,0 +1,124 @@
+#include "labelmodel/metal_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "labelmodel/spin_utils.h"
+#include "math/matrix.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace activedp {
+
+Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
+  if (num_classes != 2) {
+    return Status::InvalidArgument(
+        "MetalModel supports binary tasks only; use DawidSkeneModel for "
+        "multiclass");
+  }
+  if (matrix.num_cols() == 0)
+    return Status::InvalidArgument("label matrix has no LF columns");
+
+  const int n = matrix.num_rows();
+  const int m = matrix.num_cols();
+  num_lfs_ = m;
+
+  // Per-row active (column, spin) lists keep the pairwise pass
+  // O(sum_i |active_i|^2) instead of O(n m^2).
+  Matrix pair_sum(m, m);
+  Matrix pair_count(m, m);
+  std::vector<std::pair<int, double>> active;
+  std::vector<double> mv_spin(n, 0.0);  // majority-vote spin per row
+  for (int i = 0; i < n; ++i) {
+    active.clear();
+    double vote = 0.0;
+    for (int j = 0; j < m; ++j) {
+      const double s = ToSpin(matrix.At(i, j));
+      if (s == 0.0) continue;
+      active.emplace_back(j, s);
+      vote += s;
+    }
+    mv_spin[i] = vote > 0.0 ? 1.0 : (vote < 0.0 ? -1.0 : 0.0);
+    for (size_t a = 0; a < active.size(); ++a) {
+      for (size_t b = a + 1; b < active.size(); ++b) {
+        const int ja = active[a].first, jb = active[b].first;
+        pair_sum(ja, jb) += active[a].second * active[b].second;
+        pair_count(ja, jb) += 1.0;
+      }
+    }
+  }
+
+  auto moment = [&](int i, int j, double* out) {
+    const int a = std::min(i, j), b = std::max(i, j);
+    if (pair_count(a, b) < options_.min_pair_count) return false;
+    *out = pair_sum(a, b) / pair_count(a, b);
+    return true;
+  };
+
+  // Class balance from majority vote.
+  double pos = 1.0, total = 2.0;  // Laplace smoothing
+  for (int i = 0; i < n; ++i) {
+    if (mv_spin[i] == 0.0) continue;
+    total += 1.0;
+    if (mv_spin[i] > 0.0) pos += 1.0;
+  }
+  positive_prior_ = pos / total;
+
+  // Agreement-with-majority-vote fallback accuracies.
+  std::vector<double> fallback(m, 0.5);
+  for (int j = 0; j < m; ++j) {
+    double agree = 0.0, count = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double s = ToSpin(matrix.At(i, j));
+      if (s == 0.0 || mv_spin[i] == 0.0) continue;
+      count += 1.0;
+      agree += s * mv_spin[i];
+    }
+    fallback[j] = count > 0.0 ? agree / count : 0.5;
+  }
+
+  Rng rng(options_.seed);
+  accuracies_.assign(m, 0.0);
+  const double kMinMoment = 1e-3;
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> estimates;
+    // Try up to max_triplets random (j, k) companions.
+    for (int trial = 0;
+         trial < options_.max_triplets_per_lf && m >= 3; ++trial) {
+      int j = rng.UniformInt(m - 1);
+      if (j >= i) ++j;
+      int k = rng.UniformInt(m - 1);
+      if (k >= i) ++k;
+      if (k == j) continue;
+      double mij, mik, mjk;
+      if (!moment(i, j, &mij) || !moment(i, k, &mik) || !moment(j, k, &mjk))
+        continue;
+      if (std::fabs(mjk) < kMinMoment) continue;
+      const double sq = std::fabs(mij * mik / mjk);
+      estimates.push_back(std::sqrt(sq));
+    }
+    double a;
+    if (!estimates.empty()) {
+      std::nth_element(estimates.begin(),
+                       estimates.begin() + estimates.size() / 2,
+                       estimates.end());
+      a = estimates[estimates.size() / 2];
+    } else {
+      a = fallback[i];
+    }
+    // Better-than-random sign assumption; keep magnitude within the clamp.
+    accuracies_[i] =
+        std::clamp(a, -options_.accuracy_clamp, options_.accuracy_clamp);
+    if (accuracies_[i] < 0.0) accuracies_[i] = 0.0;
+  }
+  return Status::Ok();
+}
+
+std::vector<double> MetalModel::PredictProba(
+    const std::vector<int>& weak_labels) const {
+  CHECK_GT(num_lfs_, 0) << "Fit before PredictProba";
+  CHECK_EQ(static_cast<int>(weak_labels.size()), num_lfs_);
+  return SpinNaiveBayesProba(accuracies_, positive_prior_, weak_labels);
+}
+
+}  // namespace activedp

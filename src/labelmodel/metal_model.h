@@ -1,0 +1,55 @@
+#ifndef ACTIVEDP_LABELMODEL_METAL_MODEL_H_
+#define ACTIVEDP_LABELMODEL_METAL_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labelmodel/label_model.h"
+
+namespace activedp {
+
+struct MetalModelOptions {
+  /// Minimum number of co-activations before a pairwise moment is trusted.
+  int min_pair_count = 5;
+  /// Maximum number of (j, k) triplet pairs sampled per LF.
+  int max_triplets_per_lf = 64;
+  /// Accuracy parameters are clamped into [-clamp, clamp].
+  double accuracy_clamp = 0.95;
+  uint64_t seed = 13;
+};
+
+/// MeTaL-style method-of-moments label model for binary tasks (the role
+/// MeTaL [24] plays in the paper, §4.1.3). LF outputs are mapped to
+/// {-1,0,+1}; under conditional independence the pairwise moments satisfy
+/// E[v_i v_j] = a_i a_j where a_i = E[v_i Y | v_i active] is LF i's
+/// accuracy parameter, so |a_i| is recovered in closed form from triplets
+/// (i,j,k) as sqrt(|M_ij M_ik / M_jk|) — the same moment system MeTaL's
+/// matrix completion solves. Signs follow the better-than-random
+/// assumption; LFs with insufficient co-activation fall back to
+/// agreement-with-majority-vote estimates. All eight paper datasets are
+/// binary; multiclass aggregation is available via DawidSkeneModel.
+class MetalModel : public LabelModel {
+ public:
+  explicit MetalModel(MetalModelOptions options = {}) : options_(options) {}
+
+  Status Fit(const LabelMatrix& matrix, int num_classes) override;
+  std::vector<double> PredictProba(
+      const std::vector<int>& weak_labels) const override;
+  std::string name() const override { return "metal"; }
+
+  /// Recovered accuracy parameter a_j in [-clamp, clamp]; the implied LF
+  /// accuracy is (1 + a_j) / 2.
+  double accuracy_param(int lf_index) const { return accuracies_[lf_index]; }
+  double positive_prior() const { return positive_prior_; }
+
+ private:
+  MetalModelOptions options_;
+  std::vector<double> accuracies_;
+  double positive_prior_ = 0.5;
+  int num_lfs_ = 0;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LABELMODEL_METAL_MODEL_H_

@@ -1,0 +1,26 @@
+#include "labelmodel/spin_utils.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace activedp {
+
+std::vector<double> SpinNaiveBayesProba(const std::vector<double>& accuracies,
+                                        double positive_prior,
+                                        const std::vector<int>& weak_labels) {
+  CHECK_EQ(accuracies.size(), weak_labels.size());
+  const double prior = std::clamp(positive_prior, 1e-6, 1.0 - 1e-6);
+  double log_odds = std::log(prior / (1.0 - prior));
+  for (size_t j = 0; j < weak_labels.size(); ++j) {
+    const double s = ToSpin(weak_labels[j]);
+    if (s == 0.0) continue;
+    const double a = std::clamp(accuracies[j], -0.999, 0.999);
+    log_odds += std::log((1.0 + a * s) / (1.0 - a * s));
+  }
+  const double p1 = 1.0 / (1.0 + std::exp(-log_odds));
+  return {1.0 - p1, p1};
+}
+
+}  // namespace activedp

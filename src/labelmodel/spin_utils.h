@@ -1,0 +1,26 @@
+#ifndef ACTIVEDP_LABELMODEL_SPIN_UTILS_H_
+#define ACTIVEDP_LABELMODEL_SPIN_UTILS_H_
+
+#include <vector>
+
+#include "lf/lf_applier.h"
+
+namespace activedp {
+
+/// Binary weak label -> spin: class 1 -> +1, class 0 -> -1, abstain -> 0.
+inline double ToSpin(int weak_label) {
+  if (weak_label == kAbstain) return 0.0;
+  return weak_label == 1 ? 1.0 : -1.0;
+}
+
+/// Naive-Bayes aggregation of binary weak labels given per-LF accuracy
+/// parameters a_j = E[λ_j Y | λ_j active] ∈ (-1, 1) and the positive-class
+/// prior: P(λ_j = s | Y = y) = (1 + a_j s y) / 2 conditional on activation.
+/// Returns {P(y=0|λ), P(y=1|λ)}. Used by both MeTaL-style label models.
+std::vector<double> SpinNaiveBayesProba(const std::vector<double>& accuracies,
+                                        double positive_prior,
+                                        const std::vector<int>& weak_labels);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LABELMODEL_SPIN_UTILS_H_

@@ -1,0 +1,27 @@
+#include "lf/label_function.h"
+
+#include "util/string_util.h"
+
+namespace activedp {
+
+std::string KeywordLf::Name() const {
+  return word_ + " -> class" + std::to_string(label());
+}
+
+std::string KeywordLf::Key() const {
+  return "kw:" + std::to_string(token_id_) + ":" + std::to_string(label());
+}
+
+std::string ThresholdLf::Name() const {
+  const char* op = op_ == StumpOp::kLessEqual ? "<=" : ">=";
+  return "f" + std::to_string(feature_) + " " + op + " " +
+         FormatDouble(threshold_, 4) + " -> class" + std::to_string(label());
+}
+
+std::string ThresholdLf::Key() const {
+  const char* op = op_ == StumpOp::kLessEqual ? "le" : "ge";
+  return "st:" + std::to_string(feature_) + ":" + op + ":" +
+         FormatDouble(threshold_, 6) + ":" + std::to_string(label());
+}
+
+}  // namespace activedp

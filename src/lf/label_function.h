@@ -1,0 +1,98 @@
+#ifndef ACTIVEDP_LF_LABEL_FUNCTION_H_
+#define ACTIVEDP_LF_LABEL_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/example.h"
+
+namespace activedp {
+
+/// Output of a label function that declines to label an instance.
+inline constexpr int kAbstain = -1;
+
+/// A label function (LF): a weak supervision source that labels a subset of
+/// instances and abstains elsewhere (§2.1). Implementations are immutable;
+/// frameworks share them via LfPtr.
+class LabelFunction {
+ public:
+  virtual ~LabelFunction() = default;
+
+  /// The class this LF votes for when it fires.
+  explicit LabelFunction(int label) : label_(label) {}
+
+  /// Weak label for `example`: `label()` or kAbstain.
+  virtual int Apply(const Example& example) const = 0;
+
+  /// Human-readable description, e.g. "check -> SPAM".
+  virtual std::string Name() const = 0;
+
+  /// Stable identity string used to de-duplicate LFs across iterations.
+  virtual std::string Key() const = 0;
+
+  int label() const { return label_; }
+
+ private:
+  int label_;
+};
+
+using LfPtr = std::shared_ptr<const LabelFunction>;
+
+/// Keyword LF for text tasks: votes `label` when the document contains the
+/// keyword (by vocabulary id), abstains otherwise — the λ_{w,y} family of
+/// §4.1.4.
+class KeywordLf : public LabelFunction {
+ public:
+  KeywordLf(int token_id, std::string word, int label)
+      : LabelFunction(label), token_id_(token_id), word_(std::move(word)) {}
+
+  int Apply(const Example& example) const override {
+    return example.HasToken(token_id_) ? label() : kAbstain;
+  }
+  std::string Name() const override;
+  std::string Key() const override;
+
+  int token_id() const { return token_id_; }
+  const std::string& word() const { return word_; }
+
+ private:
+  int token_id_;
+  std::string word_;
+};
+
+enum class StumpOp { kLessEqual, kGreaterEqual };
+
+/// Decision-stump LF for tabular tasks: votes `label` when feature
+/// `feature` satisfies (x_j <= v) or (x_j >= v), abstains otherwise — the
+/// λ_{j,v,op,y} family of §4.1.4.
+class ThresholdLf : public LabelFunction {
+ public:
+  ThresholdLf(int feature, double threshold, StumpOp op, int label)
+      : LabelFunction(label),
+        feature_(feature),
+        threshold_(threshold),
+        op_(op) {}
+
+  int Apply(const Example& example) const override {
+    const double v = example.features[feature_];
+    const bool fires =
+        op_ == StumpOp::kLessEqual ? v <= threshold_ : v >= threshold_;
+    return fires ? label() : kAbstain;
+  }
+  std::string Name() const override;
+  std::string Key() const override;
+
+  int feature() const { return feature_; }
+  double threshold() const { return threshold_; }
+  StumpOp op() const { return op_; }
+
+ private:
+  int feature_;
+  double threshold_;
+  StumpOp op_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LF_LABEL_FUNCTION_H_

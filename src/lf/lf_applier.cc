@@ -1,0 +1,104 @@
+#include "lf/lf_applier.h"
+
+#include "util/check.h"
+
+namespace activedp {
+
+void LabelMatrix::AddColumn(std::vector<int8_t> column) {
+  CHECK_EQ(static_cast<int>(column.size()), num_rows_);
+  columns_.push_back(std::move(column));
+}
+
+std::vector<int> LabelMatrix::Row(int row) const {
+  std::vector<int> out(columns_.size());
+  for (size_t j = 0; j < columns_.size(); ++j) out[j] = columns_[j][row];
+  return out;
+}
+
+std::vector<int> LabelMatrix::Row(int row, const std::vector<int>& cols) const {
+  std::vector<int> out(cols.size());
+  for (size_t j = 0; j < cols.size(); ++j) out[j] = columns_[cols[j]][row];
+  return out;
+}
+
+bool LabelMatrix::AnyActive(int row) const {
+  for (const auto& col : columns_) {
+    if (col[row] != kAbstain) return true;
+  }
+  return false;
+}
+
+bool LabelMatrix::AnyActive(int row, const std::vector<int>& cols) const {
+  for (int j : cols) {
+    if (columns_[j][row] != kAbstain) return true;
+  }
+  return false;
+}
+
+LabelMatrix LabelMatrix::SelectColumns(const std::vector<int>& cols) const {
+  LabelMatrix out(num_rows_);
+  for (int j : cols) {
+    CHECK_GE(j, 0);
+    CHECK_LT(j, num_cols());
+    out.AddColumn(columns_[j]);
+  }
+  return out;
+}
+
+LabelMatrix LabelMatrix::SelectRows(const std::vector<int>& rows) const {
+  LabelMatrix out(static_cast<int>(rows.size()));
+  for (const auto& col : columns_) {
+    std::vector<int8_t> selected(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      CHECK_GE(rows[i], 0);
+      CHECK_LT(rows[i], num_rows_);
+      selected[i] = col[rows[i]];
+    }
+    out.AddColumn(std::move(selected));
+  }
+  return out;
+}
+
+double LabelMatrix::OverallCoverage() const {
+  if (num_rows_ == 0) return 0.0;
+  int active = 0;
+  for (int i = 0; i < num_rows_; ++i) {
+    if (AnyActive(i)) ++active;
+  }
+  return static_cast<double>(active) / num_rows_;
+}
+
+std::vector<int8_t> ApplyLf(const LabelFunction& lf, const Dataset& dataset) {
+  std::vector<int8_t> out(dataset.size());
+  for (int i = 0; i < dataset.size(); ++i) {
+    out[i] = static_cast<int8_t>(lf.Apply(dataset.example(i)));
+  }
+  return out;
+}
+
+LabelMatrix ApplyLfs(const std::vector<LfPtr>& lfs, const Dataset& dataset) {
+  LabelMatrix matrix(dataset.size());
+  for (const auto& lf : lfs) matrix.AddColumn(ApplyLf(*lf, dataset));
+  return matrix;
+}
+
+LfColumnStats ComputeColumnStats(const std::vector<int8_t>& column,
+                                 const std::vector<int>& labels) {
+  CHECK_EQ(column.size(), labels.size());
+  LfColumnStats stats;
+  int correct = 0;
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column[i] == kAbstain) continue;
+    ++stats.activations;
+    if (column[i] == labels[i]) ++correct;
+  }
+  if (!column.empty()) {
+    stats.coverage = static_cast<double>(stats.activations) / column.size();
+  }
+  if (stats.activations > 0) {
+    stats.accuracy = static_cast<double>(correct) / stats.activations;
+  }
+  return stats;
+}
+
+}  // namespace activedp

@@ -1,0 +1,78 @@
+#ifndef ACTIVEDP_LF_LF_APPLIER_H_
+#define ACTIVEDP_LF_LF_APPLIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "lf/label_function.h"
+
+namespace activedp {
+
+/// The weak-label matrix W with W[i][j] = λ_j(x_i) ∈ {kAbstain, 0..C-1}
+/// (§2.1). Stored column-major (one column per LF) because frameworks add
+/// one LF per iteration; entries are int8 to keep full-scale matrices small.
+class LabelMatrix {
+ public:
+  explicit LabelMatrix(int num_rows) : num_rows_(num_rows) {}
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return static_cast<int>(columns_.size()); }
+
+  /// Appends one LF's outputs (length must equal num_rows).
+  void AddColumn(std::vector<int8_t> column);
+
+  int At(int row, int col) const { return columns_[col][row]; }
+
+  /// Overwrites one entry (used by the Revising-LF baseline, which corrects
+  /// LF outputs on human-labelled instances).
+  void Set(int row, int col, int value) {
+    columns_[col][row] = static_cast<int8_t>(value);
+  }
+
+  const std::vector<int8_t>& column(int col) const { return columns_[col]; }
+
+  /// Weak labels of one row across all columns.
+  std::vector<int> Row(int row) const;
+
+  /// Weak labels of one row restricted to `cols`.
+  std::vector<int> Row(int row, const std::vector<int>& cols) const;
+
+  /// True if any LF fires on the row (optionally restricted to `cols`).
+  bool AnyActive(int row) const;
+  bool AnyActive(int row, const std::vector<int>& cols) const;
+
+  /// New matrix containing only the selected columns, in the given order.
+  LabelMatrix SelectColumns(const std::vector<int>& cols) const;
+
+  /// New matrix containing only the selected rows, in the given order.
+  LabelMatrix SelectRows(const std::vector<int>& rows) const;
+
+  /// Fraction of rows with at least one non-abstain entry.
+  double OverallCoverage() const;
+
+ private:
+  int num_rows_;
+  std::vector<std::vector<int8_t>> columns_;
+};
+
+/// Applies one LF to every example of `dataset`.
+std::vector<int8_t> ApplyLf(const LabelFunction& lf, const Dataset& dataset);
+
+/// Applies a set of LFs, producing the label matrix.
+LabelMatrix ApplyLfs(const std::vector<LfPtr>& lfs, const Dataset& dataset);
+
+/// Coverage and accuracy statistics of one LF column against ground truth.
+struct LfColumnStats {
+  int activations = 0;
+  double coverage = 0.0;
+  /// Accuracy over activated rows; 0 when never activated.
+  double accuracy = 0.0;
+};
+
+LfColumnStats ComputeColumnStats(const std::vector<int8_t>& column,
+                                 const std::vector<int>& labels);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LF_LF_APPLIER_H_

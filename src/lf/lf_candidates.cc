@@ -1,0 +1,196 @@
+#include "lf/lf_candidates.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace activedp {
+namespace {
+
+/// Keyword-LF space over the training vocabulary, backed by per-token
+/// per-class document frequencies.
+class TextLfSpace : public LfSpace {
+ public:
+  explicit TextLfSpace(const Dataset& train)
+      : num_classes_(train.meta().num_classes),
+        num_docs_(train.size()),
+        vocab_(&train.vocabulary()) {
+    const int v = vocab_->size();
+    class_df_.assign(num_classes_, std::vector<int>(v, 0));
+    total_df_.assign(v, 0);
+    for (const auto& example : train.examples()) {
+      for (const auto& [term, count] : example.term_counts) {
+        if (term < 0 || term >= v) continue;
+        ++class_df_[example.label][term];
+        ++total_df_[term];
+      }
+    }
+  }
+
+  std::vector<LfCandidate> CandidatesFor(const Example& example,
+                                         double min_accuracy,
+                                         int target_label) const override {
+    std::vector<LfCandidate> out;
+    for (const auto& [term, count] : example.term_counts) {
+      if (term < 0 || term >= vocab_->size() || total_df_[term] == 0) continue;
+      for (int y = 0; y < num_classes_; ++y) {
+        if (target_label >= 0 && y != target_label) continue;
+        LfCandidate candidate = MakeCandidate(term, y);
+        if (candidate.train_accuracy > min_accuracy) {
+          out.push_back(std::move(candidate));
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<LfCandidate> AllCandidates(double min_coverage) const override {
+    std::vector<LfCandidate> out;
+    for (int term = 0; term < vocab_->size(); ++term) {
+      if (total_df_[term] == 0) continue;
+      const double coverage =
+          static_cast<double>(total_df_[term]) / num_docs_;
+      if (coverage < min_coverage) continue;
+      for (int y = 0; y < num_classes_; ++y) {
+        out.push_back(MakeCandidate(term, y));
+      }
+    }
+    return out;
+  }
+
+ private:
+  LfCandidate MakeCandidate(int term, int y) const {
+    LfCandidate candidate;
+    candidate.lf =
+        std::make_shared<KeywordLf>(term, vocab_->GetWord(term), y);
+    candidate.coverage = static_cast<double>(total_df_[term]) / num_docs_;
+    candidate.train_accuracy =
+        static_cast<double>(class_df_[y][term]) / total_df_[term];
+    return candidate;
+  }
+
+  int num_classes_;
+  int num_docs_;
+  const Vocabulary* vocab_;
+  std::vector<std::vector<int>> class_df_;  // [class][term]
+  std::vector<int> total_df_;
+};
+
+/// Decision-stump space over tabular features, backed by per-feature sorted
+/// values with per-class prefix counts so any threshold's accuracy/coverage
+/// is O(log n).
+class TabularLfSpace : public LfSpace {
+ public:
+  explicit TabularLfSpace(const Dataset& train)
+      : num_classes_(train.meta().num_classes), num_rows_(train.size()) {
+    CHECK_GT(num_rows_, 0);
+    const int d = static_cast<int>(train.example(0).features.size());
+    sorted_values_.resize(d);
+    class_prefix_.resize(d);
+    class_totals_.assign(num_classes_, 0);
+    for (const auto& e : train.examples()) ++class_totals_[e.label];
+
+    std::vector<std::pair<double, int>> rows(num_rows_);
+    for (int j = 0; j < d; ++j) {
+      for (int i = 0; i < num_rows_; ++i) {
+        rows[i] = {train.example(i).features[j], train.example(i).label};
+      }
+      std::sort(rows.begin(), rows.end());
+      sorted_values_[j].resize(num_rows_);
+      class_prefix_[j].assign(num_classes_,
+                              std::vector<int>(num_rows_ + 1, 0));
+      for (int i = 0; i < num_rows_; ++i) {
+        sorted_values_[j][i] = rows[i].first;
+        for (int y = 0; y < num_classes_; ++y) {
+          class_prefix_[j][y][i + 1] =
+              class_prefix_[j][y][i] + (rows[i].second == y ? 1 : 0);
+        }
+      }
+    }
+  }
+
+  std::vector<LfCandidate> CandidatesFor(const Example& example,
+                                         double min_accuracy,
+                                         int target_label) const override {
+    std::vector<LfCandidate> out;
+    const int d = static_cast<int>(example.features.size());
+    for (int j = 0; j < d; ++j) {
+      for (StumpOp op : {StumpOp::kLessEqual, StumpOp::kGreaterEqual}) {
+        for (int y = 0; y < num_classes_; ++y) {
+          if (target_label >= 0 && y != target_label) continue;
+          LfCandidate candidate =
+              MakeCandidate(j, example.features[j], op, y);
+          if (candidate.coverage > 0.0 &&
+              candidate.train_accuracy > min_accuracy) {
+            out.push_back(std::move(candidate));
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<LfCandidate> AllCandidates(double min_coverage) const override {
+    // Thresholds on a per-feature decile grid.
+    std::vector<LfCandidate> out;
+    const int d = static_cast<int>(sorted_values_.size());
+    for (int j = 0; j < d; ++j) {
+      for (int decile = 1; decile <= 9; ++decile) {
+        const double v =
+            sorted_values_[j][num_rows_ * decile / 10];
+        for (StumpOp op : {StumpOp::kLessEqual, StumpOp::kGreaterEqual}) {
+          for (int y = 0; y < num_classes_; ++y) {
+            LfCandidate candidate = MakeCandidate(j, v, op, y);
+            if (candidate.coverage >= min_coverage) {
+              out.push_back(std::move(candidate));
+            }
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  LfCandidate MakeCandidate(int feature, double threshold, StumpOp op,
+                            int y) const {
+    const auto& values = sorted_values_[feature];
+    int covered = 0, correct = 0;
+    if (op == StumpOp::kLessEqual) {
+      const int idx = static_cast<int>(
+          std::upper_bound(values.begin(), values.end(), threshold) -
+          values.begin());
+      covered = idx;
+      correct = class_prefix_[feature][y][idx];
+    } else {
+      const int idx = static_cast<int>(
+          std::lower_bound(values.begin(), values.end(), threshold) -
+          values.begin());
+      covered = num_rows_ - idx;
+      correct = class_totals_[y] - class_prefix_[feature][y][idx];
+    }
+    LfCandidate candidate;
+    candidate.lf = std::make_shared<ThresholdLf>(feature, threshold, op, y);
+    candidate.coverage = static_cast<double>(covered) / num_rows_;
+    candidate.train_accuracy =
+        covered > 0 ? static_cast<double>(correct) / covered : 0.0;
+    return candidate;
+  }
+
+  int num_classes_;
+  int num_rows_;
+  std::vector<std::vector<double>> sorted_values_;            // [feature]
+  std::vector<std::vector<std::vector<int>>> class_prefix_;   // [feature][class]
+  std::vector<int> class_totals_;
+};
+
+}  // namespace
+
+std::unique_ptr<LfSpace> BuildLfSpace(const Dataset& train) {
+  if (train.meta().task == TaskType::kTextClassification) {
+    return std::make_unique<TextLfSpace>(train);
+  }
+  return std::make_unique<TabularLfSpace>(train);
+}
+
+}  // namespace activedp

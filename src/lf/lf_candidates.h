@@ -1,0 +1,47 @@
+#ifndef ACTIVEDP_LF_LF_CANDIDATES_H_
+#define ACTIVEDP_LF_LF_CANDIDATES_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "lf/label_function.h"
+
+namespace activedp {
+
+/// One candidate LF together with its (ground-truth) training-set statistics,
+/// which the simulated user uses to decide what a human would plausibly
+/// return (§4.1.4).
+struct LfCandidate {
+  LfPtr lf;
+  double train_accuracy = 0.0;
+  double coverage = 0.0;
+};
+
+/// The candidate LF space of a dataset: keyword LFs λ_{w,y} for text,
+/// decision stumps λ_{j,v,op,y} for tabular (§4.1.4). Also serves IWS, which
+/// needs a global pool of candidates to rank for expert verification.
+class LfSpace {
+ public:
+  virtual ~LfSpace() = default;
+
+  /// Candidates anchored at `example`: keyword LFs whose keyword appears in
+  /// the example, or stumps whose threshold equals one of the example's
+  /// feature values. Filters to train_accuracy > min_accuracy; when
+  /// target_label >= 0, keeps only LFs voting that class.
+  virtual std::vector<LfCandidate> CandidatesFor(const Example& example,
+                                                 double min_accuracy,
+                                                 int target_label) const = 0;
+
+  /// Global candidate pool with at least `min_coverage` (keyword LFs for all
+  /// vocabulary words; stumps on a per-feature quantile grid).
+  virtual std::vector<LfCandidate> AllCandidates(double min_coverage) const = 0;
+};
+
+/// Builds the task-appropriate LF space from the training split (with its
+/// ground-truth labels, which only the simulated user may consult).
+std::unique_ptr<LfSpace> BuildLfSpace(const Dataset& train);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LF_LF_CANDIDATES_H_

@@ -1,0 +1,68 @@
+#include "lf/oracle.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace activedp {
+
+SimulatedUser::SimulatedUser(const Dataset& train,
+                             SimulatedUserOptions options)
+    : train_(&train),
+      options_(options),
+      lf_space_(BuildLfSpace(train)),
+      rng_(options.seed) {}
+
+std::optional<LfCandidate> SimulatedUser::CreateLf(int query_index) {
+  CHECK_GE(query_index, 0);
+  CHECK_LT(query_index, train_->size());
+  ++num_queries_answered_;
+  const Example& x = train_->example(query_index);
+
+  // A user inspecting x writes a rule that reflects x's label ("these LFs
+  // should be at least accurate on the corresponding query instances",
+  // §3.1), so candidates vote the query's true label. Under injected label
+  // noise the user instead "believes" the flipped label; those LFs still
+  // clear the accuracy threshold globally but misfire on this query
+  // (§4.3.3).
+  int target_label = x.label;
+  if (options_.label_noise > 0.0 && rng_.Bernoulli(options_.label_noise)) {
+    const int num_classes = train_->meta().num_classes;
+    int flipped = rng_.UniformInt(num_classes - 1);
+    if (flipped >= x.label) ++flipped;
+    target_label = flipped;
+  }
+
+  std::vector<LfCandidate> candidates =
+      lf_space_->CandidatesFor(x, options_.accuracy_threshold, target_label);
+  // Filter out LFs returned in previous iterations.
+  std::vector<LfCandidate> fresh;
+  fresh.reserve(candidates.size());
+  for (auto& c : candidates) {
+    if (returned_keys_.find(c.lf->Key()) == returned_keys_.end()) {
+      fresh.push_back(std::move(c));
+    }
+  }
+  if (fresh.empty()) return std::nullopt;
+
+  // Select proportional to coverage (§4.1.4).
+  std::vector<double> weights;
+  weights.reserve(fresh.size());
+  for (const auto& c : fresh) weights.push_back(c.coverage);
+  const int pick = rng_.Discrete(weights);
+  returned_keys_.insert(fresh[pick].lf->Key());
+  return fresh[pick];
+}
+
+bool SimulatedUser::VerifyLf(const LfCandidate& candidate) const {
+  return candidate.train_accuracy > options_.accuracy_threshold;
+}
+
+int SimulatedUser::LabelInstance(int index) const {
+  CHECK_GE(index, 0);
+  CHECK_LT(index, train_->size());
+  return train_->example(index).label;
+}
+
+}  // namespace activedp

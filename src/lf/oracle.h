@@ -1,0 +1,67 @@
+#ifndef ACTIVEDP_LF_ORACLE_H_
+#define ACTIVEDP_LF_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "data/dataset.h"
+#include "lf/lf_candidates.h"
+#include "util/rng.h"
+
+namespace activedp {
+
+struct SimulatedUserOptions {
+  /// Accuracy threshold t for candidate LFs (τ_acc = 0.6 in §4.1.4).
+  double accuracy_threshold = 0.6;
+  /// Probability that a query's label is flipped before LF generation,
+  /// simulating label noise (§4.3.3 / Table 5).
+  double label_noise = 0.0;
+  uint64_t seed = 7;
+};
+
+/// Simulates the human expert of §4.1.4 using ground-truth training labels.
+/// Supports all three supervision types the paper's protocol needs: LF
+/// creation (ActiveDP, Nemo), LF verification (IWS), and instance labelling
+/// (uncertainty sampling, Revising LF).
+class SimulatedUser {
+ public:
+  SimulatedUser(const Dataset& train, SimulatedUserOptions options);
+
+  /// LF-creation response for a query instance: builds the candidate set
+  /// {λ anchored at x with train accuracy > t}, removes LFs returned in
+  /// earlier iterations, and samples one with probability proportional to
+  /// coverage. Returns nullopt when no candidate remains (the iteration is
+  /// then a no-op, as with a human who cannot think of a rule).
+  ///
+  /// With label noise enabled, the query's label is first flipped with the
+  /// configured probability and candidates are generated *for the flipped
+  /// label*, so the returned LF misfires on the query instance (§4.3.3).
+  std::optional<LfCandidate> CreateLf(int query_index);
+
+  /// IWS-style verification: "accurate" iff the candidate's ground-truth
+  /// training accuracy exceeds the threshold.
+  bool VerifyLf(const LfCandidate& candidate) const;
+
+  /// Instance-labelling response: the true label of the instance.
+  int LabelInstance(int index) const;
+
+  /// The dataset's candidate-LF space (shared with SEU/IWS machinery).
+  const LfSpace& lf_space() const { return *lf_space_; }
+
+  int num_queries_answered() const { return num_queries_answered_; }
+
+ private:
+  const Dataset* train_;
+  SimulatedUserOptions options_;
+  std::unique_ptr<LfSpace> lf_space_;
+  Rng rng_;
+  std::set<std::string> returned_keys_;
+  int num_queries_answered_ = 0;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_LF_ORACLE_H_

@@ -1,0 +1,74 @@
+#include "math/linalg.h"
+
+#include <cmath>
+
+namespace activedp {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  const int n = a.rows();
+  if (a.cols() != n)
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  Matrix l(n, n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0)
+      return Status::InvalidArgument(
+          "matrix is not positive definite (pivot <= 0)");
+    l(j, j) = std::sqrt(diag);
+    for (int i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b) {
+  const int n = l.rows();
+  CHECK_EQ(static_cast<int>(b.size()), n);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> BackwardSubstitute(const Matrix& l,
+                                       const std::vector<double>& y) {
+  const int n = l.rows();
+  CHECK_EQ(static_cast<int>(y.size()), n);
+  std::vector<double> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (int k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  return BackwardSubstitute(l, ForwardSubstitute(l, b));
+}
+
+Result<Matrix> InverseSpd(const Matrix& a) {
+  const int n = a.rows();
+  ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (int c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    std::vector<double> x = BackwardSubstitute(l, ForwardSubstitute(l, e));
+    for (int r = 0; r < n; ++r) inv(r, c) = x[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace activedp

@@ -1,0 +1,33 @@
+#ifndef ACTIVEDP_MATH_LINALG_H_
+#define ACTIVEDP_MATH_LINALG_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// Cholesky factor L (lower triangular, A = L L^T) of a symmetric positive
+/// definite matrix. Fails with InvalidArgument if A is not SPD (within
+/// numerical tolerance).
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky.
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b);
+
+/// Inverse of an SPD matrix via Cholesky.
+Result<Matrix> InverseSpd(const Matrix& a);
+
+/// Solves L y = b with lower-triangular L (forward substitution).
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b);
+
+/// Solves L^T x = y with lower-triangular L (backward substitution).
+std::vector<double> BackwardSubstitute(const Matrix& l,
+                                       const std::vector<double>& y);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_MATH_LINALG_H_

@@ -1,0 +1,76 @@
+#include "math/stats.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/check.h"
+
+namespace activedp {
+
+std::vector<double> ColumnMeans(const Matrix& data) {
+  const int n = data.rows();
+  const int d = data.cols();
+  std::vector<double> means(d, 0.0);
+  for (int r = 0; r < n; ++r) {
+    const double* row = data.RowPtr(r);
+    for (int c = 0; c < d; ++c) means[c] += row[c];
+  }
+  if (n > 0) {
+    for (double& m : means) m /= n;
+  }
+  return means;
+}
+
+Matrix CovarianceMatrix(const Matrix& data) {
+  const int n = data.rows();
+  const int d = data.cols();
+  CHECK_GE(n, 2) << "covariance needs at least 2 observations";
+  const std::vector<double> means = ColumnMeans(data);
+  Matrix cov(d, d);
+  for (int r = 0; r < n; ++r) {
+    const double* row = data.RowPtr(r);
+    for (int i = 0; i < d; ++i) {
+      const double di = row[i] - means[i];
+      if (di == 0.0) continue;
+      for (int j = i; j < d; ++j) {
+        cov(i, j) += di * (row[j] - means[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (int i = 0; i < d; ++i) {
+    for (int j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double BinaryEntropy(double p) {
+  double h = 0.0;
+  if (p > 0.0) h -= p * std::log(p);
+  if (p < 1.0) h -= (1.0 - p) * std::log(1.0 - p);
+  return h;
+}
+
+}  // namespace activedp

@@ -1,0 +1,27 @@
+#ifndef ACTIVEDP_MATH_STATS_H_
+#define ACTIVEDP_MATH_STATS_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace activedp {
+
+/// Column means of a data matrix (rows = observations).
+std::vector<double> ColumnMeans(const Matrix& data);
+
+/// Sample covariance matrix (denominator n-1) of a data matrix with rows as
+/// observations. Requires at least 2 rows.
+Matrix CovarianceMatrix(const Matrix& data);
+
+/// Pearson correlation of two equal-length samples; 0 when either variance
+/// vanishes.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Binary-entropy helper: entropy of {p, 1-p} in nats.
+double BinaryEntropy(double p);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_MATH_STATS_H_

@@ -1,0 +1,77 @@
+#include "math/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace activedp {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double Sum(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return Sum(v) / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mean = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+double LogSumExp(const std::vector<double>& logits) {
+  CHECK(!logits.empty());
+  const double max = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double x : logits) sum += std::exp(x - max);
+  return max + std::log(sum);
+}
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  const double lse = LogSumExp(logits);
+  std::vector<double> out(logits.size());
+  for (size_t i = 0; i < logits.size(); ++i) out[i] = std::exp(logits[i] - lse);
+  return out;
+}
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double pi : p) {
+    if (pi > 0.0) h -= pi * std::log(pi);
+  }
+  return h;
+}
+
+int ArgMax(const std::vector<double>& v) {
+  CHECK(!v.empty());
+  return static_cast<int>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+double Max(const std::vector<double>& v) {
+  CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace activedp

@@ -1,0 +1,133 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace activedp {
+namespace {
+
+double MeanOf(const std::vector<double>& y, const std::vector<int>& indices,
+              int begin, int end) {
+  double sum = 0.0;
+  for (int i = begin; i < end; ++i) sum += y[indices[i]];
+  return sum / (end - begin);
+}
+
+}  // namespace
+
+Result<DecisionTreeRegressor> DecisionTreeRegressor::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    const DecisionTreeOptions& options, Rng& rng,
+    const std::vector<int>& row_indices) {
+  if (x.empty()) return Status::InvalidArgument("no training rows");
+  if (x.size() != y.size()) return Status::InvalidArgument("x/y mismatch");
+  std::vector<int> indices = row_indices;
+  if (indices.empty()) {
+    indices.resize(x.size());
+    std::iota(indices.begin(), indices.end(), 0);
+  }
+  DecisionTreeRegressor tree;
+  tree.BuildNode(x, y, indices, 0, static_cast<int>(indices.size()), 0,
+                 options, rng);
+  return tree;
+}
+
+int DecisionTreeRegressor::BuildNode(const std::vector<std::vector<double>>& x,
+                                     const std::vector<double>& y,
+                                     std::vector<int>& indices, int begin,
+                                     int end, int depth,
+                                     const DecisionTreeOptions& options,
+                                     Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = MeanOf(y, indices, begin, end);
+
+  const int n = end - begin;
+  if (depth >= options.max_depth || n < 2 * options.min_samples_leaf) {
+    return node_id;
+  }
+
+  const int num_features = static_cast<int>(x[0].size());
+  int features_to_try = options.max_features > 0
+                            ? std::min(options.max_features, num_features)
+                            : num_features;
+
+  // Candidate features (random subset for forests).
+  std::vector<int> feature_order(num_features);
+  std::iota(feature_order.begin(), feature_order.end(), 0);
+  if (features_to_try < num_features) rng.Shuffle(feature_order);
+
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> fv(n);  // (feature value, target)
+  for (int fi = 0; fi < features_to_try; ++fi) {
+    const int f = feature_order[fi];
+    for (int i = 0; i < n; ++i) {
+      const int row = indices[begin + i];
+      fv[i] = {x[row][f], y[row]};
+    }
+    std::sort(fv.begin(), fv.end());
+    // Prefix sums over sorted targets to score every split in O(n).
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sum = 0.0, total_sq = 0.0;
+    for (const auto& [v, t] : fv) {
+      total_sum += t;
+      total_sq += t * t;
+    }
+    for (int i = 0; i < n - 1; ++i) {
+      left_sum += fv[i].second;
+      left_sq += fv[i].second * fv[i].second;
+      if (fv[i].first == fv[i + 1].first) continue;  // not a valid cut
+      const int left_n = i + 1;
+      const int right_n = n - left_n;
+      if (left_n < options.min_samples_leaf ||
+          right_n < options.min_samples_leaf)
+        continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      // SSE = sum(t^2) - n * mean^2 per side.
+      const double sse = (left_sq - left_sum * left_sum / left_n) +
+                         (right_sq - right_sum * right_sum / right_n);
+      if (sse < best_score) {
+        best_score = sse;
+        best_feature = f;
+        best_threshold = 0.5 * (fv[i].first + fv[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no valid split
+
+  // Partition indices[begin, end) by the chosen split.
+  auto middle = std::partition(
+      indices.begin() + begin, indices.begin() + end,
+      [&](int row) { return x[row][best_feature] <= best_threshold; });
+  const int mid = static_cast<int>(middle - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = BuildNode(x, y, indices, begin, mid, depth + 1, options, rng);
+  const int right = BuildNode(x, y, indices, mid, end, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTreeRegressor::Predict(
+    const std::vector<double>& features) const {
+  CHECK(!nodes_.empty());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& cur = nodes_[node];
+    DCHECK(cur.feature < static_cast<int>(features.size()));
+    node = features[cur.feature] <= cur.threshold ? cur.left : cur.right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace activedp

@@ -1,0 +1,56 @@
+#ifndef ACTIVEDP_ML_DECISION_TREE_H_
+#define ACTIVEDP_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace activedp {
+
+struct DecisionTreeOptions {
+  int max_depth = 8;
+  int min_samples_leaf = 3;
+  /// Number of features tried per split; <= 0 means all features.
+  int max_features = 0;
+};
+
+/// CART regression tree on dense feature rows, splitting to minimize the sum
+/// of squared errors. Substrate for RandomForestRegressor (which the LAL
+/// sampler uses, per Konyushkova et al. 2017).
+class DecisionTreeRegressor {
+ public:
+  DecisionTreeRegressor() = default;
+
+  /// Trains on rows x (all the same length) with targets y. `row_indices`
+  /// selects the training subset (for bagging); empty means all rows.
+  static Result<DecisionTreeRegressor> Fit(
+      const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+      const DecisionTreeOptions& options, Rng& rng,
+      const std::vector<int>& row_indices = {});
+
+  double Predict(const std::vector<double>& features) const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;      // -1 for leaf
+    double threshold = 0;  // go left if x[feature] <= threshold
+    double value = 0;      // leaf prediction (mean target)
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(const std::vector<std::vector<double>>& x,
+                const std::vector<double>& y, std::vector<int>& indices,
+                int begin, int end, int depth,
+                const DecisionTreeOptions& options, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ML_DECISION_TREE_H_

@@ -1,0 +1,59 @@
+#include "ml/featurizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace activedp {
+
+TabularFeaturizer::TabularFeaturizer(const Dataset& train) {
+  CHECK_GT(train.size(), 0);
+  const int d = static_cast<int>(train.example(0).features.size());
+  means_.assign(d, 0.0);
+  inv_stddevs_.assign(d, 1.0);
+  for (const auto& e : train.examples()) {
+    CHECK_EQ(static_cast<int>(e.features.size()), d);
+    for (int j = 0; j < d; ++j) means_[j] += e.features[j];
+  }
+  for (double& m : means_) m /= train.size();
+  std::vector<double> var(d, 0.0);
+  for (const auto& e : train.examples()) {
+    for (int j = 0; j < d; ++j) {
+      const double delta = e.features[j] - means_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    const double stddev = std::sqrt(var[j] / std::max(1, train.size() - 1));
+    inv_stddevs_[j] = stddev > 1e-12 ? 1.0 / stddev : 1.0;
+  }
+}
+
+SparseVector TabularFeaturizer::Transform(const Example& example) const {
+  SparseVector out;
+  const int d = dim();
+  CHECK_EQ(static_cast<int>(example.features.size()), d);
+  out.indices.reserve(d);
+  out.values.reserve(d);
+  for (int j = 0; j < d; ++j) {
+    out.PushBack(j, (example.features[j] - means_[j]) * inv_stddevs_[j]);
+  }
+  return out;
+}
+
+std::unique_ptr<Featurizer> MakeFeaturizer(const Dataset& train) {
+  if (train.meta().task == TaskType::kTextClassification) {
+    return std::make_unique<TextFeaturizer>(train);
+  }
+  return std::make_unique<TabularFeaturizer>(train);
+}
+
+std::vector<SparseVector> FeaturizeAll(const Featurizer& featurizer,
+                                       const Dataset& dataset) {
+  std::vector<SparseVector> out;
+  out.reserve(dataset.size());
+  for (const auto& e : dataset.examples()) out.push_back(featurizer.Transform(e));
+  return out;
+}
+
+}  // namespace activedp

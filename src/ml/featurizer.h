@@ -1,0 +1,59 @@
+#ifndef ACTIVEDP_ML_FEATURIZER_H_
+#define ACTIVEDP_ML_FEATURIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/example.h"
+#include "text/tfidf.h"
+
+namespace activedp {
+
+/// Maps examples to sparse feature vectors for the linear models. Fit on the
+/// training split; applied to every split.
+class Featurizer {
+ public:
+  virtual ~Featurizer() = default;
+  virtual SparseVector Transform(const Example& example) const = 0;
+  virtual int dim() const = 0;
+};
+
+/// TF-IDF features for text tasks.
+class TextFeaturizer : public Featurizer {
+ public:
+  explicit TextFeaturizer(const Dataset& train)
+      : tfidf_(TfidfFeaturizer::Fit(train)) {}
+
+  SparseVector Transform(const Example& example) const override {
+    return tfidf_.Transform(example);
+  }
+  int dim() const override { return tfidf_.dim(); }
+
+ private:
+  TfidfFeaturizer tfidf_;
+};
+
+/// Standardized (z-scored) raw features for tabular tasks.
+class TabularFeaturizer : public Featurizer {
+ public:
+  explicit TabularFeaturizer(const Dataset& train);
+
+  SparseVector Transform(const Example& example) const override;
+  int dim() const override { return static_cast<int>(means_.size()); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> inv_stddevs_;
+};
+
+/// Builds the right featurizer for the dataset's task type.
+std::unique_ptr<Featurizer> MakeFeaturizer(const Dataset& train);
+
+/// Applies `featurizer` to every example of `dataset`.
+std::vector<SparseVector> FeaturizeAll(const Featurizer& featurizer,
+                                       const Dataset& dataset);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ML_FEATURIZER_H_

@@ -1,0 +1,133 @@
+#include "ml/linear_model.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "math/vector_ops.h"
+#include "util/rng.h"
+
+namespace activedp {
+
+Result<LogisticRegression> LogisticRegression::Fit(
+    const std::vector<SparseVector>& x,
+    const std::vector<std::vector<double>>& y, int num_classes, int dim,
+    const LogisticRegressionOptions& options,
+    const std::vector<double>& sample_weights) {
+  if (x.empty()) return Status::InvalidArgument("no training examples");
+  if (x.size() != y.size())
+    return Status::InvalidArgument("x/y size mismatch");
+  if (num_classes < 2) return Status::InvalidArgument("need >= 2 classes");
+  if (!sample_weights.empty() && sample_weights.size() != x.size())
+    return Status::InvalidArgument("sample_weights size mismatch");
+
+  const int n = static_cast<int>(x.size());
+  const int w_cols = dim + 1;  // trailing bias column
+  LogisticRegression model;
+  model.num_classes_ = num_classes;
+  model.dim_ = dim;
+  model.weights_ = Matrix(num_classes, w_cols);
+
+  // Adam state.
+  Matrix m(num_classes, w_cols);
+  Matrix v(num_classes, w_cols);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  int step = 0;
+
+  Rng rng(options.seed);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  Matrix grad(num_classes, w_cols);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (int begin = 0; begin < n; begin += options.batch_size) {
+      const int end = std::min(n, begin + options.batch_size);
+      grad.Fill(0.0);
+      double weight_total = 0.0;
+      for (int idx = begin; idx < end; ++idx) {
+        const int i = order[idx];
+        const double sw = sample_weights.empty() ? 1.0 : sample_weights[i];
+        if (sw == 0.0) continue;
+        weight_total += sw;
+        const std::vector<double> p = model.PredictProba(x[i]);
+        for (int c = 0; c < num_classes; ++c) {
+          const double delta = sw * (p[c] - y[i][c]);
+          if (delta == 0.0) continue;
+          double* g = grad.RowPtr(c);
+          for (int k = 0; k < x[i].nnz(); ++k) {
+            g[x[i].indices[k]] += delta * x[i].values[k];
+          }
+          g[dim] += delta;  // bias
+        }
+      }
+      if (weight_total == 0.0) continue;
+      // L2 regularization on weights (not bias), scaled per batch.
+      for (int c = 0; c < num_classes; ++c) {
+        double* g = grad.RowPtr(c);
+        const double* w = model.weights_.RowPtr(c);
+        for (int k = 0; k < dim; ++k) {
+          g[k] = g[k] / weight_total + options.l2 * w[k];
+        }
+        g[dim] /= weight_total;
+      }
+      // Adam update.
+      ++step;
+      const double bc1 = 1.0 - std::pow(beta1, step);
+      const double bc2 = 1.0 - std::pow(beta2, step);
+      for (int c = 0; c < num_classes; ++c) {
+        double* w = model.weights_.RowPtr(c);
+        double* mc = m.RowPtr(c);
+        double* vc = v.RowPtr(c);
+        const double* g = grad.RowPtr(c);
+        for (int k = 0; k < w_cols; ++k) {
+          mc[k] = beta1 * mc[k] + (1.0 - beta1) * g[k];
+          vc[k] = beta2 * vc[k] + (1.0 - beta2) * g[k] * g[k];
+          const double mhat = mc[k] / bc1;
+          const double vhat = vc[k] / bc2;
+          w[k] -= options.learning_rate * mhat / (std::sqrt(vhat) + eps);
+        }
+      }
+    }
+  }
+  return model;
+}
+
+Result<LogisticRegression> LogisticRegression::FitHard(
+    const std::vector<SparseVector>& x, const std::vector<int>& labels,
+    int num_classes, int dim, const LogisticRegressionOptions& options) {
+  if (x.size() != labels.size())
+    return Status::InvalidArgument("x/labels size mismatch");
+  std::vector<std::vector<double>> soft(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || labels[i] >= num_classes)
+      return Status::InvalidArgument("label out of range");
+    soft[i].assign(num_classes, 0.0);
+    soft[i][labels[i]] = 1.0;
+  }
+  return Fit(x, soft, num_classes, dim, options);
+}
+
+std::vector<double> LogisticRegression::Logits(const SparseVector& x) const {
+  std::vector<double> logits(num_classes_);
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* w = weights_.RowPtr(c);
+    double sum = w[dim_];  // bias
+    for (int k = 0; k < x.nnz(); ++k) {
+      DCHECK(x.indices[k] < dim_);
+      sum += w[x.indices[k]] * x.values[k];
+    }
+    logits[c] = sum;
+  }
+  return logits;
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const SparseVector& x) const {
+  return Softmax(Logits(x));
+}
+
+int LogisticRegression::Predict(const SparseVector& x) const {
+  return ArgMax(Logits(x));
+}
+
+}  // namespace activedp

@@ -1,0 +1,64 @@
+#ifndef ACTIVEDP_ML_LINEAR_MODEL_H_
+#define ACTIVEDP_ML_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/example.h"
+#include "math/matrix.h"
+#include "util/result.h"
+
+namespace activedp {
+
+struct LogisticRegressionOptions {
+  double l2 = 3e-3;
+  int epochs = 40;
+  int batch_size = 32;
+  double learning_rate = 0.05;  // Adam step size
+  uint64_t seed = 1;
+};
+
+/// Multinomial (softmax) logistic regression on sparse features, trained
+/// with mini-batch Adam on the cross-entropy against soft (probabilistic)
+/// targets. Serves as the paper's active-learning model and downstream end
+/// model (§4.1.3), both of which are logistic regressions; soft targets let
+/// it train directly on the label model's probabilistic labels.
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  /// Trains on examples x[i] with soft targets y[i] (each a distribution
+  /// over `num_classes`). Optional per-example weights (empty = all 1).
+  static Result<LogisticRegression> Fit(
+      const std::vector<SparseVector>& x,
+      const std::vector<std::vector<double>>& y, int num_classes, int dim,
+      const LogisticRegressionOptions& options = {},
+      const std::vector<double>& sample_weights = {});
+
+  /// Trains on hard integer labels.
+  static Result<LogisticRegression> FitHard(
+      const std::vector<SparseVector>& x, const std::vector<int>& labels,
+      int num_classes, int dim, const LogisticRegressionOptions& options = {});
+
+  /// Class-probability vector for one example.
+  std::vector<double> PredictProba(const SparseVector& x) const;
+
+  /// Most likely class.
+  int Predict(const SparseVector& x) const;
+
+  int num_classes() const { return num_classes_; }
+  int dim() const { return dim_; }
+
+  /// Raw (unnormalized) class scores w_c . x + b_c.
+  std::vector<double> Logits(const SparseVector& x) const;
+
+ private:
+  int num_classes_ = 0;
+  int dim_ = 0;
+  /// Row c holds [w_c (dim entries), b_c].
+  Matrix weights_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ML_LINEAR_MODEL_H_

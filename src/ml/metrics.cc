@@ -1,0 +1,113 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/check.h"
+
+namespace activedp {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels) {
+  CHECK_EQ(predictions.size(), labels.size());
+  int correct = 0, predicted = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] < 0) continue;
+    ++predicted;
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(correct) / predicted;
+}
+
+double Coverage(const std::vector<int>& predictions) {
+  if (predictions.empty()) return 0.0;
+  int predicted = 0;
+  for (int p : predictions) {
+    if (p >= 0) ++predicted;
+  }
+  return static_cast<double>(predicted) / predictions.size();
+}
+
+Matrix ConfusionCounts(const std::vector<int>& predictions,
+                       const std::vector<int>& labels, int num_classes) {
+  CHECK_EQ(predictions.size(), labels.size());
+  Matrix counts(num_classes, num_classes);
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] < 0) continue;
+    CHECK_LT(predictions[i], num_classes);
+    CHECK_GE(labels[i], 0);
+    CHECK_LT(labels[i], num_classes);
+    counts(labels[i], predictions[i]) += 1.0;
+  }
+  return counts;
+}
+
+PrecisionRecallF1 BinaryPrf(const std::vector<int>& predictions,
+                            const std::vector<int>& labels,
+                            int positive_class) {
+  CHECK_EQ(predictions.size(), labels.size());
+  int tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred_pos = predictions[i] == positive_class;
+    const bool true_pos = labels[i] == positive_class;
+    if (pred_pos && true_pos) ++tp;
+    if (pred_pos && !true_pos) ++fp;
+    if (!pred_pos && true_pos) ++fn;
+  }
+  PrecisionRecallF1 out;
+  if (tp + fp > 0) out.precision = static_cast<double>(tp) / (tp + fp);
+  if (tp + fn > 0) out.recall = static_cast<double>(tp) / (tp + fn);
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+double CurveAverage(const std::vector<double>& curve) { return Mean(curve); }
+
+double BrierScore(const std::vector<std::vector<double>>& proba,
+                  const std::vector<int>& labels) {
+  CHECK_EQ(proba.size(), labels.size());
+  if (proba.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < proba.size(); ++i) {
+    for (size_t c = 0; c < proba[i].size(); ++c) {
+      const double target = static_cast<int>(c) == labels[i] ? 1.0 : 0.0;
+      const double delta = proba[i][c] - target;
+      total += delta * delta;
+    }
+  }
+  return total / proba.size();
+}
+
+double ExpectedCalibrationError(
+    const std::vector<std::vector<double>>& proba,
+    const std::vector<int>& labels, int bins) {
+  CHECK_EQ(proba.size(), labels.size());
+  CHECK_GT(bins, 0);
+  if (proba.empty()) return 0.0;
+  std::vector<double> bin_confidence(bins, 0.0);
+  std::vector<double> bin_correct(bins, 0.0);
+  std::vector<int> bin_count(bins, 0);
+  for (size_t i = 0; i < proba.size(); ++i) {
+    const int prediction = ArgMax(proba[i]);
+    const double confidence = proba[i][prediction];
+    int bin = static_cast<int>(confidence * bins);
+    if (bin >= bins) bin = bins - 1;
+    bin_confidence[bin] += confidence;
+    bin_correct[bin] += prediction == labels[i] ? 1.0 : 0.0;
+    ++bin_count[bin];
+  }
+  double ece = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    if (bin_count[b] == 0) continue;
+    const double accuracy = bin_correct[b] / bin_count[b];
+    const double confidence = bin_confidence[b] / bin_count[b];
+    ece += (static_cast<double>(bin_count[b]) / proba.size()) *
+           std::fabs(accuracy - confidence);
+  }
+  return ece;
+}
+
+}  // namespace activedp

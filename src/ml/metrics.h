@@ -1,0 +1,56 @@
+#ifndef ACTIVEDP_ML_METRICS_H_
+#define ACTIVEDP_ML_METRICS_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace activedp {
+
+/// Fraction of predictions equal to labels. Entries where pred < 0
+/// (abstain/rejected) are excluded from both numerator and denominator;
+/// returns 0 when nothing is predicted.
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels);
+
+/// Fraction of entries with a prediction (pred >= 0).
+double Coverage(const std::vector<int>& predictions);
+
+/// num_classes x num_classes confusion counts (rows = truth, cols = pred);
+/// abstentions are skipped.
+Matrix ConfusionCounts(const std::vector<int>& predictions,
+                       const std::vector<int>& labels, int num_classes);
+
+struct PrecisionRecallF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// One-vs-rest precision/recall/F1 for `positive_class`.
+PrecisionRecallF1 BinaryPrf(const std::vector<int>& predictions,
+                            const std::vector<int>& labels,
+                            int positive_class);
+
+/// Mean of a performance curve's y-values — the paper's summary metric
+/// ("average test accuracy during the run, corresponding to the area under
+/// the performance curve", §4.1.3).
+double CurveAverage(const std::vector<double>& curve);
+
+/// Multiclass Brier score: mean squared error between predicted
+/// distributions and one-hot labels (lower is better; 0 is perfect).
+/// Calibration matters here because ConFusion routes instances by the AL
+/// model's confidence.
+double BrierScore(const std::vector<std::vector<double>>& proba,
+                  const std::vector<int>& labels);
+
+/// Expected calibration error with equal-width confidence bins: the
+/// coverage-weighted |accuracy - mean confidence| over bins of the top-1
+/// confidence.
+double ExpectedCalibrationError(
+    const std::vector<std::vector<double>>& proba,
+    const std::vector<int>& labels, int bins = 10);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ML_METRICS_H_

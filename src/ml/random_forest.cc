@@ -1,0 +1,44 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+namespace activedp {
+
+Result<RandomForestRegressor> RandomForestRegressor::Fit(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    RandomForestOptions options, Rng& rng) {
+  if (x.empty()) return Status::InvalidArgument("no training rows");
+  if (x.size() != y.size()) return Status::InvalidArgument("x/y mismatch");
+  if (options.num_trees <= 0)
+    return Status::InvalidArgument("num_trees must be positive");
+
+  const int n = static_cast<int>(x.size());
+  if (options.tree.max_features <= 0) {
+    // Default for regression forests: d/3 features per split (at least 1).
+    options.tree.max_features =
+        std::max(1, static_cast<int>(x[0].size()) / 3);
+  }
+  const int bag_size =
+      std::max(1, static_cast<int>(options.bagging_fraction * n));
+
+  RandomForestRegressor forest;
+  forest.trees_.reserve(options.num_trees);
+  for (int t = 0; t < options.num_trees; ++t) {
+    std::vector<int> bag(bag_size);
+    for (int i = 0; i < bag_size; ++i) bag[i] = rng.UniformInt(n);
+    ASSIGN_OR_RETURN(DecisionTreeRegressor tree,
+                     DecisionTreeRegressor::Fit(x, y, options.tree, rng, bag));
+    forest.trees_.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+double RandomForestRegressor::Predict(
+    const std::vector<double>& features) const {
+  CHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(features);
+  return sum / trees_.size();
+}
+
+}  // namespace activedp

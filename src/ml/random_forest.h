@@ -1,0 +1,39 @@
+#ifndef ACTIVEDP_ML_RANDOM_FOREST_H_
+#define ACTIVEDP_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace activedp {
+
+struct RandomForestOptions {
+  int num_trees = 30;
+  DecisionTreeOptions tree;
+  /// Bootstrap-sample size as a fraction of the training set.
+  double bagging_fraction = 1.0;
+};
+
+/// Bagged ensemble of CART regression trees with per-split feature
+/// subsampling. Used as the regressor in the LAL sampler.
+class RandomForestRegressor {
+ public:
+  RandomForestRegressor() = default;
+
+  static Result<RandomForestRegressor> Fit(
+      const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+      RandomForestOptions options, Rng& rng);
+
+  double Predict(const std::vector<double>& features) const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ML_RANDOM_FOREST_H_

@@ -1,0 +1,27 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+
+namespace activedp {
+namespace {
+
+// Sorted for binary search; keep alphabetical when editing.
+constexpr std::array<std::string_view, 64> kStopwords = {
+    "a",    "about", "after", "all",  "an",    "and",  "any",  "are",
+    "as",   "at",    "be",    "been", "but",   "by",   "can",  "could",
+    "did",  "do",    "does",  "for",  "from",  "had",  "has",  "have",
+    "he",   "her",   "his",   "i",    "if",    "in",   "into", "is",
+    "it",   "its",   "just",  "me",   "my",    "no",   "not",  "of",
+    "on",   "or",    "our",   "she",  "so",    "some", "that", "the",
+    "their", "them", "then",  "they", "this",  "to",   "up",   "was",
+    "we",   "were",  "what",  "when", "which", "will", "with", "you",
+};
+
+}  // namespace
+
+bool IsStopword(std::string_view token) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), token);
+}
+
+}  // namespace activedp

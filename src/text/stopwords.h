@@ -1,0 +1,14 @@
+#ifndef ACTIVEDP_TEXT_STOPWORDS_H_
+#define ACTIVEDP_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace activedp {
+
+/// True if `token` (already lower-cased) is in the built-in English
+/// stop-word list (a compact subset of the usual NLTK list).
+bool IsStopword(std::string_view token);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_TEXT_STOPWORDS_H_

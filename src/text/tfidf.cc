@@ -1,0 +1,43 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace activedp {
+
+TfidfFeaturizer TfidfFeaturizer::Fit(const Dataset& train,
+                                     TfidfOptions options) {
+  const int vocab_size = train.vocabulary().size();
+  CHECK_GT(vocab_size, 0) << "TF-IDF requires a built vocabulary";
+  std::vector<int> df(vocab_size, 0);
+  for (const auto& example : train.examples()) {
+    for (const auto& [term, count] : example.term_counts) {
+      if (term >= 0 && term < vocab_size) ++df[term];
+    }
+  }
+  TfidfFeaturizer featurizer;
+  featurizer.options_ = options;
+  featurizer.idf_.resize(vocab_size);
+  const double n = static_cast<double>(train.size());
+  for (int t = 0; t < vocab_size; ++t) {
+    featurizer.idf_[t] = std::log((1.0 + n) / (1.0 + df[t])) + 1.0;
+  }
+  return featurizer;
+}
+
+SparseVector TfidfFeaturizer::Transform(const Example& example) const {
+  SparseVector out;
+  out.indices.reserve(example.term_counts.size());
+  out.values.reserve(example.term_counts.size());
+  for (const auto& [term, count] : example.term_counts) {
+    if (term < 0 || term >= dim()) continue;  // out-of-vocabulary
+    double tf = static_cast<double>(count);
+    if (options_.sublinear_tf) tf = 1.0 + std::log(tf);
+    out.PushBack(term, tf * idf_[term]);
+  }
+  if (options_.l2_normalize) L2Normalize(out);
+  return out;
+}
+
+}  // namespace activedp

@@ -1,0 +1,35 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/stopwords.h"
+
+namespace activedp {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (static_cast<int>(current.size()) >= options_.min_token_length &&
+        !(options_.remove_stopwords && IsStopword(current))) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current += options_.lowercase
+                     ? static_cast<char>(std::tolower(c))
+                     : raw;
+    } else if (!current.empty()) {
+      flush();
+    }
+  }
+  if (!current.empty()) flush();
+  return tokens;
+}
+
+}  // namespace activedp

@@ -1,0 +1,34 @@
+#ifndef ACTIVEDP_TEXT_TOKENIZER_H_
+#define ACTIVEDP_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace activedp {
+
+/// Options for the rule-based tokenizer used throughout the library.
+struct TokenizerOptions {
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  int min_token_length = 1;
+  /// Drop tokens found in the built-in English stop-word list.
+  bool remove_stopwords = false;
+};
+
+/// Splits text into word tokens on non-alphanumeric boundaries, with optional
+/// lower-casing and stop-word removal. Deterministic and allocation-light;
+/// this is the tokenizer the paper's keyword LFs and TF-IDF features rely on.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_TEXT_TOKENIZER_H_

@@ -1,0 +1,56 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace activedp {
+
+Vocabulary Vocabulary::Build(
+    const std::vector<std::vector<std::string>>& documents, int min_doc_count,
+    int max_size) {
+  std::unordered_map<std::string, int> doc_counts;
+  for (const auto& doc : documents) {
+    std::set<std::string_view> seen;
+    for (const auto& token : doc) seen.insert(token);
+    for (std::string_view token : seen) ++doc_counts[std::string(token)];
+  }
+
+  std::vector<std::pair<std::string, int>> kept;
+  kept.reserve(doc_counts.size());
+  for (auto& [word, count] : doc_counts) {
+    if (count >= min_doc_count) kept.emplace_back(word, count);
+  }
+  // Most document-frequent first; lexicographic tiebreak for determinism.
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (max_size > 0 && static_cast<int>(kept.size()) > max_size) {
+    kept.resize(max_size);
+  }
+
+  Vocabulary vocab;
+  vocab.words_.reserve(kept.size());
+  vocab.doc_frequency_.reserve(kept.size());
+  for (auto& [word, count] : kept) {
+    vocab.word_to_id_[word] = static_cast<int>(vocab.words_.size());
+    vocab.words_.push_back(word);
+    vocab.doc_frequency_.push_back(count);
+  }
+  return vocab;
+}
+
+int Vocabulary::GetId(std::string_view word) const {
+  auto it = word_to_id_.find(std::string(word));
+  return it == word_to_id_.end() ? kUnknownId : it->second;
+}
+
+const std::string& Vocabulary::GetWord(int id) const {
+  CHECK_GE(id, 0);
+  CHECK_LT(id, size());
+  return words_[id];
+}
+
+}  // namespace activedp

@@ -1,0 +1,45 @@
+#ifndef ACTIVEDP_TEXT_VOCABULARY_H_
+#define ACTIVEDP_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace activedp {
+
+/// Maps between word strings and dense integer ids. Built once over a corpus
+/// (with frequency/size pruning) and then immutable.
+class Vocabulary {
+ public:
+  static constexpr int kUnknownId = -1;
+
+  Vocabulary() = default;
+
+  /// Builds from tokenized documents, keeping words that appear in at least
+  /// `min_doc_count` documents; if `max_size` > 0 keeps only the most
+  /// document-frequent `max_size` words (ties broken lexicographically).
+  static Vocabulary Build(
+      const std::vector<std::vector<std::string>>& documents,
+      int min_doc_count = 1, int max_size = 0);
+
+  /// Id for `word`, or kUnknownId if out of vocabulary.
+  int GetId(std::string_view word) const;
+
+  /// Word for a valid id.
+  const std::string& GetWord(int id) const;
+
+  int size() const { return static_cast<int>(words_.size()); }
+
+  /// Number of documents (from the build corpus) containing each word.
+  int doc_frequency(int id) const { return doc_frequency_[id]; }
+
+ private:
+  std::vector<std::string> words_;
+  std::vector<int> doc_frequency_;
+  std::unordered_map<std::string, int> word_to_id_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_TEXT_VOCABULARY_H_

@@ -1,0 +1,22 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace activedp {
+namespace internal {
+
+CheckFailStream::CheckFailStream(const char* condition, const char* file,
+                                 int line) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+CheckFailStream::~CheckFailStream() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace activedp

@@ -1,0 +1,50 @@
+#ifndef ACTIVEDP_UTIL_CHECK_H_
+#define ACTIVEDP_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace activedp {
+namespace internal {
+
+/// Collects a streamed failure message and aborts the process in its
+/// destructor. Used only via the CHECK* macros below.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* condition, const char* file, int line);
+  [[noreturn]] ~CheckFailStream();
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace activedp
+
+/// CHECK(cond) aborts with a diagnostic when `cond` is false. Additional
+/// context can be streamed: CHECK(n > 0) << "n=" << n;
+#define CHECK(cond)                                                     \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::activedp::internal::CheckFailStream(#cond, __FILE__, __LINE__)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define DCHECK(cond) CHECK(true || (cond))
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // ACTIVEDP_UTIL_CHECK_H_

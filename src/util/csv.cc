@@ -1,0 +1,123 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace activedp {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append = [&out](const std::vector<std::string>& row) {
+    if (row.size() == 1 && row[0].empty()) {
+      // A lone empty field would serialize to a blank line, which parsers
+      // (including ours) treat as no record at all; quote it explicitly.
+      out += "\"\"\n";
+      return;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteField(row[i]);
+    }
+    out += '\n';
+  };
+  append(header_);
+  for (const auto& row : rows_) append(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << ToString();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::string field;
+    bool in_quotes = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field += '"';
+            ++i;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          field += c;
+        }
+      } else if (c == '"') {
+        if (!field.empty())
+          return Status::InvalidArgument("quote inside unquoted field");
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else {
+        field += c;
+      }
+    }
+    if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+    fields.push_back(std::move(field));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace activedp

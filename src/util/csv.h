@@ -1,0 +1,40 @@
+#ifndef ACTIVEDP_UTIL_CSV_H_
+#define ACTIVEDP_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace activedp {
+
+/// Writes rows to a CSV file. Fields containing commas, quotes, or newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void AddNumericRow(const std::vector<double>& values, int digits = 6);
+
+  /// Writes header + rows to `path`, overwriting.
+  Status WriteToFile(const std::string& path) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses simple CSV content (quoted fields supported, no embedded newlines).
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_CSV_H_

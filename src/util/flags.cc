@@ -1,0 +1,89 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace activedp {
+
+void FlagParser::AddFlag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  CHECK(flags_.find(name) == flags_.end()) << "duplicate flag " << name;
+  flags_[name] = FlagInfo{default_value, default_value, help};
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      std::printf("%s", Usage(argv[0]).c_str());
+      continue;
+    }
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+      return Status::InvalidArgument("unknown flag: --" + name);
+    if (!has_value) {
+      // Boolean-defaulted flags are bare switches; other flags may take
+      // their value as the following argument (--flag value).
+      const std::string default_lower =
+          ToLower(it->second.default_value);
+      const bool boolean_flag =
+          default_lower == "true" || default_lower == "false";
+      if (!boolean_flag && i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return Status::Ok();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return it->second.value;
+}
+
+int FlagParser::GetInt(const std::string& name) const {
+  return std::atoi(GetString(name).c_str());
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::atof(GetString(name).c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  std::string v = ToLower(GetString(name));
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    out += "  --" + name + " (default: " + info.default_value + ")  " +
+           info.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace activedp

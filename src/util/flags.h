@@ -1,0 +1,50 @@
+#ifndef ACTIVEDP_UTIL_FLAGS_H_
+#define ACTIVEDP_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace activedp {
+
+/// Minimal command-line flag parser used by the benchmark and example
+/// binaries. Supported syntax: --name=value, --name value, and bare --name
+/// for booleans (sets "true"). Unknown flags are an error; positional
+/// arguments are collected.
+class FlagParser {
+ public:
+  /// Registers a flag with a default value and help text. Call before Parse.
+  void AddFlag(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown or malformed flags.
+  /// When "--help" is present, prints usage to stdout and sets help_requested.
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  std::string GetString(const std::string& name) const;
+  int GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string Usage(const std::string& program) const;
+
+ private:
+  struct FlagInfo {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, FlagInfo> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_FLAGS_H_

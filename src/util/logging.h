@@ -1,0 +1,40 @@
+#ifndef ACTIVEDP_UTIL_LOGGING_H_
+#define ACTIVEDP_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace activedp {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is actually emitted (default kInfo).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+/// One log statement; flushes a single line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace activedp
+
+#define LOG(severity)                                     \
+  ::activedp::internal::LogMessage(                       \
+      ::activedp::LogSeverity::k##severity, __FILE__, __LINE__)
+
+#endif  // ACTIVEDP_UTIL_LOGGING_H_

@@ -1,0 +1,67 @@
+#ifndef ACTIVEDP_UTIL_RESULT_H_
+#define ACTIVEDP_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace activedp {
+
+/// Either a value of type T or a non-OK Status, modelled after
+/// absl::StatusOr<T>. Accessing the value of an errored Result is a
+/// programming error and aborts via CHECK.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so RETURN_IF_ERROR-style
+  /// propagation works). Passing an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CHECK(!status_.ok()) << "Result constructed from OK status without value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace activedp
+
+/// ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>); on error
+/// returns the status from the enclosing function, otherwise moves the value
+/// into `lhs` (which may be a declaration).
+#define ACTIVEDP_CONCAT_INNER_(a, b) a##b
+#define ACTIVEDP_CONCAT_(a, b) ACTIVEDP_CONCAT_INNER_(a, b)
+#define ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto ACTIVEDP_CONCAT_(_result_, __LINE__) = (expr);            \
+  if (!ACTIVEDP_CONCAT_(_result_, __LINE__).ok())                \
+    return ACTIVEDP_CONCAT_(_result_, __LINE__).status();        \
+  lhs = std::move(ACTIVEDP_CONCAT_(_result_, __LINE__)).value()
+
+#endif  // ACTIVEDP_UTIL_RESULT_H_

@@ -1,0 +1,130 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace activedp {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int Rng::UniformInt(int n) {
+  CHECK_GT(n, 0);
+  // Rejection-free for practical n (bias < 2^-32 for n < 2^31).
+  return static_cast<int>(Next() % static_cast<uint64_t>(n));
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  CHECK_LE(lo, hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int Rng::Poisson(double mean) {
+  CHECK_GT(mean, 0.0);
+  if (mean < 30.0) {
+    // Knuth's multiplicative method.
+    const double limit = std::exp(-mean);
+    double p = 1.0;
+    int k = 0;
+    do {
+      ++k;
+      p *= Uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation for large means.
+  const int k = static_cast<int>(std::lround(Normal(mean, std::sqrt(mean))));
+  return k < 0 ? 0 : k;
+}
+
+int Rng::Discrete(const std::vector<double>& weights) {
+  CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DCHECK(w >= 0.0);
+    total += w;
+  }
+  CHECK_GT(total, 0.0) << "Discrete() requires a positive total weight";
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  CHECK_GE(k, 0);
+  CHECK_LE(k, n);
+  std::vector<int> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  // Partial Fisher–Yates: the first k entries are the sample.
+  for (int i = 0; i < k; ++i) {
+    int j = i + UniformInt(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace activedp

@@ -1,0 +1,70 @@
+#ifndef ACTIVEDP_UTIL_RNG_H_
+#define ACTIVEDP_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace activedp {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**) with the
+/// distributions the library needs. One instance per experiment run; not
+/// thread-safe (give each worker its own, derived via Fork()).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent stream; deterministic function of current state.
+  Rng Fork();
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n);
+
+  /// Uniform integer in [lo, hi].
+  int UniformInt(int lo, int hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Standard normal (Box–Muller with caching).
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  /// Poisson-distributed count with the given mean (> 0).
+  int Poisson(double mean);
+
+  /// Samples an index with probability proportional to weights[i] (>= 0, not
+  /// all zero).
+  int Discrete(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n). Requires 0 <= k <= n.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_RNG_H_

@@ -1,0 +1,82 @@
+#ifndef ACTIVEDP_UTIL_STATUS_H_
+#define ACTIVEDP_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace activedp {
+
+/// Canonical error codes, modelled after absl::StatusCode but reduced to the
+/// set this library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier used on all fallible API paths.
+///
+/// The library does not use exceptions; functions that can fail return a
+/// `Status` (or `Result<T>`, see result.h). A default-constructed Status is
+/// OK. Statuses are cheap to copy (a code plus a message string).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace activedp
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define RETURN_IF_ERROR(expr)                          \
+  do {                                                 \
+    ::activedp::Status _status = (expr);               \
+    if (!_status.ok()) return _status;                 \
+  } while (false)
+
+#endif  // ACTIVEDP_UTIL_STATUS_H_

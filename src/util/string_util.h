@@ -1,0 +1,33 @@
+#ifndef ACTIVEDP_UTIL_STRING_UTIL_H_
+#define ACTIVEDP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace activedp {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits `text` on runs of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `digits` decimal places (fixed notation).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_STRING_UTIL_H_

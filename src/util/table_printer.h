@@ -1,0 +1,37 @@
+#ifndef ACTIVEDP_UTIL_TABLE_PRINTER_H_
+#define ACTIVEDP_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace activedp {
+
+/// Renders rows of strings as an aligned ASCII table, used by the benchmark
+/// harness to print paper-style tables.
+class TablePrinter {
+ public:
+  /// Sets the header row; column count is fixed by it.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: first cell is a label, remaining cells are doubles rendered
+  /// with `digits` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 4);
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_TABLE_PRINTER_H_

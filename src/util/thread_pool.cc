@@ -1,0 +1,83 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace activedp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    CHECK(!shutdown_);
+    tasks_.push(std::move(task));
+    ++pending_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --pending_;
+      if (pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& body) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  int workers = pool->num_threads();
+  if (workers > n) workers = n;
+  for (int w = 0; w < workers; ++w) {
+    pool->Submit([&next, n, &body] {
+      while (true) {
+        int i = next.fetch_add(1);
+        if (i >= n) return;
+        body(i);
+      }
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace activedp

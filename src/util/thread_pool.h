@@ -1,0 +1,53 @@
+#ifndef ACTIVEDP_UTIL_THREAD_POOL_H_
+#define ACTIVEDP_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace activedp {
+
+/// Fixed-size worker pool. Tasks are void() functions; Wait() blocks until
+/// every submitted task has completed. Used to parallelize experiment seeds
+/// and dataset sweeps in the benchmark harness.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int pending_ = 0;   // queued + running tasks
+  bool shutdown_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool (or inline when pool is
+/// null). Blocks until all iterations complete.
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& body);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+#ifndef ACTIVEDP_UTIL_TIMER_H_
+#define ACTIVEDP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace activedp {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_TIMER_H_

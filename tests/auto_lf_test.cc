@@ -1,0 +1,134 @@
+#include "core/auto_lf.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic_tabular.h"
+#include "data/synthetic_text.h"
+#include "labelmodel/label_model.h"
+#include "lf/lf_applier.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace activedp {
+namespace {
+
+struct SeedSet {
+  std::vector<int> rows;
+  std::vector<int> labels;
+};
+
+SeedSet DrawSeed(const Dataset& train, int k, uint64_t seed) {
+  Rng rng(seed);
+  SeedSet out;
+  out.rows = rng.SampleWithoutReplacement(train.size(), k);
+  for (int row : out.rows) out.labels.push_back(train.example(row).label);
+  return out;
+}
+
+class AutoLfTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticTextConfig config;
+    config.num_examples = 800;
+    config.label_noise = 0.0;
+    Rng rng(3);
+    train_ = GenerateSyntheticText(config, rng);
+    space_ = BuildLfSpace(train_);
+  }
+
+  Dataset train_;
+  std::unique_ptr<LfSpace> space_;
+};
+
+TEST_F(AutoLfTest, SynthesizesAccurateLfs) {
+  const SeedSet seed = DrawSeed(train_, 160, 7);
+  Result<std::vector<SynthesizedLf>> lfs =
+      SynthesizeLfs(train_, *space_, seed.rows, seed.labels);
+  ASSERT_TRUE(lfs.ok());
+  EXPECT_GT(lfs->size(), 5u);
+  const std::vector<int> truth = train_.Labels();
+  // With only a seed to judge on, a few statistical flukes are unavoidable;
+  // require that the large majority of accepted LFs generalize.
+  int generalize = 0;
+  for (const auto& synthesized : *lfs) {
+    EXPECT_GE(synthesized.seed_accuracy, 0.6);
+    const LfColumnStats stats =
+        ComputeColumnStats(ApplyLf(*synthesized.lf, train_), truth);
+    if (stats.accuracy > 0.6) ++generalize;
+  }
+  EXPECT_GE(generalize * 10, static_cast<int>(lfs->size()) * 7)
+      << generalize << " of " << lfs->size() << " generalize";
+}
+
+TEST_F(AutoLfTest, NoDuplicateLfs) {
+  const SeedSet seed = DrawSeed(train_, 160, 9);
+  Result<std::vector<SynthesizedLf>> lfs =
+      SynthesizeLfs(train_, *space_, seed.rows, seed.labels);
+  ASSERT_TRUE(lfs.ok());
+  std::set<std::string> keys;
+  for (const auto& synthesized : *lfs) {
+    EXPECT_TRUE(keys.insert(synthesized.lf->Key()).second);
+  }
+}
+
+TEST_F(AutoLfTest, SynthesizedSetDrivesLabelModelAboveChance) {
+  const SeedSet seed = DrawSeed(train_, 160, 11);
+  Result<std::vector<SynthesizedLf>> lfs =
+      SynthesizeLfs(train_, *space_, seed.rows, seed.labels);
+  ASSERT_TRUE(lfs.ok());
+  std::vector<LfPtr> set;
+  for (const auto& synthesized : *lfs) set.push_back(synthesized.lf);
+  const LabelMatrix matrix = ApplyLfs(set, train_);
+  auto model = MakeLabelModel(LabelModelType::kMetal);
+  ASSERT_TRUE(model->Fit(matrix, 2).ok());
+  const double accuracy =
+      Accuracy(model->PredictAll(matrix), train_.Labels());
+  EXPECT_GT(accuracy, 0.7);
+  EXPECT_GT(matrix.OverallCoverage(), 0.2);
+}
+
+TEST_F(AutoLfTest, MaxLfsRespected) {
+  const SeedSet seed = DrawSeed(train_, 80, 13);
+  AutoLfOptions options;
+  options.max_lfs = 5;
+  Result<std::vector<SynthesizedLf>> lfs =
+      SynthesizeLfs(train_, *space_, seed.rows, seed.labels, options);
+  ASSERT_TRUE(lfs.ok());
+  EXPECT_LE(lfs->size(), 5u);
+}
+
+TEST_F(AutoLfTest, WorksOnTabularData) {
+  SyntheticTabularConfig config;
+  config.num_examples = 600;
+  Rng rng(17);
+  const Dataset tabular = GenerateSyntheticTabular(config, rng);
+  const auto space = BuildLfSpace(tabular);
+  const SeedSet seed = DrawSeed(tabular, 80, 19);
+  Result<std::vector<SynthesizedLf>> lfs =
+      SynthesizeLfs(tabular, *space, seed.rows, seed.labels);
+  ASSERT_TRUE(lfs.ok());
+  EXPECT_GT(lfs->size(), 2u);
+}
+
+TEST_F(AutoLfTest, RejectsBadInput) {
+  EXPECT_FALSE(SynthesizeLfs(train_, *space_, {}, {}).ok());
+  EXPECT_FALSE(SynthesizeLfs(train_, *space_, {0, 1}, {0}).ok());
+  EXPECT_FALSE(
+      SynthesizeLfs(train_, *space_, {train_.size() + 5}, {0}).ok());
+}
+
+TEST_F(AutoLfTest, ImpossibleBarFailsCleanly) {
+  const SeedSet seed = DrawSeed(train_, 40, 23);
+  AutoLfOptions options;
+  options.min_seed_accuracy = 1.01;
+  options.wilson_z = 0.0;
+  EXPECT_EQ(SynthesizeLfs(train_, *space_, seed.rows, seed.labels, options)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,195 @@
+// Integration tests of the four baseline frameworks.
+
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "data/dataset_zoo.h"
+#include "math/vector_ops.h"
+
+namespace activedp {
+namespace {
+
+class BaselinesTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Result<DataSplit> split = MakeZooDataset("youtube", 0.4, 202);
+    ASSERT_TRUE(split.ok());
+    split_ = std::move(*split);
+    context_ = FrameworkContext::Build(split_);
+    options_.seed = 5;
+  }
+
+  LabelQuality RunAndMeasure(InteractiveFramework& framework, int steps) {
+    for (int t = 0; t < steps; ++t) {
+      const Status status = framework.Step();
+      if (!status.ok()) break;
+    }
+    return MeasureLabelQuality(framework.CurrentTrainingLabels(),
+                               split_.train);
+  }
+
+  DataSplit split_;
+  FrameworkContext context_;
+  BaselineOptions options_;
+};
+
+TEST_F(BaselinesTest, NemoProducesUsefulLabels) {
+  NemoFramework nemo(context_, options_);
+  const LabelQuality quality = RunAndMeasure(nemo, 30);
+  EXPECT_GT(nemo.num_lfs(), 20);
+  EXPECT_GT(quality.accuracy, 0.7);
+  EXPECT_GT(quality.coverage, 0.3);
+}
+
+TEST_F(BaselinesTest, NemoLabelsComeFromLfCoverageOnly) {
+  NemoFramework nemo(context_, options_);
+  for (int t = 0; t < 10; ++t) ASSERT_TRUE(nemo.Step().ok());
+  const std::vector<std::vector<double>> labels =
+      nemo.CurrentTrainingLabels();
+  int covered = 0;
+  for (const auto& soft : labels) covered += !soft.empty();
+  // With 10 keyword LFs coverage is partial.
+  EXPECT_GT(covered, 0);
+  EXPECT_LT(covered, split_.train.size());
+}
+
+TEST_F(BaselinesTest, IwsVerifiesOneCandidatePerStep) {
+  IwsFramework iws(context_, options_);
+  for (int t = 0; t < 20; ++t) ASSERT_TRUE(iws.Step().ok());
+  EXPECT_EQ(iws.num_verified(), 20);
+}
+
+TEST_F(BaselinesTest, IwsLabelsImproveWithBudget) {
+  IwsFramework iws(context_, options_);
+  const LabelQuality early = RunAndMeasure(iws, 15);
+  const LabelQuality late = RunAndMeasure(iws, 85);
+  // More verifications -> coverage should not collapse; accuracy decent.
+  EXPECT_GE(late.coverage, early.coverage * 0.5);
+  EXPECT_GT(late.accuracy, 0.6);
+}
+
+TEST_F(BaselinesTest, RlfCorrectsLfOutputsOnLabelledRows) {
+  RlfFramework rlf(context_, options_);
+  const LabelQuality quality = RunAndMeasure(rlf, 30);
+  EXPECT_EQ(rlf.num_labeled(), 30);
+  EXPECT_GT(rlf.num_lfs(), 20);
+  EXPECT_GT(quality.accuracy, 0.7);
+  // RLF is label-model-only: every covered row has a proper soft label.
+  const std::vector<std::vector<double>> labels =
+      rlf.CurrentTrainingLabels();
+  for (int i = 0; i < split_.train.size(); ++i) {
+    if (labels[i].empty()) continue;
+    EXPECT_NEAR(labels[i][0] + labels[i][1], 1.0, 1e-9);
+  }
+}
+
+TEST_F(BaselinesTest, ActiveWeasulStepsAndImproves) {
+  ActiveWeasulFramework aw(context_, options_);
+  const LabelQuality quality = RunAndMeasure(aw, 40);
+  EXPECT_EQ(aw.num_labeled(), 40);
+  EXPECT_GT(aw.num_lfs(), 25);
+  EXPECT_GT(quality.accuracy, 0.7);
+  EXPECT_GT(quality.coverage, 0.3);
+}
+
+TEST_F(BaselinesTest, ActiveWeasulLabelsAreLfOnly) {
+  // Rows with no active LF must stay uncovered even after many expert
+  // labels — Active WeaSuL predicts through the label model only.
+  ActiveWeasulFramework aw(context_, options_);
+  for (int t = 0; t < 20; ++t) ASSERT_TRUE(aw.Step().ok());
+  const std::vector<std::vector<double>> labels = aw.CurrentTrainingLabels();
+  int covered = 0;
+  for (const auto& soft : labels) covered += !soft.empty();
+  EXPECT_GT(covered, 0);
+  EXPECT_LT(covered, split_.train.size());
+}
+
+TEST(SemiSupervisedDawidSkeneTest, AnchorsOverrideVotes) {
+  // One strongly wrong LF; anchoring a batch of rows to the truth must pull
+  // the learned confusion toward reality.
+  Rng rng(41);
+  const int n = 800;
+  std::vector<int> labels(n);
+  for (auto& y : labels) y = rng.Bernoulli(0.5);
+  LabelMatrix matrix(n);
+  std::vector<int8_t> column(n);
+  for (int i = 0; i < n; ++i) {
+    // LF is only 55% accurate.
+    column[i] = static_cast<int8_t>(rng.Bernoulli(0.55) ? labels[i]
+                                                        : 1 - labels[i]);
+  }
+  matrix.AddColumn(std::move(column));
+  std::vector<int> anchor_rows, anchor_values;
+  for (int i = 0; i < 200; ++i) {
+    anchor_rows.push_back(i);
+    anchor_values.push_back(labels[i]);
+  }
+  DawidSkeneModel semi;
+  ASSERT_TRUE(
+      semi.FitSemiSupervised(matrix, 2, anchor_rows, anchor_values).ok());
+  DawidSkeneModel unsupervised;
+  ASSERT_TRUE(unsupervised.Fit(matrix, 2).ok());
+  // Unsupervised EM on a single LF is self-confirming (the vote is the only
+  // evidence, so the learned accuracy is near 1); the anchors reveal the LF
+  // is really ~55% accurate and must pull the estimate down substantially.
+  EXPECT_LT(semi.confusion(0)(0, 0) + 0.05, unsupervised.confusion(0)(0, 0));
+  EXPECT_LT(semi.confusion(0)(1, 1) + 0.05, unsupervised.confusion(0)(1, 1));
+  EXPECT_LT(semi.confusion(0)(0, 0), 0.9);
+}
+
+TEST(SemiSupervisedDawidSkeneTest, RejectsBadAnchors) {
+  LabelMatrix matrix(3);
+  matrix.AddColumn({0, 1, -1});
+  DawidSkeneModel model;
+  EXPECT_FALSE(model.FitSemiSupervised(matrix, 2, {5}, {0}).ok());
+  EXPECT_FALSE(model.FitSemiSupervised(matrix, 2, {0}, {7}).ok());
+  EXPECT_FALSE(model.FitSemiSupervised(matrix, 2, {0, 1}, {0}).ok());
+}
+
+TEST_F(BaselinesTest, UncertaintyLabelsExactlyTheQueriedRows) {
+  UncertaintyFramework us(context_, options_);
+  for (int t = 0; t < 25; ++t) ASSERT_TRUE(us.Step().ok());
+  EXPECT_EQ(us.num_labeled(), 25);
+  const std::vector<std::vector<double>> labels = us.CurrentTrainingLabels();
+  int covered = 0;
+  for (int i = 0; i < split_.train.size(); ++i) {
+    if (labels[i].empty()) continue;
+    ++covered;
+    // One-hot ground truth.
+    EXPECT_DOUBLE_EQ(labels[i][split_.train.example(i).label], 1.0);
+  }
+  EXPECT_EQ(covered, 25);
+}
+
+TEST_F(BaselinesTest, UncertaintyLabelQualityIsPerfect) {
+  UncertaintyFramework us(context_, options_);
+  const LabelQuality quality = RunAndMeasure(us, 20);
+  EXPECT_DOUBLE_EQ(quality.accuracy, 1.0);
+  EXPECT_NEAR(quality.coverage, 20.0 / split_.train.size(), 1e-12);
+}
+
+TEST_F(BaselinesTest, FactoryBuildsEveryFramework) {
+  ActiveDpOptions adp;
+  adp.seed = 7;
+  for (FrameworkType type :
+       {FrameworkType::kActiveDp, FrameworkType::kNemo, FrameworkType::kIws,
+        FrameworkType::kRlf, FrameworkType::kUs}) {
+    std::unique_ptr<InteractiveFramework> framework =
+        MakeFramework(type, context_, adp);
+    ASSERT_NE(framework, nullptr);
+    EXPECT_TRUE(framework->Step().ok()) << FrameworkDisplayName(type);
+  }
+}
+
+TEST_F(BaselinesTest, ParseFrameworkNames) {
+  EXPECT_EQ(ParseFrameworkType("nemo"), FrameworkType::kNemo);
+  EXPECT_EQ(ParseFrameworkType("IWS"), FrameworkType::kIws);
+  EXPECT_EQ(ParseFrameworkType("rlf"), FrameworkType::kRlf);
+  EXPECT_EQ(ParseFrameworkType("us"), FrameworkType::kUs);
+  EXPECT_EQ(ParseFrameworkType("activedp"), FrameworkType::kActiveDp);
+}
+
+}  // namespace
+}  // namespace activedp

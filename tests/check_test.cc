@@ -1,0 +1,56 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace activedp {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CHECK(true);
+  CHECK_EQ(1, 1);
+  CHECK_NE(1, 2);
+  CHECK_LT(1, 2);
+  CHECK_LE(2, 2);
+  CHECK_GT(2, 1);
+  CHECK_GE(2, 2);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(CHECK(false) << "context", "CHECK failed");
+  EXPECT_DEATH(CHECK_EQ(1, 2), "1 vs 2");
+  EXPECT_DEATH(CHECK_GT(1, 2) << "extra detail", "extra detail");
+}
+
+TEST(CheckDeathTest, MessageIncludesLocationAndCondition) {
+  EXPECT_DEATH(CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+}
+
+TEST(CheckTest, DcheckCompilesInBothModes) {
+  DCHECK(true);
+#ifdef NDEBUG
+  // In release builds DCHECK(false) must be a no-op.
+  DCHECK(false);
+#endif
+  SUCCEED();
+}
+
+TEST(LoggingTest, SeverityFilterRoundTrips) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  // Below-threshold logging must not crash (and is suppressed).
+  LOG(Info) << "suppressed";
+  LOG(Warning) << "suppressed too";
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, StreamingArbitraryTypes) {
+  LOG(Debug) << "int=" << 42 << " double=" << 1.5 << " str=" << std::string("x");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,180 @@
+#include "core/confusion.h"
+
+#include <gtest/gtest.h>
+
+#include "math/vector_ops.h"
+#include "util/rng.h"
+
+namespace activedp {
+namespace {
+
+TEST(ConFusionAggregateTest, EquationOneCases) {
+  // Row 0: confident AL -> AL wins.
+  // Row 1: unconfident AL, LM active -> LM wins.
+  // Row 2: unconfident AL, LM inactive -> rejected.
+  // Row 3: no AL prediction, LM active -> LM.
+  // Row 4: no AL prediction, LM inactive -> rejected.
+  const std::vector<std::vector<double>> al = {
+      {0.1, 0.9}, {0.55, 0.45}, {0.55, 0.45}, {}, {}};
+  const std::vector<std::vector<double>> lm = {
+      {0.8, 0.2}, {0.2, 0.8}, {0.5, 0.5}, {0.9, 0.1}, {0.5, 0.5}};
+  const std::vector<bool> active = {true, true, false, true, false};
+  const AggregatedLabels out = ConFusion::Aggregate(al, lm, active, 0.7);
+  EXPECT_EQ(out.source[0], LabelSource::kActiveLearning);
+  EXPECT_EQ(out.hard[0], 1);
+  EXPECT_EQ(out.source[1], LabelSource::kLabelModel);
+  EXPECT_EQ(out.hard[1], 1);
+  EXPECT_EQ(out.source[2], LabelSource::kRejected);
+  EXPECT_EQ(out.hard[2], kAbstain);
+  EXPECT_TRUE(out.soft[2].empty());
+  EXPECT_EQ(out.source[3], LabelSource::kLabelModel);
+  EXPECT_EQ(out.source[4], LabelSource::kRejected);
+  EXPECT_DOUBLE_EQ(out.coverage, 0.6);
+}
+
+TEST(ConFusionAggregateTest, ThresholdZeroIsPureActiveLearning) {
+  // τ = 0 makes ActiveDP "fall back to active learning" (§3.2) on every row
+  // with an AL prediction.
+  const std::vector<std::vector<double>> al = {{0.5, 0.5}, {0.6, 0.4}};
+  const std::vector<std::vector<double>> lm = {{0.9, 0.1}, {0.9, 0.1}};
+  const std::vector<bool> active = {true, true};
+  const AggregatedLabels out = ConFusion::Aggregate(al, lm, active, 0.0);
+  EXPECT_EQ(out.source[0], LabelSource::kActiveLearning);
+  EXPECT_EQ(out.source[1], LabelSource::kActiveLearning);
+}
+
+TEST(ConFusionAggregateTest, ThresholdAboveOneIsPureLabelModel) {
+  const std::vector<std::vector<double>> al = {{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<std::vector<double>> lm = {{0.9, 0.1}, {0.9, 0.1}};
+  const std::vector<bool> active = {true, false};
+  const AggregatedLabels out = ConFusion::Aggregate(al, lm, active, 1.01);
+  EXPECT_EQ(out.source[0], LabelSource::kLabelModel);
+  EXPECT_EQ(out.source[1], LabelSource::kRejected);
+}
+
+TEST(ConFusionAggregateTest, CoverageMonotoneDecreasingInThreshold) {
+  Rng rng(3);
+  const int n = 200;
+  std::vector<std::vector<double>> al(n), lm(n);
+  std::vector<bool> active(n);
+  for (int i = 0; i < n; ++i) {
+    const double p = rng.Uniform(0.5, 1.0);
+    al[i] = {p, 1.0 - p};
+    lm[i] = {0.5, 0.5};
+    active[i] = rng.Bernoulli(0.5);
+  }
+  double previous = 2.0;
+  for (double tau : {0.0, 0.6, 0.7, 0.8, 0.9, 1.01}) {
+    const AggregatedLabels out = ConFusion::Aggregate(al, lm, active, tau);
+    EXPECT_LE(out.coverage, previous + 1e-12);
+    previous = out.coverage;
+  }
+}
+
+/// Randomized consistency check: the tuner's chosen threshold must achieve
+/// the maximum validation accuracy among all candidate thresholds when
+/// re-evaluated with Aggregate.
+class TuneThresholdPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(TuneThresholdPropertyTest, ChosenThresholdIsArgmax) {
+  Rng rng(GetParam());
+  const int n = 150;
+  std::vector<std::vector<double>> al(n), lm(n);
+  std::vector<bool> active(n);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    if (rng.Bernoulli(0.9)) {
+      const double p = rng.Uniform(0.5, 1.0);
+      const bool correct = rng.Bernoulli(p);  // calibrated-ish AL
+      const int pred = correct ? labels[i] : 1 - labels[i];
+      al[i] = pred == 1 ? std::vector<double>{1.0 - p, p}
+                        : std::vector<double>{p, 1.0 - p};
+    }
+    active[i] = rng.Bernoulli(0.7);
+    const bool lm_correct = rng.Bernoulli(0.8);
+    const int lm_pred = lm_correct ? labels[i] : 1 - labels[i];
+    lm[i] = lm_pred == 1 ? std::vector<double>{0.3, 0.7}
+                         : std::vector<double>{0.7, 0.3};
+  }
+  const double tau = ConFusion::TuneThreshold(al, lm, active, labels);
+
+  auto accuracy_at = [&](double threshold) {
+    const AggregatedLabels out =
+        ConFusion::Aggregate(al, lm, active, threshold);
+    int covered = 0, correct = 0;
+    for (int i = 0; i < n; ++i) {
+      if (out.hard[i] == kAbstain) continue;
+      ++covered;
+      correct += out.hard[i] == labels[i];
+    }
+    return covered == 0 ? 0.0 : static_cast<double>(correct) / covered;
+  };
+
+  const double chosen_accuracy = accuracy_at(tau);
+  // Compare against a dense grid of alternatives.
+  for (double alt = 0.0; alt <= 1.0; alt += 0.01) {
+    EXPECT_GE(chosen_accuracy + 1e-9, accuracy_at(alt))
+        << "tau=" << tau << " beaten by " << alt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TuneThresholdPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(TuneThresholdTest, PicksHighThresholdWhenAlIsBad) {
+  // AL always wrong, LM always right: tuning must push AL out entirely.
+  const int n = 60;
+  std::vector<std::vector<double>> al(n), lm(n);
+  std::vector<bool> active(n, true);
+  std::vector<int> labels(n, 1);
+  for (int i = 0; i < n; ++i) {
+    al[i] = {0.8, 0.2};  // predicts 0, confidence 0.8 -> wrong
+    lm[i] = {0.1, 0.9};  // predicts 1 -> right
+  }
+  const double tau = ConFusion::TuneThreshold(al, lm, active, labels);
+  EXPECT_GT(tau, 0.8);
+  const AggregatedLabels out = ConFusion::Aggregate(al, lm, active, tau);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out.source[i], LabelSource::kLabelModel);
+  }
+}
+
+TEST(TuneThresholdTest, PicksLowThresholdWhenAlIsPerfect) {
+  const int n = 60;
+  std::vector<std::vector<double>> al(n), lm(n);
+  std::vector<bool> active(n, false);  // LM covers nothing
+  std::vector<int> labels(n, 0);
+  for (int i = 0; i < n; ++i) {
+    al[i] = {0.7, 0.3};
+    lm[i] = {0.5, 0.5};
+  }
+  const double tau = ConFusion::TuneThreshold(al, lm, active, labels);
+  // AL perfect: any τ <= 0.7 gives accuracy 1 with full coverage; the
+  // coverage tie-break keeps AL in play.
+  const AggregatedLabels out = ConFusion::Aggregate(al, lm, active, tau);
+  EXPECT_DOUBLE_EQ(out.coverage, 1.0);
+}
+
+TEST(TuneThresholdTest, CoverageObjectiveSelectsTauZero) {
+  // §3.2: maximizing coverage degenerates to τ = 0 whenever the AL model
+  // predicts everywhere.
+  Rng rng(9);
+  const int n = 80;
+  std::vector<std::vector<double>> al(n), lm(n);
+  std::vector<bool> active(n);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const double p = rng.Uniform(0.5, 1.0);
+    al[i] = {p, 1.0 - p};
+    lm[i] = {0.6, 0.4};
+    active[i] = rng.Bernoulli(0.4);
+    labels[i] = rng.Bernoulli(0.5);
+  }
+  const double tau = ConFusion::TuneThreshold(
+      al, lm, active, labels, ConFusionObjective::kCoverage);
+  EXPECT_DOUBLE_EQ(tau, 0.0);
+}
+
+}  // namespace
+}  // namespace activedp

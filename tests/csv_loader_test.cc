@@ -1,0 +1,128 @@
+#include "data/csv_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace activedp {
+namespace {
+
+std::string WriteTempCsv(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+  return path;
+}
+
+TEST(LoadTextCsvTest, LoadsDocumentsAndLabels) {
+  const std::string path = WriteTempCsv("text.csv",
+                                        "text,label\n"
+                                        "check out my channel,spam\n"
+                                        "nice song,ham\n"
+                                        "check the lyrics,ham\n"
+                                        "subscribe to my channel now,spam\n");
+  Result<Dataset> dataset = LoadTextCsv(path);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 4);
+  EXPECT_EQ(dataset->meta().task, TaskType::kTextClassification);
+  EXPECT_EQ(dataset->meta().num_classes, 2);
+  // First-appearance label order: spam=0, ham=1.
+  EXPECT_EQ(dataset->meta().class_names[0], "spam");
+  EXPECT_EQ(dataset->example(0).label, 0);
+  EXPECT_EQ(dataset->example(1).label, 1);
+  // Vocabulary built with min_doc_count=2: "check" (2 docs) and
+  // "channel"/"my" (2 docs) survive.
+  EXPECT_NE(dataset->vocabulary().GetId("check"), Vocabulary::kUnknownId);
+  EXPECT_NE(dataset->vocabulary().GetId("channel"), Vocabulary::kUnknownId);
+  EXPECT_EQ(dataset->vocabulary().GetId("lyrics"), Vocabulary::kUnknownId);
+  // Term counts populated.
+  const int check = dataset->vocabulary().GetId("check");
+  EXPECT_TRUE(dataset->example(0).HasToken(check));
+  EXPECT_FALSE(dataset->example(1).HasToken(check));
+  std::remove(path.c_str());
+}
+
+TEST(LoadTextCsvTest, QuotedTextWithCommas) {
+  const std::string path = WriteTempCsv(
+      "quoted.csv",
+      "text,label\n\"hello, world\",a\n\"bye, moon\",b\n");
+  Result<Dataset> dataset = LoadTextCsv(path);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->example(0).text, "hello, world");
+  std::remove(path.c_str());
+}
+
+TEST(LoadTextCsvTest, CustomColumnNames) {
+  const std::string path = WriteTempCsv(
+      "cols.csv", "body,y,extra\nfoo bar,1,x\nbaz foo,0,y\n");
+  CsvLoadOptions options;
+  options.text_column = "body";
+  options.label_column = "y";
+  options.min_doc_count = 1;
+  Result<Dataset> dataset = LoadTextCsv(path, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(LoadTextCsvTest, ErrorsAreReported) {
+  EXPECT_EQ(LoadTextCsv("/no/such/file.csv").status().code(),
+            StatusCode::kNotFound);
+  const std::string missing_col =
+      WriteTempCsv("missing.csv", "body,label\nx,1\ny,0\n");
+  EXPECT_EQ(LoadTextCsv(missing_col).status().code(), StatusCode::kNotFound);
+  const std::string one_class =
+      WriteTempCsv("oneclass.csv", "text,label\nx,1\ny,1\n");
+  EXPECT_FALSE(LoadTextCsv(one_class).ok());
+  const std::string header_only = WriteTempCsv("header.csv", "text,label\n");
+  EXPECT_FALSE(LoadTextCsv(header_only).ok());
+  std::remove(missing_col.c_str());
+  std::remove(one_class.c_str());
+  std::remove(header_only.c_str());
+}
+
+TEST(LoadTabularCsvTest, LoadsFeaturesAndLabels) {
+  const std::string path = WriteTempCsv("tab.csv",
+                                        "age,income,label\n"
+                                        "25,50000,0\n"
+                                        "53,120000,1\n"
+                                        "31,-10.5,0\n");
+  Result<Dataset> dataset = LoadTabularCsv(path);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 3);
+  EXPECT_EQ(dataset->meta().task, TaskType::kTabularClassification);
+  EXPECT_EQ(dataset->meta().num_features, 2);
+  EXPECT_EQ(dataset->feature_names(),
+            (std::vector<std::string>{"age", "income"}));
+  EXPECT_DOUBLE_EQ(dataset->example(2).features[1], -10.5);
+  EXPECT_EQ(dataset->example(1).label, 1);
+  std::remove(path.c_str());
+}
+
+TEST(LoadTabularCsvTest, RejectsNonNumericFeatures) {
+  const std::string path = WriteTempCsv(
+      "bad.csv", "age,label\ntwenty,0\n30,1\n");
+  EXPECT_FALSE(LoadTabularCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoadTabularCsvTest, RejectsRaggedRows) {
+  const std::string path =
+      WriteTempCsv("ragged.csv", "a,b,label\n1,2,0\n1,1\n");
+  EXPECT_FALSE(LoadTabularCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoadTabularCsvTest, StringLabelsMapped) {
+  const std::string path = WriteTempCsv(
+      "strlab.csv", "x,label\n1,yes\n2,no\n3,yes\n");
+  Result<Dataset> dataset = LoadTabularCsv(path);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->meta().num_classes, 2);
+  EXPECT_EQ(dataset->example(0).label, dataset->example(2).label);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace activedp

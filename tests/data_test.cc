@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.h"
+#include "data/dataset_zoo.h"
+#include "data/example.h"
+#include "data/synthetic_tabular.h"
+#include "data/synthetic_text.h"
+#include "util/rng.h"
+
+namespace activedp {
+namespace {
+
+TEST(SparseVectorTest, DotAndAxpy) {
+  SparseVector x;
+  x.PushBack(1, 2.0);
+  x.PushBack(4, -1.0);
+  std::vector<double> w = {0, 3, 0, 0, 5};
+  EXPECT_DOUBLE_EQ(SparseDot(x, w), 1.0);
+  SparseAxpy(2.0, x, w);
+  EXPECT_DOUBLE_EQ(w[1], 7.0);
+  EXPECT_DOUBLE_EQ(w[4], 3.0);
+}
+
+TEST(SparseVectorTest, L2Normalize) {
+  SparseVector x;
+  x.PushBack(0, 3.0);
+  x.PushBack(1, 4.0);
+  L2Normalize(x);
+  EXPECT_NEAR(x.values[0], 0.6, 1e-12);
+  EXPECT_NEAR(x.values[1], 0.8, 1e-12);
+  SparseVector zero;
+  L2Normalize(zero);  // must not crash
+  EXPECT_EQ(zero.nnz(), 0);
+}
+
+TEST(ExampleTest, HasTokenBinarySearch) {
+  Example e;
+  e.term_counts = {{2, 1}, {5, 3}, {9, 1}};
+  EXPECT_TRUE(e.HasToken(5));
+  EXPECT_FALSE(e.HasToken(4));
+  EXPECT_TRUE(e.HasToken(9));
+  EXPECT_FALSE(e.HasToken(100));
+}
+
+TEST(DatasetTest, LabelsAndBalance) {
+  DatasetMeta meta;
+  meta.num_classes = 2;
+  std::vector<Example> examples(4);
+  examples[0].label = 0;
+  examples[1].label = 1;
+  examples[2].label = 1;
+  examples[3].label = 1;
+  Dataset dataset(meta, std::move(examples));
+  EXPECT_EQ(dataset.Labels(), (std::vector<int>{0, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(dataset.ClassBalance()[1], 0.75);
+}
+
+TEST(DatasetTest, SplitSizesAndPartition) {
+  DatasetMeta meta;
+  meta.num_classes = 2;
+  std::vector<Example> examples(100);
+  for (int i = 0; i < 100; ++i) {
+    examples[i].label = i % 2;
+    examples[i].features = {static_cast<double>(i)};
+  }
+  Dataset full(meta, std::move(examples));
+  Rng rng(3);
+  const DataSplit split = SplitDataset(full, 0.8, 0.1, rng);
+  EXPECT_EQ(split.train.size(), 80);
+  EXPECT_EQ(split.valid.size(), 10);
+  EXPECT_EQ(split.test.size(), 10);
+  // Every original example appears exactly once across the parts.
+  std::multiset<double> seen;
+  for (const auto* part : {&split.train, &split.valid, &split.test}) {
+    for (const auto& e : part->examples()) seen.insert(e.features[0]);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0.0);
+  EXPECT_EQ(*seen.rbegin(), 99.0);
+}
+
+TEST(SyntheticTextTest, GeneratesRequestedShape) {
+  SyntheticTextConfig config;
+  config.num_examples = 300;
+  Rng rng(11);
+  const Dataset dataset = GenerateSyntheticText(config, rng);
+  EXPECT_EQ(dataset.size(), 300);
+  EXPECT_EQ(dataset.meta().task, TaskType::kTextClassification);
+  EXPECT_GT(dataset.vocabulary().size(), 50);
+  for (const auto& e : dataset.examples()) {
+    EXPECT_GE(e.label, 0);
+    EXPECT_LT(e.label, 2);
+    EXPECT_FALSE(e.text.empty());
+    // Term counts sorted strictly by id.
+    for (size_t k = 1; k < e.term_counts.size(); ++k) {
+      EXPECT_LT(e.term_counts[k - 1].first, e.term_counts[k].first);
+    }
+  }
+}
+
+TEST(SyntheticTextTest, DeterministicForSeed) {
+  SyntheticTextConfig config;
+  config.num_examples = 50;
+  Rng rng1(5), rng2(5);
+  const Dataset a = GenerateSyntheticText(config, rng1);
+  const Dataset b = GenerateSyntheticText(config, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.example(i).text, b.example(i).text);
+    EXPECT_EQ(a.example(i).label, b.example(i).label);
+  }
+}
+
+TEST(SyntheticTextTest, SignalWordsPredictClass) {
+  // With zero leak and zero label noise, a class-0 strong keyword should
+  // only ever appear in class-0 documents.
+  SyntheticTextConfig config;
+  config.num_examples = 800;
+  config.confusion_min = 0.0;
+  config.confusion_max = 0.0;
+  config.label_noise = 0.0;
+  Rng rng(7);
+  const Dataset dataset = GenerateSyntheticText(config, rng);
+  const int id = dataset.vocabulary().GetId("c0w0");
+  ASSERT_NE(id, Vocabulary::kUnknownId);
+  for (const auto& e : dataset.examples()) {
+    if (e.HasToken(id)) EXPECT_EQ(e.label, 0);
+  }
+}
+
+TEST(SyntheticTextTest, LabelNoiseFlipsRoughlyTheConfiguredFraction) {
+  SyntheticTextConfig base;
+  base.num_examples = 4000;
+  base.label_noise = 0.0;
+  SyntheticTextConfig noisy = base;
+  noisy.label_noise = 0.3;
+  Rng rng1(9), rng2(9);
+  const Dataset clean = GenerateSyntheticText(base, rng1);
+  const Dataset flipped = GenerateSyntheticText(noisy, rng2);
+  // Same RNG consumption pattern differs, so compare statistically: with
+  // heavy label noise the strong keyword/label association weakens.
+  auto keyword_accuracy = [](const Dataset& d) {
+    const int id = d.vocabulary().GetId("c0w0");
+    int match = 0, total = 0;
+    for (const auto& e : d.examples()) {
+      if (!e.HasToken(id)) continue;
+      ++total;
+      match += (e.label == 0);
+    }
+    return total > 0 ? static_cast<double>(match) / total : 0.0;
+  };
+  EXPECT_GT(keyword_accuracy(clean), keyword_accuracy(flipped) + 0.1);
+}
+
+TEST(SyntheticTabularTest, ShapeAndDeterminism) {
+  SyntheticTabularConfig config;
+  config.num_examples = 200;
+  config.num_features = 6;
+  Rng rng1(3), rng2(3);
+  const Dataset a = GenerateSyntheticTabular(config, rng1);
+  const Dataset b = GenerateSyntheticTabular(config, rng2);
+  EXPECT_EQ(a.size(), 200);
+  EXPECT_EQ(a.meta().task, TaskType::kTabularClassification);
+  EXPECT_EQ(static_cast<int>(a.example(0).features.size()), 6);
+  EXPECT_EQ(a.feature_names().size(), 6u);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.example(i).features, b.example(i).features);
+  }
+}
+
+TEST(SyntheticTabularTest, InformativeFeaturesSeparateClasses) {
+  SyntheticTabularConfig config;
+  config.num_examples = 4000;
+  config.num_features = 4;
+  config.informative_features = 1;
+  config.class_separation = 4.0;
+  config.label_noise = 0.0;
+  Rng rng(13);
+  const Dataset dataset = GenerateSyntheticTabular(config, rng);
+  // Feature 0 means should differ strongly between classes; feature 3 not.
+  double mean0[2] = {0, 0}, mean3[2] = {0, 0};
+  int counts[2] = {0, 0};
+  for (const auto& e : dataset.examples()) {
+    mean0[e.label] += e.features[0];
+    mean3[e.label] += e.features[3];
+    ++counts[e.label];
+  }
+  for (int y = 0; y < 2; ++y) {
+    mean0[y] /= counts[y];
+    mean3[y] /= counts[y];
+  }
+  EXPECT_GT(std::abs(mean0[0] - mean0[1]), 2.0);
+  EXPECT_LT(std::abs(mean3[0] - mean3[1]), 0.3);
+}
+
+TEST(DatasetZooTest, HasAllEightPaperDatasets) {
+  const std::vector<std::string> names = ZooDatasetNames();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[0], "youtube");
+  EXPECT_EQ(names[7], "census");
+  EXPECT_TRUE(FindZooEntry("bios-pt").ok());
+  EXPECT_FALSE(FindZooEntry("mnist").ok());
+}
+
+TEST(DatasetZooTest, PaperSizesMatchTable2) {
+  const Result<ZooEntry> imdb = FindZooEntry("imdb");
+  ASSERT_TRUE(imdb.ok());
+  EXPECT_EQ(imdb->paper_train, 20000);
+  EXPECT_EQ(imdb->paper_valid, 2500);
+  const Result<ZooEntry> census = FindZooEntry("census");
+  ASSERT_TRUE(census.ok());
+  EXPECT_EQ(census->paper_train, 25541);
+  EXPECT_EQ(census->type, TaskType::kTabularClassification);
+}
+
+TEST(DatasetZooTest, GeneratesSplitsAtScale) {
+  const Result<DataSplit> split = MakeZooDataset("youtube", 0.5, 1);
+  ASSERT_TRUE(split.ok());
+  const int total =
+      split->train.size() + split->valid.size() + split->test.size();
+  EXPECT_NEAR(total, (1566 + 195 + 195) * 0.5, 3);
+  // 80/10/10 partition.
+  EXPECT_NEAR(split->train.size() / static_cast<double>(total), 0.8, 0.02);
+}
+
+TEST(DatasetZooTest, RejectsBadArguments) {
+  EXPECT_FALSE(MakeZooDataset("unknown", 1.0, 1).ok());
+  EXPECT_FALSE(MakeZooDataset("imdb", 0.0, 1).ok());
+  EXPECT_FALSE(MakeZooDataset("imdb", -1.0, 1).ok());
+}
+
+TEST(DatasetZooTest, DifferentSeedsGiveDifferentData) {
+  const Result<DataSplit> a = MakeZooDataset("youtube", 0.2, 1);
+  const Result<DataSplit> b = MakeZooDataset("youtube", 0.2, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->train.example(0).text, b->train.example(0).text);
+}
+
+TEST(DatasetZooTest, SameSeedIsReproducible) {
+  const Result<DataSplit> a = MakeZooDataset("census", 0.05, 9);
+  const Result<DataSplit> b = MakeZooDataset("census", 0.05, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->train.size(), b->train.size());
+  EXPECT_EQ(a->train.example(0).features, b->train.example(0).features);
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graphical/graphical_lasso.h"
+#include "graphical/lasso.h"
+#include "graphical/markov_blanket.h"
+#include "math/linalg.h"
+#include "math/stats.h"
+#include "util/rng.h"
+
+namespace activedp {
+namespace {
+
+TEST(SoftThresholdTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(SoftThreshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-0.5, 1.0), 0.0);
+}
+
+TEST(LassoTest, ZeroPenaltyRecoversLeastSquares) {
+  // y = 2 x0 - x1 exactly; lambda 0 should recover the coefficients.
+  Rng rng(3);
+  const int n = 200;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    y[i] = 2.0 * x(i, 0) - x(i, 1);
+  }
+  LassoOptions options;
+  options.lambda = 0.0;
+  Result<std::vector<double>> beta = LassoRegression(x, y, options);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 2.0, 1e-4);
+  EXPECT_NEAR((*beta)[1], -1.0, 1e-4);
+}
+
+TEST(LassoTest, PenaltyShrinksAndSparsifies) {
+  Rng rng(5);
+  const int n = 300;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 3; ++j) x(i, j) = rng.Normal();
+    // x2 is irrelevant.
+    y[i] = 1.5 * x(i, 0) + 0.8 * x(i, 1) + rng.Normal(0.0, 0.1);
+  }
+  LassoOptions options;
+  options.lambda = 0.3;
+  Result<std::vector<double>> beta = LassoRegression(x, y, options);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_DOUBLE_EQ((*beta)[2], 0.0);  // irrelevant feature zeroed
+  EXPECT_GT((*beta)[0], 0.5);
+  EXPECT_LT((*beta)[0], 1.5);  // shrunk
+}
+
+TEST(LassoTest, LargePenaltyZeroesEverything) {
+  Rng rng(7);
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  for (int i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    y[i] = x(i, 0);
+  }
+  LassoOptions options;
+  options.lambda = 100.0;
+  Result<std::vector<double>> beta = LassoRegression(x, y, options);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_DOUBLE_EQ((*beta)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*beta)[1], 0.0);
+}
+
+TEST(LassoQuadraticTest, SolvesUnpenalizedQuadratic) {
+  // min 1/2 b'Wb - s'b with W = I has solution b = s.
+  const Matrix w = Matrix::Identity(3);
+  const std::vector<double> s = {1.0, -2.0, 0.5};
+  const std::vector<double> beta = LassoQuadratic(w, s, 0.0, 500, 1e-10);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(beta[i], s[i], 1e-8);
+}
+
+/// Generates samples from a Gaussian with a known sparse precision matrix
+/// (tridiagonal chain: 0-1-2-3-4) and returns the sample covariance.
+Matrix ChainCovariance(int n, int p, Rng& rng, Matrix* precision_out) {
+  Matrix precision(p, p);
+  for (int i = 0; i < p; ++i) precision(i, i) = 1.0;
+  for (int i = 0; i + 1 < p; ++i) {
+    precision(i, i + 1) = -0.4;
+    precision(i + 1, i) = -0.4;
+  }
+  if (precision_out != nullptr) *precision_out = precision;
+  // Sample via x = L^{-T} z where precision = L L^T.
+  const Matrix l = *Cholesky(precision);
+  Matrix data(n, p);
+  std::vector<double> z(p);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < p; ++j) z[j] = rng.Normal();
+    const std::vector<double> x = BackwardSubstitute(l, z);
+    for (int j = 0; j < p; ++j) data(i, j) = x[j];
+  }
+  return CovarianceMatrix(data);
+}
+
+TEST(GraphicalLassoTest, RecoversChainStructure) {
+  Rng rng(11);
+  Matrix truth;
+  const Matrix cov = ChainCovariance(4000, 5, rng, &truth);
+  GraphicalLassoOptions options;
+  options.rho = 0.05;
+  Result<GraphicalLassoResult> result = GraphicalLasso(cov, options);
+  ASSERT_TRUE(result.ok());
+  const Matrix& theta = result->precision;
+  // Chain edges present, non-edges (distance >= 2) absent.
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      if (j == i + 1) {
+        EXPECT_GT(std::fabs(theta(i, j)), 0.05) << i << "," << j;
+      } else {
+        EXPECT_LT(std::fabs(theta(i, j)), 0.04) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(GraphicalLassoTest, PrecisionApproximatesInverseAtZeroPenalty) {
+  Rng rng(13);
+  const Matrix cov = ChainCovariance(8000, 4, rng, nullptr);
+  GraphicalLassoOptions options;
+  options.rho = 1e-4;
+  Result<GraphicalLassoResult> result = GraphicalLasso(cov, options);
+  ASSERT_TRUE(result.ok());
+  const Result<Matrix> direct = InverseSpd(cov);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(result->precision, *direct), 0.05);
+}
+
+TEST(GraphicalLassoTest, HandlesDegenerateCovariance) {
+  // A constant column makes the sample covariance singular; the ridge on
+  // the diagonal must keep the algorithm stable.
+  Matrix cov(3, 3);
+  cov(0, 0) = 1.0;
+  cov(1, 1) = 0.0;  // constant variable
+  cov(2, 2) = 1.0;
+  cov(0, 2) = 0.5;
+  cov(2, 0) = 0.5;
+  GraphicalLassoOptions options;
+  options.rho = 0.1;
+  EXPECT_TRUE(GraphicalLasso(cov, options).ok());
+}
+
+TEST(GraphicalLassoTest, RejectsBadInput) {
+  EXPECT_FALSE(GraphicalLasso(Matrix(2, 3), {}).ok());
+  EXPECT_FALSE(GraphicalLasso(Matrix(1, 1), {}).ok());
+  GraphicalLassoOptions negative;
+  negative.rho = -1.0;
+  EXPECT_FALSE(GraphicalLasso(Matrix::Identity(3), negative).ok());
+}
+
+TEST(BlanketFromPrecisionTest, ThresholdsEdges) {
+  Matrix theta = Matrix::Identity(3);
+  theta(0, 2) = 0.5;
+  theta(2, 0) = 0.5;
+  theta(1, 2) = 1e-9;
+  theta(2, 1) = 1e-9;
+  EXPECT_EQ(BlanketFromPrecision(theta, 2, 1e-6), (std::vector<int>{0}));
+}
+
+class MarkovBlanketMethodTest
+    : public testing::TestWithParam<BlanketMethod> {};
+
+TEST_P(MarkovBlanketMethodTest, FindsParentsOfTarget) {
+  // Y = X0 + X1 + noise; X2, X3 independent noise.
+  Rng rng(17);
+  const int n = 1500;
+  Matrix data(n, 5);
+  for (int i = 0; i < n; ++i) {
+    const double x0 = rng.Normal();
+    const double x1 = rng.Normal();
+    data(i, 0) = x0;
+    data(i, 1) = x1;
+    data(i, 2) = rng.Normal();
+    data(i, 3) = rng.Normal();
+    data(i, 4) = x0 + x1 + rng.Normal(0.0, 0.5);  // target
+  }
+  MarkovBlanketOptions options;
+  options.method = GetParam();
+  options.penalty = 0.05;
+  Result<std::vector<int>> blanket = MarkovBlanket(data, 4, options);
+  ASSERT_TRUE(blanket.ok());
+  EXPECT_TRUE(std::find(blanket->begin(), blanket->end(), 0) !=
+              blanket->end());
+  EXPECT_TRUE(std::find(blanket->begin(), blanket->end(), 1) !=
+              blanket->end());
+  EXPECT_TRUE(std::find(blanket->begin(), blanket->end(), 2) ==
+              blanket->end());
+  EXPECT_TRUE(std::find(blanket->begin(), blanket->end(), 3) ==
+              blanket->end());
+}
+
+TEST_P(MarkovBlanketMethodTest, ConstantColumnsNeverEnterBlanket) {
+  Rng rng(19);
+  const int n = 400;
+  Matrix data(n, 3);
+  for (int i = 0; i < n; ++i) {
+    data(i, 0) = 5.0;  // constant
+    data(i, 1) = rng.Normal();
+    data(i, 2) = data(i, 1) + rng.Normal(0.0, 0.3);
+  }
+  MarkovBlanketOptions options;
+  options.method = GetParam();
+  Result<std::vector<int>> blanket = MarkovBlanket(data, 2, options);
+  ASSERT_TRUE(blanket.ok());
+  EXPECT_TRUE(std::find(blanket->begin(), blanket->end(), 0) ==
+              blanket->end());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMethods, MarkovBlanketMethodTest,
+                         testing::Values(BlanketMethod::kGraphicalLasso,
+                                         BlanketMethod::kNeighborhoodSelection));
+
+TEST(MarkovBlanketTest, RejectsBadArguments) {
+  Matrix data(5, 1);
+  EXPECT_FALSE(MarkovBlanket(data, 0, {}).ok());
+  Matrix small(2, 3);
+  EXPECT_FALSE(MarkovBlanket(small, 0, {}).ok());
+  Matrix ok_data(10, 3);
+  EXPECT_FALSE(MarkovBlanket(ok_data, 7, {}).ok());
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,134 @@
+#include "lf/lf_candidates.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/synthetic_tabular.h"
+#include "data/synthetic_text.h"
+#include "lf/lf_applier.h"
+#include "util/rng.h"
+
+namespace activedp {
+namespace {
+
+Dataset SmallTextDataset() {
+  SyntheticTextConfig config;
+  config.num_examples = 300;
+  config.label_noise = 0.0;
+  Rng rng(3);
+  return GenerateSyntheticText(config, rng);
+}
+
+Dataset SmallTabularDataset() {
+  SyntheticTabularConfig config;
+  config.num_examples = 250;
+  config.num_features = 4;
+  Rng rng(5);
+  return GenerateSyntheticTabular(config, rng);
+}
+
+TEST(TextLfSpaceTest, CandidateStatsMatchBruteForce) {
+  const Dataset dataset = SmallTextDataset();
+  const auto space = BuildLfSpace(dataset);
+  const std::vector<int> labels = dataset.Labels();
+  const std::vector<LfCandidate> candidates =
+      space->CandidatesFor(dataset.example(0), /*min_accuracy=*/-1.0,
+                           /*target_label=*/-1);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& candidate : candidates) {
+    const LfColumnStats stats =
+        ComputeColumnStats(ApplyLf(*candidate.lf, dataset), labels);
+    EXPECT_NEAR(candidate.coverage, stats.coverage, 1e-12)
+        << candidate.lf->Name();
+    EXPECT_NEAR(candidate.train_accuracy, stats.accuracy, 1e-12)
+        << candidate.lf->Name();
+  }
+}
+
+TEST(TextLfSpaceTest, CandidatesAnchoredAtExample) {
+  const Dataset dataset = SmallTextDataset();
+  const auto space = BuildLfSpace(dataset);
+  const Example& x = dataset.example(7);
+  for (const auto& candidate :
+       space->CandidatesFor(x, -1.0, /*target_label=*/-1)) {
+    // Every candidate must fire on the anchor example.
+    EXPECT_NE(candidate.lf->Apply(x), kAbstain) << candidate.lf->Name();
+  }
+}
+
+TEST(TextLfSpaceTest, AccuracyThresholdFilters) {
+  const Dataset dataset = SmallTextDataset();
+  const auto space = BuildLfSpace(dataset);
+  for (const auto& candidate :
+       space->CandidatesFor(dataset.example(0), 0.6, -1)) {
+    EXPECT_GT(candidate.train_accuracy, 0.6);
+  }
+}
+
+TEST(TextLfSpaceTest, TargetLabelFilters) {
+  const Dataset dataset = SmallTextDataset();
+  const auto space = BuildLfSpace(dataset);
+  for (const auto& candidate :
+       space->CandidatesFor(dataset.example(0), -1.0, /*target_label=*/1)) {
+    EXPECT_EQ(candidate.lf->label(), 1);
+  }
+}
+
+TEST(TextLfSpaceTest, AllCandidatesRespectMinCoverage) {
+  const Dataset dataset = SmallTextDataset();
+  const auto space = BuildLfSpace(dataset);
+  const std::vector<LfCandidate> pool = space->AllCandidates(0.05);
+  ASSERT_FALSE(pool.empty());
+  for (const auto& candidate : pool) {
+    EXPECT_GE(candidate.coverage, 0.05);
+  }
+  // Lower threshold yields at least as many candidates.
+  EXPECT_GE(space->AllCandidates(0.01).size(), pool.size());
+}
+
+TEST(TabularLfSpaceTest, CandidateStatsMatchBruteForce) {
+  const Dataset dataset = SmallTabularDataset();
+  const auto space = BuildLfSpace(dataset);
+  const std::vector<int> labels = dataset.Labels();
+  const std::vector<LfCandidate> candidates =
+      space->CandidatesFor(dataset.example(3), -1.0, -1);
+  // 4 features x 2 ops x 2 classes, minus zero-coverage ones.
+  EXPECT_GT(candidates.size(), 8u);
+  for (const auto& candidate : candidates) {
+    const LfColumnStats stats =
+        ComputeColumnStats(ApplyLf(*candidate.lf, dataset), labels);
+    EXPECT_NEAR(candidate.coverage, stats.coverage, 1e-12)
+        << candidate.lf->Name();
+    EXPECT_NEAR(candidate.train_accuracy, stats.accuracy, 1e-12)
+        << candidate.lf->Name();
+  }
+}
+
+TEST(TabularLfSpaceTest, StumpsAnchoredAtExampleValues) {
+  const Dataset dataset = SmallTabularDataset();
+  const auto space = BuildLfSpace(dataset);
+  const Example& x = dataset.example(11);
+  for (const auto& candidate : space->CandidatesFor(x, -1.0, -1)) {
+    const auto* stump =
+        dynamic_cast<const ThresholdLf*>(candidate.lf.get());
+    ASSERT_NE(stump, nullptr);
+    EXPECT_DOUBLE_EQ(stump->threshold(), x.features[stump->feature()]);
+    EXPECT_NE(candidate.lf->Apply(x), kAbstain);
+  }
+}
+
+TEST(TabularLfSpaceTest, DecileGridStatsMatchBruteForce) {
+  const Dataset dataset = SmallTabularDataset();
+  const auto space = BuildLfSpace(dataset);
+  const std::vector<int> labels = dataset.Labels();
+  for (const auto& candidate : space->AllCandidates(0.0)) {
+    const LfColumnStats stats =
+        ComputeColumnStats(ApplyLf(*candidate.lf, dataset), labels);
+    EXPECT_NEAR(candidate.coverage, stats.coverage, 1e-12);
+    EXPECT_NEAR(candidate.train_accuracy, stats.accuracy, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "lf/label_function.h"
+#include "lf/lf_applier.h"
+
+namespace activedp {
+namespace {
+
+Example TextExample(std::vector<std::pair<int, int>> term_counts, int label) {
+  Example e;
+  e.term_counts = std::move(term_counts);
+  e.label = label;
+  return e;
+}
+
+Example TabularExample(std::vector<double> features, int label) {
+  Example e;
+  e.features = std::move(features);
+  e.label = label;
+  return e;
+}
+
+TEST(KeywordLfTest, FiresOnKeywordPresence) {
+  const KeywordLf lf(/*token_id=*/3, "check", /*label=*/1);
+  EXPECT_EQ(lf.Apply(TextExample({{1, 1}, {3, 2}}, 0)), 1);
+  EXPECT_EQ(lf.Apply(TextExample({{1, 1}, {4, 1}}, 0)), kAbstain);
+  EXPECT_EQ(lf.label(), 1);
+  EXPECT_EQ(lf.Name(), "check -> class1");
+  EXPECT_EQ(lf.Key(), "kw:3:1");
+}
+
+TEST(ThresholdLfTest, FiresByOperator) {
+  const ThresholdLf le(/*feature=*/0, 2.0, StumpOp::kLessEqual, 0);
+  EXPECT_EQ(le.Apply(TabularExample({1.5}, 0)), 0);
+  EXPECT_EQ(le.Apply(TabularExample({2.0}, 0)), 0);  // boundary included
+  EXPECT_EQ(le.Apply(TabularExample({2.5}, 0)), kAbstain);
+  const ThresholdLf ge(0, 2.0, StumpOp::kGreaterEqual, 1);
+  EXPECT_EQ(ge.Apply(TabularExample({2.0}, 0)), 1);
+  EXPECT_EQ(ge.Apply(TabularExample({1.0}, 0)), kAbstain);
+}
+
+TEST(ThresholdLfTest, KeysDistinguishOperatorAndClass) {
+  const ThresholdLf a(0, 1.0, StumpOp::kLessEqual, 0);
+  const ThresholdLf b(0, 1.0, StumpOp::kGreaterEqual, 0);
+  const ThresholdLf c(0, 1.0, StumpOp::kLessEqual, 1);
+  EXPECT_NE(a.Key(), b.Key());
+  EXPECT_NE(a.Key(), c.Key());
+}
+
+Dataset TinyDataset() {
+  DatasetMeta meta;
+  meta.num_classes = 2;
+  std::vector<Example> examples = {
+      TextExample({{0, 1}}, 1),          // contains token 0
+      TextExample({{1, 1}}, 0),          // contains token 1
+      TextExample({{0, 1}, {1, 1}}, 1),  // both
+      TextExample({{2, 1}}, 0),          // neither
+  };
+  return Dataset(meta, std::move(examples));
+}
+
+TEST(LfApplierTest, ApplyLfProducesColumn) {
+  const Dataset dataset = TinyDataset();
+  const KeywordLf lf(0, "w0", 1);
+  const std::vector<int8_t> column = ApplyLf(lf, dataset);
+  EXPECT_EQ(column, (std::vector<int8_t>{1, -1, 1, -1}));
+}
+
+TEST(LfApplierTest, ApplyLfsBuildsMatrix) {
+  const Dataset dataset = TinyDataset();
+  std::vector<LfPtr> lfs = {std::make_shared<KeywordLf>(0, "w0", 1),
+                            std::make_shared<KeywordLf>(1, "w1", 0)};
+  const LabelMatrix matrix = ApplyLfs(lfs, dataset);
+  EXPECT_EQ(matrix.num_rows(), 4);
+  EXPECT_EQ(matrix.num_cols(), 2);
+  EXPECT_EQ(matrix.At(2, 0), 1);
+  EXPECT_EQ(matrix.At(2, 1), 0);
+  EXPECT_EQ(matrix.At(3, 0), kAbstain);
+}
+
+TEST(LabelMatrixTest, RowAndActivity) {
+  LabelMatrix matrix(3);
+  matrix.AddColumn({1, -1, 0});
+  matrix.AddColumn({-1, -1, 1});
+  EXPECT_EQ(matrix.Row(0), (std::vector<int>{1, -1}));
+  EXPECT_EQ(matrix.Row(2), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(matrix.AnyActive(0));
+  EXPECT_FALSE(matrix.AnyActive(1));
+  EXPECT_TRUE(matrix.AnyActive(2));
+  EXPECT_FALSE(matrix.AnyActive(1, {0, 1}));
+  EXPECT_TRUE(matrix.AnyActive(0, {0}));
+  EXPECT_FALSE(matrix.AnyActive(0, {1}));
+}
+
+TEST(LabelMatrixTest, RowRestrictedToColumns) {
+  LabelMatrix matrix(1);
+  matrix.AddColumn({0});
+  matrix.AddColumn({1});
+  matrix.AddColumn({-1});
+  EXPECT_EQ(matrix.Row(0, {2, 0}), (std::vector<int>{-1, 0}));
+}
+
+TEST(LabelMatrixTest, SelectColumnsAndRows) {
+  LabelMatrix matrix(3);
+  matrix.AddColumn({1, 0, -1});
+  matrix.AddColumn({-1, 1, 0});
+  const LabelMatrix cols = matrix.SelectColumns({1});
+  EXPECT_EQ(cols.num_cols(), 1);
+  EXPECT_EQ(cols.At(1, 0), 1);
+  const LabelMatrix rows = matrix.SelectRows({2, 0});
+  EXPECT_EQ(rows.num_rows(), 2);
+  EXPECT_EQ(rows.At(0, 0), -1);
+  EXPECT_EQ(rows.At(1, 0), 1);
+}
+
+TEST(LabelMatrixTest, SetOverwritesEntry) {
+  LabelMatrix matrix(2);
+  matrix.AddColumn({1, -1});
+  matrix.Set(1, 0, 0);
+  EXPECT_EQ(matrix.At(1, 0), 0);
+}
+
+TEST(LabelMatrixTest, OverallCoverage) {
+  LabelMatrix matrix(4);
+  matrix.AddColumn({1, -1, -1, -1});
+  matrix.AddColumn({-1, 0, -1, -1});
+  EXPECT_DOUBLE_EQ(matrix.OverallCoverage(), 0.5);
+}
+
+TEST(ColumnStatsTest, CoverageAndAccuracy) {
+  const std::vector<int8_t> column = {1, 1, -1, 0};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const LfColumnStats stats = ComputeColumnStats(column, labels);
+  EXPECT_EQ(stats.activations, 3);
+  EXPECT_DOUBLE_EQ(stats.coverage, 0.75);
+  EXPECT_NEAR(stats.accuracy, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ColumnStatsTest, NeverFiring) {
+  const LfColumnStats stats = ComputeColumnStats({-1, -1}, {0, 1});
+  EXPECT_EQ(stats.activations, 0);
+  EXPECT_DOUBLE_EQ(stats.coverage, 0.0);
+  EXPECT_DOUBLE_EQ(stats.accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/linalg.h"
+#include "math/matrix.h"
+#include "math/stats.h"
+#include "math/vector_ops.h"
+
+namespace activedp {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 5;
+  m(1, 1) = -2;
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5);
+  EXPECT_NEAR(Matrix::MaxAbsDiff(t.Transpose(), m), 0.0, 1e-15);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MultiplyIdentityIsNoop) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) a(i, j) = i * 3 + j;
+  EXPECT_NEAR(Matrix::MaxAbsDiff(a.Multiply(Matrix::Identity(3)), a), 0.0,
+              1e-15);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const std::vector<double> y = a.MultiplyVector({1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a(1, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  Matrix b(1, 2);
+  b(0, 0) = 10;
+  b(0, 1) = 20;
+  EXPECT_DOUBLE_EQ(a.Add(b)(0, 1), 22);
+  EXPECT_DOUBLE_EQ(b.Subtract(a)(0, 0), 9);
+  EXPECT_DOUBLE_EQ(a.Scale(-2.0)(0, 1), -4);
+}
+
+TEST(VectorOpsTest, DotAxpyNorm) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  Axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+}
+
+TEST(VectorOpsTest, MeanVariance) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.571428571, 1e-6);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(VectorOpsTest, SoftmaxSumsToOneAndIsStable) {
+  const std::vector<double> p = Softmax({1000.0, 1001.0});
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(VectorOpsTest, SoftmaxMatchesClosedForm) {
+  const std::vector<double> p = Softmax({0.0, std::log(3.0)});
+  EXPECT_NEAR(p[0], 0.25, 1e-12);
+  EXPECT_NEAR(p[1], 0.75, 1e-12);
+}
+
+TEST(VectorOpsTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp({std::log(1.0), std::log(3.0)}), std::log(4.0), 1e-12);
+}
+
+TEST(VectorOpsTest, EntropyCases) {
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 0.0}), 0.0);
+  EXPECT_NEAR(Entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  // Entropy of uniform over k outcomes is log k and is the maximum.
+  EXPECT_NEAR(Entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+  EXPECT_LT(Entropy({0.7, 0.1, 0.1, 0.1}), std::log(4.0));
+}
+
+TEST(VectorOpsTest, ArgMaxFirstOnTies) {
+  EXPECT_EQ(ArgMax({1.0, 3.0, 3.0}), 1);
+  EXPECT_EQ(ArgMax({5.0}), 0);
+  EXPECT_DOUBLE_EQ(Max({1.0, 9.0, 2.0}), 9.0);
+}
+
+TEST(LinalgTest, CholeskyOfKnownMatrix) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  Result<Matrix> l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+  // L L^T reconstructs A.
+  EXPECT_NEAR(Matrix::MaxAbsDiff(l->Multiply(l->Transpose()), a), 0.0, 1e-12);
+}
+
+TEST(LinalgTest, CholeskyRejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(LinalgTest, SolveSpdRecoversSolution) {
+  Matrix a(3, 3);
+  // Diagonally dominant SPD matrix.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a(i, j) = i == j ? 5.0 : 1.0;
+  }
+  const std::vector<double> x_true = {1.0, -2.0, 0.5};
+  const std::vector<double> b = a.MultiplyVector(x_true);
+  Result<std::vector<double>> x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-10);
+}
+
+TEST(LinalgTest, InverseSpdTimesOriginalIsIdentity) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a(i, j) = i == j ? 4.0 : 0.5;
+  }
+  Result<Matrix> inv = InverseSpd(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_NEAR(Matrix::MaxAbsDiff(a.Multiply(*inv), Matrix::Identity(3)), 0.0,
+              1e-10);
+}
+
+TEST(StatsTest, ColumnMeans) {
+  Matrix data(2, 2);
+  data(0, 0) = 1;
+  data(0, 1) = 10;
+  data(1, 0) = 3;
+  data(1, 1) = 30;
+  const std::vector<double> means = ColumnMeans(data);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+}
+
+TEST(StatsTest, CovarianceOfKnownData) {
+  // Perfectly correlated columns.
+  Matrix data(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    data(i, 0) = i;
+    data(i, 1) = 2.0 * i;
+  }
+  const Matrix cov = CovarianceMatrix(data);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(1, 0), cov(0, 1), 1e-15);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, BinaryEntropy) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+  EXPECT_NEAR(BinaryEntropy(0.5), std::log(2.0), 1e-12);
+  EXPECT_NEAR(BinaryEntropy(0.2), BinaryEntropy(0.8), 1e-12);
+}
+
+}  // namespace
+}  // namespace activedp

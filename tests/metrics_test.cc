@@ -1,0 +1,123 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/featurizer.h"
+#include "data/synthetic_tabular.h"
+
+namespace activedp {
+namespace {
+
+TEST(MetricsTest, AccuracyIgnoresAbstains) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, -1, 1}, {0, 0, 0, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({-1, -1}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, Coverage) {
+  EXPECT_DOUBLE_EQ(Coverage({0, -1, 1, -1}), 0.5);
+  EXPECT_DOUBLE_EQ(Coverage({}), 0.0);
+  EXPECT_DOUBLE_EQ(Coverage({-1, -1}), 0.0);
+}
+
+TEST(MetricsTest, ConfusionCounts) {
+  const Matrix counts = ConfusionCounts({0, 1, 1, -1, 0}, {0, 1, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(counts(0, 0), 1.0);  // truth 0 pred 0
+  EXPECT_DOUBLE_EQ(counts(0, 1), 1.0);  // truth 0 pred 1
+  EXPECT_DOUBLE_EQ(counts(1, 0), 1.0);  // truth 1 pred 0
+  EXPECT_DOUBLE_EQ(counts(1, 1), 1.0);  // truth 1 pred 1
+}
+
+TEST(MetricsTest, BinaryPrf) {
+  // preds: P P N N ; truth: P N P N (positive class = 1)
+  const PrecisionRecallF1 prf = BinaryPrf({1, 1, 0, 0}, {1, 0, 1, 0}, 1);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.5);
+}
+
+TEST(MetricsTest, BinaryPrfDegenerate) {
+  const PrecisionRecallF1 prf = BinaryPrf({0, 0}, {0, 0}, 1);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+}
+
+TEST(MetricsTest, CurveAverage) {
+  EXPECT_DOUBLE_EQ(CurveAverage({0.5, 0.7, 0.9}), 0.7);
+  EXPECT_DOUBLE_EQ(CurveAverage({}), 0.0);
+}
+
+TEST(MetricsTest, BrierScorePerfectAndWorst) {
+  // Perfect one-hot predictions score 0.
+  EXPECT_DOUBLE_EQ(BrierScore({{1.0, 0.0}, {0.0, 1.0}}, {0, 1}), 0.0);
+  // Completely wrong confident predictions score 2 (binary).
+  EXPECT_DOUBLE_EQ(BrierScore({{0.0, 1.0}}, {0}), 2.0);
+  // Uniform predictions on binary: 0.25 + 0.25 = 0.5.
+  EXPECT_DOUBLE_EQ(BrierScore({{0.5, 0.5}}, {1}), 0.5);
+  EXPECT_DOUBLE_EQ(BrierScore({}, {}), 0.0);
+}
+
+TEST(MetricsTest, EceZeroForPerfectlyCalibrated) {
+  // Confidence 1.0 and always right -> ECE 0.
+  std::vector<std::vector<double>> proba(50, {1.0, 0.0});
+  std::vector<int> labels(50, 0);
+  EXPECT_NEAR(ExpectedCalibrationError(proba, labels), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, EceDetectsOverconfidence) {
+  // Always 0.95-confident class 1 but only right half the time:
+  // |0.5 - 0.95| = 0.45.
+  std::vector<std::vector<double>> proba(100, {0.05, 0.95});
+  std::vector<int> labels(100);
+  for (int i = 0; i < 100; ++i) labels[i] = i % 2;
+  EXPECT_NEAR(ExpectedCalibrationError(proba, labels), 0.45, 1e-9);
+}
+
+TEST(FeaturizerTest, TabularStandardizesTrainingData) {
+  SyntheticTabularConfig config;
+  config.num_examples = 500;
+  config.num_features = 3;
+  config.informative_features = 2;
+  Rng rng(3);
+  const Dataset dataset = GenerateSyntheticTabular(config, rng);
+  TabularFeaturizer featurizer(dataset);
+  EXPECT_EQ(featurizer.dim(), 3);
+  // Transformed features should have ~zero mean, ~unit variance.
+  std::vector<double> sums(3, 0.0), sq(3, 0.0);
+  for (const auto& e : dataset.examples()) {
+    const SparseVector v = featurizer.Transform(e);
+    for (int k = 0; k < v.nnz(); ++k) {
+      sums[v.indices[k]] += v.values[k];
+      sq[v.indices[k]] += v.values[k] * v.values[k];
+    }
+  }
+  for (int j = 0; j < 3; ++j) {
+    const double mean = sums[j] / dataset.size();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(sq[j] / dataset.size() - mean * mean, 1.0, 0.02);
+  }
+}
+
+TEST(FeaturizerTest, MakeFeaturizerDispatchesOnTask) {
+  SyntheticTabularConfig config;
+  config.num_examples = 50;
+  Rng rng(5);
+  const Dataset tabular = GenerateSyntheticTabular(config, rng);
+  EXPECT_NE(dynamic_cast<TabularFeaturizer*>(MakeFeaturizer(tabular).get()),
+            nullptr);
+}
+
+TEST(FeaturizerTest, FeaturizeAllAlignsWithDataset) {
+  SyntheticTabularConfig config;
+  config.num_examples = 40;
+  Rng rng(7);
+  const Dataset dataset = GenerateSyntheticTabular(config, rng);
+  const auto featurizer = MakeFeaturizer(dataset);
+  const std::vector<SparseVector> features =
+      FeaturizeAll(*featurizer, dataset);
+  EXPECT_EQ(static_cast<int>(features.size()), dataset.size());
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,125 @@
+#include "lf/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic_tabular.h"
+#include "data/synthetic_text.h"
+
+namespace activedp {
+namespace {
+
+Dataset TextData(uint64_t seed = 3) {
+  SyntheticTextConfig config;
+  config.num_examples = 400;
+  config.label_noise = 0.0;
+  Rng rng(seed);
+  return GenerateSyntheticText(config, rng);
+}
+
+TEST(SimulatedUserTest, ReturnedLfFiresOnQueryAndVotesItsLabel) {
+  const Dataset train = TextData();
+  SimulatedUser user(train, {});
+  for (int q = 0; q < 50; ++q) {
+    std::optional<LfCandidate> response = user.CreateLf(q);
+    if (!response.has_value()) continue;
+    EXPECT_EQ(response->lf->Apply(train.example(q)), response->lf->label());
+    // Without injected noise the LF votes the query's true label (§3.1).
+    EXPECT_EQ(response->lf->label(), train.example(q).label);
+    EXPECT_GT(response->train_accuracy, 0.6);
+  }
+}
+
+TEST(SimulatedUserTest, NeverReturnsDuplicateLfs) {
+  const Dataset train = TextData();
+  SimulatedUser user(train, {});
+  std::set<std::string> keys;
+  for (int q = 0; q < 100; ++q) {
+    std::optional<LfCandidate> response = user.CreateLf(q);
+    if (!response.has_value()) continue;
+    EXPECT_TRUE(keys.insert(response->lf->Key()).second)
+        << "duplicate " << response->lf->Name();
+  }
+}
+
+TEST(SimulatedUserTest, DeterministicForSeed) {
+  const Dataset train = TextData();
+  SimulatedUserOptions options;
+  options.seed = 99;
+  SimulatedUser a(train, options), b(train, options);
+  for (int q = 0; q < 20; ++q) {
+    const auto ra = a.CreateLf(q);
+    const auto rb = b.CreateLf(q);
+    ASSERT_EQ(ra.has_value(), rb.has_value());
+    if (ra.has_value()) EXPECT_EQ(ra->lf->Key(), rb->lf->Key());
+  }
+}
+
+TEST(SimulatedUserTest, LabelNoiseProducesMisfiringLfs) {
+  const Dataset train = TextData();
+  SimulatedUserOptions options;
+  options.label_noise = 1.0;  // every query flipped
+  options.seed = 7;
+  SimulatedUser user(train, options);
+  int answered = 0, wrong_on_query = 0;
+  for (int q = 0; q < 200; ++q) {
+    std::optional<LfCandidate> response = user.CreateLf(q);
+    if (!response.has_value()) continue;
+    ++answered;
+    // The LF votes the flipped label, so it disagrees with the query's
+    // ground truth...
+    if (response->lf->label() != train.example(q).label) ++wrong_on_query;
+    // ...but still clears the global accuracy threshold (§4.3.3).
+    EXPECT_GT(response->train_accuracy, 0.6);
+  }
+  ASSERT_GT(answered, 0);
+  EXPECT_EQ(wrong_on_query, answered);
+}
+
+TEST(SimulatedUserTest, VerifyLfUsesThreshold) {
+  const Dataset train = TextData();
+  SimulatedUser user(train, {});
+  LfCandidate good;
+  good.train_accuracy = 0.9;
+  LfCandidate bad;
+  bad.train_accuracy = 0.55;
+  EXPECT_TRUE(user.VerifyLf(good));
+  EXPECT_FALSE(user.VerifyLf(bad));
+}
+
+TEST(SimulatedUserTest, LabelInstanceReturnsGroundTruth) {
+  const Dataset train = TextData();
+  SimulatedUser user(train, {});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(user.LabelInstance(i), train.example(i).label);
+  }
+}
+
+TEST(SimulatedUserTest, WorksOnTabularData) {
+  SyntheticTabularConfig config;
+  config.num_examples = 300;
+  Rng rng(5);
+  const Dataset train = GenerateSyntheticTabular(config, rng);
+  SimulatedUser user(train, {});
+  int answered = 0;
+  for (int q = 0; q < 50; ++q) {
+    std::optional<LfCandidate> response = user.CreateLf(q);
+    if (!response.has_value()) continue;
+    ++answered;
+    EXPECT_EQ(response->lf->Apply(train.example(q)), response->lf->label());
+    EXPECT_GT(response->train_accuracy, 0.6);
+  }
+  EXPECT_GT(answered, 10);
+}
+
+TEST(SimulatedUserTest, CountsQueries) {
+  const Dataset train = TextData();
+  SimulatedUser user(train, {});
+  (void)user.CreateLf(0);
+  (void)user.CreateLf(1);
+  EXPECT_EQ(user.num_queries_answered(), 2);
+}
+
+}  // namespace
+}  // namespace activedp

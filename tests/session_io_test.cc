@@ -1,0 +1,193 @@
+#include "core/session_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/activedp.h"
+#include "core/framework.h"
+#include "data/synthetic_text.h"
+#include "util/rng.h"
+
+namespace activedp {
+namespace {
+
+SessionState MakeState() {
+  SessionState state;
+  state.lfs.push_back(std::make_shared<KeywordLf>(3, "check", 1));
+  state.lfs.push_back(std::make_shared<KeywordLf>(17, "song", 0));
+  state.lfs.push_back(std::make_shared<ThresholdLf>(
+      2, 0.12345678901234567, StumpOp::kLessEqual, 0));
+  state.lfs.push_back(std::make_shared<ThresholdLf>(
+      5, -3.5, StumpOp::kGreaterEqual, 1));
+  state.query_indices = {10, 20, 30, 40};
+  state.pseudo_labels = {1, 0, 0, 1};
+  return state;
+}
+
+TEST(SessionIoTest, RoundTripsAllLfKinds) {
+  const std::string path = testing::TempDir() + "/session.adp";
+  const SessionState original = MakeState();
+  ASSERT_TRUE(SaveSession(original, path).ok());
+  Result<SessionState> loaded = LoadSession(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->lfs.size(), original.lfs.size());
+  for (size_t i = 0; i < original.lfs.size(); ++i) {
+    EXPECT_EQ(loaded->lfs[i]->Key(), original.lfs[i]->Key()) << i;
+    EXPECT_EQ(loaded->lfs[i]->Name(), original.lfs[i]->Name()) << i;
+  }
+  EXPECT_EQ(loaded->query_indices, original.query_indices);
+  EXPECT_EQ(loaded->pseudo_labels, original.pseudo_labels);
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, ThresholdSurvivesExactly) {
+  const std::string path = testing::TempDir() + "/session2.adp";
+  ASSERT_TRUE(SaveSession(MakeState(), path).ok());
+  Result<SessionState> loaded = LoadSession(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto* stump =
+      dynamic_cast<const ThresholdLf*>(loaded->lfs[2].get());
+  ASSERT_NE(stump, nullptr);
+  EXPECT_DOUBLE_EQ(stump->threshold(), 0.12345678901234567);
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, VocabularyRemapsKeywordIds) {
+  // Save against one dataset's ids, load against another's vocabulary.
+  SyntheticTextConfig config;
+  config.num_examples = 200;
+  Rng rng(3);
+  const Dataset dataset = GenerateSyntheticText(config, rng);
+  const int id = dataset.vocabulary().GetId("c0w0");
+  ASSERT_NE(id, Vocabulary::kUnknownId);
+
+  SessionState state;
+  state.lfs.push_back(
+      std::make_shared<KeywordLf>(/*wrong id=*/9999, "c0w0", 0));
+  state.query_indices = {-1};
+  state.pseudo_labels = {-1};
+  const std::string path = testing::TempDir() + "/session3.adp";
+  ASSERT_TRUE(SaveSession(state, path).ok());
+
+  Result<SessionState> loaded = LoadSession(path, &dataset.vocabulary());
+  ASSERT_TRUE(loaded.ok());
+  const auto* keyword =
+      dynamic_cast<const KeywordLf*>(loaded->lfs[0].get());
+  ASSERT_NE(keyword, nullptr);
+  EXPECT_EQ(keyword->token_id(), id);  // re-resolved
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, MissingKeywordInVocabularyFails) {
+  SyntheticTextConfig config;
+  config.num_examples = 100;
+  Rng rng(5);
+  const Dataset dataset = GenerateSyntheticText(config, rng);
+  SessionState state;
+  state.lfs.push_back(std::make_shared<KeywordLf>(1, "no-such-word", 1));
+  const std::string path = testing::TempDir() + "/session4.adp";
+  ASSERT_TRUE(SaveSession(state, path).ok());
+  EXPECT_EQ(LoadSession(path, &dataset.vocabulary()).status().code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, RejectsCorruptFiles) {
+  const std::string path = testing::TempDir() + "/bad.adp";
+  {
+    std::ofstream out(path);
+    out << "something else\nkw 1 x 1 0 0\n";
+  }
+  EXPECT_FALSE(LoadSession(path).ok());
+  {
+    std::ofstream out(path);
+    out << "activedp-session v1\nkw 1\n";
+  }
+  EXPECT_FALSE(LoadSession(path).ok());
+  {
+    std::ofstream out(path);
+    out << "activedp-session v1\nst 1 0.5 XX 1 0 0\n";
+  }
+  EXPECT_FALSE(LoadSession(path).ok());
+  {
+    std::ofstream out(path);
+    out << "activedp-session v1\nzz 1 2 3\n";
+  }
+  EXPECT_FALSE(LoadSession(path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadSession("/no/such/file").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SessionIoTest, PipelineSnapshotRestoreRoundTrip) {
+  // Run a pipeline, snapshot, restore into a fresh pipeline, and check the
+  // restored pipeline produces the same labels.
+  SyntheticTextConfig config;
+  config.num_examples = 500;
+  Rng rng(13);
+  const Dataset full = GenerateSyntheticText(config, rng);
+  Rng split_rng(17);
+  const DataSplit split = SplitDataset(full, 0.8, 0.1, split_rng);
+  FrameworkContext context = FrameworkContext::Build(split);
+
+  ActiveDpOptions options;
+  options.seed = 19;
+  ActiveDp original(context, options);
+  for (int t = 0; t < 25; ++t) ASSERT_TRUE(original.Step().ok());
+
+  const std::string path = testing::TempDir() + "/pipeline.adp";
+  ASSERT_TRUE(SaveSession(original.Snapshot(), path).ok());
+  Result<SessionState> loaded =
+      LoadSession(path, &split.train.vocabulary());
+  ASSERT_TRUE(loaded.ok());
+
+  ActiveDp restored(context, options);
+  ASSERT_TRUE(restored.Restore(*loaded).ok());
+  EXPECT_EQ(restored.lfs().size(), original.lfs().size());
+  EXPECT_EQ(restored.query_indices(), original.query_indices());
+  EXPECT_EQ(restored.pseudo_labels(), original.pseudo_labels());
+  EXPECT_EQ(restored.has_al_model(), original.has_al_model());
+
+  const auto a = original.CurrentTrainingLabels();
+  const auto b = restored.CurrentTrainingLabels();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << i;
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      EXPECT_NEAR(a[i][c], b[i][c], 1e-9);
+    }
+  }
+  // And the restored pipeline can keep going.
+  EXPECT_TRUE(restored.Step().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, RestoreRejectsUsedPipeline) {
+  SyntheticTextConfig config;
+  config.num_examples = 200;
+  Rng rng(23);
+  const Dataset full = GenerateSyntheticText(config, rng);
+  Rng split_rng(29);
+  const DataSplit split = SplitDataset(full, 0.8, 0.1, split_rng);
+  FrameworkContext context = FrameworkContext::Build(split);
+  ActiveDpOptions options;
+  options.seed = 31;
+  ActiveDp pipeline(context, options);
+  ASSERT_TRUE(pipeline.Step().ok());
+  EXPECT_EQ(pipeline.Restore(SessionState{}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionIoTest, EmptySessionRoundTrips) {
+  const std::string path = testing::TempDir() + "/empty.adp";
+  ASSERT_TRUE(SaveSession(SessionState{}, path).ok());
+  Result<SessionState> loaded = LoadSession(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->lfs.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "text/stopwords.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace activedp {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("Hello, World! 42x"),
+            (std::vector<std::string>{"hello", "world", "42x"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("... !!! ---").empty());
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("a an the cat"),
+            (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, StopwordRemoval) {
+  TokenizerOptions options;
+  options.remove_stopwords = true;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("the cat and the dog"),
+            (std::vector<std::string>{"cat", "dog"}));
+}
+
+TEST(TokenizerTest, PreserveCaseOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer tokenizer(options);
+  EXPECT_EQ(tokenizer.Tokenize("Hello"), (std::vector<std::string>{"Hello"}));
+}
+
+TEST(StopwordsTest, KnownMembers) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_FALSE(IsStopword("spam"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+TEST(VocabularyTest, BuildAssignsIdsByDocFrequency) {
+  const std::vector<std::vector<std::string>> docs = {
+      {"a", "b", "b"}, {"a", "c"}, {"a"}};
+  const Vocabulary vocab = Vocabulary::Build(docs);
+  EXPECT_EQ(vocab.size(), 3);
+  // "a" appears in 3 docs -> id 0; duplicate tokens in one doc count once.
+  EXPECT_EQ(vocab.GetId("a"), 0);
+  EXPECT_EQ(vocab.doc_frequency(0), 3);
+  EXPECT_EQ(vocab.doc_frequency(vocab.GetId("b")), 1);
+  EXPECT_EQ(vocab.GetId("zzz"), Vocabulary::kUnknownId);
+  EXPECT_EQ(vocab.GetWord(vocab.GetId("c")), "c");
+}
+
+TEST(VocabularyTest, MinDocCountPrunes) {
+  const std::vector<std::vector<std::string>> docs = {
+      {"common", "rare1"}, {"common", "rare2"}, {"common"}};
+  const Vocabulary vocab = Vocabulary::Build(docs, /*min_doc_count=*/2);
+  EXPECT_EQ(vocab.size(), 1);
+  EXPECT_NE(vocab.GetId("common"), Vocabulary::kUnknownId);
+  EXPECT_EQ(vocab.GetId("rare1"), Vocabulary::kUnknownId);
+}
+
+TEST(VocabularyTest, MaxSizeKeepsMostFrequent) {
+  const std::vector<std::vector<std::string>> docs = {
+      {"x", "y"}, {"x", "y"}, {"x"}};
+  const Vocabulary vocab = Vocabulary::Build(docs, 1, /*max_size=*/1);
+  EXPECT_EQ(vocab.size(), 1);
+  EXPECT_NE(vocab.GetId("x"), Vocabulary::kUnknownId);
+}
+
+TEST(VocabularyTest, DeterministicTieBreak) {
+  const std::vector<std::vector<std::string>> docs = {{"beta", "alpha"}};
+  const Vocabulary vocab = Vocabulary::Build(docs);
+  // Equal doc frequency -> lexicographic order.
+  EXPECT_EQ(vocab.GetId("alpha"), 0);
+  EXPECT_EQ(vocab.GetId("beta"), 1);
+}
+
+Dataset TinyTextDataset() {
+  // Build a 3-document dataset by hand.
+  const std::vector<std::vector<std::string>> docs = {
+      {"spam", "spam", "money"}, {"ham", "hello"}, {"money", "hello"}};
+  Vocabulary vocab = Vocabulary::Build(docs);
+  std::vector<Example> examples;
+  for (const auto& doc : docs) {
+    Example e;
+    std::map<int, int> counts;
+    for (const auto& token : doc) ++counts[vocab.GetId(token)];
+    for (const auto& [id, c] : counts) e.term_counts.emplace_back(id, c);
+    e.label = 0;
+    examples.push_back(e);
+  }
+  DatasetMeta meta;
+  meta.name = "tiny";
+  meta.num_classes = 2;
+  meta.class_names = {"a", "b"};
+  Dataset dataset(meta, std::move(examples));
+  dataset.set_vocabulary(std::move(vocab));
+  return dataset;
+}
+
+TEST(TfidfTest, DimensionMatchesVocabulary) {
+  const Dataset dataset = TinyTextDataset();
+  const TfidfFeaturizer tfidf = TfidfFeaturizer::Fit(dataset);
+  EXPECT_EQ(tfidf.dim(), dataset.vocabulary().size());
+}
+
+TEST(TfidfTest, RarerTermsGetHigherIdf) {
+  const Dataset dataset = TinyTextDataset();
+  const TfidfFeaturizer tfidf = TfidfFeaturizer::Fit(dataset);
+  const int money = dataset.vocabulary().GetId("money");  // df 2
+  const int spam = dataset.vocabulary().GetId("spam");    // df 1
+  EXPECT_GT(tfidf.idf(spam), tfidf.idf(money));
+}
+
+TEST(TfidfTest, TransformIsL2Normalized) {
+  const Dataset dataset = TinyTextDataset();
+  const TfidfFeaturizer tfidf = TfidfFeaturizer::Fit(dataset);
+  const SparseVector v = tfidf.Transform(dataset.example(0));
+  double norm_sq = 0.0;
+  for (double value : v.values) norm_sq += value * value;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+}
+
+TEST(TfidfTest, UnknownTermsAreSkipped) {
+  const Dataset dataset = TinyTextDataset();
+  const TfidfFeaturizer tfidf = TfidfFeaturizer::Fit(dataset);
+  Example e;
+  e.term_counts = {{-1, 2}, {dataset.vocabulary().size() + 3, 1}};
+  const SparseVector v = tfidf.Transform(e);
+  EXPECT_EQ(v.nnz(), 0);
+}
+
+TEST(TfidfTest, SublinearTfDampensCounts) {
+  const Dataset dataset = TinyTextDataset();
+  TfidfOptions with;
+  with.sublinear_tf = true;
+  with.l2_normalize = false;
+  TfidfOptions without;
+  without.sublinear_tf = false;
+  without.l2_normalize = false;
+  const TfidfFeaturizer sub = TfidfFeaturizer::Fit(dataset, with);
+  const TfidfFeaturizer raw = TfidfFeaturizer::Fit(dataset, without);
+  // "spam" occurs twice in doc 0; sublinear weight 1+log 2 < raw weight 2.
+  const SparseVector a = sub.Transform(dataset.example(0));
+  const SparseVector b = raw.Transform(dataset.example(0));
+  const int spam = dataset.vocabulary().GetId("spam");
+  double sub_val = 0, raw_val = 0;
+  for (int k = 0; k < a.nnz(); ++k) {
+    if (a.indices[k] == spam) sub_val = a.values[k];
+  }
+  for (int k = 0; k < b.nnz(); ++k) {
+    if (b.indices[k] == spam) raw_val = b.values[k];
+  }
+  EXPECT_LT(sub_val, raw_val);
+}
+
+}  // namespace
+}  // namespace activedp

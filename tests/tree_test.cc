@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace activedp {
+namespace {
+
+void MakeRegressionData(int n, Rng& rng, std::vector<std::vector<double>>* x,
+                        std::vector<double>* y) {
+  // y = step function of x0 plus noise; x1 is irrelevant.
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-1.0, 1.0);
+    const double b = rng.Uniform(-1.0, 1.0);
+    x->push_back({a, b});
+    y->push_back((a > 0.0 ? 2.0 : -2.0) + rng.Normal(0.0, 0.1));
+  }
+}
+
+TEST(DecisionTreeTest, FitsStepFunction) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeRegressionData(400, rng, &x, &y);
+  DecisionTreeOptions options;
+  Result<DecisionTreeRegressor> tree =
+      DecisionTreeRegressor::Fit(x, y, options, rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree->Predict({0.5, 0.0}), 2.0, 0.3);
+  EXPECT_NEAR(tree->Predict({-0.5, 0.0}), -2.0, 0.3);
+}
+
+TEST(DecisionTreeTest, DepthZeroIsConstantMean) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x = {{0}, {1}, {2}, {3}};
+  std::vector<double> y = {1.0, 2.0, 3.0, 6.0};
+  DecisionTreeOptions options;
+  options.max_depth = 0;
+  Result<DecisionTreeRegressor> tree =
+      DecisionTreeRegressor::Fit(x, y, options, rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->node_count(), 1);
+  EXPECT_DOUBLE_EQ(tree->Predict({0}), 3.0);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(static_cast<double>(i));
+  }
+  DecisionTreeOptions options;
+  options.min_samples_leaf = 5;
+  options.max_depth = 10;
+  Result<DecisionTreeRegressor> tree =
+      DecisionTreeRegressor::Fit(x, y, options, rng);
+  ASSERT_TRUE(tree.ok());
+  // Only one split is possible (5 | 5).
+  EXPECT_LE(tree->node_count(), 3);
+}
+
+TEST(DecisionTreeTest, ConstantFeaturesYieldLeaf) {
+  Rng rng(9);
+  std::vector<std::vector<double>> x = {{1, 1}, {1, 1}, {1, 1}, {1, 1}};
+  std::vector<double> y = {1, 2, 3, 4};
+  Result<DecisionTreeRegressor> tree =
+      DecisionTreeRegressor::Fit(x, y, DecisionTreeOptions{}, rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->node_count(), 1);
+  EXPECT_DOUBLE_EQ(tree->Predict({1, 1}), 2.5);
+}
+
+TEST(DecisionTreeTest, RowSubsetTrainsOnSubsetOnly) {
+  Rng rng(11);
+  std::vector<std::vector<double>> x = {{0}, {1}, {2}, {3}};
+  std::vector<double> y = {10, 10, -10, -10};
+  Result<DecisionTreeRegressor> tree = DecisionTreeRegressor::Fit(
+      x, y, DecisionTreeOptions{}, rng, /*row_indices=*/{0, 1});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree->Predict({3}), 10.0);  // never saw the -10s
+}
+
+TEST(DecisionTreeTest, RejectsInvalidInput) {
+  Rng rng(1);
+  EXPECT_FALSE(DecisionTreeRegressor::Fit({}, {}, {}, rng).ok());
+  EXPECT_FALSE(
+      DecisionTreeRegressor::Fit({{1.0}}, {1.0, 2.0}, {}, rng).ok());
+}
+
+TEST(RandomForestTest, BeatsSingleTreeOnNoisyData) {
+  Rng rng(13);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  MakeRegressionData(500, rng, &x, &y);
+  RandomForestOptions options;
+  options.num_trees = 25;
+  Result<RandomForestRegressor> forest =
+      RandomForestRegressor::Fit(x, y, options, rng);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->num_trees(), 25);
+  double mse = 0.0;
+  std::vector<std::vector<double>> tx;
+  std::vector<double> ty;
+  MakeRegressionData(200, rng, &tx, &ty);
+  for (size_t i = 0; i < tx.size(); ++i) {
+    const double err = forest->Predict(tx[i]) - ty[i];
+    mse += err * err;
+  }
+  mse /= tx.size();
+  EXPECT_LT(mse, 0.5);
+}
+
+TEST(RandomForestTest, RejectsInvalidInput) {
+  Rng rng(1);
+  EXPECT_FALSE(RandomForestRegressor::Fit({}, {}, {}, rng).ok());
+  RandomForestOptions bad;
+  bad.num_trees = 0;
+  EXPECT_FALSE(RandomForestRegressor::Fit({{1.0}}, {1.0}, bad, rng).ok());
+}
+
+TEST(RandomForestTest, PredictionIsAverageOfTrees) {
+  // With bagging over a constant-target dataset every tree predicts the
+  // constant, and so must the ensemble.
+  Rng rng(17);
+  std::vector<std::vector<double>> x(20, {0.0});
+  std::vector<double> y(20, 7.0);
+  for (int i = 0; i < 20; ++i) x[i][0] = i;
+  Result<RandomForestRegressor> forest =
+      RandomForestRegressor::Fit(x, y, {}, rng);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_DOUBLE_EQ(forest->Predict({5.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace activedp {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpties) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.123456, 4), "0.1235");
+  EXPECT_EQ(FormatDouble(-1.0, 2), "-1.00");
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  CsvWriter writer({"a", "b"});
+  writer.AddRow({"plain", "with,comma"});
+  writer.AddRow({"with\"quote", "x"});
+  const std::string text = writer.ToString();
+  Result<std::vector<std::vector<std::string>>> parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[1][1], "with,comma");
+  EXPECT_EQ((*parsed)[2][0], "with\"quote");
+}
+
+TEST(CsvTest, NumericRow) {
+  CsvWriter writer({"x", "y"});
+  writer.AddNumericRow({1.5, 2.25}, 2);
+  EXPECT_NE(writer.ToString().find("1.50,2.25"), std::string::npos);
+}
+
+TEST(CsvTest, ParseErrors) {
+  EXPECT_FALSE(ParseCsv("a,\"unterminated").ok());
+  EXPECT_FALSE(ParseCsv("a,b\"c").ok());
+}
+
+TEST(CsvTest, WriteAndReadFile) {
+  const std::string path = testing::TempDir() + "/csv_test.csv";
+  CsvWriter writer({"k", "v"});
+  writer.AddRow({"key", "value"});
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  Result<std::string> content = ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "k,v\nkey,value\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadFile("/nonexistent/really/not.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "v"});
+  printer.AddRow({"a", "1"});
+  printer.AddRow({"long-name", "2"});
+  const std::string text = printer.ToString();
+  // Every line has the same length.
+  const std::vector<std::string> lines = Split(text, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].size(), lines[1].size());
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+  EXPECT_EQ(lines[0].size(), lines[3].size());
+}
+
+TEST(TablePrinterTest, LabelledDoubleRow) {
+  TablePrinter printer({"m", "x", "y"});
+  printer.AddRow("row", {0.5, 0.25}, 2);
+  EXPECT_NE(printer.ToString().find("0.50"), std::string::npos);
+}
+
+TEST(FlagsTest, ParsesAllSyntaxes) {
+  FlagParser flags;
+  flags.AddFlag("alpha", "0.5", "");
+  flags.AddFlag("name", "x", "");
+  flags.AddFlag("verbose", "false", "");
+  flags.AddFlag("n", "1", "");
+  const char* argv[] = {"prog",      "--alpha=0.75", "--name", "hello",
+                        "--verbose", "pos1",         "--n",    "7"};
+  ASSERT_TRUE(flags.Parse(8, const_cast<char**>(argv)).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 0.75);
+  EXPECT_EQ(flags.GetString("name"), "hello");
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetInt("n"), 7);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser flags;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagParser flags;
+  flags.AddFlag("k", "3", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("k"), 3);
+}
+
+TEST(TimerTest, MeasuresNonNegativeTime) {
+  Timer timer;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  timer.Reset();
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace activedp
