@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -42,6 +43,9 @@ int Main(int argc, char** argv) {
   flags.AddFlag("scale", "0.25", "fraction of paper dataset sizes");
   flags.AddFlag("full", "false", "paper scale: 300 iters, 5 seeds, scale 1.0");
   flags.AddFlag("csv", "", "optional path for the raw curves as CSV");
+  flags.AddFlag("checkpoint-dir", "",
+                "directory for per-run crash-safe checkpoints; a killed "
+                "run rerun with the same flags resumes from the last eval");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -55,6 +59,16 @@ int Main(int argc, char** argv) {
   spec.num_seeds = flags.GetInt("seeds");
   spec.num_threads = flags.GetInt("threads");
   spec.data_scale = flags.GetDouble("scale");
+  spec.checkpoint_dir = flags.GetString("checkpoint-dir");
+  if (!spec.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create checkpoint dir %s: %s\n",
+                   spec.checkpoint_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
   if (flags.GetBool("full")) {
     spec.protocol.iterations = 300;
     spec.num_seeds = 5;

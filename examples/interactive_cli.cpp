@@ -80,7 +80,8 @@ class Session {
       lm_proba_.assign(train_matrix_.num_rows(), {});
       lm_active_.assign(train_matrix_.num_rows(), false);
       for (int i = 0; i < train_matrix_.num_rows(); ++i) {
-        lm_proba_[i] = label_model_->PredictProba(train_matrix_.Row(i));
+        lm_proba_[i] =
+            label_model_->PredictProba(train_matrix_.Row(i)).value();
         lm_active_[i] = train_matrix_.AnyActive(i);
       }
     }

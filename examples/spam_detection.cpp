@@ -75,14 +75,16 @@ int main() {
                    fit.ToString().c_str());
       continue;
     }
-    const std::vector<int> predictions = model->PredictAll(matrix);
+    const std::vector<int> predictions = model->PredictAll(matrix).value();
     const double label_accuracy = Accuracy(predictions, truth);
     const double coverage = Coverage(predictions);
 
     // Probabilistic labels on covered rows -> downstream model.
     std::vector<std::vector<double>> soft(train.size());
     for (int i = 0; i < train.size(); ++i) {
-      if (matrix.AnyActive(i)) soft[i] = model->PredictProba(matrix.Row(i));
+      if (matrix.AnyActive(i)) {
+        soft[i] = model->PredictProba(matrix.Row(i)).value();
+      }
     }
     double end_accuracy = 0.0;
     Result<LogisticRegression> end_model =

@@ -2,9 +2,11 @@
 
 #include <numeric>
 
+#include "labelmodel/majority_vote.h"
 #include "ml/metrics.h"
 
 #include "util/check.h"
+#include "util/numeric_guard.h"
 
 namespace activedp {
 
@@ -142,7 +144,16 @@ void ActiveDp::RetrainAlModel() {
   lr.seed = options_.seed ^ 0x11;
   Result<LogisticRegression> model = LogisticRegression::FitHard(
       x, pseudo_labels_, context_->num_classes, context_->feature_dim, lr);
-  if (!model.ok()) return;
+  if (!model.ok()) {
+    // Degradation cascade step 3: the pipeline keeps running on the label
+    // model alone (ConFusion handles empty AL rows); a previously trained
+    // AL model, if any, stays in service.
+    recovery_.Record("al_model", model.status().ToString(),
+                     al_model_.has_value()
+                         ? "keeping previous AL model"
+                         : "label-model-only ConFusion");
+    return;
+  }
   al_model_ = std::move(*model);
   al_proba_train_ = AlProba(context_->train_features);
 }
@@ -153,8 +164,10 @@ double ActiveDp::ValidationLabelModelAccuracy(
   const LabelMatrix train_selected = train_matrix_.SelectColumns(columns);
   auto model = MakeLabelModel(options_.label_model_type);
   if (!model->Fit(train_selected, context_->num_classes).ok()) return -1.0;
-  const std::vector<int> predictions = model->PredictAll(valid_selected);
-  return Accuracy(predictions, context_->valid_labels);
+  const Result<std::vector<int>> predictions =
+      model->PredictAll(valid_selected);
+  if (!predictions.ok()) return -1.0;
+  return Accuracy(*predictions, context_->valid_labels);
 }
 
 void ActiveDp::RetrainLabelModel() {
@@ -167,8 +180,16 @@ void ActiveDp::RetrainLabelModel() {
     Result<std::vector<int>> picked = LabelPick(
         m, context_->num_classes, valid_matrix_, context_->valid_labels,
         train_matrix_.SelectRows(query_indices_), pseudo_labels_,
-        options_.label_pick);
-    selected_ = picked.ok() ? std::move(*picked) : all;
+        options_.label_pick, &recovery_);
+    if (!picked.ok()) {
+      // Degradation cascade step 1 (total LabelPick failure): keep every
+      // LF, i.e. run the label model unfiltered.
+      recovery_.Record("label_pick", picked.status().ToString(),
+                       "keeping all LFs");
+      selected_ = all;
+    } else {
+      selected_ = std::move(*picked);
+    }
     if (selected_.empty()) selected_ = all;
     // LabelPick proposes; the holdout disposes: keep the pruned set only
     // when it does not hurt label-model accuracy on the validation split
@@ -184,13 +205,62 @@ void ActiveDp::RetrainLabelModel() {
   }
 
   const LabelMatrix train_selected = train_matrix_.SelectColumns(selected_);
-  const Status fit = label_model_->Fit(train_selected, context_->num_classes);
-  if (!fit.ok()) {
+  Status fit = label_model_->Fit(train_selected, context_->num_classes);
+  if (fit.ok()) {
+    if (fallback_label_model_ != nullptr) {
+      // The configured model recovered; leave the degraded mode.
+      recovery_.Record("label_model", "configured model fits again",
+                       "leaving majority-vote fallback");
+      fallback_label_model_.reset();
+    }
+  } else {
+    // Degradation cascade step 2: aggregate with majority vote (the
+    // extension of the metal_completion small-m fallback to the whole
+    // pipeline) instead of dropping weak supervision entirely.
+    auto majority = std::make_unique<MajorityVoteModel>();
+    const Status mv_fit =
+        majority->Fit(train_selected, context_->num_classes);
+    if (mv_fit.ok()) {
+      recovery_.Record("label_model", fit.ToString(),
+                       "majority-vote aggregation");
+      fallback_label_model_ = std::move(majority);
+    } else {
+      recovery_.Record("label_model",
+                       fit.ToString() + "; majority vote also failed: " +
+                           mv_fit.ToString(),
+                       "AL-model-only pipeline");
+      fallback_label_model_.reset();
+      label_model_ready_ = false;
+      return;
+    }
+  }
+
+  const Status predictions = LabelModelPredictions(
+      train_selected, &lm_proba_train_, &lm_active_train_);
+  if (!predictions.ok()) {
+    if (fallback_label_model_ == nullptr) {
+      // The configured model fit but predicts garbage (e.g. non-finite
+      // probabilities): degrade to majority vote and retry once.
+      auto majority = std::make_unique<MajorityVoteModel>();
+      if (majority->Fit(train_selected, context_->num_classes).ok()) {
+        recovery_.Record("label_model", predictions.ToString(),
+                         "majority-vote aggregation");
+        fallback_label_model_ = std::move(majority);
+        if (LabelModelPredictions(train_selected, &lm_proba_train_,
+                                  &lm_active_train_)
+                .ok()) {
+          label_model_ready_ = true;
+          return;
+        }
+      }
+    }
+    recovery_.Record("label_model", predictions.ToString(),
+                     "AL-model-only pipeline");
+    fallback_label_model_.reset();
     label_model_ready_ = false;
     return;
   }
   label_model_ready_ = true;
-  LabelModelPredictions(train_selected, &lm_proba_train_, &lm_active_train_);
 }
 
 std::vector<std::vector<double>> ActiveDp::AlProba(
@@ -203,15 +273,20 @@ std::vector<std::vector<double>> ActiveDp::AlProba(
   return proba;
 }
 
-void ActiveDp::LabelModelPredictions(const LabelMatrix& matrix,
-                                     std::vector<std::vector<double>>* proba,
-                                     std::vector<bool>* active) const {
+Status ActiveDp::LabelModelPredictions(
+    const LabelMatrix& matrix, std::vector<std::vector<double>>* proba,
+    std::vector<bool>* active) const {
+  const LabelModel* model = current_label_model();
   proba->assign(matrix.num_rows(), {});
   active->assign(matrix.num_rows(), false);
   for (int i = 0; i < matrix.num_rows(); ++i) {
-    (*proba)[i] = label_model_->PredictProba(matrix.Row(i));
+    ASSIGN_OR_RETURN((*proba)[i], model->PredictProba(matrix.Row(i)));
     (*active)[i] = matrix.AnyActive(i);
   }
+  // Stage-boundary guard: nothing non-finite or unnormalized leaves the
+  // label-model stage.
+  return ValidateProbaRows(*proba, context_->num_classes,
+                           "label-model predictions");
 }
 
 std::vector<std::vector<double>> ActiveDp::CurrentTrainingLabels() {
@@ -242,8 +317,16 @@ std::vector<std::vector<double>> ActiveDp::CurrentTrainingLabels() {
   std::vector<std::vector<double>> lm_valid(context_->split->valid.size());
   std::vector<bool> lm_valid_active(context_->split->valid.size(), false);
   if (label_model_ready_) {
-    LabelModelPredictions(valid_matrix_.SelectColumns(selected_), &lm_valid,
-                          &lm_valid_active);
+    const Status valid_predictions = LabelModelPredictions(
+        valid_matrix_.SelectColumns(selected_), &lm_valid, &lm_valid_active);
+    if (!valid_predictions.ok()) {
+      // Tuning falls back to treating the label model as inactive on
+      // validation; training predictions were already validated.
+      recovery_.Record("confusion", valid_predictions.ToString(),
+                       "tuning threshold without label-model votes");
+      lm_valid.assign(context_->split->valid.size(), {});
+      lm_valid_active.assign(context_->split->valid.size(), false);
+    }
   }
   last_threshold_ =
       ConFusion::TuneThreshold(al_valid, lm_valid, lm_valid_active,

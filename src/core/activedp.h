@@ -10,6 +10,7 @@
 #include "core/confusion.h"
 #include "core/framework.h"
 #include "core/label_pick.h"
+#include "core/recovery.h"
 #include "core/session_io.h"
 #include "labelmodel/label_model.h"
 #include "lf/oracle.h"
@@ -95,10 +96,25 @@ class ActiveDp : public InteractiveFramework {
   double last_threshold() const { return last_threshold_; }
   int last_query() const { return last_query_; }
   const Sampler& sampler() const { return *sampler_; }
+  /// Structured record of every degradation this run survived (label-model
+  /// fallback to majority vote, AL-model training failures, blanket
+  /// failures). Empty on a healthy run.
+  const RecoveryLog& recovery() const { return recovery_; }
+  /// True while the label model in use is the majority-vote fallback rather
+  /// than the configured model.
+  bool using_fallback_label_model() const {
+    return fallback_label_model_ != nullptr;
+  }
 
  private:
   void RetrainAlModel();
   void RetrainLabelModel();
+  /// The label model currently serving predictions (configured model, or
+  /// the majority-vote fallback after a degradation).
+  const LabelModel* current_label_model() const {
+    return fallback_label_model_ != nullptr ? fallback_label_model_.get()
+                                            : label_model_.get();
+  }
   /// Label-model accuracy on the validation split using only `columns`.
   double ValidationLabelModelAccuracy(const std::vector<int>& columns) const;
   SamplerContext BuildSamplerContext() const;
@@ -106,10 +122,11 @@ class ActiveDp : public InteractiveFramework {
   std::vector<std::vector<double>> AlProba(
       const std::vector<SparseVector>& features) const;
   /// Label-model probabilities + activity over a weak-label matrix
-  /// restricted to the selected LFs.
-  void LabelModelPredictions(const LabelMatrix& matrix,
-                             std::vector<std::vector<double>>* proba,
-                             std::vector<bool>* active) const;
+  /// restricted to the selected LFs. Fails (instead of propagating garbage)
+  /// when the model emits an invalid distribution.
+  Status LabelModelPredictions(const LabelMatrix& matrix,
+                               std::vector<std::vector<double>>* proba,
+                               std::vector<bool>* active) const;
 
   const FrameworkContext* context_;
   ActiveDpOptions options_;
@@ -128,8 +145,11 @@ class ActiveDp : public InteractiveFramework {
 
   std::optional<LogisticRegression> al_model_;
   std::unique_ptr<LabelModel> label_model_;
+  /// Non-null while degraded to majority-vote aggregation (see recovery()).
+  std::unique_ptr<LabelModel> fallback_label_model_;
   bool label_model_ready_ = false;
   std::vector<int> selected_;
+  RecoveryLog recovery_;
 
   // Caches refreshed after each retraining.
   std::vector<std::vector<double>> al_proba_train_;

@@ -47,7 +47,14 @@ Status NemoFramework::Step() {
   lm_proba_train_.assign(train_matrix_.num_rows(), {});
   lm_active_train_.assign(train_matrix_.num_rows(), false);
   for (int i = 0; i < train_matrix_.num_rows(); ++i) {
-    lm_proba_train_[i] = label_model_->PredictProba(train_matrix_.Row(i));
+    Result<std::vector<double>> p =
+        label_model_->PredictProba(train_matrix_.Row(i));
+    if (!p.ok()) {
+      // Treat an unusable model like a failed fit: no labels this round.
+      label_model_ready_ = false;
+      return Status::Ok();
+    }
+    lm_proba_train_[i] = std::move(*p);
     lm_active_train_[i] = train_matrix_.AnyActive(i);
   }
   return Status::Ok();
@@ -265,7 +272,10 @@ std::vector<std::vector<double>> IwsFramework::CurrentTrainingLabels() {
   const LabelMatrix matrix = ApplyLfs(final_lfs, context_->split->train);
   if (!label_model_->Fit(matrix, context_->num_classes).ok()) return soft;
   for (int i = 0; i < n; ++i) {
-    if (matrix.AnyActive(i)) soft[i] = label_model_->PredictProba(matrix.Row(i));
+    if (!matrix.AnyActive(i)) continue;
+    Result<std::vector<double>> p = label_model_->PredictProba(matrix.Row(i));
+    if (!p.ok()) return std::vector<std::vector<double>>(n);
+    soft[i] = std::move(*p);
   }
   return soft;
 }
@@ -357,7 +367,13 @@ Status RlfFramework::Step() {
   label_model_ready_ = true;
   lm_proba_train_.assign(n, {});
   for (int i = 0; i < n; ++i) {
-    lm_proba_train_[i] = label_model_->PredictProba(train_matrix_.Row(i));
+    Result<std::vector<double>> p =
+        label_model_->PredictProba(train_matrix_.Row(i));
+    if (!p.ok()) {
+      label_model_ready_ = false;
+      return Status::Ok();
+    }
+    lm_proba_train_[i] = std::move(*p);
   }
   return Status::Ok();
 }
@@ -447,7 +463,13 @@ Status ActiveWeasulFramework::Step() {
   label_model_ready_ = true;
   lm_proba_train_.assign(n, {});
   for (int i = 0; i < n; ++i) {
-    lm_proba_train_[i] = label_model_.PredictProba(train_matrix_.Row(i));
+    Result<std::vector<double>> p =
+        label_model_.PredictProba(train_matrix_.Row(i));
+    if (!p.ok()) {
+      label_model_ready_ = false;
+      return Status::Ok();
+    }
+    lm_proba_train_[i] = std::move(*p);
   }
   return Status::Ok();
 }

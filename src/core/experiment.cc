@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/run_checkpoint.h"
 #include "data/dataset_zoo.h"
 #include "math/vector_ops.h"
 #include "ml/metrics.h"
@@ -74,6 +75,27 @@ RunResult RunProtocol(InteractiveFramework& framework,
                       const FrameworkContext& context,
                       const ProtocolOptions& options) {
   RunResult result;
+  // Resume: the framework run is deterministic and evaluation does not
+  // mutate framework state, so replaying Step() up to the checkpointed
+  // iteration while reusing its recorded evaluation rows reproduces an
+  // uninterrupted run bit for bit.
+  int resume_through = 0;
+  if (!options.checkpoint_path.empty()) {
+    Result<RunCheckpoint> loaded = LoadRunCheckpoint(options.checkpoint_path);
+    if (loaded.ok()) {
+      resume_through = loaded->completed_iterations;
+      result = std::move(loaded->partial);
+      LOG(Info) << framework.name() << " resuming from checkpoint at "
+                << resume_through << " iterations ("
+                << options.checkpoint_path << ")";
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      // Degradation cascade step 4: a corrupt/truncated checkpoint must not
+      // take the run down with it — start fresh instead.
+      LOG(Warning) << "ignoring unusable checkpoint "
+                   << options.checkpoint_path << " ("
+                   << loaded.status().ToString() << "); starting fresh";
+    }
+  }
   for (int iteration = 1; iteration <= options.iterations; ++iteration) {
     const Status status = framework.Step();
     if (!status.ok()) {
@@ -82,6 +104,8 @@ RunResult RunProtocol(InteractiveFramework& framework,
       break;
     }
     if (iteration % options.eval_every != 0) continue;
+    // Replayed iterations reuse the evaluation rows already in `result`.
+    if (iteration <= resume_through) continue;
 
     const std::vector<std::vector<double>> labels =
         framework.CurrentTrainingLabels();
@@ -99,6 +123,19 @@ RunResult RunProtocol(InteractiveFramework& framework,
     result.test_accuracy.push_back(accuracy);
     result.label_accuracy.push_back(quality.accuracy);
     result.label_coverage.push_back(quality.coverage);
+
+    if (!options.checkpoint_path.empty()) {
+      RunCheckpoint checkpoint;
+      checkpoint.completed_iterations = iteration;
+      checkpoint.partial = result;
+      const Status saved =
+          SaveRunCheckpoint(checkpoint, options.checkpoint_path);
+      if (!saved.ok()) {
+        // A failed checkpoint save degrades resumability, not the run.
+        LOG(Warning) << "checkpoint save failed ("
+                     << saved.ToString() << "); continuing without it";
+      }
+    }
   }
   result.average_test_accuracy = CurveAverage(result.test_accuracy);
   return result;
@@ -118,7 +155,14 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
     adp.user.seed = seed ^ 0x1234;
     std::unique_ptr<InteractiveFramework> framework =
         MakeFramework(spec.framework, context, adp);
-    return RunProtocol(*framework, context, spec.protocol);
+    ProtocolOptions protocol = spec.protocol;
+    if (!spec.checkpoint_dir.empty()) {
+      protocol.checkpoint_path =
+          spec.checkpoint_dir + "/" + spec.dataset + "-" +
+          ToLower(FrameworkDisplayName(spec.framework)) + "-seed" +
+          std::to_string(s) + ".ckpt";
+    }
+    return RunProtocol(*framework, context, protocol);
   };
 
   std::vector<Result<RunResult>> runs;

@@ -36,6 +36,13 @@ struct ProtocolOptions {
   int iterations = 100;  // paper: 300
   int eval_every = 10;
   EndModelOptions end_model;
+  /// When non-empty, RunProtocol persists a RunCheckpoint here after every
+  /// evaluation (atomic write + checksum, see core/run_checkpoint.h) and, on
+  /// start, resumes from it if present: iterations up to the checkpoint are
+  /// replayed deterministically with their recorded evaluations reused, so
+  /// the final RunResult is bitwise-identical to an uninterrupted run. A
+  /// corrupt or truncated checkpoint is logged and ignored (fresh start).
+  std::string checkpoint_path;
 };
 
 struct RunResult {
@@ -66,6 +73,10 @@ struct ExperimentSpec {
   /// identical to the serial run (every seed is self-contained and
   /// deterministic).
   int num_threads = 1;
+  /// When non-empty, each seed checkpoints its run to
+  /// `<checkpoint_dir>/<dataset>-<framework>-seed<k>.ckpt` so a killed
+  /// experiment resumes at the last evaluated budget per seed.
+  std::string checkpoint_dir;
 };
 
 /// Runs the spec for each seed and returns the point-wise averaged curves.

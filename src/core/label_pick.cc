@@ -17,7 +17,8 @@ Result<std::vector<int>> LabelPick(int num_lfs, int num_classes,
                                    const std::vector<int>& valid_labels,
                                    const LabelMatrix& query_matrix,
                                    const std::vector<int>& pseudo_labels,
-                                   const LabelPickOptions& options) {
+                                   const LabelPickOptions& options,
+                                   RecoveryLog* recovery) {
   if (num_lfs <= 0) return Status::InvalidArgument("no LFs to select from");
   CHECK_EQ(valid_matrix.num_cols(), num_lfs);
   CHECK_EQ(query_matrix.num_cols(), num_lfs);
@@ -66,11 +67,19 @@ Result<std::vector<int>> LabelPick(int num_lfs, int num_classes,
     data(i, p - 1) = EncodeWeakLabel(pseudo_labels[i], num_classes);
   }
   Result<std::vector<int>> blanket =
-      MarkovBlanket(data, /*target=*/p - 1, options.blanket);
+      MarkovBlanket(data, /*target=*/p - 1, options.blanket, recovery);
   if (!blanket.ok()) {
-    LOG(Warning) << "LabelPick blanket failed ("
-                 << blanket.status().ToString() << "); keeping "
-                 << survivors.size() << " accuracy-pruned LFs";
+    // Degradation cascade step 1: a glasso/blanket failure reduces
+    // LabelPick to its validation-accuracy pruning step.
+    if (recovery != nullptr) {
+      recovery->Record("glasso", blanket.status().ToString(),
+                       "accuracy-pruning-only LabelPick (" +
+                           std::to_string(survivors.size()) + " LFs kept)");
+    } else {
+      LOG(Warning) << "LabelPick blanket failed ("
+                   << blanket.status().ToString() << "); keeping "
+                   << survivors.size() << " accuracy-pruned LFs";
+    }
     return survivors;
   }
   if (blanket->empty()) return survivors;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/recovery.h"
 #include "graphical/markov_blanket.h"
 #include "lf/lf_applier.h"
 #include "util/result.h"
@@ -38,13 +39,15 @@ struct LabelPickOptions {
 /// `valid_matrix` holds LF outputs on the validation split (one column per
 /// LF, aligned with `lfs`); `query_matrix` holds LF outputs on the queried
 /// instances (one row per query); `pseudo_labels` are the ỹ_l inferred from
-/// user feedback.
+/// user feedback. When `recovery` is non-null, a blanket failure that
+/// degrades to accuracy-pruning-only selection is recorded there.
 Result<std::vector<int>> LabelPick(int num_lfs, int num_classes,
                                    const LabelMatrix& valid_matrix,
                                    const std::vector<int>& valid_labels,
                                    const LabelMatrix& query_matrix,
                                    const std::vector<int>& pseudo_labels,
-                                   const LabelPickOptions& options);
+                                   const LabelPickOptions& options,
+                                   RecoveryLog* recovery = nullptr);
 
 /// Encodes weak labels for the graphical model: abstain -> 0; binary
 /// classes -> ±1; multiclass c -> c - (C-1)/2 (centered).

@@ -1,0 +1,41 @@
+#include "core/recovery.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace activedp {
+
+void RecoveryLog::Record(std::string stage, std::string reason,
+                         std::string fallback) {
+  // A persistent failure (e.g. a misconfigured label model failing every
+  // retrain the same way) is one degradation, not one per iteration: echo
+  // repeats quietly and keep a single event.
+  if (!events_.empty() && events_.back().stage == stage &&
+      events_.back().reason == reason && events_.back().fallback == fallback) {
+    LOG(Debug) << "degraded [" << stage << "] (repeat): " << reason;
+    return;
+  }
+  LOG(Warning) << "degraded [" << stage << "]: " << reason << "; fallback: "
+               << fallback;
+  events_.push_back(DegradationEvent{std::move(stage), std::move(reason),
+                                     std::move(fallback)});
+}
+
+int RecoveryLog::count(std::string_view stage) const {
+  int n = 0;
+  for (const DegradationEvent& e : events_) {
+    if (e.stage == stage) ++n;
+  }
+  return n;
+}
+
+std::string RecoveryLog::Summary() const {
+  std::ostringstream out;
+  for (const DegradationEvent& e : events_) {
+    out << e.stage << ": " << e.reason << " -> " << e.fallback << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace activedp

@@ -1,0 +1,53 @@
+#ifndef ACTIVEDP_CORE_RECOVERY_H_
+#define ACTIVEDP_CORE_RECOVERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace activedp {
+
+/// One recorded degradation: a pipeline stage failed and the pipeline
+/// continued on a documented fallback instead of dying.
+struct DegradationEvent {
+  /// Stage that failed, e.g. "glasso", "label_model", "al_model",
+  /// "confusion", "checkpoint.save", "checkpoint.load".
+  std::string stage;
+  /// Why it failed (usually a Status::ToString()).
+  std::string reason;
+  /// What the pipeline fell back to, e.g. "majority-vote label model".
+  std::string fallback;
+};
+
+/// Structured log of the degradation cascade (DESIGN.md "Failure
+/// semantics"). The cascade order inside ActiveDp:
+///   1. graphical-lasso / blanket failure -> accuracy-pruning-only LabelPick
+///   2. label-model fit failure           -> majority-vote aggregation
+///   3. AL-model training failure         -> label-model-only ConFusion
+///   4. checkpoint save/load failure      -> run continues / starts fresh
+/// Every step is recorded here (and echoed at Warning severity) so a
+/// degraded run is diagnosable after the fact instead of silently wrong.
+class RecoveryLog {
+ public:
+  /// Records one degradation and logs it at Warning severity. A repeat of
+  /// the immediately preceding event (same stage/reason/fallback — e.g. a
+  /// misconfigured model failing identically every retrain) is not
+  /// re-recorded, so events() reads as a history of distinct degradations.
+  void Record(std::string stage, std::string reason, std::string fallback);
+
+  const std::vector<DegradationEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  int count(std::string_view stage) const;
+
+  /// One line per event, for reports and tests.
+  std::string Summary() const;
+
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<DegradationEvent> events_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_CORE_RECOVERY_H_

@@ -1,0 +1,105 @@
+#include "core/run_checkpoint.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/string_util.h"
+
+namespace activedp {
+namespace {
+
+constexpr char kHeader[] = "activedp-checkpoint v1";
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+Status SaveRunCheckpoint(const RunCheckpoint& checkpoint,
+                         const std::string& path) {
+  const RunResult& partial = checkpoint.partial;
+  const size_t k = partial.budgets.size();
+  if (partial.test_accuracy.size() != k ||
+      partial.label_accuracy.size() != k ||
+      partial.label_coverage.size() != k) {
+    return Status::InvalidArgument("checkpoint curves have mismatched sizes");
+  }
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "iter " << checkpoint.completed_iterations << "\n";
+  for (size_t i = 0; i < k; ++i) {
+    out << "eval " << partial.budgets[i] << " "
+        << FormatDouble(partial.test_accuracy[i]) << " "
+        << FormatDouble(partial.label_accuracy[i]) << " "
+        << FormatDouble(partial.label_coverage[i]) << "\n";
+  }
+  return AtomicWriteFile(path, WithChecksumFooter(out.str()),
+                         "checkpoint.save");
+}
+
+Result<RunCheckpoint> LoadRunCheckpoint(const std::string& path) {
+  ASSIGN_OR_RETURN(const std::string content, ReadFileVerifyingChecksum(path));
+  std::istringstream in{content};
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kHeader) {
+    return Status::InvalidArgument("not an activedp checkpoint file: " + path);
+  }
+  RunCheckpoint checkpoint;
+  int line_number = 1;
+  bool saw_iter = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    const std::string where = " at line " + std::to_string(line_number);
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+    if (kind == "iter") {
+      if (!(fields >> checkpoint.completed_iterations) ||
+          checkpoint.completed_iterations < 0) {
+        return Status::InvalidArgument("malformed iteration count" + where);
+      }
+      saw_iter = true;
+    } else if (kind == "eval") {
+      int budget;
+      double test_accuracy, label_accuracy, label_coverage;
+      if (!(fields >> budget >> test_accuracy >> label_accuracy >>
+            label_coverage)) {
+        return Status::InvalidArgument("malformed eval row" + where);
+      }
+      if (budget <= 0 || !std::isfinite(test_accuracy) ||
+          !std::isfinite(label_accuracy) || !std::isfinite(label_coverage)) {
+        return Status::InvalidArgument(
+            "eval row with non-positive budget or non-finite metric" + where);
+      }
+      if (!checkpoint.partial.budgets.empty() &&
+          budget <= checkpoint.partial.budgets.back()) {
+        return Status::InvalidArgument("eval budgets not increasing" + where);
+      }
+      checkpoint.partial.budgets.push_back(budget);
+      checkpoint.partial.test_accuracy.push_back(test_accuracy);
+      checkpoint.partial.label_accuracy.push_back(label_accuracy);
+      checkpoint.partial.label_coverage.push_back(label_coverage);
+    } else {
+      return Status::InvalidArgument("unknown checkpoint record '" + kind +
+                                     "'" + where);
+    }
+  }
+  if (!saw_iter) {
+    return Status::InvalidArgument("checkpoint missing iteration count: " +
+                                   path);
+  }
+  if (!checkpoint.partial.budgets.empty() &&
+      checkpoint.partial.budgets.back() > checkpoint.completed_iterations) {
+    return Status::InvalidArgument(
+        "checkpoint eval rows exceed completed iterations: " + path);
+  }
+  return checkpoint;
+}
+
+}  // namespace activedp

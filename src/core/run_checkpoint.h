@@ -1,0 +1,50 @@
+#ifndef ACTIVEDP_CORE_RUN_CHECKPOINT_H_
+#define ACTIVEDP_CORE_RUN_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/experiment.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// Progress snapshot of one RunProtocol() invocation, persisted after every
+/// evaluation so a killed run (crash, preemption, Ctrl-C) resumes at the
+/// last evaluated budget instead of restarting from iteration 1.
+///
+/// Resume works by deterministic replay: every framework run is a pure
+/// function of its seed, and evaluation (end-model training) does not
+/// mutate framework state. RunProtocol therefore replays Step() for
+/// iterations up to `completed_iterations`, reuses the recorded evaluation
+/// rows in `partial`, and continues live from there — producing a RunResult
+/// bitwise-identical to an uninterrupted run.
+///
+/// File format (line-based text, checksum footer via util/atomic_file.h):
+///   activedp-checkpoint v1
+///   iter <completed_iterations>
+///   eval <budget> <test_accuracy> <label_accuracy> <label_coverage>
+///   ...
+///   #crc64 <hex>
+/// Doubles are rendered with %.17g so values round-trip exactly.
+struct RunCheckpoint {
+  /// Number of Step() iterations fully processed (the budget of the last
+  /// recorded evaluation).
+  int completed_iterations = 0;
+  /// Evaluation rows recorded so far. average_test_accuracy is recomputed
+  /// at the end of the run and is not persisted.
+  RunResult partial;
+};
+
+/// Atomically writes the checkpoint (tmp + fsync + rename + checksum
+/// footer). Honors the "checkpoint.save" fault site.
+Status SaveRunCheckpoint(const RunCheckpoint& checkpoint,
+                         const std::string& path);
+
+/// Loads and validates a checkpoint. NotFound when the file does not exist
+/// (callers treat this as "start fresh"); InvalidArgument, with a line
+/// number, for truncated/garbled files — never aborts.
+Result<RunCheckpoint> LoadRunCheckpoint(const std::string& path);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_CORE_RUN_CHECKPOINT_H_

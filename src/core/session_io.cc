@@ -1,9 +1,10 @@
 #include "core/session_io.h"
 
+#include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/string_util.h"
 
 namespace activedp {
@@ -22,8 +23,7 @@ Status SaveSession(const SessionState& state, const std::string& path) {
       !state.pseudo_labels.empty()) {
     return Status::InvalidArgument("pseudo_labels size mismatch");
   }
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  std::ostringstream out;
   out << kHeader << "\n";
   for (size_t i = 0; i < state.lfs.size(); ++i) {
     const int query =
@@ -51,14 +51,16 @@ Status SaveSession(const SessionState& state, const std::string& path) {
                                    state.lfs[i]->Name());
     }
   }
-  if (!out) return Status::Internal("write failed: " + path);
-  return Status::Ok();
+  // Atomic tmp + fsync + rename with a checksum footer: a crash mid-save
+  // leaves the previous session intact, and a truncated copy is detected at
+  // load time instead of silently resuming from half a session.
+  return AtomicWriteFile(path, WithChecksumFooter(out.str()), "session.save");
 }
 
 Result<SessionState> LoadSession(const std::string& path,
                                  const Vocabulary* vocab) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open: " + path);
+  ASSIGN_OR_RETURN(const std::string content, ReadFileVerifyingChecksum(path));
+  std::istringstream in{content};
   std::string line;
   if (!std::getline(in, line) || Trim(line) != kHeader) {
     return Status::InvalidArgument("not an activedp session file: " + path);
@@ -79,6 +81,10 @@ Result<SessionState> LoadSession(const std::string& path,
       if (!(fields >> token_id >> word >> label >> query >> pseudo)) {
         return Status::InvalidArgument("malformed keyword LF" + where);
       }
+      if (label < 0 || token_id < 0) {
+        return Status::InvalidArgument("keyword LF with negative label/id" +
+                                       where);
+      }
       if (vocab != nullptr) {
         token_id = vocab->GetId(word);
         if (token_id == Vocabulary::kUnknownId) {
@@ -95,6 +101,11 @@ Result<SessionState> LoadSession(const std::string& path,
             pseudo) ||
           (op != "le" && op != "ge")) {
         return Status::InvalidArgument("malformed stump LF" + where);
+      }
+      if (label < 0 || feature < 0 || !std::isfinite(threshold)) {
+        return Status::InvalidArgument(
+            "stump LF with negative label/feature or non-finite threshold" +
+            where);
       }
       state.lfs.push_back(std::make_shared<ThresholdLf>(
           feature, threshold,

@@ -1,11 +1,26 @@
 #include "graphical/graphical_lasso.h"
 
 #include <cmath>
+#include <limits>
 
 #include "graphical/lasso.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace activedp {
+namespace {
+
+bool MatrixFinite(const Matrix& m) {
+  for (int i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    for (int j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(row[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<GraphicalLassoResult> GraphicalLasso(
     const Matrix& sample_covariance, const GraphicalLassoOptions& options) {
@@ -15,6 +30,13 @@ Result<GraphicalLassoResult> GraphicalLasso(
   if (p < 2) return Status::InvalidArgument("need at least 2 variables");
   if (options.rho < 0.0)
     return Status::InvalidArgument("rho must be non-negative");
+  if (!MatrixFinite(sample_covariance))
+    return Status::InvalidArgument("covariance has non-finite entries");
+
+  const FaultKind fault = CheckFault("glasso.solve");
+  if (fault == FaultKind::kError) {
+    return Status::Internal("injected fault at glasso.solve");
+  }
 
   const Matrix& s = sample_covariance;
   // W starts at S with rho added to the diagonal (keeps W positive definite
@@ -29,6 +51,8 @@ Result<GraphicalLassoResult> GraphicalLasso(
   Matrix w11(p - 1, p - 1);
   std::vector<double> s12(p - 1);
   int iterations = 0;
+  bool converged = false;
+  double last_max_change = 0.0;
   for (; iterations < options.max_iterations; ++iterations) {
     double max_change = 0.0;
     for (int col = 0; col < p; ++col) {
@@ -62,11 +86,19 @@ Result<GraphicalLassoResult> GraphicalLasso(
       }
       betas[col] = std::move(beta);
     }
+    last_max_change = max_change;
+    if (!std::isfinite(max_change)) {
+      return Status::Internal(
+          "graphical lasso diverged: non-finite update at sweep " +
+          std::to_string(iterations + 1));
+    }
     if (max_change < options.tolerance) {
+      converged = true;
       ++iterations;
       break;
     }
   }
+  if (fault == FaultKind::kNoConverge) converged = false;
 
   // Reconstruct Theta from the final W and betas:
   //   theta_cc = 1 / (w_cc - w12' beta),  theta_12 = -beta * theta_cc.
@@ -96,10 +128,22 @@ Result<GraphicalLassoResult> GraphicalLasso(
     }
   }
 
+  if (fault == FaultKind::kNan) {
+    theta(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (!MatrixFinite(theta) || !MatrixFinite(w)) {
+    return Status::Internal(
+        "graphical lasso produced a non-finite estimate");
+  }
+
   GraphicalLassoResult result;
   result.covariance = std::move(w);
   result.precision = std::move(theta);
   result.iterations = iterations;
+  result.report.converged = converged;
+  result.report.iterations = iterations;
+  result.report.final_delta = last_max_change;
+  result.report.finite = true;
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define ACTIVEDP_GRAPHICAL_GRAPHICAL_LASSO_H_
 
 #include "math/matrix.h"
+#include "util/convergence.h"
 #include "util/result.h"
 
 namespace activedp {
@@ -22,13 +23,20 @@ struct GraphicalLassoResult {
   /// Estimated sparse precision matrix Theta = W^{-1}.
   Matrix precision;
   int iterations = 0;
+  /// Honest solver outcome: `report.converged` is false when the sweep hit
+  /// max_iterations without the max update dropping below tolerance. The
+  /// last iterate is still returned (it is often usable); callers that need
+  /// a certified structure must check the report.
+  ConvergenceReport report;
 };
 
 /// Sparse inverse covariance estimation via the block-coordinate descent
 /// algorithm of Friedman, Hastie & Tibshirani (2008) — the method the paper
 /// cites [8] for LabelPick's dependency-structure learning (§3.4). Input is
 /// a sample covariance matrix; the result's precision zeros encode
-/// conditional independences.
+/// conditional independences. Non-finite iterates surface as
+/// Status::Internal (never as NaN matrices); fault site "glasso.solve"
+/// supports kNan / kNoConverge / kError injection.
 Result<GraphicalLassoResult> GraphicalLasso(
     const Matrix& sample_covariance, const GraphicalLassoOptions& options);
 

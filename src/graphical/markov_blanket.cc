@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/recovery.h"
 #include "graphical/graphical_lasso.h"
 #include "graphical/lasso.h"
 #include "math/stats.h"
@@ -74,7 +75,8 @@ std::vector<int> BlanketFromPrecision(const Matrix& precision, int target,
 }
 
 Result<std::vector<int>> MarkovBlanket(const Matrix& data, int target,
-                                       const MarkovBlanketOptions& options) {
+                                       const MarkovBlanketOptions& options,
+                                       RecoveryLog* recovery) {
   const int p = data.cols();
   if (p < 2) return Status::InvalidArgument("need at least 2 variables");
   if (target < 0 || target >= p)
@@ -93,8 +95,26 @@ Result<std::vector<int>> MarkovBlanket(const Matrix& data, int target,
   glasso.rho = options.penalty;
   Result<GraphicalLassoResult> result = GraphicalLasso(cov, glasso);
   if (!result.ok()) {
-    LOG(Warning) << "graphical lasso failed (" << result.status().ToString()
-                 << "); falling back to neighbourhood selection";
+    if (recovery != nullptr) {
+      recovery->Record("glasso", result.status().ToString(),
+                       "neighbourhood-selection blanket");
+    } else {
+      LOG(Warning) << "graphical lasso failed (" << result.status().ToString()
+                   << "); falling back to neighbourhood selection";
+    }
+    return BlanketViaNeighborhood(standardized, target, options);
+  }
+  if (!result->report.converged) {
+    // An unconverged precision estimate has unreliable zeros — exactly the
+    // structure the blanket reads. Degrade to the single-lasso path rather
+    // than trusting it.
+    if (recovery != nullptr) {
+      recovery->Record("glasso", "graphical lasso " + result->report.ToString(),
+                       "neighbourhood-selection blanket");
+    } else {
+      LOG(Warning) << "graphical lasso " << result->report.ToString()
+                   << "; falling back to neighbourhood selection";
+    }
     return BlanketViaNeighborhood(standardized, target, options);
   }
   return BlanketFromPrecision(result->precision, target,

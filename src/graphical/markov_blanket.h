@@ -8,6 +8,8 @@
 
 namespace activedp {
 
+class RecoveryLog;  // core/recovery.h
+
 /// How LabelPick extracts the label's Markov blanket (§3.4; DESIGN.md
 /// ablation): full graphical lasso over all variables, or the
 /// Meinshausen–Bühlmann fast path (a single lasso regression of the target
@@ -30,9 +32,11 @@ std::vector<int> BlanketFromPrecision(const Matrix& precision, int target,
 /// Computes the Markov blanket of column `target` of `data` (rows =
 /// observations). Columns are standardized internally; constant columns can
 /// never enter the blanket. Falls back to neighbourhood selection if the
-/// graphical lasso fails numerically.
+/// graphical lasso fails numerically or does not converge; when `recovery`
+/// is non-null each such fallback is recorded there (core/recovery.h).
 Result<std::vector<int>> MarkovBlanket(const Matrix& data, int target,
-                                       const MarkovBlanketOptions& options);
+                                       const MarkovBlanketOptions& options,
+                                       RecoveryLog* recovery = nullptr);
 
 }  // namespace activedp
 

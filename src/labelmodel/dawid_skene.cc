@@ -137,10 +137,16 @@ Status DawidSkeneModel::FitSemiSupervised(
   return Status::Ok();
 }
 
-std::vector<double> DawidSkeneModel::PredictProba(
+Result<std::vector<double>> DawidSkeneModel::PredictProba(
     const std::vector<int>& weak_labels) const {
-  CHECK_GT(num_classes_, 0) << "Fit before PredictProba";
-  CHECK_EQ(weak_labels.size(), confusions_.size());
+  if (num_classes_ <= 0)
+    return Status::FailedPrecondition("Fit before PredictProba");
+  if (weak_labels.size() != confusions_.size()) {
+    return Status::InvalidArgument(
+        "weak-label row has " + std::to_string(weak_labels.size()) +
+        " entries, model was fit on " + std::to_string(confusions_.size()) +
+        " LFs");
+  }
   std::vector<double> log_post(num_classes_);
   for (int c = 0; c < num_classes_; ++c) log_post[c] = std::log(priors_[c]);
   for (size_t j = 0; j < weak_labels.size(); ++j) {

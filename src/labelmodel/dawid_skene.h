@@ -57,7 +57,7 @@ class DawidSkeneModel : public LabelModel {
                            const std::vector<int>& labeled_rows,
                            const std::vector<int>& labeled_values);
 
-  std::vector<double> PredictProba(
+  Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "dawid-skene"; }
 

@@ -76,16 +76,25 @@ Status GenerativeModel::Fit(const LabelMatrix& matrix, int num_classes) {
   return Status::Ok();
 }
 
-std::vector<double> GenerativeModel::PredictProba(
+Result<std::vector<double>> GenerativeModel::PredictProba(
     const std::vector<int>& weak_labels) const {
-  CHECK_GT(num_lfs_, 0) << "Fit before PredictProba";
-  CHECK_EQ(static_cast<int>(weak_labels.size()), num_lfs_);
+  if (num_lfs_ <= 0)
+    return Status::FailedPrecondition("Fit before PredictProba");
+  if (static_cast<int>(weak_labels.size()) != num_lfs_) {
+    return Status::InvalidArgument(
+        "weak-label row has " + std::to_string(weak_labels.size()) +
+        " entries, model was fit on " + std::to_string(num_lfs_) + " LFs");
+  }
   double score_half = theta0_;
   for (int j = 0; j < num_lfs_; ++j) {
     score_half += thetas_[j] * ToSpin(weak_labels[j]);
   }
   const double p1 = Sigmoid(2.0 * score_half);
-  return {1.0 - p1, p1};
+  if (!std::isfinite(p1)) {
+    return Status::Internal(
+        "generative model prediction is non-finite");
+  }
+  return std::vector<double>{1.0 - p1, p1};
 }
 
 }  // namespace activedp

@@ -10,17 +10,20 @@
 
 namespace activedp {
 
-std::vector<std::vector<double>> LabelModel::PredictProbaAll(
+Result<std::vector<std::vector<double>>> LabelModel::PredictProbaAll(
     const LabelMatrix& matrix) const {
   std::vector<std::vector<double>> out;
   out.reserve(matrix.num_rows());
   for (int i = 0; i < matrix.num_rows(); ++i) {
-    out.push_back(PredictProba(matrix.Row(i)));
+    ASSIGN_OR_RETURN(std::vector<double> proba,
+                     PredictProba(matrix.Row(i)));
+    out.push_back(std::move(proba));
   }
   return out;
 }
 
-std::vector<int> LabelModel::PredictAll(const LabelMatrix& matrix) const {
+Result<std::vector<int>> LabelModel::PredictAll(
+    const LabelMatrix& matrix) const {
   std::vector<int> out;
   out.reserve(matrix.num_rows());
   for (int i = 0; i < matrix.num_rows(); ++i) {
@@ -28,7 +31,9 @@ std::vector<int> LabelModel::PredictAll(const LabelMatrix& matrix) const {
       out.push_back(kAbstain);
       continue;
     }
-    out.push_back(ArgMax(PredictProba(matrix.Row(i))));
+    ASSIGN_OR_RETURN(std::vector<double> proba,
+                     PredictProba(matrix.Row(i)));
+    out.push_back(ArgMax(proba));
   }
   return out;
 }

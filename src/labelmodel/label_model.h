@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "lf/lf_applier.h"
-#include "util/status.h"
+#include "util/result.h"
 
 namespace activedp {
 
@@ -17,23 +17,29 @@ class LabelModel {
  public:
   virtual ~LabelModel() = default;
 
-  /// Fits the model to the training weak-label matrix.
+  /// Fits the model to the training weak-label matrix. Internal when the
+  /// solve produces non-finite parameters (callers degrade, see
+  /// core/recovery.h).
   virtual Status Fit(const LabelMatrix& matrix, int num_classes) = 0;
 
   /// Probabilistic label for one row of weak labels (entries in
   /// {kAbstain, 0..C-1}). On an all-abstain row returns the estimated class
-  /// prior (callers decide coverage semantics separately).
-  virtual std::vector<double> PredictProba(
+  /// prior (callers decide coverage semantics separately). Untrusted
+  /// runtime state surfaces as Status, never aborts: FailedPrecondition
+  /// before Fit, InvalidArgument when the row's width or entries do not
+  /// match the fitted model, Internal when the fitted parameters yield a
+  /// non-finite distribution.
+  virtual Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const = 0;
 
   virtual std::string name() const = 0;
 
-  /// Probabilistic labels for every row of a matrix.
-  std::vector<std::vector<double>> PredictProbaAll(
+  /// Probabilistic labels for every row of a matrix; first row error wins.
+  Result<std::vector<std::vector<double>>> PredictProbaAll(
       const LabelMatrix& matrix) const;
 
   /// Hard labels for every row; kAbstain on rows with no active LF.
-  std::vector<int> PredictAll(const LabelMatrix& matrix) const;
+  Result<std::vector<int>> PredictAll(const LabelMatrix& matrix) const;
 };
 
 enum class LabelModelType {

@@ -34,14 +34,19 @@ Status MajorityVoteModel::Fit(const LabelMatrix& matrix, int num_classes) {
   return Status::Ok();
 }
 
-std::vector<double> MajorityVoteModel::PredictProba(
+Result<std::vector<double>> MajorityVoteModel::PredictProba(
     const std::vector<int>& weak_labels) const {
-  CHECK_GT(num_classes_, 0) << "Fit before PredictProba";
+  if (num_classes_ <= 0)
+    return Status::FailedPrecondition("Fit before PredictProba");
   std::vector<double> votes(num_classes_, 0.0);
   int active = 0;
   for (int l : weak_labels) {
     if (l == kAbstain) continue;
-    CHECK_LT(l, num_classes_);
+    if (l < 0 || l >= num_classes_) {
+      return Status::InvalidArgument("weak label " + std::to_string(l) +
+                                     " outside [0, " +
+                                     std::to_string(num_classes_) + ")");
+    }
     votes[l] += 1.0;
     ++active;
   }

@@ -13,7 +13,7 @@ namespace activedp {
 class MajorityVoteModel : public LabelModel {
  public:
   Status Fit(const LabelMatrix& matrix, int num_classes) override;
-  std::vector<double> PredictProba(
+  Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "majority-vote"; }
 

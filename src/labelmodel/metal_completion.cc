@@ -141,10 +141,16 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   return Status::Ok();
 }
 
-std::vector<double> MetalCompletionModel::PredictProba(
+Result<std::vector<double>> MetalCompletionModel::PredictProba(
     const std::vector<int>& weak_labels) const {
-  CHECK_GT(num_lfs_, 0) << "Fit before PredictProba";
+  if (num_lfs_ <= 0)
+    return Status::FailedPrecondition("Fit before PredictProba");
   if (fallback_.has_value()) return fallback_->PredictProba(weak_labels);
+  if (static_cast<int>(weak_labels.size()) != num_lfs_) {
+    return Status::InvalidArgument(
+        "weak-label row has " + std::to_string(weak_labels.size()) +
+        " entries, model was fit on " + std::to_string(num_lfs_) + " LFs");
+  }
   return SpinNaiveBayesProba(accuracies_, positive_prior_, weak_labels);
 }
 

@@ -42,7 +42,7 @@ class MetalCompletionModel : public LabelModel {
       : options_(options) {}
 
   Status Fit(const LabelMatrix& matrix, int num_classes) override;
-  std::vector<double> PredictProba(
+  Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "metal-completion"; }
 

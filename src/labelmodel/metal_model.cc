@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include <limits>
+
 #include "labelmodel/spin_utils.h"
 #include "math/matrix.h"
 #include "util/check.h"
+#include "util/fault.h"
+#include "util/numeric_guard.h"
 #include "util/rng.h"
 
 namespace activedp {
@@ -111,14 +115,40 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
         std::clamp(a, -options_.accuracy_clamp, options_.accuracy_clamp);
     if (accuracies_[i] < 0.0) accuracies_[i] = 0.0;
   }
+
+  if (CheckFault("metal.fit") == FaultKind::kNan && !accuracies_.empty()) {
+    accuracies_[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Finite guard: a degenerate moment system must surface as a Status the
+  // caller can degrade on, never as silent NaN probabilities downstream.
+  report_ = ConvergenceReport{};
+  report_.iterations = 1;  // closed-form
+  report_.finite =
+      AllFinite(accuracies_) && std::isfinite(positive_prior_);
+  report_.converged = report_.finite;
+  if (!report_.finite) {
+    num_lfs_ = 0;  // refuse predictions from a poisoned fit
+    return Status::Internal(
+        "metal fit produced non-finite accuracy parameters");
+  }
   return Status::Ok();
 }
 
-std::vector<double> MetalModel::PredictProba(
+Result<std::vector<double>> MetalModel::PredictProba(
     const std::vector<int>& weak_labels) const {
-  CHECK_GT(num_lfs_, 0) << "Fit before PredictProba";
-  CHECK_EQ(static_cast<int>(weak_labels.size()), num_lfs_);
-  return SpinNaiveBayesProba(accuracies_, positive_prior_, weak_labels);
+  if (num_lfs_ <= 0)
+    return Status::FailedPrecondition("Fit before PredictProba");
+  if (static_cast<int>(weak_labels.size()) != num_lfs_) {
+    return Status::InvalidArgument(
+        "weak-label row has " + std::to_string(weak_labels.size()) +
+        " entries, model was fit on " + std::to_string(num_lfs_) + " LFs");
+  }
+  std::vector<double> proba =
+      SpinNaiveBayesProba(accuracies_, positive_prior_, weak_labels);
+  if (!IsProbabilityVector(proba)) {
+    return Status::Internal("metal prediction is not a valid distribution");
+  }
+  return proba;
 }
 
 }  // namespace activedp

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "labelmodel/label_model.h"
+#include "util/convergence.h"
 
 namespace activedp {
 
@@ -34,7 +35,7 @@ class MetalModel : public LabelModel {
   explicit MetalModel(MetalModelOptions options = {}) : options_(options) {}
 
   Status Fit(const LabelMatrix& matrix, int num_classes) override;
-  std::vector<double> PredictProba(
+  Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "metal"; }
 
@@ -43,11 +44,16 @@ class MetalModel : public LabelModel {
   double accuracy_param(int lf_index) const { return accuracies_[lf_index]; }
   double positive_prior() const { return positive_prior_; }
 
+  /// Honest fit report (the estimator is closed-form, so `converged` is
+  /// true whenever the recovered parameters are finite).
+  const ConvergenceReport& report() const { return report_; }
+
  private:
   MetalModelOptions options_;
   std::vector<double> accuracies_;
   double positive_prior_ = 0.5;
   int num_lfs_ = 0;
+  ConvergenceReport report_;
 };
 
 }  // namespace activedp

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace activedp {
 
@@ -18,6 +19,11 @@ std::optional<LfCandidate> SimulatedUser::CreateLf(int query_index) {
   CHECK_GE(query_index, 0);
   CHECK_LT(query_index, train_->size());
   ++num_queries_answered_;
+  if (CheckFault("oracle.create_lf") == FaultKind::kEmptyResponse) {
+    // Simulates a user who cannot come up with a rule: the interaction is
+    // consumed (like a real no-op answer) and no LF is produced.
+    return std::nullopt;
+  }
   const Example& x = train_->example(query_index);
 
   // A user inspecting x writes a rule that reflects x's label ("these LFs

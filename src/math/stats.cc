@@ -67,10 +67,12 @@ double PearsonCorrelation(const std::vector<double>& a,
 }
 
 double BinaryEntropy(double p) {
-  double h = 0.0;
-  if (p > 0.0) h -= p * std::log(p);
-  if (p < 1.0) h -= (1.0 - p) * std::log(1.0 - p);
-  return h;
+  // Clamp so that off-by-epsilon probabilities from upstream float error
+  // (p = -1e-17, p = 1 + 1e-17, or NaN) yield 0 instead of NaN/negative
+  // entropy.
+  if (!(p > 0.0)) return 0.0;
+  if (!(p < 1.0)) return 0.0;
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
 }
 
 }  // namespace activedp

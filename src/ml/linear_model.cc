@@ -1,9 +1,11 @@
 #include "ml/linear_model.h"
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "math/vector_ops.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace activedp {
@@ -38,7 +40,9 @@ Result<LogisticRegression> LogisticRegression::Fit(
   std::iota(order.begin(), order.end(), 0);
 
   Matrix grad(num_classes, w_cols);
+  double epoch_max_update = 0.0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    epoch_max_update = 0.0;
     rng.Shuffle(order);
     for (int begin = 0; begin < n; begin += options.batch_size) {
       const int end = std::min(n, begin + options.batch_size);
@@ -84,10 +88,44 @@ Result<LogisticRegression> LogisticRegression::Fit(
           vc[k] = beta2 * vc[k] + (1.0 - beta2) * g[k] * g[k];
           const double mhat = mc[k] / bc1;
           const double vhat = vc[k] / bc2;
-          w[k] -= options.learning_rate * mhat / (std::sqrt(vhat) + eps);
+          const double update =
+              options.learning_rate * mhat / (std::sqrt(vhat) + eps);
+          w[k] -= update;
+          epoch_max_update = std::max(epoch_max_update, std::fabs(update));
         }
       }
     }
+  }
+
+  const FaultKind fault = CheckFault("lr.fit");
+  if (fault == FaultKind::kNan && model.weights_.rows() > 0) {
+    model.weights_(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Finite guard: a diverged fit surfaces as Status, never as a model that
+  // emits NaN probabilities into the pipeline.
+  bool finite = true;
+  for (int c = 0; c < num_classes && finite; ++c) {
+    const double* w = model.weights_.RowPtr(c);
+    for (int k = 0; k < w_cols; ++k) {
+      if (!std::isfinite(w[k])) {
+        finite = false;
+        break;
+      }
+    }
+  }
+  model.report_.iterations = step;
+  model.report_.final_delta = epoch_max_update;
+  model.report_.finite = finite;
+  model.report_.converged =
+      finite && epoch_max_update <= options.convergence_tolerance;
+  if (!finite) {
+    return Status::Internal(
+        "logistic regression diverged: non-finite weights after " +
+        std::to_string(step) + " steps");
+  }
+  if (fault == FaultKind::kNoConverge) {
+    return Status::Internal(
+        "logistic regression did not converge (injected fault at lr.fit)");
   }
   return model;
 }

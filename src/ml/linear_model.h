@@ -6,6 +6,7 @@
 
 #include "data/example.h"
 #include "math/matrix.h"
+#include "util/convergence.h"
 #include "util/result.h"
 
 namespace activedp {
@@ -16,6 +17,10 @@ struct LogisticRegressionOptions {
   int batch_size = 32;
   double learning_rate = 0.05;  // Adam step size
   uint64_t seed = 1;
+  /// The fit is reported converged when the largest parameter update in the
+  /// final epoch is at most this (fixed-epoch SGD never stops early; this
+  /// only drives the honesty of report().converged).
+  double convergence_tolerance = 1e-2;
 };
 
 /// Multinomial (softmax) logistic regression on sparse features, trained
@@ -52,11 +57,18 @@ class LogisticRegression {
   /// Raw (unnormalized) class scores w_c . x + b_c.
   std::vector<double> Logits(const SparseVector& x) const;
 
+  /// Honest training outcome: iterations = Adam steps taken, final_delta =
+  /// largest parameter update in the last epoch. Fit returns
+  /// Status::Internal instead of a model when the weights diverge to
+  /// non-finite values (fault site "lr.fit": kNan / kNoConverge).
+  const ConvergenceReport& report() const { return report_; }
+
  private:
   int num_classes_ = 0;
   int dim_ = 0;
   /// Row c holds [w_c (dim entries), b_c].
   Matrix weights_;
+  ConvergenceReport report_;
 };
 
 }  // namespace activedp

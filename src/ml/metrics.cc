@@ -72,11 +72,17 @@ double BrierScore(const std::vector<std::vector<double>>& proba,
   if (proba.empty()) return 0.0;
   double total = 0.0;
   for (size_t i = 0; i < proba.size(); ++i) {
+    double row_total = 0.0;
+    bool finite = true;
     for (size_t c = 0; c < proba[i].size(); ++c) {
       const double target = static_cast<int>(c) == labels[i] ? 1.0 : 0.0;
       const double delta = proba[i][c] - target;
-      total += delta * delta;
+      row_total += delta * delta;
+      finite = finite && std::isfinite(proba[i][c]);
     }
+    // A non-finite row is an upstream bug; score it like an uncovered row
+    // rather than letting one NaN erase the whole aggregate.
+    if (finite) total += row_total;
   }
   return total / proba.size();
 }
@@ -90,21 +96,29 @@ double ExpectedCalibrationError(
   std::vector<double> bin_confidence(bins, 0.0);
   std::vector<double> bin_correct(bins, 0.0);
   std::vector<int> bin_count(bins, 0);
+  int scored = 0;
   for (size_t i = 0; i < proba.size(); ++i) {
+    // Empty rows mean "no prediction"; non-finite confidences are upstream
+    // bugs that must not poison the aggregate.
+    if (proba[i].empty()) continue;
     const int prediction = ArgMax(proba[i]);
     const double confidence = proba[i][prediction];
+    if (!std::isfinite(confidence)) continue;
     int bin = static_cast<int>(confidence * bins);
     if (bin >= bins) bin = bins - 1;
+    if (bin < 0) bin = 0;
     bin_confidence[bin] += confidence;
     bin_correct[bin] += prediction == labels[i] ? 1.0 : 0.0;
     ++bin_count[bin];
+    ++scored;
   }
+  if (scored == 0) return 0.0;
   double ece = 0.0;
   for (int b = 0; b < bins; ++b) {
     if (bin_count[b] == 0) continue;
     const double accuracy = bin_correct[b] / bin_count[b];
     const double confidence = bin_confidence[b] / bin_count[b];
-    ece += (static_cast<double>(bin_count[b]) / proba.size()) *
+    ece += (static_cast<double>(bin_count[b]) / scored) *
            std::fabs(accuracy - confidence);
   }
   return ece;

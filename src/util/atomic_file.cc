@@ -1,0 +1,125 @@
+#include "util/atomic_file.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/fault.h"
+
+namespace activedp {
+namespace {
+
+/// Flushes a file's contents to stable storage. Best-effort on platforms
+/// without fsync; the rename below still gives old-or-new atomicity.
+void SyncFile(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       const std::string& fault_site) {
+  FaultKind fault = FaultKind::kNone;
+  if (!fault_site.empty()) fault = CheckFault(fault_site);
+  if (fault == FaultKind::kError) {
+    return Status::Internal("injected fault at " + fault_site);
+  }
+  if (fault == FaultKind::kTruncateWrite) {
+    // Simulate a crash mid-save: clobber the destination with a prefix of
+    // the content and report success, exactly what a non-atomic writer
+    // killed partway through would leave behind.
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out) return Status::NotFound("cannot open for writing: " + path);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+    return Status::Ok();
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return Status::NotFound("cannot open for writing: " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Internal("write failed: " + tmp);
+    }
+  }
+  SyncFile(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+std::string ContentChecksum(const std::string& content) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (unsigned char c : content) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buffer);
+}
+
+std::string WithChecksumFooter(std::string content) {
+  const std::string checksum = ContentChecksum(content);
+  content += kChecksumPrefix;
+  content += checksum;
+  content += '\n';
+  return content;
+}
+
+Result<std::string> ReadFileVerifyingChecksum(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+
+  // Locate a trailing "#crc64 <hex>\n" footer, if any.
+  const std::string_view prefix = kChecksumPrefix;
+  size_t line_start = std::string::npos;
+  if (!content.empty()) {
+    const size_t last =
+        content.back() == '\n' ? content.size() - 1 : content.size();
+    const size_t newline = content.rfind('\n', last == 0 ? 0 : last - 1);
+    line_start = newline == std::string::npos ? 0 : newline + 1;
+  }
+  if (line_start != std::string::npos &&
+      content.compare(line_start, prefix.size(), prefix) == 0) {
+    std::string stored = content.substr(line_start + prefix.size());
+    while (!stored.empty() && (stored.back() == '\n' || stored.back() == '\r'))
+      stored.pop_back();
+    content.erase(line_start);
+    const std::string actual = ContentChecksum(content);
+    if (stored != actual) {
+      return Status::InvalidArgument(
+          "checksum mismatch in " + path + " (stored " + stored +
+          ", computed " + actual + "): file is truncated or corrupt");
+    }
+  }
+  return content;
+}
+
+}  // namespace activedp

@@ -1,0 +1,40 @@
+#ifndef ACTIVEDP_UTIL_ATOMIC_FILE_H_
+#define ACTIVEDP_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace activedp {
+
+/// Crash-safe file persistence: content is written to `<path>.tmp`, flushed
+/// and fsync'd, then renamed over `path`, so a crash mid-save leaves either
+/// the old file or the new one — never a torn mix. An optional checksum
+/// footer detects truncation that happens *outside* the atomic protocol
+/// (partial copies, disk corruption, fault-injected truncated writes).
+
+/// Atomically replaces `path` with `content` (tmp + fsync + rename).
+/// Honors the "<site>" fault site via FaultKind::kTruncateWrite (writes a
+/// truncated file non-atomically and reports success, simulating a crash)
+/// and FaultKind::kError. Pass an empty `fault_site` to opt out.
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       const std::string& fault_site = "");
+
+/// FNV-1a 64-bit hash of `content`, rendered as 16 hex digits.
+std::string ContentChecksum(const std::string& content);
+
+/// The footer line appended by WithChecksumFooter (without the checksum).
+inline constexpr char kChecksumPrefix[] = "#crc64 ";
+
+/// Appends "#crc64 <hex>\n" covering everything before the footer.
+std::string WithChecksumFooter(std::string content);
+
+/// Reads the whole file. If the last line is a checksum footer, verifies it
+/// (InvalidArgument with both checksums on mismatch — the file is truncated
+/// or corrupt) and strips it; files without a footer are returned as-is, so
+/// pre-checksum files stay loadable. NotFound when the file cannot be read.
+Result<std::string> ReadFileVerifyingChecksum(const std::string& path);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_ATOMIC_FILE_H_

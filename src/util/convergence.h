@@ -1,0 +1,37 @@
+#ifndef ACTIVEDP_UTIL_CONVERGENCE_H_
+#define ACTIVEDP_UTIL_CONVERGENCE_H_
+
+#include <sstream>
+#include <string>
+
+namespace activedp {
+
+/// Honest convergence reporting for the pipeline's iterative solvers
+/// (graphical lasso, MeTaL-style moment fits, SGD). A solver that runs out
+/// of iterations no longer silently returns its last iterate as if it had
+/// converged: the caller sees `converged == false` plus the final delta and
+/// decides whether the iterate is usable.
+struct ConvergenceReport {
+  bool converged = true;
+  int iterations = 0;
+  /// Solver-specific residual at the last iteration (e.g. max parameter
+  /// change); 0 for closed-form solvers.
+  double final_delta = 0.0;
+  /// False when the solve produced any non-finite parameter.
+  bool finite = true;
+
+  /// Usable output: finite and either converged or at least bounded.
+  bool usable() const { return finite; }
+
+  std::string ToString() const {
+    std::ostringstream out;
+    out << (converged ? "converged" : "NOT converged") << " after "
+        << iterations << " iterations (final delta " << final_delta
+        << (finite ? ")" : ", non-finite)");
+    return out.str();
+  }
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_CONVERGENCE_H_

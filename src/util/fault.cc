@@ -1,0 +1,111 @@
+#include "util/fault.h"
+
+namespace activedp {
+namespace {
+
+/// splitmix64 finalizer: uniform deterministic hash of (seed, counter).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kNan:
+      return "nan";
+    case FaultKind::kNoConverge:
+      return "no-converge";
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kTruncateWrite:
+      return "truncate-write";
+    case FaultKind::kEmptyResponse:
+      return "empty-response";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = sites_.insert_or_assign(site, SiteState{spec, 0, 0});
+  (void)it;
+  if (inserted) num_armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sites_.erase(site) > 0) {
+    num_armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  num_armed_.fetch_sub(static_cast<int>(sites_.size()),
+                       std::memory_order_relaxed);
+  sites_.clear();
+}
+
+FaultKind FaultInjector::Check(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return FaultKind::kNone;
+  SiteState& state = it->second;
+  const int hit = state.hits++;
+  if (hit < state.spec.trigger_after) return FaultKind::kNone;
+  if (state.spec.max_fires >= 0 && state.fires >= state.spec.max_fires) {
+    return FaultKind::kNone;
+  }
+  if (state.spec.probability < 1.0) {
+    const double u =
+        static_cast<double>(Mix(state.spec.seed ^ static_cast<uint64_t>(hit)) >>
+                            11) *
+        0x1.0p-53;
+    if (u >= state.spec.probability) return FaultKind::kNone;
+  }
+  ++state.fires;
+  return state.spec.kind;
+}
+
+int FaultInjector::fire_count(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+int FaultInjector::hit_count(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+ScopedFault::ScopedFault(std::string site, const FaultSpec& spec)
+    : site_(std::move(site)) {
+  FaultInjector::Global().Arm(site_, spec);
+}
+
+ScopedFault::ScopedFault(std::string site, FaultKind kind)
+    : site_(std::move(site)) {
+  FaultSpec spec;
+  spec.kind = kind;
+  FaultInjector::Global().Arm(site_, spec);
+}
+
+ScopedFault::~ScopedFault() { FaultInjector::Global().Disarm(site_); }
+
+int ScopedFault::fire_count() const {
+  return FaultInjector::Global().fire_count(site_);
+}
+
+}  // namespace activedp

@@ -1,0 +1,120 @@
+#ifndef ACTIVEDP_UTIL_FAULT_H_
+#define ACTIVEDP_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace activedp {
+
+/// What an armed fault site does when it fires.
+enum class FaultKind {
+  kNone = 0,
+  /// Poison the stage's numeric output with NaN (the stage's own finite
+  /// guards must catch it).
+  kNan,
+  /// Force the solver to report non-convergence.
+  kNoConverge,
+  /// Fail the operation with Status::Internal.
+  kError,
+  /// Truncate a file write partway through (simulates a crash mid-save;
+  /// the write still reports success, as a killed process would).
+  kTruncateWrite,
+  /// Oracle-style sites return an empty/no-op response.
+  kEmptyResponse,
+};
+
+std::string_view FaultKindToString(FaultKind kind);
+
+/// When and how often an armed site fires. Deterministic: given the same
+/// spec and the same sequence of CheckFault() calls, the same calls fire.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  /// Skip this many hits before the first fire (0 = fire immediately).
+  int trigger_after = 0;
+  /// Stop firing after this many fires (-1 = unlimited).
+  int max_fires = -1;
+  /// Fire each due hit with this probability, decided by a per-site
+  /// counter-based hash of `seed` (1.0 = always). Still deterministic.
+  double probability = 1.0;
+  uint64_t seed = 0;
+};
+
+/// Deterministic fault-injection registry. Compiled in always; the hot-path
+/// query (CheckFault below) is a single relaxed atomic load when no site is
+/// armed, so production runs pay nothing.
+///
+/// Known sites (see DESIGN.md "Failure semantics"):
+///   "glasso.solve"      graphical-lasso solve (kNan / kNoConverge / kError)
+///   "metal.fit"         MeTaL-style label-model fit (kNan / kError)
+///   "lr.fit"            logistic-regression training (kNan / kNoConverge)
+///   "oracle.create_lf"  simulated user LF creation (kEmptyResponse)
+///   "session.save"      session file write (kTruncateWrite / kError)
+///   "checkpoint.save"   run-checkpoint write (kTruncateWrite / kError)
+class FaultInjector {
+ public:
+  /// Process-wide registry used by the ACTIVEDP_CHECK_FAULT sites.
+  static FaultInjector& Global();
+
+  /// Arms (or re-arms, resetting counters) a named site.
+  void Arm(const std::string& site, const FaultSpec& spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Records a hit at `site` and returns the fault to inject now (kNone
+  /// when the site is disarmed or not yet due).
+  FaultKind Check(std::string_view site);
+
+  /// How many times `site` actually fired since it was (re-)armed.
+  int fire_count(const std::string& site) const;
+  /// How many times `site` was hit since it was (re-)armed.
+  int hit_count(const std::string& site) const;
+
+  bool any_armed() const {
+    return num_armed_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  struct SiteState {
+    FaultSpec spec;
+    int hits = 0;
+    int fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+  std::atomic<int> num_armed_{0};
+};
+
+/// Hot-path site query against the global registry; zero-cost (one relaxed
+/// load) while nothing is armed.
+inline FaultKind CheckFault(std::string_view site) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!injector.any_armed()) return FaultKind::kNone;
+  return injector.Check(site);
+}
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor so a failing test cannot leak an armed site into the next.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, const FaultSpec& spec);
+  ScopedFault(std::string site, FaultKind kind);
+  ~ScopedFault();
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  int fire_count() const;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_FAULT_H_

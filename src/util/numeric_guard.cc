@@ -1,0 +1,68 @@
+#include "util/numeric_guard.h"
+
+#include <cmath>
+#include <string>
+
+namespace activedp {
+
+bool AllFinite(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool IsProbabilityVector(const std::vector<double>& p, double tol) {
+  if (p.empty()) return false;
+  double sum = 0.0;
+  for (double v : p) {
+    if (!std::isfinite(v) || v < -tol || v > 1.0 + tol) return false;
+    sum += v;
+  }
+  return std::fabs(sum - 1.0) <= tol * static_cast<double>(p.size()) + tol;
+}
+
+Status ValidateProbaRows(const std::vector<std::vector<double>>& proba,
+                         int num_classes, const char* stage) {
+  for (size_t i = 0; i < proba.size(); ++i) {
+    if (proba[i].empty()) continue;  // "no prediction" rows are fine
+    if (static_cast<int>(proba[i].size()) != num_classes) {
+      return Status::Internal(std::string(stage) + ": row " +
+                              std::to_string(i) + " has " +
+                              std::to_string(proba[i].size()) +
+                              " entries, expected " +
+                              std::to_string(num_classes));
+    }
+    if (!IsProbabilityVector(proba[i])) {
+      return Status::Internal(std::string(stage) + ": row " +
+                              std::to_string(i) +
+                              " is not a finite normalized distribution");
+    }
+  }
+  return Status::Ok();
+}
+
+bool RepairProbabilityVector(std::vector<double>* p) {
+  if (p->empty()) return false;
+  bool repaired = false;
+  double sum = 0.0;
+  for (double& v : *p) {
+    if (!std::isfinite(v) || v < 0.0) {
+      v = 0.0;
+      repaired = true;
+    }
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(p->size());
+    for (double& v : *p) v = uniform;
+    return true;
+  }
+  if (std::fabs(sum - 1.0) > 1e-12) {
+    for (double& v : *p) v /= sum;
+    repaired = repaired || std::fabs(sum - 1.0) > 1e-6;
+  }
+  return repaired;
+}
+
+}  // namespace activedp

@@ -1,0 +1,34 @@
+#ifndef ACTIVEDP_UTIL_NUMERIC_GUARD_H_
+#define ACTIVEDP_UTIL_NUMERIC_GUARD_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace activedp {
+
+/// Numerical guards applied at pipeline stage boundaries: every probability
+/// vector handed from one stage to the next must be finite and normalized,
+/// so a diverged solver cannot silently poison downstream stages.
+
+/// True iff every entry is finite.
+bool AllFinite(const std::vector<double>& values);
+
+/// True iff `p` is a probability vector: non-empty, entries finite, in
+/// [-tol, 1 + tol], summing to 1 within `tol`.
+bool IsProbabilityVector(const std::vector<double>& p, double tol = 1e-6);
+
+/// OK iff every non-empty row of `proba` is a probability vector over
+/// `num_classes` entries (empty rows mean "no prediction" and are allowed).
+/// The error message names the first offending row.
+Status ValidateProbaRows(const std::vector<std::vector<double>>& proba,
+                         int num_classes, const char* stage);
+
+/// Clamps `p` into a valid distribution in place: non-finite or negative
+/// entries become 0, then the vector is renormalized (uniform if the mass
+/// vanished). Returns true when a repair was needed.
+bool RepairProbabilityVector(std::vector<double>* p);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_NUMERIC_GUARD_H_

@@ -84,7 +84,7 @@ TEST_F(AutoLfTest, SynthesizedSetDrivesLabelModelAboveChance) {
   auto model = MakeLabelModel(LabelModelType::kMetal);
   ASSERT_TRUE(model->Fit(matrix, 2).ok());
   const double accuracy =
-      Accuracy(model->PredictAll(matrix), train_.Labels());
+      Accuracy(model->PredictAll(matrix).value(), train_.Labels());
   EXPECT_GT(accuracy, 0.7);
   EXPECT_GT(matrix.OverallCoverage(), 0.2);
 }

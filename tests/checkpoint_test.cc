@@ -1,0 +1,187 @@
+// Crash-safe run checkpointing: RunCheckpoint round-trip, corrupt-file
+// handling, and the kill-and-resume guarantee — a run interrupted after any
+// evaluation and restarted over the same checkpoint file must produce a
+// RunResult bitwise-identical to an uninterrupted run.
+
+#include "core/run_checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/experiment.h"
+#include "data/dataset_zoo.h"
+#include "util/atomic_file.h"
+#include "util/fault.h"
+
+namespace activedp {
+namespace {
+
+RunCheckpoint MakeCheckpoint() {
+  RunCheckpoint checkpoint;
+  checkpoint.completed_iterations = 20;
+  checkpoint.partial.budgets = {10, 20};
+  checkpoint.partial.test_accuracy = {0.71234567891234567, 0.8};
+  checkpoint.partial.label_accuracy = {0.9, 0.91};
+  checkpoint.partial.label_coverage = {0.5, 0.6};
+  return checkpoint;
+}
+
+TEST(RunCheckpointTest, RoundTripsExactly) {
+  const std::string path = testing::TempDir() + "/roundtrip.ckpt";
+  const RunCheckpoint saved = MakeCheckpoint();
+  ASSERT_TRUE(SaveRunCheckpoint(saved, path).ok());
+  Result<RunCheckpoint> loaded = LoadRunCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->completed_iterations, saved.completed_iterations);
+  EXPECT_EQ(loaded->partial.budgets, saved.partial.budgets);
+  // %.17g serialization must round-trip doubles bit for bit.
+  EXPECT_EQ(loaded->partial.test_accuracy, saved.partial.test_accuracy);
+  EXPECT_EQ(loaded->partial.label_accuracy, saved.partial.label_accuracy);
+  EXPECT_EQ(loaded->partial.label_coverage, saved.partial.label_coverage);
+}
+
+TEST(RunCheckpointTest, MissingFileIsNotFound) {
+  Result<RunCheckpoint> loaded =
+      LoadRunCheckpoint(testing::TempDir() + "/does_not_exist.ckpt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RunCheckpointTest, RejectsCorruptFiles) {
+  const std::string path = testing::TempDir() + "/corrupt.ckpt";
+  const auto write = [&path](const std::string& content) {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << content;
+  };
+  const auto expect_invalid = [&path]() {
+    Result<RunCheckpoint> loaded = LoadRunCheckpoint(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << loaded.status().ToString();
+  };
+
+  write("not a checkpoint at all\n");
+  expect_invalid();
+  write("activedp-checkpoint v1\niter ten\n");
+  expect_invalid();
+  write("activedp-checkpoint v1\niter 10\neval 10 0.5\n");
+  expect_invalid();
+  write("activedp-checkpoint v1\niter 10\neval 10 nan 0.5 0.5\n");
+  expect_invalid();
+  write("activedp-checkpoint v1\niter 10\neval 20 0.5 0.5 0.5\n");
+  expect_invalid();  // eval row beyond completed iterations
+  write("activedp-checkpoint v1\neval 10 0.5 0.5 0.5\n");
+  expect_invalid();  // missing iter record
+  write(
+      "activedp-checkpoint v1\niter 10\neval 10 0.5 0.5 0.5\n"
+      "#crc64 0000000000000000\n");
+  expect_invalid();  // checksum mismatch
+}
+
+TEST(RunCheckpointTest, TruncatedWriteIsDetectedAtLoad) {
+  const std::string path = testing::TempDir() + "/truncated.ckpt";
+  {
+    ScopedFault fault("checkpoint.save", FaultKind::kTruncateWrite);
+    ASSERT_TRUE(SaveRunCheckpoint(MakeCheckpoint(), path).ok());
+  }
+  Result<RunCheckpoint> loaded = LoadRunCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+      << loaded.status().ToString();
+}
+
+// --------------------------------------------------- kill and resume ------
+
+class ProtocolResumeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    Result<DataSplit> split = MakeZooDataset("youtube", 0.4, 101);
+    ASSERT_TRUE(split.ok());
+    split_ = std::move(*split);
+    context_ = FrameworkContext::Build(split_);
+    options_.iterations = 30;
+    options_.eval_every = 10;
+  }
+
+  ActiveDpOptions Adp() const {
+    ActiveDpOptions adp;
+    adp.seed = 17;
+    return adp;
+  }
+
+  DataSplit split_;
+  FrameworkContext context_;
+  ProtocolOptions options_;
+};
+
+void ExpectBitwiseEqual(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.budgets, b.budgets);
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_EQ(a.label_accuracy, b.label_accuracy);
+  EXPECT_EQ(a.label_coverage, b.label_coverage);
+  EXPECT_EQ(a.average_test_accuracy, b.average_test_accuracy);
+}
+
+TEST_F(ProtocolResumeTest, KilledRunResumesBitwiseIdentical) {
+  // Reference: one uninterrupted run, no checkpointing.
+  ActiveDp reference(context_, Adp());
+  const RunResult uninterrupted = RunProtocol(reference, context_, options_);
+  ASSERT_EQ(uninterrupted.budgets.size(), 3u);
+
+  // "Killed" run: same protocol but stopped after the second evaluation —
+  // simulated by running only 20 of the 30 iterations, checkpointing as it
+  // goes, exactly the state a killed process leaves behind.
+  const std::string path = testing::TempDir() + "/resume.ckpt";
+  std::remove(path.c_str());
+  ProtocolOptions with_checkpoint = options_;
+  with_checkpoint.checkpoint_path = path;
+  {
+    ProtocolOptions killed = with_checkpoint;
+    killed.iterations = 20;
+    ActiveDp first(context_, Adp());
+    RunProtocol(first, context_, killed);
+    Result<RunCheckpoint> checkpoint = LoadRunCheckpoint(path);
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+    EXPECT_EQ(checkpoint->completed_iterations, 20);
+  }
+
+  // Restart: a fresh pipeline over the same checkpoint file replays the
+  // first 20 iterations without re-evaluating, then runs the rest live.
+  ActiveDp second(context_, Adp());
+  const RunResult resumed = RunProtocol(second, context_, with_checkpoint);
+  ExpectBitwiseEqual(resumed, uninterrupted);
+}
+
+TEST_F(ProtocolResumeTest, CorruptCheckpointFallsBackToFreshStart) {
+  const std::string path = testing::TempDir() + "/corrupt_resume.ckpt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "garbage that is not a checkpoint\n";
+  }
+  ProtocolOptions with_checkpoint = options_;
+  with_checkpoint.checkpoint_path = path;
+  ActiveDp pipeline(context_, Adp());
+  const RunResult result = RunProtocol(pipeline, context_, with_checkpoint);
+
+  ActiveDp reference(context_, Adp());
+  const RunResult uninterrupted = RunProtocol(reference, context_, options_);
+  ExpectBitwiseEqual(result, uninterrupted);
+}
+
+TEST_F(ProtocolResumeTest, CheckpointSaveFailureDoesNotStopTheRun) {
+  const std::string path = testing::TempDir() + "/unsavable.ckpt";
+  std::remove(path.c_str());
+  ProtocolOptions with_checkpoint = options_;
+  with_checkpoint.checkpoint_path = path;
+  ScopedFault fault("checkpoint.save", FaultKind::kError);
+  ActiveDp pipeline(context_, Adp());
+  const RunResult result = RunProtocol(pipeline, context_, with_checkpoint);
+  EXPECT_EQ(result.budgets.size(), 3u);
+  EXPECT_GT(fault.fire_count(), 0);
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,286 @@
+// Fault-injection suite: unit tests of the injector itself, then the
+// end-to-end degradation matrix — every armed site must leave the ActiveDP
+// pipeline running (no abort), leave a structured recovery record, and keep
+// final label accuracy within 5 points of the fault-free run.
+
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/activedp.h"
+#include "core/session_io.h"
+#include "data/dataset_zoo.h"
+#include "ml/metrics.h"
+
+namespace activedp {
+namespace {
+
+// ------------------------------------------------------------- injector ----
+
+TEST(FaultInjectorTest, DisarmedSiteReturnsNone) {
+  FaultInjector::Global().DisarmAll();
+  EXPECT_FALSE(FaultInjector::Global().any_armed());
+  EXPECT_EQ(CheckFault("glasso.solve"), FaultKind::kNone);
+}
+
+TEST(FaultInjectorTest, ArmedSiteFiresAndCounts) {
+  ScopedFault fault("test.site", FaultKind::kError);
+  EXPECT_TRUE(FaultInjector::Global().any_armed());
+  EXPECT_EQ(CheckFault("test.site"), FaultKind::kError);
+  EXPECT_EQ(CheckFault("test.other"), FaultKind::kNone);
+  EXPECT_EQ(fault.fire_count(), 1);
+  EXPECT_EQ(FaultInjector::Global().hit_count("test.site"), 1);
+}
+
+TEST(FaultInjectorTest, TriggerAfterSkipsEarlyHits) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNan;
+  spec.trigger_after = 2;
+  ScopedFault fault("test.site", spec);
+  EXPECT_EQ(CheckFault("test.site"), FaultKind::kNone);
+  EXPECT_EQ(CheckFault("test.site"), FaultKind::kNone);
+  EXPECT_EQ(CheckFault("test.site"), FaultKind::kNan);
+  EXPECT_EQ(fault.fire_count(), 1);
+}
+
+TEST(FaultInjectorTest, MaxFiresLimitsInjections) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.max_fires = 2;
+  ScopedFault fault("test.site", spec);
+  EXPECT_EQ(CheckFault("test.site"), FaultKind::kError);
+  EXPECT_EQ(CheckFault("test.site"), FaultKind::kError);
+  EXPECT_EQ(CheckFault("test.site"), FaultKind::kNone);
+  EXPECT_EQ(fault.fire_count(), 2);
+  EXPECT_EQ(FaultInjector::Global().hit_count("test.site"), 3);
+}
+
+TEST(FaultInjectorTest, ProbabilityIsDeterministicGivenSeed) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.probability = 0.5;
+  spec.seed = 99;
+  std::vector<FaultKind> first, second;
+  {
+    ScopedFault fault("test.site", spec);
+    for (int i = 0; i < 32; ++i) first.push_back(CheckFault("test.site"));
+  }
+  {
+    ScopedFault fault("test.site", spec);
+    for (int i = 0; i < 32; ++i) second.push_back(CheckFault("test.site"));
+  }
+  EXPECT_EQ(first, second);
+  int fires = 0;
+  for (FaultKind kind : first) fires += (kind == FaultKind::kError);
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 32);
+}
+
+TEST(FaultInjectorTest, ScopedFaultDisarmsOnDestruction) {
+  {
+    ScopedFault fault("test.site", FaultKind::kError);
+    EXPECT_EQ(CheckFault("test.site"), FaultKind::kError);
+  }
+  EXPECT_EQ(CheckFault("test.site"), FaultKind::kNone);
+  EXPECT_FALSE(FaultInjector::Global().any_armed());
+}
+
+// ------------------------------------------------- degradation matrix -----
+
+/// Pipeline accuracy must stay within this many points of the fault-free
+/// run under any single injected fault (acceptance bound of the suite).
+constexpr double kAccuracyBound = 0.05;
+constexpr int kSteps = 60;
+
+class FaultPipelineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    Result<DataSplit> split = MakeZooDataset("youtube", 1.0, 101);
+    ASSERT_TRUE(split.ok());
+    split_ = std::move(*split);
+    context_ = FrameworkContext::Build(split_);
+  }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  ActiveDpOptions Options() const {
+    ActiveDpOptions options;
+    options.seed = 7;
+    return options;
+  }
+
+  /// Runs kSteps interactions; every Step() must succeed (the pipeline
+  /// never aborts under injected faults). Returns final label accuracy.
+  double RunToCompletion(ActiveDp& pipeline) {
+    for (int t = 0; t < kSteps; ++t) {
+      const Status status = pipeline.Step();
+      if (!status.ok()) {
+        ADD_FAILURE() << "Step " << t << " failed: " << status.ToString();
+        break;
+      }
+    }
+    return MeasureLabelQuality(pipeline.CurrentTrainingLabels(), split_.train)
+        .accuracy;
+  }
+
+  double FaultFreeAccuracy(const ActiveDpOptions& options) {
+    ActiveDp pipeline(context_, options);
+    const double accuracy = RunToCompletion(pipeline);
+    EXPECT_TRUE(pipeline.recovery().empty())
+        << pipeline.recovery().Summary();
+    return accuracy;
+  }
+
+  DataSplit split_;
+  FrameworkContext context_;
+};
+
+TEST_F(FaultPipelineTest, GlassoFailureDegradesToPruningOnlyLabelPick) {
+  ActiveDpOptions options = Options();
+  options.label_pick.blanket.method = BlanketMethod::kGraphicalLasso;
+  const double baseline = FaultFreeAccuracy(options);
+
+  ScopedFault fault("glasso.solve", FaultKind::kError);
+  ActiveDp pipeline(context_, options);
+  const double accuracy = RunToCompletion(pipeline);
+  EXPECT_GT(fault.fire_count(), 0);
+  EXPECT_GT(pipeline.recovery().count("glasso"), 0)
+      << pipeline.recovery().Summary();
+  EXPECT_NEAR(accuracy, baseline, kAccuracyBound);
+}
+
+TEST_F(FaultPipelineTest, MetalNanDegradesToMajorityVote) {
+  const ActiveDpOptions options = Options();
+  const double baseline = FaultFreeAccuracy(options);
+
+  ScopedFault fault("metal.fit", FaultKind::kNan);
+  ActiveDp pipeline(context_, options);
+  const double accuracy = RunToCompletion(pipeline);
+  EXPECT_GT(fault.fire_count(), 0);
+  EXPECT_TRUE(pipeline.has_label_model());
+  EXPECT_TRUE(pipeline.using_fallback_label_model());
+  EXPECT_GT(pipeline.recovery().count("label_model"), 0)
+      << pipeline.recovery().Summary();
+  EXPECT_NEAR(accuracy, baseline, kAccuracyBound);
+}
+
+TEST_F(FaultPipelineTest, MetalRecoversWhenFaultClears) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNan;
+  spec.max_fires = 2;
+  ScopedFault fault("metal.fit", spec);
+  ActiveDp pipeline(context_, Options());
+  RunToCompletion(pipeline);
+  EXPECT_EQ(fault.fire_count(), 2);
+  // Degraded while the fault fired, then the configured model fit again.
+  EXPECT_FALSE(pipeline.using_fallback_label_model());
+  EXPECT_TRUE(pipeline.has_label_model());
+  EXPECT_GT(pipeline.recovery().count("label_model"), 0)
+      << pipeline.recovery().Summary();
+}
+
+TEST_F(FaultPipelineTest, AlModelNonConvergenceDegradesToLabelModelOnly) {
+  const ActiveDpOptions options = Options();
+  const double baseline = FaultFreeAccuracy(options);
+
+  ScopedFault fault("lr.fit", FaultKind::kNoConverge);
+  ActiveDp pipeline(context_, options);
+  const double accuracy = RunToCompletion(pipeline);
+  EXPECT_GT(fault.fire_count(), 0);
+  EXPECT_FALSE(pipeline.has_al_model());
+  EXPECT_TRUE(pipeline.has_label_model());
+  EXPECT_GT(pipeline.recovery().count("al_model"), 0)
+      << pipeline.recovery().Summary();
+  EXPECT_NEAR(accuracy, baseline, kAccuracyBound);
+}
+
+TEST_F(FaultPipelineTest, EmptyOracleResponsesAreSpentInteractions) {
+  const ActiveDpOptions options = Options();
+  const double baseline = FaultFreeAccuracy(options);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kEmptyResponse;
+  spec.trigger_after = 5;
+  spec.max_fires = 3;
+  ScopedFault fault("oracle.create_lf", spec);
+  ActiveDp pipeline(context_, options);
+  const double accuracy = RunToCompletion(pipeline);
+  EXPECT_EQ(fault.fire_count(), 3);
+  // Each empty response consumed its interaction without yielding an LF
+  // (no retry loop, no abort), so at most kSteps - 3 LFs exist.
+  EXPECT_LE(pipeline.lfs().size() + 3, static_cast<size_t>(kSteps));
+  EXPECT_NEAR(accuracy, baseline, kAccuracyBound);
+}
+
+TEST_F(FaultPipelineTest, ChaosRunSurvivesAllSitesArmedAtOnce) {
+  ActiveDpOptions options = Options();
+  options.label_pick.blanket.method = BlanketMethod::kGraphicalLasso;
+  const double baseline = FaultFreeAccuracy(options);
+
+  ScopedFault glasso("glasso.solve", FaultKind::kError);
+  FaultSpec metal;
+  metal.kind = FaultKind::kNan;
+  metal.max_fires = 2;
+  ScopedFault metal_fault("metal.fit", metal);
+  FaultSpec lr;
+  lr.kind = FaultKind::kNoConverge;
+  lr.max_fires = 2;
+  ScopedFault lr_fault("lr.fit", lr);
+  FaultSpec oracle;
+  oracle.kind = FaultKind::kEmptyResponse;
+  oracle.trigger_after = 4;
+  oracle.max_fires = 2;
+  ScopedFault oracle_fault("oracle.create_lf", oracle);
+
+  ActiveDp pipeline(context_, options);
+  const double accuracy = RunToCompletion(pipeline);
+  EXPECT_FALSE(pipeline.recovery().empty());
+  EXPECT_NEAR(accuracy, baseline, kAccuracyBound);
+}
+
+// ------------------------------------------------- session truncation -----
+
+SessionState SmallSession() {
+  SessionState state;
+  state.lfs.push_back(std::make_shared<KeywordLf>(3, "check", 1));
+  state.lfs.push_back(std::make_shared<KeywordLf>(7, "song", 0));
+  state.lfs.push_back(std::make_shared<ThresholdLf>(
+      2, 0.25, StumpOp::kGreaterEqual, 1));
+  state.query_indices = {4, 9, -1};
+  state.pseudo_labels = {1, 0, -1};
+  return state;
+}
+
+TEST(SessionFaultTest, TruncatedWriteIsDetectedAtLoad) {
+  const std::string path = testing::TempDir() + "/truncated_session.txt";
+  {
+    ScopedFault fault("session.save", FaultKind::kTruncateWrite);
+    // The truncated write reports success — exactly what a process killed
+    // mid-save would have observed.
+    EXPECT_TRUE(SaveSession(SmallSession(), path).ok());
+    EXPECT_EQ(fault.fire_count(), 1);
+  }
+  Result<SessionState> loaded = LoadSession(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+      << loaded.status().ToString();
+
+  // A clean save over the same path heals it.
+  ASSERT_TRUE(SaveSession(SmallSession(), path).ok());
+  Result<SessionState> healed = LoadSession(path);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(healed->lfs.size(), 3u);
+}
+
+TEST(SessionFaultTest, SaveErrorIsReportedNotFatal) {
+  const std::string path = testing::TempDir() + "/error_session.txt";
+  ScopedFault fault("session.save", FaultKind::kError);
+  const Status status = SaveSession(SmallSession(), path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace activedp

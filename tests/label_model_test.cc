@@ -53,7 +53,7 @@ TEST_P(LabelModelParamTest, BeatsBestSingleLfOnPlantedProblem) {
       MakePlanted(3000, accuracies, {1.0, 1.0, 1.0, 1.0, 1.0}, 11);
   auto model = MakeLabelModel(GetParam());
   ASSERT_TRUE(model->Fit(problem.matrix, 2).ok());
-  const std::vector<int> predictions = model->PredictAll(problem.matrix);
+  const std::vector<int> predictions = model->PredictAll(problem.matrix).value();
   const double accuracy = Accuracy(predictions, problem.labels);
   // Aggregation should beat the best individual LF (0.85).
   EXPECT_GT(accuracy, 0.86) << model->name();
@@ -65,7 +65,7 @@ TEST_P(LabelModelParamTest, ProbabilitiesAreDistributions) {
   auto model = MakeLabelModel(GetParam());
   ASSERT_TRUE(model->Fit(problem.matrix, 2).ok());
   for (int i = 0; i < 50; ++i) {
-    const std::vector<double> p = model->PredictProba(problem.matrix.Row(i));
+    const std::vector<double> p = model->PredictProba(problem.matrix.Row(i)).value();
     ASSERT_EQ(p.size(), 2u);
     EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
     EXPECT_GE(p[0], 0.0);
@@ -79,7 +79,7 @@ TEST_P(LabelModelParamTest, AbstainRowsPredictAbstainInPredictAll) {
   matrix.AddColumn({-1, -1, 1});
   auto model = MakeLabelModel(GetParam());
   ASSERT_TRUE(model->Fit(matrix, 2).ok());
-  const std::vector<int> predictions = model->PredictAll(matrix);
+  const std::vector<int> predictions = model->PredictAll(matrix).value();
   EXPECT_EQ(predictions[1], kAbstain);
   EXPECT_NE(predictions[0], kAbstain);
 }
@@ -104,8 +104,8 @@ TEST(MajorityVoteTest, FollowsMajority) {
   matrix.AddColumn({0});
   MajorityVoteModel model;
   ASSERT_TRUE(model.Fit(matrix, 2).ok());
-  EXPECT_EQ(ArgMax(model.PredictProba({1, 1, 0})), 1);
-  EXPECT_EQ(ArgMax(model.PredictProba({0, 0, 1})), 0);
+  EXPECT_EQ(ArgMax(model.PredictProba({1, 1, 0}).value()), 1);
+  EXPECT_EQ(ArgMax(model.PredictProba({0, 0, 1}).value()), 0);
 }
 
 TEST(DawidSkeneTest, RecoversPlantedConfusions) {
@@ -116,7 +116,7 @@ TEST(DawidSkeneTest, RecoversPlantedConfusions) {
   DawidSkeneModel model;
   ASSERT_TRUE(model.Fit(problem.matrix, 2).ok());
   const double accuracy =
-      Accuracy(model.PredictAll(problem.matrix), problem.labels);
+      Accuracy(model.PredictAll(problem.matrix).value(), problem.labels);
   EXPECT_GT(accuracy, 0.9);
   // Confusion of LF 0 is strongly diagonal (the better-than-random anchor
   // shades the exact values, so check dominance rather than equality)...
@@ -151,7 +151,7 @@ TEST(DawidSkeneTest, MulticlassAggregation) {
   }
   DawidSkeneModel model;
   ASSERT_TRUE(model.Fit(matrix, 3).ok());
-  EXPECT_GT(Accuracy(model.PredictAll(matrix), labels), 0.8);
+  EXPECT_GT(Accuracy(model.PredictAll(matrix).value(), labels), 0.8);
 }
 
 TEST(MetalModelTest, RecoversPlantedAccuracyParameters) {
@@ -189,7 +189,7 @@ TEST(MetalModelTest, SingleLfFallsBackGracefully) {
   MetalModel model;
   ASSERT_TRUE(model.Fit(problem.matrix, 2).ok());
   // With one LF the model must still follow its votes.
-  EXPECT_GT(Accuracy(model.PredictAll(problem.matrix), problem.labels), 0.85);
+  EXPECT_GT(Accuracy(model.PredictAll(problem.matrix).value(), problem.labels), 0.85);
 }
 
 TEST(MetalModelTest, HigherAccuracyLfGetsMoreWeight) {
@@ -198,7 +198,7 @@ TEST(MetalModelTest, HigherAccuracyLfGetsMoreWeight) {
   MetalModel model;
   ASSERT_TRUE(model.Fit(problem.matrix, 2).ok());
   // Conflict between LF0 (strong) and LF1 (weak): follow LF0.
-  const std::vector<double> p = model.PredictProba({1, 0, -1});
+  const std::vector<double> p = model.PredictProba({1, 0, -1}).value();
   EXPECT_GT(p[1], 0.5);
 }
 
@@ -225,7 +225,7 @@ TEST(MetalCompletionTest, SmallLfSetsUseTripletFallback) {
   EXPECT_TRUE(model.used_fallback());
   // Accessors and prediction must work through the fallback.
   EXPECT_GT(model.accuracy_param(0), 0.0);
-  EXPECT_GT(Accuracy(model.PredictAll(problem.matrix), problem.labels), 0.85);
+  EXPECT_GT(Accuracy(model.PredictAll(problem.matrix).value(), problem.labels), 0.85);
 }
 
 TEST(MetalCompletionTest, RejectsMulticlass) {
@@ -240,7 +240,7 @@ TEST(MetalCompletionTest, AggregatesConditionallyIndependentLfs) {
       4000, {0.85, 0.75, 0.7, 0.8, 0.65}, {1.0, 1.0, 1.0, 1.0, 1.0}, 43);
   MetalCompletionModel model;
   ASSERT_TRUE(model.Fit(problem.matrix, 2).ok());
-  EXPECT_GT(Accuracy(model.PredictAll(problem.matrix), problem.labels),
+  EXPECT_GT(Accuracy(model.PredictAll(problem.matrix).value(), problem.labels),
             0.86);
 }
 

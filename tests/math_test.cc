@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "math/linalg.h"
 #include "math/matrix.h"
@@ -222,6 +223,31 @@ TEST(StatsTest, BinaryEntropy) {
   EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
   EXPECT_NEAR(BinaryEntropy(0.5), std::log(2.0), 1e-12);
   EXPECT_NEAR(BinaryEntropy(0.2), BinaryEntropy(0.8), 1e-12);
+}
+
+TEST(StatsTest, BinaryEntropyDefinedOnDegenerateInputs) {
+  // Off-by-epsilon probabilities from upstream float error and outright
+  // NaNs must yield 0, never NaN or negative entropy.
+  EXPECT_DOUBLE_EQ(BinaryEntropy(-1e-17), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0 + 1e-17), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(std::numeric_limits<double>::quiet_NaN()),
+                   0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(std::numeric_limits<double>::infinity()),
+                   0.0);
+}
+
+TEST(StatsTest, PearsonCorrelationDefinedOnDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  // Both sides constant: no variance, correlation defined as 0.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({5, 5, 5}, {7, 7, 7}), 0.0);
+}
+
+TEST(StatsTest, ColumnMeansOfEmptyMatrixAreZero) {
+  const std::vector<double> means = ColumnMeans(Matrix(0, 3));
+  ASSERT_EQ(means.size(), 3u);
+  for (double m : means) EXPECT_DOUBLE_EQ(m, 0.0);
 }
 
 }  // namespace

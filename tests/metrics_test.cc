@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "ml/featurizer.h"
 #include "data/synthetic_tabular.h"
 
@@ -72,6 +75,32 @@ TEST(MetricsTest, EceDetectsOverconfidence) {
   std::vector<int> labels(100);
   for (int i = 0; i < 100; ++i) labels[i] = i % 2;
   EXPECT_NEAR(ExpectedCalibrationError(proba, labels), 0.45, 1e-9);
+}
+
+TEST(MetricsTest, BrierScoreStaysFiniteUnderNanRows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // A poisoned row scores like an uncovered row instead of turning the
+  // whole aggregate into NaN.
+  const double score = BrierScore({{1.0, 0.0}, {nan, 0.5}, {inf, 0.0}},
+                                  {0, 0, 1});
+  EXPECT_TRUE(std::isfinite(score));
+  EXPECT_DOUBLE_EQ(score, 0.0);
+  // Empty rows ("no prediction") are likewise defined.
+  EXPECT_DOUBLE_EQ(BrierScore({{}, {1.0, 0.0}}, {0, 0}), 0.0);
+}
+
+TEST(MetricsTest, EceStaysFiniteUnderDegenerateRows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // All rows empty or non-finite -> no scored rows -> 0, not NaN.
+  EXPECT_DOUBLE_EQ(
+      ExpectedCalibrationError({{}, {nan, nan}}, {0, 1}), 0.0);
+  // Degenerate rows are skipped; the remaining row is perfectly calibrated.
+  EXPECT_NEAR(ExpectedCalibrationError({{}, {1.0, 0.0}, {nan, 0.5}}, {0, 0, 0}),
+              0.0, 1e-12);
+  // Negative "confidence" (broken upstream) must not index out of range.
+  EXPECT_TRUE(std::isfinite(
+      ExpectedCalibrationError({{-0.5, -2.0}}, {0})));
 }
 
 TEST(FeaturizerTest, TabularStandardizesTrainingData) {

@@ -80,10 +80,10 @@ TEST(MulticlassTest, FullPipelineWithDawidSkene) {
             0.5);
 }
 
-TEST(MulticlassTest, MetalGracefullyDegradesToAlOnly) {
-  // With the (binary-only) MeTaL label model on 3 classes, the label model
-  // never becomes ready, and ActiveDP degrades to its active-learning half
-  // rather than crashing.
+TEST(MulticlassTest, MetalGracefullyDegradesToMajorityVote) {
+  // With the (binary-only) MeTaL label model on 3 classes, every MeTaL fit
+  // fails; the degradation cascade swaps in majority-vote aggregation (and
+  // records it) rather than crashing or running label-model-free.
   const DataSplit split = ThreeClassSplit(11);
   FrameworkContext context = FrameworkContext::Build(split);
   ActiveDpOptions options;
@@ -91,7 +91,9 @@ TEST(MulticlassTest, MetalGracefullyDegradesToAlOnly) {
   options.label_model_type = LabelModelType::kMetal;
   ActiveDp pipeline(context, options);
   for (int t = 0; t < 40; ++t) ASSERT_TRUE(pipeline.Step().ok());
-  EXPECT_FALSE(pipeline.has_label_model());
+  EXPECT_TRUE(pipeline.has_label_model());
+  EXPECT_TRUE(pipeline.using_fallback_label_model());
+  EXPECT_GT(pipeline.recovery().count("label_model"), 0);
   EXPECT_TRUE(pipeline.has_al_model());
   const LabelQuality quality =
       MeasureLabelQuality(pipeline.CurrentTrainingLabels(), split.train);

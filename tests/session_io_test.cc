@@ -121,6 +121,76 @@ TEST(SessionIoTest, RejectsCorruptFiles) {
             StatusCode::kNotFound);
 }
 
+TEST(SessionIoTest, CorruptFileMatrixNeverAborts) {
+  // Every corruption is reported as InvalidArgument with a line number —
+  // the loader must never CHECK-abort on untrusted file contents.
+  const std::string path = testing::TempDir() + "/matrix.adp";
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"empty file", ""},
+      {"header only garbage", "activedp-session v9\n"},
+      {"negative keyword label", "activedp-session v1\nkw 1 x -2 0 0\n"},
+      {"negative token id", "activedp-session v1\nkw -5 x 1 0 0\n"},
+      {"negative stump feature", "activedp-session v1\nst -1 0.5 le 1 0 0\n"},
+      {"non-finite threshold", "activedp-session v1\nst 1 nan le 1 0 0\n"},
+      {"truncated mid-line", "activedp-session v1\nkw 1 x 1 0 0\nst 2 0.\n"},
+      {"binary junk", std::string("activedp-session v1\n\x01\x02\xff\n", 24)},
+      {"stale checksum footer",
+       "activedp-session v1\nkw 1 x 1 0 0\n#crc64 0123456789abcdef\n"}};
+  for (const auto& [name, content] : cases) {
+    {
+      std::ofstream out(path, std::ios::trunc | std::ios::binary);
+      out << content;
+    }
+    Result<SessionState> loaded = LoadSession(path);
+    ASSERT_FALSE(loaded.ok()) << name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << name << ": " << loaded.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, LineNumberAppearsInParseErrors) {
+  const std::string path = testing::TempDir() + "/lineno.adp";
+  {
+    std::ofstream out(path);
+    out << "activedp-session v1\nkw 1 x 1 0 0\nkw broken\n";
+  }
+  Result<SessionState> loaded = LoadSession(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("line 3"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, FooterlessLegacyFilesStillLoad) {
+  // Files written before the checksum footer existed must keep loading.
+  const std::string path = testing::TempDir() + "/legacy.adp";
+  {
+    std::ofstream out(path);
+    out << "activedp-session v1\nkw 4 check 1 2 1\n";
+  }
+  Result<SessionState> loaded = LoadSession(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->lfs.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SessionIoTest, SaveLeavesPreviousFileOnFailure) {
+  // The atomic protocol must not clobber a good session when a later save
+  // errors out before the rename.
+  const std::string path = testing::TempDir() + "/atomic.adp";
+  ASSERT_TRUE(SaveSession(MakeState(), path).ok());
+  SessionState bad = MakeState();
+  bad.lfs.push_back(std::make_shared<KeywordLf>(9, "two words", 1));
+  bad.query_indices.push_back(1);
+  bad.pseudo_labels.push_back(1);
+  EXPECT_FALSE(SaveSession(bad, path).ok());  // whitespace keyword rejected
+  Result<SessionState> loaded = LoadSession(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->lfs.size(), MakeState().lfs.size());
+  std::remove(path.c_str());
+}
+
 TEST(SessionIoTest, PipelineSnapshotRestoreRoundTrip) {
   // Run a pipeline, snapshot, restore into a fresh pipeline, and check the
   // restored pipeline produces the same labels.

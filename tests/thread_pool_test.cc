@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
+
+#include "util/status.h"
 
 namespace activedp {
 namespace {
@@ -39,6 +43,52 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  // Destroying the pool with a deep queue must run every queued task (a
+  // dropped task would lose an experiment seed's result silently).
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor itself is the drain under test.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ErrorStatusTasksDoNotPoisonThePool) {
+  // The seed-parallel experiment runner stores one Status per task; a task
+  // that fails must report through its slot while the rest keep running.
+  ThreadPool pool(4);
+  std::vector<Status> statuses(32, Status::Ok());
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&statuses, i] {
+      statuses[i] = (i % 3 == 0)
+                        ? Status::Internal("task " + std::to_string(i))
+                        : Status::Ok();
+    });
+  }
+  pool.Wait();
+  int failed = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (!statuses[i].ok()) {
+      ++failed;
+      EXPECT_EQ(statuses[i].code(), StatusCode::kInternal);
+    }
+  }
+  EXPECT_EQ(failed, 11);  // i = 0, 3, 6, ..., 30
+
+  // The pool is still usable after error-status tasks.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8);
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
