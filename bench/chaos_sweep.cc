@@ -1,0 +1,390 @@
+// Chaos sweep: drives every armed fault site × fault kind × seed through
+// the full ActiveDP pipeline and asserts the robustness contract:
+//
+//   1. nothing crashes or hangs (each scenario runs under its own deadline
+//      with a watchdog cancelling the run's token),
+//   2. every injected fault that fired is accounted for by a RetryEvent, a
+//      DegradationEvent, a non-OK terminal Status, or a detected-corrupt
+//      artifact — never silently swallowed,
+//   3. every metric the scenario produces is finite,
+//   4. checkpoints written under fault injection are resumable: a clean
+//      re-run over the same checkpoint path completes (a corrupt checkpoint
+//      is ignored with a fresh start, never fatal),
+//   5. wall-clock stays bounded (retry backoff is record-only by default).
+//
+// A final check verifies the retry layer's point: a transient single-fire
+// kError on metal.fit is absorbed by a retry and the run's metrics are
+// bitwise-identical to the fault-free run.
+//
+// Registered as a ctest with LABELS chaos (excluded from tier1); also a
+// standalone binary:
+//   ./build/bench/chaos_sweep --seeds=3 --steps=24 --budget-seconds=120
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/run_checkpoint.h"
+#include "core/session_io.h"
+#include "data/dataset_zoo.h"
+#include "util/fault.h"
+#include "util/flags.h"
+#include "util/retry.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace activedp {
+namespace {
+
+struct SiteInfo {
+  const char* site;
+  uint32_t honored;  // kinds this site can express (mirrors the call sites)
+};
+
+const SiteInfo kSites[] = {
+    {"glasso.solve", FaultKindBit(FaultKind::kError) |
+                         FaultKindBit(FaultKind::kNan) |
+                         FaultKindBit(FaultKind::kNoConverge)},
+    {"metal.fit",
+     FaultKindBit(FaultKind::kNan) | FaultKindBit(FaultKind::kError)},
+    {"lr.fit", FaultKindBit(FaultKind::kNan) |
+                   FaultKindBit(FaultKind::kNoConverge) |
+                   FaultKindBit(FaultKind::kError)},
+    {"oracle.create_lf", FaultKindBit(FaultKind::kEmptyResponse)},
+    {"session.save", FaultKindBit(FaultKind::kError) |
+                         FaultKindBit(FaultKind::kTruncateWrite)},
+    {"checkpoint.save", FaultKindBit(FaultKind::kError) |
+                            FaultKindBit(FaultKind::kTruncateWrite)},
+};
+
+const FaultKind kKinds[] = {FaultKind::kError, FaultKind::kNan,
+                            FaultKind::kNoConverge, FaultKind::kTruncateWrite,
+                            FaultKind::kEmptyResponse};
+
+struct SeedContext {
+  std::unique_ptr<DataSplit> split;
+  FrameworkContext context;
+};
+
+bool AllFiniteCurves(const RunResult& run) {
+  for (double v : run.test_accuracy)
+    if (!std::isfinite(v)) return false;
+  for (double v : run.label_accuracy)
+    if (!std::isfinite(v)) return false;
+  for (double v : run.label_coverage)
+    if (!std::isfinite(v)) return false;
+  return std::isfinite(run.average_test_accuracy);
+}
+
+ActiveDpOptions MakeOptions(uint64_t seed, const RunLimits& limits) {
+  ActiveDpOptions options;
+  options.seed = seed ^ 0x9e37;
+  options.user.seed = seed ^ 0x1234;
+  // Exercise the full graphical-lasso path (the pipeline default is the
+  // neighbourhood fast path, which never hits "glasso.solve").
+  options.label_pick.blanket.method = BlanketMethod::kGraphicalLasso;
+  options.label_pick.min_queries_for_blanket = 6;
+  options.retry.seed = seed;
+  options.limits = limits;
+  return options;
+}
+
+struct ScenarioOutcome {
+  bool passed = true;
+  std::string failure;
+  int fires = 0;
+  int retries = 0;
+  int degradations = 0;
+  double elapsed_seconds = 0.0;
+
+  void Fail(const std::string& why) {
+    passed = false;
+    if (!failure.empty()) failure += "; ";
+    failure += why;
+  }
+};
+
+ScenarioOutcome RunScenario(const SiteInfo& info, FaultKind kind,
+                            uint64_t seed, const SeedContext& ctx,
+                            const std::string& tmpdir, int steps,
+                            double budget_seconds, Watchdog& watchdog) {
+  ScenarioOutcome outcome;
+  Timer timer;
+
+  auto cancel = std::make_shared<CancellationSource>();
+  RunLimits limits;
+  limits.deadline = Deadline::After(budget_seconds);
+  limits.cancel = cancel->token();
+  watchdog.Watch(limits.deadline, cancel);
+
+  const std::string tag = std::string(info.site) + "-" +
+                          std::string(FaultKindToString(kind)) + "-" +
+                          std::to_string(seed);
+  const std::string checkpoint_path = tmpdir + "/chaos-" + tag + ".ckpt";
+  const std::string session_path = tmpdir + "/chaos-" + tag + ".session";
+  std::filesystem::remove(checkpoint_path);
+  std::filesystem::remove(session_path);
+
+  const ActiveDpOptions options = MakeOptions(seed, limits);
+  ProtocolOptions protocol;
+  protocol.iterations = steps;
+  protocol.eval_every = 8;
+  protocol.checkpoint_path = checkpoint_path;
+  protocol.limits = limits;
+  protocol.retry = options.retry;
+  RetryLog protocol_retries;
+  RecoveryLog protocol_recovery;
+  protocol.retry_log = &protocol_retries;
+  protocol.recovery = &protocol_recovery;
+
+  RunResult faulted;
+  bool session_corruption_detected = false;
+  int fires = 0;
+  {
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.trigger_after = 0;  // fault from the first hit, every hit
+    spec.max_fires = -1;
+    spec.seed = seed;
+    FaultScope scope(info.site, spec);
+
+    ActiveDp pipeline(ctx.context, options);
+    faulted = RunProtocol(pipeline, ctx.context, protocol);
+
+    // Exercise the session path explicitly (the protocol never saves
+    // sessions itself): a truncated save must be *detected* on reload.
+    const Status session_saved = SaveSession(pipeline.Snapshot(), session_path);
+    if (!session_saved.ok()) {
+      session_corruption_detected = true;
+    } else {
+      const Result<SessionState> loaded = LoadSession(session_path);
+      if (!loaded.ok() || loaded->lfs.size() != pipeline.lfs().size()) {
+        session_corruption_detected = true;
+      }
+    }
+
+    fires = scope.fire_count();  // read before the scope disarms the site
+    outcome.fires = fires;
+    outcome.retries = static_cast<int>(pipeline.retry_log().events().size() +
+                                       protocol_retries.events().size());
+    outcome.degradations =
+        static_cast<int>(pipeline.recovery().events().size() +
+                         protocol_recovery.events().size());
+
+    const bool honored = (FaultKindBit(kind) & info.honored) != 0;
+    if (!honored && fires > 0) {
+      outcome.Fail("unhonored kind fired " + std::to_string(fires) +
+                   " times");
+    }
+    if (honored && fires == 0) {
+      outcome.Fail("site was never exercised (0 fires)");
+    }
+    if (!AllFiniteCurves(faulted)) {
+      outcome.Fail("non-finite metric in faulted run");
+    }
+  }
+
+  // Resumability: with the fault disarmed, a fresh pipeline over the same
+  // checkpoint path must complete. A checkpoint corrupted by the fault is
+  // ignored (fresh start) — detected here as a load failure, never a crash.
+  bool checkpoint_corruption_detected = false;
+  const Result<RunCheckpoint> reload = LoadRunCheckpoint(checkpoint_path);
+  if (!reload.ok()) {
+    if (reload.status().code() == StatusCode::kInvalidArgument) {
+      checkpoint_corruption_detected = true;
+    } else if (reload.status().code() != StatusCode::kNotFound) {
+      outcome.Fail("checkpoint reload returned unexpected " +
+                   reload.status().ToString());
+    }
+  }
+
+  // Fault accounting: every fired fault must leave a trace somewhere — a
+  // retry, a degradation, a non-OK termination, or a detected-corrupt
+  // artifact (truncated writes report success by design; their evidence is
+  // the checksum/parse failure on reload).
+  int evidence = outcome.retries + outcome.degradations;
+  if (!faulted.termination.ok()) ++evidence;
+  if (session_corruption_detected) ++evidence;
+  if (checkpoint_corruption_detected) ++evidence;
+  if (fires > 0 && evidence == 0) {
+    outcome.Fail("injected faults left no retry/degradation/status trace");
+  }
+  {
+    RunLimits clean_limits;
+    clean_limits.deadline = Deadline::After(budget_seconds);
+    const ActiveDpOptions clean_options = MakeOptions(seed, clean_limits);
+    ProtocolOptions clean_protocol = protocol;
+    clean_protocol.limits = clean_limits;
+    clean_protocol.retry_log = nullptr;
+    clean_protocol.recovery = nullptr;
+    ActiveDp resumed(ctx.context, clean_options);
+    const RunResult rerun = RunProtocol(resumed, ctx.context, clean_protocol);
+    if (!rerun.termination.ok()) {
+      outcome.Fail("clean re-run over the checkpoint did not complete: " +
+                   rerun.termination.ToString());
+    }
+    if (!AllFiniteCurves(rerun)) {
+      outcome.Fail("non-finite metric in clean re-run");
+    }
+  }
+
+  outcome.elapsed_seconds = timer.ElapsedSeconds();
+  // Both runs carry a `budget_seconds` deadline; everything else is cheap.
+  if (outcome.elapsed_seconds > 2.0 * budget_seconds + 5.0) {
+    outcome.Fail("wall-clock exceeded bound (" +
+                 std::to_string(outcome.elapsed_seconds) + "s)");
+  }
+  std::filesystem::remove(checkpoint_path);
+  std::filesystem::remove(session_path);
+  return outcome;
+}
+
+/// The retry layer's acceptance check: one transient kError on metal.fit is
+/// absorbed (logged, recovered) and the run's metrics equal the fault-free
+/// run's bit for bit.
+bool TransientMetalFaultIsAbsorbed(const SeedContext& ctx, uint64_t seed,
+                                   int steps) {
+  RunLimits limits;  // unlimited: this check is about determinism, not time
+  const ActiveDpOptions options = MakeOptions(seed, limits);
+  ProtocolOptions protocol;
+  protocol.iterations = steps;
+  protocol.eval_every = 8;
+
+  ActiveDp clean(ctx.context, options);
+  const RunResult baseline = RunProtocol(clean, ctx.context, protocol);
+  if (!clean.retry_log().empty() || !clean.recovery().empty()) {
+    std::fprintf(stderr,
+                 "FAIL transient-absorb: fault-free run was not clean\n%s%s",
+                 clean.retry_log().Summary().c_str(),
+                 clean.recovery().Summary().c_str());
+    return false;
+  }
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.max_fires = 1;
+  FaultScope scope("metal.fit", spec);
+  ActiveDp faulted(ctx.context, options);
+  const RunResult with_fault = RunProtocol(faulted, ctx.context, protocol);
+
+  if (scope.fire_count() != 1) {
+    std::fprintf(stderr, "FAIL transient-absorb: expected 1 fire, got %d\n",
+                 scope.fire_count());
+    return false;
+  }
+  if (faulted.retry_log().count("label_model.fit") < 1 ||
+      faulted.retry_log().recovered_count("label_model.fit") < 1) {
+    std::fprintf(stderr,
+                 "FAIL transient-absorb: retry log missing the recovered "
+                 "label_model.fit retry\n%s",
+                 faulted.retry_log().Summary().c_str());
+    return false;
+  }
+  if (!faulted.recovery().empty()) {
+    std::fprintf(stderr,
+                 "FAIL transient-absorb: retry should have prevented any "
+                 "degradation\n%s",
+                 faulted.recovery().Summary().c_str());
+    return false;
+  }
+  const bool identical =
+      baseline.budgets == with_fault.budgets &&
+      baseline.test_accuracy == with_fault.test_accuracy &&
+      baseline.label_accuracy == with_fault.label_accuracy &&
+      baseline.label_coverage == with_fault.label_coverage &&
+      baseline.average_test_accuracy == with_fault.average_test_accuracy;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL transient-absorb: metrics differ from the fault-free "
+                 "run (avg %.17g vs %.17g)\n",
+                 baseline.average_test_accuracy,
+                 with_fault.average_test_accuracy);
+    return false;
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddFlag("dataset", "youtube", "zoo dataset driven through the sweep");
+  flags.AddFlag("scale", "0.25", "fraction of paper dataset sizes");
+  flags.AddFlag("seeds", "3", "number of random seeds per (site, kind)");
+  flags.AddFlag("steps", "24", "protocol iterations per scenario");
+  flags.AddFlag("budget-seconds", "120",
+                "per-run deadline (watchdog-enforced)");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+
+  const std::string dataset = flags.GetString("dataset");
+  const double scale = flags.GetDouble("scale");
+  const int num_seeds = flags.GetInt("seeds");
+  const int steps = flags.GetInt("steps");
+  const double budget_seconds = flags.GetDouble("budget-seconds");
+
+  const std::string tmpdir =
+      (std::filesystem::temp_directory_path() / "activedp-chaos").string();
+  std::filesystem::create_directories(tmpdir);
+
+  Watchdog watchdog;
+  int scenarios = 0;
+  int failures = 0;
+  Timer total;
+  for (int s = 0; s < num_seeds; ++s) {
+    const uint64_t seed = 1 + 1000003ULL * s;
+    Result<DataSplit> split = MakeZooDataset(dataset, scale, seed);
+    if (!split.ok()) {
+      std::fprintf(stderr, "dataset %s failed: %s\n", dataset.c_str(),
+                   split.status().ToString().c_str());
+      return 1;
+    }
+    SeedContext ctx;
+    ctx.split = std::make_unique<DataSplit>(std::move(*split));
+    ctx.context = FrameworkContext::Build(*ctx.split);
+
+    for (const SiteInfo& info : kSites) {
+      for (const FaultKind kind : kKinds) {
+        ++scenarios;
+        const ScenarioOutcome outcome = RunScenario(
+            info, kind, seed, ctx, tmpdir, steps, budget_seconds, watchdog);
+        std::printf("%-6s %-18s %-14s fires=%-4d retries=%-4d degrades=%-4d "
+                    "%6.2fs\n",
+                    outcome.passed ? "ok" : "FAIL", info.site,
+                    std::string(FaultKindToString(kind)).c_str(),
+                    outcome.fires, outcome.retries, outcome.degradations,
+                    outcome.elapsed_seconds);
+        if (!outcome.passed) {
+          ++failures;
+          std::fprintf(stderr, "  seed %llu: %s\n",
+                       static_cast<unsigned long long>(seed),
+                       outcome.failure.c_str());
+        }
+      }
+    }
+
+    if (!TransientMetalFaultIsAbsorbed(ctx, seed, steps)) {
+      ++failures;
+    } else {
+      std::printf("ok     transient metal.fit kError absorbed by retry "
+                  "(seed %llu)\n",
+                  static_cast<unsigned long long>(seed));
+    }
+  }
+
+  std::printf("\n%d scenarios, %d failures, %.1fs total\n", scenarios,
+              failures, total.ElapsedSeconds());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace activedp
+
+int main(int argc, char** argv) { return activedp::Main(argc, argv); }

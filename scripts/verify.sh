@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full verification gate for a PR:
+#   1. tier-1 build + ctest (the suite every PR must keep green)
+#   2. the same suite under the ASan+UBSan preset
+#   3. a small-budget chaos sweep (fault sites x kinds x seeds, with
+#      fault accounting and resumability checks; see bench/chaos_sweep.cc)
+#
+# Usage: scripts/verify.sh [--skip-asan] [--skip-chaos]
+# Runs from any directory; build trees live next to the sources as
+# build/ and build-asan/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_ASAN=0
+SKIP_CHAOS=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) SKIP_ASAN=1 ;;
+    --skip-chaos) SKIP_CHAOS=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_ASAN" -eq 0 ]]; then
+  echo "== tier 1 under ASan+UBSan =="
+  cmake -B build-asan -S . -DACTIVEDP_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan -L tier1 --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$SKIP_CHAOS" -eq 0 ]]; then
+  echo "== chaos sweep (small budget) =="
+  ./build/bench/chaos_sweep --seeds=2 --steps=24 --budget-seconds=60
+fi
+
+echo "verify: all gates passed"

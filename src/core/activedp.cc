@@ -6,6 +6,7 @@
 #include "ml/metrics.h"
 
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/numeric_guard.h"
 
 namespace activedp {
@@ -18,7 +19,8 @@ ActiveDp::ActiveDp(const FrameworkContext& context, ActiveDpOptions options)
       rng_(options.seed),
       train_matrix_(context.split->train.size()),
       valid_matrix_(context.split->valid.size()),
-      queried_(context.split->train.size(), false) {
+      queried_(context.split->train.size(), false),
+      retrier_(options.retry, &retry_log_) {
   if (options_.adp_alpha >= 0.0) {
     alpha_ = options_.adp_alpha;
   } else {
@@ -28,6 +30,12 @@ ActiveDp::ActiveDp(const FrameworkContext& context, ActiveDpOptions options)
                  : 0.99;
   }
   label_model_ = MakeLabelModel(options_.label_model_type);
+  // One budget for the whole pipeline: every solver sees the same deadline
+  // and cancellation token, and the blanket step shares the retry budget.
+  label_model_->set_limits(options_.limits);
+  options_.al_lr.limits = options_.limits;
+  options_.label_pick.blanket.limits = options_.limits;
+  options_.label_pick.blanket.retrier = &retrier_;
 }
 
 SamplerContext ActiveDp::BuildSamplerContext() const {
@@ -53,6 +61,7 @@ SamplerContext ActiveDp::BuildSamplerContext() const {
 }
 
 Status ActiveDp::Step() {
+  RETURN_IF_ERROR(options_.limits.Check("activedp.step"));
   const SamplerContext sampler_context = BuildSamplerContext();
   const int query = sampler_->SelectQuery(sampler_context, rng_);
   if (query < 0)
@@ -61,10 +70,21 @@ Status ActiveDp::Step() {
   queried_[query] = true;
   last_query_ = query;
 
+  FaultInjector& injector = FaultInjector::Global();
+  const int oracle_fires_before =
+      injector.any_armed() ? injector.fire_count("oracle.create_lf") : 0;
   std::optional<LfCandidate> response = user_.CreateLf(query);
   if (!response.has_value()) {
     // The user could not come up with a (new) rule for this instance; the
-    // interaction is spent but the models are unchanged.
+    // interaction is spent but the models are unchanged. An *injected*
+    // empty response (as opposed to a naturally exhausted candidate set) is
+    // recorded so chaos runs can account for every fired fault.
+    if (injector.any_armed() &&
+        injector.fire_count("oracle.create_lf") > oracle_fires_before) {
+      recovery_.Record("oracle",
+                       "injected empty LF response at oracle.create_lf",
+                       "interaction spent, models unchanged");
+    }
     return Status::Ok();
   }
   const LfPtr lf = response->lf;
@@ -142,8 +162,15 @@ void ActiveDp::RetrainAlModel() {
   for (int idx : query_indices_) x.push_back(context_->train_features[idx]);
   LogisticRegressionOptions lr = options_.al_lr;
   lr.seed = options_.seed ^ 0x11;
-  Result<LogisticRegression> model = LogisticRegression::FitHard(
-      x, pseudo_labels_, context_->num_classes, context_->feature_dim, lr);
+  // Retry-before-degrade: transient fit failures (injected faults, diverged
+  // weights) get the policy's attempts before the cascade below fires.
+  Result<LogisticRegression> model =
+      retrier_.RunResulting<LogisticRegression>(
+          "al_model.fit", options_.limits, [&]() {
+            return LogisticRegression::FitHard(x, pseudo_labels_,
+                                               context_->num_classes,
+                                               context_->feature_dim, lr);
+          });
   if (!model.ok()) {
     // Degradation cascade step 3: the pipeline keeps running on the label
     // model alone (ConFusion handles empty AL rows); a previously trained
@@ -205,7 +232,14 @@ void ActiveDp::RetrainLabelModel() {
   }
 
   const LabelMatrix train_selected = train_matrix_.SelectColumns(selected_);
-  Status fit = label_model_->Fit(train_selected, context_->num_classes);
+  // Retry-before-degrade: the configured model gets the policy's attempts
+  // at full quality before the majority-vote fallback below fires. MeTaL's
+  // fit fully re-initializes, so a retried fit after a transient fault is
+  // bitwise-identical to a fault-free one.
+  const Status fit =
+      retrier_.Run("label_model.fit", options_.limits, [&]() {
+        return label_model_->Fit(train_selected, context_->num_classes);
+      });
   if (fit.ok()) {
     if (fallback_label_model_ != nullptr) {
       // The configured model recovered; leave the degraded mode.

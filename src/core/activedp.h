@@ -15,6 +15,7 @@
 #include "labelmodel/label_model.h"
 #include "lf/oracle.h"
 #include "ml/linear_model.h"
+#include "util/retry.h"
 
 namespace activedp {
 
@@ -37,6 +38,12 @@ struct ActiveDpOptions {
   /// many instances spanning at least two classes.
   int min_labeled_for_al = 4;
   uint64_t seed = 42;
+  /// Retry-before-degrade policy for the transient-failure sites
+  /// ("glasso.solve", "label_model.fit", "al_model.fit"); see util/retry.h.
+  RetryPolicy retry;
+  /// Time budget / cancellation for the whole pipeline, propagated into
+  /// every solver. Checked at each Step() and inside solver loops.
+  RunLimits limits;
 
   ActiveDpOptions() {
     // LabelPick runs every iteration, so the pipeline defaults to the
@@ -100,6 +107,9 @@ class ActiveDp : public InteractiveFramework {
   /// fallback to majority vote, AL-model training failures, blanket
   /// failures). Empty on a healthy run.
   const RecoveryLog& recovery() const { return recovery_; }
+  /// Structured record of every retry the run's transient-failure sites
+  /// took before degrading (or recovering). Empty on a healthy run.
+  const RetryLog& retry_log() const { return retry_log_; }
   /// True while the label model in use is the majority-vote fallback rather
   /// than the configured model.
   bool using_fallback_label_model() const {
@@ -150,6 +160,10 @@ class ActiveDp : public InteractiveFramework {
   bool label_model_ready_ = false;
   std::vector<int> selected_;
   RecoveryLog recovery_;
+  RetryLog retry_log_;
+  /// Shared with the blanket step via options_.label_pick.blanket.retrier,
+  /// so glasso retries draw from the same per-site budget and log.
+  Retrier retrier_;
 
   // Caches refreshed after each retraining.
   std::vector<std::vector<double>> al_proba_train_;

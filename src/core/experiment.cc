@@ -91,14 +91,34 @@ RunResult RunProtocol(InteractiveFramework& framework,
     } else if (loaded.status().code() != StatusCode::kNotFound) {
       // Degradation cascade step 4: a corrupt/truncated checkpoint must not
       // take the run down with it — start fresh instead.
+      if (options.recovery != nullptr) {
+        options.recovery->Record("checkpoint", loaded.status().ToString(),
+                                 "ignoring unusable checkpoint, fresh start");
+      }
       LOG(Warning) << "ignoring unusable checkpoint "
                    << options.checkpoint_path << " ("
                    << loaded.status().ToString() << "); starting fresh";
     }
   }
+  Retrier retrier(options.retry, options.retry_log);
   for (int iteration = 1; iteration <= options.iterations; ++iteration) {
+    const Status limit = options.limits.Check("protocol");
+    if (!limit.ok()) {
+      result.termination =
+          Status(limit.code(), limit.message() + " after " +
+                                   std::to_string(iteration - 1) + " of " +
+                                   std::to_string(options.iterations) +
+                                   " iterations");
+      LOG(Info) << framework.name() << " budget tripped: "
+                << result.termination.ToString();
+      break;
+    }
     const Status status = framework.Step();
     if (!status.ok()) {
+      if (status.code() == StatusCode::kDeadlineExceeded ||
+          status.code() == StatusCode::kCancelled) {
+        result.termination = status;
+      }
       LOG(Debug) << framework.name() << " stopped at iteration " << iteration
                  << ": " << status.ToString();
       break;
@@ -118,6 +138,9 @@ RunResult RunProtocol(InteractiveFramework& framework,
     if (end_model.ok()) {
       accuracy = EvaluateAccuracy(*end_model, context.test_features,
                                   context.test_labels);
+    } else if (options.recovery != nullptr) {
+      options.recovery->Record("end_model", end_model.status().ToString(),
+                               "recording zero accuracy for this evaluation");
     }
     result.budgets.push_back(iteration);
     result.test_accuracy.push_back(accuracy);
@@ -128,10 +151,18 @@ RunResult RunProtocol(InteractiveFramework& framework,
       RunCheckpoint checkpoint;
       checkpoint.completed_iterations = iteration;
       checkpoint.partial = result;
+      // Retry-before-degrade for the "checkpoint.save" fault site; only
+      // after the attempts are spent does the run continue uncheckpointed.
       const Status saved =
-          SaveRunCheckpoint(checkpoint, options.checkpoint_path);
+          retrier.Run("checkpoint.save", options.limits, [&]() {
+            return SaveRunCheckpoint(checkpoint, options.checkpoint_path);
+          });
       if (!saved.ok()) {
         // A failed checkpoint save degrades resumability, not the run.
+        if (options.recovery != nullptr) {
+          options.recovery->Record("checkpoint", saved.ToString(),
+                                   "continuing without checkpoint");
+        }
         LOG(Warning) << "checkpoint save failed ("
                      << saved.ToString() << "); continuing without it";
       }
@@ -144,18 +175,37 @@ RunResult RunProtocol(InteractiveFramework& framework,
 Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
   CHECK_GT(spec.num_seeds, 0);
 
+  // Worker isolation: each seed runs under its own cancellation source
+  // (child of the experiment token) and, when a per-seed budget is set,
+  // its own deadline backed by the watchdog — so one wedged or faulted
+  // seed is cancelled and excluded instead of holding its pool slot.
+  Watchdog watchdog;
+
   // Each seed is a self-contained (dataset, framework, protocol) run.
-  auto run_seed = [&spec](int s) -> Result<RunResult> {
+  auto run_seed = [&spec, &watchdog](int s) -> Result<RunResult> {
+    auto source = std::make_shared<CancellationSource>(spec.limits.cancel);
+    RunLimits limits;
+    limits.deadline = spec.limits.deadline;
+    limits.cancel = source->token();
+    if (spec.seed_deadline_seconds > 0.0) {
+      limits = limits.Tightened(spec.seed_deadline_seconds);
+      watchdog.Watch(limits.deadline, source);
+    }
     const uint64_t seed = spec.base_seed + 1000003ULL * s;
     ASSIGN_OR_RETURN(DataSplit split,
                      MakeZooDataset(spec.dataset, spec.data_scale, seed));
+    RETURN_IF_ERROR(limits.Check("experiment.seed"));
     FrameworkContext context = FrameworkContext::Build(split);
     ActiveDpOptions adp = spec.adp;
     adp.seed = seed ^ 0x9e37;
     adp.user.seed = seed ^ 0x1234;
+    adp.retry = spec.retry;
+    adp.limits = limits;
     std::unique_ptr<InteractiveFramework> framework =
         MakeFramework(spec.framework, context, adp);
     ProtocolOptions protocol = spec.protocol;
+    protocol.limits = limits;
+    protocol.retry = spec.retry;
     if (!spec.checkpoint_dir.empty()) {
       protocol.checkpoint_path =
           spec.checkpoint_dir + "/" + spec.dataset + "-" +
@@ -176,12 +226,28 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
     for (int s = 0; s < spec.num_seeds; ++s) runs.push_back(run_seed(s));
   }
 
+  // A seed is excluded when it failed outright or when its budget tripped
+  // mid-run (partial curves would bias the point-wise averages).
   RunResult accumulated;
+  int used = 0;
+  Status first_failure = Status::Ok();
   for (int s = 0; s < spec.num_seeds; ++s) {
-    if (!runs[s].ok()) return runs[s].status();
+    const Status why = runs[s].ok() ? runs[s]->termination : runs[s].status();
+    if (!why.ok()) {
+      accumulated.excluded_seeds.push_back("seed " + std::to_string(s) +
+                                           ": " + why.ToString());
+      if (first_failure.ok()) first_failure = why;
+      LOG(Warning) << spec.dataset << "/"
+                   << FrameworkDisplayName(spec.framework)
+                   << " excluding seed " << s << ": " << why.ToString();
+      continue;
+    }
     const RunResult& run = *runs[s];
-    if (s == 0) {
+    if (used == 0) {
+      const std::vector<std::string> excluded =
+          std::move(accumulated.excluded_seeds);
       accumulated = run;
+      accumulated.excluded_seeds = std::move(excluded);
     } else {
       // Point-wise averaging; a run that stopped early keeps its last value.
       const size_t k =
@@ -196,12 +262,20 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
         accumulated.label_coverage[i] += run.label_coverage[i];
       }
     }
+    ++used;
   }
-  const double inv = 1.0 / spec.num_seeds;
+  if (used == 0) {
+    return Status(first_failure.code(),
+                  "no seed completed (" + std::to_string(spec.num_seeds) +
+                      " excluded); first failure: " + first_failure.message());
+  }
+  const double inv = 1.0 / used;
   for (auto& v : accumulated.test_accuracy) v *= inv;
   for (auto& v : accumulated.label_accuracy) v *= inv;
   for (auto& v : accumulated.label_coverage) v *= inv;
   accumulated.average_test_accuracy = CurveAverage(accumulated.test_accuracy);
+  accumulated.seeds_averaged = used;
+  accumulated.termination = Status::Ok();
   return accumulated;
 }
 

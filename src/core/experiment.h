@@ -9,7 +9,9 @@
 #include "core/baselines.h"
 #include "core/end_model.h"
 #include "core/framework.h"
+#include "util/deadline.h"
 #include "util/result.h"
+#include "util/retry.h"
 
 namespace activedp {
 
@@ -43,6 +45,19 @@ struct ProtocolOptions {
   /// the final RunResult is bitwise-identical to an uninterrupted run. A
   /// corrupt or truncated checkpoint is logged and ignored (fresh start).
   std::string checkpoint_path;
+  /// Budget for the whole run: checked before every iteration; callers who
+  /// also want solver-level enforcement propagate the same limits into the
+  /// framework (ActiveDpOptions.limits). A trip ends the run cleanly with
+  /// the evaluations finished so far and RunResult::termination set.
+  RunLimits limits;
+  /// Retry policy for the protocol-level fault site "checkpoint.save".
+  RetryPolicy retry;
+  /// Optional sink for the protocol's retry events; not owned.
+  RetryLog* retry_log = nullptr;
+  /// Optional sink for protocol-level degradations (unusable checkpoint at
+  /// resume, checkpoint save giving up after retries, end-model training
+  /// failure); not owned. Chaos runs use it to account for injected faults.
+  RecoveryLog* recovery = nullptr;
 };
 
 struct RunResult {
@@ -53,6 +68,17 @@ struct RunResult {
   /// Mean of test_accuracy — the paper's summary metric (area under the
   /// performance curve).
   double average_test_accuracy = 0.0;
+  /// OK when the protocol ran to its natural end; DeadlineExceeded /
+  /// Cancelled when the run's budget tripped mid-protocol (the curves then
+  /// hold the evaluations completed before the trip). Not persisted in
+  /// checkpoints — a resumed run re-derives its own termination.
+  Status termination = Status::Ok();
+  /// Aggregated results only (RunExperiment): seeds excluded from the
+  /// averaged curves, as "seed <k>: <why>" lines. Empty when every seed
+  /// contributed.
+  std::vector<std::string> excluded_seeds;
+  /// Aggregated results only: how many seeds the curves average over.
+  int seeds_averaged = 0;
 };
 
 RunResult RunProtocol(InteractiveFramework& framework,
@@ -77,9 +103,25 @@ struct ExperimentSpec {
   /// `<checkpoint_dir>/<dataset>-<framework>-seed<k>.ckpt` so a killed
   /// experiment resumes at the last evaluated budget per seed.
   std::string checkpoint_dir;
+  /// Experiment-wide budget and cancellation. Each seed derives its own
+  /// token from `limits.cancel`, so cancelling the experiment cancels every
+  /// in-flight seed.
+  RunLimits limits;
+  /// Per-seed wall-clock budget in seconds (<= 0 = unlimited). Each seed
+  /// runs under its own deadline — `limits.deadline` tightened by this —
+  /// enforced both cooperatively (solver loops, protocol iterations) and by
+  /// a watchdog thread that cancels the seed's token once the deadline
+  /// passes, so a wedged seed cannot hold its ThreadPool slot forever.
+  double seed_deadline_seconds = 0.0;
+  /// Retry-before-degrade policy shared by every seed's pipeline.
+  RetryPolicy retry;
 };
 
 /// Runs the spec for each seed and returns the point-wise averaged curves.
+/// Seed isolation: a seed that fails outright, is cancelled, or overruns
+/// its deadline is recorded in `excluded_seeds` and left out of the
+/// averages instead of failing the experiment; only when no seed completes
+/// does RunExperiment return the first failure.
 Result<RunResult> RunExperiment(const ExperimentSpec& spec);
 
 }  // namespace activedp

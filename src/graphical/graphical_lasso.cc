@@ -33,7 +33,9 @@ Result<GraphicalLassoResult> GraphicalLasso(
   if (!MatrixFinite(sample_covariance))
     return Status::InvalidArgument("covariance has non-finite entries");
 
-  const FaultKind fault = CheckFault("glasso.solve");
+  const FaultKind fault = CheckFault(
+      "glasso.solve",
+      {FaultKind::kError, FaultKind::kNan, FaultKind::kNoConverge});
   if (fault == FaultKind::kError) {
     return Status::Internal("injected fault at glasso.solve");
   }
@@ -54,6 +56,17 @@ Result<GraphicalLassoResult> GraphicalLasso(
   bool converged = false;
   double last_max_change = 0.0;
   for (; iterations < options.max_iterations; ++iterations) {
+    const Status limit = options.limits.Check("glasso.solve");
+    if (!limit.ok()) {
+      // Partial-progress report: how far the sweep got before the budget
+      // tripped, so callers can log/decide without rerunning.
+      return Status(limit.code(),
+                    "graphical lasso: " + limit.message() + " after " +
+                        std::to_string(iterations) + " of " +
+                        std::to_string(options.max_iterations) +
+                        " sweeps (last delta " +
+                        std::to_string(last_max_change) + ")");
+    }
     double max_change = 0.0;
     for (int col = 0; col < p; ++col) {
       // Partition: w11 = W without row/col `col`; s12 = S column `col`.

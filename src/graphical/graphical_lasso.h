@@ -3,6 +3,7 @@
 
 #include "math/matrix.h"
 #include "util/convergence.h"
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace activedp {
@@ -15,6 +16,10 @@ struct GraphicalLassoOptions {
   /// Inner lasso solver controls.
   int lasso_max_iterations = 500;
   double lasso_tolerance = 1e-6;
+  /// Checked once per block-coordinate sweep; an expired deadline or a
+  /// cancelled token surfaces as DeadlineExceeded / Cancelled with the
+  /// sweep count and last delta (partial progress) in the message.
+  RunLimits limits;
 };
 
 struct GraphicalLassoResult {

@@ -8,6 +8,7 @@
 #include "math/stats.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/retry.h"
 
 namespace activedp {
 namespace {
@@ -93,27 +94,37 @@ Result<std::vector<int>> MarkovBlanket(const Matrix& data, int target,
   const Matrix cov = CovarianceMatrix(standardized);
   GraphicalLassoOptions glasso;
   glasso.rho = options.penalty;
-  Result<GraphicalLassoResult> result = GraphicalLasso(cov, glasso);
+  glasso.limits = options.limits;
+  // An unconverged precision estimate has unreliable zeros — exactly the
+  // structure the blanket reads — so it is surfaced as a retryable failure
+  // here: first the retry layer gets its attempts, then the
+  // neighbourhood-selection degrade below.
+  const auto solve = [&]() -> Result<GraphicalLassoResult> {
+    Result<GraphicalLassoResult> r = GraphicalLasso(cov, glasso);
+    if (r.ok() && !r->report.converged) {
+      return Status::Internal("graphical lasso " + r->report.ToString());
+    }
+    return r;
+  };
+  Result<GraphicalLassoResult> result =
+      options.retrier != nullptr
+          ? options.retrier->RunResulting<GraphicalLassoResult>(
+                "glasso.solve", options.limits, solve)
+          : solve();
   if (!result.ok()) {
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kCancelled) {
+      // A spent budget is not a degradable failure; degrading to the
+      // neighbourhood path would just burn more of it.
+      return result.status();
+    }
     if (recovery != nullptr) {
       recovery->Record("glasso", result.status().ToString(),
                        "neighbourhood-selection blanket");
     } else {
       LOG(Warning) << "graphical lasso failed (" << result.status().ToString()
                    << "); falling back to neighbourhood selection";
-    }
-    return BlanketViaNeighborhood(standardized, target, options);
-  }
-  if (!result->report.converged) {
-    // An unconverged precision estimate has unreliable zeros — exactly the
-    // structure the blanket reads. Degrade to the single-lasso path rather
-    // than trusting it.
-    if (recovery != nullptr) {
-      recovery->Record("glasso", "graphical lasso " + result->report.ToString(),
-                       "neighbourhood-selection blanket");
-    } else {
-      LOG(Warning) << "graphical lasso " << result->report.ToString()
-                   << "; falling back to neighbourhood selection";
     }
     return BlanketViaNeighborhood(standardized, target, options);
   }

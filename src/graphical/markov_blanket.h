@@ -4,11 +4,13 @@
 #include <vector>
 
 #include "math/matrix.h"
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace activedp {
 
 class RecoveryLog;  // core/recovery.h
+class Retrier;      // util/retry.h
 
 /// How LabelPick extracts the label's Markov blanket (§3.4; DESIGN.md
 /// ablation): full graphical lasso over all variables, or the
@@ -22,6 +24,14 @@ struct MarkovBlanketOptions {
   double penalty = 0.05;
   /// |precision entry| (or |coefficient|) above this counts as an edge.
   double edge_tolerance = 1e-6;
+  /// Budget for the glasso solve. DeadlineExceeded / Cancelled propagates
+  /// out of MarkovBlanket unchanged (a spent budget is not a degradable
+  /// failure; degrading would just burn more of it).
+  RunLimits limits;
+  /// When set, a failed or unconverged glasso solve is retried here (site
+  /// "glasso.solve") before the neighbourhood-selection degrade fires.
+  /// Not owned; must outlive calls using these options.
+  Retrier* retrier = nullptr;
 };
 
 /// Indices adjacent to `target` in the precision matrix (edge iff

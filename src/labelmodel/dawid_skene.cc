@@ -72,6 +72,14 @@ Status DawidSkeneModel::FitSemiSupervised(
 
   for (iterations_run_ = 0; iterations_run_ < options_.max_iterations;
        ++iterations_run_) {
+    const Status limit = options_.limits.Check("dawid_skene.fit");
+    if (!limit.ok()) {
+      return Status(limit.code(),
+                    "dawid-skene: " + limit.message() + " after " +
+                        std::to_string(iterations_run_) + " of " +
+                        std::to_string(options_.max_iterations) +
+                        " EM iterations");
+    }
     // M-step: priors and outcome distributions from current posteriors.
     std::vector<double> prior_counts(num_classes, options_.smoothing);
     for (int i = 0; i < n; ++i) {

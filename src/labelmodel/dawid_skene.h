@@ -34,6 +34,9 @@ struct DawidSkeneOptions {
   /// spam), so discarding abstains — the classic crowdsourcing assumption —
   /// throws away most of the signal of single-polarity LFs.
   bool model_abstentions = true;
+  /// Checked once per EM iteration; trips as DeadlineExceeded / Cancelled
+  /// with the iteration count reached (partial progress) in the message.
+  RunLimits limits;
 };
 
 /// Generative aggregator in the Dawid & Skene (1979) family: each LF j has
@@ -60,6 +63,9 @@ class DawidSkeneModel : public LabelModel {
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "dawid-skene"; }
+  void set_limits(const RunLimits& limits) override {
+    options_.limits = limits;
+  }
 
   const std::vector<double>& class_priors() const { return priors_; }
   /// π_j as a num_classes x (num_classes [+1]) matrix; the trailing column

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lf/lf_applier.h"
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace activedp {
@@ -33,6 +34,11 @@ class LabelModel {
       const std::vector<int>& weak_labels) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Installs a time budget / cancellation token honored by subsequent
+  /// Fit calls. Default is a no-op: closed-form models (majority vote)
+  /// finish in one pass and have nothing meaningful to interrupt.
+  virtual void set_limits(const RunLimits& limits) { (void)limits; }
 
   /// Probabilistic labels for every row of a matrix; first row error wins.
   Result<std::vector<std::vector<double>>> PredictProbaAll(

@@ -23,6 +23,16 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
   if (matrix.num_cols() == 0)
     return Status::InvalidArgument("label matrix has no LF columns");
 
+  // Single fault probe per fit: kError fails the whole fit (retryable —
+  // the estimator re-initializes everything below, so a retried fit is
+  // bitwise-identical to a fault-free one), kNan poisons the recovered
+  // parameters after estimation.
+  const FaultKind fault =
+      CheckFault("metal.fit", {FaultKind::kNan, FaultKind::kError});
+  if (fault == FaultKind::kError) {
+    return Status::Internal("injected fault at metal.fit");
+  }
+
   const int n = matrix.num_rows();
   const int m = matrix.num_cols();
   num_lfs_ = m;
@@ -34,6 +44,7 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
   std::vector<std::pair<int, double>> active;
   std::vector<double> mv_spin(n, 0.0);  // majority-vote spin per row
   for (int i = 0; i < n; ++i) {
+    if ((i & 1023) == 0) RETURN_IF_ERROR(options_.limits.Check("metal.fit"));
     active.clear();
     double vote = 0.0;
     for (int j = 0; j < m; ++j) {
@@ -85,6 +96,7 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
   accuracies_.assign(m, 0.0);
   const double kMinMoment = 1e-3;
   for (int i = 0; i < m; ++i) {
+    if ((i & 63) == 0) RETURN_IF_ERROR(options_.limits.Check("metal.fit"));
     std::vector<double> estimates;
     // Try up to max_triplets random (j, k) companions.
     for (int trial = 0;
@@ -116,7 +128,7 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
     if (accuracies_[i] < 0.0) accuracies_[i] = 0.0;
   }
 
-  if (CheckFault("metal.fit") == FaultKind::kNan && !accuracies_.empty()) {
+  if (fault == FaultKind::kNan && !accuracies_.empty()) {
     accuracies_[0] = std::numeric_limits<double>::quiet_NaN();
   }
   // Finite guard: a degenerate moment system must surface as a Status the

@@ -7,6 +7,7 @@
 
 #include "labelmodel/label_model.h"
 #include "util/convergence.h"
+#include "util/deadline.h"
 
 namespace activedp {
 
@@ -18,6 +19,9 @@ struct MetalModelOptions {
   /// Accuracy parameters are clamped into [-clamp, clamp].
   double accuracy_clamp = 0.95;
   uint64_t seed = 13;
+  /// Checked between estimation phases and periodically inside the row
+  /// scans; trips as DeadlineExceeded / Cancelled.
+  RunLimits limits;
 };
 
 /// MeTaL-style method-of-moments label model for binary tasks (the role
@@ -38,6 +42,9 @@ class MetalModel : public LabelModel {
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "metal"; }
+  void set_limits(const RunLimits& limits) override {
+    options_.limits = limits;
+  }
 
   /// Recovered accuracy parameter a_j in [-clamp, clamp]; the implied LF
   /// accuracy is (1 + a_j) / 2.

@@ -19,7 +19,8 @@ std::optional<LfCandidate> SimulatedUser::CreateLf(int query_index) {
   CHECK_GE(query_index, 0);
   CHECK_LT(query_index, train_->size());
   ++num_queries_answered_;
-  if (CheckFault("oracle.create_lf") == FaultKind::kEmptyResponse) {
+  if (CheckFault("oracle.create_lf", {FaultKind::kEmptyResponse}) ==
+      FaultKind::kEmptyResponse) {
     // Simulates a user who cannot come up with a rule: the interaction is
     // consumed (like a real no-op answer) and no LF is produced.
     return std::nullopt;

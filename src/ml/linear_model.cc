@@ -22,6 +22,12 @@ Result<LogisticRegression> LogisticRegression::Fit(
   if (!sample_weights.empty() && sample_weights.size() != x.size())
     return Status::InvalidArgument("sample_weights size mismatch");
 
+  const FaultKind fault = CheckFault(
+      "lr.fit", {FaultKind::kNan, FaultKind::kNoConverge, FaultKind::kError});
+  if (fault == FaultKind::kError) {
+    return Status::Internal("injected fault at lr.fit");
+  }
+
   const int n = static_cast<int>(x.size());
   const int w_cols = dim + 1;  // trailing bias column
   LogisticRegression model;
@@ -42,6 +48,14 @@ Result<LogisticRegression> LogisticRegression::Fit(
   Matrix grad(num_classes, w_cols);
   double epoch_max_update = 0.0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const Status limit = options.limits.Check("lr.fit");
+    if (!limit.ok()) {
+      return Status(limit.code(),
+                    "logistic regression: " + limit.message() + " after " +
+                        std::to_string(epoch) + " of " +
+                        std::to_string(options.epochs) + " epochs (" +
+                        std::to_string(step) + " Adam steps)");
+    }
     epoch_max_update = 0.0;
     rng.Shuffle(order);
     for (int begin = 0; begin < n; begin += options.batch_size) {
@@ -97,7 +111,6 @@ Result<LogisticRegression> LogisticRegression::Fit(
     }
   }
 
-  const FaultKind fault = CheckFault("lr.fit");
   if (fault == FaultKind::kNan && model.weights_.rows() > 0) {
     model.weights_(0, 0) = std::numeric_limits<double>::quiet_NaN();
   }

@@ -7,6 +7,7 @@
 #include "data/example.h"
 #include "math/matrix.h"
 #include "util/convergence.h"
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace activedp {
@@ -21,6 +22,9 @@ struct LogisticRegressionOptions {
   /// final epoch is at most this (fixed-epoch SGD never stops early; this
   /// only drives the honesty of report().converged).
   double convergence_tolerance = 1e-2;
+  /// Checked once per epoch; trips as DeadlineExceeded / Cancelled with the
+  /// epoch count reached (partial progress) in the message.
+  RunLimits limits;
 };
 
 /// Multinomial (softmax) logistic regression on sparse features, trained
@@ -60,7 +64,7 @@ class LogisticRegression {
   /// Honest training outcome: iterations = Adam steps taken, final_delta =
   /// largest parameter update in the last epoch. Fit returns
   /// Status::Internal instead of a model when the weights diverge to
-  /// non-finite values (fault site "lr.fit": kNan / kNoConverge).
+  /// non-finite values (fault site "lr.fit": kNan / kNoConverge / kError).
   const ConvergenceReport& report() const { return report_; }
 
  private:

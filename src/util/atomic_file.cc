@@ -36,7 +36,10 @@ void SyncFile(const std::string& path) {
 Status AtomicWriteFile(const std::string& path, const std::string& content,
                        const std::string& fault_site) {
   FaultKind fault = FaultKind::kNone;
-  if (!fault_site.empty()) fault = CheckFault(fault_site);
+  if (!fault_site.empty()) {
+    fault = CheckFault(fault_site,
+                       {FaultKind::kError, FaultKind::kTruncateWrite});
+  }
   if (fault == FaultKind::kError) {
     return Status::Internal("injected fault at " + fault_site);
   }

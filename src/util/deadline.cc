@@ -1,0 +1,63 @@
+#include "util/deadline.h"
+
+namespace activedp {
+
+bool SleepWithCancellation(double seconds, const CancellationToken& token) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  // Poll in short slices; backoff windows are milliseconds-scale, so a 1 ms
+  // cancellation latency is plenty.
+  const auto slice = std::chrono::milliseconds(1);
+  while (Clock::now() < until) {
+    if (token.cancelled()) return false;
+    const auto remaining = until - Clock::now();
+    std::this_thread::sleep_for(remaining < slice ? remaining : slice);
+  }
+  return !token.cancelled();
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Watch(const Deadline& deadline,
+                     std::shared_ptr<CancellationSource> source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(Entry{deadline, std::move(source)});
+  if (!started_) {
+    started_ = true;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  wake_.notify_all();
+}
+
+int Watchdog::cancellations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancellations_;
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto poll = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(poll_interval_));
+  while (!shutdown_) {
+    for (Entry& entry : entries_) {
+      if (entry.fired || entry.deadline.is_infinite()) continue;
+      if (entry.deadline.expired()) {
+        entry.source->Cancel();
+        entry.fired = true;
+        ++cancellations_;
+      }
+    }
+    wake_.wait_for(lock, poll, [this] { return shutdown_; });
+  }
+}
+
+}  // namespace activedp

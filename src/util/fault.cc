@@ -57,12 +57,17 @@ void FaultInjector::DisarmAll() {
   sites_.clear();
 }
 
-FaultKind FaultInjector::Check(std::string_view site) {
+FaultKind FaultInjector::Check(std::string_view site, uint32_t honored_mask) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return FaultKind::kNone;
   SiteState& state = it->second;
   const int hit = state.hits++;
+  if ((FaultKindBit(state.spec.kind) & honored_mask) == 0) {
+    // The site cannot express this kind; the hit is counted but nothing
+    // fires, so fire_count() stays an honest count of observable effects.
+    return FaultKind::kNone;
+  }
   if (hit < state.spec.trigger_after) return FaultKind::kNone;
   if (state.spec.max_fires >= 0 && state.fires >= state.spec.max_fires) {
     return FaultKind::kNone;
@@ -90,22 +95,45 @@ int FaultInjector::hit_count(const std::string& site) const {
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
-ScopedFault::ScopedFault(std::string site, const FaultSpec& spec)
-    : site_(std::move(site)) {
-  FaultInjector::Global().Arm(site_, spec);
+FaultScope::FaultScope(std::string site, const FaultSpec& spec) {
+  Arm(std::move(site), spec);
 }
 
-ScopedFault::ScopedFault(std::string site, FaultKind kind)
-    : site_(std::move(site)) {
+FaultScope::FaultScope(std::string site, FaultKind kind) {
+  Arm(std::move(site), kind);
+}
+
+FaultScope::~FaultScope() {
+  for (const std::string& site : sites_) {
+    FaultInjector::Global().Disarm(site);
+  }
+}
+
+void FaultScope::Arm(std::string site, const FaultSpec& spec) {
+  FaultInjector::Global().Arm(site, spec);
+  sites_.push_back(std::move(site));
+}
+
+void FaultScope::Arm(std::string site, FaultKind kind) {
   FaultSpec spec;
   spec.kind = kind;
-  FaultInjector::Global().Arm(site_, spec);
+  Arm(std::move(site), spec);
 }
 
-ScopedFault::~ScopedFault() { FaultInjector::Global().Disarm(site_); }
+int FaultScope::fire_count() const {
+  return sites_.empty() ? 0 : fire_count(sites_.front());
+}
 
-int ScopedFault::fire_count() const {
-  return FaultInjector::Global().fire_count(site_);
+int FaultScope::fire_count(const std::string& site) const {
+  return FaultInjector::Global().fire_count(site);
+}
+
+int FaultScope::total_fires() const {
+  int total = 0;
+  for (const std::string& site : sites_) {
+    total += FaultInjector::Global().fire_count(site);
+  }
+  return total;
 }
 
 }  // namespace activedp

@@ -30,6 +30,15 @@ enum class FaultKind {
 
 std::string_view FaultKindToString(FaultKind kind);
 
+/// Bit for `kind` in an honored-kinds mask (see CheckFault below).
+constexpr uint32_t FaultKindBit(FaultKind kind) {
+  return 1u << static_cast<int>(kind);
+}
+
+/// All kinds honored — the default for sites that predate honored-kind
+/// filtering.
+constexpr uint32_t kAllFaultKinds = ~0u;
+
 /// When and how often an armed site fires. Deterministic: given the same
 /// spec and the same sequence of CheckFault() calls, the same calls fire.
 struct FaultSpec {
@@ -51,7 +60,8 @@ struct FaultSpec {
 /// Known sites (see DESIGN.md "Failure semantics"):
 ///   "glasso.solve"      graphical-lasso solve (kNan / kNoConverge / kError)
 ///   "metal.fit"         MeTaL-style label-model fit (kNan / kError)
-///   "lr.fit"            logistic-regression training (kNan / kNoConverge)
+///   "lr.fit"            logistic-regression training (kNan / kNoConverge /
+///                       kError)
 ///   "oracle.create_lf"  simulated user LF creation (kEmptyResponse)
 ///   "session.save"      session file write (kTruncateWrite / kError)
 ///   "checkpoint.save"   run-checkpoint write (kTruncateWrite / kError)
@@ -66,8 +76,12 @@ class FaultInjector {
   void DisarmAll();
 
   /// Records a hit at `site` and returns the fault to inject now (kNone
-  /// when the site is disarmed or not yet due).
-  FaultKind Check(std::string_view site);
+  /// when the site is disarmed or not yet due). A due fault whose kind is
+  /// not in `honored_mask` does NOT fire (and does not count as a fire):
+  /// sites declare the kinds they can express, so fire_count() only ever
+  /// counts injections that had an observable effect — the invariant the
+  /// chaos sweep's fault accounting rests on.
+  FaultKind Check(std::string_view site, uint32_t honored_mask = kAllFaultKinds);
 
   /// How many times `site` actually fired since it was (re-)armed.
   int fire_count(const std::string& site) const;
@@ -91,28 +105,48 @@ class FaultInjector {
 };
 
 /// Hot-path site query against the global registry; zero-cost (one relaxed
-/// load) while nothing is armed.
-inline FaultKind CheckFault(std::string_view site) {
+/// load) while nothing is armed. Sites pass the kinds they honor so an
+/// armed-but-inexpressible kind never counts as a fire.
+inline FaultKind CheckFault(std::string_view site,
+                            uint32_t honored_mask = kAllFaultKinds) {
   FaultInjector& injector = FaultInjector::Global();
   if (!injector.any_armed()) return FaultKind::kNone;
-  return injector.Check(site);
+  return injector.Check(site, honored_mask);
 }
 
-/// RAII arming for tests: arms in the constructor, disarms in the
-/// destructor so a failing test cannot leak an armed site into the next.
-class ScopedFault {
+inline FaultKind CheckFault(std::string_view site,
+                            std::initializer_list<FaultKind> honored) {
+  uint32_t mask = 0;
+  for (FaultKind kind : honored) mask |= FaultKindBit(kind);
+  return CheckFault(site, mask);
+}
+
+/// RAII arming for tests and chaos harnesses: arms on construction (or via
+/// Arm(), for scopes covering several sites at once), disarms everything it
+/// armed on destruction — so a failing test cannot leak an armed site into
+/// later tests.
+class FaultScope {
  public:
-  ScopedFault(std::string site, const FaultSpec& spec);
-  ScopedFault(std::string site, FaultKind kind);
-  ~ScopedFault();
+  FaultScope() = default;
+  FaultScope(std::string site, const FaultSpec& spec);
+  FaultScope(std::string site, FaultKind kind);
+  ~FaultScope();
 
-  ScopedFault(const ScopedFault&) = delete;
-  ScopedFault& operator=(const ScopedFault&) = delete;
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
 
+  /// Arms (or re-arms) another site under this scope's lifetime.
+  void Arm(std::string site, const FaultSpec& spec);
+  void Arm(std::string site, FaultKind kind);
+
+  /// Fires at the first armed site (the single-site common case).
   int fire_count() const;
+  int fire_count(const std::string& site) const;
+  /// Total fires across every site this scope armed.
+  int total_fires() const;
 
  private:
-  std::string site_;
+  std::vector<std::string> sites_;
 };
 
 }  // namespace activedp

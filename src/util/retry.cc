@@ -1,0 +1,105 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace activedp {
+namespace {
+
+/// splitmix64 finalizer (same mix as util/fault.cc): uniform deterministic
+/// hash for the jitter gate.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : site) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+int RetryLog::count(std::string_view site) const {
+  int n = 0;
+  for (const RetryEvent& e : events_) n += (e.site == site);
+  return n;
+}
+
+int RetryLog::recovered_count(std::string_view site) const {
+  int n = 0;
+  for (const RetryEvent& e : events_) n += (e.site == site && e.recovered);
+  return n;
+}
+
+std::string RetryLog::Summary() const {
+  std::ostringstream out;
+  for (const RetryEvent& e : events_) {
+    out << e.site << " retry " << e.retry << " (backoff " << e.backoff_ms
+        << " ms, " << (e.recovered ? "recovered" : "not recovered")
+        << "): " << e.reason << "\n";
+  }
+  return out.str();
+}
+
+double RetryBackoffMs(const RetryPolicy& policy, std::string_view site,
+                      int counter, int retry) {
+  const double exp = std::min(
+      policy.max_backoff_ms,
+      policy.base_backoff_ms * std::pow(2.0, std::max(0, retry - 1)));
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter == 0.0) return exp;
+  const uint64_t h =
+      Mix(policy.seed ^ HashSite(site) ^
+          (static_cast<uint64_t>(static_cast<uint32_t>(counter)) << 32 |
+           static_cast<uint32_t>(retry)));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return exp * (1.0 - jitter + jitter * u);
+}
+
+int Retrier::retries_used(std::string_view site) const {
+  const auto it = used_.find(site);
+  return it == used_.end() ? 0 : it->second;
+}
+
+Status Retrier::Run(std::string_view site, const RunLimits& limits,
+                    const std::function<Status()>& fn) {
+  RETURN_IF_ERROR(limits.Check(site));
+  Status status = fn();
+  const size_t first_event = log_ != nullptr ? log_->events().size() : 0;
+  int attempt = 1;
+  while (!status.ok() && IsRetryable(status) &&
+         attempt < std::max(1, policy_.max_attempts)) {
+    int& used = used_[std::string(site)];
+    if (used >= policy_.per_site_budget) break;
+    const Status limit = limits.Check(site);
+    if (!limit.ok()) return limit;
+    ++used;
+    const double backoff =
+        RetryBackoffMs(policy_, site, /*counter=*/used, /*retry=*/attempt);
+    if (log_ != nullptr) {
+      log_->Record(RetryEvent{std::string(site), attempt, backoff,
+                              status.ToString(), /*recovered=*/false});
+    }
+    if (policy_.sleep &&
+        !SleepWithCancellation(backoff * 1e-3, limits.cancel)) {
+      return Status::Cancelled(std::string(site) +
+                               ": cancelled during retry backoff");
+    }
+    ++attempt;
+    status = fn();
+  }
+  if (status.ok() && log_ != nullptr) {
+    log_->MarkRecoveredSince(first_event);
+  }
+  return status;
+}
+
+}  // namespace activedp

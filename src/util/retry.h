@@ -1,0 +1,145 @@
+#ifndef ACTIVEDP_UTIL_RETRY_H_
+#define ACTIVEDP_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/deadline.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace activedp {
+
+/// Deterministic, seeded retry policy for transient stage failures. Sits
+/// *before* the core/recovery degradation cascade: a kError/kNoConverge
+/// style failure gets `max_attempts` tries at full quality, and only when
+/// the retry budget is spent does the caller degrade (DESIGN.md "Time
+/// budgets, cancellation, and retry").
+struct RetryPolicy {
+  /// Total tries per invocation (1 = no retries).
+  int max_attempts = 3;
+  /// Capped exponential backoff: min(max, base * 2^(retry-1)), jittered.
+  double base_backoff_ms = 10.0;
+  double max_backoff_ms = 250.0;
+  /// Fraction of the backoff randomized by a counter hash of `seed`:
+  /// jittered = backoff * (1 - jitter + jitter * u), u in [0, 1). Fully
+  /// deterministic given (seed, site, per-site retry counter).
+  double jitter = 0.5;
+  uint64_t seed = 0;
+  /// Per-site cap on retries across the whole run, so a deterministic
+  /// failure retried on every retrain cannot multiply a run's cost
+  /// unboundedly. <= 0 disables retries entirely.
+  int per_site_budget = 16;
+  /// When false (default) the backoff is computed and recorded but not
+  /// slept: the in-process fault sites this wraps (solver non-convergence,
+  /// injected faults) do not heal with wall-clock time, and the chaos sweep
+  /// needs bounded wall-clock. Enable for genuinely external sites (NFS,
+  /// object stores) where waiting helps.
+  bool sleep = false;
+};
+
+/// One retry decision, recorded alongside DegradationEvents so a run's
+/// failure history reads: attempted → retried (how often, how long) →
+/// degraded or recovered.
+struct RetryEvent {
+  /// Retry site, e.g. "glasso.solve", "label_model.fit", "checkpoint.save".
+  std::string site;
+  /// 1-based retry index within the failed invocation (attempt 2 == retry 1).
+  int retry;
+  /// Backoff assigned before this retry (jittered, deterministic).
+  double backoff_ms;
+  /// Status of the attempt that triggered this retry.
+  std::string reason;
+  /// Whether a later attempt of the same invocation succeeded.
+  bool recovered = false;
+};
+
+/// Structured log of retry activity (the retry-layer sibling of
+/// core/recovery.h's RecoveryLog). Not thread-safe; one per pipeline/run.
+class RetryLog {
+ public:
+  void Record(RetryEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<RetryEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  int count(std::string_view site) const;
+  /// Events at `site` whose invocation eventually succeeded.
+  int recovered_count(std::string_view site) const;
+
+  /// One line per event, for reports and tests.
+  std::string Summary() const;
+
+  /// Marks events [first, end) recovered — the invocation they belong to
+  /// eventually succeeded.
+  void MarkRecoveredSince(size_t first) {
+    for (size_t i = first; i < events_.size(); ++i) {
+      events_[i].recovered = true;
+    }
+  }
+
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<RetryEvent> events_;
+};
+
+/// The deterministic jittered backoff for the `counter`-th retry ever taken
+/// at `site` under `policy`, where `retry` is the 1-based retry index within
+/// the current invocation. Exposed for the determinism tests.
+double RetryBackoffMs(const RetryPolicy& policy, std::string_view site,
+                      int counter, int retry);
+
+/// Per-run retry state: per-site budgets plus the log. Wraps a fallible
+/// operation and re-runs it on *transient* failures (kInternal — the code
+/// every fault site and solver divergence surfaces as). Deterministic
+/// failures (InvalidArgument, FailedPrecondition, OutOfRange, Unimplemented)
+/// and budget signals (DeadlineExceeded, Cancelled) are never retried.
+/// Deadline-aware: stops retrying, returning the last failure, once
+/// `limits` trips. Not thread-safe; one per pipeline/run.
+class Retrier {
+ public:
+  explicit Retrier(RetryPolicy policy, RetryLog* log = nullptr)
+      : policy_(policy), log_(log) {}
+
+  static bool IsRetryable(const Status& status) {
+    return status.code() == StatusCode::kInternal;
+  }
+
+  /// Runs `fn` up to policy.max_attempts times; returns the first OK status
+  /// or the last failure. Each retry records a RetryEvent (and, when the
+  /// invocation ends OK, marks its events recovered).
+  Status Run(std::string_view site, const RunLimits& limits,
+             const std::function<Status()>& fn);
+
+  /// Result<T> flavour of Run.
+  template <typename T>
+  Result<T> RunResulting(std::string_view site, const RunLimits& limits,
+                         const std::function<Result<T>()>& fn) {
+    std::optional<Result<T>> last;
+    const Status status = Run(site, limits, [&]() -> Status {
+      last.emplace(fn());
+      return last->ok() ? Status::Ok() : last->status();
+    });
+    if (!last.has_value()) return status;  // never attempted (budget/limits)
+    return std::move(*last);
+  }
+
+  const RetryPolicy& policy() const { return policy_; }
+  RetryLog* log() const { return log_; }
+  /// Retries taken at `site` so far this run.
+  int retries_used(std::string_view site) const;
+
+ private:
+  RetryPolicy policy_;
+  RetryLog* log_;
+  std::map<std::string, int, std::less<>> used_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_RETRY_H_

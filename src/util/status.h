@@ -17,6 +17,10 @@ enum class StatusCode {
   kOutOfRange = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  /// A time budget (util/deadline.h) ran out before the operation finished.
+  kDeadlineExceeded = 7,
+  /// The operation observed its CancellationToken and stopped early.
+  kCancelled = 8,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -51,6 +55,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

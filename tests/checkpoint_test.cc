@@ -83,7 +83,7 @@ TEST(RunCheckpointTest, RejectsCorruptFiles) {
 TEST(RunCheckpointTest, TruncatedWriteIsDetectedAtLoad) {
   const std::string path = testing::TempDir() + "/truncated.ckpt";
   {
-    ScopedFault fault("checkpoint.save", FaultKind::kTruncateWrite);
+    FaultScope fault("checkpoint.save", FaultKind::kTruncateWrite);
     ASSERT_TRUE(SaveRunCheckpoint(MakeCheckpoint(), path).ok());
   }
   Result<RunCheckpoint> loaded = LoadRunCheckpoint(path);
@@ -176,7 +176,7 @@ TEST_F(ProtocolResumeTest, CheckpointSaveFailureDoesNotStopTheRun) {
   std::remove(path.c_str());
   ProtocolOptions with_checkpoint = options_;
   with_checkpoint.checkpoint_path = path;
-  ScopedFault fault("checkpoint.save", FaultKind::kError);
+  FaultScope fault("checkpoint.save", FaultKind::kError);
   ActiveDp pipeline(context_, Adp());
   const RunResult result = RunProtocol(pipeline, context_, with_checkpoint);
   EXPECT_EQ(result.budgets.size(), 3u);

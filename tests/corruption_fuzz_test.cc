@@ -1,0 +1,188 @@
+// Deterministic corruption fuzzing of the on-disk artifacts: sessions and
+// run checkpoints mutilated by seeded byte flips, truncations, and line
+// edits must load as InvalidArgument / NotFound — or load cleanly with sane
+// contents when the mutation misses the payload (legacy files without a
+// checksum footer are accepted by design) — but never crash or hang. Run
+// under the ASan preset to certify no out-of-bounds parse.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/run_checkpoint.h"
+#include "core/session_io.h"
+#include "util/atomic_file.h"
+
+namespace activedp {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << content;
+  EXPECT_TRUE(out.good()) << path;
+}
+
+// One seeded mutation of `content`: byte flips, a truncation, a duplicated
+// line, a deleted line, or injected garbage — the shapes a crashed writer,
+// a bad disk, or a concurrent editor leave behind.
+std::string Mutate(const std::string& content, std::mt19937_64& rng) {
+  std::string out = content;
+  switch (rng() % 5) {
+    case 0: {  // flip 1-8 bytes
+      if (out.empty()) return out;
+      const int flips = 1 + static_cast<int>(rng() % 8);
+      for (int i = 0; i < flips; ++i) {
+        out[rng() % out.size()] ^= static_cast<char>(1 + rng() % 255);
+      }
+      return out;
+    }
+    case 1:  // truncate at a random offset (possibly to empty)
+      return out.substr(0, out.empty() ? 0 : rng() % out.size());
+    case 2: {  // duplicate one line
+      std::vector<std::string> lines;
+      std::istringstream in(out);
+      for (std::string line; std::getline(in, line);) lines.push_back(line);
+      if (lines.empty()) return out;
+      const size_t at = rng() % lines.size();
+      lines.insert(lines.begin() + at, lines[at]);
+      std::string rebuilt;
+      for (const std::string& line : lines) rebuilt += line + "\n";
+      return rebuilt;
+    }
+    case 3: {  // delete one line
+      std::vector<std::string> lines;
+      std::istringstream in(out);
+      for (std::string line; std::getline(in, line);) lines.push_back(line);
+      if (lines.empty()) return out;
+      lines.erase(lines.begin() + rng() % lines.size());
+      std::string rebuilt;
+      for (const std::string& line : lines) rebuilt += line + "\n";
+      return rebuilt;
+    }
+    default: {  // splice random garbage into the middle
+      static const char kJunk[] = "\x00\xff nan -inf 1e999 %s\t\r{}";
+      const size_t at = out.empty() ? 0 : rng() % out.size();
+      out.insert(at, kJunk, sizeof(kJunk) - 1);
+      return out;
+    }
+  }
+}
+
+constexpr int kTrials = 300;
+
+TEST(CorruptionFuzzTest, SessionLoadNeverCrashes) {
+  const std::string original_path = testing::TempDir() + "/fuzz_session.txt";
+  const std::string mutated_path = testing::TempDir() + "/fuzz_session_m.txt";
+  SessionState state;
+  state.lfs.push_back(std::make_shared<KeywordLf>(3, "check", 1));
+  state.lfs.push_back(std::make_shared<KeywordLf>(7, "song", 0));
+  state.lfs.push_back(
+      std::make_shared<ThresholdLf>(2, 0.25, StumpOp::kGreaterEqual, 1));
+  state.query_indices = {4, 9, -1};
+  state.pseudo_labels = {1, 0, -1};
+  ASSERT_TRUE(SaveSession(state, original_path).ok());
+  const std::string pristine = ReadFileOrDie(original_path);
+
+  std::mt19937_64 rng(0xfeedULL);
+  int rejected = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    WriteFileOrDie(mutated_path, Mutate(pristine, rng));
+    const Result<SessionState> loaded = LoadSession(mutated_path);
+    if (!loaded.ok()) {
+      ++rejected;
+      EXPECT_TRUE(loaded.status().code() == StatusCode::kInvalidArgument ||
+                  loaded.status().code() == StatusCode::kNotFound)
+          << "trial " << trial << ": " << loaded.status().ToString();
+      continue;
+    }
+    // A mutation that survives the checksum (e.g. a truncation that dropped
+    // the footer cleanly) must still yield a structurally sound session.
+    EXPECT_EQ(loaded->query_indices.size(), loaded->pseudo_labels.size())
+        << "trial " << trial;
+  }
+  // The checksum footer makes silent acceptance rare: most mutations must
+  // be rejected outright.
+  EXPECT_GT(rejected, kTrials / 2);
+}
+
+TEST(CorruptionFuzzTest, CheckpointLoadNeverCrashes) {
+  const std::string original_path = testing::TempDir() + "/fuzz_ckpt.ckpt";
+  const std::string mutated_path = testing::TempDir() + "/fuzz_ckpt_m.ckpt";
+  RunCheckpoint checkpoint;
+  checkpoint.completed_iterations = 30;
+  checkpoint.partial.budgets = {10, 20, 30};
+  checkpoint.partial.test_accuracy = {0.71234567891234567, 0.8, 0.85};
+  checkpoint.partial.label_accuracy = {0.9, 0.91, 0.92};
+  checkpoint.partial.label_coverage = {0.5, 0.6, 0.7};
+  ASSERT_TRUE(SaveRunCheckpoint(checkpoint, original_path).ok());
+  const std::string pristine = ReadFileOrDie(original_path);
+
+  std::mt19937_64 rng(0xbeefULL);
+  int rejected = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    WriteFileOrDie(mutated_path, Mutate(pristine, rng));
+    const Result<RunCheckpoint> loaded = LoadRunCheckpoint(mutated_path);
+    if (!loaded.ok()) {
+      ++rejected;
+      EXPECT_TRUE(loaded.status().code() == StatusCode::kInvalidArgument ||
+                  loaded.status().code() == StatusCode::kNotFound)
+          << "trial " << trial << ": " << loaded.status().ToString();
+      continue;
+    }
+    // Accepted checkpoints must uphold the loader's contract: aligned,
+    // finite curves under monotone budgets — safe to resume from.
+    const RunResult& partial = loaded->partial;
+    ASSERT_EQ(partial.budgets.size(), partial.test_accuracy.size());
+    ASSERT_EQ(partial.budgets.size(), partial.label_accuracy.size());
+    ASSERT_EQ(partial.budgets.size(), partial.label_coverage.size());
+    for (size_t i = 0; i < partial.budgets.size(); ++i) {
+      EXPECT_LE(partial.budgets[i], loaded->completed_iterations);
+      EXPECT_TRUE(std::isfinite(partial.test_accuracy[i]));
+      EXPECT_TRUE(std::isfinite(partial.label_accuracy[i]));
+      EXPECT_TRUE(std::isfinite(partial.label_coverage[i]));
+    }
+  }
+  EXPECT_GT(rejected, kTrials / 2);
+}
+
+// Stacked corruption: each round mutates the survivor of the previous one,
+// drifting arbitrarily far from a well-formed file.
+TEST(CorruptionFuzzTest, RepeatedMutationsStayContained) {
+  const std::string path = testing::TempDir() + "/fuzz_stacked.ckpt";
+  RunCheckpoint checkpoint;
+  checkpoint.completed_iterations = 10;
+  checkpoint.partial.budgets = {10};
+  checkpoint.partial.test_accuracy = {0.5};
+  checkpoint.partial.label_accuracy = {0.5};
+  checkpoint.partial.label_coverage = {0.5};
+  ASSERT_TRUE(SaveRunCheckpoint(checkpoint, path).ok());
+  std::string content = ReadFileOrDie(path);
+
+  std::mt19937_64 rng(0xc0ffeeULL);
+  for (int round = 0; round < 100; ++round) {
+    content = Mutate(content, rng);
+    WriteFileOrDie(path, content);
+    const Result<RunCheckpoint> loaded = LoadRunCheckpoint(path);
+    if (!loaded.ok()) {
+      EXPECT_TRUE(loaded.status().code() == StatusCode::kInvalidArgument ||
+                  loaded.status().code() == StatusCode::kNotFound)
+          << "round " << round << ": " << loaded.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace activedp

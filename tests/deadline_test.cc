@@ -1,0 +1,259 @@
+// Time budgets and cooperative cancellation: Deadline / CancellationToken /
+// RunLimits semantics, the watchdog, and the per-iteration checks inside
+// every long-running solver — an expired budget surfaces as DeadlineExceeded
+// or Cancelled with partial-progress info, never as a hang or a crash.
+
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "graphical/graphical_lasso.h"
+#include "labelmodel/dawid_skene.h"
+#include "labelmodel/metal_model.h"
+#include "lf/lf_applier.h"
+#include "math/matrix.h"
+#include "ml/linear_model.h"
+
+namespace activedp {
+namespace {
+
+// ----------------------------------------------------------- primitives ----
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.is_infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.remaining_seconds()));
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  const Deadline deadline = Deadline::After(-1.0);
+  EXPECT_FALSE(deadline.is_infinite());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_LE(deadline.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineIsNotExpired) {
+  const Deadline deadline = Deadline::After(3600.0);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining_seconds(), 3000.0);
+}
+
+TEST(DeadlineTest, SoonerPicksTheEarlier) {
+  const Deadline early = Deadline::After(1.0);
+  const Deadline late = Deadline::After(3600.0);
+  EXPECT_LT(Deadline::Sooner(early, late).remaining_seconds(), 2.0);
+  EXPECT_LT(Deadline::Sooner(late, early).remaining_seconds(), 2.0);
+  EXPECT_TRUE(Deadline::Sooner(Deadline(), Deadline()).is_infinite());
+  EXPECT_FALSE(Deadline::Sooner(Deadline(), early).is_infinite());
+}
+
+TEST(CancellationTest, DefaultTokenIsNeverCancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTest, CancelTripsEveryToken) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_FALSE(token.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.token().cancelled());  // tokens made after the fact too
+}
+
+TEST(CancellationTest, ParentCancelPropagatesToChildNotBack) {
+  CancellationSource experiment;
+  CancellationSource seed(experiment.token());
+  CancellationSource other_seed(experiment.token());
+
+  // Cancelling one seed leaves its siblings and the experiment running.
+  seed.Cancel();
+  EXPECT_TRUE(seed.token().cancelled());
+  EXPECT_FALSE(other_seed.token().cancelled());
+  EXPECT_FALSE(experiment.token().cancelled());
+
+  // Cancelling the experiment cancels every seed derived from it.
+  experiment.Cancel();
+  EXPECT_TRUE(other_seed.token().cancelled());
+}
+
+TEST(RunLimitsTest, CheckReportsTheTrippedBudget) {
+  EXPECT_TRUE(RunLimits::Unlimited().Check("stage").ok());
+
+  RunLimits expired;
+  expired.deadline = Deadline::After(-1.0);
+  const Status deadline_status = expired.Check("glasso");
+  EXPECT_EQ(deadline_status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(deadline_status.message().find("glasso"), std::string::npos);
+
+  CancellationSource source;
+  source.Cancel();
+  RunLimits cancelled;
+  cancelled.cancel = source.token();
+  EXPECT_EQ(cancelled.Check("stage").code(), StatusCode::kCancelled);
+}
+
+TEST(RunLimitsTest, TightenedNeverExtendsTheDeadline) {
+  RunLimits limits;
+  limits.deadline = Deadline::After(1.0);
+  // Tightening by a longer budget keeps the original deadline.
+  EXPECT_LT(limits.Tightened(3600.0).deadline.remaining_seconds(), 2.0);
+  // Tightening by a shorter budget caps it.
+  RunLimits loose;
+  loose.deadline = Deadline::After(3600.0);
+  EXPECT_LT(loose.Tightened(1.0).deadline.remaining_seconds(), 2.0);
+  // Non-positive budgets are a no-op.
+  EXPECT_TRUE(RunLimits::Unlimited().Tightened(0.0).deadline.is_infinite());
+}
+
+TEST(SleepTest, CancellationWakesTheSleeper) {
+  CancellationSource source;
+  source.Cancel();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(SleepWithCancellation(30.0, source.token()));
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(waited, 5.0);
+
+  EXPECT_TRUE(SleepWithCancellation(0.0, CancellationToken()));
+}
+
+// -------------------------------------------------------------- watchdog ----
+
+TEST(WatchdogTest, CancelsSourceOnceDeadlinePasses) {
+  Watchdog watchdog(0.001);
+  auto source = std::make_shared<CancellationSource>();
+  watchdog.Watch(Deadline::After(0.005), source);
+  for (int i = 0; i < 2000 && !source->cancelled(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(source->cancelled());
+  EXPECT_EQ(watchdog.cancellations(), 1);
+}
+
+TEST(WatchdogTest, InfiniteDeadlineNeverFires) {
+  Watchdog watchdog(0.001);
+  auto source = std::make_shared<CancellationSource>();
+  watchdog.Watch(Deadline::Infinite(), source);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(source->cancelled());
+  EXPECT_EQ(watchdog.cancellations(), 0);
+}
+
+// ------------------------------------------------------ solver budgets -----
+
+Matrix SmallCovariance(int n) {
+  Matrix cov = Matrix::Identity(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    cov(i, i + 1) = 0.3;
+    cov(i + 1, i) = 0.3;
+  }
+  return cov;
+}
+
+TEST(SolverBudgetTest, GraphicalLassoReportsPartialProgress) {
+  GraphicalLassoOptions options;
+  options.limits.deadline = Deadline::After(-1.0);
+  const Result<GraphicalLassoResult> result =
+      GraphicalLasso(SmallCovariance(6), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Partial-progress info: how many sweeps ran out of how many.
+  EXPECT_NE(result.status().message().find("sweeps"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(SolverBudgetTest, LogisticRegressionHonorsCancellation) {
+  std::vector<SparseVector> x(8);
+  std::vector<int> labels(8);
+  for (int i = 0; i < 8; ++i) {
+    x[i].PushBack(i % 4, 1.0);
+    labels[i] = i % 2;
+  }
+  CancellationSource source;
+  source.Cancel();
+  LogisticRegressionOptions options;
+  options.limits.cancel = source.token();
+  const Result<LogisticRegression> model =
+      LogisticRegression::FitHard(x, labels, 2, 4, options);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kCancelled);
+  EXPECT_NE(model.status().message().find("epochs"), std::string::npos)
+      << model.status().ToString();
+}
+
+LabelMatrix SmallLabelMatrix() {
+  LabelMatrix matrix(12);
+  for (int j = 0; j < 3; ++j) {
+    std::vector<int8_t> column(12, kAbstain);
+    for (int i = 0; i < 12; ++i) {
+      if ((i + j) % 3 != 0) column[i] = static_cast<int8_t>(i % 2);
+    }
+    matrix.AddColumn(std::move(column));
+  }
+  return matrix;
+}
+
+TEST(SolverBudgetTest, MetalFitHonorsDeadline) {
+  MetalModel model;
+  RunLimits limits;
+  limits.deadline = Deadline::After(-1.0);
+  model.set_limits(limits);
+  const Status status = model.Fit(SmallLabelMatrix(), 2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SolverBudgetTest, DawidSkeneFitHonorsCancellation) {
+  CancellationSource source;
+  source.Cancel();
+  DawidSkeneModel model;
+  RunLimits limits;
+  limits.cancel = source.token();
+  model.set_limits(limits);
+  const Status status = model.Fit(SmallLabelMatrix(), 2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("EM"), std::string::npos)
+      << status.ToString();
+}
+
+// Cross-thread cancellation: a solver spinning on one thread is torn down
+// by a Cancel() from another — the pattern the experiment watchdog relies
+// on. Run under -DACTIVEDP_SANITIZE=thread to certify the handshake.
+TEST(SolverBudgetTest, CancellationFromAnotherThreadStopsTheFit) {
+  std::vector<SparseVector> x(64);
+  std::vector<int> labels(64);
+  for (int i = 0; i < 64; ++i) {
+    x[i].PushBack(i % 16, 1.0);
+    x[i].PushBack(16 + (i % 8), 0.5);
+    labels[i] = (i / 2) % 2;
+  }
+  CancellationSource source;
+  LogisticRegressionOptions options;
+  options.epochs = 1000000;  // would run ~minutes without cancellation
+  options.limits.cancel = source.token();
+
+  Status status = Status::Ok();
+  std::thread worker([&]() {
+    const Result<LogisticRegression> model =
+        LogisticRegression::FitHard(x, labels, 2, 24, options);
+    status = model.ok() ? Status::Ok() : model.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  source.Cancel();
+  worker.join();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace activedp

@@ -26,7 +26,7 @@ TEST(FaultInjectorTest, DisarmedSiteReturnsNone) {
 }
 
 TEST(FaultInjectorTest, ArmedSiteFiresAndCounts) {
-  ScopedFault fault("test.site", FaultKind::kError);
+  FaultScope fault("test.site", FaultKind::kError);
   EXPECT_TRUE(FaultInjector::Global().any_armed());
   EXPECT_EQ(CheckFault("test.site"), FaultKind::kError);
   EXPECT_EQ(CheckFault("test.other"), FaultKind::kNone);
@@ -38,7 +38,7 @@ TEST(FaultInjectorTest, TriggerAfterSkipsEarlyHits) {
   FaultSpec spec;
   spec.kind = FaultKind::kNan;
   spec.trigger_after = 2;
-  ScopedFault fault("test.site", spec);
+  FaultScope fault("test.site", spec);
   EXPECT_EQ(CheckFault("test.site"), FaultKind::kNone);
   EXPECT_EQ(CheckFault("test.site"), FaultKind::kNone);
   EXPECT_EQ(CheckFault("test.site"), FaultKind::kNan);
@@ -49,7 +49,7 @@ TEST(FaultInjectorTest, MaxFiresLimitsInjections) {
   FaultSpec spec;
   spec.kind = FaultKind::kError;
   spec.max_fires = 2;
-  ScopedFault fault("test.site", spec);
+  FaultScope fault("test.site", spec);
   EXPECT_EQ(CheckFault("test.site"), FaultKind::kError);
   EXPECT_EQ(CheckFault("test.site"), FaultKind::kError);
   EXPECT_EQ(CheckFault("test.site"), FaultKind::kNone);
@@ -64,11 +64,11 @@ TEST(FaultInjectorTest, ProbabilityIsDeterministicGivenSeed) {
   spec.seed = 99;
   std::vector<FaultKind> first, second;
   {
-    ScopedFault fault("test.site", spec);
+    FaultScope fault("test.site", spec);
     for (int i = 0; i < 32; ++i) first.push_back(CheckFault("test.site"));
   }
   {
-    ScopedFault fault("test.site", spec);
+    FaultScope fault("test.site", spec);
     for (int i = 0; i < 32; ++i) second.push_back(CheckFault("test.site"));
   }
   EXPECT_EQ(first, second);
@@ -78,13 +78,40 @@ TEST(FaultInjectorTest, ProbabilityIsDeterministicGivenSeed) {
   EXPECT_LT(fires, 32);
 }
 
-TEST(FaultInjectorTest, ScopedFaultDisarmsOnDestruction) {
+TEST(FaultInjectorTest, FaultScopeDisarmsOnDestruction) {
   {
-    ScopedFault fault("test.site", FaultKind::kError);
+    FaultScope fault("test.site", FaultKind::kError);
     EXPECT_EQ(CheckFault("test.site"), FaultKind::kError);
   }
   EXPECT_EQ(CheckFault("test.site"), FaultKind::kNone);
   EXPECT_FALSE(FaultInjector::Global().any_armed());
+}
+
+TEST(FaultInjectorTest, FaultScopeArmsSeveralSites) {
+  FaultScope scope("test.a", FaultKind::kError);
+  scope.Arm("test.b", FaultKind::kNan);
+  EXPECT_EQ(CheckFault("test.a"), FaultKind::kError);
+  EXPECT_EQ(CheckFault("test.b"), FaultKind::kNan);
+  EXPECT_EQ(CheckFault("test.b"), FaultKind::kNan);
+  EXPECT_EQ(scope.fire_count("test.a"), 1);
+  EXPECT_EQ(scope.fire_count("test.b"), 2);
+  EXPECT_EQ(scope.total_fires(), 3);
+}
+
+TEST(FaultInjectorTest, UnhonoredKindDoesNotFire) {
+  // A site only honors the kinds it can express: an armed-but-unhonored
+  // kind neither fires nor counts as a fire (it still counts as a hit) —
+  // the invariant the chaos sweep's "every fire leaves evidence" check
+  // rests on.
+  FaultScope fault("test.site", FaultKind::kTruncateWrite);
+  EXPECT_EQ(CheckFault("test.site", {FaultKind::kError, FaultKind::kNan}),
+            FaultKind::kNone);
+  EXPECT_EQ(fault.fire_count(), 0);
+  EXPECT_EQ(FaultInjector::Global().hit_count("test.site"), 1);
+  // The same armed kind fires once a caller honors it.
+  EXPECT_EQ(CheckFault("test.site", {FaultKind::kTruncateWrite}),
+            FaultKind::kTruncateWrite);
+  EXPECT_EQ(fault.fire_count(), 1);
 }
 
 // ------------------------------------------------- degradation matrix -----
@@ -142,10 +169,14 @@ TEST_F(FaultPipelineTest, GlassoFailureDegradesToPruningOnlyLabelPick) {
   options.label_pick.blanket.method = BlanketMethod::kGraphicalLasso;
   const double baseline = FaultFreeAccuracy(options);
 
-  ScopedFault fault("glasso.solve", FaultKind::kError);
+  FaultScope fault("glasso.solve", FaultKind::kError);
   ActiveDp pipeline(context_, options);
   const double accuracy = RunToCompletion(pipeline);
   EXPECT_GT(fault.fire_count(), 0);
+  // Retry-before-degrade: the solve was retried at full quality before the
+  // neighborhood-selection fallback fired.
+  EXPECT_GT(pipeline.retry_log().count("glasso.solve"), 0)
+      << pipeline.retry_log().Summary();
   EXPECT_GT(pipeline.recovery().count("glasso"), 0)
       << pipeline.recovery().Summary();
   EXPECT_NEAR(accuracy, baseline, kAccuracyBound);
@@ -155,7 +186,7 @@ TEST_F(FaultPipelineTest, MetalNanDegradesToMajorityVote) {
   const ActiveDpOptions options = Options();
   const double baseline = FaultFreeAccuracy(options);
 
-  ScopedFault fault("metal.fit", FaultKind::kNan);
+  FaultScope fault("metal.fit", FaultKind::kNan);
   ActiveDp pipeline(context_, options);
   const double accuracy = RunToCompletion(pipeline);
   EXPECT_GT(fault.fire_count(), 0);
@@ -166,18 +197,24 @@ TEST_F(FaultPipelineTest, MetalNanDegradesToMajorityVote) {
   EXPECT_NEAR(accuracy, baseline, kAccuracyBound);
 }
 
-TEST_F(FaultPipelineTest, MetalRecoversWhenFaultClears) {
+TEST_F(FaultPipelineTest, MetalTransientFaultAbsorbedByRetry) {
+  // A transient fault (two fires, then clear) is absorbed inside one
+  // retrain by the retry layer: the default policy's three attempts cover
+  // both fires, so the degradation cascade never engages.
   FaultSpec spec;
   spec.kind = FaultKind::kNan;
   spec.max_fires = 2;
-  ScopedFault fault("metal.fit", spec);
+  FaultScope fault("metal.fit", spec);
   ActiveDp pipeline(context_, Options());
   RunToCompletion(pipeline);
   EXPECT_EQ(fault.fire_count(), 2);
-  // Degraded while the fault fired, then the configured model fit again.
   EXPECT_FALSE(pipeline.using_fallback_label_model());
   EXPECT_TRUE(pipeline.has_label_model());
-  EXPECT_GT(pipeline.recovery().count("label_model"), 0)
+  EXPECT_GE(pipeline.retry_log().count("label_model.fit"), 2)
+      << pipeline.retry_log().Summary();
+  EXPECT_GE(pipeline.retry_log().recovered_count("label_model.fit"), 2)
+      << pipeline.retry_log().Summary();
+  EXPECT_EQ(pipeline.recovery().count("label_model"), 0)
       << pipeline.recovery().Summary();
 }
 
@@ -185,7 +222,7 @@ TEST_F(FaultPipelineTest, AlModelNonConvergenceDegradesToLabelModelOnly) {
   const ActiveDpOptions options = Options();
   const double baseline = FaultFreeAccuracy(options);
 
-  ScopedFault fault("lr.fit", FaultKind::kNoConverge);
+  FaultScope fault("lr.fit", FaultKind::kNoConverge);
   ActiveDp pipeline(context_, options);
   const double accuracy = RunToCompletion(pipeline);
   EXPECT_GT(fault.fire_count(), 0);
@@ -204,13 +241,17 @@ TEST_F(FaultPipelineTest, EmptyOracleResponsesAreSpentInteractions) {
   spec.kind = FaultKind::kEmptyResponse;
   spec.trigger_after = 5;
   spec.max_fires = 3;
-  ScopedFault fault("oracle.create_lf", spec);
+  FaultScope fault("oracle.create_lf", spec);
   ActiveDp pipeline(context_, options);
   const double accuracy = RunToCompletion(pipeline);
   EXPECT_EQ(fault.fire_count(), 3);
   // Each empty response consumed its interaction without yielding an LF
   // (no retry loop, no abort), so at most kSteps - 3 LFs exist.
   EXPECT_LE(pipeline.lfs().size() + 3, static_cast<size_t>(kSteps));
+  // Injected empties are accounted in the recovery log (natural empties
+  // from a fault-free oracle are not).
+  EXPECT_GT(pipeline.recovery().count("oracle"), 0)
+      << pipeline.recovery().Summary();
   EXPECT_NEAR(accuracy, baseline, kAccuracyBound);
 }
 
@@ -219,20 +260,20 @@ TEST_F(FaultPipelineTest, ChaosRunSurvivesAllSitesArmedAtOnce) {
   options.label_pick.blanket.method = BlanketMethod::kGraphicalLasso;
   const double baseline = FaultFreeAccuracy(options);
 
-  ScopedFault glasso("glasso.solve", FaultKind::kError);
+  FaultScope glasso("glasso.solve", FaultKind::kError);
   FaultSpec metal;
   metal.kind = FaultKind::kNan;
   metal.max_fires = 2;
-  ScopedFault metal_fault("metal.fit", metal);
+  FaultScope metal_fault("metal.fit", metal);
   FaultSpec lr;
   lr.kind = FaultKind::kNoConverge;
   lr.max_fires = 2;
-  ScopedFault lr_fault("lr.fit", lr);
+  FaultScope lr_fault("lr.fit", lr);
   FaultSpec oracle;
   oracle.kind = FaultKind::kEmptyResponse;
   oracle.trigger_after = 4;
   oracle.max_fires = 2;
-  ScopedFault oracle_fault("oracle.create_lf", oracle);
+  FaultScope oracle_fault("oracle.create_lf", oracle);
 
   ActiveDp pipeline(context_, options);
   const double accuracy = RunToCompletion(pipeline);
@@ -256,7 +297,7 @@ SessionState SmallSession() {
 TEST(SessionFaultTest, TruncatedWriteIsDetectedAtLoad) {
   const std::string path = testing::TempDir() + "/truncated_session.txt";
   {
-    ScopedFault fault("session.save", FaultKind::kTruncateWrite);
+    FaultScope fault("session.save", FaultKind::kTruncateWrite);
     // The truncated write reports success — exactly what a process killed
     // mid-save would have observed.
     EXPECT_TRUE(SaveSession(SmallSession(), path).ok());
@@ -276,7 +317,7 @@ TEST(SessionFaultTest, TruncatedWriteIsDetectedAtLoad) {
 
 TEST(SessionFaultTest, SaveErrorIsReportedNotFatal) {
   const std::string path = testing::TempDir() + "/error_session.txt";
-  ScopedFault fault("session.save", FaultKind::kError);
+  FaultScope fault("session.save", FaultKind::kError);
   const Status status = SaveSession(SmallSession(), path);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInternal);

@@ -1,0 +1,290 @@
+// Deterministic retry layer: seeded backoff reproducibility, the
+// retry-only-transients contract, per-site budgets, and the end-to-end
+// guarantee that a run with retries is exactly reproducible — same policy
+// seed + same fault schedule give identical backoff sequences and a
+// bitwise-identical RunResult, including across a kill-and-resume.
+
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/activedp.h"
+#include "core/experiment.h"
+#include "core/run_checkpoint.h"
+#include "data/dataset_zoo.h"
+#include "util/fault.h"
+
+namespace activedp {
+namespace {
+
+// -------------------------------------------------------------- backoff ----
+
+TEST(RetryBackoffTest, DeterministicGivenSeedSiteAndCounters) {
+  RetryPolicy policy;
+  policy.seed = 42;
+  for (int counter = 1; counter <= 4; ++counter) {
+    for (int retry = 1; retry <= 3; ++retry) {
+      EXPECT_EQ(RetryBackoffMs(policy, "glasso.solve", counter, retry),
+                RetryBackoffMs(policy, "glasso.solve", counter, retry));
+    }
+  }
+  RetryPolicy other = policy;
+  other.seed = 43;
+  EXPECT_NE(RetryBackoffMs(policy, "glasso.solve", 1, 1),
+            RetryBackoffMs(other, "glasso.solve", 1, 1));
+  EXPECT_NE(RetryBackoffMs(policy, "glasso.solve", 1, 1),
+            RetryBackoffMs(policy, "metal.fit", 1, 1));
+}
+
+TEST(RetryBackoffTest, ExponentialGrowthWithCap) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 50.0;
+  policy.jitter = 0.0;  // exact values
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(policy, "s", 1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(policy, "s", 2, 2), 20.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(policy, "s", 3, 3), 40.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(policy, "s", 4, 4), 50.0);  // capped
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(policy, "s", 5, 9), 50.0);
+}
+
+TEST(RetryBackoffTest, JitterStaysWithinConfiguredFraction) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter = 0.5;
+  for (int counter = 1; counter <= 32; ++counter) {
+    const double ms = RetryBackoffMs(policy, "site", counter, 1);
+    EXPECT_GE(ms, 50.0);
+    EXPECT_LT(ms, 100.0);
+  }
+}
+
+// -------------------------------------------------------------- retrier ----
+
+TEST(RetrierTest, RetriesTransientFailuresUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryLog log;
+  Retrier retrier(policy, &log);
+  int calls = 0;
+  const Status status =
+      retrier.Run("site", RunLimits::Unlimited(), [&]() -> Status {
+        ++calls;
+        return calls < 3 ? Status::Internal("transient") : Status::Ok();
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(log.count("site"), 2);
+  EXPECT_EQ(log.recovered_count("site"), 2);
+  EXPECT_EQ(retrier.retries_used("site"), 2);
+}
+
+TEST(RetrierTest, DoesNotRetryDeterministicFailures) {
+  RetryLog log;
+  Retrier retrier(RetryPolicy{}, &log);
+  int calls = 0;
+  const Status status =
+      retrier.Run("site", RunLimits::Unlimited(), [&]() -> Status {
+        ++calls;
+        return Status::InvalidArgument("bad input");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(RetrierTest, GivesUpAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryLog log;
+  Retrier retrier(policy, &log);
+  int calls = 0;
+  const Status status =
+      retrier.Run("site", RunLimits::Unlimited(), [&]() -> Status {
+        ++calls;
+        return Status::Internal("still broken");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(log.count("site"), 2);
+  EXPECT_EQ(log.recovered_count("site"), 0);
+}
+
+TEST(RetrierTest, PerSiteBudgetCapsRetriesAcrossInvocations) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.per_site_budget = 3;
+  Retrier retrier(policy);
+  int calls = 0;
+  const auto failing = [&calls]() -> Status {
+    ++calls;
+    return Status::Internal("deterministic failure");
+  };
+  for (int i = 0; i < 5; ++i) {
+    retrier.Run("site", RunLimits::Unlimited(), failing);
+  }
+  // 5 invocations but only the first 3 earned a retry (budget), so 5 + 3
+  // calls in total; the budget does not leak across sites.
+  EXPECT_EQ(calls, 8);
+  EXPECT_EQ(retrier.retries_used("site"), 3);
+  EXPECT_EQ(retrier.retries_used("other"), 0);
+  retrier.Run("other", RunLimits::Unlimited(), failing);
+  EXPECT_EQ(retrier.retries_used("other"), 1);
+}
+
+TEST(RetrierTest, ZeroBudgetDisablesRetries) {
+  RetryPolicy policy;
+  policy.per_site_budget = 0;
+  Retrier retrier(policy);
+  int calls = 0;
+  retrier.Run("site", RunLimits::Unlimited(), [&]() -> Status {
+    ++calls;
+    return Status::Internal("transient");
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetrierTest, TrippedLimitsShortCircuitTheAttempt) {
+  CancellationSource source;
+  source.Cancel();
+  RunLimits limits;
+  limits.cancel = source.token();
+  Retrier retrier(RetryPolicy{});
+  int calls = 0;
+  const Status status = retrier.Run("site", limits, [&]() -> Status {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetrierTest, RunResultingReturnsTheRecoveredValue) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Retrier retrier(policy);
+  int calls = 0;
+  const Result<int> result = retrier.RunResulting<int>(
+      "site", RunLimits::Unlimited(), [&]() -> Result<int> {
+        ++calls;
+        if (calls < 2) return Status::Internal("transient");
+        return 41 + calls;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 43);
+}
+
+// ------------------------------------------------ run reproducibility ------
+
+class RetryDeterminismTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().DisarmAll();
+    Result<DataSplit> split = MakeZooDataset("youtube", 0.4, 101);
+    ASSERT_TRUE(split.ok());
+    split_ = std::move(*split);
+    context_ = FrameworkContext::Build(split_);
+    options_.iterations = 30;
+    options_.eval_every = 10;
+  }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+
+  ActiveDpOptions Adp() const {
+    ActiveDpOptions adp;
+    adp.seed = 17;
+    adp.retry.seed = 99;
+    return adp;
+  }
+
+  /// The fault schedule shared by every run in these tests: metal.fit
+  /// poisons its parameters twice starting from the fourth fit, then heals
+  /// — transient enough for the retry layer to absorb.
+  static FaultSpec TransientMetalFault() {
+    FaultSpec spec;
+    spec.kind = FaultKind::kNan;
+    spec.trigger_after = 3;
+    spec.max_fires = 2;
+    return spec;
+  }
+
+  DataSplit split_;
+  FrameworkContext context_;
+  ProtocolOptions options_;
+};
+
+void ExpectSameRunResult(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.budgets, b.budgets);
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_EQ(a.label_accuracy, b.label_accuracy);
+  EXPECT_EQ(a.label_coverage, b.label_coverage);
+  EXPECT_EQ(a.average_test_accuracy, b.average_test_accuracy);
+}
+
+TEST_F(RetryDeterminismTest, SameSeedAndScheduleGiveIdenticalRetries) {
+  const auto run = [&](RunResult* out) -> std::vector<RetryEvent> {
+    FaultScope fault("metal.fit", TransientMetalFault());
+    ActiveDp pipeline(context_, Adp());
+    *out = RunProtocol(pipeline, context_, options_);
+    EXPECT_EQ(fault.fire_count(), 2);
+    return pipeline.retry_log().events();
+  };
+  RunResult first_result, second_result;
+  const std::vector<RetryEvent> first = run(&first_result);
+  const std::vector<RetryEvent> second = run(&second_result);
+
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_GE(first.size(), 2u);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].site, second[i].site);
+    EXPECT_EQ(first[i].retry, second[i].retry);
+    // Bitwise-equal backoffs: the jitter is a pure function of
+    // (policy seed, site, per-site counter, retry index).
+    EXPECT_EQ(first[i].backoff_ms, second[i].backoff_ms);
+    EXPECT_EQ(first[i].recovered, second[i].recovered);
+  }
+  ExpectSameRunResult(first_result, second_result);
+}
+
+TEST_F(RetryDeterminismTest, RetriedRunResumesBitwiseIdentical) {
+  // Reference: uninterrupted run under the transient fault.
+  RunResult uninterrupted;
+  {
+    FaultScope fault("metal.fit", TransientMetalFault());
+    ActiveDp reference(context_, Adp());
+    uninterrupted = RunProtocol(reference, context_, options_);
+    ASSERT_EQ(fault.fire_count(), 2);
+  }
+  ASSERT_EQ(uninterrupted.budgets.size(), 3u);
+
+  // Killed run: same fault schedule (re-armed, counters reset), stopped
+  // after 20 of 30 iterations with checkpointing on.
+  const std::string path = testing::TempDir() + "/retry_resume.ckpt";
+  std::remove(path.c_str());
+  ProtocolOptions with_checkpoint = options_;
+  with_checkpoint.checkpoint_path = path;
+  {
+    FaultScope fault("metal.fit", TransientMetalFault());
+    ProtocolOptions killed = with_checkpoint;
+    killed.iterations = 20;
+    ActiveDp first(context_, Adp());
+    RunProtocol(first, context_, killed);
+    Result<RunCheckpoint> checkpoint = LoadRunCheckpoint(path);
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  }
+
+  // Resume replays every iteration (reusing checkpointed evaluations), so
+  // the re-armed fault fires on the same fits and the same retries absorb
+  // it — the final result matches the uninterrupted run bit for bit.
+  FaultScope fault("metal.fit", TransientMetalFault());
+  ActiveDp second(context_, Adp());
+  const RunResult resumed = RunProtocol(second, context_, with_checkpoint);
+  EXPECT_EQ(fault.fire_count(), 2);
+  ExpectSameRunResult(resumed, uninterrupted);
+}
+
+}  // namespace
+}  // namespace activedp
