@@ -1,0 +1,307 @@
+// Pipeline performance benchmark for the parallelized hot paths. Times each
+// stage — featurization, LF application, label-model fits, matrix products,
+// graphical lasso — plus the end-to-end chain at several compute-pool thread
+// counts, and writes the timings to a JSON report (BENCH_pipeline.json).
+//
+// Determinism is asserted unconditionally: every stage's numeric output is
+// digested (FNV-1a over raw double bit patterns) and any digest that differs
+// across thread counts fails the run. The speedup itself is reported in the
+// JSON but only enforced with --require-speedup=true, because the attainable
+// ratio depends on the machine (a 1-core container cannot speed up at all).
+//
+//   ./build/bench/perf_bench --examples=4000 --lfs=24 --threads=1,2,8 \
+//       --out=BENCH_pipeline.json
+//
+// Registered as a ctest with LABELS perf at a small smoke size.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic_text.h"
+#include "graphical/graphical_lasso.h"
+#include "lf/label_function.h"
+#include "lf/lf_applier.h"
+#include "labelmodel/metal_completion.h"
+#include "labelmodel/metal_model.h"
+#include "math/matrix.h"
+#include "ml/featurizer.h"
+#include "ml/metrics.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace activedp {
+namespace {
+
+class BitHasher {
+ public:
+  void Add(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    AddBits(bits);
+  }
+  void Add(int value) { AddBits(static_cast<uint64_t>(value)); }
+  void Add(const std::vector<std::vector<double>>& rows) {
+    for (const auto& row : rows) {
+      for (double v : row) Add(v);
+    }
+  }
+  void Add(const Matrix& m) {
+    for (int r = 0; r < m.rows(); ++r) {
+      for (int c = 0; c < m.cols(); ++c) Add(m(r, c));
+    }
+  }
+  void Add(const SparseVector& v) {
+    for (int k = 0; k < v.nnz(); ++k) {
+      Add(v.indices[k]);
+      Add(v.values[k]);
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  void AddBits(uint64_t bits) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (bits >> (8 * byte)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+struct StageResult {
+  std::string name;
+  double seconds = 0.0;
+  uint64_t digest = 0;
+};
+
+struct RunResultRow {
+  int threads = 0;
+  std::vector<StageResult> stages;
+  double end_to_end_seconds = 0.0;
+};
+
+// One full pipeline pass at the currently configured compute-pool width.
+// The dataset is generated outside (untimed, identical across passes).
+RunResultRow RunOnce(const Dataset& data, int num_lfs, int threads) {
+  RunResultRow row;
+  row.threads = threads;
+  Timer total;
+
+  {
+    Timer timer;
+    BitHasher hasher;
+    const TextFeaturizer featurizer(data);
+    const std::vector<SparseVector> features = FeaturizeAll(featurizer, data);
+    for (const auto& f : features) hasher.Add(f);
+    row.stages.push_back({"featurize", timer.ElapsedSeconds(),
+                          hasher.digest()});
+  }
+
+  std::vector<LfPtr> lfs;
+  const int m = std::min(num_lfs, data.vocabulary().size());
+  for (int id = 0; id < m; ++id) {
+    lfs.push_back(std::make_shared<KeywordLf>(
+        id, data.vocabulary().GetWord(id), id % data.meta().num_classes));
+  }
+  LabelMatrix matrix(0);
+  {
+    Timer timer;
+    BitHasher hasher;
+    matrix = ApplyLfs(lfs, data);
+    for (int j = 0; j < matrix.num_cols(); ++j) {
+      for (int8_t v : matrix.column(j)) hasher.Add(static_cast<int>(v));
+    }
+    row.stages.push_back({"lf_apply", timer.ElapsedSeconds(),
+                          hasher.digest()});
+  }
+
+  {
+    Timer timer;
+    BitHasher hasher;
+    MetalModel metal;
+    CHECK(metal.Fit(matrix, data.meta().num_classes).ok());
+    auto metal_proba = metal.PredictProbaAll(matrix);
+    CHECK(metal_proba.ok());
+    hasher.Add(*metal_proba);
+    MetalCompletionModel completion;
+    CHECK(completion.Fit(matrix, data.meta().num_classes).ok());
+    auto completion_proba = completion.PredictProbaAll(matrix);
+    CHECK(completion_proba.ok());
+    hasher.Add(*completion_proba);
+    row.stages.push_back({"label_model", timer.ElapsedSeconds(),
+                          hasher.digest()});
+  }
+
+  Matrix covariance;
+  {
+    Timer timer;
+    BitHasher hasher;
+    const int n = matrix.num_rows();
+    Matrix spins(n, matrix.num_cols());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < matrix.num_cols(); ++j) {
+        const int v = matrix.At(i, j);
+        spins(i, j) = v < 0 ? 0.0 : (v == 1 ? 1.0 : -1.0);
+      }
+    }
+    covariance = spins.Transpose().Multiply(spins).Scale(1.0 / n);
+    for (int j = 0; j < covariance.rows(); ++j) covariance(j, j) += 0.1;
+    hasher.Add(covariance);
+    row.stages.push_back({"matmul", timer.ElapsedSeconds(), hasher.digest()});
+  }
+
+  {
+    Timer timer;
+    BitHasher hasher;
+    GraphicalLassoOptions options;
+    options.max_iterations = 30;
+    auto glasso = GraphicalLasso(covariance, options);
+    CHECK(glasso.ok());
+    hasher.Add(glasso->precision);
+    row.stages.push_back({"glasso", timer.ElapsedSeconds(), hasher.digest()});
+  }
+
+  row.end_to_end_seconds = total.ElapsedSeconds();
+  return row;
+}
+
+std::string HexDigest(uint64_t digest) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buffer;
+}
+
+void WriteJson(const std::string& path, const Dataset& data, int num_lfs,
+               const std::vector<RunResultRow>& rows, double speedup,
+               bool deterministic) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"benchmark\": \"pipeline\",\n";
+  out << "  \"examples\": " << data.size() << ",\n";
+  out << "  \"lfs\": " << num_lfs << ",\n";
+  out << "  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"deterministic_across_threads\": "
+      << (deterministic ? "true" : "false") << ",\n";
+  out << "  \"speedup_max_vs_serial\": " << speedup << ",\n";
+  out << "  \"runs\": [\n";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const RunResultRow& row = rows[r];
+    out << "    {\"threads\": " << row.threads
+        << ", \"end_to_end_seconds\": " << row.end_to_end_seconds
+        << ", \"stages\": {";
+    for (size_t s = 0; s < row.stages.size(); ++s) {
+      const StageResult& stage = row.stages[s];
+      out << "\"" << stage.name << "\": {\"seconds\": " << stage.seconds
+          << ", \"digest\": \"" << HexDigest(stage.digest) << "\"}";
+      if (s + 1 < row.stages.size()) out << ", ";
+    }
+    out << "}}";
+    if (r + 1 < rows.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddFlag("examples", "4000", "synthetic corpus size");
+  flags.AddFlag("lfs", "24", "number of keyword label functions");
+  flags.AddFlag("threads", "", "comma-separated compute-pool widths to time "
+                               "(default: 1,2,<hardware>)");
+  flags.AddFlag("out", "BENCH_pipeline.json", "JSON report path");
+  flags.AddFlag("require-speedup", "false",
+                "fail unless the widest run beats serial by --min-speedup "
+                "(leave off on small machines)");
+  flags.AddFlag("min-speedup", "3.0", "threshold for --require-speedup");
+  flags.AddFlag("seed", "7", "corpus generation seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+
+  std::vector<int> thread_counts;
+  if (flags.GetString("threads").empty()) {
+    const int hw = std::max(1u, std::thread::hardware_concurrency());
+    thread_counts = {1, 2};
+    if (hw > 2) thread_counts.push_back(hw);
+  } else {
+    for (const std::string& part : Split(flags.GetString("threads"), ',')) {
+      if (!part.empty()) thread_counts.push_back(std::stoi(part));
+    }
+  }
+  CHECK(!thread_counts.empty());
+
+  SyntheticTextConfig config;
+  config.num_examples = flags.GetInt("examples");
+  config.num_classes = 2;
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  const Dataset data = GenerateSyntheticText(config, rng);
+  const int num_lfs = flags.GetInt("lfs");
+
+  std::vector<RunResultRow> rows;
+  for (int threads : thread_counts) {
+    SetComputePoolThreads(threads);
+    rows.push_back(RunOnce(data, num_lfs, threads));
+    const RunResultRow& row = rows.back();
+    LOG(Info) << "threads=" << row.threads << " end_to_end="
+              << row.end_to_end_seconds << "s";
+  }
+  SetComputePoolThreads(1);
+
+  // Determinism gate: every stage digest must match the serial run's.
+  bool deterministic = true;
+  for (const RunResultRow& row : rows) {
+    for (size_t s = 0; s < row.stages.size(); ++s) {
+      if (row.stages[s].digest != rows[0].stages[s].digest) {
+        deterministic = false;
+        std::fprintf(stderr,
+                     "FAIL: stage %s digest differs at %d threads "
+                     "(%s vs serial %s)\n",
+                     row.stages[s].name.c_str(), row.threads,
+                     HexDigest(row.stages[s].digest).c_str(),
+                     HexDigest(rows[0].stages[s].digest).c_str());
+      }
+    }
+  }
+
+  double speedup = 1.0;
+  if (rows.size() > 1 && rows.back().end_to_end_seconds > 0.0) {
+    speedup = rows[0].end_to_end_seconds / rows.back().end_to_end_seconds;
+  }
+
+  WriteJson(flags.GetString("out"), data, num_lfs, rows, speedup,
+            deterministic);
+  std::printf("wrote %s (speedup %0.2fx at %d threads, deterministic: %s)\n",
+              flags.GetString("out").c_str(), speedup, rows.back().threads,
+              deterministic ? "yes" : "no");
+
+  if (!deterministic) return 1;
+  if (flags.GetBool("require-speedup") &&
+      speedup < flags.GetDouble("min-speedup")) {
+    std::fprintf(stderr, "FAIL: speedup %0.2fx below required %0.2fx\n",
+                 speedup, flags.GetDouble("min-speedup"));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace activedp
+
+int main(int argc, char** argv) { return activedp::Main(argc, argv); }

@@ -2,21 +2,32 @@
 # Full verification gate for a PR:
 #   1. tier-1 build + ctest (the suite every PR must keep green)
 #   2. the same suite under the ASan+UBSan preset
-#   3. a small-budget chaos sweep (fault sites x kinds x seeds, with
+#   3. the thread-pool and parallel-stage tests under TSan
+#      (-DACTIVEDP_SANITIZE=thread), which is what certifies the
+#      batch-scoped pool and the chunked reductions race-free
+#   4. the pipeline perf benchmark at smoke size (ctest -L perf), which
+#      asserts bitwise determinism across compute-pool thread counts and
+#      writes BENCH_pipeline.json
+#   5. a small-budget chaos sweep (fault sites x kinds x seeds, with
 #      fault accounting and resumability checks; see bench/chaos_sweep.cc)
 #
-# Usage: scripts/verify.sh [--skip-asan] [--skip-chaos]
+# Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-perf]
+#                          [--skip-chaos]
 # Runs from any directory; build trees live next to the sources as
-# build/ and build-asan/.
+# build/, build-asan/ and build-tsan/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_ASAN=0
+SKIP_TSAN=0
+SKIP_PERF=0
 SKIP_CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-perf) SKIP_PERF=1 ;;
     --skip-chaos) SKIP_CHAOS=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
@@ -32,6 +43,20 @@ if [[ "$SKIP_ASAN" -eq 0 ]]; then
   cmake -B build-asan -S . -DACTIVEDP_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan -L tier1 --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$SKIP_TSAN" -eq 0 ]]; then
+  echo "== thread-pool + parallel-stage tests under TSan =="
+  cmake -B build-tsan -S . -DACTIVEDP_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" \
+    --target thread_pool_test determinism_test
+  ctest --test-dir build-tsan -R "thread_pool_test|determinism_test" \
+    --output-on-failure
+fi
+
+if [[ "$SKIP_PERF" -eq 0 ]]; then
+  echo "== perf benchmark (smoke size, determinism gate) =="
+  ctest --test-dir build -L perf --output-on-failure
 fi
 
 if [[ "$SKIP_CHAOS" -eq 0 ]]; then

@@ -174,6 +174,7 @@ RunResult RunProtocol(InteractiveFramework& framework,
 
 Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
   CHECK_GT(spec.num_seeds, 0);
+  if (spec.compute_threads > 0) SetComputePoolThreads(spec.compute_threads);
 
   // Worker isolation: each seed runs under its own cancellation source
   // (child of the experiment token) and, when a per-seed budget is set,

@@ -99,6 +99,14 @@ struct ExperimentSpec {
   /// identical to the serial run (every seed is self-contained and
   /// deterministic).
   int num_threads = 1;
+  /// When > 0, reconfigures the process-wide compute pool (see
+  /// util/thread_pool.h: ComputePool) that the data-parallel stages inside
+  /// each seed draw from: LF application, TF-IDF, matrix products,
+  /// label-model fits, graphical lasso. Stage results are bitwise
+  /// independent of this knob; 0 leaves the current configuration alone.
+  /// Note the two axes multiply — `num_threads` seeds each fanning out onto
+  /// `compute_threads` workers oversubscribes small machines.
+  int compute_threads = 0;
   /// When non-empty, each seed checkpoints its run to
   /// `<checkpoint_dir>/<dataset>-<framework>-seed<k>.ckpt` so a killed
   /// experiment resumes at the last evaluated budget per seed.

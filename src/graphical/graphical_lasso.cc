@@ -6,6 +6,7 @@
 #include "graphical/lasso.h"
 #include "util/check.h"
 #include "util/fault.h"
+#include "util/thread_pool.h"
 
 namespace activedp {
 namespace {
@@ -68,34 +69,50 @@ Result<GraphicalLassoResult> GraphicalLasso(
                         std::to_string(last_max_change) + ")");
     }
     double max_change = 0.0;
+    // The column sweep itself is inherently sequential (each column update
+    // reads the W produced by the previous one), but within a column the
+    // partition copy and the w12 = W11 * beta residual update are
+    // row-partitioned: every output row is written by one chunk with a
+    // serial inner dot, so the sweep is bitwise identical at any thread
+    // count. Small problems run inline (ComputePool chunking threshold).
+    ThreadPool* const pool = p >= 64 ? ComputePool() : nullptr;
+    const int row_grain = BoundedGrain(p - 1, 16, 64);
+    std::vector<double> w12_new(p - 1);
     for (int col = 0; col < p; ++col) {
       // Partition: w11 = W without row/col `col`; s12 = S column `col`.
-      for (int i = 0, ii = 0; i < p; ++i) {
-        if (i == col) continue;
-        for (int j = 0, jj = 0; j < p; ++j) {
-          if (j == col) continue;
-          w11(ii, jj) = w(i, j);
-          ++jj;
-        }
-        ++ii;
-      }
-      for (int i = 0, ii = 0; i < p; ++i) {
-        if (i == col) continue;
-        s12[ii++] = s(i, col);
-      }
+      RETURN_IF_ERROR(ParallelForChunks(
+          pool, p - 1, row_grain, options.limits, "glasso.solve",
+          [&](int /*chunk*/, int begin, int end) {
+            for (int ii = begin; ii < end; ++ii) {
+              const int i = ii < col ? ii : ii + 1;
+              for (int j = 0, jj = 0; j < p; ++j) {
+                if (j == col) continue;
+                w11(ii, jj) = w(i, j);
+                ++jj;
+              }
+              s12[ii] = s(i, col);
+            }
+          }));
 
       std::vector<double> beta =
           LassoQuadratic(w11, s12, options.rho, options.lasso_max_iterations,
                          options.lasso_tolerance);
-      // w12 = W11 * beta.
-      for (int i = 0, ii = 0; i < p; ++i) {
-        if (i == col) continue;
-        double val = 0.0;
-        for (int jj = 0; jj < p - 1; ++jj) val += w11(ii, jj) * beta[jj];
-        max_change = std::max(max_change, std::fabs(w(i, col) - val));
-        w(i, col) = val;
-        w(col, i) = val;
-        ++ii;
+      // w12 = W11 * beta, row-partitioned into w12_new (no aliasing with the
+      // w11 reads), then applied serially together with the convergence gap.
+      RETURN_IF_ERROR(ParallelForChunks(
+          pool, p - 1, row_grain, options.limits, "glasso.solve",
+          [&](int /*chunk*/, int begin, int end) {
+            for (int ii = begin; ii < end; ++ii) {
+              double val = 0.0;
+              for (int jj = 0; jj < p - 1; ++jj) val += w11(ii, jj) * beta[jj];
+              w12_new[ii] = val;
+            }
+          }));
+      for (int ii = 0; ii < p - 1; ++ii) {
+        const int i = ii < col ? ii : ii + 1;
+        max_change = std::max(max_change, std::fabs(w(i, col) - w12_new[ii]));
+        w(i, col) = w12_new[ii];
+        w(col, i) = w12_new[ii];
       }
       betas[col] = std::move(beta);
     }

@@ -7,34 +7,61 @@
 #include "labelmodel/metal_model.h"
 #include "math/vector_ops.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace activedp {
+namespace {
+
+/// Shared chunked driver for the batch prediction paths. Rows are
+/// independent (PredictProba is const and models hold no mutable state), so
+/// per-row outputs are bitwise identical at any thread count. Error
+/// reporting is deterministic: every chunk records its first failing row and
+/// the lowest failing row overall wins, matching the serial "first row error
+/// wins" contract.
+Status PredictRows(int num_rows,
+                   const std::function<Status(int row)>& predict_row) {
+  const int grain = BoundedGrain(num_rows, 256, 1024);
+  const int chunks = NumChunks(num_rows, grain);
+  std::vector<std::pair<int, Status>> first_error(
+      chunks, {num_rows, Status::Ok()});
+  RETURN_IF_ERROR(ParallelForChunks(
+      ComputePool(), num_rows, grain, RunLimits::Unlimited(),
+      "labelmodel.predict", [&](int chunk, int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          Status status = predict_row(i);
+          if (!status.ok()) {
+            first_error[chunk] = {i, std::move(status)};
+            return;
+          }
+        }
+      }));
+  for (const auto& [row, status] : first_error) {
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Result<std::vector<std::vector<double>>> LabelModel::PredictProbaAll(
     const LabelMatrix& matrix) const {
-  std::vector<std::vector<double>> out;
-  out.reserve(matrix.num_rows());
-  for (int i = 0; i < matrix.num_rows(); ++i) {
-    ASSIGN_OR_RETURN(std::vector<double> proba,
-                     PredictProba(matrix.Row(i)));
-    out.push_back(std::move(proba));
-  }
+  std::vector<std::vector<double>> out(matrix.num_rows());
+  RETURN_IF_ERROR(PredictRows(matrix.num_rows(), [&](int i) -> Status {
+    ASSIGN_OR_RETURN(out[i], PredictProba(matrix.Row(i)));
+    return Status::Ok();
+  }));
   return out;
 }
 
 Result<std::vector<int>> LabelModel::PredictAll(
     const LabelMatrix& matrix) const {
-  std::vector<int> out;
-  out.reserve(matrix.num_rows());
-  for (int i = 0; i < matrix.num_rows(); ++i) {
-    if (!matrix.AnyActive(i)) {
-      out.push_back(kAbstain);
-      continue;
-    }
-    ASSIGN_OR_RETURN(std::vector<double> proba,
-                     PredictProba(matrix.Row(i)));
-    out.push_back(ArgMax(proba));
-  }
+  std::vector<int> out(matrix.num_rows(), kAbstain);
+  RETURN_IF_ERROR(PredictRows(matrix.num_rows(), [&](int i) -> Status {
+    if (!matrix.AnyActive(i)) return Status::Ok();  // keep kAbstain
+    ASSIGN_OR_RETURN(std::vector<double> proba, PredictProba(matrix.Row(i)));
+    out[i] = ArgMax(proba);
+    return Status::Ok();
+  }));
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "math/linalg.h"
 #include "math/matrix.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace activedp {
 
@@ -22,27 +23,52 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   const int m = matrix.num_cols();
   num_lfs_ = m;
 
+  MetalModelOptions fallback_options;
+  fallback_options.limits = options_.limits;
   if (m < options_.min_lfs_for_completion) {
-    fallback_.emplace();
+    fallback_.emplace(fallback_options);
     return fallback_->Fit(matrix, num_classes);
   }
   fallback_.reset();
 
-  // Spin means, coverages and class balance via majority vote.
+  // Spin means, coverages and class balance via majority vote. Chunked over
+  // rows with per-chunk partial sums combined in chunk order; every term is
+  // a spin in {-1, 0, +1} or a count, so the sums are exact integers and the
+  // result is bitwise identical at any thread count.
+  const int grain = BoundedGrain(n, 1024, 64);
+  const int chunks = NumChunks(n, grain);
+  std::vector<std::vector<double>> mean_part(chunks), coverage_part(chunks);
+  std::vector<double> mv_positive_part(chunks, 0.0), mv_total_part(chunks, 0.0);
+  RETURN_IF_ERROR(ParallelForChunks(
+      ComputePool(), n, grain, options_.limits, "metal.completion",
+      [&](int chunk, int begin, int end) {
+        std::vector<double>& pmean = mean_part[chunk];
+        std::vector<double>& pcov = coverage_part[chunk];
+        pmean.assign(m, 0.0);
+        pcov.assign(m, 0.0);
+        for (int i = begin; i < end; ++i) {
+          double vote = 0.0;
+          for (int j = 0; j < m; ++j) {
+            const double s = ToSpin(matrix.At(i, j));
+            pmean[j] += s;
+            if (s != 0.0) pcov[j] += 1.0;
+            vote += s;
+          }
+          if (vote != 0.0) {
+            mv_total_part[chunk] += 1.0;
+            if (vote > 0.0) mv_positive_part[chunk] += 1.0;
+          }
+        }
+      }));
   std::vector<double> mean(m, 0.0), coverage(m, 0.0);
   double mv_positive = 1.0, mv_total = 2.0;  // Laplace
-  for (int i = 0; i < n; ++i) {
-    double vote = 0.0;
+  for (int c = 0; c < chunks; ++c) {
     for (int j = 0; j < m; ++j) {
-      const double s = ToSpin(matrix.At(i, j));
-      mean[j] += s;
-      if (s != 0.0) coverage[j] += 1.0;
-      vote += s;
+      mean[j] += mean_part[c][j];
+      coverage[j] += coverage_part[c][j];
     }
-    if (vote != 0.0) {
-      mv_total += 1.0;
-      if (vote > 0.0) mv_positive += 1.0;
-    }
+    mv_positive += mv_positive_part[c];
+    mv_total += mv_total_part[c];
   }
   for (int j = 0; j < m; ++j) {
     mean[j] /= n;
@@ -52,17 +78,26 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   const double ey = 2.0 * positive_prior_ - 1.0;
   const double var_y = std::max(1e-3, 1.0 - ey * ey);
 
-  // Spin covariance with a ridge (abstains contribute 0 spins).
+  // Spin covariance with a ridge (abstains contribute 0 spins). Parallel
+  // over rows j of Σ: each task owns row j and accumulates over i in
+  // ascending order — the same association as a serial i-outer loop — so
+  // the result is bitwise identical at any thread count. (Column-major
+  // LabelMatrix storage also makes the i-inner scan the cache-friendly
+  // direction.)
   Matrix sigma(m, m);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < m; ++j) {
-      const double sj = ToSpin(matrix.At(i, j)) - mean[j];
-      if (sj == 0.0) continue;
-      for (int k = j; k < m; ++k) {
-        sigma(j, k) += sj * (ToSpin(matrix.At(i, k)) - mean[k]);
-      }
-    }
-  }
+  RETURN_IF_ERROR(ParallelForChunks(
+      ComputePool(), m, /*grain=*/1, options_.limits, "metal.completion",
+      [&](int /*chunk*/, int begin, int end) {
+        for (int j = begin; j < end; ++j) {
+          for (int i = 0; i < n; ++i) {
+            const double sj = ToSpin(matrix.At(i, j)) - mean[j];
+            if (sj == 0.0) continue;
+            for (int k = j; k < m; ++k) {
+              sigma(j, k) += sj * (ToSpin(matrix.At(i, k)) - mean[k]);
+            }
+          }
+        }
+      }));
   for (int j = 0; j < m; ++j) {
     for (int k = j; k < m; ++k) {
       sigma(j, k) /= n;
@@ -95,16 +130,28 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   }
   const double step = options_.gd_learning_rate / max_abs_k;
   std::vector<double> grad(m);
+  // Each grad[i] is an independent dot over j accumulated in ascending j
+  // order, so the parallel gradient is bitwise identical to the serial one.
+  // Small systems stay serial: the launch would cost more than the sweep.
+  ThreadPool* const gd_pool = m >= 64 ? ComputePool() : nullptr;
+  const int gd_grain = BoundedGrain(m, 16, 64);
   for (int iter = 0; iter < options_.gd_iterations; ++iter) {
+    if ((iter & 31) == 0)
+      RETURN_IF_ERROR(options_.limits.Check("metal.completion"));
     // grad_i = 4 * sum_{j != i} (K_ij + z_i z_j) z_j.
-    for (int i = 0; i < m; ++i) {
-      double g = 0.0;
-      for (int j = 0; j < m; ++j) {
-        if (j == i) continue;
-        g += (k_matrix(i, j) + z[i] * z[j]) * z[j];
-      }
-      grad[i] = 4.0 * g;
-    }
+    const Status gd_status = ParallelForChunks(
+        gd_pool, m, gd_grain, RunLimits::Unlimited(), "metal.completion",
+        [&](int /*chunk*/, int begin, int end) {
+          for (int i = begin; i < end; ++i) {
+            double g = 0.0;
+            for (int j = 0; j < m; ++j) {
+              if (j == i) continue;
+              g += (k_matrix(i, j) + z[i] * z[j]) * z[j];
+            }
+            grad[i] = 4.0 * g;
+          }
+        });
+    CHECK(gd_status.ok());  // unlimited budget: Check can never trip
     for (int i = 0; i < m; ++i) {
       z[i] = std::clamp(z[i] - step * grad[i], -100.0, 100.0);
     }
@@ -135,7 +182,7 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   }
   if (!finite) {
     // The completion solve diverged; fall back to the robust estimator.
-    fallback_.emplace();
+    fallback_.emplace(fallback_options);
     return fallback_->Fit(matrix, num_classes);
   }
   return Status::Ok();

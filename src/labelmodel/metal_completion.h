@@ -22,6 +22,9 @@ struct MetalCompletionOptions {
   /// off-diagonal system has too few equations) and the model delegates to
   /// the robust triplet estimator (MetalModel).
   int min_lfs_for_completion = 8;
+  /// Checked per chunk inside the row scans and covariance build; trips as
+  /// DeadlineExceeded / Cancelled. Propagated into the triplet fallback.
+  RunLimits limits;
 };
 
 /// The MeTaL label model (Ratner et al. 2019) specialized to one binary
@@ -45,6 +48,9 @@ class MetalCompletionModel : public LabelModel {
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "metal-completion"; }
+  void set_limits(const RunLimits& limits) override {
+    options_.limits = limits;
+  }
 
   /// Recovered accuracy parameter a_j = E[λ_j Y | λ_j active].
   double accuracy_param(int lf_index) const {

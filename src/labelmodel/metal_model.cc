@@ -11,6 +11,7 @@
 #include "util/fault.h"
 #include "util/numeric_guard.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace activedp {
 
@@ -38,30 +39,51 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
   num_lfs_ = m;
 
   // Per-row active (column, spin) lists keep the pairwise pass
-  // O(sum_i |active_i|^2) instead of O(n m^2).
+  // O(sum_i |active_i|^2) instead of O(n m^2). Rows are processed in
+  // fixed-size chunks with per-chunk partial moment matrices combined in
+  // chunk order; every accumulated term is a spin product in {-1, +1} (or a
+  // count of 1.0), so the sums are exact integers and the combined result is
+  // bitwise identical at any thread count. Chunk count is capped so the
+  // partial matrices stay O(64 m^2) total.
+  const int grain = BoundedGrain(n, 1024, 32);
+  const int chunks = NumChunks(n, grain);
+  std::vector<Matrix> pair_sum_part(chunks), pair_count_part(chunks);
+  std::vector<double> mv_spin(n, 0.0);  // majority-vote spin per row
+  RETURN_IF_ERROR(ParallelForChunks(
+      ComputePool(), n, grain, options_.limits, "metal.fit",
+      [&](int chunk, int begin, int end) {
+        Matrix& psum = pair_sum_part[chunk];
+        Matrix& pcount = pair_count_part[chunk];
+        psum = Matrix(m, m);
+        pcount = Matrix(m, m);
+        std::vector<std::pair<int, double>> active;
+        for (int i = begin; i < end; ++i) {
+          active.clear();
+          double vote = 0.0;
+          for (int j = 0; j < m; ++j) {
+            const double s = ToSpin(matrix.At(i, j));
+            if (s == 0.0) continue;
+            active.emplace_back(j, s);
+            vote += s;
+          }
+          mv_spin[i] = vote > 0.0 ? 1.0 : (vote < 0.0 ? -1.0 : 0.0);
+          for (size_t a = 0; a < active.size(); ++a) {
+            for (size_t b = a + 1; b < active.size(); ++b) {
+              const int ja = active[a].first, jb = active[b].first;
+              psum(ja, jb) += active[a].second * active[b].second;
+              pcount(ja, jb) += 1.0;
+            }
+          }
+        }
+      }));
   Matrix pair_sum(m, m);
   Matrix pair_count(m, m);
-  std::vector<std::pair<int, double>> active;
-  std::vector<double> mv_spin(n, 0.0);  // majority-vote spin per row
-  for (int i = 0; i < n; ++i) {
-    if ((i & 1023) == 0) RETURN_IF_ERROR(options_.limits.Check("metal.fit"));
-    active.clear();
-    double vote = 0.0;
-    for (int j = 0; j < m; ++j) {
-      const double s = ToSpin(matrix.At(i, j));
-      if (s == 0.0) continue;
-      active.emplace_back(j, s);
-      vote += s;
-    }
-    mv_spin[i] = vote > 0.0 ? 1.0 : (vote < 0.0 ? -1.0 : 0.0);
-    for (size_t a = 0; a < active.size(); ++a) {
-      for (size_t b = a + 1; b < active.size(); ++b) {
-        const int ja = active[a].first, jb = active[b].first;
-        pair_sum(ja, jb) += active[a].second * active[b].second;
-        pair_count(ja, jb) += 1.0;
-      }
-    }
+  for (int c = 0; c < chunks; ++c) {
+    pair_sum.AddInPlace(pair_sum_part[c]);
+    pair_count.AddInPlace(pair_count_part[c]);
   }
+  pair_sum_part.clear();
+  pair_count_part.clear();
 
   auto moment = [&](int i, int j, double* out) {
     const int a = std::min(i, j), b = std::max(i, j);
@@ -79,18 +101,24 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
   }
   positive_prior_ = pos / total;
 
-  // Agreement-with-majority-vote fallback accuracies.
+  // Agreement-with-majority-vote fallback accuracies. Parallel over LFs:
+  // each j owns its slot and its n-scan accumulates in the same i order as
+  // the serial loop, so the result is thread-count independent.
   std::vector<double> fallback(m, 0.5);
-  for (int j = 0; j < m; ++j) {
-    double agree = 0.0, count = 0.0;
-    for (int i = 0; i < n; ++i) {
-      const double s = ToSpin(matrix.At(i, j));
-      if (s == 0.0 || mv_spin[i] == 0.0) continue;
-      count += 1.0;
-      agree += s * mv_spin[i];
-    }
-    fallback[j] = count > 0.0 ? agree / count : 0.5;
-  }
+  RETURN_IF_ERROR(ParallelForChunks(
+      ComputePool(), m, /*grain=*/1, options_.limits, "metal.fit",
+      [&](int /*chunk*/, int begin, int end) {
+        for (int j = begin; j < end; ++j) {
+          double agree = 0.0, count = 0.0;
+          for (int i = 0; i < n; ++i) {
+            const double s = ToSpin(matrix.At(i, j));
+            if (s == 0.0 || mv_spin[i] == 0.0) continue;
+            count += 1.0;
+            agree += s * mv_spin[i];
+          }
+          fallback[j] = count > 0.0 ? agree / count : 0.5;
+        }
+      }));
 
   Rng rng(options_.seed);
   accuracies_.assign(m, 0.0);

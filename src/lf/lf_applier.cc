@@ -1,6 +1,7 @@
 #include "lf/lf_applier.h"
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace activedp {
 
@@ -69,10 +70,18 @@ double LabelMatrix::OverallCoverage() const {
 }
 
 std::vector<int8_t> ApplyLf(const LabelFunction& lf, const Dataset& dataset) {
-  std::vector<int8_t> out(dataset.size());
-  for (int i = 0; i < dataset.size(); ++i) {
-    out[i] = static_cast<int8_t>(lf.Apply(dataset.example(i)));
-  }
+  const int n = dataset.size();
+  std::vector<int8_t> out(n);
+  // Row-partitioned: every entry is written by exactly one chunk, so the
+  // matrix is bitwise identical at any thread count.
+  const Status status = ParallelForChunks(
+      ComputePool(), n, BoundedGrain(n, 256, 1024), RunLimits::Unlimited(),
+      "lf.apply", [&](int /*chunk*/, int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          out[i] = static_cast<int8_t>(lf.Apply(dataset.example(i)));
+        }
+      });
+  CHECK(status.ok());  // unlimited budget: Check can never trip
   return out;
 }
 

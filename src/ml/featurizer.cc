@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace activedp {
 
@@ -50,9 +51,18 @@ std::unique_ptr<Featurizer> MakeFeaturizer(const Dataset& train) {
 
 std::vector<SparseVector> FeaturizeAll(const Featurizer& featurizer,
                                        const Dataset& dataset) {
-  std::vector<SparseVector> out;
-  out.reserve(dataset.size());
-  for (const auto& e : dataset.examples()) out.push_back(featurizer.Transform(e));
+  const int n = dataset.size();
+  std::vector<SparseVector> out(n);
+  // Each example's vector is written by exactly one chunk: bitwise identical
+  // at any thread count.
+  const Status status = ParallelForChunks(
+      ComputePool(), n, BoundedGrain(n, 128, 1024), RunLimits::Unlimited(),
+      "featurize", [&](int /*chunk*/, int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          out[i] = featurizer.Transform(dataset.example(i));
+        }
+      });
+  CHECK(status.ok());  // unlimited budget: Check can never trip
   return out;
 }
 

@@ -49,6 +49,9 @@ PrecisionRecallF1 BinaryPrf(const std::vector<int>& predictions,
   CHECK_EQ(predictions.size(), labels.size());
   int tp = 0, fp = 0, fn = 0;
   for (size_t i = 0; i < predictions.size(); ++i) {
+    // Abstains are skipped, matching Accuracy: counting them as negative
+    // predictions would silently inflate fn and depress recall.
+    if (predictions[i] < 0) continue;
     const bool pred_pos = predictions[i] == positive_class;
     const bool true_pos = labels[i] == positive_class;
     if (pred_pos && true_pos) ++tp;

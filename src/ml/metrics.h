@@ -27,7 +27,9 @@ struct PrecisionRecallF1 {
   double f1 = 0.0;
 };
 
-/// One-vs-rest precision/recall/F1 for `positive_class`.
+/// One-vs-rest precision/recall/F1 for `positive_class`. Abstaining
+/// predictions (< 0) are skipped, consistent with Accuracy — an abstain is
+/// "no prediction", not a negative vote.
 PrecisionRecallF1 BinaryPrf(const std::vector<int>& predictions,
                             const std::vector<int>& labels,
                             int positive_class);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace activedp {
 
@@ -10,18 +11,37 @@ TfidfFeaturizer TfidfFeaturizer::Fit(const Dataset& train,
                                      TfidfOptions options) {
   const int vocab_size = train.vocabulary().size();
   CHECK_GT(vocab_size, 0) << "TF-IDF requires a built vocabulary";
+  const int n = train.size();
+  // Document frequencies via per-chunk partial counts combined in chunk
+  // order. Integer sums are exact under any grouping, so the result is
+  // bitwise identical at every thread count. Chunk count is capped so the
+  // partial df vectors stay small next to the corpus itself.
+  const int grain = BoundedGrain(n, 1024, 16);
+  const int chunks = NumChunks(n, grain);
+  std::vector<std::vector<int>> partial(chunks);
+  const Status status = ParallelForChunks(
+      ComputePool(), n, grain, RunLimits::Unlimited(), "tfidf.fit",
+      [&](int chunk, int begin, int end) {
+        std::vector<int>& df = partial[chunk];
+        df.assign(vocab_size, 0);
+        for (int i = begin; i < end; ++i) {
+          for (const auto& [term, count] : train.example(i).term_counts) {
+            if (term >= 0 && term < vocab_size) ++df[term];
+          }
+        }
+      });
+  CHECK(status.ok());  // unlimited budget: Check can never trip
   std::vector<int> df(vocab_size, 0);
-  for (const auto& example : train.examples()) {
-    for (const auto& [term, count] : example.term_counts) {
-      if (term >= 0 && term < vocab_size) ++df[term];
-    }
+  for (const auto& part : partial) {
+    for (int t = 0; t < vocab_size; ++t) df[t] += part[t];
   }
+
   TfidfFeaturizer featurizer;
   featurizer.options_ = options;
   featurizer.idf_.resize(vocab_size);
-  const double n = static_cast<double>(train.size());
+  const double num_docs = static_cast<double>(n);
   for (int t = 0; t < vocab_size; ++t) {
-    featurizer.idf_[t] = std::log((1.0 + n) / (1.0 + df[t])) + 1.0;
+    featurizer.idf_[t] = std::log((1.0 + num_docs) / (1.0 + df[t])) + 1.0;
   }
   return featurizer;
 }
@@ -32,6 +52,7 @@ SparseVector TfidfFeaturizer::Transform(const Example& example) const {
   out.values.reserve(example.term_counts.size());
   for (const auto& [term, count] : example.term_counts) {
     if (term < 0 || term >= dim()) continue;  // out-of-vocabulary
+    if (count <= 0) continue;  // sublinear 1 + log(0) would give -inf
     double tf = static_cast<double>(count);
     if (options_.sublinear_tf) tf = 1.0 + std::log(tf);
     out.PushBack(term, tf * idf_[term]);

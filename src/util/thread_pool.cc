@@ -1,8 +1,19 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/check.h"
 
 namespace activedp {
+namespace {
+
+/// The pool whose WorkerLoop the current thread is running, if any. Lets a
+/// nested ParallelFor / TaskBatch on the same pool detect the cycle and run
+/// inline instead of blocking a worker on work only workers can do.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -24,60 +35,232 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
+void ThreadPool::Enqueue(std::shared_ptr<BatchState> batch,
+                         std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> batch_lock(batch->mutex);
+    ++batch->pending;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     CHECK(!shutdown_);
-    tasks_.push(std::move(task));
-    ++pending_;
+    tasks_.push_back(Task{std::move(batch), std::move(fn)});
   }
   task_available_.notify_one();
 }
 
+void ThreadPool::RunTask(Task task) {
+  if (!task.batch->cancelled.load(std::memory_order_acquire)) {
+    try {
+      task.fn();
+    } catch (...) {
+      {
+        std::unique_lock<std::mutex> lock(task.batch->mutex);
+        if (!task.batch->error) task.batch->error = std::current_exception();
+      }
+      task.batch->cancelled.store(true, std::memory_order_release);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(task.batch->mutex);
+    if (--task.batch->pending == 0) task.batch->done.notify_all();
+  }
+}
+
+void ThreadPool::WaitBatch(const std::shared_ptr<BatchState>& batch) {
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done.wait(lock, [&batch] { return batch->pending == 0; });
+}
+
+void ThreadPool::RethrowBatchError(const std::shared_ptr<BatchState>& batch) {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    error = std::exchange(batch->error, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  std::shared_ptr<BatchState> batch;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    CHECK(!shutdown_);
+    if (default_batch_ == nullptr) {
+      default_batch_ = std::make_shared<BatchState>();
+    }
+    batch = default_batch_;
+  }
+  Enqueue(std::move(batch), std::move(task));
+}
+
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  std::shared_ptr<BatchState> batch;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch = std::exchange(default_batch_, nullptr);
+  }
+  if (batch == nullptr) return;  // nothing submitted since the last wave
+  WaitBatch(batch);
+  RethrowBatchError(batch);
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(lock,
                            [this] { return shutdown_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // shutdown_ and drained
       task = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --pending_;
-      if (pending_ == 0) all_done_.notify_all();
-    }
+    RunTask(std::move(task));
   }
+}
+
+TaskBatch::TaskBatch(ThreadPool* pool)
+    : pool_(pool),
+      inline_mode_(pool == nullptr || pool->num_threads() <= 1 ||
+                   pool->OnWorkerThread()),
+      state_(std::make_shared<ThreadPool::BatchState>()) {}
+
+TaskBatch::~TaskBatch() {
+  // Stragglers may still reference stack state captured by reference; never
+  // let the batch object die before they do. Errors are intentionally
+  // swallowed here — Wait() is the reporting channel.
+  if (!inline_mode_) ThreadPool::WaitBatch(state_);
+}
+
+void TaskBatch::Submit(std::function<void()> task) {
+  if (inline_mode_) {
+    ThreadPool::Task t{state_, std::move(task)};
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      ++state_->pending;
+    }
+    ThreadPool::RunTask(std::move(t));
+    return;
+  }
+  pool_->Enqueue(state_, std::move(task));
+}
+
+void TaskBatch::Wait() {
+  if (!inline_mode_) ThreadPool::WaitBatch(state_);
+  ThreadPool::RethrowBatchError(state_);
 }
 
 void ParallelFor(ThreadPool* pool, int n,
                  const std::function<void(int)>& body) {
-  if (pool == nullptr || pool->num_threads() <= 1) {
+  if (n <= 0) return;
+  TaskBatch batch(pool);
+  if (batch.inline_mode()) {
     for (int i = 0; i < n; ++i) body(i);
     return;
   }
+  // Work-sharing: one looping task per worker pulling indices from a shared
+  // counter. `next` and `body` outlive the tasks because Wait() (and the
+  // batch destructor, if Wait throws) blocks until every task finished.
   std::atomic<int> next{0};
-  int workers = pool->num_threads();
-  if (workers > n) workers = n;
+  const int workers = std::min(pool->num_threads(), n);
   for (int w = 0; w < workers; ++w) {
-    pool->Submit([&next, n, &body] {
-      while (true) {
-        int i = next.fetch_add(1);
+    batch.Submit([&next, &body, &batch, n] {
+      while (!batch.cancelled()) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         body(i);
       }
     });
   }
-  pool->Wait();
+  batch.Wait();
+}
+
+int BoundedGrain(int n, int min_grain, int max_chunks) {
+  CHECK_GT(min_grain, 0);
+  CHECK_GT(max_chunks, 0);
+  if (n <= 0) return min_grain;
+  return std::max(min_grain, (n + max_chunks - 1) / max_chunks);
+}
+
+Status ParallelForChunks(
+    ThreadPool* pool, int n, int grain, const RunLimits& limits,
+    std::string_view stage,
+    const std::function<void(int chunk, int begin, int end)>& body) {
+  CHECK_GT(grain, 0);
+  const int chunks = NumChunks(n, grain);
+  if (chunks == 0) return Status::Ok();
+
+  TaskBatch batch(pool);
+  if (batch.inline_mode()) {
+    for (int c = 0; c < chunks; ++c) {
+      RETURN_IF_ERROR(limits.Check(stage));
+      body(c, c * grain, std::min(n, (c + 1) * grain));
+    }
+    return Status::Ok();
+  }
+
+  // One status slot per chunk: each slot is written by at most one task, and
+  // the lowest failed index is returned, so the reported trip does not
+  // depend on scheduling order among the chunks that actually ran.
+  std::vector<Status> chunk_status(chunks, Status::Ok());
+  std::atomic<int> next{0};
+  const int workers = std::min(pool->num_threads(), chunks);
+  for (int w = 0; w < workers; ++w) {
+    batch.Submit([&, n, grain, chunks] {
+      while (!batch.cancelled()) {
+        const int c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) return;
+        const Status limit = limits.Check(stage);
+        if (!limit.ok()) {
+          chunk_status[c] = limit;
+          batch.Cancel();
+          return;
+        }
+        body(c, c * grain, std::min(n, (c + 1) * grain));
+      }
+    });
+  }
+  batch.Wait();
+  for (int c = 0; c < chunks; ++c) {
+    if (!chunk_status[c].ok()) return chunk_status[c];
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+std::mutex compute_pool_mutex;
+std::unique_ptr<ThreadPool> compute_pool;
+int compute_pool_threads = 1;
+
+}  // namespace
+
+ThreadPool* ComputePool() {
+  std::unique_lock<std::mutex> lock(compute_pool_mutex);
+  return compute_pool.get();
+}
+
+int ComputePoolThreads() {
+  std::unique_lock<std::mutex> lock(compute_pool_mutex);
+  return compute_pool_threads;
+}
+
+void SetComputePoolThreads(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  std::unique_lock<std::mutex> lock(compute_pool_mutex);
+  if (num_threads == compute_pool_threads) return;
+  compute_pool.reset();  // joins the old workers
+  compute_pool_threads = num_threads;
+  if (num_threads > 1) {
+    compute_pool = std::make_unique<ThreadPool>(num_threads);
+  }
 }
 
 }  // namespace activedp

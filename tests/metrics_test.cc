@@ -39,6 +39,23 @@ TEST(MetricsTest, BinaryPrf) {
   EXPECT_DOUBLE_EQ(prf.f1, 0.5);
 }
 
+TEST(MetricsTest, BinaryPrfSkipsAbstains) {
+  // Regression: abstains (-1) used to count as negative predictions,
+  // inflating fn and depressing recall. With the two abstains skipped this
+  // is the same confusion as the BinaryPrf test above: tp=1 fp=1 fn=1.
+  const PrecisionRecallF1 prf =
+      BinaryPrf({1, -1, 1, 0, -1, 0}, {1, 1, 0, 1, 0, 0}, 1);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.5);
+
+  // All-abstain input yields zeros, not a division crash.
+  const PrecisionRecallF1 empty = BinaryPrf({-1, -1}, {1, 0}, 1);
+  EXPECT_DOUBLE_EQ(empty.precision, 0.0);
+  EXPECT_DOUBLE_EQ(empty.recall, 0.0);
+  EXPECT_DOUBLE_EQ(empty.f1, 0.0);
+}
+
 TEST(MetricsTest, BinaryPrfDegenerate) {
   const PrecisionRecallF1 prf = BinaryPrf({0, 0}, {0, 0}, 1);
   EXPECT_DOUBLE_EQ(prf.precision, 0.0);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 
 #include "text/stopwords.h"
@@ -167,6 +168,48 @@ TEST(TfidfTest, SublinearTfDampensCounts) {
     if (b.indices[k] == spam) raw_val = b.values[k];
   }
   EXPECT_LT(sub_val, raw_val);
+}
+
+TEST(TfidfTest, ZeroCountTermStaysFinite) {
+  // Regression: with sublinear_tf a zero count hit 1 + log(0) = -inf, which
+  // the L2 normalization then spread across the whole vector as NaNs.
+  const Dataset dataset = TinyTextDataset();
+  const TfidfFeaturizer tfidf = TfidfFeaturizer::Fit(dataset);
+  Example e;
+  e.term_counts = {{dataset.vocabulary().GetId("spam"), 0},
+                   {dataset.vocabulary().GetId("money"), 1}};
+  const SparseVector v = tfidf.Transform(e);
+  EXPECT_EQ(v.nnz(), 1);  // the zero-count term contributes nothing
+  for (double value : v.values) EXPECT_TRUE(std::isfinite(value));
+}
+
+TEST(TfidfTest, AllZeroCountsYieldEmptyVector) {
+  const Dataset dataset = TinyTextDataset();
+  const TfidfFeaturizer tfidf = TfidfFeaturizer::Fit(dataset);
+  Example e;
+  e.term_counts = {{0, 0}, {1, 0}};
+  const SparseVector v = tfidf.Transform(e);
+  EXPECT_EQ(v.nnz(), 0);
+}
+
+TEST(TfidfTest, EmptyDocumentTransformsToEmptyVector) {
+  const Dataset dataset = TinyTextDataset();
+  const TfidfFeaturizer tfidf = TfidfFeaturizer::Fit(dataset);
+  const SparseVector v = tfidf.Transform(Example{});
+  EXPECT_EQ(v.nnz(), 0);
+}
+
+TEST(TfidfTest, OutOfVocabularyMixedWithZeroCount) {
+  const Dataset dataset = TinyTextDataset();
+  const TfidfFeaturizer tfidf = TfidfFeaturizer::Fit(dataset);
+  Example e;
+  e.term_counts = {{-1, 3},
+                   {dataset.vocabulary().size() + 1, 0},
+                   {dataset.vocabulary().GetId("hello"), 2}};
+  const SparseVector v = tfidf.Transform(e);
+  ASSERT_EQ(v.nnz(), 1);
+  EXPECT_EQ(v.indices[0], dataset.vocabulary().GetId("hello"));
+  EXPECT_TRUE(std::isfinite(v.values[0]));
 }
 
 }  // namespace

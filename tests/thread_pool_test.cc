@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace activedp {
 namespace {
@@ -109,6 +116,190 @@ TEST(ParallelForTest, ZeroIterations) {
   bool called = false;
   ParallelFor(&pool, 0, [&](int) { called = true; });
   EXPECT_FALSE(called);
+}
+
+// --- Batch-scoped waiting (regression: Wait used to latch a pool-global
+// pending counter, so concurrent batches waited on each other's tasks and a
+// nested batch deadlocked). ---
+
+TEST(TaskBatchTest, WaitDoesNotBlockOnOtherBatchesTasks) {
+  ThreadPool pool(4);
+  // Batch B parks a task on a promise that is only released *after* batch
+  // A's Wait() returns. With a pool-global counter this deadlocks; with
+  // per-batch latches A's Wait sees only A's tasks.
+  std::promise<void> release_b;
+  std::shared_future<void> gate(release_b.get_future());
+  TaskBatch batch_b(&pool);
+  batch_b.Submit([gate] { gate.wait(); });
+
+  std::atomic<int> a_count{0};
+  TaskBatch batch_a(&pool);
+  for (int i = 0; i < 8; ++i) {
+    batch_a.Submit([&a_count] { a_count.fetch_add(1); });
+  }
+  batch_a.Wait();  // must return while B's task is still parked
+  EXPECT_EQ(a_count.load(), 8);
+
+  release_b.set_value();
+  batch_b.Wait();
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForBatchesComplete) {
+  // Two threads drive independent ParallelFor batches over one pool; both
+  // must finish promptly (the issue's regression deadline: well under 5s).
+  ThreadPool pool(4);
+  Timer timer;
+  std::atomic<int> total{0};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 2; ++t) {
+    drivers.emplace_back([&pool, &total] {
+      ParallelFor(&pool, 200, [&total](int) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        total.fetch_add(1);
+      });
+    });
+  }
+  for (auto& d : drivers) d.join();
+  EXPECT_EQ(total.load(), 400);
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+}
+
+TEST(ParallelForTest, NestedCallFallsBackToInline) {
+  // A ParallelFor issued from inside a worker of the same pool must not
+  // block that worker on work only workers can run. With 2 workers and 4
+  // outer iterations, the old design deadlocked; the new one runs the inner
+  // loops inline.
+  ThreadPool pool(2);
+  Timer timer;
+  std::atomic<int> inner_total{0};
+  ParallelFor(&pool, 4, [&pool, &inner_total](int) {
+    ParallelFor(&pool, 8, [&inner_total](int) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+}
+
+// --- Exception safety (regression: a throwing body escaped the worker
+// thread and called std::terminate). ---
+
+TEST(ParallelForTest, ThrowingBodyRethrowsInCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [](int i) {
+                    if (i == 13) throw std::runtime_error("body failed");
+                  }),
+      std::runtime_error);
+
+  // The pool survives and the next batch is clean.
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 10, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, ThrowingBodyRethrowsInlineToo) {
+  EXPECT_THROW(ParallelFor(nullptr, 5,
+                           [](int i) {
+                             if (i == 2) throw std::runtime_error("inline");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitWaitRethrowsFirstException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("legacy submit"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+
+  // Usable after the failed wave.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 4; ++i) pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(TaskBatchTest, CancelSkipsBodiesNotYetStarted) {
+  ThreadPool pool(2);
+  TaskBatch batch(&pool);
+  batch.Cancel();
+  std::atomic<int> ran{0};
+  batch.Submit([&ran] { ran.fetch_add(1); });
+  batch.Wait();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// --- Chunked loops: RunLimits per chunk, deterministic boundaries. ---
+
+TEST(ParallelForChunksTest, HonorsCancellationPerChunk) {
+  ThreadPool pool(2);
+  CancellationSource source;
+  source.Cancel();
+  RunLimits limits;
+  limits.cancel = source.token();
+  std::atomic<int> ran{0};
+  const Status status =
+      ParallelForChunks(&pool, 100, 10, limits, "test.stage",
+                        [&ran](int, int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelForChunksTest, HonorsDeadlinePerChunk) {
+  ThreadPool pool(2);
+  RunLimits limits;
+  limits.deadline = Deadline::After(0.0);
+  const Status status = ParallelForChunks(&pool, 100, 10, limits,
+                                          "test.stage", [](int, int, int) {});
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ParallelForChunksTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto collect = [](ThreadPool* pool) {
+    std::mutex mutex;
+    std::vector<std::tuple<int, int, int>> chunks;
+    const Status status = ParallelForChunks(
+        pool, 1003, 64, RunLimits::Unlimited(), "test.stage",
+        [&](int chunk, int begin, int end) {
+          std::lock_guard<std::mutex> lock(mutex);
+          chunks.emplace_back(chunk, begin, end);
+        });
+    EXPECT_TRUE(status.ok());
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  ThreadPool pool(4);
+  EXPECT_EQ(collect(nullptr), collect(&pool));
+}
+
+TEST(ParallelForChunksTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(517);
+  const Status status = ParallelForChunks(
+      &pool, 517, 32, RunLimits::Unlimited(), "test.stage",
+      [&counts](int, int begin, int end) {
+        for (int i = begin; i < end; ++i) counts[i].fetch_add(1);
+      });
+  EXPECT_TRUE(status.ok());
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(BoundedGrainTest, CapsChunkCountAndRespectsMinimum) {
+  EXPECT_EQ(BoundedGrain(100, 10, 4), 25);   // 4 chunks of 25
+  EXPECT_EQ(BoundedGrain(100, 50, 4), 50);   // min_grain dominates
+  EXPECT_EQ(NumChunks(100, 25), 4);
+  EXPECT_EQ(NumChunks(0, 25), 0);
+  EXPECT_EQ(NumChunks(1, 25), 1);
+}
+
+TEST(ComputePoolTest, SerialByDefaultAndReconfigurable) {
+  EXPECT_GE(ComputePoolThreads(), 1);
+  SetComputePoolThreads(3);
+  EXPECT_EQ(ComputePoolThreads(), 3);
+  ASSERT_NE(ComputePool(), nullptr);
+  std::atomic<int> counter{0};
+  ParallelFor(ComputePool(), 50, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+  SetComputePoolThreads(1);
+  EXPECT_EQ(ComputePool(), nullptr);
 }
 
 }  // namespace
