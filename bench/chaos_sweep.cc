@@ -34,9 +34,11 @@
 #include "data/dataset_zoo.h"
 #include "util/fault.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/retry.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace activedp {
 namespace {
@@ -334,6 +336,12 @@ int Main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() / "activedp-chaos").string();
   std::filesystem::create_directories(tmpdir);
 
+  // The sweep runs traced end to end: the exported timeline carries every
+  // fault fire, retry and degradation the scenarios provoke, which is the
+  // event-folding contract's best stress test.
+  MetricsRegistry::Global().ResetAll();
+  Tracer::Global().Enable();
+
   Watchdog watchdog;
   int scenarios = 0;
   int failures = 0;
@@ -377,6 +385,15 @@ int Main(int argc, char** argv) {
                   "(seed %llu)\n",
                   static_cast<unsigned long long>(seed));
     }
+  }
+
+  const RunTrace trace = Tracer::Global().Collect();
+  Tracer::Global().Disable();
+  std::printf("\n%s", trace.Summary().ToString().c_str());
+  const Status trace_written = WriteRunTrace(trace, ".", "CHAOS_sweep");
+  if (!trace_written.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n",
+                 trace_written.ToString().c_str());
   }
 
   std::printf("\n%d scenarios, %d failures, %.1fs total\n", scenarios,

@@ -36,10 +36,12 @@
 #include "ml/metrics.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace activedp {
 namespace {
@@ -254,15 +256,31 @@ int Main(int argc, char** argv) {
   const Dataset data = GenerateSyntheticText(config, rng);
   const int num_lfs = flags.GetInt("lfs");
 
+  // Trace the benchmark itself: each thread-count pass lands on its own
+  // track, and the per-stage summary below cross-checks the Timer numbers.
+  MetricsRegistry::Global().ResetAll();
+  Tracer::Global().Enable();
+
   std::vector<RunResultRow> rows;
-  for (int threads : thread_counts) {
+  for (size_t pass = 0; pass < thread_counts.size(); ++pass) {
+    const int threads = thread_counts[pass];
     SetComputePoolThreads(threads);
+    TraceTrackScope track(static_cast<int>(pass));
     rows.push_back(RunOnce(data, num_lfs, threads));
     const RunResultRow& row = rows.back();
     LOG(Info) << "threads=" << row.threads << " end_to_end="
               << row.end_to_end_seconds << "s";
   }
   SetComputePoolThreads(1);
+
+  const RunTrace trace = Tracer::Global().Collect();
+  Tracer::Global().Disable();
+  std::printf("%s", trace.Summary().ToString().c_str());
+  const Status trace_written = WriteRunTrace(trace, ".", "BENCH_pipeline");
+  if (!trace_written.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n",
+                 trace_written.ToString().c_str());
+  }
 
   // Determinism gate: every stage digest must match the serial run's.
   bool deterministic = true;

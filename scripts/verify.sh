@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Full verification gate for a PR:
 #   1. tier-1 build + ctest (the suite every PR must keep green)
-#   2. the same suite under the ASan+UBSan preset
-#   3. the thread-pool and parallel-stage tests under TSan
+#   2. the observability suite (ctest -L trace: tracer, metrics, log sink)
+#   3. the same suite under the ASan+UBSan preset
+#   4. the thread-pool, parallel-stage and observability tests under TSan
 #      (-DACTIVEDP_SANITIZE=thread), which is what certifies the
-#      batch-scoped pool and the chunked reductions race-free
-#   4. the pipeline perf benchmark at smoke size (ctest -L perf), which
+#      batch-scoped pool, the chunked reductions, and the tracer / metrics /
+#      retry-log write paths race-free
+#   5. the pipeline perf benchmark at smoke size (ctest -L perf), which
 #      asserts bitwise determinism across compute-pool thread counts and
-#      writes BENCH_pipeline.json
-#   5. a small-budget chaos sweep (fault sites x kinds x seeds, with
+#      writes BENCH_pipeline.json; each run is archived to bench-archive/
+#      and the per-stage times are compared against the previous archive
+#      (informational only — machines differ, so a regression is printed,
+#      not failed)
+#   6. a small-budget chaos sweep (fault sites x kinds x seeds, with
 #      fault accounting and resumability checks; see bench/chaos_sweep.cc)
 #
 # Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-perf]
-#                          [--skip-chaos]
+#                          [--skip-chaos] [--skip-trace]
 # Runs from any directory; build trees live next to the sources as
 # build/, build-asan/ and build-tsan/.
 set -euo pipefail
@@ -23,20 +28,35 @@ SKIP_ASAN=0
 SKIP_TSAN=0
 SKIP_PERF=0
 SKIP_CHAOS=0
+SKIP_TRACE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
     --skip-chaos) SKIP_CHAOS=1 ;;
+    --skip-trace) SKIP_TRACE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
+
+# Prints "stage seconds" pairs for the serial (first) run row of a
+# BENCH_pipeline.json report.
+stage_times() {
+  grep -m1 '"stages"' "$1" \
+    | grep -oE '"[a-z_]+": \{"seconds": [0-9.eE+-]+' \
+    | sed -E 's/"([a-z_]+)": \{"seconds": ([0-9.eE+-]+)/\1 \2/'
+}
 
 echo "== tier 1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_TRACE" -eq 0 ]]; then
+  echo "== observability suite (ctest -L trace) =="
+  ctest --test-dir build -L trace --output-on-failure -j "$JOBS"
+fi
 
 if [[ "$SKIP_ASAN" -eq 0 ]]; then
   echo "== tier 1 under ASan+UBSan =="
@@ -46,17 +66,46 @@ if [[ "$SKIP_ASAN" -eq 0 ]]; then
 fi
 
 if [[ "$SKIP_TSAN" -eq 0 ]]; then
-  echo "== thread-pool + parallel-stage tests under TSan =="
+  echo "== thread-pool + parallel-stage + observability tests under TSan =="
   cmake -B build-tsan -S . -DACTIVEDP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target thread_pool_test determinism_test
-  ctest --test-dir build-tsan -R "thread_pool_test|determinism_test" \
-    --output-on-failure
+    --target thread_pool_test determinism_test trace_test util_metrics_test \
+             logging_test retry_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test"
 fi
 
 if [[ "$SKIP_PERF" -eq 0 ]]; then
   echo "== perf benchmark (smoke size, determinism gate) =="
   ctest --test-dir build -L perf --output-on-failure
+
+  # Archive the report (plus its trace summary) and compare per-stage times
+  # against the previous archived run. Informational only: hardware and load
+  # vary, so this prints regressions instead of failing on them.
+  BENCH_JSON="build/bench/BENCH_pipeline.json"
+  if [[ -f "$BENCH_JSON" ]]; then
+    mkdir -p bench-archive
+    PREV="$(ls -1t bench-archive/BENCH_pipeline-????????-??????.json 2>/dev/null | head -1 || true)"
+    STAMP="$(date +%Y%m%d-%H%M%S)"
+    cp "$BENCH_JSON" "bench-archive/BENCH_pipeline-$STAMP.json"
+    if [[ -f build/bench/BENCH_pipeline.trace.summary.json ]]; then
+      cp build/bench/BENCH_pipeline.trace.summary.json \
+         "bench-archive/BENCH_pipeline-$STAMP.trace.summary.json"
+    fi
+    echo "archived bench-archive/BENCH_pipeline-$STAMP.json"
+    if [[ -n "$PREV" ]]; then
+      echo "-- serial stage times vs $(basename "$PREV") (informational) --"
+      awk 'NR==FNR { prev[$1] = $2; next }
+           ($1 in prev) && prev[$1] > 0 {
+             ratio = $2 / prev[$1];
+             flag = ratio > 2.0 ? "  <-- slower than previous" : "";
+             printf "  %-12s %9.4fs vs %9.4fs  ratio %5.2fx%s\n",
+                    $1, $2, prev[$1], ratio, flag;
+           }' <(stage_times "$PREV") <(stage_times "$BENCH_JSON")
+    fi
+  else
+    echo "note: $BENCH_JSON not found; skipping archive" >&2
+  fi
 fi
 
 if [[ "$SKIP_CHAOS" -eq 0 ]]; then

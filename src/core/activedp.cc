@@ -7,7 +7,9 @@
 
 #include "util/check.h"
 #include "util/fault.h"
+#include "util/metrics.h"
 #include "util/numeric_guard.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -61,9 +63,14 @@ SamplerContext ActiveDp::BuildSamplerContext() const {
 }
 
 Status ActiveDp::Step() {
+  TraceSpan step_span("activedp.step");
+  MetricsRegistry::Global().counter("activedp.steps").Increment();
   RETURN_IF_ERROR(options_.limits.Check("activedp.step"));
   const SamplerContext sampler_context = BuildSamplerContext();
-  const int query = sampler_->SelectQuery(sampler_context, rng_);
+  const int query = [&]() {
+    TraceSpan span("sampler.select");
+    return sampler_->SelectQuery(sampler_context, rng_);
+  }();
   if (query < 0)
     return Status::FailedPrecondition("all training instances queried");
   CHECK(!queried_[query]);
@@ -73,7 +80,10 @@ Status ActiveDp::Step() {
   FaultInjector& injector = FaultInjector::Global();
   const int oracle_fires_before =
       injector.any_armed() ? injector.fire_count("oracle.create_lf") : 0;
-  std::optional<LfCandidate> response = user_.CreateLf(query);
+  std::optional<LfCandidate> response = [&]() {
+    TraceSpan span("oracle.create_lf");
+    return user_.CreateLf(query);
+  }();
   if (!response.has_value()) {
     // The user could not come up with a (new) rule for this instance; the
     // interaction is spent but the models are unchanged. An *injected*
@@ -89,8 +99,12 @@ Status ActiveDp::Step() {
   }
   const LfPtr lf = response->lf;
   lfs_.push_back(lf);
-  train_matrix_.AddColumn(ApplyLf(*lf, context_->split->train));
-  valid_matrix_.AddColumn(ApplyLf(*lf, context_->split->valid));
+  {
+    TraceSpan span("lf.apply");
+    span.AddArg("num_lfs", static_cast<int64_t>(lfs_.size()));
+    train_matrix_.AddColumn(ApplyLf(*lf, context_->split->train));
+    valid_matrix_.AddColumn(ApplyLf(*lf, context_->split->valid));
+  }
 
   // The LF was designed while looking at the query instance, so it fires on
   // it; its vote is the query's pseudo-label ỹ = λ_t(x_t) (§3.1).
@@ -157,6 +171,8 @@ void ActiveDp::RetrainAlModel() {
   }
   if (!has_two_classes) return;
 
+  TraceSpan span("al_model.fit");
+  span.AddArg("num_labeled", t);
   std::vector<SparseVector> x;
   x.reserve(t);
   for (int idx : query_indices_) x.push_back(context_->train_features[idx]);
@@ -204,6 +220,8 @@ void ActiveDp::RetrainLabelModel() {
   std::vector<int> all(m);
   std::iota(all.begin(), all.end(), 0);
   if (options_.use_label_pick) {
+    TraceSpan pick_span("label_pick");
+    pick_span.AddArg("num_lfs", m);
     Result<std::vector<int>> picked = LabelPick(
         m, context_->num_classes, valid_matrix_, context_->valid_labels,
         train_matrix_.SelectRows(query_indices_), pseudo_labels_,
@@ -227,6 +245,7 @@ void ActiveDp::RetrainLabelModel() {
         selected_ = all;
       }
     }
+    pick_span.AddArg("kept", static_cast<int64_t>(selected_.size()));
   } else {
     selected_ = all;
   }
@@ -236,10 +255,12 @@ void ActiveDp::RetrainLabelModel() {
   // at full quality before the majority-vote fallback below fires. MeTaL's
   // fit fully re-initializes, so a retried fit after a transient fault is
   // bitwise-identical to a fault-free one.
-  const Status fit =
-      retrier_.Run("label_model.fit", options_.limits, [&]() {
-        return label_model_->Fit(train_selected, context_->num_classes);
-      });
+  const Status fit = [&]() {
+    TraceSpan span("label_model.fit");
+    return retrier_.Run("label_model.fit", options_.limits, [&]() {
+      return label_model_->Fit(train_selected, context_->num_classes);
+    });
+  }();
   if (fit.ok()) {
     if (fallback_label_model_ != nullptr) {
       // The configured model recovered; leave the degraded mode.
@@ -269,8 +290,11 @@ void ActiveDp::RetrainLabelModel() {
     }
   }
 
-  const Status predictions = LabelModelPredictions(
-      train_selected, &lm_proba_train_, &lm_active_train_);
+  const Status predictions = [&]() {
+    TraceSpan span("label_model.predict");
+    return LabelModelPredictions(train_selected, &lm_proba_train_,
+                                 &lm_active_train_);
+  }();
   if (!predictions.ok()) {
     if (fallback_label_model_ == nullptr) {
       // The configured model fit but predicts garbage (e.g. non-finite
@@ -346,6 +370,7 @@ std::vector<std::vector<double>> ActiveDp::CurrentTrainingLabels() {
   }
 
   // ConFusion: tune τ on validation, aggregate on train (Eq. 1).
+  TraceSpan span("confusion");
   const std::vector<std::vector<double>> al_valid =
       AlProba(context_->valid_features);
   std::vector<std::vector<double>> lm_valid(context_->split->valid.size());

@@ -7,9 +7,11 @@
 #include "math/vector_ops.h"
 #include "ml/metrics.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -81,6 +83,7 @@ RunResult RunProtocol(InteractiveFramework& framework,
   // uninterrupted run bit for bit.
   int resume_through = 0;
   if (!options.checkpoint_path.empty()) {
+    TraceSpan load_span("checkpoint.load");
     Result<RunCheckpoint> loaded = LoadRunCheckpoint(options.checkpoint_path);
     if (loaded.ok()) {
       resume_through = loaded->completed_iterations;
@@ -102,6 +105,9 @@ RunResult RunProtocol(InteractiveFramework& framework,
   }
   Retrier retrier(options.retry, options.retry_log);
   for (int iteration = 1; iteration <= options.iterations; ++iteration) {
+    TraceSpan round_span("protocol.round");
+    round_span.AddArg("iteration", iteration);
+    MetricsRegistry::Global().counter("protocol.rounds").Increment();
     const Status limit = options.limits.Check("protocol");
     if (!limit.ok()) {
       result.termination =
@@ -109,6 +115,7 @@ RunResult RunProtocol(InteractiveFramework& framework,
                                    std::to_string(iteration - 1) + " of " +
                                    std::to_string(options.iterations) +
                                    " iterations");
+      TraceInstant("deadline", "protocol", result.termination.ToString());
       LOG(Info) << framework.name() << " budget tripped: "
                 << result.termination.ToString();
       break;
@@ -118,6 +125,7 @@ RunResult RunProtocol(InteractiveFramework& framework,
       if (status.code() == StatusCode::kDeadlineExceeded ||
           status.code() == StatusCode::kCancelled) {
         result.termination = status;
+        TraceInstant("deadline", "protocol.step", status.ToString());
       }
       LOG(Debug) << framework.name() << " stopped at iteration " << iteration
                  << ": " << status.ToString();
@@ -127,14 +135,17 @@ RunResult RunProtocol(InteractiveFramework& framework,
     // Replayed iterations reuse the evaluation rows already in `result`.
     if (iteration <= resume_through) continue;
 
+    TraceSpan eval_span("protocol.eval");
     const std::vector<std::vector<double>> labels =
         framework.CurrentTrainingLabels();
     const LabelQuality quality =
         MeasureLabelQuality(labels, context.split->train);
     double accuracy = 0.0;
-    Result<LogisticRegression> end_model =
-        TrainEndModel(context.train_features, labels, context.num_classes,
-                      context.feature_dim, options.end_model);
+    Result<LogisticRegression> end_model = [&]() {
+      TraceSpan fit_span("end_model.fit");
+      return TrainEndModel(context.train_features, labels, context.num_classes,
+                           context.feature_dim, options.end_model);
+    }();
     if (end_model.ok()) {
       accuracy = EvaluateAccuracy(*end_model, context.test_features,
                                   context.test_labels);
@@ -148,6 +159,7 @@ RunResult RunProtocol(InteractiveFramework& framework,
     result.label_coverage.push_back(quality.coverage);
 
     if (!options.checkpoint_path.empty()) {
+      TraceSpan save_span("checkpoint.save");
       RunCheckpoint checkpoint;
       checkpoint.completed_iterations = iteration;
       checkpoint.partial = result;
@@ -176,6 +188,16 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
   CHECK_GT(spec.num_seeds, 0);
   if (spec.compute_threads > 0) SetComputePoolThreads(spec.compute_threads);
 
+  // Arm the tracer for this experiment when a trace sink was requested.
+  // Metrics are reset alongside so the written snapshot covers this run
+  // only. An experiment without trace_dir leaves any caller-armed tracer
+  // alone.
+  const bool tracing = !spec.trace_dir.empty();
+  if (tracing) {
+    MetricsRegistry::Global().ResetAll();
+    Tracer::Global().Enable();
+  }
+
   // Worker isolation: each seed runs under its own cancellation source
   // (child of the experiment token) and, when a per-seed budget is set,
   // its own deadline backed by the watchdog — so one wedged or faulted
@@ -184,6 +206,11 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
 
   // Each seed is a self-contained (dataset, framework, protocol) run.
   auto run_seed = [&spec, &watchdog](int s) -> Result<RunResult> {
+    // Each seed records on its own trace track, so parallel seeds land on
+    // separate deterministic lanes regardless of pool scheduling.
+    TraceTrackScope track(s);
+    TraceSpan seed_span("experiment.seed");
+    seed_span.AddArg("seed_ordinal", s);
     auto source = std::make_shared<CancellationSource>(spec.limits.cancel);
     RunLimits limits;
     limits.deadline = spec.limits.deadline;
@@ -193,8 +220,12 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
       watchdog.Watch(limits.deadline, source);
     }
     const uint64_t seed = spec.base_seed + 1000003ULL * s;
-    ASSIGN_OR_RETURN(DataSplit split,
-                     MakeZooDataset(spec.dataset, spec.data_scale, seed));
+    Result<DataSplit> made = [&]() {
+      TraceSpan data_span("dataset.make");
+      return MakeZooDataset(spec.dataset, spec.data_scale, seed);
+    }();
+    RETURN_IF_ERROR(made.status());
+    DataSplit split = std::move(*made);
     RETURN_IF_ERROR(limits.Check("experiment.seed"));
     FrameworkContext context = FrameworkContext::Build(split);
     ActiveDpOptions adp = spec.adp;
@@ -225,6 +256,20 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
                 [&](int s) { runs[s] = run_seed(s); });
   } else {
     for (int s = 0; s < spec.num_seeds; ++s) runs.push_back(run_seed(s));
+  }
+
+  if (tracing) {
+    const RunTrace trace = Tracer::Global().Collect();
+    Tracer::Global().Disable();
+    const std::string stem =
+        spec.dataset + "-" + ToLower(FrameworkDisplayName(spec.framework));
+    const Status written = WriteRunTrace(trace, spec.trace_dir, stem);
+    if (!written.ok()) {
+      LOG(Warning) << "trace export failed: " << written.ToString();
+    } else {
+      LOG(Info) << "trace written to " << spec.trace_dir << "/" << stem
+                << ".trace.{jsonl,chrome.json,summary.json}";
+    }
   }
 
   // A seed is excluded when it failed outright or when its budget tripped

@@ -123,6 +123,13 @@ struct ExperimentSpec {
   double seed_deadline_seconds = 0.0;
   /// Retry-before-degrade policy shared by every seed's pipeline.
   RetryPolicy retry;
+  /// When non-empty, the experiment runs with the global Tracer armed and
+  /// writes the merged RunTrace (JSONL + Chrome trace_event JSON + summary,
+  /// see util/trace.h) to `<trace_dir>/<dataset>-<framework>.trace.*`. Each
+  /// seed records on its own track, so the files are identical between
+  /// same-seed runs modulo timestamp fields. Leaves any tracer the caller
+  /// armed beforehand untouched when empty.
+  std::string trace_dir;
 };
 
 /// Runs the spec for each seed and returns the point-wise averaged curves.

@@ -3,26 +3,44 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace activedp {
 
 void RecoveryLog::Record(std::string stage, std::string reason,
                          std::string fallback) {
-  // A persistent failure (e.g. a misconfigured label model failing every
-  // retrain the same way) is one degradation, not one per iteration: echo
-  // repeats quietly and keep a single event.
-  if (!events_.empty() && events_.back().stage == stage &&
-      events_.back().reason == reason && events_.back().fallback == fallback) {
-    LOG(Debug) << "degraded [" << stage << "] (repeat): " << reason;
-    return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A persistent failure (e.g. a misconfigured label model failing every
+    // retrain the same way) is one degradation, not one per iteration: echo
+    // repeats quietly and keep a single event.
+    if (!events_.empty() && events_.back().stage == stage &&
+        events_.back().reason == reason &&
+        events_.back().fallback == fallback) {
+      LOG(Debug) << "degraded [" << stage << "] (repeat): " << reason;
+      return;
+    }
+    events_.push_back(DegradationEvent{stage, reason, fallback});
   }
   LOG(Warning) << "degraded [" << stage << "]: " << reason << "; fallback: "
                << fallback;
-  events_.push_back(DegradationEvent{std::move(stage), std::move(reason),
-                                     std::move(fallback)});
+  TraceInstant("degradation", stage, reason + " -> " + fallback);
+  MetricsRegistry::Global().counter("recovery.degradations").Increment();
+}
+
+bool RecoveryLog::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty();
+}
+
+size_t RecoveryLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
 }
 
 int RecoveryLog::count(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   int n = 0;
   for (const DegradationEvent& e : events_) {
     if (e.stage == stage) ++n;
@@ -31,11 +49,17 @@ int RecoveryLog::count(std::string_view stage) const {
 }
 
 std::string RecoveryLog::Summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   for (const DegradationEvent& e : events_) {
     out << e.stage << ": " << e.reason << " -> " << e.fallback << "\n";
   }
   return out.str();
+}
+
+void RecoveryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
 }
 
 }  // namespace activedp

@@ -1,6 +1,7 @@
 #ifndef ACTIVEDP_CORE_RECOVERY_H_
 #define ACTIVEDP_CORE_RECOVERY_H_
 
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +28,12 @@ struct DegradationEvent {
 ///   4. checkpoint save/load failure      -> run continues / starts fresh
 /// Every step is recorded here (and echoed at Warning severity) so a
 /// degraded run is diagnosable after the fact instead of silently wrong.
+///
+/// Mutations and counting reads are mutex-guarded: a log shared across
+/// parallel seeds (one `ProtocolOptions.recovery` pointer copied into every
+/// seed's protocol under `ExperimentSpec.num_threads > 1`) stays race-free.
+/// `events()` hands out an unguarded reference and must only be read once
+/// writers are quiescent (after RunExperiment returns).
 class RecoveryLog {
  public:
   /// Records one degradation and logs it at Warning severity. A repeat of
@@ -35,16 +42,19 @@ class RecoveryLog {
   /// re-recorded, so events() reads as a history of distinct degradations.
   void Record(std::string stage, std::string reason, std::string fallback);
 
+  /// Unsynchronized view — only valid with no concurrent writers.
   const std::vector<DegradationEvent>& events() const { return events_; }
-  bool empty() const { return events_.empty(); }
+  bool empty() const;
+  size_t size() const;
   int count(std::string_view stage) const;
 
   /// One line per event, for reports and tests.
   std::string Summary() const;
 
-  void Clear() { events_.clear(); }
+  void Clear();
 
  private:
+  mutable std::mutex mutex_;
   std::vector<DegradationEvent> events_;
 };
 

@@ -6,7 +6,9 @@
 #include "graphical/lasso.h"
 #include "util/check.h"
 #include "util/fault.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace activedp {
 namespace {
@@ -33,6 +35,9 @@ Result<GraphicalLassoResult> GraphicalLasso(
     return Status::InvalidArgument("rho must be non-negative");
   if (!MatrixFinite(sample_covariance))
     return Status::InvalidArgument("covariance has non-finite entries");
+
+  TraceSpan span("glasso.solve");
+  span.AddArg("p", p);
 
   const FaultKind fault = CheckFault(
       "glasso.solve",
@@ -164,6 +169,16 @@ Result<GraphicalLassoResult> GraphicalLasso(
   if (!MatrixFinite(theta) || !MatrixFinite(w)) {
     return Status::Internal(
         "graphical lasso produced a non-finite estimate");
+  }
+
+  MetricsRegistry::Global().counter("glasso.sweeps").Increment(iterations);
+  span.AddArg("sweeps", iterations);
+  span.AddArg("converged", converged ? 1 : 0);
+  if (!converged) {
+    TraceInstant("convergence", "glasso.solve",
+                 "not converged after " + std::to_string(iterations) +
+                     " sweeps (delta " + std::to_string(last_max_change) +
+                     ")");
   }
 
   GraphicalLassoResult result;

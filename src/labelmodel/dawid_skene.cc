@@ -4,6 +4,8 @@
 
 #include "math/vector_ops.h"
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -65,6 +67,10 @@ Status DawidSkeneModel::FitSemiSupervised(
       for (double& p : q[i]) p = 1.0 / num_classes;
     }
   }
+
+  TraceSpan span("dawid_skene.fit");
+  span.AddArg("rows", n);
+  span.AddArg("lfs", m);
 
   priors_.assign(num_classes, 1.0 / num_classes);
   confusions_.assign(m, Matrix(num_classes, outcomes));
@@ -141,6 +147,15 @@ Status DawidSkeneModel::FitSemiSupervised(
       break;
     }
     prev_loglik = loglik;
+  }
+  MetricsRegistry::Global()
+      .counter("dawid_skene.em_iterations")
+      .Increment(iterations_run_);
+  span.AddArg("em_iterations", iterations_run_);
+  if (iterations_run_ >= options_.max_iterations) {
+    TraceInstant("convergence", "dawid_skene.fit",
+                 "EM hit max_iterations (" +
+                     std::to_string(options_.max_iterations) + ")");
   }
   return Status::Ok();
 }

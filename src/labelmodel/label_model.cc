@@ -8,6 +8,7 @@
 #include "math/vector_ops.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace activedp {
 namespace {
@@ -45,6 +46,10 @@ Status PredictRows(int num_rows,
 
 Result<std::vector<std::vector<double>>> LabelModel::PredictProbaAll(
     const LabelMatrix& matrix) const {
+  // Span at the caller level; the chunked per-row work below may run on
+  // compute-pool workers, which must stay trace-silent (determinism).
+  TraceSpan span("labelmodel.predict_all");
+  span.AddArg("rows", matrix.num_rows());
   std::vector<std::vector<double>> out(matrix.num_rows());
   RETURN_IF_ERROR(PredictRows(matrix.num_rows(), [&](int i) -> Status {
     ASSIGN_OR_RETURN(out[i], PredictProba(matrix.Row(i)));
@@ -55,6 +60,8 @@ Result<std::vector<std::vector<double>>> LabelModel::PredictProbaAll(
 
 Result<std::vector<int>> LabelModel::PredictAll(
     const LabelMatrix& matrix) const {
+  TraceSpan span("labelmodel.predict_all");
+  span.AddArg("rows", matrix.num_rows());
   std::vector<int> out(matrix.num_rows(), kAbstain);
   RETURN_IF_ERROR(PredictRows(matrix.num_rows(), [&](int i) -> Status {
     if (!matrix.AnyActive(i)) return Status::Ok();  // keep kAbstain

@@ -7,7 +7,9 @@
 #include "math/linalg.h"
 #include "math/matrix.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -22,6 +24,10 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   const int n = matrix.num_rows();
   const int m = matrix.num_cols();
   num_lfs_ = m;
+
+  TraceSpan span("metal_completion.fit");
+  span.AddArg("rows", n);
+  span.AddArg("lfs", m);
 
   MetalModelOptions fallback_options;
   fallback_options.limits = options_.limits;
@@ -156,6 +162,9 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
       z[i] = std::clamp(z[i] - step * grad[i], -100.0, 100.0);
     }
   }
+  MetricsRegistry::Global()
+      .counter("metal_completion.gd_iterations")
+      .Increment(options_.gd_iterations);
 
   // Cov(λ, Y) = Σ_O z / sqrt(d) with d = (1 + z' Σ_O z) / Var(Y).
   std::vector<double> sigma_z = sigma.MultiplyVector(z);

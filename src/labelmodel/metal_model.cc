@@ -9,9 +9,11 @@
 #include "math/matrix.h"
 #include "util/check.h"
 #include "util/fault.h"
+#include "util/metrics.h"
 #include "util/numeric_guard.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -23,6 +25,11 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
   }
   if (matrix.num_cols() == 0)
     return Status::InvalidArgument("label matrix has no LF columns");
+
+  TraceSpan span("metal.fit");
+  span.AddArg("rows", matrix.num_rows());
+  span.AddArg("lfs", matrix.num_cols());
+  MetricsRegistry::Global().counter("metal.fits").Increment();
 
   // Single fault probe per fit: kError fails the whole fit (retryable —
   // the estimator re-initializes everything below, so a retried fit is
@@ -167,6 +174,8 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
       AllFinite(accuracies_) && std::isfinite(positive_prior_);
   report_.converged = report_.finite;
   if (!report_.finite) {
+    TraceInstant("convergence", "metal.fit",
+                 "non-finite accuracy parameters");
     num_lfs_ = 0;  // refuse predictions from a poisoned fit
     return Status::Internal(
         "metal fit produced non-finite accuracy parameters");

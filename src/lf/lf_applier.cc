@@ -2,6 +2,7 @@
 
 #include "util/check.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -86,6 +87,9 @@ std::vector<int8_t> ApplyLf(const LabelFunction& lf, const Dataset& dataset) {
 }
 
 LabelMatrix ApplyLfs(const std::vector<LfPtr>& lfs, const Dataset& dataset) {
+  TraceSpan span("lf.apply_all");
+  span.AddArg("lfs", static_cast<int64_t>(lfs.size()));
+  span.AddArg("rows", dataset.size());
   LabelMatrix matrix(dataset.size());
   for (const auto& lf : lfs) matrix.AddColumn(ApplyLf(*lf, dataset));
   return matrix;

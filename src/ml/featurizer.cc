@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -52,6 +53,8 @@ std::unique_ptr<Featurizer> MakeFeaturizer(const Dataset& train) {
 std::vector<SparseVector> FeaturizeAll(const Featurizer& featurizer,
                                        const Dataset& dataset) {
   const int n = dataset.size();
+  TraceSpan span("featurize.all");
+  span.AddArg("rows", n);
   std::vector<SparseVector> out(n);
   // Each example's vector is written by exactly one chunk: bitwise identical
   // at any thread count.

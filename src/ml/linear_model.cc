@@ -6,7 +6,9 @@
 
 #include "math/vector_ops.h"
 #include "util/fault.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -21,6 +23,9 @@ Result<LogisticRegression> LogisticRegression::Fit(
   if (num_classes < 2) return Status::InvalidArgument("need >= 2 classes");
   if (!sample_weights.empty() && sample_weights.size() != x.size())
     return Status::InvalidArgument("sample_weights size mismatch");
+
+  TraceSpan span("lr.fit");
+  span.AddArg("n", static_cast<int64_t>(x.size()));
 
   const FaultKind fault = CheckFault(
       "lr.fit", {FaultKind::kNan, FaultKind::kNoConverge, FaultKind::kError});
@@ -126,11 +131,19 @@ Result<LogisticRegression> LogisticRegression::Fit(
       }
     }
   }
+  MetricsRegistry::Global().counter("lr.epochs").Increment(options.epochs);
+  span.AddArg("adam_steps", step);
   model.report_.iterations = step;
   model.report_.final_delta = epoch_max_update;
   model.report_.finite = finite;
   model.report_.converged =
       finite && epoch_max_update <= options.convergence_tolerance;
+  if (!model.report_.converged) {
+    TraceInstant("convergence", "lr.fit",
+                 finite ? "update above tolerance after " +
+                              std::to_string(step) + " Adam steps"
+                        : "non-finite weights");
+  }
   if (!finite) {
     return Status::Internal(
         "logistic regression diverged: non-finite weights after " +

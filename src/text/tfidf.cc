@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace activedp {
 
@@ -12,6 +13,9 @@ TfidfFeaturizer TfidfFeaturizer::Fit(const Dataset& train,
   const int vocab_size = train.vocabulary().size();
   CHECK_GT(vocab_size, 0) << "TF-IDF requires a built vocabulary";
   const int n = train.size();
+  TraceSpan span("tfidf.fit");
+  span.AddArg("rows", n);
+  span.AddArg("vocab", vocab_size);
   // Document frequencies via per-chunk partial counts combined in chunk
   // order. Integer sums are exact under any grouping, so the result is
   // bitwise identical at every thread count. Chunk count is capped so the

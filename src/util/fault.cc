@@ -1,5 +1,8 @@
 #include "util/fault.h"
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace activedp {
 namespace {
 
@@ -80,6 +83,10 @@ FaultKind FaultInjector::Check(std::string_view site, uint32_t honored_mask) {
     if (u >= state.spec.probability) return FaultKind::kNone;
   }
   ++state.fires;
+  // Fold the activation into the run timeline (the tracer's locks are
+  // leaves, so calling out while holding mutex_ cannot deadlock).
+  TraceInstant("fault", site, FaultKindToString(state.spec.kind));
+  MetricsRegistry::Global().counter("fault.fires").Increment();
   return state.spec.kind;
 }
 

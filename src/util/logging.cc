@@ -2,12 +2,36 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "util/string_util.h"
 
 namespace activedp {
 namespace {
 
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+std::once_flag g_env_once;
+
+/// The installed sink, behind a mutex so replacing it cannot race a flush.
+/// The default (null) sink writes one line to stderr.
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex
+
+void ApplyEnvLogLevel() {
+  const char* env = std::getenv("ACTIVEDP_LOG_LEVEL");
+  if (env == nullptr) return;
+  LogSeverity severity;
+  if (internal::ParseLogSeverity(env, &severity)) {
+    g_min_severity = severity;
+  } else {
+    std::fprintf(stderr, "[W logging.cc] ignoring invalid ACTIVEDP_LOG_LEVEL=%s\n",
+                 env);
+  }
+}
+
+void EnsureEnvApplied() { std::call_once(g_env_once, ApplyEnvLogLevel); }
 
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
@@ -28,15 +52,87 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+void Emit(LogSeverity severity, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(severity, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
 }  // namespace
 
-void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
-LogSeverity MinLogSeverity() { return g_min_severity; }
+void SetMinLogSeverity(LogSeverity severity) {
+  // Consume the one-time env read first so it cannot later overwrite an
+  // explicit setting.
+  EnsureEnvApplied();
+  g_min_severity = severity;
+}
+
+LogSeverity MinLogSeverity() {
+  EnsureEnvApplied();
+  return g_min_severity;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+struct CapturedLogs::State {
+  mutable std::mutex mutex;
+  std::vector<std::string> lines;
+};
+
+CapturedLogs::CapturedLogs() : state_(std::make_shared<State>()) {
+  std::shared_ptr<State> state = state_;
+  SetLogSink([state](LogSeverity, std::string_view line) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->lines.emplace_back(line);
+  });
+}
+
+CapturedLogs::~CapturedLogs() { SetLogSink(nullptr); }
+
+std::vector<std::string> CapturedLogs::lines() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->lines;
+}
+
+bool CapturedLogs::Contains(std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (const std::string& line : state_->lines) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
 
 namespace internal {
 
+bool ParseLogSeverity(std::string_view text, LogSeverity* out) {
+  const std::string lower = ToLower(Trim(text));
+  if (lower == "debug" || lower == "0") {
+    *out = LogSeverity::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogSeverity::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *out = LogSeverity::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogSeverity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void ReinitLogLevelFromEnvForTesting() {
+  g_min_severity = LogSeverity::kInfo;
+  ApplyEnvLogLevel();
+}
+
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
-    : enabled_(severity >= MinLogSeverity()) {
+    : enabled_(severity >= MinLogSeverity()), severity_(severity) {
   if (enabled_) {
     stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":"
             << line << "] ";
@@ -45,7 +141,7 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    Emit(severity_, stream_.str());
   }
 }
 

@@ -1,19 +1,68 @@
 #ifndef ACTIVEDP_UTIL_LOGGING_H_
 #define ACTIVEDP_UTIL_LOGGING_H_
 
+#include <functional>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace activedp {
 
 enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum severity that is actually emitted (default kInfo).
+/// Sets the minimum severity that is actually emitted (default kInfo, or
+/// the ACTIVEDP_LOG_LEVEL environment variable when set — "debug" / "info" /
+/// "warning" / "error" or 0-3, case-insensitive; an explicit call here
+/// always wins over the environment).
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
 
+/// Where formatted log lines go. Receives the severity and the fully
+/// formatted line (tag, file:line, message — no trailing newline). Must be
+/// callable from any thread.
+using LogSink = std::function<void(LogSeverity, std::string_view)>;
+
+/// Replaces the process-wide sink (default: one line to stderr). Passing
+/// nullptr restores the default. Not synchronized against in-flight log
+/// statements — install sinks at startup or between quiescent phases.
+void SetLogSink(LogSink sink);
+
+/// Test helper: captures every emitted line for the lifetime of the scope,
+/// then restores the default stderr sink. Lines are recorded under a mutex,
+/// so logging from worker threads is safe to capture.
+class CapturedLogs {
+ public:
+  CapturedLogs();
+  ~CapturedLogs();
+
+  CapturedLogs(const CapturedLogs&) = delete;
+  CapturedLogs& operator=(const CapturedLogs&) = delete;
+
+  /// Snapshot of the lines captured so far.
+  std::vector<std::string> lines() const;
+  /// True when any captured line contains `needle`.
+  bool Contains(std::string_view needle) const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
 namespace internal {
 
-/// One log statement; flushes a single line to stderr on destruction.
+/// Parses "debug"/"info"/"warning"/"warn"/"error" or "0".."3"
+/// (case-insensitive); returns false on anything else.
+bool ParseLogSeverity(std::string_view text, LogSeverity* out);
+
+/// Re-reads ACTIVEDP_LOG_LEVEL and resets the min severity from it (default
+/// kInfo when unset/invalid). Exposed for the logging tests; production code
+/// gets the env applied automatically on first use.
+void ReinitLogLevelFromEnvForTesting();
+
+/// One log statement; flushes a single line to the installed sink on
+/// destruction.
 class LogMessage {
  public:
   LogMessage(LogSeverity severity, const char* file, int line);
@@ -27,6 +76,7 @@ class LogMessage {
 
  private:
   bool enabled_;
+  LogSeverity severity_;
   std::ostringstream stream_;
 };
 

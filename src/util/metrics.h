@@ -1,0 +1,122 @@
+#ifndef ACTIVEDP_UTIL_METRICS_H_
+#define ACTIVEDP_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace activedp {
+
+/// Process-wide metrics for the pipeline (the quantitative sibling of
+/// util/trace.h's timeline). Three instrument kinds:
+///
+///   Counter    monotonically increasing int64 (solver sweeps, retries)
+///   Gauge      last-written double (pool width, dataset size)
+///   Histogram  fixed upper-bound buckets over doubles (backoff ms,
+///              per-fit iteration counts)
+///
+/// All instruments are lock-free on the write path (relaxed atomics), so
+/// compute-pool workers may increment them concurrently; the *final* value
+/// of anything derived from deterministic quantities (iteration counts,
+/// retry attempts) is itself deterministic regardless of thread count.
+/// Registration is mutex-guarded and instruments are never erased, so a
+/// returned reference stays valid for the registry's lifetime.
+
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed, sorted upper bounds: bucket i counts observations
+/// v <= bounds[i] (first matching bucket); one implicit overflow bucket
+/// catches everything above the last bound. Bounds are fixed at
+/// registration, so two runs bucket identically.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  /// bounds().size() + 1 buckets; the last is the overflow bucket.
+  int num_buckets() const { return static_cast<int>(bounds_.size()) + 1; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t bucket_count(int bucket) const {
+    return counts_[bucket].load(std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of observations. Concurrent observers may reassociate the floating
+  /// additions; use counts for anything that must be bitwise deterministic.
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named instrument registry. `Global()` is the process-wide instance the
+/// pipeline stages report into; local instances serve tests. Lookups are
+/// mutex-guarded; cache the returned reference on hot paths.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` is consulted only on first registration (must be sorted
+  /// ascending); later calls with the same name return the existing
+  /// histogram unchanged.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& upper_bounds);
+
+  /// Zeroes every instrument's value; registrations (and references into the
+  /// registry) survive. Call between runs that must not see each other.
+  void ResetAll();
+
+  /// Deterministic JSON snapshot: instruments sorted by name within
+  /// "counters" / "gauges" / "histograms" objects.
+  std::string ToJson() const;
+
+  /// Convenience snapshot readers (0 / empty when the name is unknown).
+  int64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_UTIL_METRICS_H_

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace activedp {
 namespace {
 
@@ -27,19 +30,37 @@ uint64_t HashSite(std::string_view site) {
 
 }  // namespace
 
+void RetryLog::Record(RetryEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+bool RetryLog::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty();
+}
+
+size_t RetryLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
 int RetryLog::count(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   int n = 0;
   for (const RetryEvent& e : events_) n += (e.site == site);
   return n;
 }
 
 int RetryLog::recovered_count(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   int n = 0;
   for (const RetryEvent& e : events_) n += (e.site == site && e.recovered);
   return n;
 }
 
 std::string RetryLog::Summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   for (const RetryEvent& e : events_) {
     out << e.site << " retry " << e.retry << " (backoff " << e.backoff_ms
@@ -47,6 +68,18 @@ std::string RetryLog::Summary() const {
         << "): " << e.reason << "\n";
   }
   return out.str();
+}
+
+void RetryLog::MarkRecoveredSince(size_t first) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = first; i < events_.size(); ++i) {
+    events_[i].recovered = true;
+  }
+}
+
+void RetryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
 }
 
 double RetryBackoffMs(const RetryPolicy& policy, std::string_view site,
@@ -73,7 +106,7 @@ Status Retrier::Run(std::string_view site, const RunLimits& limits,
                     const std::function<Status()>& fn) {
   RETURN_IF_ERROR(limits.Check(site));
   Status status = fn();
-  const size_t first_event = log_ != nullptr ? log_->events().size() : 0;
+  const size_t first_event = log_ != nullptr ? log_->size() : 0;
   int attempt = 1;
   while (!status.ok() && IsRetryable(status) &&
          attempt < std::max(1, policy_.max_attempts)) {
@@ -88,6 +121,11 @@ Status Retrier::Run(std::string_view site, const RunLimits& limits,
       log_->Record(RetryEvent{std::string(site), attempt, backoff,
                               status.ToString(), /*recovered=*/false});
     }
+    TraceInstant("retry", site, status.ToString());
+    MetricsRegistry::Global().counter("retry.attempts").Increment();
+    MetricsRegistry::Global()
+        .histogram("retry.backoff_ms", {1.0, 10.0, 50.0, 100.0, 250.0, 1000.0})
+        .Observe(backoff);
     if (policy_.sleep &&
         !SleepWithCancellation(backoff * 1e-3, limits.cancel)) {
       return Status::Cancelled(std::string(site) +

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -60,13 +61,20 @@ struct RetryEvent {
 };
 
 /// Structured log of retry activity (the retry-layer sibling of
-/// core/recovery.h's RecoveryLog). Not thread-safe; one per pipeline/run.
+/// core/recovery.h's RecoveryLog). Mutations and counting reads are
+/// mutex-guarded so a log shared across parallel seeds (one
+/// `ProtocolOptions.retry_log` copied into every seed's protocol under
+/// `ExperimentSpec.num_threads > 1`) stays race-free; `events()` hands out
+/// an unguarded reference and must only be read once writers are quiescent
+/// (after RunExperiment returns).
 class RetryLog {
  public:
-  void Record(RetryEvent event) { events_.push_back(std::move(event)); }
+  void Record(RetryEvent event);
 
+  /// Unsynchronized view — only valid with no concurrent writers.
   const std::vector<RetryEvent>& events() const { return events_; }
-  bool empty() const { return events_.empty(); }
+  bool empty() const;
+  size_t size() const;
   int count(std::string_view site) const;
   /// Events at `site` whose invocation eventually succeeded.
   int recovered_count(std::string_view site) const;
@@ -76,15 +84,12 @@ class RetryLog {
 
   /// Marks events [first, end) recovered — the invocation they belong to
   /// eventually succeeded.
-  void MarkRecoveredSince(size_t first) {
-    for (size_t i = first; i < events_.size(); ++i) {
-      events_[i].recovered = true;
-    }
-  }
+  void MarkRecoveredSince(size_t first);
 
-  void Clear() { events_.clear(); }
+  void Clear();
 
  private:
+  mutable std::mutex mutex_;
   std::vector<RetryEvent> events_;
 };
 

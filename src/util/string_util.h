@@ -28,6 +28,10 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// Formats a double with `digits` decimal places (fixed notation).
 std::string FormatDouble(double value, int digits);
 
+/// Escapes `text` for embedding inside a double-quoted JSON string
+/// (backslash, quote, and control characters; everything else verbatim).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace activedp
 
 #endif  // ACTIVEDP_UTIL_STRING_UTIL_H_

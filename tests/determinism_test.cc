@@ -25,6 +25,7 @@
 #include "text/tfidf.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace activedp {
 namespace {
@@ -151,6 +152,9 @@ uint64_t RunPipelineDigest(uint64_t seed) {
 }
 
 TEST(DeterminismTest, PipelineBitwiseIdenticalAcrossThreadCounts) {
+  // Run with the tracer armed: instrumentation must not perturb any numeric
+  // result, at any thread count (the RunTrace cost/determinism contract).
+  Tracer::Global().Enable();
   for (const uint64_t seed : {11ULL, 23ULL, 47ULL}) {
     SetComputePoolThreads(1);
     const uint64_t serial = RunPipelineDigest(seed);
@@ -164,6 +168,7 @@ TEST(DeterminismTest, PipelineBitwiseIdenticalAcrossThreadCounts) {
     // deterministic, so a digest mismatch above isolates the thread count).
     EXPECT_EQ(serial, RunPipelineDigest(seed)) << "seed " << seed;
   }
+  Tracer::Global().Disable();
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+// Tests for the pluggable log sink and ACTIVEDP_LOG_LEVEL handling
+// (util/logging.h): severity filtering, CapturedLogs, custom sinks, the
+// severity parser, and re-initialization from the environment.
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace activedp {
+namespace {
+
+// Every test here mutates process-wide logging state; this fixture restores
+// the defaults (kInfo, stderr sink, no env override) afterwards.
+class LoggingTest : public testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("ACTIVEDP_LOG_LEVEL");
+    internal::ReinitLogLevelFromEnvForTesting();
+    SetLogSink(nullptr);
+  }
+};
+
+TEST_F(LoggingTest, CapturedLogsSeesFormattedLines) {
+  SetMinLogSeverity(LogSeverity::kInfo);
+  CapturedLogs captured;
+  LOG(Info) << "hello " << 42;
+  const std::vector<std::string> lines = captured.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("hello 42"), std::string::npos);
+  EXPECT_NE(line.find("[I "), std::string::npos);          // severity tag
+  EXPECT_NE(line.find("logging_test.cc:"), std::string::npos);  // file:line
+  EXPECT_TRUE(captured.Contains("hello"));
+  EXPECT_FALSE(captured.Contains("absent"));
+}
+
+TEST_F(LoggingTest, MinSeverityFiltersBelowThreshold) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  CapturedLogs captured;
+  LOG(Debug) << "too quiet";
+  LOG(Info) << "still too quiet";
+  LOG(Warning) << "loud enough";
+  LOG(Error) << "definitely";
+  EXPECT_EQ(captured.lines().size(), 2u);
+  EXPECT_FALSE(captured.Contains("quiet"));
+  EXPECT_TRUE(captured.Contains("loud enough"));
+  EXPECT_TRUE(captured.Contains("definitely"));
+  SetMinLogSeverity(LogSeverity::kInfo);
+}
+
+TEST_F(LoggingTest, CustomSinkReceivesSeverityAndLine) {
+  SetMinLogSeverity(LogSeverity::kInfo);
+  std::vector<std::pair<LogSeverity, std::string>> received;
+  SetLogSink([&received](LogSeverity severity, std::string_view line) {
+    received.emplace_back(severity, std::string(line));
+  });
+  LOG(Warning) << "routed";
+  SetLogSink(nullptr);  // restore default before asserting
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, LogSeverity::kWarning);
+  EXPECT_NE(received[0].second.find("routed"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ParseLogSeverityAcceptsNamesAndNumbers) {
+  LogSeverity severity;
+  ASSERT_TRUE(internal::ParseLogSeverity("debug", &severity));
+  EXPECT_EQ(severity, LogSeverity::kDebug);
+  ASSERT_TRUE(internal::ParseLogSeverity("INFO", &severity));
+  EXPECT_EQ(severity, LogSeverity::kInfo);
+  ASSERT_TRUE(internal::ParseLogSeverity("Warning", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  ASSERT_TRUE(internal::ParseLogSeverity("warn", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  ASSERT_TRUE(internal::ParseLogSeverity(" error ", &severity));  // trimmed
+  EXPECT_EQ(severity, LogSeverity::kError);
+  ASSERT_TRUE(internal::ParseLogSeverity("0", &severity));
+  EXPECT_EQ(severity, LogSeverity::kDebug);
+  ASSERT_TRUE(internal::ParseLogSeverity("3", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+
+  EXPECT_FALSE(internal::ParseLogSeverity("", &severity));
+  EXPECT_FALSE(internal::ParseLogSeverity("verbose", &severity));
+  EXPECT_FALSE(internal::ParseLogSeverity("4", &severity));
+}
+
+TEST_F(LoggingTest, EnvVariableSetsMinSeverity) {
+  setenv("ACTIVEDP_LOG_LEVEL", "error", 1);
+  internal::ReinitLogLevelFromEnvForTesting();
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  CapturedLogs captured;
+  LOG(Warning) << "suppressed by env";
+  LOG(Error) << "passes the env level";
+  EXPECT_EQ(captured.lines().size(), 1u);
+  EXPECT_TRUE(captured.Contains("passes the env level"));
+}
+
+TEST_F(LoggingTest, InvalidEnvValueFallsBackToInfo) {
+  setenv("ACTIVEDP_LOG_LEVEL", "shouty", 1);
+  internal::ReinitLogLevelFromEnvForTesting();
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kInfo);
+}
+
+TEST_F(LoggingTest, ExplicitSetterWinsOverEnvironment) {
+  setenv("ACTIVEDP_LOG_LEVEL", "error", 1);
+  internal::ReinitLogLevelFromEnvForTesting();
+  SetMinLogSeverity(LogSeverity::kDebug);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kDebug);
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingThroughCaptureIsSafe) {
+  SetMinLogSeverity(LogSeverity::kInfo);
+  CapturedLogs captured;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        LOG(Info) << "thread " << t << " line " << i;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(captured.lines().size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,154 @@
+// Tests for the metrics registry (util/metrics.h): counter/gauge semantics,
+// histogram bucket boundaries, ResetAll, the JSON snapshot, and concurrent
+// increments from many threads (exercised under the TSan preset). Named
+// util_metrics_test because tests/metrics_test.cc covers ml/metrics.h.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace activedp {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(GaugeTest, KeepsLastWrittenValue) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.25);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  ASSERT_EQ(histogram.num_buckets(), 4);  // 3 bounds + overflow
+
+  histogram.Observe(0.5);    // <= 1      -> bucket 0
+  histogram.Observe(1.0);    // <= 1      -> bucket 0 (inclusive bound)
+  histogram.Observe(1.0001); // <= 10     -> bucket 1
+  histogram.Observe(10.0);   // <= 10     -> bucket 1
+  histogram.Observe(99.0);   // <= 100    -> bucket 2
+  histogram.Observe(100.5);  // overflow  -> bucket 3
+  histogram.Observe(1e9);    // overflow  -> bucket 3
+
+  EXPECT_EQ(histogram.bucket_count(0), 2);
+  EXPECT_EQ(histogram.bucket_count(1), 2);
+  EXPECT_EQ(histogram.bucket_count(2), 1);
+  EXPECT_EQ(histogram.bucket_count(3), 2);
+  EXPECT_EQ(histogram.count(), 7);
+  EXPECT_NEAR(histogram.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.0 + 100.5 + 1e9,
+              1e-6);
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0);
+  for (int b = 0; b < histogram.num_buckets(); ++b) {
+    EXPECT_EQ(histogram.bucket_count(b), 0) << "bucket " << b;
+  }
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("stage.iterations");
+  Counter& b = registry.counter("stage.iterations");
+  EXPECT_EQ(&a, &b);  // same instrument, reference survives re-lookup
+  a.Increment(5);
+  EXPECT_EQ(registry.counter_value("stage.iterations"), 5);
+  EXPECT_EQ(registry.counter_value("never.registered"), 0);
+
+  registry.gauge("pool.width").Set(4.0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("pool.width"), 4.0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("never.registered"), 0.0);
+
+  // Histogram bounds are fixed at first registration; a second registration
+  // with different bounds returns the original instrument unchanged.
+  Histogram& h1 = registry.histogram("backoff", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("backoff", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.num_buckets(), 3);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  registry.gauge("g").Set(7.0);
+  registry.histogram("h", {1.0}).Observe(0.5);
+  counter.Increment(3);
+
+  registry.ResetAll();
+
+  EXPECT_EQ(counter.value(), 0);  // the old reference still works
+  EXPECT_EQ(registry.counter_value("c"), 0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("g"), 0.0);
+  counter.Increment();
+  EXPECT_EQ(registry.counter_value("c"), 1);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("z.last").Increment(2);
+  registry.counter("a.first").Increment(1);
+  registry.gauge("mid").Set(1.5);
+  registry.histogram("latency", {10.0, 100.0}).Observe(42.0);
+
+  const std::string json = registry.ToJson();
+  // Counters appear sorted by name.
+  const size_t a_pos = json.find("\"a.first\"");
+  const size_t z_pos = json.find("\"z.last\"");
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(z_pos, std::string::npos);
+  EXPECT_LT(a_pos, z_pos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry]() {
+      Counter& counter = registry.counter("contended");
+      Histogram& histogram = registry.histogram("latency", {1.0, 10.0});
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        histogram.Observe(i % 20);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter_value("contended"),
+            static_cast<int64_t>(kThreads) * kPerThread);
+  const Histogram& histogram = registry.histogram("latency", {});
+  EXPECT_EQ(histogram.count(), static_cast<int64_t>(kThreads) * kPerThread);
+  int64_t bucket_total = 0;
+  for (int b = 0; b < histogram.num_buckets(); ++b) {
+    bucket_total += histogram.bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, histogram.count());
+}
+
+TEST(MetricsRegistryTest, GlobalIsASingleton) {
+  MetricsRegistry::Global().counter("util_metrics_test.global").Increment();
+  EXPECT_GE(
+      MetricsRegistry::Global().counter_value("util_metrics_test.global"), 1);
+}
+
+}  // namespace
+}  // namespace activedp
