@@ -14,12 +14,15 @@ void RecoveryLog::Record(std::string stage, std::string reason,
     std::lock_guard<std::mutex> lock(mutex_);
     // A persistent failure (e.g. a misconfigured label model failing every
     // retrain the same way) is one degradation, not one per iteration: echo
-    // repeats quietly and keep a single event.
-    if (!events_.empty() && events_.back().stage == stage &&
-        events_.back().reason == reason &&
-        events_.back().fallback == fallback) {
-      LOG(Debug) << "degraded [" << stage << "] (repeat): " << reason;
-      return;
+    // repeats quietly and keep a single event. Dedupe against the whole log,
+    // not just the last event — in a log shared across parallel seeds,
+    // events from other seeds interleave between repeats, and event counts
+    // must not depend on that scheduling.
+    for (const DegradationEvent& e : events_) {
+      if (e.stage == stage && e.reason == reason && e.fallback == fallback) {
+        LOG(Debug) << "degraded [" << stage << "] (repeat): " << reason;
+        return;
+      }
     }
     events_.push_back(DegradationEvent{stage, reason, fallback});
   }

@@ -36,10 +36,11 @@ struct DegradationEvent {
 /// writers are quiescent (after RunExperiment returns).
 class RecoveryLog {
  public:
-  /// Records one degradation and logs it at Warning severity. A repeat of
-  /// the immediately preceding event (same stage/reason/fallback — e.g. a
+  /// Records one degradation and logs it at Warning severity. A repeat of an
+  /// already-recorded event (same stage/reason/fallback — e.g. a
   /// misconfigured model failing identically every retrain) is not
-  /// re-recorded, so events() reads as a history of distinct degradations.
+  /// re-recorded, so events() reads as a history of distinct degradations
+  /// regardless of how parallel seeds interleave their records.
   void Record(std::string stage, std::string reason, std::string fallback);
 
   /// Unsynchronized view — only valid with no concurrent writers.

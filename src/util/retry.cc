@@ -70,10 +70,14 @@ std::string RetryLog::Summary() const {
   return out.str();
 }
 
-void RetryLog::MarkRecoveredSince(size_t first) {
+int64_t RetryLog::NextInvocation() {
+  return next_invocation_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void RetryLog::MarkRecovered(int64_t invocation) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (size_t i = first; i < events_.size(); ++i) {
-    events_[i].recovered = true;
+  for (RetryEvent& e : events_) {
+    if (e.invocation == invocation) e.recovered = true;
   }
 }
 
@@ -106,7 +110,10 @@ Status Retrier::Run(std::string_view site, const RunLimits& limits,
                     const std::function<Status()>& fn) {
   RETURN_IF_ERROR(limits.Check(site));
   Status status = fn();
-  const size_t first_event = log_ != nullptr ? log_->size() : 0;
+  // Lazily allocated once this invocation records its first event; tags the
+  // events so recovery marking cannot touch interleaved events from other
+  // invocations sharing the log (parallel seeds under RunExperiment).
+  int64_t invocation = 0;
   int attempt = 1;
   while (!status.ok() && IsRetryable(status) &&
          attempt < std::max(1, policy_.max_attempts)) {
@@ -118,8 +125,10 @@ Status Retrier::Run(std::string_view site, const RunLimits& limits,
     const double backoff =
         RetryBackoffMs(policy_, site, /*counter=*/used, /*retry=*/attempt);
     if (log_ != nullptr) {
+      if (invocation == 0) invocation = log_->NextInvocation();
       log_->Record(RetryEvent{std::string(site), attempt, backoff,
-                              status.ToString(), /*recovered=*/false});
+                              status.ToString(), /*recovered=*/false,
+                              invocation});
     }
     TraceInstant("retry", site, status.ToString());
     MetricsRegistry::Global().counter("retry.attempts").Increment();
@@ -134,8 +143,8 @@ Status Retrier::Run(std::string_view site, const RunLimits& limits,
     ++attempt;
     status = fn();
   }
-  if (status.ok() && log_ != nullptr) {
-    log_->MarkRecoveredSince(first_event);
+  if (status.ok() && invocation != 0) {
+    log_->MarkRecovered(invocation);
   }
   return status;
 }

@@ -1,6 +1,7 @@
 #ifndef ACTIVEDP_UTIL_RETRY_H_
 #define ACTIVEDP_UTIL_RETRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -58,6 +59,10 @@ struct RetryEvent {
   std::string reason;
   /// Whether a later attempt of the same invocation succeeded.
   bool recovered = false;
+  /// Id tying the event to one Retrier::Run invocation (RetryLog::
+  /// NextInvocation), so recovery marking stays precise when invocations
+  /// from parallel seeds interleave in a shared log. 0 = untagged.
+  int64_t invocation = 0;
 };
 
 /// Structured log of retry activity (the retry-layer sibling of
@@ -82,15 +87,21 @@ class RetryLog {
   /// One line per event, for reports and tests.
   std::string Summary() const;
 
-  /// Marks events [first, end) recovered — the invocation they belong to
-  /// eventually succeeded.
-  void MarkRecoveredSince(size_t first);
+  /// Allocates a unique id for one Retrier::Run invocation's events. Ids are
+  /// never reused, so concurrent invocations sharing this log cannot collide.
+  int64_t NextInvocation();
+
+  /// Marks every event tagged `invocation` recovered — the invocation they
+  /// belong to eventually succeeded. Only touches that invocation's events,
+  /// so interleaved events from other seeds/sites are never misrecorded.
+  void MarkRecovered(int64_t invocation);
 
   void Clear();
 
  private:
   mutable std::mutex mutex_;
   std::vector<RetryEvent> events_;
+  std::atomic<int64_t> next_invocation_{0};
 };
 
 /// The deterministic jittered backoff for the `counter`-th retry ever taken

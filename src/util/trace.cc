@@ -39,8 +39,12 @@ void Tracer::Enable() {
   }
   track_seq_.clear();
   generation_.fetch_add(1, std::memory_order_relaxed);
-  epoch_ = std::chrono::steady_clock::now();
-  // Release so a thread that observes enabled() also observes the epoch.
+  epoch_us_.store(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+  // Release pairs with the acquire load in enabled(): a thread that observes
+  // enabled() == true also observes the epoch stored above.
   enabled_.store(true, std::memory_order_release);
 }
 
@@ -60,9 +64,11 @@ int64_t Tracer::NextSeq(int track) {
 }
 
 int64_t Tracer::NowMicros() const {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
+  const int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return now_us - epoch_us_.load(std::memory_order_relaxed);
 }
 
 RunTrace Tracer::Collect() {

@@ -37,7 +37,7 @@ namespace activedp {
 /// only touch util/metrics.h atomics.
 ///
 /// Cost contract: when the runtime flag is off (the default) a TraceSpan
-/// constructor is one relaxed atomic load and no allocation. Compiling with
+/// constructor is one acquire atomic load and no allocation. Compiling with
 /// -DACTIVEDP_DISABLE_TRACING (CMake option of the same name) makes
 /// `Tracer::enabled()` a compile-time `false`, so the whole call site folds
 /// away; `kTracingCompiledIn` lets tests and callers check which build they
@@ -133,8 +133,10 @@ class Tracer {
   /// and arms the tracer. No-op when tracing is compiled out.
   void Enable();
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  /// Acquire pairs with Enable()'s release store so a thread that observes
+  /// enabled() == true also observes the epoch written before it.
   bool enabled() const {
-    return kTracingCompiledIn && enabled_.load(std::memory_order_relaxed);
+    return kTracingCompiledIn && enabled_.load(std::memory_order_acquire);
   }
 
   /// Merges every thread's records into (track, seq) order. Safe to call
@@ -160,7 +162,10 @@ class Tracer {
   /// Bumped by Enable() so a span that straddles a reset never writes a
   /// stale buffer index.
   std::atomic<int64_t> generation_{0};
-  std::chrono::steady_clock::time_point epoch_{};
+  /// steady_clock microseconds at the last Enable(). Atomic because
+  /// NowMicros() reads it from recording threads while Enable() resets it
+  /// (the reset race the generation guard already tolerates for buffers).
+  std::atomic<int64_t> epoch_us_{0};
   mutable std::mutex mutex_;  // guards buffers_ and track_seq_
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::map<int, int64_t> track_seq_;

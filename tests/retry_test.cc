@@ -68,6 +68,22 @@ TEST(RetryBackoffTest, JitterStaysWithinConfiguredFraction) {
 
 // -------------------------------------------------------------- retrier ----
 
+TEST(RetryLogTest, MarkRecoveredOnlyTouchesItsInvocation) {
+  // Events from two invocations interleaved in one shared log (the
+  // parallel-seed layout): marking one invocation recovered must not touch
+  // the other's still-failing events.
+  RetryLog log;
+  const int64_t a = log.NextInvocation();
+  const int64_t b = log.NextInvocation();
+  EXPECT_NE(a, b);
+  log.Record({"site.a", 1, 1.0, "transient", false, a});
+  log.Record({"site.b", 1, 1.0, "transient", false, b});
+  log.Record({"site.a", 2, 2.0, "transient", false, a});
+  log.MarkRecovered(a);
+  EXPECT_EQ(log.recovered_count("site.a"), 2);
+  EXPECT_EQ(log.recovered_count("site.b"), 0);
+}
+
 TEST(RetrierTest, RetriesTransientFailuresUntilSuccess) {
   RetryPolicy policy;
   policy.max_attempts = 5;
@@ -304,12 +320,16 @@ TEST(RetryLogThreadingTest, ConcurrentRecordAndCountAreRaceFree) {
     threads.emplace_back([&log, t]() {
       const std::string site = "site" + std::to_string(t % 2);
       for (int i = 0; i < kPerThread; ++i) {
-        log.Record({site, i + 1, 1.5, "transient", false});
+        const int64_t invocation = log.NextInvocation();
+        log.Record({site, i + 1, 1.5, "transient", false, invocation});
         // Counting readers race the writers by design; they must only be
         // mutex-safe, not see any particular count.
         (void)log.count(site);
         (void)log.size();
         if (i % 50 == 0) (void)log.Summary();
+        // Recovery marking is scoped by invocation id, so it only touches
+        // this thread's event however the threads interleave.
+        log.MarkRecovered(invocation);
       }
     });
   }
@@ -317,8 +337,8 @@ TEST(RetryLogThreadingTest, ConcurrentRecordAndCountAreRaceFree) {
   EXPECT_EQ(log.size(), static_cast<size_t>(kThreads) * kPerThread);
   EXPECT_EQ(log.count("site0") + log.count("site1"),
             kThreads * kPerThread);
-  log.MarkRecoveredSince(0);
   EXPECT_EQ(log.recovered_count("site0"), log.count("site0"));
+  EXPECT_EQ(log.recovered_count("site1"), log.count("site1"));
 }
 
 TEST(RecoveryLogThreadingTest, ConcurrentRecordAndCountAreRaceFree) {
