@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/spec_builder.h"
 #include "data/dataset_zoo.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -24,11 +25,7 @@ int Main(int argc, char** argv) {
                 "comma-separated zoo names or 'all'");
   flags.AddFlag("alphas", "0.0,0.25,0.5,0.75,0.99,1.0",
                 "comma-separated ADP trade-off factors");
-  flags.AddFlag("iterations", "100", "interaction budget per run");
-  flags.AddFlag("eval-every", "10", "checkpoint spacing");
-  flags.AddFlag("seeds", "2", "number of random seeds");
-  flags.AddFlag("threads", "1", "worker threads for parallel seeds");
-  flags.AddFlag("scale", "0.25", "fraction of paper dataset sizes");
+  ExperimentSpecBuilder::RegisterCommonFlags(flags);
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -36,13 +33,9 @@ int Main(int argc, char** argv) {
   }
   if (flags.help_requested()) return 0;
 
-  ExperimentSpec spec;
-  spec.framework = FrameworkType::kActiveDp;
-  spec.protocol.iterations = flags.GetInt("iterations");
-  spec.protocol.eval_every = flags.GetInt("eval-every");
-  spec.num_seeds = flags.GetInt("seeds");
-  spec.num_threads = flags.GetInt("threads");
-  spec.data_scale = flags.GetDouble("scale");
+  ExperimentSpec spec = ExperimentSpecBuilder::FromFlags(flags)
+                            .Framework(FrameworkType::kActiveDp)
+                            .Build();
 
   std::vector<std::string> datasets;
   if (flags.GetString("datasets") == "all") {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/spec_builder.h"
 #include "data/dataset_zoo.h"
 #include "ml/metrics.h"
 #include "util/csv.h"
@@ -36,12 +37,7 @@ int Main(int argc, char** argv) {
   flags.AddFlag("datasets", "all", "comma-separated zoo names or 'all'");
   flags.AddFlag("frameworks", "all",
                 "comma-separated (activedp,nemo,iws,rlf,us) or 'all'");
-  flags.AddFlag("iterations", "100", "interaction budget per run");
-  flags.AddFlag("eval-every", "10", "checkpoint spacing");
-  flags.AddFlag("seeds", "2", "number of random seeds");
-  flags.AddFlag("threads", "1", "worker threads for parallel seeds");
-  flags.AddFlag("scale", "0.25", "fraction of paper dataset sizes");
-  flags.AddFlag("full", "false", "paper scale: 300 iters, 5 seeds, scale 1.0");
+  ExperimentSpecBuilder::RegisterCommonFlags(flags);
   flags.AddFlag("csv", "", "optional path for the raw curves as CSV");
   flags.AddFlag("checkpoint-dir", "",
                 "directory for per-run crash-safe checkpoints; a killed "
@@ -53,26 +49,17 @@ int Main(int argc, char** argv) {
   }
   if (flags.help_requested()) return 0;
 
-  ExperimentSpec spec;
-  spec.protocol.iterations = flags.GetInt("iterations");
-  spec.protocol.eval_every = flags.GetInt("eval-every");
-  spec.num_seeds = flags.GetInt("seeds");
-  spec.num_threads = flags.GetInt("threads");
-  spec.data_scale = flags.GetDouble("scale");
-  spec.checkpoint_dir = flags.GetString("checkpoint-dir");
-  if (!spec.checkpoint_dir.empty()) {
+  ExperimentSpec spec = ExperimentSpecBuilder::FromFlags(flags)
+                            .CheckpointDir(flags.GetString("checkpoint-dir"))
+                            .Build();
+  if (!spec.policy.checkpoint_path.empty()) {
     std::error_code ec;
-    std::filesystem::create_directories(spec.checkpoint_dir, ec);
+    std::filesystem::create_directories(spec.policy.checkpoint_path, ec);
     if (ec) {
       std::fprintf(stderr, "cannot create checkpoint dir %s: %s\n",
-                   spec.checkpoint_dir.c_str(), ec.message().c_str());
+                   spec.policy.checkpoint_path.c_str(), ec.message().c_str());
       return 1;
     }
-  }
-  if (flags.GetBool("full")) {
-    spec.protocol.iterations = 300;
-    spec.num_seeds = 5;
-    spec.data_scale = 1.0;
   }
 
   std::vector<std::string> datasets;
@@ -86,7 +73,13 @@ int Main(int argc, char** argv) {
     frameworks = kAllFrameworks;
   } else {
     for (const auto& name : Split(flags.GetString("frameworks"), ',')) {
-      frameworks.push_back(ParseFrameworkType(name));
+      const Result<FrameworkType> framework = ParseFrameworkType(name);
+      if (!framework.ok()) {
+        std::fprintf(stderr, "--frameworks: %s\n",
+                     framework.status().ToString().c_str());
+        return 1;
+      }
+      frameworks.push_back(*framework);
     }
   }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/spec_builder.h"
 #include "data/dataset_zoo.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -22,14 +23,9 @@ namespace {
 int Main(int argc, char** argv) {
   FlagParser flags;
   flags.AddFlag("datasets", "all", "comma-separated zoo names or 'all'");
-  flags.AddFlag("iterations", "100", "interaction budget per run");
-  flags.AddFlag("eval-every", "10", "checkpoint spacing");
-  flags.AddFlag("seeds", "2", "number of random seeds");
-  flags.AddFlag("threads", "1", "worker threads for parallel seeds");
-  flags.AddFlag("scale", "0.25", "fraction of paper dataset sizes");
+  ExperimentSpecBuilder::RegisterCommonFlags(flags);
   flags.AddFlag("noise-levels", "0,0.05,0.10,0.15",
                 "comma-separated label-noise rates");
-  flags.AddFlag("full", "false", "paper scale: 300 iters, 5 seeds, scale 1.0");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -37,18 +33,9 @@ int Main(int argc, char** argv) {
   }
   if (flags.help_requested()) return 0;
 
-  ExperimentSpec spec;
-  spec.framework = FrameworkType::kActiveDp;
-  spec.protocol.iterations = flags.GetInt("iterations");
-  spec.protocol.eval_every = flags.GetInt("eval-every");
-  spec.num_seeds = flags.GetInt("seeds");
-  spec.num_threads = flags.GetInt("threads");
-  spec.data_scale = flags.GetDouble("scale");
-  if (flags.GetBool("full")) {
-    spec.protocol.iterations = 300;
-    spec.num_seeds = 5;
-    spec.data_scale = 1.0;
-  }
+  ExperimentSpec spec = ExperimentSpecBuilder::FromFlags(flags)
+                            .Framework(FrameworkType::kActiveDp)
+                            .Build();
 
   std::vector<std::string> datasets;
   if (flags.GetString("datasets") == "all") {

@@ -91,8 +91,8 @@ ActiveDpOptions MakeOptions(uint64_t seed, const RunLimits& limits) {
   // neighbourhood fast path, which never hits "glasso.solve").
   options.label_pick.blanket.method = BlanketMethod::kGraphicalLasso;
   options.label_pick.min_queries_for_blanket = 6;
-  options.retry.seed = seed;
-  options.limits = limits;
+  options.policy.retry.seed = seed;
+  options.policy.limits = limits;
   return options;
 }
 
@@ -136,13 +136,13 @@ ScenarioOutcome RunScenario(const SiteInfo& info, FaultKind kind,
   ProtocolOptions protocol;
   protocol.iterations = steps;
   protocol.eval_every = 8;
-  protocol.checkpoint_path = checkpoint_path;
-  protocol.limits = limits;
-  protocol.retry = options.retry;
+  protocol.policy.checkpoint_path = checkpoint_path;
+  protocol.policy.limits = limits;
+  protocol.policy.retry = options.policy.retry;
   RetryLog protocol_retries;
   RecoveryLog protocol_recovery;
-  protocol.retry_log = &protocol_retries;
-  protocol.recovery = &protocol_recovery;
+  protocol.policy.retry_log = &protocol_retries;
+  protocol.policy.recovery = &protocol_recovery;
 
   RunResult faulted;
   bool session_corruption_detected = false;
@@ -221,9 +221,9 @@ ScenarioOutcome RunScenario(const SiteInfo& info, FaultKind kind,
     clean_limits.deadline = Deadline::After(budget_seconds);
     const ActiveDpOptions clean_options = MakeOptions(seed, clean_limits);
     ProtocolOptions clean_protocol = protocol;
-    clean_protocol.limits = clean_limits;
-    clean_protocol.retry_log = nullptr;
-    clean_protocol.recovery = nullptr;
+    clean_protocol.policy.limits = clean_limits;
+    clean_protocol.policy.retry_log = nullptr;
+    clean_protocol.policy.recovery = nullptr;
     ActiveDp resumed(ctx.context, clean_options);
     const RunResult rerun = RunProtocol(resumed, ctx.context, clean_protocol);
     if (!rerun.termination.ok()) {

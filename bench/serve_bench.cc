@@ -1,0 +1,508 @@
+// Serving benchmark for the ServeDP stack: trains a small pipeline, exports
+// a ModelSnapshot, and drives a PredictionService under closed-loop load
+// (a fixed set of clients issuing back-to-back requests) and open-loop load
+// (requests arriving at a target rate regardless of completions). Writes
+// throughput, p50/p95/p99 latency and the observed micro-batch-size
+// histogram to a JSON report (BENCH_serving.json).
+//
+// Determinism is asserted unconditionally, mirroring perf_bench: every
+// served prediction is digested (FNV-1a over raw double bit patterns) and
+// compared against the offline ConFusion aggregation, sweeping batch sizes
+// and compute-pool thread counts, plus a hot-swap-under-load pass where
+// each response must bitwise match one of the two published snapshots.
+// Any mismatch fails the run with exit code 1.
+//
+//   ./build/bench/serve_bench --requests=2000 --clients=8 --rate=4000
+//       --out=BENCH_serving.json
+//
+// Registered as a ctest with LABELS serve at a small smoke size.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/activedp.h"
+#include "core/framework.h"
+#include "data/dataset_zoo.h"
+#include "serve/model_snapshot.h"
+#include "serve/prediction_service.h"
+#include "serve/snapshot_export.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace activedp {
+namespace {
+
+class BitHasher {
+ public:
+  void Add(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    AddBits(bits);
+  }
+  void Add(int value) { AddBits(static_cast<uint64_t>(value)); }
+  void Add(const ServedPrediction& prediction) {
+    Add(prediction.label);
+    Add(static_cast<int>(prediction.source));
+    for (double p : prediction.proba) Add(p);
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  void AddBits(uint64_t bits) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (bits >> (8 * byte)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::string HexDigest(uint64_t digest) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buffer;
+}
+
+/// Latency percentiles over one load phase (nearest-rank on the sorted
+/// sample; all values in milliseconds).
+struct LatencyStats {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+LatencyStats Summarize(std::vector<double> latencies_ms) {
+  LatencyStats stats;
+  if (latencies_ms.empty()) return stats;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto rank = [&](double q) {
+    const size_t n = latencies_ms.size();
+    size_t index = static_cast<size_t>(std::ceil(q * n));
+    if (index > 0) --index;
+    return latencies_ms[std::min(index, n - 1)];
+  };
+  stats.p50 = rank(0.50);
+  stats.p95 = rank(0.95);
+  stats.p99 = rank(0.99);
+  stats.max = latencies_ms.back();
+  double sum = 0.0;
+  for (double v : latencies_ms) sum += v;
+  stats.mean = sum / latencies_ms.size();
+  return stats;
+}
+
+struct LoadResult {
+  int requests = 0;
+  int failures = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  LatencyStats latency;
+};
+
+/// Closed loop: `clients` threads, each issuing its share of `requests`
+/// back-to-back (a new request only after the previous response). Measures
+/// the service's sustainable throughput.
+LoadResult RunClosedLoop(PredictionService& service, const Dataset& train,
+                         int requests, int clients) {
+  LoadResult result;
+  result.requests = requests;
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<int> failures{0};
+  Timer wall;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      const int share = requests / clients + (c < requests % clients ? 1 : 0);
+      latencies[c].reserve(share);
+      for (int k = 0; k < share; ++k) {
+        const int row = (c + k * clients) % train.size();
+        Timer timer;
+        const Result<ServedPrediction> served =
+            service.Predict(train.example(row));
+        latencies[c].push_back(timer.ElapsedMillis());
+        if (!served.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  result.seconds = wall.ElapsedSeconds();
+  result.failures = failures.load();
+  std::vector<double> all;
+  all.reserve(requests);
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.throughput_rps =
+      result.seconds > 0.0 ? requests / result.seconds : 0.0;
+  result.latency = Summarize(std::move(all));
+  return result;
+}
+
+/// Open loop: one issuing thread schedules arrivals at `rate` per second
+/// (independent of completions — queueing delay shows up in the latency
+/// tail) while a collector drains the futures in FIFO order, which is also
+/// their completion order under the single dispatcher.
+LoadResult RunOpenLoop(PredictionService& service, const Dataset& train,
+                       int requests, double rate) {
+  using Clock = std::chrono::steady_clock;
+  LoadResult result;
+  result.requests = requests;
+  std::vector<std::future<Result<ServedPrediction>>> futures(requests);
+  std::vector<Clock::time_point> sent(requests);
+  std::vector<double> latencies(requests, 0.0);
+  std::atomic<int> issued{0};
+  std::atomic<int> failures{0};
+
+  Timer wall;
+  const Clock::time_point start = Clock::now();
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / rate));
+
+  std::thread collector([&] {
+    for (int i = 0; i < requests; ++i) {
+      while (issued.load(std::memory_order_acquire) <= i) {
+        std::this_thread::yield();
+      }
+      const Result<ServedPrediction> served = futures[i].get();
+      latencies[i] = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              sent[i])
+                         .count();
+      if (!served.ok()) failures.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(start + i * interval);
+    sent[i] = Clock::now();
+    futures[i] = service.PredictAsync(train.example(i % train.size()));
+    issued.store(i + 1, std::memory_order_release);
+  }
+  collector.join();
+  result.seconds = wall.ElapsedSeconds();
+  result.failures = failures.load();
+  result.throughput_rps =
+      result.seconds > 0.0 ? requests / result.seconds : 0.0;
+  result.latency = Summarize(std::move(latencies));
+  return result;
+}
+
+/// Served digest over the first `n` training rows at one (batch size,
+/// thread count) configuration.
+uint64_t ServedDigest(const std::shared_ptr<const ModelSnapshot>& snapshot,
+                      const Dataset& train, int n, int batch_size) {
+  PredictionServiceOptions options;
+  options.max_batch_size = batch_size;
+  options.max_batch_delay_ms = 0.5;
+  options.max_queue_depth = n + 1;
+  PredictionService service(options);
+  service.LoadSnapshot(snapshot);
+  std::vector<std::future<Result<ServedPrediction>>> futures;
+  futures.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(service.PredictAsync(train.example(i)));
+  }
+  BitHasher hasher;
+  for (int i = 0; i < n; ++i) {
+    const Result<ServedPrediction> served = futures[i].get();
+    if (!served.ok()) {
+      LOG(Error) << "serve failed at row " << i << ": "
+                 << served.status().ToString();
+      return 0;
+    }
+    hasher.Add(*served);
+  }
+  return hasher.digest();
+}
+
+/// Hot-swap gate: clients hammer the service while snapshots A and B are
+/// swapped repeatedly; every response must bitwise match A's or B's offline
+/// prediction for that row. Returns the number of mismatches.
+int RunHotSwapGate(const std::shared_ptr<const ModelSnapshot>& a,
+                   const std::shared_ptr<const ModelSnapshot>& b,
+                   const Dataset& train, int requests, int clients,
+                   int swaps) {
+  PredictionServiceOptions options;
+  options.max_batch_size = 8;
+  options.max_batch_delay_ms = 0.2;
+  PredictionService service(options);
+  service.LoadSnapshot(a);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  const int per_client = requests / clients;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (int k = 0; k < per_client; ++k) {
+        const int row = (c * per_client + k) % train.size();
+        const Result<ServedPrediction> served =
+            service.Predict(train.example(row));
+        if (!served.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        const Result<ServedPrediction> via_a = a->Predict(train.example(row));
+        const Result<ServedPrediction> via_b = b->Predict(train.example(row));
+        const bool matches_a = via_a.ok() && served->proba == via_a->proba &&
+                               served->label == via_a->label;
+        const bool matches_b = via_b.ok() && served->proba == via_b->proba &&
+                               served->label == via_b->label;
+        if (!matches_a && !matches_b) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (int swap = 0; swap < swaps; ++swap) {
+    service.LoadSnapshot(swap % 2 == 0 ? b : a);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::thread& t : workers) t.join();
+  return mismatches.load();
+}
+
+void AppendLatency(std::ofstream& out, const LatencyStats& stats) {
+  out << "{\"p50_ms\": " << stats.p50 << ", \"p95_ms\": " << stats.p95
+      << ", \"p99_ms\": " << stats.p99 << ", \"mean_ms\": " << stats.mean
+      << ", \"max_ms\": " << stats.max << "}";
+}
+
+void AppendLoad(std::ofstream& out, const LoadResult& load) {
+  out << "\"requests\": " << load.requests
+      << ", \"failures\": " << load.failures
+      << ", \"seconds\": " << load.seconds
+      << ", \"throughput_rps\": " << load.throughput_rps
+      << ", \"latency\": ";
+  AppendLatency(out, load.latency);
+}
+
+void WriteJson(const std::string& path, const ModelSnapshot& snapshot,
+               const Dataset& train, bool deterministic, int configs_checked,
+               int hot_swap_requests, int hot_swap_mismatches,
+               const LoadResult& closed, int clients, const LoadResult& open,
+               double rate) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  out << "  \"benchmark\": \"serving\",\n";
+  out << "  \"dataset\": \"" << snapshot.state().dataset << "\",\n";
+  out << "  \"train_examples\": " << train.size() << ",\n";
+  out << "  \"snapshot\": {\"classes\": " << snapshot.num_classes()
+      << ", \"dim\": " << snapshot.feature_dim()
+      << ", \"lfs\": " << snapshot.state().lfs.size()
+      << ", \"threshold\": " << snapshot.threshold()
+      << ", \"has_end_model\": " << (snapshot.has_end_model() ? "true" : "false")
+      << "},\n";
+  out << "  \"determinism\": {\"passed\": "
+      << (deterministic ? "true" : "false")
+      << ", \"configs_checked\": " << configs_checked
+      << ", \"hot_swap_requests\": " << hot_swap_requests
+      << ", \"hot_swap_mismatches\": " << hot_swap_mismatches << "},\n";
+  out << "  \"closed_loop\": {\"clients\": " << clients << ", ";
+  AppendLoad(out, closed);
+  out << "},\n";
+  out << "  \"open_loop\": {\"target_rps\": " << rate << ", ";
+  AppendLoad(out, open);
+  out << "},\n";
+  // The micro-batch-size distribution the dispatcher actually formed during
+  // the two load phases (registry is reset before them).
+  const Histogram& sizes = MetricsRegistry::Global().histogram(
+      "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+  out << "  \"batch_size_histogram\": [";
+  for (int bucket = 0; bucket < sizes.num_buckets(); ++bucket) {
+    if (bucket > 0) out << ", ";
+    out << "{\"le\": ";
+    if (bucket < static_cast<int>(sizes.bounds().size())) {
+      out << sizes.bounds()[bucket];
+    } else {
+      out << "\"inf\"";
+    }
+    out << ", \"count\": " << sizes.bucket_count(bucket) << "}";
+  }
+  out << "],\n";
+  out << "  \"batches\": "
+      << MetricsRegistry::Global().counter_value("serve.batches") << ",\n";
+  out << "  \"served_requests\": "
+      << MetricsRegistry::Global().counter_value("serve.requests") << "\n";
+  out << "}\n";
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddFlag("scale", "0.15", "zoo dataset subsample fraction");
+  flags.AddFlag("steps", "20", "AL steps before the first snapshot export");
+  flags.AddFlag("requests", "800", "requests per load phase");
+  flags.AddFlag("clients", "4", "closed-loop client threads");
+  flags.AddFlag("rate", "2000", "open-loop arrival rate (requests/second)");
+  flags.AddFlag("batch", "32", "service max batch size for the load phases");
+  flags.AddFlag("delay-ms", "2.0", "service max batch delay for the load "
+                                   "phases");
+  flags.AddFlag("threads", "", "comma-separated compute-pool widths for the "
+                               "determinism sweep (default: 1,<hardware>)");
+  flags.AddFlag("out", "BENCH_serving.json", "JSON report path");
+  flags.AddFlag("seed", "7", "dataset split / pipeline seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+
+  std::vector<int> thread_counts;
+  if (flags.GetString("threads").empty()) {
+    const int hw = std::max(1u, std::thread::hardware_concurrency());
+    thread_counts = {1};
+    if (hw > 1) thread_counts.push_back(hw);
+  } else {
+    for (const std::string& part : Split(flags.GetString("threads"), ',')) {
+      if (!part.empty()) thread_counts.push_back(std::stoi(part));
+    }
+  }
+  CHECK(!thread_counts.empty());
+
+  // -- Train a pipeline and export two snapshots (A mid-run, B later) -----
+  const int seed = flags.GetInt("seed");
+  Result<DataSplit> split =
+      MakeZooDataset("youtube", flags.GetDouble("scale"), seed);
+  if (!split.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", split.status().ToString().c_str());
+    return 2;
+  }
+  const FrameworkContext context = FrameworkContext::Build(*split);
+  ActiveDpOptions options;
+  options.seed = seed + 16;
+  ActiveDp pipeline(context, options);
+  const int steps = flags.GetInt("steps");
+  for (int t = 0; t < steps; ++t) {
+    const Status status = pipeline.Step();
+    if (!status.ok()) {
+      std::fprintf(stderr, "step %d: %s\n", t, status.ToString().c_str());
+      return 2;
+    }
+  }
+  Result<ModelSnapshot> early = ExportSnapshot(pipeline, context);
+  if (!early.ok()) {
+    std::fprintf(stderr, "export: %s\n", early.status().ToString().c_str());
+    return 2;
+  }
+  const auto snapshot_a =
+      std::make_shared<const ModelSnapshot>(std::move(*early));
+  for (int t = 0; t < std::max(1, steps / 2); ++t) {
+    const Status status = pipeline.Step();
+    if (!status.ok()) {
+      std::fprintf(stderr, "step: %s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  Result<ModelSnapshot> late = ExportSnapshot(pipeline, context);
+  if (!late.ok()) {
+    std::fprintf(stderr, "export: %s\n", late.status().ToString().c_str());
+    return 2;
+  }
+  const auto snapshot_b =
+      std::make_shared<const ModelSnapshot>(std::move(*late));
+  const Dataset& train = split->train;
+  LOG(Info) << "snapshot: " << snapshot_a->state().lfs.size() << " LFs, dim "
+            << snapshot_a->feature_dim() << ", train " << train.size();
+
+  // -- Determinism gate ---------------------------------------------------
+  // Reference digest: single-row offline predictions, serial pool.
+  SetComputePoolThreads(1);
+  const int gate_rows = std::min(train.size(), 96);
+  BitHasher reference;
+  for (int i = 0; i < gate_rows; ++i) {
+    const Result<ServedPrediction> offline =
+        snapshot_a->Predict(train.example(i));
+    if (!offline.ok()) {
+      std::fprintf(stderr, "offline predict: %s\n",
+                   offline.status().ToString().c_str());
+      return 2;
+    }
+    reference.Add(*offline);
+  }
+
+  bool deterministic = true;
+  int configs_checked = 0;
+  for (int threads : thread_counts) {
+    SetComputePoolThreads(threads);
+    for (int batch_size : {1, 8, 32}) {
+      const uint64_t digest =
+          ServedDigest(snapshot_a, train, gate_rows, batch_size);
+      ++configs_checked;
+      if (digest != reference.digest()) {
+        deterministic = false;
+        std::fprintf(stderr,
+                     "FAIL: served digest differs at threads=%d batch=%d "
+                     "(%s vs offline %s)\n",
+                     threads, batch_size, HexDigest(digest).c_str(),
+                     HexDigest(reference.digest()).c_str());
+      }
+    }
+  }
+
+  // Hot swap under full load on the widest pool.
+  SetComputePoolThreads(thread_counts.back());
+  const int hot_swap_requests = std::min(flags.GetInt("requests"), 400);
+  const int hot_swap_mismatches =
+      RunHotSwapGate(snapshot_a, snapshot_b, train, hot_swap_requests,
+                     flags.GetInt("clients"), /*swaps=*/20);
+  if (hot_swap_mismatches > 0) {
+    deterministic = false;
+    std::fprintf(stderr, "FAIL: %d hot-swap responses matched neither "
+                         "snapshot\n", hot_swap_mismatches);
+  }
+
+  // -- Load phases (metrics reset so the histogram covers only these) -----
+  MetricsRegistry::Global().ResetAll();
+  PredictionServiceOptions serve_options;
+  serve_options.max_batch_size = flags.GetInt("batch");
+  serve_options.max_batch_delay_ms = flags.GetDouble("delay-ms");
+  PredictionService service(serve_options);
+  service.LoadSnapshot(snapshot_a);
+
+  const int requests = flags.GetInt("requests");
+  const int clients = flags.GetInt("clients");
+  const double rate = flags.GetDouble("rate");
+  const LoadResult closed = RunClosedLoop(service, train, requests, clients);
+  LOG(Info) << "closed loop: " << closed.throughput_rps << " rps, p50 "
+            << closed.latency.p50 << "ms p99 " << closed.latency.p99 << "ms";
+  const LoadResult open = RunOpenLoop(service, train, requests, rate);
+  LOG(Info) << "open loop: " << open.throughput_rps << " rps (target " << rate
+            << "), p50 " << open.latency.p50 << "ms p99 " << open.latency.p99
+            << "ms";
+  service.Shutdown();
+  SetComputePoolThreads(1);
+
+  WriteJson(flags.GetString("out"), *snapshot_a, train, deterministic,
+            configs_checked, hot_swap_requests, hot_swap_mismatches, closed,
+            clients, open, rate);
+  std::printf("wrote %s (closed %0.0f rps, open %0.0f rps, deterministic: "
+              "%s)\n",
+              flags.GetString("out").c_str(), closed.throughput_rps,
+              open.throughput_rps, deterministic ? "yes" : "no");
+  if (closed.failures + open.failures > 0) {
+    std::fprintf(stderr, "FAIL: %d load-phase requests failed\n",
+                 closed.failures + open.failures);
+    return 1;
+  }
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace activedp
+
+int main(int argc, char** argv) { return activedp::Main(argc, argv); }

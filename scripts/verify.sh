@@ -13,11 +13,16 @@
 #      and the per-stage times are compared against the previous archive
 #      (informational only — machines differ, so a regression is printed,
 #      not failed)
-#   6. a small-budget chaos sweep (fault sites x kinds x seeds, with
+#   6. the serving suite (ctest -L serve: snapshot export/IO round-trips,
+#      the batched prediction service, and the serve_bench smoke run, whose
+#      determinism gate asserts served == offline bitwise across batch
+#      sizes, thread counts and a mid-load hot swap; BENCH_serving.json is
+#      archived to bench-archive/)
+#   7. a small-budget chaos sweep (fault sites x kinds x seeds, with
 #      fault accounting and resumability checks; see bench/chaos_sweep.cc)
 #
 # Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-perf]
-#                          [--skip-chaos] [--skip-trace]
+#                          [--skip-chaos] [--skip-trace] [--skip-serve]
 # Runs from any directory; build trees live next to the sources as
 # build/, build-asan/ and build-tsan/.
 set -euo pipefail
@@ -29,6 +34,7 @@ SKIP_TSAN=0
 SKIP_PERF=0
 SKIP_CHAOS=0
 SKIP_TRACE=0
+SKIP_SERVE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
@@ -36,6 +42,7 @@ for arg in "$@"; do
     --skip-perf) SKIP_PERF=1 ;;
     --skip-chaos) SKIP_CHAOS=1 ;;
     --skip-trace) SKIP_TRACE=1 ;;
+    --skip-serve) SKIP_SERVE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -70,9 +77,9 @@ if [[ "$SKIP_TSAN" -eq 0 ]]; then
   cmake -B build-tsan -S . -DACTIVEDP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test determinism_test trace_test util_metrics_test \
-             logging_test retry_test
+             logging_test retry_test serve_test snapshot_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test"
+    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test"
 fi
 
 if [[ "$SKIP_PERF" -eq 0 ]]; then
@@ -105,6 +112,22 @@ if [[ "$SKIP_PERF" -eq 0 ]]; then
     fi
   else
     echo "note: $BENCH_JSON not found; skipping archive" >&2
+  fi
+fi
+
+if [[ "$SKIP_SERVE" -eq 0 ]]; then
+  echo "== serving suite (ctest -L serve, incl. serve_bench smoke) =="
+  ctest --test-dir build -L serve --output-on-failure
+  SERVE_JSON="build/bench/BENCH_serving.json"
+  if [[ -f "$SERVE_JSON" ]]; then
+    mkdir -p bench-archive
+    STAMP="$(date +%Y%m%d-%H%M%S)"
+    cp "$SERVE_JSON" "bench-archive/BENCH_serving-$STAMP.json"
+    echo "archived bench-archive/BENCH_serving-$STAMP.json"
+    grep -oE '"throughput_rps": [0-9.eE+-]+|"p99_ms": [0-9.eE+-]+' \
+      "$SERVE_JSON" | sed 's/^/  /' || true
+  else
+    echo "note: $SERVE_JSON not found; skipping archive" >&2
   fi
 fi
 

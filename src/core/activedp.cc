@@ -22,7 +22,7 @@ ActiveDp::ActiveDp(const FrameworkContext& context, ActiveDpOptions options)
       train_matrix_(context.split->train.size()),
       valid_matrix_(context.split->valid.size()),
       queried_(context.split->train.size(), false),
-      retrier_(options.retry, &retry_log_) {
+      retrier_(options.policy.retry, &retry_log_) {
   if (options_.adp_alpha >= 0.0) {
     alpha_ = options_.adp_alpha;
   } else {
@@ -34,9 +34,9 @@ ActiveDp::ActiveDp(const FrameworkContext& context, ActiveDpOptions options)
   label_model_ = MakeLabelModel(options_.label_model_type);
   // One budget for the whole pipeline: every solver sees the same deadline
   // and cancellation token, and the blanket step shares the retry budget.
-  label_model_->set_limits(options_.limits);
-  options_.al_lr.limits = options_.limits;
-  options_.label_pick.blanket.limits = options_.limits;
+  label_model_->set_limits(options_.policy.limits);
+  options_.al_lr.limits = options_.policy.limits;
+  options_.label_pick.blanket.limits = options_.policy.limits;
   options_.label_pick.blanket.retrier = &retrier_;
 }
 
@@ -65,7 +65,7 @@ SamplerContext ActiveDp::BuildSamplerContext() const {
 Status ActiveDp::Step() {
   TraceSpan step_span("activedp.step");
   MetricsRegistry::Global().counter("activedp.steps").Increment();
-  RETURN_IF_ERROR(options_.limits.Check("activedp.step"));
+  RETURN_IF_ERROR(options_.policy.limits.Check("activedp.step"));
   const SamplerContext sampler_context = BuildSamplerContext();
   const int query = [&]() {
     TraceSpan span("sampler.select");
@@ -182,7 +182,7 @@ void ActiveDp::RetrainAlModel() {
   // weights) get the policy's attempts before the cascade below fires.
   Result<LogisticRegression> model =
       retrier_.RunResulting<LogisticRegression>(
-          "al_model.fit", options_.limits, [&]() {
+          "al_model.fit", options_.policy.limits, [&]() {
             return LogisticRegression::FitHard(x, pseudo_labels_,
                                                context_->num_classes,
                                                context_->feature_dim, lr);
@@ -257,7 +257,7 @@ void ActiveDp::RetrainLabelModel() {
   // bitwise-identical to a fault-free one.
   const Status fit = [&]() {
     TraceSpan span("label_model.fit");
-    return retrier_.Run("label_model.fit", options_.limits, [&]() {
+    return retrier_.Run("label_model.fit", options_.policy.limits, [&]() {
       return label_model_->Fit(train_selected, context_->num_classes);
     });
   }();

@@ -11,6 +11,7 @@
 #include "core/framework.h"
 #include "core/label_pick.h"
 #include "core/recovery.h"
+#include "core/run_policy.h"
 #include "core/session_io.h"
 #include "labelmodel/label_model.h"
 #include "lf/oracle.h"
@@ -38,12 +39,13 @@ struct ActiveDpOptions {
   /// many instances spanning at least two classes.
   int min_labeled_for_al = 4;
   uint64_t seed = 42;
-  /// Retry-before-degrade policy for the transient-failure sites
-  /// ("glasso.solve", "label_model.fit", "al_model.fit"); see util/retry.h.
-  RetryPolicy retry;
-  /// Time budget / cancellation for the whole pipeline, propagated into
-  /// every solver. Checked at each Step() and inside solver loops.
-  RunLimits limits;
+  /// Shared robustness policy (see core/run_policy.h). The pipeline
+  /// consumes `policy.retry` (transient-failure sites "glasso.solve",
+  /// "label_model.fit", "al_model.fit") and `policy.limits` (checked at
+  /// each Step() and inside solver loops); the sink/path/trace fields are
+  /// ignored here — ActiveDp keeps its own RetryLog/RecoveryLog
+  /// (retry_log() / recovery()).
+  RunPolicy policy;
 
   ActiveDpOptions() {
     // LabelPick runs every iteration, so the pipeline defaults to the
@@ -99,6 +101,13 @@ class ActiveDp : public InteractiveFramework {
     return al_model_.has_value() ? &*al_model_ : nullptr;
   }
   bool has_label_model() const { return label_model_ready_; }
+  /// The label model currently serving predictions (the configured model,
+  /// or the majority-vote fallback after a degradation), or null before
+  /// one is trained. Only meaningful while has_label_model(); snapshot
+  /// export (serve/snapshot_export.h) reads its fitted parameters.
+  const LabelModel* label_model() const {
+    return label_model_ready_ ? current_label_model() : nullptr;
+  }
   /// τ chosen at the most recent CurrentTrainingLabels() call.
   double last_threshold() const { return last_threshold_; }
   int last_query() const { return last_query_; }

@@ -33,8 +33,9 @@ std::string FrameworkDisplayName(FrameworkType type) {
   return "unknown";
 }
 
-FrameworkType ParseFrameworkType(const std::string& name) {
+Result<FrameworkType> ParseFrameworkType(const std::string& name) {
   const std::string lower = ToLower(name);
+  if (lower == "activedp" || lower == "adp") return FrameworkType::kActiveDp;
   if (lower == "nemo") return FrameworkType::kNemo;
   if (lower == "iws") return FrameworkType::kIws;
   if (lower == "rlf" || lower == "revisinglf") return FrameworkType::kRlf;
@@ -42,7 +43,9 @@ FrameworkType ParseFrameworkType(const std::string& name) {
   if (lower == "aw" || lower == "active-weasul" || lower == "activeweasul") {
     return FrameworkType::kActiveWeasul;
   }
-  return FrameworkType::kActiveDp;
+  return Status::InvalidArgument(
+      "unknown framework '" + name +
+      "' (expected one of: activedp, nemo, iws, rlf, us, aw)");
 }
 
 std::unique_ptr<InteractiveFramework> MakeFramework(
@@ -82,33 +85,34 @@ RunResult RunProtocol(InteractiveFramework& framework,
   // iteration while reusing its recorded evaluation rows reproduces an
   // uninterrupted run bit for bit.
   int resume_through = 0;
-  if (!options.checkpoint_path.empty()) {
+  const RunPolicy& policy = options.policy;
+  if (!policy.checkpoint_path.empty()) {
     TraceSpan load_span("checkpoint.load");
-    Result<RunCheckpoint> loaded = LoadRunCheckpoint(options.checkpoint_path);
+    Result<RunCheckpoint> loaded = LoadRunCheckpoint(policy.checkpoint_path);
     if (loaded.ok()) {
       resume_through = loaded->completed_iterations;
       result = std::move(loaded->partial);
       LOG(Info) << framework.name() << " resuming from checkpoint at "
                 << resume_through << " iterations ("
-                << options.checkpoint_path << ")";
+                << policy.checkpoint_path << ")";
     } else if (loaded.status().code() != StatusCode::kNotFound) {
       // Degradation cascade step 4: a corrupt/truncated checkpoint must not
       // take the run down with it — start fresh instead.
-      if (options.recovery != nullptr) {
-        options.recovery->Record("checkpoint", loaded.status().ToString(),
-                                 "ignoring unusable checkpoint, fresh start");
+      if (policy.recovery != nullptr) {
+        policy.recovery->Record("checkpoint", loaded.status().ToString(),
+                                "ignoring unusable checkpoint, fresh start");
       }
       LOG(Warning) << "ignoring unusable checkpoint "
-                   << options.checkpoint_path << " ("
+                   << policy.checkpoint_path << " ("
                    << loaded.status().ToString() << "); starting fresh";
     }
   }
-  Retrier retrier(options.retry, options.retry_log);
+  Retrier retrier(policy.retry, policy.retry_log);
   for (int iteration = 1; iteration <= options.iterations; ++iteration) {
     TraceSpan round_span("protocol.round");
     round_span.AddArg("iteration", iteration);
     MetricsRegistry::Global().counter("protocol.rounds").Increment();
-    const Status limit = options.limits.Check("protocol");
+    const Status limit = policy.limits.Check("protocol");
     if (!limit.ok()) {
       result.termination =
           Status(limit.code(), limit.message() + " after " +
@@ -149,16 +153,16 @@ RunResult RunProtocol(InteractiveFramework& framework,
     if (end_model.ok()) {
       accuracy = EvaluateAccuracy(*end_model, context.test_features,
                                   context.test_labels);
-    } else if (options.recovery != nullptr) {
-      options.recovery->Record("end_model", end_model.status().ToString(),
-                               "recording zero accuracy for this evaluation");
+    } else if (policy.recovery != nullptr) {
+      policy.recovery->Record("end_model", end_model.status().ToString(),
+                              "recording zero accuracy for this evaluation");
     }
     result.budgets.push_back(iteration);
     result.test_accuracy.push_back(accuracy);
     result.label_accuracy.push_back(quality.accuracy);
     result.label_coverage.push_back(quality.coverage);
 
-    if (!options.checkpoint_path.empty()) {
+    if (!policy.checkpoint_path.empty()) {
       TraceSpan save_span("checkpoint.save");
       RunCheckpoint checkpoint;
       checkpoint.completed_iterations = iteration;
@@ -166,14 +170,14 @@ RunResult RunProtocol(InteractiveFramework& framework,
       // Retry-before-degrade for the "checkpoint.save" fault site; only
       // after the attempts are spent does the run continue uncheckpointed.
       const Status saved =
-          retrier.Run("checkpoint.save", options.limits, [&]() {
-            return SaveRunCheckpoint(checkpoint, options.checkpoint_path);
+          retrier.Run("checkpoint.save", policy.limits, [&]() {
+            return SaveRunCheckpoint(checkpoint, policy.checkpoint_path);
           });
       if (!saved.ok()) {
         // A failed checkpoint save degrades resumability, not the run.
-        if (options.recovery != nullptr) {
-          options.recovery->Record("checkpoint", saved.ToString(),
-                                   "continuing without checkpoint");
+        if (policy.recovery != nullptr) {
+          policy.recovery->Record("checkpoint", saved.ToString(),
+                                  "continuing without checkpoint");
         }
         LOG(Warning) << "checkpoint save failed ("
                      << saved.ToString() << "); continuing without it";
@@ -192,7 +196,7 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
   // Metrics are reset alongside so the written snapshot covers this run
   // only. An experiment without trace_dir leaves any caller-armed tracer
   // alone.
-  const bool tracing = !spec.trace_dir.empty();
+  const bool tracing = !spec.policy.trace_dir.empty();
   if (tracing) {
     MetricsRegistry::Global().ResetAll();
     Tracer::Global().Enable();
@@ -211,12 +215,13 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
     TraceTrackScope track(s);
     TraceSpan seed_span("experiment.seed");
     seed_span.AddArg("seed_ordinal", s);
-    auto source = std::make_shared<CancellationSource>(spec.limits.cancel);
+    auto source =
+        std::make_shared<CancellationSource>(spec.policy.limits.cancel);
     RunLimits limits;
-    limits.deadline = spec.limits.deadline;
+    limits.deadline = spec.policy.limits.deadline;
     limits.cancel = source->token();
-    if (spec.seed_deadline_seconds > 0.0) {
-      limits = limits.Tightened(spec.seed_deadline_seconds);
+    if (spec.policy.seed_deadline_seconds > 0.0) {
+      limits = limits.Tightened(spec.policy.seed_deadline_seconds);
       watchdog.Watch(limits.deadline, source);
     }
     const uint64_t seed = spec.base_seed + 1000003ULL * s;
@@ -231,16 +236,16 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
     ActiveDpOptions adp = spec.adp;
     adp.seed = seed ^ 0x9e37;
     adp.user.seed = seed ^ 0x1234;
-    adp.retry = spec.retry;
-    adp.limits = limits;
+    adp.policy.retry = spec.policy.retry;
+    adp.policy.limits = limits;
     std::unique_ptr<InteractiveFramework> framework =
         MakeFramework(spec.framework, context, adp);
     ProtocolOptions protocol = spec.protocol;
-    protocol.limits = limits;
-    protocol.retry = spec.retry;
-    if (!spec.checkpoint_dir.empty()) {
-      protocol.checkpoint_path =
-          spec.checkpoint_dir + "/" + spec.dataset + "-" +
+    protocol.policy.limits = limits;
+    protocol.policy.retry = spec.policy.retry;
+    if (!spec.policy.checkpoint_path.empty()) {
+      protocol.policy.checkpoint_path =
+          spec.policy.checkpoint_path + "/" + spec.dataset + "-" +
           ToLower(FrameworkDisplayName(spec.framework)) + "-seed" +
           std::to_string(s) + ".ckpt";
     }
@@ -263,11 +268,11 @@ Result<RunResult> RunExperiment(const ExperimentSpec& spec) {
     Tracer::Global().Disable();
     const std::string stem =
         spec.dataset + "-" + ToLower(FrameworkDisplayName(spec.framework));
-    const Status written = WriteRunTrace(trace, spec.trace_dir, stem);
+    const Status written = WriteRunTrace(trace, spec.policy.trace_dir, stem);
     if (!written.ok()) {
       LOG(Warning) << "trace export failed: " << written.ToString();
     } else {
-      LOG(Info) << "trace written to " << spec.trace_dir << "/" << stem
+      LOG(Info) << "trace written to " << spec.policy.trace_dir << "/" << stem
                 << ".trace.{jsonl,chrome.json,summary.json}";
     }
   }

@@ -9,6 +9,7 @@
 #include "core/baselines.h"
 #include "core/end_model.h"
 #include "core/framework.h"
+#include "core/run_policy.h"
 #include "util/deadline.h"
 #include "util/result.h"
 #include "util/retry.h"
@@ -21,8 +22,13 @@ enum class FrameworkType { kActiveDp, kNemo, kIws, kRlf, kUs, kActiveWeasul };
 
 std::string FrameworkDisplayName(FrameworkType type);
 
-/// Parses "activedp" / "nemo" / "iws" / "rlf" / "us"; defaults to kActiveDp.
-FrameworkType ParseFrameworkType(const std::string& name);
+/// Parses a framework name ("activedp" / "nemo" / "iws" / "rlf" /
+/// "revisinglf" / "us" / "uncertainty" / "aw" / "active-weasul" /
+/// "activeweasul", case-insensitive). An unrecognized name is an
+/// InvalidArgument error listing the accepted spellings — there is no
+/// silent default, so a typoed `--framework` flag fails loudly instead of
+/// quietly benchmarking ActiveDP.
+Result<FrameworkType> ParseFrameworkType(const std::string& name);
 
 /// Instantiates a framework over the shared context. ActiveDP consumes
 /// `adp_options`; baselines consume the shared fields mirrored into
@@ -38,26 +44,15 @@ struct ProtocolOptions {
   int iterations = 100;  // paper: 300
   int eval_every = 10;
   EndModelOptions end_model;
-  /// When non-empty, RunProtocol persists a RunCheckpoint here after every
-  /// evaluation (atomic write + checksum, see core/run_checkpoint.h) and, on
-  /// start, resumes from it if present: iterations up to the checkpoint are
-  /// replayed deterministically with their recorded evaluations reused, so
-  /// the final RunResult is bitwise-identical to an uninterrupted run. A
-  /// corrupt or truncated checkpoint is logged and ignored (fresh start).
-  std::string checkpoint_path;
-  /// Budget for the whole run: checked before every iteration; callers who
-  /// also want solver-level enforcement propagate the same limits into the
-  /// framework (ActiveDpOptions.limits). A trip ends the run cleanly with
-  /// the evaluations finished so far and RunResult::termination set.
-  RunLimits limits;
-  /// Retry policy for the protocol-level fault site "checkpoint.save".
-  RetryPolicy retry;
-  /// Optional sink for the protocol's retry events; not owned.
-  RetryLog* retry_log = nullptr;
-  /// Optional sink for protocol-level degradations (unusable checkpoint at
-  /// resume, checkpoint save giving up after retries, end-model training
-  /// failure); not owned. Chaos runs use it to account for injected faults.
-  RecoveryLog* recovery = nullptr;
+  /// Shared robustness/observability policy (see core/run_policy.h).
+  /// RunProtocol consumes `policy.checkpoint_path` (a checkpoint *file*:
+  /// persisted after every evaluation, resumed from on start, corrupt or
+  /// truncated files logged and ignored), `policy.limits` (checked before
+  /// every iteration; callers who also want solver-level enforcement
+  /// propagate the same limits into the framework via
+  /// ActiveDpOptions.policy), `policy.retry` (the "checkpoint.save" fault
+  /// site) and the `policy.retry_log` / `policy.recovery` sinks.
+  RunPolicy policy;
 };
 
 struct RunResult {
@@ -107,29 +102,20 @@ struct ExperimentSpec {
   /// Note the two axes multiply — `num_threads` seeds each fanning out onto
   /// `compute_threads` workers oversubscribes small machines.
   int compute_threads = 0;
-  /// When non-empty, each seed checkpoints its run to
-  /// `<checkpoint_dir>/<dataset>-<framework>-seed<k>.ckpt` so a killed
-  /// experiment resumes at the last evaluated budget per seed.
-  std::string checkpoint_dir;
-  /// Experiment-wide budget and cancellation. Each seed derives its own
-  /// token from `limits.cancel`, so cancelling the experiment cancels every
-  /// in-flight seed.
-  RunLimits limits;
-  /// Per-seed wall-clock budget in seconds (<= 0 = unlimited). Each seed
-  /// runs under its own deadline — `limits.deadline` tightened by this —
-  /// enforced both cooperatively (solver loops, protocol iterations) and by
-  /// a watchdog thread that cancels the seed's token once the deadline
-  /// passes, so a wedged seed cannot hold its ThreadPool slot forever.
-  double seed_deadline_seconds = 0.0;
-  /// Retry-before-degrade policy shared by every seed's pipeline.
-  RetryPolicy retry;
-  /// When non-empty, the experiment runs with the global Tracer armed and
-  /// writes the merged RunTrace (JSONL + Chrome trace_event JSON + summary,
-  /// see util/trace.h) to `<trace_dir>/<dataset>-<framework>.trace.*`. Each
-  /// seed records on its own track, so the files are identical between
-  /// same-seed runs modulo timestamp fields. Leaves any tracer the caller
-  /// armed beforehand untouched when empty.
-  std::string trace_dir;
+  /// Shared robustness/observability policy (see core/run_policy.h). At
+  /// this level `policy.checkpoint_path` is a *directory*: each seed
+  /// checkpoints its run to `<dir>/<dataset>-<framework>-seed<k>.ckpt` so a
+  /// killed experiment resumes at the last evaluated budget per seed.
+  /// `policy.limits` is the experiment-wide budget and cancellation (each
+  /// seed derives its own token from `limits.cancel`, so cancelling the
+  /// experiment cancels every in-flight seed), tightened per seed by
+  /// `policy.seed_deadline_seconds` under a watchdog. `policy.retry` is
+  /// shared by every seed's pipeline, and `policy.trace_dir` arms the
+  /// global tracer for the whole experiment (each seed records on its own
+  /// track, so the files are identical between same-seed runs modulo
+  /// timestamp fields; an empty trace_dir leaves any tracer the caller
+  /// armed beforehand untouched).
+  RunPolicy policy;
 };
 
 /// Runs the spec for each seed and returns the point-wise averaged curves.

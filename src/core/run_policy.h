@@ -1,0 +1,55 @@
+#ifndef ACTIVEDP_CORE_RUN_POLICY_H_
+#define ACTIVEDP_CORE_RUN_POLICY_H_
+
+#include <string>
+
+#include "core/recovery.h"
+#include "util/deadline.h"
+#include "util/retry.h"
+
+namespace activedp {
+
+/// The robustness/observability knobs shared by every public entry point —
+/// one struct instead of the same five fields copy-pasted across
+/// `ProtocolOptions`, `ExperimentSpec`, and `ActiveDpOptions`. Each entry
+/// point embeds a RunPolicy by value and consumes the subset that applies
+/// at its level (documented per field); the unused fields are ignored, so a
+/// policy built once can be handed to all three without translation.
+struct RunPolicy {
+  /// Time budget and cancellation for the run. Checked cooperatively at
+  /// every protocol iteration, pipeline Step(), and solver loop.
+  RunLimits limits;
+  /// Retry-before-degrade policy for the transient-failure sites
+  /// ("glasso.solve", "label_model.fit", "al_model.fit",
+  /// "checkpoint.save"); see util/retry.h.
+  RetryPolicy retry;
+  /// Optional sink for retry events; not owned. Consumed by RunProtocol
+  /// (the "checkpoint.save" site). ActiveDp keeps its own per-run
+  /// RetryLog (ActiveDp::retry_log()) and ignores this sink.
+  RetryLog* retry_log = nullptr;
+  /// Optional sink for degradations (unusable checkpoint at resume,
+  /// checkpoint save giving up after retries, end-model training failure);
+  /// not owned. Consumed by RunProtocol; ActiveDp keeps its own
+  /// RecoveryLog (ActiveDp::recovery()) and ignores this sink.
+  RecoveryLog* recovery = nullptr;
+  /// Checkpoint location. At the protocol level this is a *file*: when
+  /// non-empty, RunProtocol persists a RunCheckpoint here after every
+  /// evaluation (atomic write + checksum) and resumes from it on start. At
+  /// the experiment level this is a *directory*: each seed checkpoints to
+  /// `<dir>/<dataset>-<framework>-seed<k>.ckpt`. Ignored by ActiveDp.
+  std::string checkpoint_path;
+  /// Per-seed wall-clock budget in seconds (<= 0 = unlimited). Consumed by
+  /// RunExperiment only: each seed runs under `limits.deadline` tightened
+  /// by this, enforced both cooperatively and by a watchdog thread that
+  /// cancels the seed's token once the deadline passes.
+  double seed_deadline_seconds = 0.0;
+  /// When non-empty, RunExperiment runs with the global Tracer armed and
+  /// writes the merged RunTrace (JSONL + Chrome trace_event JSON +
+  /// summary, see util/trace.h) to `<trace_dir>/<dataset>-<framework>
+  /// .trace.*`. Ignored by RunProtocol and ActiveDp.
+  std::string trace_dir;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_CORE_RUN_POLICY_H_

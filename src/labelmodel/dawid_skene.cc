@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "math/vector_ops.h"
+#include "util/string_util.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -157,6 +158,78 @@ Status DawidSkeneModel::FitSemiSupervised(
                  "EM hit max_iterations (" +
                      std::to_string(options_.max_iterations) + ")");
   }
+  return Status::Ok();
+}
+
+Result<std::string> DawidSkeneModel::SerializeParams() const {
+  if (num_classes_ <= 0)
+    return Status::FailedPrecondition("Fit before SerializeParams");
+  const int outcomes = num_classes_ + (options_.model_abstentions ? 1 : 0);
+  std::string out = std::to_string(num_classes_);
+  out += ' ';
+  out += std::to_string(confusions_.size());
+  out += ' ';
+  out += options_.model_abstentions ? '1' : '0';
+  for (double p : priors_) {
+    out += ' ';
+    out += FormatExactDouble(p);
+  }
+  for (const Matrix& confusion : confusions_) {
+    for (int c = 0; c < num_classes_; ++c) {
+      for (int l = 0; l < outcomes; ++l) {
+        out += ' ';
+        out += FormatExactDouble(confusion(c, l));
+      }
+    }
+  }
+  return out;
+}
+
+Status DawidSkeneModel::RestoreParams(const std::string& params) {
+  const std::vector<std::string> tokens = SplitWhitespace(params);
+  int num_classes = 0;
+  int m = 0;
+  int abst = 0;
+  if (tokens.size() < 3 || !ParseInt(tokens[0], &num_classes) ||
+      num_classes < 2 || !ParseInt(tokens[1], &m) || m <= 0 ||
+      !ParseInt(tokens[2], &abst) || (abst != 0 && abst != 1)) {
+    return Status::InvalidArgument("dawid-skene params: bad header");
+  }
+  const int outcomes = num_classes + abst;
+  const size_t expected = 3 + static_cast<size_t>(num_classes) +
+                          static_cast<size_t>(m) * num_classes * outcomes;
+  if (tokens.size() != expected) {
+    return Status::InvalidArgument(
+        "dawid-skene params: expected " + std::to_string(expected) +
+        " tokens, got " + std::to_string(tokens.size()));
+  }
+  size_t pos = 3;
+  std::vector<double> priors(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    if (!ParseDouble(tokens[pos], &priors[c]) || priors[c] < 0.0) {
+      return Status::InvalidArgument("dawid-skene params: bad prior '" +
+                                     tokens[pos] + "'");
+    }
+    ++pos;
+  }
+  std::vector<Matrix> confusions(m, Matrix(num_classes, outcomes));
+  for (int j = 0; j < m; ++j) {
+    for (int c = 0; c < num_classes; ++c) {
+      for (int l = 0; l < outcomes; ++l) {
+        double cell = 0.0;
+        if (!ParseDouble(tokens[pos], &cell) || cell < 0.0) {
+          return Status::InvalidArgument(
+              "dawid-skene params: bad confusion cell '" + tokens[pos] + "'");
+        }
+        confusions[j](c, l) = cell;
+        ++pos;
+      }
+    }
+  }
+  num_classes_ = num_classes;
+  priors_ = std::move(priors);
+  confusions_ = std::move(confusions);
+  options_.model_abstentions = (abst == 1);
   return Status::Ok();
 }
 

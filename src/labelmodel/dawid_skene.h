@@ -63,6 +63,11 @@ class DawidSkeneModel : public LabelModel {
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "dawid-skene"; }
+  /// Params: `<C> <m> <abst 0|1> <priors C> <confusions m * C*(C+abst)>`
+  /// (confusion rows row-major per LF). Restoring also sets the
+  /// model_abstentions option so OutcomeIndex matches the fitted shape.
+  Result<std::string> SerializeParams() const override;
+  Status RestoreParams(const std::string& params) override;
   void set_limits(const RunLimits& limits) override {
     options_.limits = limits;
   }

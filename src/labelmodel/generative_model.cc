@@ -5,6 +5,7 @@
 
 #include "labelmodel/spin_utils.h"
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace activedp {
 namespace {
@@ -73,6 +74,48 @@ Status GenerativeModel::Fit(const LabelMatrix& matrix, int num_classes) {
     theta0_ = std::clamp(theta0_ + step * grad0, -options_.theta_clamp,
                          options_.theta_clamp);
   }
+  return Status::Ok();
+}
+
+Result<std::string> GenerativeModel::SerializeParams() const {
+  if (num_lfs_ <= 0)
+    return Status::FailedPrecondition("Fit before SerializeParams");
+  std::string out = std::to_string(num_lfs_);
+  out += ' ';
+  out += FormatExactDouble(theta0_);
+  for (double t : thetas_) {
+    out += ' ';
+    out += FormatExactDouble(t);
+  }
+  return out;
+}
+
+Status GenerativeModel::RestoreParams(const std::string& params) {
+  const std::vector<std::string> tokens = SplitWhitespace(params);
+  int m = 0;
+  if (tokens.empty() || !ParseInt(tokens[0], &m) || m <= 0) {
+    return Status::InvalidArgument("generative-dp params: bad LF count");
+  }
+  if (static_cast<int>(tokens.size()) != 2 + m) {
+    return Status::InvalidArgument(
+        "generative-dp params: expected " + std::to_string(2 + m) +
+        " tokens, got " + std::to_string(tokens.size()));
+  }
+  double theta0 = 0.0;
+  if (!ParseDouble(tokens[1], &theta0)) {
+    return Status::InvalidArgument("generative-dp params: bad theta0 '" +
+                                   tokens[1] + "'");
+  }
+  std::vector<double> thetas(m);
+  for (int j = 0; j < m; ++j) {
+    if (!ParseDouble(tokens[2 + j], &thetas[j])) {
+      return Status::InvalidArgument("generative-dp params: bad theta '" +
+                                     tokens[2 + j] + "'");
+    }
+  }
+  num_lfs_ = m;
+  theta0_ = theta0;
+  thetas_ = std::move(thetas);
   return Status::Ok();
 }
 

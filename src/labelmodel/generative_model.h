@@ -35,6 +35,9 @@ class GenerativeModel : public LabelModel {
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "generative-dp"; }
+  /// Params: `<num_lfs> <theta0> <theta_0> .. <theta_{m-1}>`.
+  Result<std::string> SerializeParams() const override;
+  Status RestoreParams(const std::string& params) override;
 
   /// Learned accuracy parameter θ_j; the implied accuracy conditional on a
   /// non-abstain vote is sigmoid(2 θ_j).

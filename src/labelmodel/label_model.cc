@@ -44,6 +44,17 @@ Status PredictRows(int num_rows,
 
 }  // namespace
 
+Result<std::string> LabelModel::SerializeParams() const {
+  return Status::Unimplemented("label model '" + name() +
+                               "' has no serializable parameter form");
+}
+
+Status LabelModel::RestoreParams(const std::string& params) {
+  (void)params;
+  return Status::Unimplemented("label model '" + name() +
+                               "' has no serializable parameter form");
+}
+
 Result<std::vector<std::vector<double>>> LabelModel::PredictProbaAll(
     const LabelMatrix& matrix) const {
   // Span at the caller level; the chunked per-row work below may run on
@@ -86,6 +97,24 @@ std::unique_ptr<LabelModel> MakeLabelModel(LabelModelType type) {
       return std::make_unique<GenerativeModel>();
   }
   return std::make_unique<MetalCompletionModel>();
+}
+
+Result<std::unique_ptr<LabelModel>> MakeLabelModelByName(
+    const std::string& name) {
+  if (name == "majority-vote") {
+    return MakeLabelModel(LabelModelType::kMajorityVote);
+  }
+  if (name == "dawid-skene") {
+    return MakeLabelModel(LabelModelType::kDawidSkene);
+  }
+  if (name == "metal") return MakeLabelModel(LabelModelType::kMetal);
+  if (name == "metal-completion") {
+    return MakeLabelModel(LabelModelType::kMetalCompletion);
+  }
+  if (name == "generative-dp") {
+    return MakeLabelModel(LabelModelType::kGenerative);
+  }
+  return Status::InvalidArgument("unknown label-model name '" + name + "'");
 }
 
 LabelModelType ParseLabelModelType(const std::string& name) {

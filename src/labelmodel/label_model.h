@@ -35,6 +35,21 @@ class LabelModel {
 
   virtual std::string name() const = 0;
 
+  /// Serializes the fitted predict-time parameters as one line of
+  /// space-separated tokens (doubles rendered with %.17g, so restored
+  /// predictions are bitwise-identical to the source model's). The token
+  /// layout is model-specific; pair with RestoreParams on a model of the
+  /// same name() — serve/model_snapshot.cc persists `name()` next to the
+  /// params and rebuilds via MakeLabelModelByName. FailedPrecondition
+  /// before Fit; Unimplemented for models without a serializable form.
+  virtual Result<std::string> SerializeParams() const;
+
+  /// Restores predict-time parameters from SerializeParams output on a
+  /// freshly constructed model. InvalidArgument on malformed input (wrong
+  /// token count, non-finite values, invalid sizes); after an OK restore
+  /// PredictProba is usable without Fit.
+  virtual Status RestoreParams(const std::string& params);
+
   /// Installs a time budget / cancellation token honored by subsequent
   /// Fit calls. Default is a no-op: closed-form models (majority vote)
   /// finish in one pass and have nothing meaningful to interrupt.
@@ -63,6 +78,12 @@ enum class LabelModelType {
 
 /// Factory for the configured label-model type.
 std::unique_ptr<LabelModel> MakeLabelModel(LabelModelType type);
+
+/// Factory keyed by LabelModel::name() ("majority-vote", "dawid-skene",
+/// "metal", "metal-completion", "generative-dp") — the inverse of the
+/// name persisted in a model snapshot. InvalidArgument on unknown names.
+Result<std::unique_ptr<LabelModel>> MakeLabelModelByName(
+    const std::string& name);
 
 /// Parses "mv" / "ds" / "metal" / "metal-mc" (case-insensitive); defaults to
 /// kMetalCompletion on unknown input.

@@ -1,6 +1,7 @@
 #include "labelmodel/majority_vote.h"
 
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace activedp {
 
@@ -31,6 +32,41 @@ Status MajorityVoteModel::Fit(const LabelMatrix& matrix, int num_classes) {
   for (double c : counts) total += c;
   priors_.resize(num_classes);
   for (int c = 0; c < num_classes; ++c) priors_[c] = counts[c] / total;
+  return Status::Ok();
+}
+
+Result<std::string> MajorityVoteModel::SerializeParams() const {
+  if (num_classes_ <= 0)
+    return Status::FailedPrecondition("Fit before SerializeParams");
+  std::string out = std::to_string(num_classes_);
+  for (double p : priors_) {
+    out += ' ';
+    out += FormatExactDouble(p);
+  }
+  return out;
+}
+
+Status MajorityVoteModel::RestoreParams(const std::string& params) {
+  const std::vector<std::string> tokens = SplitWhitespace(params);
+  int num_classes = 0;
+  if (tokens.empty() || !ParseInt(tokens[0], &num_classes) ||
+      num_classes < 2) {
+    return Status::InvalidArgument("majority-vote params: bad class count");
+  }
+  if (static_cast<int>(tokens.size()) != 1 + num_classes) {
+    return Status::InvalidArgument(
+        "majority-vote params: expected " + std::to_string(1 + num_classes) +
+        " tokens, got " + std::to_string(tokens.size()));
+  }
+  std::vector<double> priors(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    if (!ParseDouble(tokens[1 + c], &priors[c]) || priors[c] < 0.0) {
+      return Status::InvalidArgument("majority-vote params: bad prior '" +
+                                     tokens[1 + c] + "'");
+    }
+  }
+  num_classes_ = num_classes;
+  priors_ = std::move(priors);
   return Status::Ok();
 }
 

@@ -16,6 +16,9 @@ class MajorityVoteModel : public LabelModel {
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "majority-vote"; }
+  /// Params: `<num_classes> <prior_0> .. <prior_{C-1}>`.
+  Result<std::string> SerializeParams() const override;
+  Status RestoreParams(const std::string& params) override;
 
   const std::vector<double>& class_priors() const { return priors_; }
 

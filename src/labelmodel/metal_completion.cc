@@ -197,6 +197,25 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   return Status::Ok();
 }
 
+Result<std::string> MetalCompletionModel::SerializeParams() const {
+  if (num_lfs_ <= 0)
+    return Status::FailedPrecondition("Fit before SerializeParams");
+  // Use the effective accessors so a fallback-handled fit serializes the
+  // parameters that actually drive PredictProba; both paths share
+  // SpinNaiveBayesProba, so restoring into completion state is bitwise
+  // prediction-equivalent.
+  std::vector<double> accuracies(num_lfs_);
+  for (int j = 0; j < num_lfs_; ++j) accuracies[j] = accuracy_param(j);
+  return EncodeSpinAccuracyParams(num_lfs_, positive_prior(), accuracies);
+}
+
+Status MetalCompletionModel::RestoreParams(const std::string& params) {
+  RETURN_IF_ERROR(DecodeSpinAccuracyParams(
+      name(), params, &num_lfs_, &positive_prior_, &accuracies_));
+  fallback_.reset();
+  return Status::Ok();
+}
+
 Result<std::vector<double>> MetalCompletionModel::PredictProba(
     const std::vector<int>& weak_labels) const {
   if (num_lfs_ <= 0)

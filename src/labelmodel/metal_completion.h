@@ -48,6 +48,11 @@ class MetalCompletionModel : public LabelModel {
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "metal-completion"; }
+  /// Params: `<num_lfs> <positive_prior> <a_0> .. <a_{m-1}>`, using the
+  /// effective (fallback-aware) parameters; restore always lands in the
+  /// completion state, which predicts identically.
+  Result<std::string> SerializeParams() const override;
+  Status RestoreParams(const std::string& params) override;
   void set_limits(const RunLimits& limits) override {
     options_.limits = limits;
   }

@@ -12,6 +12,7 @@
 #include "util/metrics.h"
 #include "util/numeric_guard.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -181,6 +182,62 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
         "metal fit produced non-finite accuracy parameters");
   }
   return Status::Ok();
+}
+
+std::string EncodeSpinAccuracyParams(int num_lfs, double positive_prior,
+                                     const std::vector<double>& accuracies) {
+  std::string out = std::to_string(num_lfs);
+  out += ' ';
+  out += FormatExactDouble(positive_prior);
+  for (int j = 0; j < num_lfs; ++j) {
+    out += ' ';
+    out += FormatExactDouble(accuracies[j]);
+  }
+  return out;
+}
+
+Status DecodeSpinAccuracyParams(const std::string& model_name,
+                                const std::string& params, int* num_lfs,
+                                double* positive_prior,
+                                std::vector<double>* accuracies) {
+  const std::vector<std::string> tokens = SplitWhitespace(params);
+  int m = 0;
+  if (tokens.empty() || !ParseInt(tokens[0], &m) || m <= 0) {
+    return Status::InvalidArgument(model_name + " params: bad LF count");
+  }
+  if (static_cast<int>(tokens.size()) != 2 + m) {
+    return Status::InvalidArgument(
+        model_name + " params: expected " + std::to_string(2 + m) +
+        " tokens, got " + std::to_string(tokens.size()));
+  }
+  double prior = 0.0;
+  if (!ParseDouble(tokens[1], &prior) || prior < 0.0 || prior > 1.0) {
+    return Status::InvalidArgument(model_name + " params: bad prior '" +
+                                   tokens[1] + "'");
+  }
+  std::vector<double> acc(m);
+  for (int j = 0; j < m; ++j) {
+    if (!ParseDouble(tokens[2 + j], &acc[j])) {
+      return Status::InvalidArgument(model_name +
+                                     " params: bad accuracy '" +
+                                     tokens[2 + j] + "'");
+    }
+  }
+  *num_lfs = m;
+  *positive_prior = prior;
+  *accuracies = std::move(acc);
+  return Status::Ok();
+}
+
+Result<std::string> MetalModel::SerializeParams() const {
+  if (num_lfs_ <= 0)
+    return Status::FailedPrecondition("Fit before SerializeParams");
+  return EncodeSpinAccuracyParams(num_lfs_, positive_prior_, accuracies_);
+}
+
+Status MetalModel::RestoreParams(const std::string& params) {
+  return DecodeSpinAccuracyParams(name(), params, &num_lfs_,
+                                  &positive_prior_, &accuracies_);
 }
 
 Result<std::vector<double>> MetalModel::PredictProba(

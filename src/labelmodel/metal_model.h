@@ -42,6 +42,9 @@ class MetalModel : public LabelModel {
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
   std::string name() const override { return "metal"; }
+  /// Params: `<num_lfs> <positive_prior> <a_0> .. <a_{m-1}>`.
+  Result<std::string> SerializeParams() const override;
+  Status RestoreParams(const std::string& params) override;
   void set_limits(const RunLimits& limits) override {
     options_.limits = limits;
   }
@@ -62,6 +65,16 @@ class MetalModel : public LabelModel {
   int num_lfs_ = 0;
   ConvergenceReport report_;
 };
+
+/// Shared text codec for the spin accuracy-parameter family (metal,
+/// metal-completion): one line `<num_lfs> <prior> <a_0> .. <a_{m-1}>`,
+/// doubles in round-tripping %.17g form.
+std::string EncodeSpinAccuracyParams(int num_lfs, double positive_prior,
+                                     const std::vector<double>& accuracies);
+Status DecodeSpinAccuracyParams(const std::string& model_name,
+                                const std::string& params, int* num_lfs,
+                                double* positive_prior,
+                                std::vector<double>* accuracies);
 
 }  // namespace activedp
 

@@ -31,6 +31,15 @@ TabularFeaturizer::TabularFeaturizer(const Dataset& train) {
   }
 }
 
+TabularFeaturizer TabularFeaturizer::FromState(
+    std::vector<double> means, std::vector<double> inv_stddevs) {
+  CHECK_EQ(means.size(), inv_stddevs.size());
+  TabularFeaturizer featurizer;
+  featurizer.means_ = std::move(means);
+  featurizer.inv_stddevs_ = std::move(inv_stddevs);
+  return featurizer;
+}
+
 SparseVector TabularFeaturizer::Transform(const Example& example) const {
   SparseVector out;
   const int d = dim();

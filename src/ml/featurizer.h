@@ -2,6 +2,7 @@
 #define ACTIVEDP_ML_FEATURIZER_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -24,11 +25,15 @@ class TextFeaturizer : public Featurizer {
  public:
   explicit TextFeaturizer(const Dataset& train)
       : tfidf_(TfidfFeaturizer::Fit(train)) {}
+  /// Wraps an already-fitted (e.g. snapshot-restored) TF-IDF featurizer.
+  explicit TextFeaturizer(TfidfFeaturizer tfidf) : tfidf_(std::move(tfidf)) {}
 
   SparseVector Transform(const Example& example) const override {
     return tfidf_.Transform(example);
   }
   int dim() const override { return tfidf_.dim(); }
+
+  const TfidfFeaturizer& tfidf() const { return tfidf_; }
 
  private:
   TfidfFeaturizer tfidf_;
@@ -39,10 +44,20 @@ class TabularFeaturizer : public Featurizer {
  public:
   explicit TabularFeaturizer(const Dataset& train);
 
+  /// Rebuilds a featurizer from exported state (parallel mean /
+  /// inverse-stddev arrays).
+  static TabularFeaturizer FromState(std::vector<double> means,
+                                     std::vector<double> inv_stddevs);
+
   SparseVector Transform(const Example& example) const override;
   int dim() const override { return static_cast<int>(means_.size()); }
 
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& inv_stddevs() const { return inv_stddevs_; }
+
  private:
+  TabularFeaturizer() = default;
+
   std::vector<double> means_;
   std::vector<double> inv_stddevs_;
 };

@@ -156,6 +156,27 @@ Result<LogisticRegression> LogisticRegression::Fit(
   return model;
 }
 
+Result<LogisticRegression> LogisticRegression::FromWeights(int num_classes,
+                                                           int dim,
+                                                           Matrix weights) {
+  if (num_classes < 2 || dim <= 0) {
+    return Status::InvalidArgument("FromWeights: bad shape (" +
+                                   std::to_string(num_classes) + " classes, " +
+                                   std::to_string(dim) + " features)");
+  }
+  if (weights.rows() != num_classes || weights.cols() != dim + 1) {
+    return Status::InvalidArgument(
+        "FromWeights: weight matrix is " + std::to_string(weights.rows()) +
+        "x" + std::to_string(weights.cols()) + ", expected " +
+        std::to_string(num_classes) + "x" + std::to_string(dim + 1));
+  }
+  LogisticRegression model;
+  model.num_classes_ = num_classes;
+  model.dim_ = dim;
+  model.weights_ = std::move(weights);
+  return model;
+}
+
 Result<LogisticRegression> LogisticRegression::FitHard(
     const std::vector<SparseVector>& x, const std::vector<int>& labels,
     int num_classes, int dim, const LogisticRegressionOptions& options) {

@@ -55,8 +55,18 @@ class LogisticRegression {
   /// Most likely class.
   int Predict(const SparseVector& x) const;
 
+  /// Rebuilds a predict-only model from exported weights (row c holds
+  /// [w_c (dim entries), b_c]); InvalidArgument on a shape mismatch. The
+  /// report() of the result is empty — training history does not survive
+  /// export.
+  static Result<LogisticRegression> FromWeights(int num_classes, int dim,
+                                                Matrix weights);
+
   int num_classes() const { return num_classes_; }
   int dim() const { return dim_; }
+
+  /// Fitted parameter matrix (num_classes rows x dim+1 columns).
+  const Matrix& weights() const { return weights_; }
 
   /// Raw (unnormalized) class scores w_c . x + b_c.
   std::vector<double> Logits(const SparseVector& x) const;

@@ -1,0 +1,133 @@
+#ifndef ACTIVEDP_SERVE_MODEL_SNAPSHOT_H_
+#define ACTIVEDP_SERVE_MODEL_SNAPSHOT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/confusion.h"
+#include "data/dataset.h"
+#include "data/example.h"
+#include "labelmodel/label_model.h"
+#include "lf/label_function.h"
+#include "math/matrix.h"
+#include "ml/featurizer.h"
+#include "ml/linear_model.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// Current on-disk/state format version (see serve/snapshot_io.h). Bumped on
+/// incompatible changes; loads of other versions are rejected.
+inline constexpr int kSnapshotVersion = 1;
+
+/// One served prediction: the ConFusion-aggregated soft label (Eq. 1), its
+/// argmax, and which model produced it. `proba` is empty and `label` is
+/// kAbstain when the instance is rejected (AL confidence below τ and every
+/// selected LF abstains).
+struct ServedPrediction {
+  std::vector<double> proba;
+  int label = kAbstain;
+  LabelSource source = LabelSource::kRejected;
+};
+
+/// Serializable state of a finished ActiveDP run — everything inference
+/// needs, nothing training needs. Plain data; ModelSnapshot::Create turns it
+/// into a validated, predict-ready object and snapshot_io persists it.
+struct SnapshotState {
+  int version = kSnapshotVersion;
+  std::string dataset;
+  TaskType task = TaskType::kTextClassification;
+  int num_classes = 0;
+  int feature_dim = 0;
+  /// ConFusion threshold τ tuned at export time.
+  double threshold = 0.0;
+
+  // Featurizer state. Text: vocabulary + TF-IDF idf table (idf size ==
+  // vocabulary size == feature_dim). Tabular: per-feature standardization.
+  Vocabulary vocab;
+  TfidfOptions tfidf_options;
+  std::vector<double> idf;
+  std::vector<double> means;
+  std::vector<double> inv_stddevs;
+
+  /// The LabelPick-selected LFs, in label-model column order.
+  std::vector<LfPtr> lfs;
+  /// Fitted label-model parameters (labelmodel/label_model.h
+  /// SerializeParams form); empty name = no label model in the snapshot.
+  std::string label_model_name;
+  std::string label_model_params;
+
+  /// AL / downstream model weights (LogisticRegression layout: num_classes
+  /// rows of [w, b]); either may be absent.
+  std::optional<Matrix> al_weights;
+  std::optional<Matrix> end_weights;
+};
+
+/// An immutable, predict-ready model bundle. Create() validates the state
+/// and reconstructs the runtime objects once; afterwards every method is
+/// const and thread-safe, so a snapshot can serve concurrent batches behind
+/// a std::shared_ptr (serve/prediction_service.h hot-swaps them RCU-style).
+///
+/// Determinism: Predict/PredictBatch featurize and score one row at a time
+/// and aggregate with the offline ConFusion::Aggregate, which is
+/// row-independent — served outputs are bitwise identical to the offline
+/// pipeline's for the same instance, at every batch size and thread count.
+class ModelSnapshot {
+ public:
+  /// Validates `state` (shape consistency, parseable label-model params,
+  /// well-formed weight matrices; at least one model present) and builds the
+  /// runtime featurizer and models. InvalidArgument on any inconsistency.
+  static Result<ModelSnapshot> Create(SnapshotState state);
+
+  ModelSnapshot(ModelSnapshot&&) = default;
+  ModelSnapshot& operator=(ModelSnapshot&&) = default;
+
+  const SnapshotState& state() const { return state_; }
+  int num_classes() const { return state_.num_classes; }
+  int feature_dim() const { return state_.feature_dim; }
+  double threshold() const { return state_.threshold; }
+  bool has_al_model() const { return al_model_.has_value(); }
+  bool has_label_model() const { return label_model_ != nullptr; }
+  bool has_end_model() const { return end_model_.has_value(); }
+
+  /// Builds an Example from raw text against the snapshot vocabulary
+  /// (tokenize, map to ids, sorted term counts — the dataset loaders'
+  /// construction). FailedPrecondition on a tabular snapshot.
+  Result<Example> MakeTextExample(std::string_view text) const;
+
+  /// Builds an Example from raw tabular features. InvalidArgument when the
+  /// width differs from feature_dim; FailedPrecondition on a text snapshot.
+  Result<Example> MakeTabularExample(std::vector<double> features) const;
+
+  /// ConFusion-aggregated prediction for one instance (Eq. 1 with the
+  /// exported τ): the AL model when its confidence reaches τ, else the label
+  /// model where a selected LF fires, else rejected.
+  Result<ServedPrediction> Predict(const Example& example) const;
+
+  /// Per-row predictions for a batch, computed on the process-wide
+  /// ComputePool. Each row succeeds or fails independently; the result
+  /// always has examples.size() entries in order.
+  std::vector<Result<ServedPrediction>> PredictBatch(
+      const std::vector<Example>& examples) const;
+
+  /// Downstream-model probabilities, when end-model weights were exported.
+  Result<std::vector<double>> EndModelProba(const Example& example) const;
+
+ private:
+  ModelSnapshot() = default;
+
+  SnapshotState state_;
+  std::unique_ptr<Featurizer> featurizer_;
+  std::unique_ptr<LabelModel> label_model_;
+  std::optional<LogisticRegression> al_model_;
+  std::optional<LogisticRegression> end_model_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SERVE_MODEL_SNAPSHOT_H_

@@ -1,0 +1,204 @@
+#include "serve/prediction_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace activedp {
+namespace {
+
+struct ServeMetrics {
+  Counter& requests;
+  Counter& rejected;
+  Counter& expired;
+  Counter& batches;
+  Counter& swaps;
+  Histogram& batch_size;
+  Histogram& batch_latency_ms;
+
+  static ServeMetrics& Get() {
+    static ServeMetrics* metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      return new ServeMetrics{
+          registry.counter("serve.requests"),
+          registry.counter("serve.rejected"),
+          registry.counter("serve.expired"),
+          registry.counter("serve.batches"),
+          registry.counter("serve.swaps"),
+          registry.histogram("serve.batch_size",
+                             {1, 2, 4, 8, 16, 32, 64, 128}),
+          registry.histogram("serve.batch_latency_ms",
+                             {0.1, 0.5, 1, 2, 5, 10, 25, 50, 100}),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+std::future<Result<ServedPrediction>> ReadyFuture(Status status) {
+  std::promise<Result<ServedPrediction>> promise;
+  promise.set_value(Result<ServedPrediction>(std::move(status)));
+  return promise.get_future();
+}
+
+}  // namespace
+
+PredictionService::PredictionService(PredictionServiceOptions options)
+    : options_(options) {
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+void PredictionService::LoadSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_ = std::move(snapshot);
+  }
+  ServeMetrics::Get().swaps.Increment();
+}
+
+std::shared_ptr<const ModelSnapshot> PredictionService::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_;
+}
+
+std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
+    Example example, Deadline deadline) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.requests.Increment();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      metrics.rejected.Increment();
+      return ReadyFuture(Status::Unavailable("prediction service is shut down"));
+    }
+    if (snapshot_ == nullptr) {
+      metrics.rejected.Increment();
+      return ReadyFuture(
+          Status::FailedPrecondition("no model snapshot loaded"));
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+      metrics.rejected.Increment();
+      return ReadyFuture(Status::Unavailable(
+          "prediction queue is full (" +
+          std::to_string(options_.max_queue_depth) + " pending); retry"));
+    }
+    PendingRequest request;
+    request.example = std::move(example);
+    request.deadline = deadline;
+    queue_.push_back(std::move(request));
+    std::future<Result<ServedPrediction>> future =
+        queue_.back().promise.get_future();
+    queue_cv_.notify_all();
+    return future;
+  }
+}
+
+Result<ServedPrediction> PredictionService::Predict(Example example,
+                                                    Deadline deadline) {
+  return PredictAsync(std::move(example), deadline).get();
+}
+
+int PredictionService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void PredictionService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    queue_cv_.notify_all();
+  }
+  // Separate join lock so concurrent Shutdown calls serialize on the join
+  // instead of racing std::thread::join (idempotent: joinable() is false
+  // for every caller after the first).
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void PredictionService::DispatchLoop() {
+  using Clock = std::chrono::steady_clock;
+  ServeMetrics& metrics = ServeMetrics::Get();
+  while (true) {
+    std::vector<PendingRequest> batch;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      // Micro-batch window: collect until the batch is full, the delay has
+      // elapsed, or shutdown wants the queue drained now.
+      const auto window_end =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 options_.max_batch_delay_ms));
+      queue_cv_.wait_until(lock, window_end, [this] {
+        return shutdown_ ||
+               static_cast<int>(queue_.size()) >= options_.max_batch_size;
+      });
+      const int take = std::min<int>(static_cast<int>(queue_.size()),
+                                     options_.max_batch_size);
+      batch.reserve(take);
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // Pin the snapshot current at dispatch: the RCU read side. A
+      // concurrent LoadSnapshot affects later batches only.
+      snapshot = snapshot_;
+    }
+    if (!batch.empty() && snapshot != nullptr) {
+      metrics.batches.Increment();
+      metrics.batch_size.Observe(static_cast<double>(batch.size()));
+      RunBatch(snapshot, std::move(batch));
+    }
+  }
+}
+
+void PredictionService::RunBatch(
+    const std::shared_ptr<const ModelSnapshot>& snapshot,
+    std::vector<PendingRequest> batch) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  // Span from the dispatcher thread only; the per-row work inside
+  // PredictBatch runs on compute-pool workers, which stay trace-silent.
+  TraceSpan span("serve.batch");
+  span.AddArg("size", static_cast<int64_t>(batch.size()));
+  Timer timer;
+
+  // Per-request deadlines are checked at dispatch: a request that spent its
+  // budget in the queue fails fast instead of occupying batch capacity.
+  std::vector<Example> examples;
+  std::vector<int> live;
+  examples.reserve(batch.size());
+  live.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].deadline.expired()) {
+      metrics.expired.Increment();
+      batch[i].promise.set_value(Result<ServedPrediction>(
+          Status::DeadlineExceeded("request expired while queued")));
+      continue;
+    }
+    examples.push_back(batch[i].example);
+    live.push_back(static_cast<int>(i));
+  }
+  span.AddArg("expired",
+              static_cast<int64_t>(batch.size() - examples.size()));
+
+  std::vector<Result<ServedPrediction>> results =
+      snapshot->PredictBatch(examples);
+  for (size_t k = 0; k < live.size(); ++k) {
+    batch[live[k]].promise.set_value(std::move(results[k]));
+  }
+  metrics.batch_latency_ms.Observe(timer.ElapsedMillis());
+}
+
+}  // namespace activedp

@@ -1,0 +1,111 @@
+#ifndef ACTIVEDP_SERVE_PREDICTION_SERVICE_H_
+#define ACTIVEDP_SERVE_PREDICTION_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/model_snapshot.h"
+#include "util/deadline.h"
+#include "util/result.h"
+
+namespace activedp {
+
+struct PredictionServiceOptions {
+  /// A batch is dispatched as soon as this many requests are queued...
+  int max_batch_size = 32;
+  /// ...or once the oldest queued request has waited this long.
+  double max_batch_delay_ms = 2.0;
+  /// Admission control: requests beyond this queue depth are rejected
+  /// immediately with Status::Unavailable instead of growing the queue
+  /// without bound (backpressure the caller can retry on).
+  int max_queue_depth = 1024;
+};
+
+/// A concurrent, micro-batching inference front-end over ModelSnapshot.
+///
+/// Requests enter a bounded queue; a dispatcher thread groups them into
+/// batches (flushing on batch size or max delay, whichever first) and
+/// evaluates each batch on the process-wide ComputePool via
+/// ModelSnapshot::PredictBatch. Because snapshot prediction is
+/// row-independent, batching boundaries never change results — a served
+/// prediction is bitwise identical to the offline aggregation at any load.
+///
+/// Snapshots hot-swap RCU-style: LoadSnapshot publishes a new
+/// shared_ptr<const ModelSnapshot>; each batch pins the snapshot current at
+/// dispatch time, so in-flight batches drain on the old snapshot while new
+/// batches use the new one, and the old snapshot is freed when its last
+/// batch completes. No request ever observes a half-swapped model.
+///
+/// Observability: spans ("serve.batch") are emitted from the dispatcher
+/// thread only (compute-pool workers stay trace-silent), and the global
+/// MetricsRegistry gains serve.requests / serve.rejected / serve.expired /
+/// serve.batches counters plus serve.batch_size and serve.batch_latency_ms
+/// histograms.
+class PredictionService {
+ public:
+  explicit PredictionService(PredictionServiceOptions options = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Publishes `snapshot` for all batches dispatched from now on. Safe to
+  /// call at any time, including under load; pass the first snapshot before
+  /// the first request (requests without a snapshot are rejected with
+  /// FailedPrecondition).
+  void LoadSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The snapshot new batches would use right now.
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Enqueues one instance. The future resolves when its batch completes:
+  /// the prediction, or DeadlineExceeded when `deadline` expired while the
+  /// request was still queued, or Unavailable when the queue is full or the
+  /// service is shut down. Never blocks beyond queue admission.
+  std::future<Result<ServedPrediction>> PredictAsync(
+      Example example, Deadline deadline = Deadline::Infinite());
+
+  /// Convenience blocking wrapper around PredictAsync.
+  Result<ServedPrediction> Predict(Example example,
+                                   Deadline deadline = Deadline::Infinite());
+
+  /// Stops admission, drains every queued request (their futures still
+  /// resolve), and joins the dispatcher. Idempotent; also run by the
+  /// destructor.
+  void Shutdown();
+
+  /// Requests currently waiting for a batch.
+  int queue_depth() const;
+
+ private:
+  struct PendingRequest {
+    Example example;
+    Deadline deadline;
+    std::promise<Result<ServedPrediction>> promise;
+  };
+
+  void DispatchLoop();
+  void RunBatch(const std::shared_ptr<const ModelSnapshot>& snapshot,
+                std::vector<PendingRequest> batch);
+
+  const PredictionServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::mutex join_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  bool shutdown_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SERVE_PREDICTION_SERVICE_H_

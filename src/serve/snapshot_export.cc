@@ -1,0 +1,86 @@
+#include "serve/snapshot_export.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/trace.h"
+
+namespace activedp {
+
+Result<ModelSnapshot> ExportSnapshot(ActiveDp& pipeline,
+                                     const FrameworkContext& context,
+                                     const SnapshotExportOptions& options) {
+  if (!pipeline.has_label_model() && !pipeline.has_al_model()) {
+    return Status::FailedPrecondition(
+        "nothing to export: the run has trained neither a label model nor "
+        "an AL model (call Step() first)");
+  }
+  TraceSpan span("serve.export");
+
+  // Inference phase first: tunes the ConFusion threshold on validation and
+  // produces the aggregated labels the end model trains on.
+  const std::vector<std::vector<double>> soft_labels =
+      pipeline.CurrentTrainingLabels();
+
+  const Dataset& train = context.split->train;
+  SnapshotState state;
+  state.dataset = train.meta().name;
+  state.task = train.meta().task;
+  state.num_classes = context.num_classes;
+  state.feature_dim = context.feature_dim;
+  state.threshold = pipeline.last_threshold();
+
+  if (state.task == TaskType::kTextClassification) {
+    const auto* text =
+        dynamic_cast<const TextFeaturizer*>(context.featurizer.get());
+    if (text == nullptr) {
+      return Status::Internal("text dataset without a TextFeaturizer");
+    }
+    state.vocab = train.vocabulary();
+    state.tfidf_options = text->tfidf().options();
+    state.idf = text->tfidf().idf_values();
+  } else {
+    const auto* tabular =
+        dynamic_cast<const TabularFeaturizer*>(context.featurizer.get());
+    if (tabular == nullptr) {
+      return Status::Internal("tabular dataset without a TabularFeaturizer");
+    }
+    state.means = tabular->means();
+    state.inv_stddevs = tabular->inv_stddevs();
+  }
+
+  if (pipeline.has_label_model()) {
+    // LFs in selected (label-model column) order — the label model was fit
+    // on the matrix restricted to exactly these columns.
+    for (int column : pipeline.selected_lfs()) {
+      state.lfs.push_back(pipeline.lfs()[column]);
+    }
+    const LabelModel* label_model = pipeline.label_model();
+    state.label_model_name = label_model->name();
+    ASSIGN_OR_RETURN(state.label_model_params,
+                     label_model->SerializeParams());
+  }
+
+  if (pipeline.has_al_model()) {
+    state.al_weights = pipeline.al_model()->weights();
+  }
+
+  if (options.include_end_model) {
+    const Result<LogisticRegression> end_model =
+        TrainEndModel(context.train_features, soft_labels, state.num_classes,
+                      state.feature_dim, options.end_model);
+    if (end_model.ok()) {
+      state.end_weights = end_model->weights();
+    } else {
+      // Too few labelled rows (or a degenerate fit) is not fatal to the
+      // snapshot: serving falls back to the aggregate path only.
+      TraceInstant("serve", "export.end_model_skipped",
+                   end_model.status().ToString());
+    }
+  }
+
+  span.AddArg("lfs", static_cast<int64_t>(state.lfs.size()));
+  return ModelSnapshot::Create(std::move(state));
+}
+
+}  // namespace activedp

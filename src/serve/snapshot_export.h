@@ -1,0 +1,34 @@
+#ifndef ACTIVEDP_SERVE_SNAPSHOT_EXPORT_H_
+#define ACTIVEDP_SERVE_SNAPSHOT_EXPORT_H_
+
+#include "core/activedp.h"
+#include "core/end_model.h"
+#include "core/framework.h"
+#include "serve/model_snapshot.h"
+#include "util/result.h"
+
+namespace activedp {
+
+struct SnapshotExportOptions {
+  /// Also train the downstream model on the aggregated labels and embed its
+  /// weights (so the snapshot can serve end-model predictions too). Skipped
+  /// without error when too few rows receive a label to train on.
+  bool include_end_model = true;
+  EndModelOptions end_model;
+};
+
+/// Exports a finished ActiveDP run as an immutable, servable snapshot:
+/// featurizer state, the LabelPick-selected LFs, the fitted label-model
+/// parameters, the AL-model weights, and the ConFusion threshold.
+///
+/// Runs the inference phase (CurrentTrainingLabels) first, so the exported
+/// τ is freshly tuned on the validation split — the snapshot then predicts
+/// bitwise identically to the offline aggregation at export time.
+/// FailedPrecondition when the run has trained no model yet.
+Result<ModelSnapshot> ExportSnapshot(
+    ActiveDp& pipeline, const FrameworkContext& context,
+    const SnapshotExportOptions& options = {});
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SERVE_SNAPSHOT_EXPORT_H_

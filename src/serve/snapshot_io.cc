@@ -1,0 +1,297 @@
+#include "serve/snapshot_io.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/string_util.h"
+
+namespace activedp {
+namespace {
+
+constexpr char kHeaderPrefix[] = "activedp-snapshot v";
+constexpr char kTerminator[] = "end";
+
+Status AppendMatrixLine(const char* tag, const Matrix& weights,
+                        std::ostringstream& out) {
+  out << tag;
+  for (int r = 0; r < weights.rows(); ++r) {
+    for (int c = 0; c < weights.cols(); ++c) {
+      out << ' ' << FormatExactDouble(weights(r, c));
+    }
+  }
+  out << "\n";
+  return Status::Ok();
+}
+
+Status AppendLfLine(const LabelFunction& lf, std::ostringstream& out) {
+  if (const auto* keyword = dynamic_cast<const KeywordLf*>(&lf)) {
+    if (keyword->word().find_first_of(" \t\n") != std::string::npos) {
+      return Status::InvalidArgument("keyword contains whitespace: " +
+                                     keyword->word());
+    }
+    out << "lf kw " << keyword->token_id() << ' ' << keyword->word() << ' '
+        << keyword->label() << "\n";
+    return Status::Ok();
+  }
+  if (const auto* stump = dynamic_cast<const ThresholdLf*>(&lf)) {
+    out << "lf st " << stump->feature() << ' '
+        << FormatExactDouble(stump->threshold()) << ' '
+        << (stump->op() == StumpOp::kLessEqual ? "le" : "ge") << ' '
+        << stump->label() << "\n";
+    return Status::Ok();
+  }
+  return Status::Unimplemented("cannot serialize custom LF type: " +
+                               lf.Name());
+}
+
+Status AppendDoubleVector(const char* tag, const std::vector<double>& values,
+                          std::ostringstream& out) {
+  out << tag;
+  for (double v : values) out << ' ' << FormatExactDouble(v);
+  out << "\n";
+  return Status::Ok();
+}
+
+/// Parses `count` doubles from tokens[offset...]; InvalidArgument with the
+/// section name on any shortfall or malformed token.
+Status ParseDoubles(const std::vector<std::string>& tokens, size_t offset,
+                    size_t count, const std::string& section,
+                    std::vector<double>* out) {
+  if (tokens.size() != offset + count) {
+    return Status::InvalidArgument(
+        "snapshot " + section + ": expected " + std::to_string(count) +
+        " values, got " + std::to_string(tokens.size() - offset));
+  }
+  out->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!ParseDouble(tokens[offset + i], &(*out)[i])) {
+      return Status::InvalidArgument("snapshot " + section +
+                                     ": bad value '" + tokens[offset + i] +
+                                     "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Matrix> ParseWeightsLine(const std::vector<std::string>& tokens,
+                                int num_classes, int feature_dim,
+                                const std::string& section) {
+  const int cols = feature_dim + 1;
+  std::vector<double> values;
+  RETURN_IF_ERROR(ParseDoubles(
+      tokens, 1, static_cast<size_t>(num_classes) * cols, section, &values));
+  Matrix weights(num_classes, cols);
+  for (int r = 0; r < num_classes; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      weights(r, c) = values[static_cast<size_t>(r) * cols + c];
+    }
+  }
+  return weights;
+}
+
+Result<LfPtr> ParseLfLine(const std::vector<std::string>& tokens,
+                          const std::string& where) {
+  if (tokens.size() >= 2 && tokens[1] == "kw") {
+    int token_id = 0, label = 0;
+    if (tokens.size() != 5 || !ParseInt(tokens[2], &token_id) ||
+        !ParseInt(tokens[4], &label) || token_id < 0 || label < 0) {
+      return Status::InvalidArgument("malformed keyword LF" + where);
+    }
+    return LfPtr(std::make_shared<KeywordLf>(token_id, tokens[3], label));
+  }
+  if (tokens.size() >= 2 && tokens[1] == "st") {
+    int feature = 0, label = 0;
+    double threshold = 0.0;
+    if (tokens.size() != 6 || !ParseInt(tokens[2], &feature) ||
+        !ParseDouble(tokens[3], &threshold) ||
+        (tokens[4] != "le" && tokens[4] != "ge") ||
+        !ParseInt(tokens[5], &label) || feature < 0 || label < 0) {
+      return Status::InvalidArgument("malformed stump LF" + where);
+    }
+    return LfPtr(std::make_shared<ThresholdLf>(
+        feature, threshold,
+        tokens[4] == "le" ? StumpOp::kLessEqual : StumpOp::kGreaterEqual,
+        label));
+  }
+  return Status::InvalidArgument("unknown LF kind" + where);
+}
+
+}  // namespace
+
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
+  const SnapshotState& state = snapshot.state();
+  if (state.dataset.find_first_of(" \t\n") != std::string::npos) {
+    return Status::InvalidArgument("dataset name contains whitespace: " +
+                                   state.dataset);
+  }
+  std::ostringstream out;
+  out << kHeaderPrefix << state.version << "\n";
+  out << "dataset " << (state.dataset.empty() ? "-" : state.dataset) << "\n";
+  out << "task "
+      << (state.task == TaskType::kTextClassification ? "text" : "tabular")
+      << "\n";
+  out << "classes " << state.num_classes << "\n";
+  out << "dim " << state.feature_dim << "\n";
+  out << "threshold " << FormatExactDouble(state.threshold) << "\n";
+  if (state.task == TaskType::kTextClassification) {
+    for (int id = 0; id < state.vocab.size(); ++id) {
+      const std::string& word = state.vocab.GetWord(id);
+      if (word.find_first_of(" \t\n") != std::string::npos) {
+        return Status::InvalidArgument("vocabulary word contains whitespace: " +
+                                       word);
+      }
+      out << "word " << word << ' ' << state.vocab.doc_frequency(id) << "\n";
+    }
+    out << "tfidf " << (state.tfidf_options.sublinear_tf ? 1 : 0) << ' '
+        << (state.tfidf_options.l2_normalize ? 1 : 0);
+    for (double v : state.idf) out << ' ' << FormatExactDouble(v);
+    out << "\n";
+  } else {
+    RETURN_IF_ERROR(AppendDoubleVector("means", state.means, out));
+    RETURN_IF_ERROR(AppendDoubleVector("invstd", state.inv_stddevs, out));
+  }
+  for (const LfPtr& lf : state.lfs) {
+    RETURN_IF_ERROR(AppendLfLine(*lf, out));
+  }
+  if (!state.label_model_name.empty()) {
+    out << "labelmodel " << state.label_model_name << ' '
+        << state.label_model_params << "\n";
+  }
+  if (state.al_weights.has_value()) {
+    RETURN_IF_ERROR(AppendMatrixLine("almodel", *state.al_weights, out));
+  }
+  if (state.end_weights.has_value()) {
+    RETURN_IF_ERROR(AppendMatrixLine("endmodel", *state.end_weights, out));
+  }
+  out << kTerminator << "\n";
+  // Atomic replace + checksum footer: a crash mid-save leaves the previous
+  // snapshot intact, and corrupt/partial copies fail the checksum at load.
+  return AtomicWriteFile(path, WithChecksumFooter(out.str()),
+                         "snapshot.save");
+}
+
+Result<ModelSnapshot> LoadSnapshot(const std::string& path) {
+  ASSIGN_OR_RETURN(const std::string content, ReadFileVerifyingChecksum(path));
+  std::istringstream in{content};
+  std::string line;
+  if (!std::getline(in, line) ||
+      !StartsWith(Trim(line), kHeaderPrefix)) {
+    return Status::InvalidArgument("not an activedp snapshot file: " + path);
+  }
+  int version = 0;
+  if (!ParseInt(Trim(line).substr(sizeof(kHeaderPrefix) - 1), &version)) {
+    return Status::InvalidArgument("malformed snapshot version header: " +
+                                   path);
+  }
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot version " + std::to_string(version) +
+        " is not supported (expected " + std::to_string(kSnapshotVersion) +
+        "): " + path);
+  }
+
+  SnapshotState state;
+  state.version = version;
+  std::vector<std::string> words;
+  std::vector<int> doc_frequencies;
+  bool saw_terminator = false;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    const std::string where = " at line " + std::to_string(line_number);
+    const std::string& tag = tokens[0];
+    if (tag == kTerminator) {
+      saw_terminator = true;
+      break;
+    }
+    if (tag == "dataset" && tokens.size() == 2) {
+      state.dataset = tokens[1] == "-" ? "" : tokens[1];
+    } else if (tag == "task" && tokens.size() == 2) {
+      if (tokens[1] == "text") {
+        state.task = TaskType::kTextClassification;
+      } else if (tokens[1] == "tabular") {
+        state.task = TaskType::kTabularClassification;
+      } else {
+        return Status::InvalidArgument("unknown snapshot task '" + tokens[1] +
+                                       "'" + where);
+      }
+    } else if (tag == "classes" && tokens.size() == 2) {
+      if (!ParseInt(tokens[1], &state.num_classes)) {
+        return Status::InvalidArgument("bad class count" + where);
+      }
+    } else if (tag == "dim" && tokens.size() == 2) {
+      if (!ParseInt(tokens[1], &state.feature_dim)) {
+        return Status::InvalidArgument("bad feature dim" + where);
+      }
+    } else if (tag == "threshold" && tokens.size() == 2) {
+      if (!ParseDouble(tokens[1], &state.threshold)) {
+        return Status::InvalidArgument("bad threshold" + where);
+      }
+    } else if (tag == "word") {
+      int df = 0;
+      if (tokens.size() != 3 || !ParseInt(tokens[2], &df) || df < 0) {
+        return Status::InvalidArgument("malformed vocabulary word" + where);
+      }
+      words.push_back(tokens[1]);
+      doc_frequencies.push_back(df);
+    } else if (tag == "tfidf") {
+      int sublinear = 0, l2 = 0;
+      if (tokens.size() < 3 || !ParseInt(tokens[1], &sublinear) ||
+          !ParseInt(tokens[2], &l2)) {
+        return Status::InvalidArgument("malformed tfidf line" + where);
+      }
+      state.tfidf_options.sublinear_tf = sublinear != 0;
+      state.tfidf_options.l2_normalize = l2 != 0;
+      RETURN_IF_ERROR(
+          ParseDoubles(tokens, 3, tokens.size() - 3, "tfidf", &state.idf));
+    } else if (tag == "means") {
+      RETURN_IF_ERROR(
+          ParseDoubles(tokens, 1, tokens.size() - 1, "means", &state.means));
+    } else if (tag == "invstd") {
+      RETURN_IF_ERROR(ParseDoubles(tokens, 1, tokens.size() - 1, "invstd",
+                                   &state.inv_stddevs));
+    } else if (tag == "lf") {
+      ASSIGN_OR_RETURN(LfPtr lf, ParseLfLine(tokens, where));
+      state.lfs.push_back(std::move(lf));
+    } else if (tag == "labelmodel") {
+      if (tokens.size() < 2) {
+        return Status::InvalidArgument("malformed labelmodel line" + where);
+      }
+      state.label_model_name = tokens[1];
+      state.label_model_params =
+          Join({tokens.begin() + 2, tokens.end()}, " ");
+    } else if (tag == "almodel" || tag == "endmodel") {
+      if (state.num_classes < 2 || state.feature_dim <= 0) {
+        return Status::InvalidArgument(
+            "snapshot weights before classes/dim header" + where);
+      }
+      ASSIGN_OR_RETURN(
+          Matrix weights,
+          ParseWeightsLine(tokens, state.num_classes, state.feature_dim,
+                           tag));
+      if (tag == "almodel") {
+        state.al_weights = std::move(weights);
+      } else {
+        state.end_weights = std::move(weights);
+      }
+    } else {
+      return Status::InvalidArgument("unknown snapshot line '" + tag + "'" +
+                                     where);
+    }
+  }
+  if (!saw_terminator) {
+    return Status::InvalidArgument(
+        "snapshot is truncated (missing terminator): " + path);
+  }
+  if (!words.empty()) {
+    state.vocab =
+        Vocabulary::FromState(std::move(words), std::move(doc_frequencies));
+  }
+  return ModelSnapshot::Create(std::move(state));
+}
+
+}  // namespace activedp

@@ -1,0 +1,41 @@
+#ifndef ACTIVEDP_SERVE_SNAPSHOT_IO_H_
+#define ACTIVEDP_SERVE_SNAPSHOT_IO_H_
+
+#include <string>
+
+#include "serve/model_snapshot.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// Persists a snapshot to a line-based text format with a version header and
+/// a checksum footer, written atomically (tmp + fsync + rename, see
+/// util/atomic_file.h):
+///
+///   activedp-snapshot v1
+///   dataset <name>
+///   task text|tabular
+///   classes <C>
+///   dim <d>
+///   threshold <tau>
+///   word <word> <doc_frequency>            (text; one line per vocab word)
+///   tfidf <sublinear 0|1> <l2norm 0|1> <idf ... d values>
+///   means <d values> / invstd <d values>   (tabular)
+///   lf kw <token_id> <word> <label>
+///   lf st <feature> <threshold> <le|ge> <label>
+///   labelmodel <name> <params ...>
+///   almodel <C * (d+1) values> / endmodel <C * (d+1) values>
+///   end
+///
+/// Doubles use %.17g, so a load round-trips every parameter bitwise.
+Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path);
+
+/// Loads and validates a snapshot. Rejects (with a non-OK Result) files that
+/// are corrupt (checksum mismatch), truncated (missing `end` terminator or
+/// short sections), from another format version, or internally inconsistent
+/// (ModelSnapshot::Create validation).
+Result<ModelSnapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SERVE_SNAPSHOT_IO_H_

@@ -50,6 +50,14 @@ TfidfFeaturizer TfidfFeaturizer::Fit(const Dataset& train,
   return featurizer;
 }
 
+TfidfFeaturizer TfidfFeaturizer::FromState(TfidfOptions options,
+                                           std::vector<double> idf) {
+  TfidfFeaturizer featurizer;
+  featurizer.options_ = options;
+  featurizer.idf_ = std::move(idf);
+  return featurizer;
+}
+
 SparseVector TfidfFeaturizer::Transform(const Example& example) const {
   SparseVector out;
   out.indices.reserve(example.term_counts.size());

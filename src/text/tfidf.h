@@ -27,11 +27,18 @@ class TfidfFeaturizer {
   /// Computes idf from the training documents: idf = log((1+n)/(1+df)) + 1.
   static TfidfFeaturizer Fit(const Dataset& train, TfidfOptions options = {});
 
+  /// Rebuilds a featurizer from exported state; Transform is bitwise
+  /// identical to the featurizer the state came from.
+  static TfidfFeaturizer FromState(TfidfOptions options,
+                                   std::vector<double> idf);
+
   SparseVector Transform(const Example& example) const;
 
   int dim() const { return static_cast<int>(idf_.size()); }
 
   double idf(int term) const { return idf_[term]; }
+  const std::vector<double>& idf_values() const { return idf_; }
+  const TfidfOptions& options() const { return options_; }
 
  private:
   TfidfOptions options_;

@@ -7,6 +7,19 @@
 
 namespace activedp {
 
+Vocabulary Vocabulary::FromState(std::vector<std::string> words,
+                                 std::vector<int> doc_frequencies) {
+  CHECK_EQ(words.size(), doc_frequencies.size());
+  Vocabulary vocab;
+  vocab.words_ = std::move(words);
+  vocab.doc_frequency_ = std::move(doc_frequencies);
+  vocab.word_to_id_.reserve(vocab.words_.size());
+  for (size_t i = 0; i < vocab.words_.size(); ++i) {
+    vocab.word_to_id_[vocab.words_[i]] = static_cast<int>(i);
+  }
+  return vocab;
+}
+
 Vocabulary Vocabulary::Build(
     const std::vector<std::vector<std::string>>& documents, int min_doc_count,
     int max_size) {

@@ -23,6 +23,11 @@ class Vocabulary {
       const std::vector<std::vector<std::string>>& documents,
       int min_doc_count = 1, int max_size = 0);
 
+  /// Rebuilds a vocabulary from exported state (parallel word /
+  /// document-frequency arrays); ids are assigned by position.
+  static Vocabulary FromState(std::vector<std::string> words,
+                              std::vector<int> doc_frequencies);
+
   /// Id for `word`, or kUnknownId if out of vocabulary.
   int GetId(std::string_view word) const;
 
@@ -33,6 +38,9 @@ class Vocabulary {
 
   /// Number of documents (from the build corpus) containing each word.
   int doc_frequency(int id) const { return doc_frequency_[id]; }
+
+  const std::vector<std::string>& words() const { return words_; }
+  const std::vector<int>& doc_frequencies() const { return doc_frequency_; }
 
  private:
   std::vector<std::string> words_;

@@ -21,6 +21,10 @@ enum class StatusCode {
   kDeadlineExceeded = 7,
   /// The operation observed its CancellationToken and stopped early.
   kCancelled = 8,
+  /// The service is temporarily overloaded (e.g. a full request queue);
+  /// the caller may retry after backing off. Used by serve/ for admission
+  /// control.
+  kUnavailable = 9,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -61,6 +65,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

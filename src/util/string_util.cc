@@ -1,7 +1,11 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace activedp {
 
@@ -103,6 +107,45 @@ std::string JsonEscape(std::string_view text) {
     }
   }
   return out;
+}
+
+std::string FormatExactDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  if (text.empty() || text.size() >= 64) return false;
+  char buffer[64];
+  text.copy(buffer, text.size());
+  buffer[text.size()] = '\0';
+  char* end = nullptr;
+  const double parsed = std::strtod(buffer, &end);
+  if (end != buffer + text.size() || !std::isfinite(parsed)) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, long long* value) {
+  if (text.empty() || text.size() >= 64) return false;
+  char buffer[64];
+  text.copy(buffer, text.size());
+  buffer[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(buffer, &end, 10);
+  if (end != buffer + text.size() || errno == ERANGE) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseInt(std::string_view text, int* value) {
+  long long wide = 0;
+  if (!ParseInt64(text, &wide)) return false;
+  if (wide < INT_MIN || wide > INT_MAX) return false;
+  *value = static_cast<int>(wide);
+  return true;
 }
 
 }  // namespace activedp

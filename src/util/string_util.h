@@ -28,6 +28,20 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// Formats a double with `digits` decimal places (fixed notation).
 std::string FormatDouble(double value, int digits);
 
+/// Formats a double with %.17g so the value round-trips bitwise through
+/// ParseDouble (17 significant digits uniquely identify an IEEE-754
+/// double).
+std::string FormatExactDouble(double value);
+
+/// Parses a full token as a finite double; false on empty input, trailing
+/// garbage, or a non-finite value.
+bool ParseDouble(std::string_view text, double* value);
+
+/// Parses a full token as an int / int64; false on empty input, trailing
+/// garbage, or out-of-range values.
+bool ParseInt(std::string_view text, int* value);
+bool ParseInt64(std::string_view text, long long* value);
+
 /// Escapes `text` for embedding inside a double-quoted JSON string
 /// (backslash, quote, and control characters; everything else verbatim).
 std::string JsonEscape(std::string_view text);

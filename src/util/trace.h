@@ -120,7 +120,7 @@ Status WriteRunTrace(const RunTrace& trace, const std::string& dir,
 /// The process-wide tracer. Arm with Enable() (resets buffers and the
 /// timestamp epoch), run the pipeline, then Collect(). Enable/Collect must
 /// not race with open spans — bracket whole runs, as RunExperiment does for
-/// `ExperimentSpec.trace_dir`.
+/// `ExperimentSpec.policy.trace_dir`.
 class Tracer {
  public:
   static Tracer& Global();

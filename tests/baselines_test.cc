@@ -184,11 +184,27 @@ TEST_F(BaselinesTest, FactoryBuildsEveryFramework) {
 }
 
 TEST_F(BaselinesTest, ParseFrameworkNames) {
-  EXPECT_EQ(ParseFrameworkType("nemo"), FrameworkType::kNemo);
-  EXPECT_EQ(ParseFrameworkType("IWS"), FrameworkType::kIws);
-  EXPECT_EQ(ParseFrameworkType("rlf"), FrameworkType::kRlf);
-  EXPECT_EQ(ParseFrameworkType("us"), FrameworkType::kUs);
-  EXPECT_EQ(ParseFrameworkType("activedp"), FrameworkType::kActiveDp);
+  const auto parse = [](const std::string& name) {
+    Result<FrameworkType> parsed = ParseFrameworkType(name);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    return parsed.ok() ? *parsed : FrameworkType::kActiveDp;
+  };
+  EXPECT_EQ(parse("nemo"), FrameworkType::kNemo);
+  EXPECT_EQ(parse("IWS"), FrameworkType::kIws);
+  EXPECT_EQ(parse("rlf"), FrameworkType::kRlf);
+  EXPECT_EQ(parse("us"), FrameworkType::kUs);
+  EXPECT_EQ(parse("activedp"), FrameworkType::kActiveDp);
+  EXPECT_EQ(parse("ActiveDP"), FrameworkType::kActiveDp);
+}
+
+TEST_F(BaselinesTest, ParseFrameworkRejectsUnknownNames) {
+  // No silent default: a typo must surface, not benchmark ActiveDP.
+  for (const std::string bad : {"", "actvedp", "snorkel", "nemo2"}) {
+    const Result<FrameworkType> parsed = ParseFrameworkType(bad);
+    ASSERT_FALSE(parsed.ok()) << "'" << bad << "' unexpectedly parsed";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("framework"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -137,7 +137,7 @@ TEST_F(ProtocolResumeTest, KilledRunResumesBitwiseIdentical) {
   const std::string path = testing::TempDir() + "/resume.ckpt";
   std::remove(path.c_str());
   ProtocolOptions with_checkpoint = options_;
-  with_checkpoint.checkpoint_path = path;
+  with_checkpoint.policy.checkpoint_path = path;
   {
     ProtocolOptions killed = with_checkpoint;
     killed.iterations = 20;
@@ -162,7 +162,7 @@ TEST_F(ProtocolResumeTest, CorruptCheckpointFallsBackToFreshStart) {
     out << "garbage that is not a checkpoint\n";
   }
   ProtocolOptions with_checkpoint = options_;
-  with_checkpoint.checkpoint_path = path;
+  with_checkpoint.policy.checkpoint_path = path;
   ActiveDp pipeline(context_, Adp());
   const RunResult result = RunProtocol(pipeline, context_, with_checkpoint);
 
@@ -175,7 +175,7 @@ TEST_F(ProtocolResumeTest, CheckpointSaveFailureDoesNotStopTheRun) {
   const std::string path = testing::TempDir() + "/unsavable.ckpt";
   std::remove(path.c_str());
   ProtocolOptions with_checkpoint = options_;
-  with_checkpoint.checkpoint_path = path;
+  with_checkpoint.policy.checkpoint_path = path;
   FaultScope fault("checkpoint.save", FaultKind::kError);
   ActiveDp pipeline(context_, Adp());
   const RunResult result = RunProtocol(pipeline, context_, with_checkpoint);

@@ -215,7 +215,7 @@ class RetryDeterminismTest : public testing::Test {
   ActiveDpOptions Adp() const {
     ActiveDpOptions adp;
     adp.seed = 17;
-    adp.retry.seed = 99;
+    adp.policy.retry.seed = 99;
     return adp;
   }
 
@@ -284,7 +284,7 @@ TEST_F(RetryDeterminismTest, RetriedRunResumesBitwiseIdentical) {
   const std::string path = testing::TempDir() + "/retry_resume.ckpt";
   std::remove(path.c_str());
   ProtocolOptions with_checkpoint = options_;
-  with_checkpoint.checkpoint_path = path;
+  with_checkpoint.policy.checkpoint_path = path;
   {
     FaultScope fault("metal.fit", TransientMetalFault());
     ProtocolOptions killed = with_checkpoint;

@@ -1,0 +1,230 @@
+#include "serve/prediction_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/activedp.h"
+#include "core/framework.h"
+#include "data/dataset_zoo.h"
+#include "serve/snapshot_export.h"
+#include "util/thread_pool.h"
+
+namespace activedp {
+namespace {
+
+/// Shared trained pipeline + two snapshots exported at different points of
+/// the run (for hot-swap tests). Training once keeps the suite fast.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Result<DataSplit> split = MakeZooDataset("youtube", 0.1, /*seed=*/7);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    split_ = new DataSplit(std::move(*split));
+    context_ = new FrameworkContext(FrameworkContext::Build(*split_));
+    ActiveDpOptions options;
+    options.seed = 23;
+    ActiveDp pipeline(*context_, options);
+    for (int t = 0; t < 15; ++t) ASSERT_TRUE(pipeline.Step().ok());
+    Result<ModelSnapshot> early = ExportSnapshot(pipeline, *context_);
+    ASSERT_TRUE(early.ok()) << early.status().ToString();
+    snapshot_a_ =
+        new std::shared_ptr<const ModelSnapshot>(
+            std::make_shared<const ModelSnapshot>(std::move(*early)));
+    for (int t = 0; t < 10; ++t) ASSERT_TRUE(pipeline.Step().ok());
+    Result<ModelSnapshot> late = ExportSnapshot(pipeline, *context_);
+    ASSERT_TRUE(late.ok()) << late.status().ToString();
+    snapshot_b_ =
+        new std::shared_ptr<const ModelSnapshot>(
+            std::make_shared<const ModelSnapshot>(std::move(*late)));
+  }
+
+  static void TearDownTestSuite() {
+    delete snapshot_a_;
+    delete snapshot_b_;
+    delete context_;
+    delete split_;
+    snapshot_a_ = nullptr;
+    snapshot_b_ = nullptr;
+    context_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static const Example& TrainExample(int i) {
+    return split_->train.example(i % split_->train.size());
+  }
+
+  static DataSplit* split_;
+  static FrameworkContext* context_;
+  static std::shared_ptr<const ModelSnapshot>* snapshot_a_;
+  static std::shared_ptr<const ModelSnapshot>* snapshot_b_;
+};
+
+DataSplit* ServeTest::split_ = nullptr;
+FrameworkContext* ServeTest::context_ = nullptr;
+std::shared_ptr<const ModelSnapshot>* ServeTest::snapshot_a_ = nullptr;
+std::shared_ptr<const ModelSnapshot>* ServeTest::snapshot_b_ = nullptr;
+
+TEST_F(ServeTest, ServedEqualsOfflineAcrossBatchSizes) {
+  const int n = std::min(split_->train.size(), 48);
+  for (int batch_size : {1, 4, 32}) {
+    PredictionServiceOptions options;
+    options.max_batch_size = batch_size;
+    options.max_batch_delay_ms = 0.5;
+    PredictionService service(options);
+    service.LoadSnapshot(*snapshot_a_);
+    std::vector<std::future<Result<ServedPrediction>>> futures;
+    for (int i = 0; i < n; ++i) {
+      futures.push_back(service.PredictAsync(TrainExample(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      Result<ServedPrediction> served = futures[i].get();
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      Result<ServedPrediction> offline =
+          (*snapshot_a_)->Predict(TrainExample(i));
+      ASSERT_TRUE(offline.ok());
+      EXPECT_EQ(served->proba, offline->proba)
+          << "batch_size " << batch_size << " row " << i;
+      EXPECT_EQ(served->label, offline->label);
+      EXPECT_EQ(static_cast<int>(served->source),
+                static_cast<int>(offline->source));
+    }
+  }
+}
+
+TEST_F(ServeTest, ServedEqualsOfflineAcrossThreadCounts) {
+  const int previous_threads = ComputePoolThreads();
+  const int n = std::min(split_->train.size(), 48);
+  for (int threads : {1, 4}) {
+    SetComputePoolThreads(threads);
+    PredictionService service;
+    service.LoadSnapshot(*snapshot_a_);
+    for (int i = 0; i < n; ++i) {
+      Result<ServedPrediction> served = service.Predict(TrainExample(i));
+      ASSERT_TRUE(served.ok());
+      Result<ServedPrediction> offline =
+          (*snapshot_a_)->Predict(TrainExample(i));
+      ASSERT_TRUE(offline.ok());
+      EXPECT_EQ(served->proba, offline->proba)
+          << "threads " << threads << " row " << i;
+    }
+  }
+  SetComputePoolThreads(previous_threads);
+}
+
+TEST_F(ServeTest, HotSwapUnderLoadServesOneOfTheTwoSnapshots) {
+  PredictionServiceOptions options;
+  options.max_batch_size = 8;
+  options.max_batch_delay_ms = 0.2;
+  PredictionService service(options);
+  service.LoadSnapshot(*snapshot_a_);
+
+  // Clients hammer the service from several threads while the main thread
+  // swaps snapshots repeatedly. Every response must be bitwise identical to
+  // snapshot A's or snapshot B's offline prediction for that instance —
+  // never a mix, never garbage. TSan covers the synchronization.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 60;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int k = 0; k < kPerClient; ++k) {
+        const int row = c * kPerClient + k;
+        Result<ServedPrediction> served = service.Predict(TrainExample(row));
+        if (!served.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        Result<ServedPrediction> via_a =
+            (*snapshot_a_)->Predict(TrainExample(row));
+        Result<ServedPrediction> via_b =
+            (*snapshot_b_)->Predict(TrainExample(row));
+        const bool matches_a = via_a.ok() && served->proba == via_a->proba &&
+                               served->label == via_a->label;
+        const bool matches_b = via_b.ok() && served->proba == via_b->proba &&
+                               served->label == via_b->label;
+        if (!matches_a && !matches_b) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (int swap = 0; swap < 20; ++swap) {
+    service.LoadSnapshot(swap % 2 == 0 ? *snapshot_b_ : *snapshot_a_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ServeTest, QueueFullReturnsUnavailable) {
+  PredictionServiceOptions options;
+  options.max_queue_depth = 2;
+  options.max_batch_size = 64;
+  options.max_batch_delay_ms = 200.0;  // hold the batch window open
+  PredictionService service(options);
+  service.LoadSnapshot(*snapshot_a_);
+  std::vector<std::future<Result<ServedPrediction>>> futures;
+  int rejected = 0;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(service.PredictAsync(TrainExample(i)));
+  }
+  for (auto& future : futures) {
+    const Result<ServedPrediction> result = future.get();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  // The dispatcher may drain a couple of requests between admissions, but
+  // with a 200ms window most of the flood must hit the depth limit.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineFailsFastWithoutPoisoningTheBatch) {
+  PredictionService service;
+  service.LoadSnapshot(*snapshot_a_);
+  std::future<Result<ServedPrediction>> expired =
+      service.PredictAsync(TrainExample(0), Deadline::After(0.0));
+  std::future<Result<ServedPrediction>> healthy =
+      service.PredictAsync(TrainExample(1));
+  const Result<ServedPrediction> expired_result = expired.get();
+  ASSERT_FALSE(expired_result.ok());
+  EXPECT_EQ(expired_result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(healthy.get().ok());
+}
+
+TEST_F(ServeTest, RequestsWithoutSnapshotAreRejected) {
+  PredictionService service;
+  const Result<ServedPrediction> result = service.Predict(TrainExample(0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
+  PredictionServiceOptions options;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 50.0;
+  auto service = std::make_unique<PredictionService>(options);
+  service->LoadSnapshot(*snapshot_a_);
+  std::vector<std::future<Result<ServedPrediction>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(service->PredictAsync(TrainExample(i)));
+  }
+  service->Shutdown();
+  for (auto& future : futures) {
+    const Result<ServedPrediction> result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // After shutdown new requests are refused, not queued forever.
+  const Result<ServedPrediction> late = service->Predict(TrainExample(0));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace activedp

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/activedp.h"
+#include "core/framework.h"
+#include "data/dataset_zoo.h"
+#include "labelmodel/label_model.h"
+#include "serve/model_snapshot.h"
+#include "serve/snapshot_export.h"
+#include "serve/snapshot_io.h"
+#include "util/atomic_file.h"
+
+namespace activedp {
+namespace {
+
+/// One trained pipeline shared by every test in the suite (training is the
+/// expensive part; the tests only read from it).
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Result<DataSplit> split = MakeZooDataset("youtube", 0.1, /*seed=*/5);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    split_ = new DataSplit(std::move(*split));
+    context_ = new FrameworkContext(FrameworkContext::Build(*split_));
+    ActiveDpOptions options;
+    options.seed = 11;
+    pipeline_ = new ActiveDp(*context_, options);
+    for (int t = 0; t < 25; ++t) {
+      const Status status = pipeline_->Step();
+      ASSERT_TRUE(status.ok()) << status.ToString();
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete context_;
+    delete split_;
+    pipeline_ = nullptr;
+    context_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static Result<ModelSnapshot> Export() {
+    return ExportSnapshot(*pipeline_, *context_);
+  }
+
+  static DataSplit* split_;
+  static FrameworkContext* context_;
+  static ActiveDp* pipeline_;
+};
+
+DataSplit* SnapshotTest::split_ = nullptr;
+FrameworkContext* SnapshotTest::context_ = nullptr;
+ActiveDp* SnapshotTest::pipeline_ = nullptr;
+
+TEST_F(SnapshotTest, ExportCapturesRunState) {
+  Result<ModelSnapshot> snapshot = Export();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->num_classes(), context_->num_classes);
+  EXPECT_EQ(snapshot->feature_dim(), context_->feature_dim);
+  EXPECT_EQ(snapshot->threshold(), pipeline_->last_threshold());
+  EXPECT_TRUE(snapshot->has_label_model());
+  EXPECT_EQ(snapshot->state().lfs.size(), pipeline_->selected_lfs().size());
+}
+
+TEST_F(SnapshotTest, PredictionsMatchOfflineAggregateBitwise) {
+  Result<ModelSnapshot> snapshot = Export();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  // The offline inference phase over the training set; CurrentTrainingLabels
+  // is deterministic, so this re-run reproduces the export-time aggregation.
+  const std::vector<std::vector<double>> offline =
+      pipeline_->CurrentTrainingLabels();
+  const Dataset& train = split_->train;
+  for (int i = 0; i < train.size(); ++i) {
+    Result<ServedPrediction> served = snapshot->Predict(train.example(i));
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    // operator== on vector<double>: exact (bitwise) equality required.
+    EXPECT_EQ(served->proba, offline[i]) << "row " << i;
+    EXPECT_EQ(served->label == kAbstain, offline[i].empty()) << "row " << i;
+  }
+}
+
+TEST_F(SnapshotTest, PredictBatchMatchesPredictAtAnyBatchSize) {
+  Result<ModelSnapshot> snapshot = Export();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const Dataset& train = split_->train;
+  const int n = std::min(train.size(), 64);
+  std::vector<Result<ServedPrediction>> reference;
+  for (int i = 0; i < n; ++i) {
+    reference.push_back(snapshot->Predict(train.example(i)));
+  }
+  for (int batch_size : {1, 3, 17, n}) {
+    for (int begin = 0; begin < n; begin += batch_size) {
+      const int end = std::min(n, begin + batch_size);
+      const std::vector<Example> batch(train.examples().begin() + begin,
+                                       train.examples().begin() + end);
+      const std::vector<Result<ServedPrediction>> results =
+          snapshot->PredictBatch(batch);
+      ASSERT_EQ(results.size(), batch.size());
+      for (int k = 0; k < end - begin; ++k) {
+        ASSERT_TRUE(results[k].ok());
+        EXPECT_EQ(results[k]->proba, reference[begin + k]->proba)
+            << "batch_size " << batch_size << " row " << begin + k;
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, SaveLoadRoundTripsPredictionsBitwise) {
+  Result<ModelSnapshot> snapshot = Export();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const std::string path = testing::TempDir() + "/roundtrip.snap";
+  ASSERT_TRUE(SaveSnapshot(*snapshot, path).ok());
+  Result<ModelSnapshot> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->threshold(), snapshot->threshold());
+  EXPECT_EQ(loaded->state().lfs.size(), snapshot->state().lfs.size());
+  EXPECT_EQ(loaded->has_end_model(), snapshot->has_end_model());
+  const Dataset& train = split_->train;
+  for (int i = 0; i < train.size(); ++i) {
+    Result<ServedPrediction> a = snapshot->Predict(train.example(i));
+    Result<ServedPrediction> b = loaded->Predict(train.example(i));
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->proba, b->proba) << "row " << i;
+    EXPECT_EQ(a->label, b->label) << "row " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, MakeTextExampleMatchesDatasetConstruction) {
+  Result<ModelSnapshot> snapshot = Export();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const Dataset& train = split_->train;
+  for (int i = 0; i < std::min(train.size(), 32); ++i) {
+    Result<Example> rebuilt =
+        snapshot->MakeTextExample(train.example(i).text);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(rebuilt->term_counts, train.example(i).term_counts)
+        << "row " << i;
+  }
+}
+
+TEST_F(SnapshotTest, CorruptFileIsRejected) {
+  Result<ModelSnapshot> snapshot = Export();
+  ASSERT_TRUE(snapshot.ok());
+  const std::string path = testing::TempDir() + "/corrupt.snap";
+  ASSERT_TRUE(SaveSnapshot(*snapshot, path).ok());
+  std::string content;
+  {
+    std::ifstream in(path);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  // Flip one byte in the middle: the checksum footer must catch it.
+  content[content.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+  Result<ModelSnapshot> loaded = LoadSnapshot(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, TruncatedFileIsRejected) {
+  Result<ModelSnapshot> snapshot = Export();
+  ASSERT_TRUE(snapshot.ok());
+  const std::string path = testing::TempDir() + "/truncated.snap";
+  ASSERT_TRUE(SaveSnapshot(*snapshot, path).ok());
+  std::string content;
+  {
+    std::ifstream in(path);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  for (double fraction : {0.2, 0.5, 0.9}) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content.substr(0, static_cast<size_t>(content.size() * fraction));
+    out.close();
+    Result<ModelSnapshot> loaded = LoadSnapshot(path);
+    EXPECT_FALSE(loaded.ok()) << "fraction " << fraction;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, WrongVersionIsRejected) {
+  // A structurally plausible file from a future format version, with a
+  // *valid* checksum — only the version gate can reject it.
+  const std::string path = testing::TempDir() + "/future.snap";
+  const std::string body = "activedp-snapshot v999\nend\n";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << WithChecksumFooter(body);
+  }
+  Result<ModelSnapshot> loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, InconsistentStateIsRejected) {
+  Result<ModelSnapshot> exported = Export();
+  ASSERT_TRUE(exported.ok());
+
+  SnapshotState no_models = exported->state();
+  no_models.label_model_name.clear();
+  no_models.al_weights.reset();
+  EXPECT_FALSE(ModelSnapshot::Create(std::move(no_models)).ok());
+
+  SnapshotState bad_dim = exported->state();
+  bad_dim.feature_dim += 1;  // vocab/idf no longer match
+  EXPECT_FALSE(ModelSnapshot::Create(std::move(bad_dim)).ok());
+
+  SnapshotState bad_version = exported->state();
+  bad_version.version = kSnapshotVersion + 1;
+  EXPECT_FALSE(ModelSnapshot::Create(std::move(bad_version)).ok());
+
+  SnapshotState bad_params = exported->state();
+  bad_params.label_model_params = "not numbers at all";
+  EXPECT_FALSE(ModelSnapshot::Create(std::move(bad_params)).ok());
+}
+
+TEST(LabelModelParamsTest, AllModelsRoundTripPredictionsBitwise) {
+  // A small matrix every model family can fit.
+  LabelMatrix matrix(40);
+  for (int j = 0; j < 4; ++j) {
+    std::vector<int8_t> column(40, -1);
+    for (int i = 0; i < 40; ++i) {
+      if ((i + j) % 3 == 0) column[i] = static_cast<int8_t>((i / 20) % 2);
+    }
+    matrix.AddColumn(std::move(column));
+  }
+  const std::vector<std::string> names = {
+      "majority-vote", "dawid-skene", "metal", "metal-completion",
+      "generative-dp"};
+  for (const std::string& name : names) {
+    Result<std::unique_ptr<LabelModel>> fitted = MakeLabelModelByName(name);
+    ASSERT_TRUE(fitted.ok()) << name;
+    ASSERT_TRUE((*fitted)->Fit(matrix, 2).ok()) << name;
+    Result<std::string> params = (*fitted)->SerializeParams();
+    ASSERT_TRUE(params.ok()) << name << ": " << params.status().ToString();
+
+    Result<std::unique_ptr<LabelModel>> restored = MakeLabelModelByName(name);
+    ASSERT_TRUE(restored.ok()) << name;
+    ASSERT_TRUE((*restored)->RestoreParams(*params).ok()) << name;
+    for (int i = 0; i < matrix.num_rows(); ++i) {
+      Result<std::vector<double>> a = (*fitted)->PredictProba(matrix.Row(i));
+      Result<std::vector<double>> b =
+          (*restored)->PredictProba(matrix.Row(i));
+      ASSERT_TRUE(a.ok() && b.ok()) << name;
+      EXPECT_EQ(*a, *b) << name << " row " << i;
+    }
+    // Garbage params must be rejected, not half-applied.
+    Result<std::unique_ptr<LabelModel>> fresh = MakeLabelModelByName(name);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_FALSE((*fresh)->RestoreParams("3 bogus").ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace activedp

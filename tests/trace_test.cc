@@ -406,9 +406,9 @@ TEST(TraceTest, SameSeedExperimentTracesIdenticalModuloTimestamps) {
   spec.num_seeds = 2;
   spec.base_seed = 7;
 
-  spec.trace_dir = testing::TempDir() + "/trace_a";
+  spec.policy.trace_dir = testing::TempDir() + "/trace_a";
   ASSERT_TRUE(RunExperiment(spec).ok());
-  spec.trace_dir = testing::TempDir() + "/trace_b";
+  spec.policy.trace_dir = testing::TempDir() + "/trace_b";
   ASSERT_TRUE(RunExperiment(spec).ok());
 
   const std::string stem = "/youtube-activedp";
