@@ -20,6 +20,7 @@
 // standalone binary:
 //   ./build/bench/chaos_sweep --seeds=3 --steps=24 --budget-seconds=120
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -32,6 +33,7 @@
 #include "core/run_checkpoint.h"
 #include "core/session_io.h"
 #include "data/dataset_zoo.h"
+#include "serve/chaos_scenario.h"
 #include "util/fault.h"
 #include "util/flags.h"
 #include "util/metrics.h"
@@ -319,6 +321,9 @@ int Main(int argc, char** argv) {
   flags.AddFlag("steps", "24", "protocol iterations per scenario");
   flags.AddFlag("budget-seconds", "120",
                 "per-run deadline (watchdog-enforced)");
+  flags.AddFlag("serve-matrix", "1",
+                "also sweep the serving-side fault matrix (serve/"
+                "chaos_scenario.h) into the same accounting report");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -384,6 +389,41 @@ int Main(int argc, char** argv) {
       std::printf("ok     transient metal.fit kError absorbed by retry "
                   "(seed %llu)\n",
                   static_cast<unsigned long long>(seed));
+    }
+  }
+
+  // Serving-side matrix (ServeGuard, serve/chaos_scenario.h): the serve.*
+  // fault sites swept into the same accounting report as the offline ones,
+  // so one run answers "is every armed site in the system covered". One
+  // fixture (training is the expensive part); the scenarios themselves are
+  // cheap. bench/serve_chaos is the dedicated multi-seed gate.
+  if (flags.GetInt("serve-matrix") != 0) {
+    const uint64_t serve_seed = 7;
+    const Result<ServeChaosFixture> fixture = BuildServeChaosFixture(
+        tmpdir, dataset, std::min(scale, 0.1), serve_seed, /*steps_a=*/12,
+        /*steps_b=*/6, /*trace_size=*/48);
+    if (!fixture.ok()) {
+      ++failures;
+      std::fprintf(stderr, "serve fixture build failed: %s\n",
+                   fixture.status().ToString().c_str());
+    } else {
+      for (const ServeChaosSiteInfo& info : ServeChaosSites()) {
+        for (const FaultKind kind : ServeChaosKinds()) {
+          ++scenarios;
+          const ServeChaosOutcome outcome =
+              RunServeChaosScenario(*fixture, info.site, kind, serve_seed);
+          std::printf("%-6s %-18s %-14s fires=%-4d evidence=%-3d "
+                      "digest_mismatches=%-3d %6.2fs\n",
+                      outcome.passed ? "ok" : "FAIL", info.site,
+                      std::string(FaultKindToString(kind)).c_str(),
+                      outcome.fires, outcome.evidence,
+                      outcome.digest_mismatches, outcome.elapsed_seconds);
+          if (!outcome.passed) {
+            ++failures;
+            std::fprintf(stderr, "  %s\n", outcome.failure.c_str());
+          }
+        }
+      }
     }
   }
 

@@ -20,9 +20,15 @@
 #      archived to bench-archive/)
 #   7. a small-budget chaos sweep (fault sites x kinds x seeds, with
 #      fault accounting and resumability checks; see bench/chaos_sweep.cc)
+#   8. the serving chaos gate (bench/serve_chaos: the full serve.* fault
+#      matrix — every injected fault cleanly rejected or auto-recovered,
+#      zero served-digest divergence on the surviving path, the rollback
+#      visible in the RunTrace timeline; BENCH_serve_chaos.json is archived
+#      to bench-archive/)
 #
 # Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-perf]
 #                          [--skip-chaos] [--skip-trace] [--skip-serve]
+#                          [--skip-serve-chaos]
 # Runs from any directory; build trees live next to the sources as
 # build/, build-asan/ and build-tsan/.
 set -euo pipefail
@@ -35,6 +41,7 @@ SKIP_PERF=0
 SKIP_CHAOS=0
 SKIP_TRACE=0
 SKIP_SERVE=0
+SKIP_SERVE_CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
@@ -43,6 +50,7 @@ for arg in "$@"; do
     --skip-chaos) SKIP_CHAOS=1 ;;
     --skip-trace) SKIP_TRACE=1 ;;
     --skip-serve) SKIP_SERVE=1 ;;
+    --skip-serve-chaos) SKIP_SERVE_CHAOS=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -77,9 +85,10 @@ if [[ "$SKIP_TSAN" -eq 0 ]]; then
   cmake -B build-tsan -S . -DACTIVEDP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test determinism_test trace_test util_metrics_test \
-             logging_test retry_test serve_test snapshot_test
+             logging_test retry_test serve_test snapshot_test registry_test \
+             rollout_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test"
+    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test|registry_test|rollout_test"
 fi
 
 if [[ "$SKIP_PERF" -eq 0 ]]; then
@@ -134,6 +143,23 @@ fi
 if [[ "$SKIP_CHAOS" -eq 0 ]]; then
   echo "== chaos sweep (small budget) =="
   ./build/bench/chaos_sweep --seeds=2 --steps=24 --budget-seconds=60
+fi
+
+if [[ "$SKIP_SERVE_CHAOS" -eq 0 ]]; then
+  echo "== serving chaos gate (serve.* fault matrix) =="
+  (cd build/bench && ./serve_chaos --seeds=2 --steps=12 --trace=48 \
+    --out=BENCH_serve_chaos.json)
+  SERVE_CHAOS_JSON="build/bench/BENCH_serve_chaos.json"
+  if [[ -f "$SERVE_CHAOS_JSON" ]]; then
+    mkdir -p bench-archive
+    STAMP="$(date +%Y%m%d-%H%M%S)"
+    cp "$SERVE_CHAOS_JSON" "bench-archive/BENCH_serve_chaos-$STAMP.json"
+    echo "archived bench-archive/BENCH_serve_chaos-$STAMP.json"
+    grep -oE '"scenarios": [0-9]+|"failures": [0-9]+|"rollback_instants": [0-9]+' \
+      "$SERVE_CHAOS_JSON" | sed 's/^/  /' || true
+  else
+    echo "note: $SERVE_CHAOS_JSON not found; skipping archive" >&2
+  fi
 fi
 
 echo "verify: all gates passed"

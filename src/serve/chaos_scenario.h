@@ -1,0 +1,101 @@
+#ifndef ACTIVEDP_SERVE_CHAOS_SCENARIO_H_
+#define ACTIVEDP_SERVE_CHAOS_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/model_snapshot.h"
+#include "util/fault.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// One serving-side fault site and the fault kinds it can express. The
+/// matrix (sites × kinds) is shared by bench/serve_chaos (the dedicated
+/// gate) and bench/chaos_sweep (the whole-system accounting report), so the
+/// two harnesses can never drift apart on what "full coverage" means.
+struct ServeChaosSiteInfo {
+  const char* site;
+  uint32_t honored;
+};
+
+const std::vector<ServeChaosSiteInfo>& ServeChaosSites();
+
+/// Kinds the serving matrix sweeps (error, corruption, torn write, latency
+/// spike). Unhonored (site, kind) pairs assert zero fires — the sites
+/// declare what they can express and the sweep verifies the declaration.
+const std::vector<FaultKind>& ServeChaosKinds();
+
+/// Everything a serve chaos scenario needs, built once per seed (training a
+/// pipeline is the expensive part): two exported snapshots (A = baseline, B
+/// = candidate) on disk and in memory, a request trace, and each snapshot's
+/// offline prediction digest per trace row — the bitwise ground truth the
+/// surviving-path check compares served responses against.
+struct ServeChaosFixture {
+  std::string dir;
+  std::string snapshot_a_path;
+  std::string snapshot_b_path;
+  std::shared_ptr<const ModelSnapshot> snapshot_a;
+  std::shared_ptr<const ModelSnapshot> snapshot_b;
+  std::vector<Example> trace;
+  std::vector<uint64_t> digests_a;
+  std::vector<uint64_t> digests_b;
+};
+
+/// Trains a pipeline on a zoo dataset, exports snapshot A after `steps_a`
+/// protocol steps and snapshot B after `steps_b` more, saves both under
+/// `dir`, and precomputes the offline digests over the first `trace_size`
+/// train examples.
+Result<ServeChaosFixture> BuildServeChaosFixture(const std::string& dir,
+                                                 const std::string& dataset,
+                                                 double scale, uint64_t seed,
+                                                 int steps_a, int steps_b,
+                                                 int trace_size);
+
+struct ServeChaosOutcome {
+  bool passed = true;
+  std::string failure;
+  /// Injected-fault fires observed by the armed site.
+  int fires = 0;
+  /// Pieces of evidence the fault was handled: clean rejections, detected
+  /// corruption, circuit-breaker trips, rollout rollbacks, absorbed spikes.
+  int evidence = 0;
+  /// Served responses on the surviving path whose digest diverged from the
+  /// offline prediction of whichever snapshot should be serving. Must be 0.
+  int digest_mismatches = 0;
+  double elapsed_seconds = 0.0;
+
+  void Fail(const std::string& why) {
+    passed = false;
+    if (!failure.empty()) failure += "; ";
+    failure += why;
+  }
+};
+
+/// Runs one (site, kind, seed) serving chaos scenario and asserts the
+/// ServeGuard contract (DESIGN.md §11):
+///
+///   - nothing crashes; every injected fault is either cleanly rejected
+///     (non-OK status, detected corruption) or auto-recovered (circuit
+///     breaker back to last-known-good, rollout rollback, absorbed latency
+///     spike) — counted in `evidence`;
+///   - after the fault, the service still serves and every response is
+///     bitwise identical to the offline prediction of the snapshot that
+///     should be active (`digest_mismatches` == 0);
+///   - registry state stays consistent: a failed or torn manifest write
+///     never leaves partial state, a condemned candidate is marked failed,
+///     a rollback re-activates the previous healthy snapshot;
+///   - unhonored (site, kind) pairs never fire.
+///
+/// Each scenario sets up a fresh registry + service from the fixture, so
+/// scenarios are independent and order-insensitive.
+ServeChaosOutcome RunServeChaosScenario(const ServeChaosFixture& fixture,
+                                        std::string_view site, FaultKind kind,
+                                        uint64_t seed);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SERVE_CHAOS_SCENARIO_H_

@@ -1,8 +1,12 @@
 #include "serve/prediction_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -10,10 +14,22 @@
 namespace activedp {
 namespace {
 
+/// Floor for the EWMA per-request service-time sample. Batches on tiny
+/// snapshots finish in microseconds; without a floor the estimated queue
+/// delay rounds to ~0 and the shedder can never engage, which makes the
+/// overload tests timing-dependent.
+constexpr double kMinRequestMsSample = 0.0005;
+/// EWMA smoothing: new = (1 - alpha) * old + alpha * sample.
+constexpr double kEwmaAlpha = 0.2;
+/// Bounded sleep injected by the "serve.predict" kLatencySpike fault site.
+constexpr double kLatencySpikeMs = 20.0;
+
 struct ServeMetrics {
   Counter& requests;
   Counter& rejected;
   Counter& expired;
+  Counter& shed;
+  Counter& breaker_trips;
   Counter& batches;
   Counter& swaps;
   Histogram& batch_size;
@@ -26,6 +42,8 @@ struct ServeMetrics {
           registry.counter("serve.requests"),
           registry.counter("serve.rejected"),
           registry.counter("serve.expired"),
+          registry.counter("serve.shed"),
+          registry.counter("serve.breaker_trips"),
           registry.counter("serve.batches"),
           registry.counter("serve.swaps"),
           registry.histogram("serve.batch_size",
@@ -42,6 +60,15 @@ std::future<Result<ServedPrediction>> ReadyFuture(Status status) {
   std::promise<Result<ServedPrediction>> promise;
   promise.set_value(Result<ServedPrediction>(std::move(status)));
   return promise.get_future();
+}
+
+/// The "retry-after-ms=<n>" hint attached to Unavailable rejections: the
+/// estimated time for the backlog to drain, floored at 1ms so clients always
+/// get a usable hint. serve/serve_client.h parses it back out.
+std::string RetryAfterHint(double estimated_delay_ms) {
+  const int64_t ms = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(estimated_delay_ms)));
+  return "retry-after-ms=" + std::to_string(ms);
 }
 
 }  // namespace
@@ -67,6 +94,14 @@ std::shared_ptr<const ModelSnapshot> PredictionService::snapshot() const {
   return snapshot_;
 }
 
+double PredictionService::EstimatedQueueDelayMsLocked() const {
+  // The delay a request admitted *now* would see: everything already queued
+  // plus itself, each at the EWMA per-request service time. Zero until the
+  // first batch completes (the shedder stays open while the estimate is
+  // cold — admission-control decisions need evidence).
+  return (static_cast<double>(queue_.size()) + 1.0) * ewma_request_ms_;
+}
+
 std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
     Example example, Deadline deadline) {
   ServeMetrics& metrics = ServeMetrics::Get();
@@ -82,11 +117,42 @@ std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
       return ReadyFuture(
           Status::FailedPrecondition("no model snapshot loaded"));
     }
+    if (deadline.expired()) {
+      metrics.expired.Increment();
+      return ReadyFuture(
+          Status::DeadlineExceeded("request deadline already expired"));
+    }
+    const double estimate_ms = EstimatedQueueDelayMsLocked();
+    // Predictive fail-fast: when the backlog estimate says this request
+    // cannot reach dispatch before its deadline, reject now instead of
+    // letting it queue up only to expire there.
+    if (!deadline.is_infinite() &&
+        estimate_ms > deadline.remaining_seconds() * 1000.0) {
+      metrics.expired.Increment();
+      return ReadyFuture(Status::DeadlineExceeded(
+          "request would expire while queued (depth=" +
+          std::to_string(queue_.size()) + ", estimated " +
+          std::to_string(estimate_ms) + "ms)"));
+    }
+    // Adaptive overload shed: the queue is deep enough that it cannot drain
+    // within the configured delay budget. Carry the depth and a retry-after
+    // hint so clients back off instead of hammering.
+    if (options_.max_queue_delay_ms > 0.0 &&
+        estimate_ms > options_.max_queue_delay_ms) {
+      metrics.rejected.Increment();
+      metrics.shed.Increment();
+      return ReadyFuture(Status::Unavailable(
+          "prediction service overloaded (depth=" +
+          std::to_string(queue_.size()) + ", estimated delay " +
+          std::to_string(estimate_ms) + "ms); " +
+          RetryAfterHint(estimate_ms)));
+    }
     if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
       metrics.rejected.Increment();
       return ReadyFuture(Status::Unavailable(
-          "prediction queue is full (" +
-          std::to_string(options_.max_queue_depth) + " pending); retry"));
+          "prediction queue is full (depth=" + std::to_string(queue_.size()) +
+          " of max " + std::to_string(options_.max_queue_depth) + "); " +
+          RetryAfterHint(std::max(estimate_ms, options_.max_batch_delay_ms))));
     }
     PendingRequest request;
     request.example = std::move(example);
@@ -107,6 +173,50 @@ Result<ServedPrediction> PredictionService::Predict(Example example,
 int PredictionService::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int>(queue_.size());
+}
+
+ServiceHealth PredictionService::Health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceHealth health;
+  health.shutdown = shutdown_;
+  health.has_snapshot = snapshot_ != nullptr;
+  health.queue_depth = static_cast<int>(queue_.size());
+  health.estimated_queue_delay_ms = EstimatedQueueDelayMsLocked();
+  health.breaker_trips = breaker_trips_;
+  health.ok =
+      !shutdown_ && health.has_snapshot &&
+      (options_.max_queue_delay_ms <= 0.0 ||
+       health.estimated_queue_delay_ms <= options_.max_queue_delay_ms) &&
+      health.queue_depth < options_.max_queue_depth;
+  return health;
+}
+
+Status PredictionService::CheckHealth() const {
+  const ServiceHealth health = Health();
+  if (health.shutdown) {
+    return Status::Unavailable("prediction service is shut down");
+  }
+  if (!health.has_snapshot) {
+    return Status::FailedPrecondition("no model snapshot loaded");
+  }
+  if (!health.ok) {
+    return Status::Unavailable(
+        "prediction service overloaded (depth=" +
+        std::to_string(health.queue_depth) + ", estimated delay " +
+        std::to_string(health.estimated_queue_delay_ms) + "ms)");
+  }
+  return Status::Ok();
+}
+
+int64_t PredictionService::breaker_trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return breaker_trips_;
+}
+
+std::shared_ptr<const ModelSnapshot> PredictionService::last_known_good()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_good_;
 }
 
 void PredictionService::Shutdown() {
@@ -193,12 +303,74 @@ void PredictionService::RunBatch(
   span.AddArg("expired",
               static_cast<int64_t>(batch.size() - examples.size()));
 
-  std::vector<Result<ServedPrediction>> results =
-      snapshot->PredictBatch(examples);
+  // Serving-side fault sites (bench/serve_chaos): a latency spike delays the
+  // batch without failing it — results stay bitwise correct, tail latency
+  // and queue-delay shedding absorb the hit; a dispatch fault fails the
+  // whole batch, which is what arms the circuit breaker below.
+  if (CheckFault("serve.predict", {FaultKind::kLatencySpike}) ==
+      FaultKind::kLatencySpike) {
+    span.AddArg("latency_spike_ms", static_cast<int64_t>(kLatencySpikeMs));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(kLatencySpikeMs));
+  }
+  const bool dispatch_fault =
+      CheckFault("serve.dispatch", {FaultKind::kError}) == FaultKind::kError;
+
+  std::vector<Result<ServedPrediction>> results;
+  if (dispatch_fault) {
+    span.AddArg("injected_dispatch_fault", 1);
+    results.assign(live.size(),
+                   Result<ServedPrediction>(Status::Internal(
+                       "injected fault at serve.dispatch")));
+  } else {
+    results = snapshot->PredictBatch(examples);
+  }
+  bool any_ok = false;
+  for (size_t k = 0; k < live.size(); ++k) {
+    if (results[k].ok()) any_ok = true;
+  }
+  const double elapsed_ms = timer.ElapsedMillis();
+  metrics.batch_latency_ms.Observe(elapsed_ms);
+
+  // Feed the admission-control EWMA and the circuit breaker. A batch counts
+  // as failed only when it had live requests and none succeeded; enough
+  // consecutive failures on the current snapshot degrade the service back to
+  // the last snapshot that served a healthy batch. State commits *before*
+  // the promises resolve, so a blocking caller that observes its result
+  // always sees the post-batch EWMA/breaker state on its next admission.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!live.empty()) {
+      const double sample_ms = std::max(
+          kMinRequestMsSample, elapsed_ms / static_cast<double>(live.size()));
+      ewma_request_ms_ = ewma_request_ms_ <= 0.0
+                             ? sample_ms
+                             : (1.0 - kEwmaAlpha) * ewma_request_ms_ +
+                                   kEwmaAlpha * sample_ms;
+      if (any_ok) {
+        consecutive_failed_batches_ = 0;
+        last_good_ = snapshot;
+      } else {
+        ++consecutive_failed_batches_;
+        if (options_.breaker_threshold > 0 &&
+            consecutive_failed_batches_ >= options_.breaker_threshold &&
+            last_good_ != nullptr && last_good_ != snapshot_) {
+          snapshot_ = last_good_;
+          ++breaker_trips_;
+          consecutive_failed_batches_ = 0;
+          metrics.breaker_trips.Increment();
+          metrics.swaps.Increment();
+          TraceInstant("serve", "circuit_breaker",
+                       "degraded to last-known-good snapshot after " +
+                           std::to_string(options_.breaker_threshold) +
+                           " consecutive failed batches");
+        }
+      }
+    }
+  }
   for (size_t k = 0; k < live.size(); ++k) {
     batch[live[k]].promise.set_value(std::move(results[k]));
   }
-  metrics.batch_latency_ms.Observe(timer.ElapsedMillis());
 }
 
 }  // namespace activedp

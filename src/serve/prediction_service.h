@@ -25,6 +25,28 @@ struct PredictionServiceOptions {
   /// immediately with Status::Unavailable instead of growing the queue
   /// without bound (backpressure the caller can retry on).
   int max_queue_depth = 1024;
+  /// Adaptive overload shedding: when > 0 and the *estimated* queue delay
+  /// (queue depth × an EWMA of per-request service time) exceeds this, new
+  /// requests are shed at admission with Unavailable + a retry-after hint —
+  /// before they sit in a queue that cannot drain in time. 0 disables.
+  double max_queue_delay_ms = 0.0;
+  /// Per-snapshot circuit breaker: this many *consecutive* fully-failed
+  /// batches trip it, and the service degrades to the last snapshot that
+  /// completed a healthy batch (the last-known-good). <= 0 disables.
+  int breaker_threshold = 0;
+};
+
+/// Point-in-time health of a PredictionService (see CheckHealth()).
+struct ServiceHealth {
+  bool ok = false;
+  bool shutdown = false;
+  bool has_snapshot = false;
+  int queue_depth = 0;
+  /// Queue depth × EWMA per-request service time — what the shedding and
+  /// predictive deadline checks see at admission.
+  double estimated_queue_delay_ms = 0.0;
+  /// Times the circuit breaker swapped back to the last-known-good snapshot.
+  int64_t breaker_trips = 0;
 };
 
 /// A concurrent, micro-batching inference front-end over ModelSnapshot.
@@ -42,11 +64,18 @@ struct PredictionServiceOptions {
 /// batches use the new one, and the old snapshot is freed when its last
 /// batch completes. No request ever observes a half-swapped model.
 ///
+/// Overload protection (DESIGN.md §11): admission sheds adaptively on the
+/// estimated queue delay (before a request's deadline is already blown), a
+/// per-snapshot circuit breaker trips on consecutive failed batches and
+/// degrades to the last-known-good snapshot, and CheckHealth() gives callers
+/// a fail-fast probe. Fault sites "serve.dispatch" (batch failure) and
+/// "serve.predict" (latency spike) exercise these paths.
+///
 /// Observability: spans ("serve.batch") are emitted from the dispatcher
 /// thread only (compute-pool workers stay trace-silent), and the global
 /// MetricsRegistry gains serve.requests / serve.rejected / serve.expired /
-/// serve.batches counters plus serve.batch_size and serve.batch_latency_ms
-/// histograms.
+/// serve.shed / serve.breaker_trips / serve.batches counters plus
+/// serve.batch_size and serve.batch_latency_ms histograms.
 class PredictionService {
  public:
   explicit PredictionService(PredictionServiceOptions options = {});
@@ -65,9 +94,12 @@ class PredictionService {
   std::shared_ptr<const ModelSnapshot> snapshot() const;
 
   /// Enqueues one instance. The future resolves when its batch completes:
-  /// the prediction, or DeadlineExceeded when `deadline` expired while the
-  /// request was still queued, or Unavailable when the queue is full or the
-  /// service is shut down. Never blocks beyond queue admission.
+  /// the prediction, or DeadlineExceeded when `deadline` expired (or, with
+  /// the adaptive shedder warm, provably *would* expire while queued), or
+  /// Unavailable when the queue is full / the service is overloaded or shut
+  /// down. Unavailable statuses carry the current queue depth and a
+  /// "retry-after-ms=<n>" hint (serve/serve_client.h parses it and wraps
+  /// this call with the util/retry backoff). Never blocks beyond admission.
   std::future<Result<ServedPrediction>> PredictAsync(
       Example example, Deadline deadline = Deadline::Infinite());
 
@@ -83,6 +115,19 @@ class PredictionService {
   /// Requests currently waiting for a batch.
   int queue_depth() const;
 
+  /// Fail-fast health probe: Ok when the service would admit a request right
+  /// now; Unavailable (shut down / overloaded) or FailedPrecondition (no
+  /// snapshot) otherwise — the same statuses admission would return, without
+  /// occupying queue capacity to find out.
+  Status CheckHealth() const;
+  ServiceHealth Health() const;
+
+  /// Times the circuit breaker degraded to the last-known-good snapshot.
+  int64_t breaker_trips() const;
+  /// The last snapshot that completed a healthy batch (what the breaker
+  /// falls back to). May be null before the first healthy batch.
+  std::shared_ptr<const ModelSnapshot> last_known_good() const;
+
  private:
   struct PendingRequest {
     Example example;
@@ -93,6 +138,9 @@ class PredictionService {
   void DispatchLoop();
   void RunBatch(const std::shared_ptr<const ModelSnapshot>& snapshot,
                 std::vector<PendingRequest> batch);
+  /// Estimated time for a request admitted now to reach dispatch, from the
+  /// EWMA per-request service time. Caller holds mutex_.
+  double EstimatedQueueDelayMsLocked() const;
 
   const PredictionServiceOptions options_;
 
@@ -102,6 +150,13 @@ class PredictionService {
   std::deque<PendingRequest> queue_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
   bool shutdown_ = false;
+
+  // Overload/resilience state (guarded by mutex_). The EWMA is written by
+  // the dispatcher after each batch and read at admission.
+  double ewma_request_ms_ = 0.0;
+  int consecutive_failed_batches_ = 0;
+  int64_t breaker_trips_ = 0;
+  std::shared_ptr<const ModelSnapshot> last_good_;
 
   std::thread dispatcher_;
 };

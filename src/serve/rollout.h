@@ -1,0 +1,171 @@
+#ifndef ACTIVEDP_SERVE_ROLLOUT_H_
+#define ACTIVEDP_SERVE_ROLLOUT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/model_snapshot.h"
+#include "serve/prediction_service.h"
+#include "serve/snapshot_registry.h"
+#include "util/result.h"
+
+namespace activedp {
+
+/// FNV-1a over the bit patterns of a served prediction (label, source, every
+/// probability double) — the bitwise-equality fingerprint the rollout
+/// comparator and the serve chaos harness both use. Matching digests mean
+/// bitwise-identical predictions.
+uint64_t PredictionDigest(const ServedPrediction& prediction);
+
+enum class RolloutDecision { kPromote, kRollback };
+
+std::string_view RolloutDecisionToString(RolloutDecision decision);
+
+struct RolloutOptions {
+  /// Fraction of request indices routed to the candidate arm, decided by a
+  /// counter hash of (seed, index) — deterministic per index, independent of
+  /// submission order or thread count.
+  double canary_fraction = 0.1;
+  /// Requests in the evaluation window (trace indices 0..window-1). The
+  /// decision is taken once every index has a recorded outcome.
+  int window = 256;
+  /// Guard against deciding from noise: fewer recorded canary samples than
+  /// this is an automatic rollback (the candidate was never really tested).
+  int min_canary_samples = 8;
+  /// The candidate's error rate may exceed the baseline's by at most this
+  /// much; above it the candidate is rolled back.
+  double max_error_rate_delta = 0.0;
+  /// When true, every canary response must bitwise match the baseline
+  /// snapshot's shadow prediction for the same instance — the gate for
+  /// re-export/refresh rollouts where the candidate is supposed to be
+  /// equivalent. Leave false for genuinely retrained candidates, where
+  /// prediction drift is the point; mismatches are still counted.
+  bool require_digest_match = false;
+  /// Canary/baseline mean-latency ratio above which the candidate is rolled
+  /// back. Wall-clock is inherently noisy, so this is 0 (informational only)
+  /// by default — the ratio is always reported, never decisive, keeping the
+  /// decision deterministic.
+  double max_latency_ratio = 0.0;
+  /// Routing seed: same (seed, window, fraction) → same canary index set.
+  uint64_t seed = 0;
+  /// Client threads RunStagedRollout fans the trace out over. Any value
+  /// yields the same decision; >1 exists to prove that under TSan.
+  int client_threads = 1;
+};
+
+struct RolloutArmStats {
+  int requests = 0;
+  int errors = 0;
+  double total_latency_ms = 0.0;
+
+  double error_rate() const {
+    return requests > 0 ? static_cast<double>(errors) / requests : 0.0;
+  }
+  double mean_latency_ms() const {
+    return requests > 0 ? total_latency_ms / requests : 0.0;
+  }
+};
+
+/// The decision plus the evidence it was taken on — one line per gate in
+/// Summary(), recorded in the RunTrace timeline by RunStagedRollout.
+struct RolloutReport {
+  RolloutDecision decision = RolloutDecision::kRollback;
+  std::string reason;
+  RolloutArmStats canary;
+  RolloutArmStats baseline;
+  /// Canary responses whose digest differed from the baseline snapshot's
+  /// shadow prediction for the same instance.
+  int digest_mismatches = 0;
+  /// canary mean latency / baseline mean latency (0 when either arm empty).
+  double latency_ratio = 0.0;
+
+  std::string Summary() const;
+};
+
+/// The deterministic decision core of a staged rollout: routes request
+/// indices between the active baseline and a candidate, accumulates
+/// per-index outcomes, and turns a completed window into a
+/// promote-or-rollback decision.
+///
+/// Determinism contract (tested under TSan in tests/rollout_test.cc): arm
+/// assignment depends only on (seed, index); outcomes land in per-index
+/// slots; Decide() folds the slots in index order. Any thread interleaving
+/// of RecordOutcome calls therefore produces the identical report —
+/// wall-clock latency is carried as evidence but never decides (unless
+/// max_latency_ratio is explicitly set).
+///
+/// RecordOutcome is thread-safe; everything else is read-only after
+/// construction.
+class RolloutController {
+ public:
+  explicit RolloutController(RolloutOptions options);
+
+  /// True when the counter hash of (seed, index) lands in the canary
+  /// fraction. Pure function of the options.
+  bool RoutesToCanary(int64_t index) const;
+
+  /// Records the outcome of request `index` (whichever arm it routed to).
+  /// `digest_matches_baseline` only matters for canary indices; pass true
+  /// for baseline ones. Re-recording an index overwrites it.
+  void RecordOutcome(int64_t index, bool ok, bool digest_matches_baseline,
+                     double latency_ms);
+
+  /// True once every index in [0, window) has an outcome.
+  bool WindowComplete() const;
+
+  /// Folds the recorded window into a decision. Unrecorded indices are
+  /// ignored (call after WindowComplete() for the full-window decision).
+  RolloutReport Decide() const;
+
+  const RolloutOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    bool recorded = false;
+    bool ok = false;
+    bool digest_match = true;
+    double latency_ms = 0.0;
+  };
+
+  const RolloutOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+};
+
+/// Runs one staged rollout of registry candidate `candidate_id` against the
+/// current active snapshot, end to end:
+///
+///   1. loads both snapshots from their registered paths (verifying the
+///      registry checksums first);
+///   2. serves trace indices 0..window-1 — baseline traffic through
+///      `service` (the live data plane), the canary fraction evaluated on
+///      the candidate directly, with a baseline shadow prediction for the
+///      digest comparison;
+///   3. decides via RolloutController, then commits the decision: promote =
+///      registry.Activate(candidate) + service.LoadSnapshot(candidate) (the
+///      RCU hot-swap — in-flight baseline batches drain untouched);
+///      rollback = registry.MarkFailed(candidate), the service never sees
+///      the candidate.
+///
+/// The whole run is wrapped in a "serve.rollout" span with
+/// serve.rollout.promote / serve.rollout.rollback instants and
+/// serve.rollout.* counters, so the decision and its evidence land in the
+/// RunTrace timeline. The canary evaluation honours the "rollout.canary"
+/// fault site (kError), which is how the chaos harness makes a candidate
+/// look unhealthy on demand.
+///
+/// Returns the report; an error only for infrastructure failures (unknown
+/// ids, unloadable snapshots, failed registry writes) — a rolled-back
+/// candidate is a successful run with decision kRollback.
+Result<RolloutReport> RunStagedRollout(PredictionService& service,
+                                       SnapshotRegistry& registry,
+                                       int64_t candidate_id,
+                                       const std::vector<Example>& trace,
+                                       const RolloutOptions& options);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SERVE_ROLLOUT_H_

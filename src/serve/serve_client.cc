@@ -1,0 +1,83 @@
+#include "serve/serve_client.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace activedp {
+namespace {
+
+constexpr char kHintKey[] = "retry-after-ms=";
+constexpr char kSubmitSite[] = "serve.submit";
+
+bool RetryableAtSubmit(const Status& status) {
+  // Unavailable = shed / full queue / mid-swap hiccup: the service told us
+  // to come back. Internal = a failed batch (injected dispatch fault or a
+  // bad candidate snapshot): the breaker may have already degraded to the
+  // last-known-good, so a retry can land on a healthy snapshot.
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kInternal;
+}
+
+}  // namespace
+
+std::optional<double> RetryAfterHintMs(const Status& status) {
+  const std::string& message = status.message();
+  const size_t pos = message.find(kHintKey);
+  if (pos == std::string::npos) return std::nullopt;
+  size_t end = pos + sizeof(kHintKey) - 1;
+  const size_t start = end;
+  while (end < message.size() &&
+         (std::isdigit(static_cast<unsigned char>(message[end])) ||
+          message[end] == '.')) {
+    ++end;
+  }
+  double ms = 0.0;
+  if (end == start || !ParseDouble(message.substr(start, end - start), &ms)) {
+    return std::nullopt;
+  }
+  return ms;
+}
+
+Result<ServedPrediction> PredictWithRetry(PredictionService& service,
+                                          const Example& example,
+                                          Deadline deadline,
+                                          const RetryPolicy& policy,
+                                          RetryLog* log) {
+  const int attempts = std::max(1, policy.max_attempts);
+  const int64_t invocation = log != nullptr ? log->NextInvocation() : 0;
+  Result<ServedPrediction> last(
+      Status::Internal("prediction was never attempted"));
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = service.Predict(example, deadline);
+    if (last.ok()) {
+      if (log != nullptr && attempt > 1) log->MarkRecovered(invocation);
+      return last;
+    }
+    if (!RetryableAtSubmit(last.status())) return last;
+    if (attempt == attempts || deadline.expired()) break;
+
+    const int retry = attempt;  // 1-based retry index within this invocation
+    double backoff_ms = RetryBackoffMs(policy, kSubmitSite, retry - 1, retry);
+    // The service knows its own backlog better than our schedule does:
+    // honour whichever wait is longer.
+    const std::optional<double> hint = RetryAfterHintMs(last.status());
+    if (hint.has_value()) backoff_ms = std::max(backoff_ms, *hint);
+    if (log != nullptr) {
+      log->Record(RetryEvent{kSubmitSite, retry, backoff_ms,
+                             last.status().ToString(), false, invocation});
+    }
+    if (policy.sleep && backoff_ms > 0.0) {
+      const double remaining_ms = deadline.remaining_seconds() * 1000.0;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          std::min(backoff_ms, std::max(0.0, remaining_ms))));
+    }
+  }
+  return last;
+}
+
+}  // namespace activedp

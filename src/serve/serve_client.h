@@ -1,0 +1,32 @@
+#ifndef ACTIVEDP_SERVE_SERVE_CLIENT_H_
+#define ACTIVEDP_SERVE_SERVE_CLIENT_H_
+
+#include <optional>
+
+#include "serve/prediction_service.h"
+#include "util/retry.h"
+
+namespace activedp {
+
+/// The "retry-after-ms=<n>" hint a PredictionService attaches to Unavailable
+/// rejections (queue full / overload shed), parsed back out of the status
+/// message. nullopt when the status carries no hint.
+std::optional<double> RetryAfterHintMs(const Status& status);
+
+/// Client-side submit wrapper: calls PredictionService::Predict and retries
+/// transient rejections (Unavailable — shed/full-queue — and Internal —
+/// failed batch) under the deterministic util/retry backoff, honouring the
+/// larger of the computed backoff and the service's retry-after hint. Never
+/// retries deterministic failures (FailedPrecondition, InvalidArgument) or
+/// budget signals (DeadlineExceeded), and stops once `deadline` expires,
+/// returning the last failure. Backoff sleeps only when `policy.sleep` is
+/// set, mirroring Retrier; events land in `log` when provided.
+Result<ServedPrediction> PredictWithRetry(PredictionService& service,
+                                          const Example& example,
+                                          Deadline deadline,
+                                          const RetryPolicy& policy,
+                                          RetryLog* log = nullptr);
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SERVE_SERVE_CLIENT_H_

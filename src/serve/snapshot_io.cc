@@ -173,7 +173,11 @@ Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
 }
 
 Result<ModelSnapshot> LoadSnapshot(const std::string& path) {
-  ASSIGN_OR_RETURN(const std::string content, ReadFileVerifyingChecksum(path));
+  // "serve.snapshot_load" injects kError (transient read failure) or
+  // kCorrupt (a bit flip the checksum below must catch): a bad snapshot is
+  // rejected here and never becomes a servable object.
+  ASSIGN_OR_RETURN(const std::string content,
+                   ReadFileVerifyingChecksum(path, "serve.snapshot_load"));
   std::istringstream in{content};
   std::string line;
   if (!std::getline(in, line) ||

@@ -1,0 +1,337 @@
+#include "serve/snapshot_registry.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+namespace activedp {
+namespace {
+
+constexpr char kHeaderPrefix[] = "activedp-registry v";
+constexpr char kTerminator[] = "end";
+
+Result<std::string> ReadRawFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<SnapshotStatus> ParseStatus(const std::string& token,
+                                   const std::string& where) {
+  if (token == "candidate") return SnapshotStatus::kCandidate;
+  if (token == "active") return SnapshotStatus::kActive;
+  if (token == "retired") return SnapshotStatus::kRetired;
+  if (token == "failed") return SnapshotStatus::kFailed;
+  return Status::InvalidArgument("unknown snapshot status '" + token + "'" +
+                                 where);
+}
+
+}  // namespace
+
+std::string_view SnapshotStatusToString(SnapshotStatus status) {
+  switch (status) {
+    case SnapshotStatus::kCandidate:
+      return "candidate";
+    case SnapshotStatus::kActive:
+      return "active";
+    case SnapshotStatus::kRetired:
+      return "retired";
+    case SnapshotStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Result<SnapshotRegistry> SnapshotRegistry::Open(std::string manifest_path) {
+  SnapshotRegistry registry;
+  registry.manifest_path_ = std::move(manifest_path);
+
+  Result<std::string> read =
+      ReadFileVerifyingChecksum(registry.manifest_path_);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return registry;  // first open: empty registry, written on first mutation
+    }
+    return read.status();
+  }
+
+  std::istringstream in{*read};
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(Trim(line), kHeaderPrefix)) {
+    return Status::InvalidArgument("not an activedp registry manifest: " +
+                                   registry.manifest_path_);
+  }
+  int version = 0;
+  if (!ParseInt(Trim(line).substr(sizeof(kHeaderPrefix) - 1), &version)) {
+    return Status::InvalidArgument("malformed registry version header: " +
+                                   registry.manifest_path_);
+  }
+  if (version != kRegistryVersion) {
+    return Status::InvalidArgument(
+        "registry manifest version " + std::to_string(version) +
+        " is not supported (expected " + std::to_string(kRegistryVersion) +
+        "): " + registry.manifest_path_);
+  }
+
+  bool saw_terminator = false;
+  int line_number = 1;
+  int active_count = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    const std::string where = " at line " + std::to_string(line_number);
+    const std::string& tag = tokens[0];
+    if (tag == kTerminator) {
+      saw_terminator = true;
+      break;
+    }
+    if (tag == "snapshot") {
+      long long id = 0, parent = 0;
+      if (tokens.size() < 6 || !ParseInt64(tokens[1], &id) ||
+          !ParseInt64(tokens[2], &parent)) {
+        return Status::InvalidArgument("malformed snapshot record" + where);
+      }
+      if (id <= 0) {
+        return Status::InvalidArgument("snapshot id must be positive" + where);
+      }
+      if (registry.FindIndex(id) >= 0) {
+        return Status::InvalidArgument("duplicate snapshot id " +
+                                       std::to_string(id) + where);
+      }
+      SnapshotRecord record;
+      record.id = id;
+      record.parent_id = parent;
+      ASSIGN_OR_RETURN(record.status, ParseStatus(tokens[3], where));
+      record.checksum = tokens[4];
+      record.path = tokens[5];
+      record.context =
+          tokens.size() > 6 ? Join({tokens.begin() + 6, tokens.end()}, " ")
+                            : "";
+      if (record.context == "-") record.context.clear();
+      if (record.status == SnapshotStatus::kActive) ++active_count;
+      registry.records_.push_back(std::move(record));
+      registry.next_id_ =
+          std::max(registry.next_id_, static_cast<int64_t>(id) + 1);
+    } else if (tag == "history") {
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        long long id = 0;
+        if (!ParseInt64(tokens[i], &id)) {
+          return Status::InvalidArgument("malformed history entry" + where);
+        }
+        if (registry.FindIndex(id) < 0) {
+          return Status::InvalidArgument(
+              "history references unknown snapshot " + std::to_string(id) +
+              where);
+        }
+        registry.history_.push_back(id);
+      }
+    } else {
+      return Status::InvalidArgument("unknown registry line '" + tag + "'" +
+                                     where);
+    }
+  }
+  if (!saw_terminator) {
+    return Status::InvalidArgument(
+        "registry manifest is truncated (missing terminator): " +
+        registry.manifest_path_);
+  }
+  if (active_count > 1) {
+    return Status::InvalidArgument(
+        "registry manifest has " + std::to_string(active_count) +
+        " active snapshots (at most one allowed): " + registry.manifest_path_);
+  }
+  return registry;
+}
+
+int SnapshotRegistry::FindIndex(int64_t id) const {
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string SnapshotRegistry::Serialize() const {
+  std::ostringstream out;
+  out << kHeaderPrefix << kRegistryVersion << "\n";
+  for (const SnapshotRecord& record : records_) {
+    out << "snapshot " << record.id << ' ' << record.parent_id << ' '
+        << SnapshotStatusToString(record.status) << ' ' << record.checksum
+        << ' ' << record.path << ' '
+        << (record.context.empty() ? "-" : record.context) << "\n";
+  }
+  out << "history";
+  for (int64_t id : history_) out << ' ' << id;
+  out << "\n";
+  out << kTerminator << "\n";
+  return out.str();
+}
+
+Status SnapshotRegistry::Save() const {
+  return AtomicWriteFile(manifest_path_, WithChecksumFooter(Serialize()),
+                         "registry.save");
+}
+
+Result<int64_t> SnapshotRegistry::Register(const std::string& snapshot_path,
+                                           int64_t parent_id,
+                                           const std::string& context) {
+  if (snapshot_path.find_first_of(" \t\n") != std::string::npos) {
+    return Status::InvalidArgument("snapshot path contains whitespace: " +
+                                   snapshot_path);
+  }
+  if (context.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("snapshot context must be a single line");
+  }
+  if (parent_id != -1 && FindIndex(parent_id) < 0) {
+    return Status::InvalidArgument("unknown parent snapshot " +
+                                   std::to_string(parent_id));
+  }
+  ASSIGN_OR_RETURN(const std::string bytes, ReadRawFile(snapshot_path));
+
+  // Mutate a copy, persist it, and only then commit: a failed manifest write
+  // must leave this registry exactly as it was.
+  SnapshotRegistry next = *this;
+  SnapshotRecord record;
+  record.id = next.next_id_++;
+  record.parent_id = parent_id;
+  record.status = SnapshotStatus::kCandidate;
+  record.path = snapshot_path;
+  record.checksum = ContentChecksum(bytes);
+  record.context = context;
+  next.records_.push_back(record);
+  RETURN_IF_ERROR(next.Save());
+  *this = std::move(next);
+  TraceInstant("serve.registry", "register",
+               "id=" + std::to_string(record.id) +
+                   " parent=" + std::to_string(parent_id));
+  MetricsRegistry::Global().counter("serve.registry.registered").Increment();
+  return record.id;
+}
+
+Status SnapshotRegistry::Activate(int64_t id) {
+  const int index = FindIndex(id);
+  if (index < 0) {
+    return Status::NotFound("unknown snapshot " + std::to_string(id));
+  }
+  if (records_[index].status == SnapshotStatus::kFailed) {
+    return Status::FailedPrecondition(
+        "snapshot " + std::to_string(id) +
+        " is marked failed and cannot be activated");
+  }
+  SnapshotRegistry next = *this;
+  for (SnapshotRecord& record : next.records_) {
+    if (record.status == SnapshotStatus::kActive && record.id != id) {
+      record.status = SnapshotStatus::kRetired;
+    }
+  }
+  next.records_[index].status = SnapshotStatus::kActive;
+  next.history_.push_back(id);
+  RETURN_IF_ERROR(next.Save());
+  *this = std::move(next);
+  TraceInstant("serve.registry", "activate", "id=" + std::to_string(id));
+  MetricsRegistry::Global().counter("serve.registry.activations").Increment();
+  return Status::Ok();
+}
+
+Status SnapshotRegistry::MarkFailed(int64_t id) {
+  const int index = FindIndex(id);
+  if (index < 0) {
+    return Status::NotFound("unknown snapshot " + std::to_string(id));
+  }
+  SnapshotRegistry next = *this;
+  next.records_[index].status = SnapshotStatus::kFailed;
+  RETURN_IF_ERROR(next.Save());
+  *this = std::move(next);
+  TraceInstant("serve.registry", "mark_failed", "id=" + std::to_string(id));
+  MetricsRegistry::Global().counter("serve.registry.failures").Increment();
+  return Status::Ok();
+}
+
+Result<int64_t> SnapshotRegistry::Rollback() {
+  const std::optional<int64_t> active = active_id();
+  if (!active.has_value()) {
+    return Status::FailedPrecondition("no active snapshot to roll back from");
+  }
+  // The most recently active snapshot that is still healthy: walk the
+  // activation history backwards, skipping the condemned current active and
+  // anything already marked failed.
+  int64_t target = -1;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (*it == *active) continue;
+    const int index = FindIndex(*it);
+    if (index < 0) continue;
+    if (records_[index].status == SnapshotStatus::kFailed) continue;
+    target = *it;
+    break;
+  }
+  if (target < 0) {
+    return Status::FailedPrecondition(
+        "no healthy predecessor to roll back to from snapshot " +
+        std::to_string(*active));
+  }
+  SnapshotRegistry next = *this;
+  next.records_[next.FindIndex(*active)].status = SnapshotStatus::kFailed;
+  next.records_[next.FindIndex(target)].status = SnapshotStatus::kActive;
+  next.history_.push_back(target);
+  RETURN_IF_ERROR(next.Save());
+  *this = std::move(next);
+  TraceInstant("serve.registry", "rollback",
+               "from=" + std::to_string(*active) +
+                   " to=" + std::to_string(target));
+  MetricsRegistry::Global().counter("serve.registry.rollbacks").Increment();
+  return target;
+}
+
+Status SnapshotRegistry::Verify(int64_t id) const {
+  const int index = FindIndex(id);
+  if (index < 0) {
+    return Status::NotFound("unknown snapshot " + std::to_string(id));
+  }
+  ASSIGN_OR_RETURN(const std::string bytes,
+                   ReadRawFile(records_[index].path));
+  const std::string actual = ContentChecksum(bytes);
+  if (actual != records_[index].checksum) {
+    return Status::InvalidArgument(
+        "snapshot " + std::to_string(id) + " content drifted (registered " +
+        records_[index].checksum + ", on disk " + actual + ")");
+  }
+  return Status::Ok();
+}
+
+std::optional<int64_t> SnapshotRegistry::active_id() const {
+  for (const SnapshotRecord& record : records_) {
+    if (record.status == SnapshotStatus::kActive) return record.id;
+  }
+  return std::nullopt;
+}
+
+Result<SnapshotRecord> SnapshotRegistry::Get(int64_t id) const {
+  const int index = FindIndex(id);
+  if (index < 0) {
+    return Status::NotFound("unknown snapshot " + std::to_string(id));
+  }
+  return records_[index];
+}
+
+std::vector<int64_t> SnapshotRegistry::Lineage(int64_t id) const {
+  std::vector<int64_t> chain;
+  int64_t current = id;
+  while (current != -1 && FindIndex(current) >= 0) {
+    // Cycle guard: a well-formed manifest has no parent cycles, but a
+    // hand-edited one must not hang us.
+    if (std::find(chain.begin(), chain.end(), current) != chain.end()) break;
+    chain.push_back(current);
+    current = records_[FindIndex(current)].parent_id;
+  }
+  return chain;
+}
+
+}  // namespace activedp

@@ -1,0 +1,115 @@
+#ifndef ACTIVEDP_SERVE_SNAPSHOT_REGISTRY_H_
+#define ACTIVEDP_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace activedp {
+
+/// Current manifest format version; loads of future versions are rejected.
+inline constexpr int kRegistryVersion = 1;
+
+/// Lifecycle of a registered snapshot. A snapshot enters as kCandidate,
+/// becomes kActive when promoted (retiring the previous active), kRetired
+/// when superseded by a healthy successor, and kFailed when a rollout or the
+/// serving-side circuit breaker condemned it — failed snapshots are never
+/// re-activated by Rollback().
+enum class SnapshotStatus { kCandidate, kActive, kRetired, kFailed };
+
+std::string_view SnapshotStatusToString(SnapshotStatus status);
+
+/// One manifest row: identity, lineage, provenance and health of an exported
+/// snapshot file. `checksum` is the FNV-1a hash of the snapshot file's bytes
+/// captured at Register time, so Verify() can detect on-disk drift later.
+struct SnapshotRecord {
+  int64_t id = 0;
+  /// Snapshot this one was exported from / trained on top of (-1 = root).
+  int64_t parent_id = -1;
+  SnapshotStatus status = SnapshotStatus::kCandidate;
+  std::string path;
+  std::string checksum;
+  /// Free-form export context ("dataset=youtube steps=30 ..."), single line.
+  std::string context;
+};
+
+/// A persisted, checksummed catalogue of every exported ModelSnapshot:
+/// version ids, parent lineage, export context, and status — the control
+/// plane the staged-rollout controller and the serving circuit breaker
+/// record their promote/rollback decisions in (DESIGN.md §11).
+///
+/// Durability contract: every mutation rewrites the whole manifest through
+/// AtomicWriteFile + checksum footer (fault site "registry.save") and only
+/// commits to memory after the write succeeded, so a failed or torn save
+/// leaves both the in-memory state and the on-disk manifest exactly as they
+/// were — no partial state, ever. Open() of a corrupt, truncated,
+/// duplicate-id or future-version manifest is a clean InvalidArgument, never
+/// a half-loaded registry.
+///
+/// Not thread-safe: the registry is a control-plane object owned by whoever
+/// drives rollouts (one writer); the serving data plane never touches it.
+class SnapshotRegistry {
+ public:
+  /// Loads the manifest at `manifest_path`, or starts an empty registry when
+  /// the file does not exist yet (the manifest is first written by the first
+  /// mutation). Rejects corrupt/truncated/future-version manifests.
+  static Result<SnapshotRegistry> Open(std::string manifest_path);
+
+  /// Registers the snapshot file at `snapshot_path` as a new kCandidate with
+  /// the next version id. Reads the file to capture its checksum (NotFound
+  /// when missing); `parent_id` must be -1 or a registered id. Returns the
+  /// new id.
+  Result<int64_t> Register(const std::string& snapshot_path, int64_t parent_id,
+                           const std::string& context);
+
+  /// Promotes `id` to kActive, retiring the previous active snapshot, and
+  /// appends it to the activation history. Refuses failed snapshots.
+  Status Activate(int64_t id);
+
+  /// Condemns `id` (any status). A failed snapshot is never re-activated.
+  Status MarkFailed(int64_t id);
+
+  /// Marks the current active snapshot failed and re-activates the most
+  /// recently active snapshot that is still healthy (not failed). Returns
+  /// the re-activated id; FailedPrecondition when there is no active
+  /// snapshot or no healthy predecessor to fall back to.
+  Result<int64_t> Rollback();
+
+  /// Re-reads the snapshot file behind `id` and compares its bytes against
+  /// the checksum captured at Register time. OK, NotFound (file gone), or
+  /// InvalidArgument (content drifted).
+  Status Verify(int64_t id) const;
+
+  std::optional<int64_t> active_id() const;
+  Result<SnapshotRecord> Get(int64_t id) const;
+  const std::vector<SnapshotRecord>& records() const { return records_; }
+  /// Activation order, oldest first (ids may repeat across re-activations).
+  const std::vector<int64_t>& history() const { return history_; }
+
+  /// The parent chain starting at `id`: {id, parent, grandparent, ...}.
+  /// Stops at a root or an unknown parent; cycle-safe.
+  std::vector<int64_t> Lineage(int64_t id) const;
+
+  const std::string& manifest_path() const { return manifest_path_; }
+
+ private:
+  SnapshotRegistry() = default;
+
+  int FindIndex(int64_t id) const;  // -1 when unknown
+  std::string Serialize() const;
+  /// Writes the current in-memory state to disk ("registry.save" fault
+  /// site). Callers mutate a copy, save, and only then commit.
+  Status Save() const;
+
+  std::string manifest_path_;
+  std::vector<SnapshotRecord> records_;
+  std::vector<int64_t> history_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SERVE_SNAPSHOT_REGISTRY_H_

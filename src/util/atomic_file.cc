@@ -93,12 +93,25 @@ std::string WithChecksumFooter(std::string content) {
   return content;
 }
 
-Result<std::string> ReadFileVerifyingChecksum(const std::string& path) {
+Result<std::string> ReadFileVerifyingChecksum(const std::string& path,
+                                              const std::string& fault_site) {
+  FaultKind fault = FaultKind::kNone;
+  if (!fault_site.empty()) {
+    fault = CheckFault(fault_site, {FaultKind::kError, FaultKind::kCorrupt});
+  }
+  if (fault == FaultKind::kError) {
+    return Status::Internal("injected fault at " + fault_site);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   std::string content = buffer.str();
+  if (fault == FaultKind::kCorrupt && !content.empty()) {
+    // Flip one mid-file byte before verification: the real checksum (or
+    // parse) path below must reject the corruption, not this injector.
+    content[content.size() / 3] ^= 0x20;
+  }
 
   // Locate a trailing "#crc64 <hex>\n" footer, if any.
   const std::string_view prefix = kChecksumPrefix;

@@ -33,7 +33,11 @@ std::string WithChecksumFooter(std::string content);
 /// (InvalidArgument with both checksums on mismatch — the file is truncated
 /// or corrupt) and strips it; files without a footer are returned as-is, so
 /// pre-checksum files stay loadable. NotFound when the file cannot be read.
-Result<std::string> ReadFileVerifyingChecksum(const std::string& path);
+/// A non-empty `fault_site` honors FaultKind::kCorrupt (a byte of the read
+/// content is flipped *before* verification, so the genuine checksum path
+/// must catch it) and FaultKind::kError.
+Result<std::string> ReadFileVerifyingChecksum(const std::string& path,
+                                              const std::string& fault_site = "");
 
 }  // namespace activedp
 

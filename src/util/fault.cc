@@ -30,6 +30,10 @@ std::string_view FaultKindToString(FaultKind kind) {
       return "truncate-write";
     case FaultKind::kEmptyResponse:
       return "empty-response";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
   }
   return "unknown";
 }

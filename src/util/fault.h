@@ -26,6 +26,12 @@ enum class FaultKind {
   kTruncateWrite,
   /// Oracle-style sites return an empty/no-op response.
   kEmptyResponse,
+  /// Corrupt the bytes a read path is about to verify (bit flip before the
+  /// checksum check), so the site's own corruption detection must reject it.
+  kCorrupt,
+  /// Inject a latency spike (a bounded sleep) without failing the operation
+  /// — the overload/tail-latency story, not the correctness one.
+  kLatencySpike,
 };
 
 std::string_view FaultKindToString(FaultKind kind);
@@ -65,6 +71,23 @@ struct FaultSpec {
 ///   "oracle.create_lf"  simulated user LF creation (kEmptyResponse)
 ///   "session.save"      session file write (kTruncateWrite / kError)
 ///   "checkpoint.save"   run-checkpoint write (kTruncateWrite / kError)
+///
+/// Serving-side sites (DESIGN.md §11 "ServeGuard"):
+///   "snapshot.save"       snapshot file write (kTruncateWrite / kError)
+///   "serve.snapshot_load" snapshot file read (kError / kCorrupt — the bit
+///                         flip happens before checksum verification, so the
+///                         real detection path must reject it)
+///   "serve.dispatch"      batch dispatch in PredictionService (kError: the
+///                         whole batch fails with Internal — circuit-breaker
+///                         food)
+///   "serve.predict"       batch evaluation latency (kLatencySpike: bounded
+///                         sleep on the dispatcher thread; results stay
+///                         correct, tails grow)
+///   "registry.save"       snapshot-registry manifest write (kTruncateWrite /
+///                         kError)
+///   "rollout.canary"      canary-arm evaluation in RunStagedRollout (kError:
+///                         canary predictions fail, driving the error-rate
+///                         gate to an auto-rollback)
 class FaultInjector {
  public:
   /// Process-wide registry used by the ACTIVEDP_CHECK_FAULT sites.

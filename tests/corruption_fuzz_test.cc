@@ -16,6 +16,7 @@
 
 #include "core/run_checkpoint.h"
 #include "core/session_io.h"
+#include "serve/snapshot_registry.h"
 #include "util/atomic_file.h"
 
 namespace activedp {
@@ -156,6 +157,73 @@ TEST(CorruptionFuzzTest, CheckpointLoadNeverCrashes) {
     }
   }
   EXPECT_GT(rejected, kTrials / 2);
+}
+
+TEST(CorruptionFuzzTest, RegistryManifestLoadNeverCrashes) {
+  const std::string snapshot_path = testing::TempDir() + "/fuzz_reg_snap";
+  const std::string original_path = testing::TempDir() + "/fuzz_reg.manifest";
+  const std::string mutated_path = testing::TempDir() + "/fuzz_reg_m.manifest";
+  WriteFileOrDie(snapshot_path, "snapshot payload for checksumming\n");
+  std::remove(original_path.c_str());
+  {
+    SnapshotRegistry registry = *SnapshotRegistry::Open(original_path);
+    const int64_t a = *registry.Register(snapshot_path, -1, "fuzz baseline");
+    ASSERT_TRUE(registry.Activate(a).ok());
+    ASSERT_TRUE(registry.Register(snapshot_path, a, "fuzz candidate").ok());
+  }
+  const std::string pristine = ReadFileOrDie(original_path);
+
+  std::mt19937_64 rng(0xdeedULL);
+  int rejected = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    WriteFileOrDie(mutated_path, Mutate(pristine, rng));
+    const Result<SnapshotRegistry> loaded =
+        SnapshotRegistry::Open(mutated_path);
+    if (!loaded.ok()) {
+      ++rejected;
+      EXPECT_TRUE(loaded.status().code() == StatusCode::kInvalidArgument ||
+                  loaded.status().code() == StatusCode::kNotFound)
+          << "trial " << trial << ": " << loaded.status().ToString();
+      continue;
+    }
+    // A mutation that slips past the checksum must still yield a registry
+    // that upholds the loader's invariants: at most one active snapshot,
+    // unique positive ids, a history of known ids.
+    if (loaded->active_id().has_value()) {
+      const Result<SnapshotRecord> active = loaded->Get(*loaded->active_id());
+      ASSERT_TRUE(active.ok()) << "trial " << trial;
+      EXPECT_EQ(active->status, SnapshotStatus::kActive);
+    }
+    for (const int64_t id : loaded->history()) {
+      EXPECT_TRUE(loaded->Get(id).ok()) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(rejected, kTrials / 2);
+}
+
+// Targeted registry malformations the random fuzz is unlikely to hit: each
+// body carries a *valid* checksum footer, so the parser itself — not the
+// checksum — must reject it, leaving no partially-loaded registry behind.
+TEST(CorruptionFuzzTest, RegistryRejectsTargetedMalformations) {
+  const std::string path = testing::TempDir() + "/fuzz_reg_t.manifest";
+  const char* kBodies[] = {
+      // future version header
+      "activedp-registry v99\nend\n",
+      // duplicate snapshot id
+      "activedp-registry v1\n"
+      "snapshot 1 -1 active abc /tmp/x -\n"
+      "snapshot 1 -1 candidate abc /tmp/y -\n"
+      "history 1\nend\n",
+      // truncated: terminator missing
+      "activedp-registry v1\nsnapshot 1 -1 active abc /tmp/x -\n",
+  };
+  for (const char* body : kBodies) {
+    WriteFileOrDie(path, WithChecksumFooter(body));
+    const Result<SnapshotRegistry> loaded = SnapshotRegistry::Open(path);
+    ASSERT_FALSE(loaded.ok()) << body;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << body << ": " << loaded.status().ToString();
+  }
 }
 
 // Stacked corruption: each round mutates the survivor of the previous one,

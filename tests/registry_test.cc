@@ -1,0 +1,231 @@
+#include "serve/snapshot_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "util/atomic_file.h"
+#include "util/fault.h"
+
+namespace activedp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// The registry only reads snapshot bytes for checksumming, so any file
+/// stands in for an exported snapshot here.
+std::string FakeSnapshot(const std::string& name, const std::string& body) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << body;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    manifest_ = TempPath("registry_test.manifest");
+    std::remove(manifest_.c_str());
+    snapshot_a_ = FakeSnapshot("registry_snap_a", "model-a v1 weights\n");
+    snapshot_b_ = FakeSnapshot("registry_snap_b", "model-b v2 weights\n");
+    snapshot_c_ = FakeSnapshot("registry_snap_c", "model-c v3 weights\n");
+  }
+
+  std::string manifest_;
+  std::string snapshot_a_, snapshot_b_, snapshot_c_;
+};
+
+TEST_F(RegistryTest, RegisterActivateAndLineage) {
+  Result<SnapshotRegistry> opened = SnapshotRegistry::Open(manifest_);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  SnapshotRegistry registry = std::move(*opened);
+  EXPECT_FALSE(registry.active_id().has_value());
+
+  Result<int64_t> a = registry.Register(snapshot_a_, -1, "steps=10");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  Result<int64_t> b = registry.Register(snapshot_b_, *a, "steps=20");
+  ASSERT_TRUE(b.ok());
+  Result<int64_t> c = registry.Register(snapshot_c_, *b, "steps=30");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_EQ(*c, 3);
+
+  ASSERT_TRUE(registry.Activate(*a).ok());
+  EXPECT_EQ(registry.active_id(), *a);
+  ASSERT_TRUE(registry.Activate(*b).ok());
+  EXPECT_EQ(registry.active_id(), *b);
+  // The previous active was retired, not forgotten.
+  EXPECT_EQ(registry.Get(*a)->status, SnapshotStatus::kRetired);
+  EXPECT_EQ(registry.history(), (std::vector<int64_t>{*a, *b}));
+
+  EXPECT_EQ(registry.Lineage(*c), (std::vector<int64_t>{*c, *b, *a}));
+  EXPECT_EQ(registry.Get(*c)->context, "steps=30");
+}
+
+TEST_F(RegistryTest, RejectsUnknownParentAndMissingSnapshot) {
+  SnapshotRegistry registry = *SnapshotRegistry::Open(manifest_);
+  const Result<int64_t> orphan = registry.Register(snapshot_a_, 42, "x");
+  EXPECT_EQ(orphan.status().code(), StatusCode::kInvalidArgument);
+  const Result<int64_t> missing =
+      registry.Register(TempPath("no_such_snapshot"), -1, "x");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RegistryTest, RollbackReactivatesPreviousHealthySnapshot) {
+  SnapshotRegistry registry = *SnapshotRegistry::Open(manifest_);
+  const int64_t a = *registry.Register(snapshot_a_, -1, "a");
+  const int64_t b = *registry.Register(snapshot_b_, a, "b");
+  ASSERT_TRUE(registry.Activate(a).ok());
+  ASSERT_TRUE(registry.Activate(b).ok());
+
+  const Result<int64_t> back = registry.Rollback();
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, a);
+  EXPECT_EQ(registry.active_id(), a);
+  // The condemned snapshot is failed, and failed snapshots are never
+  // re-activated: a second rollback has nowhere healthy to go.
+  EXPECT_EQ(registry.Get(b)->status, SnapshotStatus::kFailed);
+  EXPECT_EQ(registry.Rollback().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Activate(b).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RegistryTest, RollbackSkipsFailedPredecessors) {
+  SnapshotRegistry registry = *SnapshotRegistry::Open(manifest_);
+  const int64_t a = *registry.Register(snapshot_a_, -1, "a");
+  const int64_t b = *registry.Register(snapshot_b_, a, "b");
+  const int64_t c = *registry.Register(snapshot_c_, b, "c");
+  ASSERT_TRUE(registry.Activate(a).ok());
+  ASSERT_TRUE(registry.Activate(b).ok());
+  ASSERT_TRUE(registry.Activate(c).ok());
+  ASSERT_TRUE(registry.MarkFailed(b).ok());
+
+  const Result<int64_t> back = registry.Rollback();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, a) << "rollback must skip the failed predecessor b";
+  EXPECT_EQ(registry.Get(c)->status, SnapshotStatus::kFailed);
+}
+
+TEST_F(RegistryTest, PersistsAcrossReopen) {
+  {
+    SnapshotRegistry registry = *SnapshotRegistry::Open(manifest_);
+    const int64_t a = *registry.Register(snapshot_a_, -1, "dataset=youtube");
+    const int64_t b = *registry.Register(snapshot_b_, a, "dataset=youtube");
+    ASSERT_TRUE(registry.Activate(a).ok());
+    ASSERT_TRUE(registry.Activate(b).ok());
+    ASSERT_TRUE(registry.Rollback().ok());
+  }
+  Result<SnapshotRegistry> reopened = SnapshotRegistry::Open(manifest_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->active_id(), 1);
+  EXPECT_EQ(reopened->Get(2)->status, SnapshotStatus::kFailed);
+  EXPECT_EQ(reopened->Get(1)->context, "dataset=youtube");
+  EXPECT_EQ(reopened->history(), (std::vector<int64_t>{1, 2, 1}));
+  // Ids keep counting from where the previous process stopped.
+  const Result<int64_t> next = reopened->Register(snapshot_c_, 1, "later");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 3);
+}
+
+TEST_F(RegistryTest, VerifyDetectsSnapshotDrift) {
+  SnapshotRegistry registry = *SnapshotRegistry::Open(manifest_);
+  const int64_t a = *registry.Register(snapshot_a_, -1, "a");
+  EXPECT_TRUE(registry.Verify(a).ok());
+  WriteFileOrDie(snapshot_a_, "model-a v1 weights TAMPERED\n");
+  EXPECT_EQ(registry.Verify(a).code(), StatusCode::kInvalidArgument);
+  std::remove(snapshot_a_.c_str());
+  EXPECT_EQ(registry.Verify(a).code(), StatusCode::kNotFound);
+}
+
+TEST_F(RegistryTest, FailedManifestWriteLeavesNoPartialState) {
+  SnapshotRegistry registry = *SnapshotRegistry::Open(manifest_);
+  const int64_t a = *registry.Register(snapshot_a_, -1, "a");
+  ASSERT_TRUE(registry.Activate(a).ok());
+  {
+    FaultScope scope("registry.save", FaultKind::kError);
+    const Result<int64_t> blocked = registry.Register(snapshot_b_, a, "b");
+    EXPECT_EQ(blocked.status().code(), StatusCode::kInternal);
+    EXPECT_EQ(registry.records().size(), 1u);
+    EXPECT_EQ(registry.active_id(), a);
+    EXPECT_GT(scope.fire_count(), 0);
+  }
+  // Disk agrees with memory, and the registry works again once the fault
+  // clears — including the id the failed attempt never consumed durably.
+  Result<SnapshotRegistry> reopened = SnapshotRegistry::Open(manifest_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->records().size(), 1u);
+  const Result<int64_t> b = registry.Register(snapshot_b_, a, "b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 2);
+}
+
+TEST_F(RegistryTest, TornManifestWriteIsDetectedOnReopen) {
+  SnapshotRegistry registry = *SnapshotRegistry::Open(manifest_);
+  const int64_t a = *registry.Register(snapshot_a_, -1, "a");
+  ASSERT_TRUE(registry.Activate(a).ok());
+  {
+    // A torn write reports success (that is the point of the fault kind);
+    // the checksum footer must catch it on the next open.
+    FaultScope scope("registry.save", FaultKind::kTruncateWrite);
+    ASSERT_TRUE(registry.Register(snapshot_b_, a, "b").ok());
+    EXPECT_GT(scope.fire_count(), 0);
+  }
+  const Result<SnapshotRegistry> reopened = SnapshotRegistry::Open(manifest_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RegistryTest, RejectsFutureVersionAndMalformedManifests) {
+  // Each body gets a *valid* checksum footer: the parser, not the checksum,
+  // must reject these.
+  const struct {
+    const char* name;
+    const char* body;
+  } kCases[] = {
+      {"future version", "activedp-registry v99\nend\n"},
+      {"duplicate id",
+       "activedp-registry v1\n"
+       "snapshot 1 -1 active abc /tmp/x -\n"
+       "snapshot 1 -1 candidate abc /tmp/y -\n"
+       "history 1\nend\n"},
+      {"unknown status",
+       "activedp-registry v1\n"
+       "snapshot 1 -1 sparkling abc /tmp/x -\nhistory\nend\n"},
+      {"non-positive id",
+       "activedp-registry v1\n"
+       "snapshot 0 -1 active abc /tmp/x -\nhistory\nend\n"},
+      {"history references unknown id",
+       "activedp-registry v1\n"
+       "snapshot 1 -1 active abc /tmp/x -\nhistory 1 7\nend\n"},
+      {"two active snapshots",
+       "activedp-registry v1\n"
+       "snapshot 1 -1 active abc /tmp/x -\n"
+       "snapshot 2 1 active abc /tmp/y -\n"
+       "history 1 2\nend\n"},
+      {"missing terminator",
+       "activedp-registry v1\nsnapshot 1 -1 active abc /tmp/x -\nhistory 1\n"},
+      {"not a registry", "something else entirely\n"},
+  };
+  for (const auto& test_case : kCases) {
+    WriteFileOrDie(manifest_, WithChecksumFooter(test_case.body));
+    const Result<SnapshotRegistry> opened = SnapshotRegistry::Open(manifest_);
+    EXPECT_FALSE(opened.ok()) << test_case.name;
+    EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument)
+        << test_case.name << ": " << opened.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace activedp

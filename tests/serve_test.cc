@@ -11,7 +11,9 @@
 #include "core/activedp.h"
 #include "core/framework.h"
 #include "data/dataset_zoo.h"
+#include "serve/serve_client.h"
 #include "serve/snapshot_export.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace activedp {
@@ -177,6 +179,12 @@ TEST_F(ServeTest, QueueFullReturnsUnavailable) {
     const Result<ServedPrediction> result = future.get();
     if (!result.ok()) {
       EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+      // The rejection is actionable: it names the queue depth and carries a
+      // retry-after hint the client wrapper can honour.
+      EXPECT_NE(result.status().ToString().find("depth"), std::string::npos)
+          << result.status().ToString();
+      EXPECT_TRUE(RetryAfterHintMs(result.status()).has_value())
+          << result.status().ToString();
       ++rejected;
     }
   }
@@ -224,6 +232,153 @@ TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
   const Result<ServedPrediction> late = service->Predict(TrainExample(0));
   ASSERT_FALSE(late.ok());
   EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServeTest, AdaptiveShedderRejectsWithRetryAfterHint) {
+  PredictionServiceOptions options;
+  options.max_batch_size = 64;
+  options.max_batch_delay_ms = 50.0;
+  // Any warm EWMA exceeds this, so after one served batch every admission
+  // sheds deterministically (the EWMA sample is floored above zero).
+  options.max_queue_delay_ms = 0.0001;
+  PredictionService service(options);
+  service.LoadSnapshot(*snapshot_a_);
+
+  // Cold shedder: the first request is admitted and served normally.
+  ASSERT_TRUE(service.Predict(TrainExample(0)).ok());
+
+  const Result<ServedPrediction> shed = service.Predict(TrainExample(1));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status().ToString().find("overloaded"), std::string::npos)
+      << shed.status().ToString();
+  const std::optional<double> hint = RetryAfterHintMs(shed.status());
+  ASSERT_TRUE(hint.has_value()) << shed.status().ToString();
+  EXPECT_GE(*hint, 1.0);
+
+  // The health probe agrees with admission without consuming capacity.
+  EXPECT_EQ(service.CheckHealth().code(), StatusCode::kUnavailable);
+  const ServiceHealth health = service.Health();
+  EXPECT_FALSE(health.ok);
+  EXPECT_GT(health.estimated_queue_delay_ms, options.max_queue_delay_ms);
+}
+
+TEST_F(ServeTest, DoomedDeadlinesFailFastAtAdmission) {
+  PredictionServiceOptions options;
+  options.max_batch_size = 64;
+  options.max_batch_delay_ms = 50.0;
+  PredictionService service(options);
+  service.LoadSnapshot(*snapshot_a_);
+  ASSERT_TRUE(service.Predict(TrainExample(0)).ok());  // warm the EWMA
+
+  // 100ns of budget: already expired at admission, or (with the EWMA warm)
+  // provably unable to survive the queue. Both are a fail-fast
+  // DeadlineExceeded, never a queued request that times out later.
+  const Result<ServedPrediction> doomed =
+      service.Predict(TrainExample(1), Deadline::After(1e-7));
+  ASSERT_FALSE(doomed.ok());
+  EXPECT_EQ(doomed.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeTest, CircuitBreakerDegradesToLastKnownGood) {
+  PredictionServiceOptions options;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 0.2;
+  options.breaker_threshold = 2;
+  PredictionService service(options);
+  service.LoadSnapshot(*snapshot_a_);
+  // Two healthy batches make A the last-known-good.
+  ASSERT_TRUE(service.Predict(TrainExample(0)).ok());
+  ASSERT_TRUE(service.Predict(TrainExample(1)).ok());
+  ASSERT_EQ(service.last_known_good(), *snapshot_a_);
+
+  service.LoadSnapshot(*snapshot_b_);
+  {
+    FaultSpec spec;
+    spec.kind = FaultKind::kError;
+    spec.max_fires = options.breaker_threshold;
+    FaultScope scope("serve.dispatch", spec);
+    for (int i = 0; i < options.breaker_threshold; ++i) {
+      const Result<ServedPrediction> failed = service.Predict(TrainExample(i));
+      ASSERT_FALSE(failed.ok());
+      EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+    }
+    EXPECT_EQ(scope.fire_count(), options.breaker_threshold);
+  }
+  // The breaker tripped on the second consecutive fully-failed batch and
+  // swapped back to A; the service recovers without operator action.
+  EXPECT_EQ(service.breaker_trips(), 1);
+  EXPECT_EQ(service.snapshot(), *snapshot_a_);
+  const Result<ServedPrediction> recovered = service.Predict(TrainExample(2));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(service.Health().breaker_trips, 1);
+}
+
+TEST_F(ServeTest, PredictWithRetryRecoversFromTransientFaults) {
+  PredictionServiceOptions options;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 0.2;
+  PredictionService service(options);
+  service.LoadSnapshot(*snapshot_a_);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.max_fires = 1;
+  FaultScope scope("serve.dispatch", spec);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.seed = 7;
+  RetryLog log;
+  const Result<ServedPrediction> result = PredictWithRetry(
+      service, TrainExample(0), Deadline::Infinite(), policy, &log);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(scope.fire_count(), 1);
+  EXPECT_EQ(log.count("serve.submit"), 1);
+  EXPECT_EQ(log.recovered_count("serve.submit"), 1);
+}
+
+TEST_F(ServeTest, PredictWithRetryDoesNotRetryDeterministicFailures) {
+  PredictionService service;  // no snapshot: FailedPrecondition every time
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  RetryLog log;
+  const Result<ServedPrediction> result = PredictWithRetry(
+      service, TrainExample(0), Deadline::Infinite(), policy, &log);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(log.count("serve.submit"), 0);
+}
+
+TEST_F(ServeTest, RetryAfterHintParsing) {
+  EXPECT_EQ(RetryAfterHintMs(Status::Unavailable(
+                "prediction queue is full (depth=8 of max 8); "
+                "retry-after-ms=12")),
+            std::optional<double>(12.0));
+  EXPECT_EQ(RetryAfterHintMs(Status::Unavailable("overloaded; "
+                                                 "retry-after-ms=2.5")),
+            std::optional<double>(2.5));
+  EXPECT_FALSE(RetryAfterHintMs(Status::Unavailable("no hint")).has_value());
+  EXPECT_FALSE(RetryAfterHintMs(Status::Ok()).has_value());
+}
+
+TEST_F(ServeTest, HealthProbeMirrorsAdmission) {
+  PredictionService service;
+  EXPECT_EQ(service.CheckHealth().code(), StatusCode::kFailedPrecondition);
+  ServiceHealth health = service.Health();
+  EXPECT_FALSE(health.ok);
+  EXPECT_FALSE(health.has_snapshot);
+
+  service.LoadSnapshot(*snapshot_a_);
+  EXPECT_TRUE(service.CheckHealth().ok());
+  health = service.Health();
+  EXPECT_TRUE(health.ok);
+  EXPECT_TRUE(health.has_snapshot);
+  EXPECT_EQ(health.breaker_trips, 0);
+
+  service.Shutdown();
+  EXPECT_EQ(service.CheckHealth().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(service.Health().shutdown);
 }
 
 }  // namespace
