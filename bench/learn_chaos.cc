@@ -1,0 +1,194 @@
+// LearnGuard chaos gate: drives the continuous-learning fault matrix (every
+// eventlog.*/retrain.*/publish.* fault site × fault kind × seed, see
+// online/learn_scenario.h) and asserts the LearnGuard contract:
+//
+//   1. every injected fault ends in a clean rejection, a quarantined
+//      feedback batch, or an auto-rollback — never a crash, a served
+//      regression, or a silently published bad candidate;
+//   2. a failed cycle never touches the served snapshot, and once the fault
+//      clears a fresh feedback wave still retrains and publishes (the loop
+//      is never wedged);
+//   3. zero served-digest divergence on the surviving path: responses stay
+//      bitwise identical to the offline predictions of the registry's
+//      active snapshot reloaded from its registered path;
+//   4. the quarantines are visible in the RunTrace timeline (the run fails
+//      if no retrain.quarantine fault instant was recorded).
+//
+// Writes a JSON accounting report (BENCH_learn_chaos.json) plus the full
+// trace (BENCH_learn_chaos.trace.*). Registered as a ctest with LABELS
+// "chaos;online"; also a standalone binary:
+//   ./build/bench/learn_chaos --seeds=2 --steps=6 --trace=48
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "online/learn_scenario.h"
+#include "util/atomic_file.h"
+#include "util/fault.h"
+#include "util/flags.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace activedp {
+namespace {
+
+struct ScenarioRow {
+  std::string site;
+  std::string kind;
+  uint64_t seed;
+  LearnChaosOutcome outcome;
+};
+
+void WriteReport(const std::string& path, const std::vector<ScenarioRow>& rows,
+                 int failures, int quarantine_instants, double total_seconds) {
+  std::string out;
+  out += "{\n";
+  out += "  \"benchmark\": \"learn_chaos\",\n";
+  out += "  \"scenarios\": " + std::to_string(rows.size()) + ",\n";
+  out += "  \"failures\": " + std::to_string(failures) + ",\n";
+  out += "  \"quarantine_instants\": " + std::to_string(quarantine_instants) +
+         ",\n";
+  out += "  \"retrain_cycles\": " +
+         std::to_string(
+             MetricsRegistry::Global().counter_value("retrain.cycles")) +
+         ",\n";
+  out += "  \"retrain_published\": " +
+         std::to_string(
+             MetricsRegistry::Global().counter_value("retrain.published")) +
+         ",\n";
+  out += "  \"quarantined_segments\": " +
+         std::to_string(MetricsRegistry::Global().counter_value(
+             "retrain.quarantined_segments")) +
+         ",\n";
+  out += "  \"feedback_events\": " +
+         std::to_string(
+             MetricsRegistry::Global().counter_value("serve.feedback")) +
+         ",\n";
+  out += "  \"total_seconds\": " + std::to_string(total_seconds) + ",\n";
+  out += "  \"matrix\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioRow& row = rows[i];
+    out += "    {\"site\": \"" + row.site + "\", \"kind\": \"" + row.kind +
+           "\", \"seed\": " + std::to_string(row.seed) +
+           ", \"passed\": " + (row.outcome.passed ? "true" : "false") +
+           ", \"fires\": " + std::to_string(row.outcome.fires) +
+           ", \"evidence\": " + std::to_string(row.outcome.evidence) +
+           ", \"recovered_publish\": " +
+           (row.outcome.recovered_publish ? "true" : "false") +
+           ", \"digest_mismatches\": " +
+           std::to_string(row.outcome.digest_mismatches) + "}";
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  const Status written = AtomicWriteFile(path, out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 written.ToString().c_str());
+  }
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddFlag("dataset", "youtube", "zoo dataset behind the base snapshot");
+  flags.AddFlag("scale", "0.1", "fraction of paper dataset sizes");
+  flags.AddFlag("seeds", "2", "number of seeds swept through the matrix");
+  flags.AddFlag("steps", "6", "protocol steps behind the deliberately weak "
+                              "base snapshot");
+  flags.AddFlag("trace", "48", "request trace length per scenario");
+  flags.AddFlag("out", "BENCH_learn_chaos.json", "JSON report path");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) return 0;
+
+  const std::string tmpdir =
+      (std::filesystem::temp_directory_path() / "activedp-learn-chaos")
+          .string();
+  std::filesystem::create_directories(tmpdir);
+
+  MetricsRegistry::Global().ResetAll();
+  Tracer::Global().Enable();
+
+  std::vector<ScenarioRow> rows;
+  int failures = 0;
+  Timer total;
+  const int num_seeds = flags.GetInt("seeds");
+  for (int s = 0; s < num_seeds; ++s) {
+    const uint64_t seed = 7 + 1000003ULL * s;
+    const Result<LearnChaosFixture> fixture = BuildLearnChaosFixture(
+        tmpdir, flags.GetString("dataset"), flags.GetDouble("scale"), seed,
+        flags.GetInt("steps"), flags.GetInt("trace"));
+    if (!fixture.ok()) {
+      std::fprintf(stderr, "fixture build failed (seed %llu): %s\n",
+                   static_cast<unsigned long long>(seed),
+                   fixture.status().ToString().c_str());
+      return 1;
+    }
+    for (const LearnChaosSiteInfo& info : LearnChaosSites()) {
+      for (const FaultKind kind : LearnChaosKinds()) {
+        ScenarioRow row;
+        row.site = info.site;
+        row.kind = std::string(FaultKindToString(kind));
+        row.seed = seed;
+        row.outcome = RunLearnChaosScenario(*fixture, info.site, kind, seed);
+        std::printf("%-6s %-18s %-14s fires=%-4d evidence=%-3d "
+                    "recovered=%d digest_mismatches=%-3d %6.2fs\n",
+                    row.outcome.passed ? "ok" : "FAIL", row.site.c_str(),
+                    row.kind.c_str(), row.outcome.fires, row.outcome.evidence,
+                    row.outcome.recovered_publish ? 1 : 0,
+                    row.outcome.digest_mismatches,
+                    row.outcome.elapsed_seconds);
+        if (!row.outcome.passed) {
+          ++failures;
+          std::fprintf(stderr, "  seed %llu: %s\n",
+                       static_cast<unsigned long long>(seed),
+                       row.outcome.failure.c_str());
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  const RunTrace trace = Tracer::Global().Collect();
+  Tracer::Global().Disable();
+
+  // The acceptance check the harness exists for: quarantines must be
+  // *visible in the timeline*, not just implied by return values.
+  int quarantine_instants = 0;
+  for (const TraceEventRecord& event : trace.events) {
+    if (event.category == "fault" && event.name == "retrain.quarantine") {
+      ++quarantine_instants;
+    }
+  }
+  if (quarantine_instants == 0) {
+    ++failures;
+    std::fprintf(
+        stderr,
+        "FAIL: no retrain.quarantine instant in the RunTrace timeline\n");
+  }
+
+  std::printf("\n%s", trace.Summary().ToString().c_str());
+  const Status trace_written = WriteRunTrace(trace, ".", "BENCH_learn_chaos");
+  if (!trace_written.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n",
+                 trace_written.ToString().c_str());
+  }
+  WriteReport(flags.GetString("out"), rows, failures, quarantine_instants,
+              total.ElapsedSeconds());
+
+  std::printf("\n%zu scenarios, %d failures, %d quarantine instants, %.1fs\n",
+              rows.size(), failures, quarantine_instants,
+              total.ElapsedSeconds());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace activedp
+
+int main(int argc, char** argv) { return activedp::Main(argc, argv); }

@@ -295,7 +295,7 @@ void WriteJson(const std::string& path, const ModelSnapshot& snapshot,
                const Dataset& train, bool deterministic, int configs_checked,
                int hot_swap_requests, int hot_swap_mismatches,
                const LoadResult& closed, int clients, const LoadResult& open,
-               double rate) {
+               double rate, const ServiceHealth& health) {
   std::ofstream out(path, std::ios::trunc);
   out << "{\n";
   out << "  \"benchmark\": \"serving\",\n";
@@ -337,7 +337,15 @@ void WriteJson(const std::string& path, const ModelSnapshot& snapshot,
   out << "  \"batches\": "
       << MetricsRegistry::Global().counter_value("serve.batches") << ",\n";
   out << "  \"served_requests\": "
-      << MetricsRegistry::Global().counter_value("serve.requests") << "\n";
+      << MetricsRegistry::Global().counter_value("serve.requests") << ",\n";
+  // Health probe captured at the end of the load phases, just before
+  // Shutdown — what a monitoring scrape of the service would have seen.
+  out << "  \"health\": {\"ok\": " << (health.ok ? "true" : "false")
+      << ", \"shutdown\": " << (health.shutdown ? "true" : "false")
+      << ", \"has_snapshot\": " << (health.has_snapshot ? "true" : "false")
+      << ", \"queue_depth\": " << health.queue_depth
+      << ", \"estimated_queue_delay_ms\": " << health.estimated_queue_delay_ms
+      << ", \"breaker_trips\": " << health.breaker_trips << "}\n";
   out << "}\n";
 }
 
@@ -484,12 +492,17 @@ int Main(int argc, char** argv) {
   LOG(Info) << "open loop: " << open.throughput_rps << " rps (target " << rate
             << "), p50 " << open.latency.p50 << "ms p99 " << open.latency.p99
             << "ms";
+  const ServiceHealth health = service.Health();
+  if (!health.ok || !health.has_snapshot) {
+    std::fprintf(stderr, "FAIL: service unhealthy after the load phases\n");
+    deterministic = false;
+  }
   service.Shutdown();
   SetComputePoolThreads(1);
 
   WriteJson(flags.GetString("out"), *snapshot_a, train, deterministic,
             configs_checked, hot_swap_requests, hot_swap_mismatches, closed,
-            clients, open, rate);
+            clients, open, rate, health);
   std::printf("wrote %s (closed %0.0f rps, open %0.0f rps, deterministic: "
               "%s)\n",
               flags.GetString("out").c_str(), closed.throughput_rps,

@@ -25,11 +25,22 @@
 #      zero served-digest divergence on the surviving path, the rollback
 #      visible in the RunTrace timeline; BENCH_serve_chaos.json is archived
 #      to bench-archive/)
+#   9. the continuous-learning gate (bench/learn_chaos: the LearnGuard
+#      fault matrix — every injected fault ends in a clean rejection,
+#      quarantine or auto-rollback, and the loop keeps publishing once the
+#      fault clears; then bench/continuous_bench: live traffic + drifting
+#      feedback with >= 3 published retrains, each strictly improving
+#      holdout accuracy, zero failed client requests and zero served-digest
+#      divergence; BENCH_learn_chaos.json and BENCH_online.json are
+#      archived to bench-archive/)
 #
 # Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-perf]
 #                          [--skip-chaos] [--skip-trace] [--skip-serve]
-#                          [--skip-serve-chaos]
-# Runs from any directory; build trees live next to the sources as
+#                          [--skip-serve-chaos] [--skip-learn]
+#                          [--only <gate>]
+# --only runs a single gate (tier1, trace, asan, tsan, perf, serve, chaos,
+# serve-chaos, learn) after the shared tier-1 build, skipping everything
+# else. Runs from any directory; build trees live next to the sources as
 # build/, build-asan/ and build-tsan/.
 set -euo pipefail
 
@@ -42,7 +53,15 @@ SKIP_CHAOS=0
 SKIP_TRACE=0
 SKIP_SERVE=0
 SKIP_SERVE_CHAOS=0
+SKIP_LEARN=0
+ONLY=""
+EXPECT_ONLY=0
 for arg in "$@"; do
+  if [[ "$EXPECT_ONLY" -eq 1 ]]; then
+    ONLY="$arg"
+    EXPECT_ONLY=0
+    continue
+  fi
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
@@ -51,9 +70,25 @@ for arg in "$@"; do
     --skip-trace) SKIP_TRACE=1 ;;
     --skip-serve) SKIP_SERVE=1 ;;
     --skip-serve-chaos) SKIP_SERVE_CHAOS=1 ;;
+    --skip-learn) SKIP_LEARN=1 ;;
+    --only) EXPECT_ONLY=1 ;;
+    --only=*) ONLY="${arg#--only=}" ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
+if [[ "$EXPECT_ONLY" -eq 1 ]]; then
+  echo "--only requires a gate name" >&2; exit 2
+fi
+case "$ONLY" in
+  ""|tier1|trace|asan|tsan|perf|serve|chaos|serve-chaos|learn) ;;
+  *) echo "unknown gate for --only: $ONLY" >&2; exit 2 ;;
+esac
+
+# True when the named gate should run: either it was picked with --only, or
+# no --only was given and its --skip flag is unset ($2).
+gate_enabled() {
+  if [[ -n "$ONLY" ]]; then [[ "$ONLY" == "$1" ]]; else [[ "$2" -eq 0 ]]; fi
+}
 
 # Prints "stage seconds" pairs for the serial (first) run row of a
 # BENCH_pipeline.json report.
@@ -63,35 +98,38 @@ stage_times() {
     | sed -E 's/"([a-z_]+)": \{"seconds": ([0-9.eE+-]+)/\1 \2/'
 }
 
-echo "== tier 1: build + ctest =="
+echo "== tier 1: build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+if gate_enabled tier1 0; then
+  echo "== tier 1: ctest =="
+  ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+fi
 
-if [[ "$SKIP_TRACE" -eq 0 ]]; then
+if gate_enabled trace "$SKIP_TRACE"; then
   echo "== observability suite (ctest -L trace) =="
   ctest --test-dir build -L trace --output-on-failure -j "$JOBS"
 fi
 
-if [[ "$SKIP_ASAN" -eq 0 ]]; then
+if gate_enabled asan "$SKIP_ASAN"; then
   echo "== tier 1 under ASan+UBSan =="
   cmake -B build-asan -S . -DACTIVEDP_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan -L tier1 --output-on-failure -j "$JOBS"
 fi
 
-if [[ "$SKIP_TSAN" -eq 0 ]]; then
+if gate_enabled tsan "$SKIP_TSAN"; then
   echo "== thread-pool + parallel-stage + observability tests under TSan =="
   cmake -B build-tsan -S . -DACTIVEDP_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test determinism_test trace_test util_metrics_test \
              logging_test retry_test serve_test snapshot_test registry_test \
-             rollout_test
+             rollout_test event_log_test retrainer_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test|registry_test|rollout_test"
+    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test|registry_test|rollout_test|event_log_test|retrainer_test"
 fi
 
-if [[ "$SKIP_PERF" -eq 0 ]]; then
+if gate_enabled perf "$SKIP_PERF"; then
   echo "== perf benchmark (smoke size, determinism gate) =="
   ctest --test-dir build -L perf --output-on-failure
 
@@ -124,7 +162,7 @@ if [[ "$SKIP_PERF" -eq 0 ]]; then
   fi
 fi
 
-if [[ "$SKIP_SERVE" -eq 0 ]]; then
+if gate_enabled serve "$SKIP_SERVE"; then
   echo "== serving suite (ctest -L serve, incl. serve_bench smoke) =="
   ctest --test-dir build -L serve --output-on-failure
   SERVE_JSON="build/bench/BENCH_serving.json"
@@ -140,12 +178,12 @@ if [[ "$SKIP_SERVE" -eq 0 ]]; then
   fi
 fi
 
-if [[ "$SKIP_CHAOS" -eq 0 ]]; then
+if gate_enabled chaos "$SKIP_CHAOS"; then
   echo "== chaos sweep (small budget) =="
   ./build/bench/chaos_sweep --seeds=2 --steps=24 --budget-seconds=60
 fi
 
-if [[ "$SKIP_SERVE_CHAOS" -eq 0 ]]; then
+if gate_enabled serve-chaos "$SKIP_SERVE_CHAOS"; then
   echo "== serving chaos gate (serve.* fault matrix) =="
   (cd build/bench && ./serve_chaos --seeds=2 --steps=12 --trace=48 \
     --out=BENCH_serve_chaos.json)
@@ -160,6 +198,28 @@ if [[ "$SKIP_SERVE_CHAOS" -eq 0 ]]; then
   else
     echo "note: $SERVE_CHAOS_JSON not found; skipping archive" >&2
   fi
+fi
+
+if gate_enabled learn "$SKIP_LEARN"; then
+  echo "== continuous-learning gate (LearnGuard fault matrix + live loop) =="
+  (cd build/bench && ./learn_chaos --seeds=2 --steps=6 --trace=48 \
+    --out=BENCH_learn_chaos.json)
+  (cd build/bench && ./continuous_bench --waves=8 --steps=4 \
+    --min-publishes=3 --out=BENCH_online.json)
+  mkdir -p bench-archive
+  STAMP="$(date +%Y%m%d-%H%M%S)"
+  for report in BENCH_learn_chaos BENCH_online; do
+    if [[ -f "build/bench/$report.json" ]]; then
+      cp "build/bench/$report.json" "bench-archive/$report-$STAMP.json"
+      echo "archived bench-archive/$report-$STAMP.json"
+    else
+      echo "note: build/bench/$report.json not found; skipping archive" >&2
+    fi
+  done
+  grep -oE '"scenarios": [0-9]+|"failures": [0-9]+|"quarantine_instants": [0-9]+' \
+    build/bench/BENCH_learn_chaos.json | sed 's/^/  /' || true
+  grep -oE '"published": [0-9]+|"base_accuracy": [0-9.]+|"final_accuracy": [0-9.]+|"client_failures": [0-9]+' \
+    build/bench/BENCH_online.json | sed 's/^/  /' || true
 fi
 
 echo "verify: all gates passed"

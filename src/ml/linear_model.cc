@@ -39,6 +39,12 @@ Result<LogisticRegression> LogisticRegression::Fit(
   model.num_classes_ = num_classes;
   model.dim_ = dim;
   model.weights_ = Matrix(num_classes, w_cols);
+  if (options.init_weights.rows() == num_classes &&
+      options.init_weights.cols() == w_cols) {
+    // Warm start from a previous fit's weights; the finite guard below still
+    // vets the final weights, so a poisoned warm start cannot leak through.
+    model.weights_ = options.init_weights;
+  }
 
   // Adam state.
   Matrix m(num_classes, w_cols);

@@ -25,6 +25,12 @@ struct LogisticRegressionOptions {
   /// Checked once per epoch; trips as DeadlineExceeded / Cancelled with the
   /// epoch count reached (partial progress) in the message.
   RunLimits limits;
+  /// Warm start: when shaped (num_classes x dim+1) the fit begins from these
+  /// weights instead of zeros — how the online retrainer refits incrementally
+  /// from the served snapshot. Any other shape (including the default empty
+  /// matrix) is ignored and the fit starts cold. Non-finite entries are
+  /// rejected by the fit's finite guard (Status::Internal), never trained on.
+  Matrix init_weights;
 };
 
 /// Multinomial (softmax) logistic regression on sparse features, trained

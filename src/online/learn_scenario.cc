@@ -1,0 +1,401 @@
+#include "online/learn_scenario.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "core/activedp.h"
+#include "core/framework.h"
+#include "data/dataset_zoo.h"
+#include "online/event_log.h"
+#include "online/retrainer.h"
+#include "serve/prediction_service.h"
+#include "serve/rollout.h"
+#include "serve/snapshot_export.h"
+#include "serve/snapshot_io.h"
+#include "serve/snapshot_registry.h"
+#include "util/timer.h"
+
+namespace activedp {
+namespace {
+
+/// Fixed rollout routing seed so promote/rollback expectations are identical
+/// across scenario seeds and harnesses (mirrors serve/chaos_scenario.cc).
+constexpr uint64_t kRolloutSeed = 0x1ea4;
+
+constexpr int kSegmentRecords = 64;
+
+}  // namespace
+
+const std::vector<LearnChaosSiteInfo>& LearnChaosSites() {
+  static const std::vector<LearnChaosSiteInfo>* sites =
+      new std::vector<LearnChaosSiteInfo>{
+          {"eventlog.append", FaultKindBit(FaultKind::kError) |
+                                  FaultKindBit(FaultKind::kTruncateWrite)},
+          {"eventlog.replay", FaultKindBit(FaultKind::kError) |
+                                  FaultKindBit(FaultKind::kCorrupt)},
+          {"retrain.fit",
+           FaultKindBit(FaultKind::kError) | FaultKindBit(FaultKind::kNan)},
+          {"retrain.validate", FaultKindBit(FaultKind::kError)},
+          {"publish.rollout", FaultKindBit(FaultKind::kError)},
+      };
+  return *sites;
+}
+
+const std::vector<FaultKind>& LearnChaosKinds() {
+  static const std::vector<FaultKind>* kinds = new std::vector<FaultKind>{
+      FaultKind::kError, FaultKind::kNan, FaultKind::kCorrupt,
+      FaultKind::kTruncateWrite};
+  return *kinds;
+}
+
+Result<LearnChaosFixture> BuildLearnChaosFixture(const std::string& dir,
+                                                 const std::string& dataset,
+                                                 double scale, uint64_t seed,
+                                                 int base_steps,
+                                                 int trace_size) {
+  std::filesystem::create_directories(dir);
+  LearnChaosFixture fixture;
+  fixture.dir = dir;
+  fixture.snapshot_path =
+      dir + "/learn-base-" + std::to_string(seed) + ".snapshot";
+
+  ASSIGN_OR_RETURN(DataSplit split, MakeZooDataset(dataset, scale, seed));
+  const FrameworkContext context = FrameworkContext::Build(split);
+  ActiveDpOptions options;
+  options.seed = seed ^ 41;
+  ActiveDp pipeline(context, options);
+  // A deliberately short protocol run: the base snapshot must be weak enough
+  // that feedback-driven retrains have headroom to improve it.
+  for (int t = 0; t < base_steps; ++t) RETURN_IF_ERROR(pipeline.Step());
+  ASSIGN_OR_RETURN(ModelSnapshot base, ExportSnapshot(pipeline, context));
+  fixture.snapshot = std::make_shared<const ModelSnapshot>(std::move(base));
+  RETURN_IF_ERROR(SaveSnapshot(*fixture.snapshot, fixture.snapshot_path));
+
+  fixture.features = context.train_features;
+  fixture.corpus_labels.reserve(split.train.size());
+  for (int i = 0; i < split.train.size(); ++i) {
+    fixture.corpus_labels.push_back(split.train.example(i).label);
+  }
+  const int holdout_rows = std::min(200, split.valid.size());
+  for (int i = 0; i < holdout_rows; ++i) {
+    fixture.holdout.push_back(split.valid.example(i));
+    fixture.holdout_labels.push_back(context.valid_labels[i]);
+  }
+  const int trace_rows = std::min(trace_size, split.train.size());
+  fixture.trace.reserve(trace_rows);
+  for (int i = 0; i < trace_rows; ++i) {
+    fixture.trace.push_back(split.train.example(i));
+  }
+  if (fixture.holdout.empty() || fixture.trace.size() < 8) {
+    return Status::InvalidArgument(
+        "learn chaos fixture too small (holdout or trace)");
+  }
+  return fixture;
+}
+
+LearnChaosOutcome RunLearnChaosScenario(const LearnChaosFixture& fixture,
+                                        std::string_view site, FaultKind kind,
+                                        uint64_t seed) {
+  LearnChaosOutcome outcome;
+  Timer timer;
+
+  const LearnChaosSiteInfo* info = nullptr;
+  for (const LearnChaosSiteInfo& candidate : LearnChaosSites()) {
+    if (site == candidate.site) info = &candidate;
+  }
+  if (info == nullptr || fixture.trace.size() < 8) {
+    outcome.Fail("bad scenario setup (unknown site or tiny trace)");
+    return outcome;
+  }
+  const bool honored = (FaultKindBit(kind) & info->honored) != 0;
+  const bool torn_append =
+      site == "eventlog.append" && kind == FaultKind::kTruncateWrite && honored;
+
+  const std::string tag = std::string(site) + "-" +
+                          std::string(FaultKindToString(kind)) + "-" +
+                          std::to_string(seed);
+  const std::string scenario_dir = fixture.dir + "/" + tag;
+  std::error_code ec;
+  std::filesystem::remove_all(scenario_dir, ec);
+  const std::string log_dir = scenario_dir + "/log";
+  const std::string manifest = scenario_dir + "/registry.manifest";
+
+  // --- Un-faulted setup: durable log, registry with the weak base active,
+  // service serving the base with the log attached.
+  EventLogOptions log_options;
+  log_options.max_records_per_segment = kSegmentRecords;
+  Result<std::unique_ptr<EventLog>> opened_log =
+      EventLog::Open(log_dir, log_options);
+  if (!opened_log.ok()) {
+    outcome.Fail("event log open failed: " + opened_log.status().ToString());
+    return outcome;
+  }
+  std::unique_ptr<EventLog> log = std::move(*opened_log);
+
+  Result<SnapshotRegistry> opened = SnapshotRegistry::Open(manifest);
+  if (!opened.ok()) {
+    outcome.Fail("registry open failed: " + opened.status().ToString());
+    return outcome;
+  }
+  SnapshotRegistry registry = std::move(*opened);
+  const Result<int64_t> base_id =
+      registry.Register(fixture.snapshot_path, -1, "learn-base");
+  if (!base_id.ok() || !registry.Activate(*base_id).ok()) {
+    outcome.Fail("registry setup failed");
+    return outcome;
+  }
+
+  PredictionServiceOptions service_options;
+  service_options.max_batch_size = 8;
+  service_options.max_batch_delay_ms = 0.2;
+  PredictionService service(service_options);
+  service.LoadSnapshot(fixture.snapshot);
+  service.AttachEventLog(log.get());
+
+  RetrainerOptions retrain_options;
+  retrain_options.min_training_rows = 8;
+  retrain_options.fit_budget_seconds = 60.0;
+  retrain_options.lr.epochs = 25;
+  retrain_options.lr.seed = seed ^ 99;
+  // Chaos mode: validation is a formality (any candidate passes the gate) so
+  // the drills exercise the fault paths deterministically; the strict
+  // improvement contract is continuous_bench's job.
+  retrain_options.min_accuracy_gain = -1.0;
+  retrain_options.retry.max_attempts = 2;
+  retrain_options.retry.seed = seed;
+  retrain_options.rollout.canary_fraction = 0.3;
+  retrain_options.rollout.window =
+      std::min<int>(64, static_cast<int>(fixture.trace.size()));
+  retrain_options.rollout.min_canary_samples = 4;
+  retrain_options.rollout.seed = kRolloutSeed;
+  retrain_options.snapshot_dir = scenario_dir + "/candidates";
+
+  Retrainer::Config config;
+  config.log = log.get();
+  config.registry = &registry;
+  config.service = &service;
+  config.features = &fixture.features;
+  config.holdout = &fixture.holdout;
+  config.holdout_labels = &fixture.holdout_labels;
+  config.rollout_trace = &fixture.trace;
+  Retrainer retrainer(config, retrain_options);
+
+  const int wave = std::min<int>(200, static_cast<int>(fixture.features.size()));
+  auto feed_wave = [&](int* ok_count, int* rejected_count) {
+    *ok_count = 0;
+    *rejected_count = 0;
+    for (int i = 0; i < wave; ++i) {
+      FeedbackEvent event;
+      event.type = FeedbackType::kExactLabel;
+      event.row = i;
+      event.label = fixture.corpus_labels[i];
+      if (service.RecordFeedback(event).ok()) {
+        ++*ok_count;
+      } else {
+        ++*rejected_count;
+      }
+    }
+  };
+
+  // --- Drill: one feedback wave + one retrain cycle with the site armed.
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.seed = seed;
+  spec.max_fires = -1;
+  // Let a few records land durably before the torn one, so recovery has a
+  // valid prefix to keep.
+  if (torn_append) spec.trigger_after = 3;
+  {
+    FaultScope scope(std::string(site), spec);
+
+    int appended = 0, rejected = 0;
+    feed_wave(&appended, &rejected);
+    if (site == "eventlog.append" && honored) {
+      // Clean rejection at append: the caller was told, durability was not
+      // silently lost (the torn-write flavour reports success exactly once —
+      // the simulated crash — then refuses everything).
+      if (rejected == 0) {
+        outcome.Fail("faulted appends all reported success");
+      } else {
+        ++outcome.evidence;
+      }
+    } else if (rejected > 0) {
+      outcome.Fail("feedback rejected with no append fault armed");
+    }
+
+    const Result<RetrainReport> cycle = retrainer.RunOnce();
+    if (torn_append) {
+      // The handle is past its simulated crash: the cycle must refuse
+      // cleanly, not limp along on a torn log.
+      if (cycle.ok()) {
+        outcome.Fail("cycle on a poisoned log reported success");
+      } else if (cycle.status().code() == StatusCode::kUnavailable) {
+        ++outcome.evidence;
+      } else {
+        outcome.Fail("poisoned log surfaced unexpectedly: " +
+                     cycle.status().ToString());
+      }
+    } else if (!cycle.ok()) {
+      outcome.Fail("cycle infrastructure error: " + cycle.status().ToString());
+    } else if (honored) {
+      // The served snapshot must be untouched by any faulted cycle.
+      if (service.snapshot() != fixture.snapshot) {
+        outcome.Fail("faulted cycle touched the served snapshot");
+      }
+      if (site == "eventlog.append") {
+        // Every append failed, so the cycle legitimately sees no data.
+        if (cycle->outcome != RetrainOutcome::kNoData) {
+          outcome.Fail("append-faulted cycle was not no-data: " +
+                       std::string(RetrainOutcomeToString(cycle->outcome)));
+        }
+      } else if (site == "eventlog.replay") {
+        if (cycle->outcome != RetrainOutcome::kQuarantined ||
+            cycle->segments_quarantined == 0) {
+          outcome.Fail("unreplayable segments were not quarantined: " +
+                       std::string(RetrainOutcomeToString(cycle->outcome)));
+        } else {
+          ++outcome.evidence;
+        }
+      } else if (site == "retrain.fit") {
+        if (cycle->outcome != RetrainOutcome::kFitFailed ||
+            cycle->segments_quarantined == 0) {
+          outcome.Fail("failed fit was not absorbed+quarantined: " +
+                       std::string(RetrainOutcomeToString(cycle->outcome)));
+        } else {
+          ++outcome.evidence;
+        }
+      } else if (site == "retrain.validate") {
+        if (cycle->outcome != RetrainOutcome::kQuarantined ||
+            cycle->segments_quarantined == 0) {
+          outcome.Fail("unvalidated candidate was not quarantined: " +
+                       std::string(RetrainOutcomeToString(cycle->outcome)));
+        } else {
+          ++outcome.evidence;
+        }
+      } else if (site == "publish.rollout") {
+        if (cycle->outcome != RetrainOutcome::kQuarantined) {
+          outcome.Fail("failed publish was not quarantined: " +
+                       std::string(RetrainOutcomeToString(cycle->outcome)));
+        } else {
+          ++outcome.evidence;
+        }
+        // The candidate was registered before the fault; it must be
+        // condemned, with the base still active.
+        const Result<SnapshotRecord> condemned =
+            registry.Get(cycle->candidate_id);
+        if (!condemned.ok() ||
+            condemned->status != SnapshotStatus::kFailed ||
+            registry.active_id() != *base_id) {
+          outcome.Fail("failed publish left registry inconsistent");
+        } else {
+          ++outcome.evidence;
+        }
+      }
+    } else {
+      // Unhonored kinds must not perturb a clean cycle: the wave retrains
+      // and publishes (validation is a formality here, the rollout is clean).
+      if (cycle->outcome != RetrainOutcome::kPublished) {
+        outcome.Fail("unhonored kind disturbed the cycle: " +
+                     std::string(RetrainOutcomeToString(cycle->outcome)) +
+                     " (" + cycle->detail + ")");
+      }
+    }
+    outcome.fires = scope.fire_count();
+  }
+
+  // --- Recovery: the fault is gone. A torn-append log is reopened (torn
+  // tail truncated); then a fresh wave + a fresh cycle must still publish —
+  // one poisoned drill can never wedge the loop.
+  if (torn_append) {
+    log.reset();
+    Result<std::unique_ptr<EventLog>> reopened =
+        EventLog::Open(log_dir, log_options);
+    if (!reopened.ok()) {
+      outcome.Fail("log reopen after torn append failed: " +
+                   reopened.status().ToString());
+      outcome.elapsed_seconds = timer.ElapsedSeconds();
+      return outcome;
+    }
+    log = std::move(*reopened);
+    service.AttachEventLog(log.get());
+    config.log = log.get();
+    ++outcome.evidence;
+  }
+
+  // A fresh retrainer (bound to the possibly-reopened log) mirrors a loop
+  // restart; its empty quarantine also proves the on-disk segments that
+  // survive are genuinely consumable.
+  Retrainer recovery(config, retrain_options);
+  {
+    int appended = 0, rejected = 0;
+    feed_wave(&appended, &rejected);
+    if (rejected > 0) {
+      outcome.Fail("clean feedback rejected after the fault cleared");
+    }
+    const Result<RetrainReport> cycle = recovery.RunOnce();
+    if (!cycle.ok()) {
+      outcome.Fail("post-fault cycle failed: " + cycle.status().ToString());
+    } else if (cycle->outcome != RetrainOutcome::kPublished) {
+      outcome.Fail("post-fault cycle did not publish: " +
+                   std::string(RetrainOutcomeToString(cycle->outcome)) + " (" +
+                   cycle->detail + ")");
+    } else {
+      outcome.recovered_publish = true;
+    }
+  }
+
+  // --- Surviving path: the service must serve every trace row, bitwise
+  // identical to the offline predictions of the registry's active snapshot
+  // reloaded from its registered path.
+  const std::optional<int64_t> active = registry.active_id();
+  const Result<SnapshotRecord> active_record =
+      active.has_value()
+          ? registry.Get(*active)
+          : Result<SnapshotRecord>(Status::NotFound("no active snapshot"));
+  if (!active_record.ok()) {
+    outcome.Fail("no active snapshot after recovery");
+  } else {
+    Result<ModelSnapshot> offline = LoadSnapshot(active_record->path);
+    if (!offline.ok()) {
+      outcome.Fail("active snapshot unloadable: " +
+                   offline.status().ToString());
+    } else {
+      for (size_t i = 0; i < fixture.trace.size(); ++i) {
+        const Result<ServedPrediction> served =
+            service.Predict(fixture.trace[i]);
+        const Result<ServedPrediction> expected =
+            offline->Predict(fixture.trace[i]);
+        if (!served.ok() || !expected.ok()) {
+          outcome.Fail("surviving-path request " + std::to_string(i) +
+                       " failed");
+          break;
+        }
+        if (PredictionDigest(*served) != PredictionDigest(*expected)) {
+          ++outcome.digest_mismatches;
+        }
+      }
+      if (outcome.digest_mismatches > 0) {
+        outcome.Fail("served-digest divergence on the surviving path (" +
+                     std::to_string(outcome.digest_mismatches) + " rows)");
+      }
+    }
+  }
+
+  if (!honored && outcome.fires > 0) {
+    outcome.Fail("unhonored kind fired " + std::to_string(outcome.fires) +
+                 " times");
+  }
+  if (honored && outcome.fires == 0) {
+    outcome.Fail("site was never exercised (0 fires)");
+  }
+  if (outcome.fires > 0 && outcome.evidence == 0) {
+    outcome.Fail("injected faults left no rejection/quarantine evidence");
+  }
+
+  outcome.elapsed_seconds = timer.ElapsedSeconds();
+  std::filesystem::remove_all(scenario_dir, ec);
+  return outcome;
+}
+
+}  // namespace activedp

@@ -1,0 +1,450 @@
+#include "online/retrainer.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "serve/snapshot_io.h"
+#include "util/fault.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace activedp {
+
+std::string_view RetrainOutcomeToString(RetrainOutcome outcome) {
+  switch (outcome) {
+    case RetrainOutcome::kNoData:
+      return "no_data";
+    case RetrainOutcome::kPublished:
+      return "published";
+    case RetrainOutcome::kRejected:
+      return "rejected";
+    case RetrainOutcome::kRolledBack:
+      return "rolled_back";
+    case RetrainOutcome::kFitFailed:
+      return "fit_failed";
+    case RetrainOutcome::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+Retrainer::Retrainer(Config config, RetrainerOptions options)
+    : config_(config),
+      options_(std::move(options)),
+      retrier_(options_.retry, &retry_log_) {}
+
+Retrainer::~Retrainer() { Stop(); }
+
+Result<double> Retrainer::HoldoutAccuracy(const ModelSnapshot& snapshot,
+                                          const std::vector<Example>& holdout,
+                                          const std::vector<int>& labels) {
+  if (holdout.empty() || holdout.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "holdout slice empty or misaligned with its labels");
+  }
+  FaultKind fault = CheckFault("retrain.validate", {FaultKind::kError});
+  if (fault == FaultKind::kError) {
+    return Status::Internal("retrain.validate: injected fault");
+  }
+  int correct = 0;
+  for (size_t i = 0; i < holdout.size(); ++i) {
+    Result<ServedPrediction> prediction = snapshot.Predict(holdout[i]);
+    // A rejected or failed row is served wrong; it counts against accuracy.
+    if (prediction.ok() && prediction->label == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(holdout.size());
+}
+
+void Retrainer::Quarantine(const std::vector<std::string>& segments,
+                           const std::string& reason, RetrainReport* report) {
+  for (const std::string& segment : segments) {
+    if (!quarantined_paths_.insert(segment).second) continue;
+    quarantine_.push_back({segment, reason});
+    ++stats_.segments_quarantined;
+    ++report->segments_quarantined;
+    TraceInstant("fault", "retrain.quarantine", segment + ": " + reason);
+    MetricsRegistry::Global().counter("retrain.quarantined_segments").Increment();
+  }
+}
+
+Result<RetrainReport> Retrainer::RunOnce() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span("retrain.cycle");
+  ++stats_.cycles;
+  MetricsRegistry::Global().counter("retrain.cycles").Increment();
+  ASSIGN_OR_RETURN(RetrainReport report, RunCycleLocked());
+  switch (report.outcome) {
+    case RetrainOutcome::kNoData:
+      ++stats_.no_data;
+      break;
+    case RetrainOutcome::kPublished:
+      ++stats_.published;
+      MetricsRegistry::Global().counter("retrain.published").Increment();
+      break;
+    case RetrainOutcome::kRejected:
+      ++stats_.rejected;
+      break;
+    case RetrainOutcome::kRolledBack:
+      ++stats_.rolled_back;
+      MetricsRegistry::Global().counter("retrain.rolled_back").Increment();
+      break;
+    case RetrainOutcome::kFitFailed:
+      ++stats_.fit_failures;
+      break;
+    case RetrainOutcome::kQuarantined:
+      ++stats_.quarantined_cycles;
+      break;
+  }
+  span.AddArg("outcome", static_cast<int64_t>(report.outcome));
+  span.AddArg("events_seen", report.events_seen);
+  span.AddArg("training_rows", report.training_rows);
+  span.AddArg("segments_quarantined", report.segments_quarantined);
+  reports_.push_back(report);
+  return report;
+}
+
+Result<RetrainReport> Retrainer::RunCycleLocked() {
+  RetrainReport report;
+  if (config_.log == nullptr || config_.registry == nullptr ||
+      config_.service == nullptr || config_.features == nullptr ||
+      config_.holdout == nullptr || config_.holdout_labels == nullptr ||
+      config_.rollout_trace == nullptr) {
+    return Status::FailedPrecondition("Retrainer config incomplete");
+  }
+
+  // Seal the open segment so this cycle sees everything appended so far. A
+  // poisoned (torn-append) handle surfaces here as Unavailable — the loop
+  // cannot recover a handle it does not own, so that is an infra error for
+  // whoever owns the log to Open() afresh.
+  RETURN_IF_ERROR(config_.log->Rotate());
+
+  std::vector<std::string> fresh;
+  for (const std::string& path : config_.log->SealedSegments()) {
+    if (consumed_.count(path) == 0 && quarantined_paths_.count(path) == 0) {
+      fresh.push_back(path);
+    }
+  }
+
+  // Replay the new segments; a segment that fails replay (corruption, torn
+  // mid-file, injected fault) is quarantined alone — the others still train.
+  std::map<int64_t, PendingLabel> pending;
+  std::vector<std::string> replayed;
+  for (const std::string& path : fresh) {
+    Result<SegmentReplay> replay =
+        EventLog::ReplaySegment(path, /*allow_torn_tail=*/false);
+    if (!replay.ok()) {
+      Quarantine({path}, "replay failed: " + replay.status().ToString(),
+                 &report);
+      continue;
+    }
+    replayed.push_back(path);
+    for (const FeedbackEvent& event : replay->events) {
+      ++report.events_seen;
+      if (event.row < 0 ||
+          event.row >= static_cast<int64_t>(config_.features->size())) {
+        continue;
+      }
+      if (event.type == FeedbackType::kExactLabel) {
+        pending[event.row] = {event.label, 1.0, /*exact=*/true};
+      } else if (event.type == FeedbackType::kLfVote) {
+        auto it = pending.find(event.row);
+        if (it == pending.end() || !it->second.exact) {
+          pending[event.row] = {event.label, options_.lf_vote_weight,
+                                /*exact=*/false};
+        }
+      }
+    }
+  }
+
+  if (static_cast<int>(pending.size()) < options_.min_training_rows) {
+    if (report.segments_quarantined > 0) {
+      report.outcome = RetrainOutcome::kQuarantined;
+      report.detail = "every new segment was quarantined during replay";
+    } else {
+      report.outcome = RetrainOutcome::kNoData;
+      report.detail = "only " + std::to_string(pending.size()) +
+                      " new labelled rows (need " +
+                      std::to_string(options_.min_training_rows) + ")";
+      // The replayed segments stay unconsumed and accumulate.
+    }
+    return report;
+  }
+
+  std::shared_ptr<const ModelSnapshot> active = config_.service->snapshot();
+  if (active == nullptr) {
+    return Status::FailedPrecondition(
+        "no served snapshot to warm-start the retrain from");
+  }
+  const SnapshotState& active_state = active->state();
+  const int num_classes = active_state.num_classes;
+  const int dim = active_state.feature_dim;
+
+  // Committed labels from previously consumed segments keep training the
+  // model; this cycle's pending labels override them (an exact label is
+  // never overridden by a mere LF vote).
+  std::map<int64_t, PendingLabel> training = committed_labels_;
+  for (const auto& [row, label] : pending) {
+    auto it = training.find(row);
+    if (it == training.end() || !it->second.exact || label.exact) {
+      training[row] = label;
+    }
+  }
+
+  std::vector<SparseVector> x;
+  std::vector<std::vector<double>> y;
+  std::vector<double> weights;
+  x.reserve(training.size());
+  for (const auto& [row, label] : training) {
+    if (label.label < 0 || label.label >= num_classes) continue;
+    x.push_back((*config_.features)[row]);
+    std::vector<double> target(num_classes, 0.0);
+    target[label.label] = 1.0;
+    y.push_back(std::move(target));
+    weights.push_back(label.weight);
+  }
+  report.training_rows = static_cast<int>(x.size());
+  if (report.training_rows == 0) {
+    report.outcome = RetrainOutcome::kNoData;
+    report.detail = "no in-range labelled rows";
+    return report;
+  }
+
+  // --- Guarded refit: warm-started from the served weights, wall-clock
+  // bounded by the watchdog, transient failures retried, divergence caught
+  // by the LR finite guard. The served snapshot is untouched throughout.
+  LogisticRegressionOptions lr = options_.lr;
+  const bool can_warm_start = active_state.al_weights.has_value() &&
+                              active_state.al_weights->rows() == num_classes &&
+                              active_state.al_weights->cols() == dim + 1;
+  if (can_warm_start) lr.init_weights = *active_state.al_weights;
+  const Deadline fit_deadline = Deadline::After(options_.fit_budget_seconds);
+  auto fit_cancel = std::make_shared<CancellationSource>();
+  watchdog_.Watch(fit_deadline, fit_cancel);
+  lr.limits.deadline = fit_deadline;
+  lr.limits.cancel = fit_cancel->token();
+  const int watchdog_before = watchdog_.cancellations();
+
+  Result<LogisticRegression> fit =
+      retrier_.RunResulting<LogisticRegression>(
+          "retrain.fit", lr.limits, [&]() -> Result<LogisticRegression> {
+            FaultKind fault =
+                CheckFault("retrain.fit", {FaultKind::kError, FaultKind::kNan});
+            if (fault == FaultKind::kError) {
+              return Status::Internal("retrain.fit: injected fault");
+            }
+            LogisticRegressionOptions attempt = lr;
+            if (fault == FaultKind::kNan) {
+              if (attempt.init_weights.rows() > 0) {
+                // Poison the warm start: the fit's own finite guard must be
+                // what rejects the diverged weights.
+                attempt.init_weights(0, 0) =
+                    std::numeric_limits<double>::quiet_NaN();
+              } else {
+                return Status::Internal("retrain.fit: injected NaN");
+              }
+            }
+            return LogisticRegression::Fit(x, y, num_classes, dim, attempt,
+                                           weights);
+          });
+  stats_.watchdog_kills += watchdog_.cancellations() - watchdog_before;
+  if (!fit.ok()) {
+    Quarantine(replayed, "fit failed: " + fit.status().ToString(), &report);
+    report.outcome = RetrainOutcome::kFitFailed;
+    report.detail = fit.status().ToString();
+    TraceInstant("fault", "retrain.fit", report.detail);
+    return report;
+  }
+
+  SnapshotState candidate_state = active_state;
+  candidate_state.al_weights = fit->weights();
+  Result<ModelSnapshot> candidate =
+      ModelSnapshot::Create(std::move(candidate_state));
+  if (!candidate.ok()) {
+    Quarantine(replayed,
+               "candidate snapshot invalid: " + candidate.status().ToString(),
+               &report);
+    report.outcome = RetrainOutcome::kFitFailed;
+    report.detail = candidate.status().ToString();
+    return report;
+  }
+
+  // --- Validation gate: the candidate must beat the served snapshot on the
+  // held-out slice before it is even allowed to canary.
+  Result<double> candidate_accuracy = HoldoutAccuracy(
+      *candidate, *config_.holdout, *config_.holdout_labels);
+  if (!candidate_accuracy.ok()) {
+    Quarantine(replayed,
+               "validation failed: " + candidate_accuracy.status().ToString(),
+               &report);
+    report.outcome = RetrainOutcome::kQuarantined;
+    report.detail = candidate_accuracy.status().ToString();
+    TraceInstant("fault", "retrain.validate", report.detail);
+    return report;
+  }
+  Result<double> active_accuracy =
+      HoldoutAccuracy(*active, *config_.holdout, *config_.holdout_labels);
+  if (!active_accuracy.ok()) {
+    Quarantine(replayed,
+               "validation failed: " + active_accuracy.status().ToString(),
+               &report);
+    report.outcome = RetrainOutcome::kQuarantined;
+    report.detail = active_accuracy.status().ToString();
+    TraceInstant("fault", "retrain.validate", report.detail);
+    return report;
+  }
+  report.candidate_accuracy = *candidate_accuracy;
+  report.active_accuracy = *active_accuracy;
+  if (*candidate_accuracy <= *active_accuracy + options_.min_accuracy_gain) {
+    // The feedback itself was sound — keep it — but the refit is not worth
+    // publishing. The loop stays healthy and waits for more data.
+    CommitLocked(pending, replayed, &report);
+    report.outcome = RetrainOutcome::kRejected;
+    std::ostringstream detail;
+    detail << "candidate holdout accuracy " << *candidate_accuracy
+           << " does not beat active " << *active_accuracy << " by more than "
+           << options_.min_accuracy_gain;
+    report.detail = detail.str();
+    return report;
+  }
+
+  // --- Publish gate: export, register with lineage, and canary through the
+  // staged rollout. Only RunStagedRollout's promote path ever touches the
+  // served snapshot (the RCU hot swap), so every failure before or inside it
+  // leaves serving on the current active.
+  std::error_code ec;
+  std::filesystem::create_directories(options_.snapshot_dir, ec);
+  // Process-wide counter: candidate filenames must stay unique across
+  // Retrainer instances sharing a snapshot_dir (a restarted loop must never
+  // overwrite the bytes behind an already-registered snapshot — the registry
+  // pinned their checksum).
+  static std::atomic<int> candidate_counter{0};
+  char name[48];
+  std::snprintf(name, sizeof(name), "retrain-%06d.snap",
+                candidate_counter.fetch_add(1));
+  const std::string path =
+      (std::filesystem::path(options_.snapshot_dir) / name).string();
+  Status saved = SaveSnapshot(*candidate, path);
+  if (!saved.ok()) {
+    Quarantine(replayed, "candidate save failed: " + saved.ToString(), &report);
+    report.outcome = RetrainOutcome::kQuarantined;
+    report.detail = saved.ToString();
+    return report;
+  }
+  const int64_t parent = config_.registry->active_id().value_or(-1);
+  std::ostringstream context;
+  context << "retrain rows=" << report.training_rows
+          << " events=" << report.events_seen << " holdout="
+          << *candidate_accuracy;
+  Result<int64_t> id = config_.registry->Register(path, parent, context.str());
+  if (!id.ok()) {
+    Quarantine(replayed, "register failed: " + id.status().ToString(), &report);
+    report.outcome = RetrainOutcome::kQuarantined;
+    report.detail = id.status().ToString();
+    return report;
+  }
+  report.candidate_id = *id;
+
+  if (CheckFault("publish.rollout", {FaultKind::kError}) == FaultKind::kError) {
+    // Publish infrastructure died after Register: condemn the candidate so
+    // it can never be activated, and sideline the batch that produced it.
+    (void)config_.registry->MarkFailed(*id);
+    Quarantine(replayed, "publish.rollout: injected fault", &report);
+    report.outcome = RetrainOutcome::kQuarantined;
+    report.detail = "publish.rollout: injected fault";
+    TraceInstant("fault", "publish.rollout", report.detail);
+    return report;
+  }
+
+  Result<RolloutReport> rollout =
+      RunStagedRollout(*config_.service, *config_.registry, *id,
+                       *config_.rollout_trace, options_.rollout);
+  if (!rollout.ok()) {
+    (void)config_.registry->MarkFailed(*id);
+    Quarantine(replayed, "rollout failed: " + rollout.status().ToString(),
+               &report);
+    report.outcome = RetrainOutcome::kQuarantined;
+    report.detail = rollout.status().ToString();
+    return report;
+  }
+  if (rollout->decision == RolloutDecision::kPromote) {
+    CommitLocked(pending, replayed, &report);
+    report.outcome = RetrainOutcome::kPublished;
+    report.detail = rollout->reason;
+  } else {
+    // The canary regressed live traffic and was auto-rolled-back; the
+    // feedback that trained it is suspect, so it is quarantined rather than
+    // retried forever.
+    Quarantine(replayed, "rollout rolled back: " + rollout->reason, &report);
+    report.outcome = RetrainOutcome::kRolledBack;
+    report.detail = rollout->reason;
+  }
+  return report;
+}
+
+void Retrainer::CommitLocked(const std::map<int64_t, PendingLabel>& pending,
+                             const std::vector<std::string>& segments,
+                             RetrainReport* report) {
+  for (const auto& [row, label] : pending) {
+    auto it = committed_labels_.find(row);
+    if (it == committed_labels_.end() || !it->second.exact || label.exact) {
+      committed_labels_[row] = label;
+    }
+  }
+  for (const std::string& segment : segments) {
+    if (consumed_.insert(segment).second) ++report->segments_consumed;
+  }
+}
+
+void Retrainer::Start() {
+  std::lock_guard<std::mutex> lock(loop_mutex_);
+  if (loop_.joinable()) return;
+  loop_stop_ = false;
+  loop_ = std::thread(&Retrainer::BackgroundLoop, this);
+}
+
+void Retrainer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(loop_mutex_);
+    loop_stop_ = true;
+  }
+  loop_cv_.notify_all();
+  if (loop_.joinable()) loop_.join();
+}
+
+void Retrainer::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(loop_mutex_);
+  while (!loop_stop_) {
+    lock.unlock();
+    Result<RetrainReport> report = RunOnce();
+    if (!report.ok()) {
+      std::lock_guard<std::mutex> state_lock(mutex_);
+      ++stats_.loop_errors;
+    }
+    lock.lock();
+    loop_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.poll_interval_seconds),
+        [this] { return loop_stop_; });
+  }
+}
+
+RetrainerStats Retrainer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<QuarantineEntry> Retrainer::quarantine() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantine_;
+}
+
+std::vector<RetrainReport> Retrainer::reports() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reports_;
+}
+
+}  // namespace activedp

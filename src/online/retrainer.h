@@ -1,0 +1,218 @@
+#ifndef ACTIVEDP_ONLINE_RETRAINER_H_
+#define ACTIVEDP_ONLINE_RETRAINER_H_
+
+#include <cstdint>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/example.h"
+#include "ml/linear_model.h"
+#include "online/event_log.h"
+#include "serve/prediction_service.h"
+#include "serve/rollout.h"
+#include "serve/snapshot_registry.h"
+#include "util/deadline.h"
+#include "util/result.h"
+#include "util/retry.h"
+
+namespace activedp {
+
+/// The guarded background retrainer of the LearnGuard loop (DESIGN.md §12).
+/// Each cycle: rotate + replay new feedback segments, warm-start a refit of
+/// the AL model from the served snapshot's weights, validate the candidate
+/// on a held-out slice, and publish only through RunStagedRollout — so a bad
+/// retrain canaries, fails its gate, and auto-rolls-back without the served
+/// snapshot ever regressing. Failures at any stage quarantine the implicated
+/// segments instead of wedging the loop.
+
+/// How one retrain cycle ended.
+enum class RetrainOutcome {
+  /// Not enough new feedback to justify a refit; nothing consumed.
+  kNoData = 0,
+  /// Candidate passed validation and the staged rollout; it is now active.
+  kPublished,
+  /// Candidate did not beat the active snapshot on the holdout. The feedback
+  /// was fine (it is committed), the model just didn't improve.
+  kRejected,
+  /// Candidate canaried and the rollout gate rolled it back; the implicated
+  /// segments are quarantined.
+  kRolledBack,
+  /// The refit itself failed (injected fault, divergence, watchdog kill);
+  /// the implicated segments are quarantined.
+  kFitFailed,
+  /// Validation or publish infrastructure failed; the implicated segments
+  /// are quarantined.
+  kQuarantined,
+};
+
+std::string_view RetrainOutcomeToString(RetrainOutcome outcome);
+
+/// One quarantined segment: which file, and why it was sidelined.
+struct QuarantineEntry {
+  std::string segment;
+  std::string reason;
+};
+
+struct RetrainReport {
+  RetrainOutcome outcome = RetrainOutcome::kNoData;
+  std::string detail;
+  /// Feedback events replayed from new segments this cycle.
+  int events_seen = 0;
+  /// Distinct labelled rows the refit trained on (committed + pending).
+  int training_rows = 0;
+  int segments_consumed = 0;
+  int segments_quarantined = 0;
+  double candidate_accuracy = 0.0;
+  double active_accuracy = 0.0;
+  /// Registry id of the candidate (-1 when the cycle died before Register).
+  int64_t candidate_id = -1;
+};
+
+/// Cumulative counters across every cycle of one Retrainer.
+struct RetrainerStats {
+  int cycles = 0;
+  int no_data = 0;
+  int published = 0;
+  int rejected = 0;
+  int rolled_back = 0;
+  int fit_failures = 0;
+  int quarantined_cycles = 0;
+  int segments_quarantined = 0;
+  /// Fits killed by the watchdog cancelling a hung refit.
+  int watchdog_kills = 0;
+  /// Background-loop cycles that ended in an infrastructure error (e.g. a
+  /// poisoned event-log handle) rather than a handled report.
+  int loop_errors = 0;
+};
+
+struct RetrainerOptions {
+  /// A cycle with fewer new labelled rows than this is kNoData (the
+  /// segments stay pending and accumulate for the next cycle).
+  int min_training_rows = 1;
+  /// Wall-clock budget for one refit; the watchdog cancels a fit that
+  /// overruns it (the fit thread polls its RunLimits every epoch).
+  double fit_budget_seconds = 30.0;
+  LogisticRegressionOptions lr;
+  /// Sample weight for rows labelled only by LF votes (exact labels get 1).
+  double lf_vote_weight = 0.35;
+  /// The candidate must beat the active snapshot's holdout accuracy by more
+  /// than this to be eligible for publishing. 0 = strictly better; negative
+  /// values (chaos harness) make validation a formality so the rollout gate
+  /// is what decides.
+  double min_accuracy_gain = 0.0;
+  /// Retry policy for the refit (transient "retrain.fit" failures get
+  /// re-attempted before the segments are condemned).
+  RetryPolicy retry;
+  /// Staged-rollout gate every publish goes through.
+  RolloutOptions rollout;
+  /// Directory candidate snapshot files are exported into.
+  std::string snapshot_dir;
+  /// Background-loop poll interval (Start()).
+  double poll_interval_seconds = 0.05;
+};
+
+/// Fault sites (DESIGN.md §12):
+///   "retrain.fit"      (kError, kNan) — kNan poisons the warm-start weights
+///       so LogisticRegression's own finite guard must reject the fit.
+///   "retrain.validate" (kError) — holdout scoring fails; the cycle
+///       quarantines rather than publishing an unvalidated candidate.
+///   "publish.rollout"  (kError) — publish infrastructure fails after
+///       Register; the candidate is marked failed and never serves.
+///
+/// Thread-safety: RunOnce() is serialized internally; Start()/Stop() run it
+/// from a dedicated background thread. The served PredictionService is only
+/// ever touched through RunStagedRollout's RCU hot swap.
+class Retrainer {
+ public:
+  /// Everything a retrain cycle reads. Pointers are borrowed and must
+  /// outlive the Retrainer; vectors are row-aligned with the corpus the
+  /// event log's `row` indices refer to.
+  struct Config {
+    EventLog* log = nullptr;
+    SnapshotRegistry* registry = nullptr;
+    PredictionService* service = nullptr;
+    /// Featurized corpus rows (feedback `row` indexes into this).
+    const std::vector<SparseVector>* features = nullptr;
+    /// Held-out slice the validation gate scores on.
+    const std::vector<Example>* holdout = nullptr;
+    const std::vector<int>* holdout_labels = nullptr;
+    /// Traffic window RunStagedRollout serves during a publish.
+    const std::vector<Example>* rollout_trace = nullptr;
+  };
+
+  Retrainer(Config config, RetrainerOptions options);
+  ~Retrainer();
+
+  Retrainer(const Retrainer&) = delete;
+  Retrainer& operator=(const Retrainer&) = delete;
+
+  /// Runs one full cycle synchronously. Returns the report for every
+  /// *handled* failure (fit failure, rollback, quarantine — the loop is
+  /// healthy, the cycle just didn't publish); a non-OK status only for
+  /// infrastructure the loop cannot absorb (a poisoned event log handle,
+  /// missing config).
+  Result<RetrainReport> RunOnce();
+
+  /// Starts/stops the background loop (RunOnce every poll interval).
+  void Start();
+  void Stop();
+
+  RetrainerStats stats() const;
+  std::vector<QuarantineEntry> quarantine() const;
+  /// Reports from every finished cycle, oldest first.
+  std::vector<RetrainReport> reports() const;
+
+  /// Accuracy of `snapshot` on (holdout, labels): rejected or failed rows
+  /// count as incorrect. Honors the "retrain.validate" fault site (kError).
+  static Result<double> HoldoutAccuracy(const ModelSnapshot& snapshot,
+                                        const std::vector<Example>& holdout,
+                                        const std::vector<int>& labels);
+
+ private:
+  struct PendingLabel {
+    int label = -1;
+    double weight = 0.0;
+    bool exact = false;
+  };
+
+  Result<RetrainReport> RunCycleLocked();
+  void Quarantine(const std::vector<std::string>& segments,
+                  const std::string& reason, RetrainReport* report);
+  /// Folds a successful (published/rejected) cycle's labels into the
+  /// committed map and marks its segments consumed.
+  void CommitLocked(const std::map<int64_t, PendingLabel>& pending,
+                    const std::vector<std::string>& segments,
+                    RetrainReport* report);
+  void BackgroundLoop();
+
+  const Config config_;
+  const RetrainerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::set<std::string> consumed_;
+  std::set<std::string> quarantined_paths_;
+  std::vector<QuarantineEntry> quarantine_;
+  /// Labels from segments consumed by a published/rejected cycle.
+  std::map<int64_t, PendingLabel> committed_labels_;
+  RetrainerStats stats_;
+  std::vector<RetrainReport> reports_;
+
+  Retrier retrier_;
+  RetryLog retry_log_;
+  Watchdog watchdog_;
+
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool loop_stop_ = false;
+  std::thread loop_;
+};
+
+}  // namespace activedp
+
+#endif  // ACTIVEDP_ONLINE_RETRAINER_H_

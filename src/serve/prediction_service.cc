@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "online/event_log.h"
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -32,6 +33,7 @@ struct ServeMetrics {
   Counter& breaker_trips;
   Counter& batches;
   Counter& swaps;
+  Counter& feedback;
   Histogram& batch_size;
   Histogram& batch_latency_ms;
 
@@ -46,6 +48,7 @@ struct ServeMetrics {
           registry.counter("serve.breaker_trips"),
           registry.counter("serve.batches"),
           registry.counter("serve.swaps"),
+          registry.counter("serve.feedback"),
           registry.histogram("serve.batch_size",
                              {1, 2, 4, 8, 16, 32, 64, 128}),
           registry.histogram("serve.batch_latency_ms",
@@ -168,6 +171,36 @@ std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
 Result<ServedPrediction> PredictionService::Predict(Example example,
                                                     Deadline deadline) {
   return PredictAsync(std::move(example), deadline).get();
+}
+
+void PredictionService::AttachEventLog(EventLog* log) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event_log_ = log;
+}
+
+Result<uint64_t> PredictionService::RecordFeedback(const FeedbackEvent& event) {
+  TraceSpan span("serve.feedback");
+  EventLog* log = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return Status::Unavailable("prediction service is shut down");
+    }
+    log = event_log_;
+  }
+  if (log == nullptr) {
+    return Status::FailedPrecondition(
+        "no event log attached; feedback would not be durable");
+  }
+  // The append happens outside mutex_ (EventLog serializes itself), so a
+  // slow fsync never stalls prediction admission.
+  Result<uint64_t> seq = log->Append(event);
+  if (seq.ok()) {
+    span.AddArg("seq", static_cast<int64_t>(*seq));
+    span.AddArg("type", static_cast<int64_t>(event.type));
+    ServeMetrics::Get().feedback.Increment();
+  }
+  return seq;
 }
 
 int PredictionService::queue_depth() const {

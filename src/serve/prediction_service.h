@@ -16,6 +16,9 @@
 
 namespace activedp {
 
+class EventLog;
+struct FeedbackEvent;
+
 struct PredictionServiceOptions {
   /// A batch is dispatched as soon as this many requests are queued...
   int max_batch_size = 32;
@@ -107,6 +110,17 @@ class PredictionService {
   Result<ServedPrediction> Predict(Example example,
                                    Deadline deadline = Deadline::Infinite());
 
+  /// Attaches the durable feedback log RecordFeedback appends to (borrowed;
+  /// must outlive the service or be detached with nullptr first). The
+  /// LearnGuard loop (online/retrainer.h) consumes what lands here.
+  void AttachEventLog(EventLog* log);
+
+  /// Durably records one feedback event (fsync'd before returning) under a
+  /// "serve.feedback" span, returning its log sequence number.
+  /// FailedPrecondition without an attached log; Unavailable after shutdown
+  /// or when the log handle is poisoned by a torn append.
+  Result<uint64_t> RecordFeedback(const FeedbackEvent& event);
+
   /// Stops admission, drains every queued request (their futures still
   /// resolve), and joins the dispatcher. Idempotent; also run by the
   /// destructor.
@@ -157,6 +171,7 @@ class PredictionService {
   int consecutive_failed_batches_ = 0;
   int64_t breaker_trips_ = 0;
   std::shared_ptr<const ModelSnapshot> last_good_;
+  EventLog* event_log_ = nullptr;  // borrowed; guarded by mutex_
 
   std::thread dispatcher_;
 };

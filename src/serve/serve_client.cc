@@ -64,17 +64,26 @@ Result<ServedPrediction> PredictWithRetry(PredictionService& service,
     const int retry = attempt;  // 1-based retry index within this invocation
     double backoff_ms = RetryBackoffMs(policy, kSubmitSite, retry - 1, retry);
     // The service knows its own backlog better than our schedule does:
-    // honour whichever wait is longer.
+    // honour whichever wait is longer — but never wait past the request's
+    // own deadline: a hint from a deep backlog can exceed the remaining
+    // budget, and sleeping through it would guarantee the retry expires.
     const std::optional<double> hint = RetryAfterHintMs(last.status());
     if (hint.has_value()) backoff_ms = std::max(backoff_ms, *hint);
+    if (!deadline.is_infinite()) {
+      // Clamp to half the remaining budget: sleeping the full remainder
+      // would wake exactly at expiry, burning the attempt on a deadline
+      // check instead of a retry that can still make it.
+      backoff_ms = std::min(
+          backoff_ms,
+          std::max(0.0, deadline.remaining_seconds() * 1000.0 / 2.0));
+    }
     if (log != nullptr) {
       log->Record(RetryEvent{kSubmitSite, retry, backoff_ms,
                              last.status().ToString(), false, invocation});
     }
     if (policy.sleep && backoff_ms > 0.0) {
-      const double remaining_ms = deadline.remaining_seconds() * 1000.0;
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          std::min(backoff_ms, std::max(0.0, remaining_ms))));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
     }
   }
   return last;

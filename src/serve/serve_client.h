@@ -16,7 +16,9 @@ std::optional<double> RetryAfterHintMs(const Status& status);
 /// Client-side submit wrapper: calls PredictionService::Predict and retries
 /// transient rejections (Unavailable — shed/full-queue — and Internal —
 /// failed batch) under the deterministic util/retry backoff, honouring the
-/// larger of the computed backoff and the service's retry-after hint. Never
+/// larger of the computed backoff and the service's retry-after hint —
+/// clamped to half the request's remaining deadline budget, so a shed
+/// request never sleeps its own deadline away before the retry. Never
 /// retries deterministic failures (FailedPrecondition, InvalidArgument) or
 /// budget signals (DeadlineExceeded), and stops once `deadline` expires,
 /// returning the last failure. Backoff sleeps only when `policy.sleep` is

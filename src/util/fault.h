@@ -88,6 +88,24 @@ struct FaultSpec {
 ///   "rollout.canary"      canary-arm evaluation in RunStagedRollout (kError:
 ///                         canary predictions fail, driving the error-rate
 ///                         gate to an auto-rollback)
+///
+/// LearnGuard continuous-learning sites (DESIGN.md §12):
+///   "eventlog.append"   feedback-log record append (kError /
+///                       kTruncateWrite: a torn half-record reaches disk and
+///                       the handle refuses further work — recovery is
+///                       reopening the log, which truncates the tail)
+///   "eventlog.replay"   segment replay (kError / kCorrupt: a bit flip lands
+///                       before per-record checksum verification; the
+///                       retrainer quarantines the segment it cannot replay)
+///   "retrain.fit"       the guarded background refit (kError / kNan: the
+///                       warm-start weights are poisoned so the LR finite
+///                       guard must reject the diverged fit)
+///   "retrain.validate"  holdout scoring of a retrain candidate (kError:
+///                       an unvalidated candidate is quarantined, never
+///                       published)
+///   "publish.rollout"   publish infrastructure between Register and the
+///                       staged rollout (kError: the candidate is marked
+///                       failed and never serves)
 class FaultInjector {
  public:
   /// Process-wide registry used by the ACTIVEDP_CHECK_FAULT sites.

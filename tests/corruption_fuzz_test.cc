@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -16,6 +17,7 @@
 
 #include "core/run_checkpoint.h"
 #include "core/session_io.h"
+#include "online/event_log.h"
 #include "serve/snapshot_registry.h"
 #include "util/atomic_file.h"
 
@@ -224,6 +226,62 @@ TEST(CorruptionFuzzTest, RegistryRejectsTargetedMalformations) {
     EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
         << body << ": " << loaded.status().ToString();
   }
+}
+
+// Feedback-log segments fed to the strict replay (what the LearnGuard
+// retrainer uses before training on a segment): every mutation must be
+// rejected as InvalidArgument/NotFound or replay to structurally sound
+// events — contiguous sequence numbers, known types — never crash or hang.
+TEST(CorruptionFuzzTest, EventLogSegmentReplayNeverCrashes) {
+  const std::string dir = testing::TempDir() + "/fuzz_event_log";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::string segment;
+  {
+    auto log = EventLog::Open(dir, EventLogOptions{});
+    ASSERT_TRUE(log.ok());
+    for (int i = 0; i < 12; ++i) {
+      FeedbackEvent event;
+      event.type = static_cast<FeedbackType>(i % 3);
+      event.row = i * 7;
+      event.label = i % 4;
+      event.lf_id = i % 5;
+      ASSERT_TRUE((*log)->Append(event).ok());
+    }
+    ASSERT_TRUE((*log)->Rotate().ok());
+    segment = (*log)->SealedSegments()[0];
+  }
+  const std::string pristine = ReadFileOrDie(segment);
+  const std::string mutated_path = dir + "/mutated.log";
+
+  std::mt19937_64 rng(0xfeedf00dULL);
+  int rejected = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    WriteFileOrDie(mutated_path, Mutate(pristine, rng));
+    const Result<SegmentReplay> replay =
+        EventLog::ReplaySegment(mutated_path, /*allow_torn_tail=*/false);
+    if (!replay.ok()) {
+      ++rejected;
+      EXPECT_TRUE(replay.status().code() == StatusCode::kInvalidArgument ||
+                  replay.status().code() == StatusCode::kNotFound)
+          << "trial " << trial << ": " << replay.status().ToString();
+      continue;
+    }
+    // A mutation the per-record checksums let through (e.g. whole records
+    // cleanly deleted from the tail) must still replay soundly.
+    for (size_t i = 0; i < replay->events.size(); ++i) {
+      const FeedbackEvent& event = replay->events[i];
+      if (i > 0) {
+        ASSERT_EQ(event.seq, replay->events[i - 1].seq + 1)
+            << "trial " << trial;
+      }
+      ASSERT_LE(static_cast<int>(event.type),
+                static_cast<int>(FeedbackType::kLfVote))
+          << "trial " << trial;
+    }
+  }
+  // Per-record checksums make silent acceptance rare.
+  EXPECT_GT(rejected, kTrials / 2);
 }
 
 // Stacked corruption: each round mutates the survivor of the previous one,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "core/activedp.h"
 #include "core/framework.h"
 #include "data/dataset_zoo.h"
+#include "online/event_log.h"
 #include "serve/serve_client.h"
 #include "serve/snapshot_export.h"
 #include "util/fault.h"
@@ -360,6 +362,81 @@ TEST_F(ServeTest, RetryAfterHintParsing) {
             std::optional<double>(2.5));
   EXPECT_FALSE(RetryAfterHintMs(Status::Unavailable("no hint")).has_value());
   EXPECT_FALSE(RetryAfterHintMs(Status::Ok()).has_value());
+}
+
+TEST_F(ServeTest, PredictWithRetryClampsBackoffToTheDeadlineBudget) {
+  PredictionServiceOptions options;
+  options.max_batch_size = 4;
+  options.max_batch_delay_ms = 0.2;
+  PredictionService service(options);
+  service.LoadSnapshot(*snapshot_a_);
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.max_fires = 1;
+  FaultScope scope("serve.dispatch", spec);
+
+  // A schedule that would sleep for seconds, against a budget of ~500ms:
+  // the backoff must be clamped to half the remaining budget, leaving the
+  // retry enough of the deadline to actually succeed.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 5000.0;
+  policy.max_backoff_ms = 5000.0;
+  policy.jitter = 0.0;
+  policy.sleep = true;
+  RetryLog log;
+  const Deadline deadline = Deadline::After(0.5);
+  const Result<ServedPrediction> result =
+      PredictWithRetry(service, TrainExample(0), deadline, policy, &log);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(log.count("serve.submit"), 1);
+  EXPECT_LE(log.events()[0].backoff_ms, 250.0)
+      << "backoff not clamped to the deadline budget";
+  EXPECT_EQ(log.recovered_count("serve.submit"), 1);
+}
+
+TEST_F(ServeTest, RecordFeedbackAppendsDurablyToTheAttachedLog) {
+  const std::string dir = testing::TempDir() + "/serve_feedback_log";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  auto log = EventLog::Open(dir, EventLogOptions{});
+  ASSERT_TRUE(log.ok());
+
+  PredictionService service;
+  service.LoadSnapshot(*snapshot_a_);
+  FeedbackEvent event;
+  event.type = FeedbackType::kExactLabel;
+  event.row = 5;
+  event.label = 1;
+  // No log attached yet: the caller must know the feedback was dropped.
+  EXPECT_EQ(service.RecordFeedback(event).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  service.AttachEventLog(log->get());
+  const Result<uint64_t> first = service.RecordFeedback(event);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0u);
+  event.type = FeedbackType::kLfVote;
+  event.lf_id = 3;
+  const Result<uint64_t> second = service.RecordFeedback(event);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 1u);
+
+  // The events round-trip through the durable log.
+  ASSERT_TRUE((*log)->Rotate().ok());
+  const Result<std::vector<FeedbackEvent>> replayed = (*log)->ReplayAll();
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed->size(), 2u);
+  EXPECT_EQ((*replayed)[0].type, FeedbackType::kExactLabel);
+  EXPECT_EQ((*replayed)[0].row, 5);
+  EXPECT_EQ((*replayed)[1].type, FeedbackType::kLfVote);
+  EXPECT_EQ((*replayed)[1].lf_id, 3);
+
+  // After shutdown, feedback is refused (not silently dropped).
+  service.Shutdown();
+  EXPECT_EQ(service.RecordFeedback(event).status().code(),
+            StatusCode::kUnavailable);
 }
 
 TEST_F(ServeTest, HealthProbeMirrorsAdmission) {
