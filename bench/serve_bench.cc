@@ -282,6 +282,21 @@ void AppendLatency(std::ofstream& out, const LatencyStats& stats) {
       << ", \"max_ms\": " << stats.max << "}";
 }
 
+void AppendHistogram(std::ofstream& out, const Histogram& histogram) {
+  out << "[";
+  for (int bucket = 0; bucket < histogram.num_buckets(); ++bucket) {
+    if (bucket > 0) out << ", ";
+    out << "{\"le\": ";
+    if (bucket < static_cast<int>(histogram.bounds().size())) {
+      out << histogram.bounds()[bucket];
+    } else {
+      out << "\"inf\"";
+    }
+    out << ", \"count\": " << histogram.bucket_count(bucket) << "}";
+  }
+  out << "]";
+}
+
 void AppendLoad(std::ofstream& out, const LoadResult& load) {
   out << "\"requests\": " << load.requests
       << ", \"failures\": " << load.failures
@@ -318,22 +333,22 @@ void WriteJson(const std::string& path, const ModelSnapshot& snapshot,
   out << "  \"open_loop\": {\"target_rps\": " << rate << ", ";
   AppendLoad(out, open);
   out << "},\n";
-  // The micro-batch-size distribution the dispatcher actually formed during
-  // the two load phases (registry is reset before them).
+  // The micro-batch-size and batch-latency distributions the dispatcher
+  // actually observed during the two load phases (registry is reset before
+  // them). Bounds mirror the service's own registration in
+  // prediction_service.cc; the registry keeps the first-registered bounds
+  // for an existing name, so these are documentation as much as defaults.
   const Histogram& sizes = MetricsRegistry::Global().histogram(
-      "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
-  out << "  \"batch_size_histogram\": [";
-  for (int bucket = 0; bucket < sizes.num_buckets(); ++bucket) {
-    if (bucket > 0) out << ", ";
-    out << "{\"le\": ";
-    if (bucket < static_cast<int>(sizes.bounds().size())) {
-      out << sizes.bounds()[bucket];
-    } else {
-      out << "\"inf\"";
-    }
-    out << ", \"count\": " << sizes.bucket_count(bucket) << "}";
-  }
-  out << "],\n";
+      "serve.batch_size", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128});
+  out << "  \"batch_size_histogram\": ";
+  AppendHistogram(out, sizes);
+  out << ",\n";
+  const Histogram& latencies = MetricsRegistry::Global().histogram(
+      "serve.batch_latency_ms",
+      {0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1, 2, 5, 10, 25, 50, 100});
+  out << "  \"batch_latency_ms_histogram\": ";
+  AppendHistogram(out, latencies);
+  out << ",\n";
   out << "  \"batches\": "
       << MetricsRegistry::Global().counter_value("serve.batches") << ",\n";
   out << "  \"served_requests\": "

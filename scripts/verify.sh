@@ -7,25 +7,32 @@
 #      (-DACTIVEDP_SANITIZE=thread), which is what certifies the
 #      batch-scoped pool, the chunked reductions, and the tracer / metrics /
 #      retry-log write paths race-free
-#   5. the pipeline perf benchmark at smoke size (ctest -L perf), which
-#      asserts bitwise determinism across compute-pool thread counts and
-#      writes BENCH_pipeline.json; each run is archived to bench-archive/
-#      and the per-stage times are compared against the previous archive
-#      (informational only — machines differ, so a regression is printed,
-#      not failed)
-#   6. the serving suite (ctest -L serve: snapshot export/IO round-trips,
+#   5. a tier-1 build + ctest with -DACTIVEDP_SIMD=OFF, which certifies the
+#      scalar kernel fallback (the SIMD translation units compiled out)
+#      produces the same green suite — the other half of the kernels'
+#      bitwise-interchangeability contract
+#   6. the pipeline perf benchmark at smoke size (ctest -L perf), which
+#      asserts bitwise determinism across compute-pool thread counts, SIMD
+#      levels and repeats, and writes BENCH_pipeline.json; each run is
+#      archived to bench-archive/ and the serial stage times + end-to-end
+#      are compared against the previous archive — the gate FAILS when any
+#      stage regresses more than ACTIVEDP_PERF_REGRESSION_PCT percent
+#      (default 15) unless both samples are below the
+#      ACTIVEDP_PERF_MIN_SECONDS noise floor (default 0.005s); the
+#      comparison is archived as a regression report next to the JSON
+#   7. the serving suite (ctest -L serve: snapshot export/IO round-trips,
 #      the batched prediction service, and the serve_bench smoke run, whose
 #      determinism gate asserts served == offline bitwise across batch
 #      sizes, thread counts and a mid-load hot swap; BENCH_serving.json is
 #      archived to bench-archive/)
-#   7. a small-budget chaos sweep (fault sites x kinds x seeds, with
+#   8. a small-budget chaos sweep (fault sites x kinds x seeds, with
 #      fault accounting and resumability checks; see bench/chaos_sweep.cc)
-#   8. the serving chaos gate (bench/serve_chaos: the full serve.* fault
+#   9. the serving chaos gate (bench/serve_chaos: the full serve.* fault
 #      matrix — every injected fault cleanly rejected or auto-recovered,
 #      zero served-digest divergence on the surviving path, the rollback
 #      visible in the RunTrace timeline; BENCH_serve_chaos.json is archived
 #      to bench-archive/)
-#   9. the continuous-learning gate (bench/learn_chaos: the LearnGuard
+#  10. the continuous-learning gate (bench/learn_chaos: the LearnGuard
 #      fault matrix — every injected fault ends in a clean rejection,
 #      quarantine or auto-rollback, and the loop keeps publishing once the
 #      fault clears; then bench/continuous_bench: live traffic + drifting
@@ -34,20 +41,21 @@
 #      divergence; BENCH_learn_chaos.json and BENCH_online.json are
 #      archived to bench-archive/)
 #
-# Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-perf]
-#                          [--skip-chaos] [--skip-trace] [--skip-serve]
-#                          [--skip-serve-chaos] [--skip-learn]
+# Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-simd]
+#                          [--skip-perf] [--skip-chaos] [--skip-trace]
+#                          [--skip-serve] [--skip-serve-chaos] [--skip-learn]
 #                          [--only <gate>]
-# --only runs a single gate (tier1, trace, asan, tsan, perf, serve, chaos,
-# serve-chaos, learn) after the shared tier-1 build, skipping everything
-# else. Runs from any directory; build trees live next to the sources as
-# build/, build-asan/ and build-tsan/.
+# --only runs a single gate (tier1, trace, asan, tsan, simd, perf, serve,
+# chaos, serve-chaos, learn) after the shared tier-1 build, skipping
+# everything else. Runs from any directory; build trees live next to the
+# sources as build/, build-asan/, build-tsan/ and build-nosimd/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_ASAN=0
 SKIP_TSAN=0
+SKIP_SIMD=0
 SKIP_PERF=0
 SKIP_CHAOS=0
 SKIP_TRACE=0
@@ -65,6 +73,7 @@ for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-simd) SKIP_SIMD=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
     --skip-chaos) SKIP_CHAOS=1 ;;
     --skip-trace) SKIP_TRACE=1 ;;
@@ -80,7 +89,7 @@ if [[ "$EXPECT_ONLY" -eq 1 ]]; then
   echo "--only requires a gate name" >&2; exit 2
 fi
 case "$ONLY" in
-  ""|tier1|trace|asan|tsan|perf|serve|chaos|serve-chaos|learn) ;;
+  ""|tier1|trace|asan|tsan|simd|perf|serve|chaos|serve-chaos|learn) ;;
   *) echo "unknown gate for --only: $ONLY" >&2; exit 2 ;;
 esac
 
@@ -90,12 +99,23 @@ gate_enabled() {
   if [[ -n "$ONLY" ]]; then [[ "$ONLY" == "$1" ]]; else [[ "$2" -eq 0 ]]; fi
 }
 
-# Prints "stage seconds" pairs for the serial (first) run row of a
-# BENCH_pipeline.json report.
+# Prints "stage seconds" pairs (plus an "end_to_end" pseudo-stage) for the
+# serial (first) run row of a BENCH_pipeline.json report.
 stage_times() {
   grep -m1 '"stages"' "$1" \
     | grep -oE '"[a-z_]+": \{"seconds": [0-9.eE+-]+' \
     | sed -E 's/"([a-z_]+)": \{"seconds": ([0-9.eE+-]+)/\1 \2/'
+  grep -m1 '"end_to_end_seconds"' "$1" \
+    | grep -oE '"end_to_end_seconds": [0-9.eE+-]+' \
+    | sed -E 's/"end_to_end_seconds": ([0-9.eE+-]+)/end_to_end \1/'
+}
+
+# Prints "stage digest" pairs for the serial run row (the cross-pass digest
+# gate inside perf_bench already asserts all rows agree).
+stage_digests() {
+  grep -m1 '"stages"' "$1" \
+    | grep -oE '"[a-z_]+": \{"seconds": [0-9.eE+-]+, "digest": "0x[0-9a-f]+"' \
+    | sed -E 's/"([a-z_]+)": .*"digest": "(0x[0-9a-f]+)"/\1 \2/'
 }
 
 echo "== tier 1: build =="
@@ -129,13 +149,22 @@ if gate_enabled tsan "$SKIP_TSAN"; then
     -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test|registry_test|rollout_test|event_log_test|retrainer_test"
 fi
 
+if gate_enabled simd "$SKIP_SIMD"; then
+  echo "== tier 1 with -DACTIVEDP_SIMD=OFF (scalar kernels only) =="
+  cmake -B build-nosimd -S . -DACTIVEDP_SIMD=OFF >/dev/null
+  cmake --build build-nosimd -j "$JOBS"
+  ctest --test-dir build-nosimd -L tier1 --output-on-failure -j "$JOBS"
+fi
+
 if gate_enabled perf "$SKIP_PERF"; then
-  echo "== perf benchmark (smoke size, determinism gate) =="
+  echo "== perf benchmark (smoke size, determinism + regression gates) =="
   ctest --test-dir build -L perf --output-on-failure
 
-  # Archive the report (plus its trace summary) and compare per-stage times
-  # against the previous archived run. Informational only: hardware and load
-  # vary, so this prints regressions instead of failing on them.
+  # Archive the report (plus its trace summary and stage digests) and compare
+  # the serial stage times + end-to-end against the previous archived run.
+  # A stage more than ACTIVEDP_PERF_REGRESSION_PCT percent slower FAILS the
+  # gate, unless both samples sit under the ACTIVEDP_PERF_MIN_SECONDS noise
+  # floor; skipped entirely when no previous archive exists.
   BENCH_JSON="build/bench/BENCH_pipeline.json"
   if [[ -f "$BENCH_JSON" ]]; then
     mkdir -p bench-archive
@@ -148,14 +177,42 @@ if gate_enabled perf "$SKIP_PERF"; then
     fi
     echo "archived bench-archive/BENCH_pipeline-$STAMP.json"
     if [[ -n "$PREV" ]]; then
-      echo "-- serial stage times vs $(basename "$PREV") (informational) --"
-      awk 'NR==FNR { prev[$1] = $2; next }
-           ($1 in prev) && prev[$1] > 0 {
-             ratio = $2 / prev[$1];
-             flag = ratio > 2.0 ? "  <-- slower than previous" : "";
-             printf "  %-12s %9.4fs vs %9.4fs  ratio %5.2fx%s\n",
-                    $1, $2, prev[$1], ratio, flag;
-           }' <(stage_times "$PREV") <(stage_times "$BENCH_JSON")
+      PERF_PCT="${ACTIVEDP_PERF_REGRESSION_PCT:-15}"
+      PERF_FLOOR="${ACTIVEDP_PERF_MIN_SECONDS:-0.005}"
+      REGRESSION_REPORT="bench-archive/BENCH_pipeline-$STAMP.regression.txt"
+      echo "-- serial stage times vs $(basename "$PREV") (fail > +$PERF_PCT%) --"
+      set +e
+      {
+        awk -v pct="$PERF_PCT" -v floor="$PERF_FLOOR" '
+             NR==FNR { prev[$1] = $2; next }
+             ($1 in prev) && prev[$1] > 0 {
+               delta = ($2 / prev[$1] - 1.0) * 100.0;
+               flag = "";
+               if (delta > pct && ($2 >= floor || prev[$1] >= floor)) {
+                 flag = sprintf("  <-- REGRESSION (+%.1f%% > +%s%%)",
+                                delta, pct);
+                 failed = 1;
+               }
+               printf "  %-12s %9.4fs vs %9.4fs  %+7.1f%%%s\n",
+                      $1, $2, prev[$1], delta, flag;
+             }
+             END { exit failed ? 1 : 0 }' \
+             <(stage_times "$PREV") <(stage_times "$BENCH_JSON")
+        PERF_STATUS=$?
+        echo "-- serial stage digests --"
+        stage_digests "$BENCH_JSON" | sed 's/^/  /'
+        exit "$PERF_STATUS"
+      } | tee "$REGRESSION_REPORT"
+      PERF_STATUS=${PIPESTATUS[0]}
+      set -e
+      echo "archived $REGRESSION_REPORT"
+      if [[ "$PERF_STATUS" -ne 0 ]]; then
+        echo "FAIL: perf regression above ${PERF_PCT}% vs $(basename "$PREV")" >&2
+        echo "      (override threshold with ACTIVEDP_PERF_REGRESSION_PCT)" >&2
+        exit 1
+      fi
+    else
+      echo "note: no previous bench-archive run; regression gate skipped"
     fi
   else
     echo "note: $BENCH_JSON not found; skipping archive" >&2

@@ -337,8 +337,11 @@ Status ActiveDp::LabelModelPredictions(
   const LabelModel* model = current_label_model();
   proba->assign(matrix.num_rows(), {});
   active->assign(matrix.num_rows(), false);
+  matrix.EnsureRows();
+  const int num_cols = matrix.num_cols();
   for (int i = 0; i < matrix.num_rows(); ++i) {
-    ASSIGN_OR_RETURN((*proba)[i], model->PredictProba(matrix.Row(i)));
+    ASSIGN_OR_RETURN((*proba)[i], model->PredictProbaSparse(
+                                      matrix.ActiveRow(i), num_cols));
     (*active)[i] = matrix.AnyActive(i);
   }
   // Stage-boundary guard: nothing non-finite or unnormalized leaves the

@@ -46,9 +46,10 @@ Status NemoFramework::Step() {
   label_model_ready_ = true;
   lm_proba_train_.assign(train_matrix_.num_rows(), {});
   lm_active_train_.assign(train_matrix_.num_rows(), false);
+  train_matrix_.EnsureRows();
   for (int i = 0; i < train_matrix_.num_rows(); ++i) {
-    Result<std::vector<double>> p =
-        label_model_->PredictProba(train_matrix_.Row(i));
+    Result<std::vector<double>> p = label_model_->PredictProbaSparse(
+        train_matrix_.ActiveRow(i), train_matrix_.num_cols());
     if (!p.ok()) {
       // Treat an unusable model like a failed fit: no labels this round.
       label_model_ready_ = false;
@@ -271,9 +272,11 @@ std::vector<std::vector<double>> IwsFramework::CurrentTrainingLabels() {
   if (final_lfs.empty()) return soft;
   const LabelMatrix matrix = ApplyLfs(final_lfs, context_->split->train);
   if (!label_model_->Fit(matrix, context_->num_classes).ok()) return soft;
+  matrix.EnsureRows();
   for (int i = 0; i < n; ++i) {
     if (!matrix.AnyActive(i)) continue;
-    Result<std::vector<double>> p = label_model_->PredictProba(matrix.Row(i));
+    Result<std::vector<double>> p = label_model_->PredictProbaSparse(
+        matrix.ActiveRow(i), matrix.num_cols());
     if (!p.ok()) return std::vector<std::vector<double>>(n);
     soft[i] = std::move(*p);
   }

@@ -3,17 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/kernels.h"
 #include "util/check.h"
 
 namespace activedp {
 
 double SparseDot(const SparseVector& x, const std::vector<double>& w) {
-  double sum = 0.0;
-  for (size_t i = 0; i < x.indices.size(); ++i) {
-    DCHECK(x.indices[i] < static_cast<int>(w.size()));
-    sum += x.values[i] * w[x.indices[i]];
-  }
-  return sum;
+#ifndef NDEBUG
+  for (int i : x.indices) DCHECK(i < static_cast<int>(w.size()));
+#endif
+  return kernels::DotSparse(x.indices.data(), x.values.data(), x.nnz(),
+                            w.data());
 }
 
 void SparseAxpy(double alpha, const SparseVector& x, std::vector<double>& w) {
@@ -24,11 +24,13 @@ void SparseAxpy(double alpha, const SparseVector& x, std::vector<double>& w) {
 }
 
 void L2Normalize(SparseVector& x) {
-  double ss = 0.0;
-  for (double v : x.values) ss += v * v;
+  // Canonical 4-lane self-dot + element-wise scale (math/kernels.h): the
+  // result is bitwise identical at every SIMD level.
+  const double ss =
+      kernels::DotDense(x.values.data(), x.values.data(), x.nnz());
   if (ss <= 0.0) return;
   const double inv = 1.0 / std::sqrt(ss);
-  for (double& v : x.values) v *= inv;
+  kernels::Scale(x.values.data(), x.nnz(), inv);
 }
 
 bool Example::HasToken(int id) const {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "math/kernels.h"
+
 namespace activedp {
 
 double SoftThreshold(double z, double threshold) {
@@ -69,11 +71,11 @@ std::vector<double> LassoQuadratic(const Matrix& w11,
     for (int j = 0; j < p; ++j) {
       const double wjj = w11(j, j);
       if (wjj <= 0.0) continue;
-      double grad = s12[j];
+      // grad = s12[j] - sum_{k != j} w11(j,k) beta[k], as one vectorized
+      // full-row dot with the diagonal term subtracted back out.
       const double* row = w11.RowPtr(j);
-      for (int k = 0; k < p; ++k) {
-        if (k != j) grad -= row[k] * beta[k];
-      }
+      const double full_dot = kernels::DotDense(row, beta.data(), p);
+      const double grad = s12[j] - (full_dot - row[j] * beta[j]);
       const double new_beta = SoftThreshold(grad, lambda) / wjj;
       const double delta = std::fabs(new_beta - beta[j]);
       beta[j] = new_beta;

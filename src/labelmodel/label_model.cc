@@ -55,15 +55,25 @@ Status LabelModel::RestoreParams(const std::string& params) {
                                "' has no serializable parameter form");
 }
 
+Result<std::vector<double>> LabelModel::PredictProbaSparse(
+    const ActiveRowView& row, int num_cols) const {
+  std::vector<int> weak_labels(num_cols, kAbstain);
+  for (int k = 0; k < row.nnz; ++k) weak_labels[row.cols[k]] = row.labels[k];
+  return PredictProba(weak_labels);
+}
+
 Result<std::vector<std::vector<double>>> LabelModel::PredictProbaAll(
     const LabelMatrix& matrix) const {
   // Span at the caller level; the chunked per-row work below may run on
   // compute-pool workers, which must stay trace-silent (determinism).
   TraceSpan span("labelmodel.predict_all");
   span.AddArg("rows", matrix.num_rows());
+  matrix.EnsureRows();  // build the CSR view before the parallel region
+  const int num_cols = matrix.num_cols();
   std::vector<std::vector<double>> out(matrix.num_rows());
   RETURN_IF_ERROR(PredictRows(matrix.num_rows(), [&](int i) -> Status {
-    ASSIGN_OR_RETURN(out[i], PredictProba(matrix.Row(i)));
+    ASSIGN_OR_RETURN(out[i],
+                     PredictProbaSparse(matrix.ActiveRow(i), num_cols));
     return Status::Ok();
   }));
   return out;
@@ -73,10 +83,13 @@ Result<std::vector<int>> LabelModel::PredictAll(
     const LabelMatrix& matrix) const {
   TraceSpan span("labelmodel.predict_all");
   span.AddArg("rows", matrix.num_rows());
+  matrix.EnsureRows();  // build the CSR view before the parallel region
+  const int num_cols = matrix.num_cols();
   std::vector<int> out(matrix.num_rows(), kAbstain);
   RETURN_IF_ERROR(PredictRows(matrix.num_rows(), [&](int i) -> Status {
-    if (!matrix.AnyActive(i)) return Status::Ok();  // keep kAbstain
-    ASSIGN_OR_RETURN(std::vector<double> proba, PredictProba(matrix.Row(i)));
+    if (!matrix.AnyActive(i)) return Status::Ok();  // keep kAbstain, O(1)
+    ASSIGN_OR_RETURN(std::vector<double> proba,
+                     PredictProbaSparse(matrix.ActiveRow(i), num_cols));
     out[i] = ArgMax(proba);
     return Status::Ok();
   }));

@@ -33,6 +33,15 @@ class LabelModel {
   virtual Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const = 0;
 
+  /// Probabilistic label from the non-abstain entries of a row (ascending
+  /// column order) plus the row's full width. Semantically — and for the
+  /// overriding models bitwise — identical to densifying the view and
+  /// calling PredictProba; the base implementation does exactly that.
+  /// Models on the serving / batch hot path override this to skip the
+  /// O(num_cols) densify+rescan per row.
+  virtual Result<std::vector<double>> PredictProbaSparse(
+      const ActiveRowView& row, int num_cols) const;
+
   virtual std::string name() const = 0;
 
   /// Serializes the fitted predict-time parameters as one line of

@@ -1,5 +1,7 @@
 #include "labelmodel/majority_vote.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -11,17 +13,15 @@ Status MajorityVoteModel::Fit(const LabelMatrix& matrix, int num_classes) {
     return Status::InvalidArgument("label matrix has no LF columns");
   num_classes_ = num_classes;
   // Estimate class priors from per-row majority votes (uniform fallback).
+  // Row-driven off the CSR view: O(nnz) instead of O(n m).
+  matrix.EnsureRows();
   std::vector<double> counts(num_classes, 1.0);  // Laplace smoothing
+  std::vector<double> votes(num_classes, 0.0);
   for (int i = 0; i < matrix.num_rows(); ++i) {
-    std::vector<double> votes(num_classes, 0.0);
-    bool any = false;
-    for (int j = 0; j < matrix.num_cols(); ++j) {
-      const int l = matrix.At(i, j);
-      if (l == kAbstain) continue;
-      votes[l] += 1.0;
-      any = true;
-    }
-    if (!any) continue;
+    const ActiveRowView row = matrix.ActiveRow(i);
+    if (row.nnz == 0) continue;
+    std::fill(votes.begin(), votes.end(), 0.0);
+    for (int k = 0; k < row.nnz; ++k) votes[row.labels[k]] += 1.0;
     int best = 0;
     for (int c = 1; c < num_classes; ++c) {
       if (votes[c] > votes[best]) best = c;
@@ -88,6 +88,32 @@ Result<std::vector<double>> MajorityVoteModel::PredictProba(
   }
   if (active == 0) return priors_;
   // Blend with a weak prior so ties resolve toward the prior.
+  std::vector<double> proba(num_classes_);
+  double total = 0.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    proba[c] = votes[c] + 0.1 * priors_[c];
+    total += proba[c];
+  }
+  for (double& p : proba) p /= total;
+  return proba;
+}
+
+Result<std::vector<double>> MajorityVoteModel::PredictProbaSparse(
+    const ActiveRowView& row, int num_cols) const {
+  (void)num_cols;  // votes depend only on the active entries
+  if (num_classes_ <= 0)
+    return Status::FailedPrecondition("Fit before PredictProba");
+  std::vector<double> votes(num_classes_, 0.0);
+  for (int k = 0; k < row.nnz; ++k) {
+    const int l = row.labels[k];
+    if (l < 0 || l >= num_classes_) {
+      return Status::InvalidArgument("weak label " + std::to_string(l) +
+                                     " outside [0, " +
+                                     std::to_string(num_classes_) + ")");
+    }
+    votes[l] += 1.0;
+  }
+  if (row.nnz == 0) return priors_;
   std::vector<double> proba(num_classes_);
   double total = 0.0;
   for (int c = 0; c < num_classes_; ++c) {

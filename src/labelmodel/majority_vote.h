@@ -15,6 +15,8 @@ class MajorityVoteModel : public LabelModel {
   Status Fit(const LabelMatrix& matrix, int num_classes) override;
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
+  Result<std::vector<double>> PredictProbaSparse(
+      const ActiveRowView& row, int num_cols) const override;
   std::string name() const override { return "majority-vote"; }
   /// Params: `<num_classes> <prior_0> .. <prior_{C-1}>`.
   Result<std::string> SerializeParams() const override;

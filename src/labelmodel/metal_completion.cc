@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "labelmodel/spin_utils.h"
+#include "math/kernels.h"
 #include "math/linalg.h"
 #include "math/matrix.h"
 #include "util/check.h"
@@ -37,10 +38,12 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   }
   fallback_.reset();
 
-  // Spin means, coverages and class balance via majority vote. Chunked over
+  // Spin means, coverages and class balance via majority vote, row-driven
+  // off the matrix's CSR view (O(nnz) instead of O(n m)). Chunked over
   // rows with per-chunk partial sums combined in chunk order; every term is
-  // a spin in {-1, 0, +1} or a count, so the sums are exact integers and the
+  // a spin in {-1, +1} or a count, so the sums are exact integers and the
   // result is bitwise identical at any thread count.
+  matrix.EnsureRows();  // build the CSR view before the parallel regions
   const int grain = BoundedGrain(n, 1024, 64);
   const int chunks = NumChunks(n, grain);
   std::vector<std::vector<double>> mean_part(chunks), coverage_part(chunks);
@@ -53,11 +56,12 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
         pmean.assign(m, 0.0);
         pcov.assign(m, 0.0);
         for (int i = begin; i < end; ++i) {
+          const ActiveRowView row = matrix.ActiveRow(i);
           double vote = 0.0;
-          for (int j = 0; j < m; ++j) {
-            const double s = ToSpin(matrix.At(i, j));
-            pmean[j] += s;
-            if (s != 0.0) pcov[j] += 1.0;
+          for (int k = 0; k < row.nnz; ++k) {
+            const double s = row.labels[k] == 1 ? 1.0 : -1.0;
+            pmean[row.cols[k]] += s;
+            pcov[row.cols[k]] += 1.0;
             vote += s;
           }
           if (vote != 0.0) {
@@ -84,29 +88,20 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   const double ey = 2.0 * positive_prior_ - 1.0;
   const double var_y = std::max(1e-3, 1.0 - ey * ey);
 
-  // Spin covariance with a ridge (abstains contribute 0 spins). Parallel
-  // over rows j of Σ: each task owns row j and accumulates over i in
-  // ascending order — the same association as a serial i-outer loop — so
-  // the result is bitwise identical at any thread count. (Column-major
-  // LabelMatrix storage also makes the i-inner scan the cache-friendly
-  // direction.)
-  Matrix sigma(m, m);
-  RETURN_IF_ERROR(ParallelForChunks(
-      ComputePool(), m, /*grain=*/1, options_.limits, "metal.completion",
-      [&](int /*chunk*/, int begin, int end) {
-        for (int j = begin; j < end; ++j) {
-          for (int i = 0; i < n; ++i) {
-            const double sj = ToSpin(matrix.At(i, j)) - mean[j];
-            if (sj == 0.0) continue;
-            for (int k = j; k < m; ++k) {
-              sigma(j, k) += sj * (ToSpin(matrix.At(i, k)) - mean[k]);
-            }
-          }
-        }
-      }));
+  // Spin covariance with a ridge (abstains contribute 0 spins), via the
+  // pairwise active-product matrix P = S^T S of the spin CSR matrix:
+  //   Σ(j, k) = P(j, k) / n − mean_j · mean_k.
+  // This is the textbook expansion of Σ_i (s_ij − m_j)(s_ik − m_k) / n and
+  // costs O(sum_i |active_i|^2) instead of O(n m^2). Every entry of P is an
+  // exact integer sum of ±1 products accumulated with chunk-ordered
+  // partials, so P — and therefore Σ — is bitwise identical at any thread
+  // count.
+  RETURN_IF_ERROR(options_.limits.Check("metal.completion"));
+  Matrix sigma = matrix.SpinCsr().SelfInnerProduct();
+  RETURN_IF_ERROR(options_.limits.Check("metal.completion"));
   for (int j = 0; j < m; ++j) {
     for (int k = j; k < m; ++k) {
-      sigma(j, k) /= n;
+      sigma(j, k) = sigma(j, k) / n - mean[j] * mean[k];
       sigma(k, j) = sigma(j, k);
     }
     sigma(j, j) += options_.ridge;
@@ -136,24 +131,25 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
   }
   const double step = options_.gd_learning_rate / max_abs_k;
   std::vector<double> grad(m);
-  // Each grad[i] is an independent dot over j accumulated in ascending j
-  // order, so the parallel gradient is bitwise identical to the serial one.
-  // Small systems stay serial: the launch would cost more than the sweep.
+  // grad_i = 4 * sum_{j != i} (K_ij + z_i z_j) z_j, split into vectorized
+  // dots plus diagonal corrections:
+  //   sum_j K_ij z_j − K_ii z_i + z_i (z·z − z_i^2).
+  // Both dots use the canonical 4-lane kernel, so each grad[i] is a fixed
+  // association independent of the thread count and SIMD level. Small
+  // systems stay serial: the launch would cost more than the sweep.
   ThreadPool* const gd_pool = m >= 64 ? ComputePool() : nullptr;
   const int gd_grain = BoundedGrain(m, 16, 64);
   for (int iter = 0; iter < options_.gd_iterations; ++iter) {
     if ((iter & 31) == 0)
       RETURN_IF_ERROR(options_.limits.Check("metal.completion"));
-    // grad_i = 4 * sum_{j != i} (K_ij + z_i z_j) z_j.
+    const double zz = kernels::DotDense(z.data(), z.data(), m);
     const Status gd_status = ParallelForChunks(
         gd_pool, m, gd_grain, RunLimits::Unlimited(), "metal.completion",
         [&](int /*chunk*/, int begin, int end) {
           for (int i = begin; i < end; ++i) {
-            double g = 0.0;
-            for (int j = 0; j < m; ++j) {
-              if (j == i) continue;
-              g += (k_matrix(i, j) + z[i] * z[j]) * z[j];
-            }
+            const double g =
+                kernels::DotDense(k_matrix.RowPtr(i), z.data(), m) -
+                k_matrix(i, i) * z[i] + z[i] * (zz - z[i] * z[i]);
             grad[i] = 4.0 * g;
           }
         });
@@ -168,8 +164,7 @@ Status MetalCompletionModel::Fit(const LabelMatrix& matrix, int num_classes) {
 
   // Cov(λ, Y) = Σ_O z / sqrt(d) with d = (1 + z' Σ_O z) / Var(Y).
   std::vector<double> sigma_z = sigma.MultiplyVector(z);
-  double ztsz = 0.0;
-  for (int i = 0; i < m; ++i) ztsz += z[i] * sigma_z[i];
+  const double ztsz = kernels::DotDense(z.data(), sigma_z.data(), m);
   const double d = std::max(1e-6, (1.0 + ztsz) / var_y);
   std::vector<double> cov_ly(m);
   for (int i = 0; i < m; ++i) cov_ly[i] = sigma_z[i] / std::sqrt(d);
@@ -227,6 +222,21 @@ Result<std::vector<double>> MetalCompletionModel::PredictProba(
         " entries, model was fit on " + std::to_string(num_lfs_) + " LFs");
   }
   return SpinNaiveBayesProba(accuracies_, positive_prior_, weak_labels);
+}
+
+Result<std::vector<double>> MetalCompletionModel::PredictProbaSparse(
+    const ActiveRowView& row, int num_cols) const {
+  if (num_lfs_ <= 0)
+    return Status::FailedPrecondition("Fit before PredictProba");
+  if (fallback_.has_value()) {
+    return fallback_->PredictProbaSparse(row, num_cols);
+  }
+  if (num_cols != num_lfs_) {
+    return Status::InvalidArgument(
+        "weak-label row has " + std::to_string(num_cols) +
+        " entries, model was fit on " + std::to_string(num_lfs_) + " LFs");
+  }
+  return SpinNaiveBayesProbaSparse(accuracies_, positive_prior_, row);
 }
 
 }  // namespace activedp

@@ -47,6 +47,8 @@ class MetalCompletionModel : public LabelModel {
   Status Fit(const LabelMatrix& matrix, int num_classes) override;
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
+  Result<std::vector<double>> PredictProbaSparse(
+      const ActiveRowView& row, int num_cols) const override;
   std::string name() const override { return "metal-completion"; }
   /// Params: `<num_lfs> <positive_prior> <a_0> .. <a_{m-1}>`, using the
   /// effective (fallback-aware) parameters; restore always lands in the

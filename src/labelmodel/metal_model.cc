@@ -46,13 +46,15 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
   const int m = matrix.num_cols();
   num_lfs_ = m;
 
-  // Per-row active (column, spin) lists keep the pairwise pass
-  // O(sum_i |active_i|^2) instead of O(n m^2). Rows are processed in
+  // The matrix's CSR view gives each row's active (column, spin) entries
+  // directly — the pairwise pass is O(sum_i |active_i|^2) instead of
+  // O(n m^2) with no per-row column scan at all. Rows are processed in
   // fixed-size chunks with per-chunk partial moment matrices combined in
   // chunk order; every accumulated term is a spin product in {-1, +1} (or a
   // count of 1.0), so the sums are exact integers and the combined result is
   // bitwise identical at any thread count. Chunk count is capped so the
   // partial matrices stay O(64 m^2) total.
+  matrix.EnsureRows();  // build the CSR view before the parallel region
   const int grain = BoundedGrain(n, 1024, 32);
   const int chunks = NumChunks(n, grain);
   std::vector<Matrix> pair_sum_part(chunks), pair_count_part(chunks);
@@ -64,22 +66,20 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
         Matrix& pcount = pair_count_part[chunk];
         psum = Matrix(m, m);
         pcount = Matrix(m, m);
-        std::vector<std::pair<int, double>> active;
         for (int i = begin; i < end; ++i) {
-          active.clear();
+          const ActiveRowView row = matrix.ActiveRow(i);
           double vote = 0.0;
-          for (int j = 0; j < m; ++j) {
-            const double s = ToSpin(matrix.At(i, j));
-            if (s == 0.0) continue;
-            active.emplace_back(j, s);
-            vote += s;
+          for (int k = 0; k < row.nnz; ++k) {
+            vote += row.labels[k] == 1 ? 1.0 : -1.0;
           }
           mv_spin[i] = vote > 0.0 ? 1.0 : (vote < 0.0 ? -1.0 : 0.0);
-          for (size_t a = 0; a < active.size(); ++a) {
-            for (size_t b = a + 1; b < active.size(); ++b) {
-              const int ja = active[a].first, jb = active[b].first;
-              psum(ja, jb) += active[a].second * active[b].second;
-              pcount(ja, jb) += 1.0;
+          for (int a = 0; a < row.nnz; ++a) {
+            const double sa = row.labels[a] == 1 ? 1.0 : -1.0;
+            const int ja = row.cols[a];
+            for (int b = a + 1; b < row.nnz; ++b) {
+              const double sb = row.labels[b] == 1 ? 1.0 : -1.0;
+              psum(ja, row.cols[b]) += sa * sb;
+              pcount(ja, row.cols[b]) += 1.0;
             }
           }
         }
@@ -109,24 +109,41 @@ Status MetalModel::Fit(const LabelMatrix& matrix, int num_classes) {
   }
   positive_prior_ = pos / total;
 
-  // Agreement-with-majority-vote fallback accuracies. Parallel over LFs:
-  // each j owns its slot and its n-scan accumulates in the same i order as
-  // the serial loop, so the result is thread-count independent.
+  // Agreement-with-majority-vote fallback accuracies, row-driven off the
+  // CSR view (O(nnz) instead of O(n m)). Per-chunk partial sums are
+  // combined in chunk order; every term is ±1 or a count, so the sums are
+  // exact integers and equal the per-column scan's bitwise.
   std::vector<double> fallback(m, 0.5);
+  std::vector<std::vector<double>> agree_part(chunks), count_part(chunks);
   RETURN_IF_ERROR(ParallelForChunks(
-      ComputePool(), m, /*grain=*/1, options_.limits, "metal.fit",
-      [&](int /*chunk*/, int begin, int end) {
-        for (int j = begin; j < end; ++j) {
-          double agree = 0.0, count = 0.0;
-          for (int i = 0; i < n; ++i) {
-            const double s = ToSpin(matrix.At(i, j));
-            if (s == 0.0 || mv_spin[i] == 0.0) continue;
-            count += 1.0;
-            agree += s * mv_spin[i];
+      ComputePool(), n, grain, options_.limits, "metal.fit",
+      [&](int chunk, int begin, int end) {
+        std::vector<double>& agree = agree_part[chunk];
+        std::vector<double>& count = count_part[chunk];
+        agree.assign(m, 0.0);
+        count.assign(m, 0.0);
+        for (int i = begin; i < end; ++i) {
+          if (mv_spin[i] == 0.0) continue;
+          const ActiveRowView row = matrix.ActiveRow(i);
+          for (int k = 0; k < row.nnz; ++k) {
+            const double s = row.labels[k] == 1 ? 1.0 : -1.0;
+            count[row.cols[k]] += 1.0;
+            agree[row.cols[k]] += s * mv_spin[i];
           }
-          fallback[j] = count > 0.0 ? agree / count : 0.5;
         }
       }));
+  {
+    std::vector<double> agree(m, 0.0), count(m, 0.0);
+    for (int c = 0; c < chunks; ++c) {
+      for (int j = 0; j < m; ++j) {
+        agree[j] += agree_part[c][j];
+        count[j] += count_part[c][j];
+      }
+    }
+    for (int j = 0; j < m; ++j) {
+      fallback[j] = count[j] > 0.0 ? agree[j] / count[j] : 0.5;
+    }
+  }
 
   Rng rng(options_.seed);
   accuracies_.assign(m, 0.0);
@@ -251,6 +268,23 @@ Result<std::vector<double>> MetalModel::PredictProba(
   }
   std::vector<double> proba =
       SpinNaiveBayesProba(accuracies_, positive_prior_, weak_labels);
+  if (!IsProbabilityVector(proba)) {
+    return Status::Internal("metal prediction is not a valid distribution");
+  }
+  return proba;
+}
+
+Result<std::vector<double>> MetalModel::PredictProbaSparse(
+    const ActiveRowView& row, int num_cols) const {
+  if (num_lfs_ <= 0)
+    return Status::FailedPrecondition("Fit before PredictProba");
+  if (num_cols != num_lfs_) {
+    return Status::InvalidArgument(
+        "weak-label row has " + std::to_string(num_cols) +
+        " entries, model was fit on " + std::to_string(num_lfs_) + " LFs");
+  }
+  std::vector<double> proba =
+      SpinNaiveBayesProbaSparse(accuracies_, positive_prior_, row);
   if (!IsProbabilityVector(proba)) {
     return Status::Internal("metal prediction is not a valid distribution");
   }

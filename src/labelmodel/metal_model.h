@@ -41,6 +41,8 @@ class MetalModel : public LabelModel {
   Status Fit(const LabelMatrix& matrix, int num_classes) override;
   Result<std::vector<double>> PredictProba(
       const std::vector<int>& weak_labels) const override;
+  Result<std::vector<double>> PredictProbaSparse(
+      const ActiveRowView& row, int num_cols) const override;
   std::string name() const override { return "metal"; }
   /// Params: `<num_lfs> <positive_prior> <a_0> .. <a_{m-1}>`.
   Result<std::string> SerializeParams() const override;

@@ -23,4 +23,18 @@ std::vector<double> SpinNaiveBayesProba(const std::vector<double>& accuracies,
   return {1.0 - p1, p1};
 }
 
+std::vector<double> SpinNaiveBayesProbaSparse(
+    const std::vector<double>& accuracies, double positive_prior,
+    const ActiveRowView& row) {
+  const double prior = std::clamp(positive_prior, 1e-6, 1.0 - 1e-6);
+  double log_odds = std::log(prior / (1.0 - prior));
+  for (int k = 0; k < row.nnz; ++k) {
+    const double s = row.labels[k] == 1 ? 1.0 : -1.0;
+    const double a = std::clamp(accuracies[row.cols[k]], -0.999, 0.999);
+    log_odds += std::log((1.0 + a * s) / (1.0 - a * s));
+  }
+  const double p1 = 1.0 / (1.0 + std::exp(-log_odds));
+  return {1.0 - p1, p1};
+}
+
 }  // namespace activedp

@@ -21,6 +21,13 @@ std::vector<double> SpinNaiveBayesProba(const std::vector<double>& accuracies,
                                         double positive_prior,
                                         const std::vector<int>& weak_labels);
 
+/// Sparse variant over the non-abstain entries of a row (ascending column
+/// order). Bitwise identical to the dense overload, which skips abstains in
+/// the same column order.
+std::vector<double> SpinNaiveBayesProbaSparse(
+    const std::vector<double>& accuracies, double positive_prior,
+    const ActiveRowView& row);
+
 }  // namespace activedp
 
 #endif  // ACTIVEDP_LABELMODEL_SPIN_UTILS_H_

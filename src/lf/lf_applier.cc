@@ -1,5 +1,8 @@
 #include "lf/lf_applier.h"
 
+#include <unordered_map>
+#include <utility>
+
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -8,7 +11,19 @@ namespace activedp {
 
 void LabelMatrix::AddColumn(std::vector<int8_t> column) {
   CHECK_EQ(static_cast<int>(column.size()), num_rows_);
+  for (int i = 0; i < num_rows_; ++i) {
+    if (column[i] != kAbstain) ++active_count_[i];
+  }
   columns_.push_back(std::move(column));
+  rows_built_ = false;
+}
+
+void LabelMatrix::Set(int row, int col, int value) {
+  const int8_t old = columns_[col][row];
+  if (old != kAbstain) --active_count_[row];
+  if (value != kAbstain) ++active_count_[row];
+  columns_[col][row] = static_cast<int8_t>(value);
+  rows_built_ = false;
 }
 
 std::vector<int> LabelMatrix::Row(int row) const {
@@ -23,18 +38,63 @@ std::vector<int> LabelMatrix::Row(int row, const std::vector<int>& cols) const {
   return out;
 }
 
-bool LabelMatrix::AnyActive(int row) const {
-  for (const auto& col : columns_) {
-    if (col[row] != kAbstain) return true;
-  }
-  return false;
-}
-
 bool LabelMatrix::AnyActive(int row, const std::vector<int>& cols) const {
   for (int j : cols) {
     if (columns_[j][row] != kAbstain) return true;
   }
   return false;
+}
+
+void LabelMatrix::EnsureRows() const {
+  if (rows_built_) return;
+  row_ptr_.assign(num_rows_ + 1, 0);
+  int64_t total = 0;
+  for (int i = 0; i < num_rows_; ++i) {
+    row_ptr_[i] = total;
+    total += active_count_[i];
+  }
+  row_ptr_[num_rows_] = total;
+  row_cols_.resize(total);
+  row_labels_.resize(total);
+  // Column-major sweep with a per-row write cursor: each row's entries land
+  // in ascending column order because columns are visited in order.
+  std::vector<int64_t> cursor(row_ptr_.begin(), row_ptr_.end() - 1);
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    const std::vector<int8_t>& col = columns_[j];
+    for (int i = 0; i < num_rows_; ++i) {
+      if (col[i] == kAbstain) continue;
+      row_cols_[cursor[i]] = static_cast<int32_t>(j);
+      row_labels_[cursor[i]] = col[i];
+      ++cursor[i];
+    }
+  }
+  rows_built_ = true;
+}
+
+ActiveRowView LabelMatrix::ActiveRow(int row) const {
+  DCHECK(rows_built_);
+  DCHECK(row >= 0 && row < num_rows_);
+  ActiveRowView view;
+  view.cols = row_cols_.data() + row_ptr_[row];
+  view.labels = row_labels_.data() + row_ptr_[row];
+  view.nnz = static_cast<int>(row_ptr_[row + 1] - row_ptr_[row]);
+  return view;
+}
+
+CsrMatrix LabelMatrix::SpinCsr() const {
+  EnsureRows();
+  CsrMatrix out(num_rows_, num_cols());
+  out.ReserveNnz(row_ptr_[num_rows_]);
+  std::vector<double> spins;
+  for (int i = 0; i < num_rows_; ++i) {
+    const ActiveRowView row = ActiveRow(i);
+    spins.resize(row.nnz);
+    for (int k = 0; k < row.nnz; ++k) {
+      spins[k] = row.labels[k] == 1 ? 1.0 : -1.0;
+    }
+    out.AppendRow(row.cols, spins.data(), row.nnz);
+  }
+  return out;
 }
 
 LabelMatrix LabelMatrix::SelectColumns(const std::vector<int>& cols) const {
@@ -65,7 +125,7 @@ double LabelMatrix::OverallCoverage() const {
   if (num_rows_ == 0) return 0.0;
   int active = 0;
   for (int i = 0; i < num_rows_; ++i) {
-    if (AnyActive(i)) ++active;
+    if (active_count_[i] > 0) ++active;
   }
   return static_cast<double>(active) / num_rows_;
 }
@@ -86,10 +146,56 @@ std::vector<int8_t> ApplyLf(const LabelFunction& lf, const Dataset& dataset) {
   return out;
 }
 
+namespace {
+
+/// Inverted-index application for all-keyword LF sets: instead of
+/// num_lfs virtual Apply calls (each a binary search) per example, one pass
+/// over the example's term counts looks up which columns fire. Produces the
+/// exact same matrix as the per-LF path.
+LabelMatrix ApplyKeywordLfs(const std::vector<LfPtr>& lfs,
+                            const Dataset& dataset) {
+  const int n = dataset.size();
+  const int m = static_cast<int>(lfs.size());
+  std::unordered_map<int, std::vector<std::pair<int, int8_t>>> by_token;
+  by_token.reserve(m);
+  for (int j = 0; j < m; ++j) {
+    const auto* kw = static_cast<const KeywordLf*>(lfs[j].get());
+    by_token[kw->token_id()].emplace_back(j, static_cast<int8_t>(kw->label()));
+  }
+  std::vector<std::vector<int8_t>> cols(
+      m, std::vector<int8_t>(n, static_cast<int8_t>(kAbstain)));
+  const Status status = ParallelForChunks(
+      ComputePool(), n, BoundedGrain(n, 256, 1024), RunLimits::Unlimited(),
+      "lf.apply", [&](int /*chunk*/, int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          for (const auto& [token, count] : dataset.example(i).term_counts) {
+            (void)count;  // presence decides, matching Example::HasToken
+            const auto it = by_token.find(token);
+            if (it == by_token.end()) continue;
+            for (const auto& [col, label] : it->second) cols[col][i] = label;
+          }
+        }
+      });
+  CHECK(status.ok());
+  LabelMatrix matrix(n);
+  for (int j = 0; j < m; ++j) matrix.AddColumn(std::move(cols[j]));
+  return matrix;
+}
+
+}  // namespace
+
 LabelMatrix ApplyLfs(const std::vector<LfPtr>& lfs, const Dataset& dataset) {
   TraceSpan span("lf.apply_all");
   span.AddArg("lfs", static_cast<int64_t>(lfs.size()));
   span.AddArg("rows", dataset.size());
+  bool all_keyword = !lfs.empty();
+  for (const auto& lf : lfs) {
+    if (dynamic_cast<const KeywordLf*>(lf.get()) == nullptr) {
+      all_keyword = false;
+      break;
+    }
+  }
+  if (all_keyword) return ApplyKeywordLfs(lfs, dataset);
   LabelMatrix matrix(dataset.size());
   for (const auto& lf : lfs) matrix.AddColumn(ApplyLf(*lf, dataset));
   return matrix;

@@ -6,15 +6,31 @@
 
 #include "data/dataset.h"
 #include "lf/label_function.h"
+#include "math/csr_matrix.h"
 
 namespace activedp {
+
+/// One row of the weak-label matrix restricted to its non-abstain entries:
+/// ascending column ids with the weak label each LF voted. Valid until the
+/// owning LabelMatrix is next mutated.
+struct ActiveRowView {
+  const int32_t* cols = nullptr;
+  const int8_t* labels = nullptr;
+  int nnz = 0;
+};
 
 /// The weak-label matrix W with W[i][j] = λ_j(x_i) ∈ {kAbstain, 0..C-1}
 /// (§2.1). Stored column-major (one column per LF) because frameworks add
 /// one LF per iteration; entries are int8 to keep full-scale matrices small.
+///
+/// Since most entries are abstains, the matrix also maintains a per-row
+/// active count (O(1) AnyActive, O(n) coverage) and a lazily built CSR view
+/// of the non-abstain entries (ActiveRow), which is what the label models
+/// iterate instead of scanning all num_cols() entries per row.
 class LabelMatrix {
  public:
-  explicit LabelMatrix(int num_rows) : num_rows_(num_rows) {}
+  explicit LabelMatrix(int num_rows)
+      : num_rows_(num_rows), active_count_(num_rows, 0) {}
 
   int num_rows() const { return num_rows_; }
   int num_cols() const { return static_cast<int>(columns_.size()); }
@@ -26,9 +42,7 @@ class LabelMatrix {
 
   /// Overwrites one entry (used by the Revising-LF baseline, which corrects
   /// LF outputs on human-labelled instances).
-  void Set(int row, int col, int value) {
-    columns_[col][row] = static_cast<int8_t>(value);
-  }
+  void Set(int row, int col, int value);
 
   const std::vector<int8_t>& column(int col) const { return columns_[col]; }
 
@@ -39,8 +53,27 @@ class LabelMatrix {
   std::vector<int> Row(int row, const std::vector<int>& cols) const;
 
   /// True if any LF fires on the row (optionally restricted to `cols`).
-  bool AnyActive(int row) const;
+  /// The all-columns overload is O(1) via the maintained active counts.
+  bool AnyActive(int row) const { return active_count_[row] > 0; }
   bool AnyActive(int row, const std::vector<int>& cols) const;
+
+  /// Number of non-abstain entries in the row. O(1).
+  int ActiveCount(int row) const { return active_count_[row]; }
+
+  /// Builds (or refreshes) the row-major CSR view of non-abstain entries.
+  /// Must be called on the owning thread before ActiveRow is used — in
+  /// particular before handing rows to a parallel region; the build itself
+  /// is not thread-safe, reads afterwards are.
+  void EnsureRows() const;
+
+  /// Non-abstain entries of one row in ascending column order. Requires a
+  /// prior EnsureRows() since the last mutation.
+  ActiveRowView ActiveRow(int row) const;
+
+  /// The spin encoding of the matrix as CSR: one row per example holding
+  /// ToSpin(label) = +1 / -1 at each active column (abstains dropped).
+  /// Binary tasks only (labels 0/1); multiclass callers stay on At().
+  CsrMatrix SpinCsr() const;
 
   /// New matrix containing only the selected columns, in the given order.
   LabelMatrix SelectColumns(const std::vector<int>& cols) const;
@@ -48,18 +81,28 @@ class LabelMatrix {
   /// New matrix containing only the selected rows, in the given order.
   LabelMatrix SelectRows(const std::vector<int>& rows) const;
 
-  /// Fraction of rows with at least one non-abstain entry.
+  /// Fraction of rows with at least one non-abstain entry. O(num_rows).
   double OverallCoverage() const;
 
  private:
   int num_rows_;
   std::vector<std::vector<int8_t>> columns_;
+  std::vector<int32_t> active_count_;  // non-abstain entries per row
+
+  // Lazily built CSR view over the non-abstain entries (see EnsureRows).
+  mutable bool rows_built_ = false;
+  mutable std::vector<int64_t> row_ptr_;
+  mutable std::vector<int32_t> row_cols_;
+  mutable std::vector<int8_t> row_labels_;
 };
 
 /// Applies one LF to every example of `dataset`.
 std::vector<int8_t> ApplyLf(const LabelFunction& lf, const Dataset& dataset);
 
-/// Applies a set of LFs, producing the label matrix.
+/// Applies a set of LFs, producing the label matrix. When every LF is a
+/// KeywordLf, uses an inverted token -> (column, label) index and a single
+/// pass over each example's term counts instead of per-LF virtual calls —
+/// the output is identical either way.
 LabelMatrix ApplyLfs(const std::vector<LfPtr>& lfs, const Dataset& dataset);
 
 /// Coverage and accuracy statistics of one LF column against ground truth.

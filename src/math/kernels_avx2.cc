@@ -1,0 +1,92 @@
+// AVX2 kernel variants. This translation unit is compiled with
+// -mavx2 -ffp-contract=off (and without -mfma): fused multiply-add would
+// round differently from the scalar mul-then-add sequence and break the
+// bitwise identity between dispatch levels (see kernels.h).
+#include "math/kernels.h"
+
+#if defined(ACTIVEDP_SIMD_ENABLED) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace activedp {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+// One 256-bit accumulator holds exactly the canonical lanes 0..3; the
+// combine below is ((l0 + l1) + (l2 + l3)).
+inline double CombineLanesAvx2(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);   // l0, l1
+  const __m128d hi = _mm256_extractf128_pd(acc, 1); // l2, l3
+  const double s01 = _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+  const double s23 = _mm_cvtsd_f64(_mm_add_sd(hi, _mm_unpackhi_pd(hi, hi)));
+  return s01 + s23;
+}
+
+}  // namespace
+
+double DotDenseAvx2(const double* a, const double* b, int n) {
+  __m256d acc = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double sum = CombineLanesAvx2(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double DotSparseAvx2(const int* indices, const double* values, int nnz,
+                     const double* w) {
+  __m256d acc = _mm256_setzero_pd();
+  int k = 0;
+  for (; k + 4 <= nnz; k += 4) {
+    const __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(indices + k));
+    const __m256d gathered = _mm256_i32gather_pd(w, idx, sizeof(double));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(values + k),
+                                           gathered));
+  }
+  double sum = CombineLanesAvx2(acc);
+  for (; k < nnz; ++k) sum += values[k] * w[indices[k]];
+  return sum;
+}
+
+double SumAvx2(const double* v, int n) {
+  __m256d acc = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(v + i));
+  }
+  double sum = CombineLanesAvx2(acc);
+  for (; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+void AxpyAvx2(double alpha, const double* x, double* y, int n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAvx2(double* v, int n, double factor) {
+  const __m256d vf = _mm256_set1_pd(factor);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_mul_pd(_mm256_loadu_pd(v + i), vf));
+  }
+  for (; i < n; ++i) v[i] *= factor;
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace activedp
+
+#endif  // ACTIVEDP_SIMD_ENABLED && x86

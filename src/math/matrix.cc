@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/kernels.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -74,8 +75,9 @@ Matrix Matrix::Multiply(const Matrix& other) const {
           for (int k = 0; k < cols_; ++k) {
             const double aval = a[k];
             if (aval == 0.0) continue;
-            const double* b = other.RowPtr(k);
-            for (int c = 0; c < other.cols_; ++c) o[c] += aval * b[c];
+            // Element-wise axpy: bitwise identical to the scalar loop at
+            // every SIMD level (kernels.h).
+            kernels::Axpy(aval, other.RowPtr(k), o, other.cols_);
           }
         }
       });
@@ -88,10 +90,7 @@ std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
   ParallelRows(rows_, static_cast<long long>(rows_) * cols_,
                [&](int begin, int end) {
                  for (int r = begin; r < end; ++r) {
-                   const double* a = RowPtr(r);
-                   double sum = 0.0;
-                   for (int c = 0; c < cols_; ++c) sum += a[c] * v[c];
-                   out[r] = sum;
+                   out[r] = kernels::DotDense(RowPtr(r), v.data(), cols_);
                  }
                });
   return out;

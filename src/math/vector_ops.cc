@@ -3,28 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/kernels.h"
 #include "util/check.h"
 
 namespace activedp {
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return kernels::DotDense(a.data(), b.data(), static_cast<int>(a.size()));
 }
 
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
   CHECK_EQ(x.size(), y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::Axpy(alpha, x.data(), y.data(), static_cast<int>(x.size()));
 }
 
 double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
 
 double Sum(const std::vector<double>& v) {
-  double sum = 0.0;
-  for (double x : v) sum += x;
-  return sum;
+  return kernels::Sum(v.data(), static_cast<int>(v.size()));
 }
 
 double Mean(const std::vector<double>& v) {
@@ -49,9 +46,9 @@ double LogSumExp(const std::vector<double>& logits) {
 }
 
 std::vector<double> Softmax(const std::vector<double>& logits) {
-  const double lse = LogSumExp(logits);
-  std::vector<double> out(logits.size());
-  for (size_t i = 0; i < logits.size(); ++i) out[i] = std::exp(logits[i] - lse);
+  CHECK(!logits.empty());
+  std::vector<double> out = logits;
+  kernels::SoftmaxInPlace(out.data(), static_cast<int>(out.size()));
   return out;
 }
 

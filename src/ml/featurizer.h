@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "data/example.h"
+#include "math/csr_matrix.h"
 #include "text/tfidf.h"
 
 namespace activedp {
@@ -68,6 +69,13 @@ std::unique_ptr<Featurizer> MakeFeaturizer(const Dataset& train);
 /// Applies `featurizer` to every example of `dataset`.
 std::vector<SparseVector> FeaturizeAll(const Featurizer& featurizer,
                                        const Dataset& dataset);
+
+/// Applies `featurizer` to every example and packs the rows into one CSR
+/// matrix (n x featurizer.dim()). Row r holds exactly the indices/values of
+/// `featurizer.Transform(dataset.example(r))` in the same order, so any
+/// per-row computation over the CSR form is bitwise identical to the
+/// per-SparseVector path.
+CsrMatrix FeaturizeAllCsr(const Featurizer& featurizer, const Dataset& dataset);
 
 }  // namespace activedp
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "math/kernels.h"
 #include "math/vector_ops.h"
 #include "util/fault.h"
 #include "util/metrics.h"
@@ -199,15 +200,20 @@ Result<LogisticRegression> LogisticRegression::FitHard(
 }
 
 std::vector<double> LogisticRegression::Logits(const SparseVector& x) const {
+  return Logits(x.indices.data(), x.values.data(), x.nnz());
+}
+
+std::vector<double> LogisticRegression::Logits(const int32_t* indices,
+                                               const double* values,
+                                               int nnz) const {
+#ifndef NDEBUG
+  for (int k = 0; k < nnz; ++k) DCHECK(indices[k] < dim_);
+#endif
   std::vector<double> logits(num_classes_);
   for (int c = 0; c < num_classes_; ++c) {
     const double* w = weights_.RowPtr(c);
-    double sum = w[dim_];  // bias
-    for (int k = 0; k < x.nnz(); ++k) {
-      DCHECK(x.indices[k] < dim_);
-      sum += w[x.indices[k]] * x.values[k];
-    }
-    logits[c] = sum;
+    logits[c] = w[dim_] +  // bias
+                kernels::DotSparse(indices, values, nnz, w);
   }
   return logits;
 }
@@ -215,6 +221,12 @@ std::vector<double> LogisticRegression::Logits(const SparseVector& x) const {
 std::vector<double> LogisticRegression::PredictProba(
     const SparseVector& x) const {
   return Softmax(Logits(x));
+}
+
+std::vector<double> LogisticRegression::PredictProba(const int32_t* indices,
+                                                     const double* values,
+                                                     int nnz) const {
+  return Softmax(Logits(indices, values, nnz));
 }
 
 int LogisticRegression::Predict(const SparseVector& x) const {

@@ -58,6 +58,12 @@ class LogisticRegression {
   /// Class-probability vector for one example.
   std::vector<double> PredictProba(const SparseVector& x) const;
 
+  /// Raw-array variant over parallel (indices, values) arrays with ascending
+  /// indices in [0, dim) — a CSR row view. Same kernel calls as the
+  /// SparseVector overload, so the result is bitwise identical.
+  std::vector<double> PredictProba(const int32_t* indices,
+                                   const double* values, int nnz) const;
+
   /// Most likely class.
   int Predict(const SparseVector& x) const;
 
@@ -76,6 +82,10 @@ class LogisticRegression {
 
   /// Raw (unnormalized) class scores w_c . x + b_c.
   std::vector<double> Logits(const SparseVector& x) const;
+
+  /// CSR-row-view variant of Logits.
+  std::vector<double> Logits(const int32_t* indices, const double* values,
+                             int nnz) const;
 
   /// Honest training outcome: iterations = Adam steps taken, final_delta =
   /// largest parameter update in the last epoch. Fit returns

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "math/csr_matrix.h"
 #include "math/vector_ops.h"
 #include "text/tokenizer.h"
 #include "util/thread_pool.h"
@@ -92,6 +93,29 @@ Result<ModelSnapshot> ModelSnapshot::Create(SnapshotState state) {
                                         *state.end_weights));
   }
   snapshot.state_ = std::move(state);
+
+  // Keyword-only LF sets (the common text path) get an inverted token index:
+  // serving then touches only each example's own tokens instead of scanning
+  // every LF per prediction. Each KeywordLf owns one column and fires on
+  // token presence, so the indexed fill is identical to the per-LF loop.
+  if (snapshot.label_model_ != nullptr) {
+    bool all_keyword = true;
+    for (const LfPtr& lf : snapshot.state_.lfs) {
+      if (dynamic_cast<const KeywordLf*>(lf.get()) == nullptr) {
+        all_keyword = false;
+        break;
+      }
+    }
+    if (all_keyword) {
+      auto& index = snapshot.keyword_index_.emplace();
+      index.reserve(snapshot.state_.lfs.size());
+      for (size_t j = 0; j < snapshot.state_.lfs.size(); ++j) {
+        const auto* kw =
+            static_cast<const KeywordLf*>(snapshot.state_.lfs[j].get());
+        index[kw->token_id()].emplace_back(static_cast<int>(j), kw->label());
+      }
+    }
+  }
   return snapshot;
 }
 
@@ -137,30 +161,55 @@ Result<Example> ModelSnapshot::MakeTabularExample(
   return example;
 }
 
-Result<ServedPrediction> ModelSnapshot::Predict(const Example& example) const {
+Status ModelSnapshot::ValidateExample(const Example& example) const {
   if (state_.task == TaskType::kTabularClassification &&
       static_cast<int>(example.features.size()) != state_.feature_dim) {
     return Status::InvalidArgument(
         "example has " + std::to_string(example.features.size()) +
         " features, snapshot expects " + std::to_string(state_.feature_dim));
   }
+  return Status::Ok();
+}
 
+void ModelSnapshot::ApplyLfsRow(const Example& example, std::vector<int>* row,
+                                bool* active) const {
+  if (keyword_index_.has_value()) {
+    for (const auto& [token, count] : example.term_counts) {
+      (void)count;  // presence semantics, matching Example::HasToken
+      const auto it = keyword_index_->find(token);
+      if (it == keyword_index_->end()) continue;
+      for (const auto& [col, label] : it->second) {
+        (*row)[col] = label;
+        if (label != kAbstain) *active = true;
+      }
+    }
+    return;
+  }
+  for (size_t j = 0; j < state_.lfs.size(); ++j) {
+    (*row)[j] = state_.lfs[j]->Apply(example);
+    if ((*row)[j] != kAbstain) *active = true;
+  }
+}
+
+Result<ServedPrediction> ModelSnapshot::PredictRow(const Example& example,
+                                                   const int32_t* indices,
+                                                   const double* values,
+                                                   int nnz) const {
   // One-row version of the offline inference phase: AL probabilities,
   // label-model probabilities + activity over the selected LFs, then
   // ConFusion::Aggregate with the exported τ. Aggregate is row-independent,
   // so this matches the offline batch call bitwise.
   std::vector<std::vector<double>> al_proba(1);
   if (al_model_.has_value()) {
-    al_proba[0] = al_model_->PredictProba(featurizer_->Transform(example));
+    al_proba[0] = al_model_->PredictProba(indices, values, nnz);
   }
   std::vector<std::vector<double>> lm_proba(1);
   std::vector<bool> lm_active(1, false);
   if (label_model_ != nullptr) {
     std::vector<int> row(state_.lfs.size(), kAbstain);
-    for (size_t j = 0; j < state_.lfs.size(); ++j) {
-      row[j] = state_.lfs[j]->Apply(example);
-      if (row[j] != kAbstain) lm_active[0] = true;
-    }
+    bool active = false;
+    ApplyLfsRow(example, &row, &active);
+    lm_active[0] = active;
     ASSIGN_OR_RETURN(lm_proba[0], label_model_->PredictProba(row));
   }
 
@@ -173,6 +222,16 @@ Result<ServedPrediction> ModelSnapshot::Predict(const Example& example) const {
   return prediction;
 }
 
+Result<ServedPrediction> ModelSnapshot::Predict(const Example& example) const {
+  RETURN_IF_ERROR(ValidateExample(example));
+  if (!al_model_.has_value()) {
+    return PredictRow(example, nullptr, nullptr, 0);
+  }
+  const SparseVector features = featurizer_->Transform(example);
+  return PredictRow(example, features.indices.data(), features.values.data(),
+                    features.nnz());
+}
+
 std::vector<Result<ServedPrediction>> ModelSnapshot::PredictBatch(
     const std::vector<Example>& examples) const {
   const int n = static_cast<int>(examples.size());
@@ -180,16 +239,56 @@ std::vector<Result<ServedPrediction>> ModelSnapshot::PredictBatch(
       n, Result<ServedPrediction>(Status::Internal("not computed")));
   if (n == 0) return out;
   const int grain = BoundedGrain(n, 8, 64);
-  // Rows are independent and each slot is written by exactly one chunk, so
-  // results are identical at every thread count; an unlimited budget means
-  // the loop itself can never fail.
-  (void)ParallelForChunks(ComputePool(), n, grain, RunLimits::Unlimited(),
-                          "serve.predict_batch",
-                          [&](int /*chunk*/, int begin, int end) {
-                            for (int i = begin; i < end; ++i) {
-                              out[i] = Predict(examples[i]);
-                            }
-                          });
+
+  // Stage 1: featurize the whole batch into one CSR matrix (skipped when no
+  // AL model consumes features). Transform runs in parallel with row-owned
+  // writes; the serial AppendRow pack keeps the layout thread-count
+  // independent. Rows that fail shape validation stay empty and carry their
+  // Status into stage 2.
+  std::vector<Status> row_status(n, Status::Ok());
+  CsrMatrix features(n, state_.feature_dim);
+  if (al_model_.has_value()) {
+    std::vector<SparseVector> rows(n);
+    (void)ParallelForChunks(ComputePool(), n, grain, RunLimits::Unlimited(),
+                            "serve.featurize",
+                            [&](int /*chunk*/, int begin, int end) {
+                              for (int i = begin; i < end; ++i) {
+                                row_status[i] = ValidateExample(examples[i]);
+                                if (row_status[i].ok()) {
+                                  rows[i] = featurizer_->Transform(examples[i]);
+                                }
+                              }
+                            });
+    int64_t nnz = 0;
+    for (const SparseVector& r : rows) nnz += r.nnz();
+    features.ReserveNnz(nnz);
+    for (const SparseVector& r : rows) {
+      features.AppendRow(r.indices.data(), r.values.data(), r.nnz());
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      row_status[i] = ValidateExample(examples[i]);
+      features.AppendRow(nullptr, nullptr, 0);
+    }
+  }
+
+  // Stage 2: score each row off the packed CSR storage. Each CSR row holds
+  // exactly Transform(example)'s indices/values, so PredictRow sees the same
+  // input as the single-row path — served batch outputs are bitwise equal to
+  // Predict on each element. Each slot is written by exactly one chunk and
+  // the budget is unlimited, so the loop itself can never fail.
+  (void)ParallelForChunks(
+      ComputePool(), n, grain, RunLimits::Unlimited(), "serve.predict_batch",
+      [&](int /*chunk*/, int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          if (!row_status[i].ok()) {
+            out[i] = row_status[i];
+            continue;
+          }
+          out[i] = PredictRow(examples[i], features.RowIndices(i),
+                              features.RowValues(i), features.RowNnz(i));
+        }
+      });
   return out;
 }
 

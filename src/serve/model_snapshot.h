@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/confusion.h"
@@ -73,10 +75,12 @@ struct SnapshotState {
 /// const and thread-safe, so a snapshot can serve concurrent batches behind
 /// a std::shared_ptr (serve/prediction_service.h hot-swaps them RCU-style).
 ///
-/// Determinism: Predict/PredictBatch featurize and score one row at a time
-/// and aggregate with the offline ConFusion::Aggregate, which is
-/// row-independent — served outputs are bitwise identical to the offline
-/// pipeline's for the same instance, at every batch size and thread count.
+/// Determinism: PredictBatch featurizes the whole batch into one CSR matrix
+/// and scores each row off the packed storage; Predict runs the same per-row
+/// scoring on a single transformed row. Both aggregate with the offline
+/// ConFusion::Aggregate, which is row-independent — served outputs are
+/// bitwise identical to the offline pipeline's for the same instance, at
+/// every batch size and thread count.
 class ModelSnapshot {
  public:
   /// Validates `state` (shape consistency, parseable label-model params,
@@ -121,11 +125,36 @@ class ModelSnapshot {
  private:
   ModelSnapshot() = default;
 
+  /// Shape validation shared by Predict and PredictBatch (tabular width
+  /// check); never featurizes.
+  Status ValidateExample(const Example& example) const;
+
+  /// The scoring core behind Predict/PredictBatch: AL probabilities from a
+  /// CSR row view of the features, LF row + label-model probabilities, then
+  /// ConFusion::Aggregate. Both entry points funnel through this with the
+  /// same per-row data, so served outputs are bitwise identical regardless
+  /// of batch size. `indices/values/nnz` are ignored when there is no AL
+  /// model (callers may pass nullptr/0).
+  Result<ServedPrediction> PredictRow(const Example& example,
+                                      const int32_t* indices,
+                                      const double* values, int nnz) const;
+
+  /// Fills `row` with each selected LF's vote on `example` and sets `active`
+  /// if any vote is not kAbstain. Uses the inverted keyword index when every
+  /// LF is a KeywordLf (one pass over the example's own tokens instead of a
+  /// scan over all LFs); output is identical to the per-LF loop.
+  void ApplyLfsRow(const Example& example, std::vector<int>* row,
+                   bool* active) const;
+
   SnapshotState state_;
   std::unique_ptr<Featurizer> featurizer_;
   std::unique_ptr<LabelModel> label_model_;
   std::optional<LogisticRegression> al_model_;
   std::optional<LogisticRegression> end_model_;
+  /// token_id -> [(lf column, label)] over state_.lfs; engaged only when all
+  /// selected LFs are keyword LFs (built once in Create).
+  std::optional<std::unordered_map<int, std::vector<std::pair<int, int>>>>
+      keyword_index_;
 };
 
 }  // namespace activedp

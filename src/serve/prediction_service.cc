@@ -49,10 +49,18 @@ struct ServeMetrics {
           registry.counter("serve.batches"),
           registry.counter("serve.swaps"),
           registry.counter("serve.feedback"),
+          // Bounds track the configured max batch (32 by default): fine
+          // steps through the realistic 1..32 range, then two overflow
+          // buckets so a raised max_batch_size still resolves.
           registry.histogram("serve.batch_size",
-                             {1, 2, 4, 8, 16, 32, 64, 128}),
-          registry.histogram("serve.batch_latency_ms",
-                             {0.1, 0.5, 1, 2, 5, 10, 25, 50, 100}),
+                             {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}),
+          // Real in-process batches complete in single-digit microseconds,
+          // so the histogram needs sub-0.1ms buckets — with a 0.1ms first
+          // bound every observation landed in one bucket and the latency
+          // distribution was invisible.
+          registry.histogram(
+              "serve.batch_latency_ms",
+              {0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1, 2, 5, 10, 25, 50, 100}),
       };
     }();
     return *metrics;

@@ -1,5 +1,6 @@
 #include "text/tfidf.h"
 
+#include <array>
 #include <cmath>
 
 #include "util/check.h"
@@ -59,14 +60,32 @@ TfidfFeaturizer TfidfFeaturizer::FromState(TfidfOptions options,
 }
 
 SparseVector TfidfFeaturizer::Transform(const Example& example) const {
+  // Term counts are almost always tiny integers and std::log dominates the
+  // sublinear-tf cost, so 1 + log(k) is served from a table for small k.
+  // Entries are computed with the same std::log call, so the output is
+  // bitwise identical to the direct computation.
+  static constexpr int kTfTableSize = 64;
+  static const std::array<double, kTfTableSize> kSublinearTf = [] {
+    std::array<double, kTfTableSize> table{};
+    for (int k = 1; k < kTfTableSize; ++k) {
+      table[k] = 1.0 + std::log(static_cast<double>(k));
+    }
+    return table;
+  }();
+
   SparseVector out;
   out.indices.reserve(example.term_counts.size());
   out.values.reserve(example.term_counts.size());
   for (const auto& [term, count] : example.term_counts) {
     if (term < 0 || term >= dim()) continue;  // out-of-vocabulary
     if (count <= 0) continue;  // sublinear 1 + log(0) would give -inf
-    double tf = static_cast<double>(count);
-    if (options_.sublinear_tf) tf = 1.0 + std::log(tf);
+    double tf;
+    if (options_.sublinear_tf) {
+      tf = count < kTfTableSize ? kSublinearTf[count]
+                                : 1.0 + std::log(static_cast<double>(count));
+    } else {
+      tf = static_cast<double>(count);
+    }
     out.PushBack(term, tf * idf_[term]);
   }
   if (options_.l2_normalize) L2Normalize(out);

@@ -19,6 +19,7 @@
 #include "lf/lf_applier.h"
 #include "labelmodel/metal_completion.h"
 #include "labelmodel/metal_model.h"
+#include "math/kernels.h"
 #include "math/matrix.h"
 #include "ml/featurizer.h"
 #include "ml/metrics.h"
@@ -169,6 +170,35 @@ TEST(DeterminismTest, PipelineBitwiseIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial, RunPipelineDigest(seed)) << "seed " << seed;
   }
   Tracer::Global().Disable();
+}
+
+TEST(DeterminismTest, PipelineBitwiseIdenticalAcrossSimdLevels) {
+  // The kernels' canonical 4-lane association (math/kernels.h) makes the
+  // SIMD level as digest-neutral as the thread count: scalar and the best
+  // compiled-in/supported level must agree bitwise, in every combination
+  // with the pool width. In a -DACTIVEDP_SIMD=OFF build the sweep collapses
+  // to scalar and degenerates into a reproducibility check.
+  const kernels::SimdLevel entry_level = kernels::ActiveSimdLevel();
+  std::vector<kernels::SimdLevel> levels = {kernels::SimdLevel::kScalar};
+  if (kernels::MaxSupportedSimdLevel() != kernels::SimdLevel::kScalar) {
+    levels.push_back(kernels::MaxSupportedSimdLevel());
+  }
+  for (const uint64_t seed : {11ULL, 47ULL}) {
+    kernels::SetSimdLevel(kernels::SimdLevel::kScalar);
+    SetComputePoolThreads(1);
+    const uint64_t reference = RunPipelineDigest(seed);
+    for (const kernels::SimdLevel level : levels) {
+      for (const int threads : {1, 4}) {
+        ASSERT_EQ(kernels::SetSimdLevel(level), level);
+        SetComputePoolThreads(threads);
+        EXPECT_EQ(reference, RunPipelineDigest(seed))
+            << "seed " << seed << " simd " << kernels::SimdLevelName(level)
+            << " threads " << threads;
+      }
+    }
+  }
+  SetComputePoolThreads(1);
+  kernels::SetSimdLevel(entry_level);
 }
 
 }  // namespace
