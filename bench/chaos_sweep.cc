@@ -321,6 +321,8 @@ int Main(int argc, char** argv) {
   flags.AddFlag("steps", "24", "protocol iterations per scenario");
   flags.AddFlag("budget-seconds", "120",
                 "per-run deadline (watchdog-enforced)");
+  flags.AddFlag("trace-dir", "bench-archive",
+                "directory the CHAOS_sweep.trace.* exports land in");
   flags.AddFlag("serve-matrix", "1",
                 "also sweep the serving-side fault matrix (serve/"
                 "chaos_scenario.h) into the same accounting report");
@@ -430,7 +432,8 @@ int Main(int argc, char** argv) {
   const RunTrace trace = Tracer::Global().Collect();
   Tracer::Global().Disable();
   std::printf("\n%s", trace.Summary().ToString().c_str());
-  const Status trace_written = WriteRunTrace(trace, ".", "CHAOS_sweep");
+  const Status trace_written =
+      WriteRunTrace(trace, flags.GetString("trace-dir"), "CHAOS_sweep");
   if (!trace_written.ok()) {
     std::fprintf(stderr, "trace export failed: %s\n",
                  trace_written.ToString().c_str());

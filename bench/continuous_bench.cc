@@ -113,6 +113,8 @@ int Main(int argc, char** argv) {
   flags.AddFlag("min-publishes", "3", "published retrains required to pass");
   flags.AddFlag("clients", "2", "live-traffic client threads");
   flags.AddFlag("out", "BENCH_online.json", "JSON report path");
+  flags.AddFlag("trace-dir", "bench-archive",
+                "directory the BENCH_online.trace.* exports land in");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -370,7 +372,8 @@ int Main(int argc, char** argv) {
 
   const RunTrace trace = Tracer::Global().Collect();
   Tracer::Global().Disable();
-  const Status trace_written = WriteRunTrace(trace, ".", "BENCH_online");
+  const Status trace_written =
+      WriteRunTrace(trace, flags.GetString("trace-dir"), "BENCH_online");
   if (!trace_written.ok()) {
     std::fprintf(stderr, "trace export failed: %s\n",
                  trace_written.ToString().c_str());

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "online/learn_scenario.h"
 #include "util/atomic_file.h"
 #include "util/fault.h"
@@ -39,17 +40,66 @@ struct ScenarioRow {
   std::string site;
   std::string kind;
   uint64_t seed;
+  int incidents = 0;
   LearnChaosOutcome outcome;
 };
 
+/// Verifies every dump one scenario produced and tallies reasons. Learning
+/// scenarios may legitimately dump both "retrain.quarantine" and
+/// "rollout.rollback" (a failed cycle can do both), so the per-scenario
+/// contract is "every dump is well-formed", with the >= 1 quarantine
+/// assertion made run-wide. Returns gate failures.
+int CheckScenarioIncidents(const std::string& incident_dir, int* dump_count,
+                           int* quarantine_dumps) {
+  int failures = 0;
+  const std::vector<std::string> dumps = ListIncidentDumps(incident_dir);
+  *dump_count = static_cast<int>(dumps.size());
+  for (const std::string& dump : dumps) {
+    const Status verified = VerifyIncidentDump(dump);
+    if (!verified.ok()) {
+      ++failures;
+      std::fprintf(stderr, "FAIL: incident dump %s did not verify: %s\n",
+                   dump.c_str(), verified.ToString().c_str());
+      continue;
+    }
+    const Result<IncidentManifest> manifest = ReadIncidentManifest(dump);
+    if (!manifest.ok()) {
+      ++failures;
+      std::fprintf(stderr, "FAIL: incident manifest unreadable in %s\n",
+                   dump.c_str());
+      continue;
+    }
+    if (manifest->reason == "retrain.quarantine") {
+      // The quarantine instant must be inside the dumped timeline.
+      const Result<std::string> timeline =
+          ReadFileVerifyingChecksum(dump + "/timeline.jsonl");
+      if (!timeline.ok() ||
+          timeline->find("retrain.quarantine") == std::string::npos) {
+        ++failures;
+        std::fprintf(stderr,
+                     "FAIL: quarantine timeline in %s lacks the triggering "
+                     "instant\n",
+                     dump.c_str());
+      } else {
+        ++*quarantine_dumps;
+      }
+    }
+  }
+  return failures;
+}
+
 void WriteReport(const std::string& path, const std::vector<ScenarioRow>& rows,
-                 int failures, int quarantine_instants, double total_seconds) {
+                 int failures, int quarantine_instants, int incident_dumps,
+                 int quarantine_dumps, double total_seconds) {
   std::string out;
   out += "{\n";
   out += "  \"benchmark\": \"learn_chaos\",\n";
   out += "  \"scenarios\": " + std::to_string(rows.size()) + ",\n";
   out += "  \"failures\": " + std::to_string(failures) + ",\n";
   out += "  \"quarantine_instants\": " + std::to_string(quarantine_instants) +
+         ",\n";
+  out += "  \"incident_dumps\": " + std::to_string(incident_dumps) + ",\n";
+  out += "  \"quarantine_dumps\": " + std::to_string(quarantine_dumps) +
          ",\n";
   out += "  \"retrain_cycles\": " +
          std::to_string(
@@ -76,6 +126,7 @@ void WriteReport(const std::string& path, const std::vector<ScenarioRow>& rows,
            ", \"passed\": " + (row.outcome.passed ? "true" : "false") +
            ", \"fires\": " + std::to_string(row.outcome.fires) +
            ", \"evidence\": " + std::to_string(row.outcome.evidence) +
+           ", \"incidents\": " + std::to_string(row.incidents) +
            ", \"recovered_publish\": " +
            (row.outcome.recovered_publish ? "true" : "false") +
            ", \"digest_mismatches\": " +
@@ -100,6 +151,11 @@ int Main(int argc, char** argv) {
                               "base snapshot");
   flags.AddFlag("trace", "48", "request trace length per scenario");
   flags.AddFlag("out", "BENCH_learn_chaos.json", "JSON report path");
+  flags.AddFlag("trace-dir", "bench-archive",
+                "directory the BENCH_learn_chaos.trace.* exports land in");
+  flags.AddFlag("incident-dir", "",
+                "incident dump root (default <trace-dir>/incidents-learn-"
+                "chaos); wiped at startup so counts are per-run");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -112,11 +168,19 @@ int Main(int argc, char** argv) {
           .string();
   std::filesystem::create_directories(tmpdir);
 
+  std::string incident_root = flags.GetString("incident-dir");
+  if (incident_root.empty()) {
+    incident_root = flags.GetString("trace-dir") + "/incidents-learn-chaos";
+  }
+  std::filesystem::remove_all(incident_root);
+
   MetricsRegistry::Global().ResetAll();
   Tracer::Global().Enable();
 
   std::vector<ScenarioRow> rows;
   int failures = 0;
+  int incident_dumps = 0;
+  int quarantine_dumps = 0;
   Timer total;
   const int num_seeds = flags.GetInt("seeds");
   for (int s = 0; s < num_seeds; ++s) {
@@ -136,12 +200,21 @@ int Main(int argc, char** argv) {
         row.site = info.site;
         row.kind = std::string(FaultKindToString(kind));
         row.seed = seed;
+        const std::string cell_dir = incident_root + "/" + row.site + "-" +
+                                     row.kind + "-seed" + std::to_string(s);
+        FlightRecorderOptions recorder_options;
+        recorder_options.incident_dir = cell_dir;
+        FlightRecorder::Global().Enable(recorder_options);
         row.outcome = RunLearnChaosScenario(*fixture, info.site, kind, seed);
-        std::printf("%-6s %-18s %-14s fires=%-4d evidence=%-3d "
+        FlightRecorder::Global().Disable();
+        failures += CheckScenarioIncidents(cell_dir, &row.incidents,
+                                           &quarantine_dumps);
+        incident_dumps += row.incidents;
+        std::printf("%-6s %-18s %-14s fires=%-4d evidence=%-3d incidents=%d "
                     "recovered=%d digest_mismatches=%-3d %6.2fs\n",
                     row.outcome.passed ? "ok" : "FAIL", row.site.c_str(),
                     row.kind.c_str(), row.outcome.fires, row.outcome.evidence,
-                    row.outcome.recovered_publish ? 1 : 0,
+                    row.incidents, row.outcome.recovered_publish ? 1 : 0,
                     row.outcome.digest_mismatches,
                     row.outcome.elapsed_seconds);
         if (!row.outcome.passed) {
@@ -172,19 +245,28 @@ int Main(int argc, char** argv) {
         stderr,
         "FAIL: no retrain.quarantine instant in the RunTrace timeline\n");
   }
+  // Incident half of the same contract: at least one quarantine produced a
+  // verified flight-recorder dump whose timeline shows the trigger.
+  if (quarantine_dumps == 0) {
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL: no verified retrain.quarantine incident dump\n");
+  }
 
   std::printf("\n%s", trace.Summary().ToString().c_str());
-  const Status trace_written = WriteRunTrace(trace, ".", "BENCH_learn_chaos");
+  const Status trace_written = WriteRunTrace(
+      trace, flags.GetString("trace-dir"), "BENCH_learn_chaos");
   if (!trace_written.ok()) {
     std::fprintf(stderr, "trace export failed: %s\n",
                  trace_written.ToString().c_str());
   }
   WriteReport(flags.GetString("out"), rows, failures, quarantine_instants,
-              total.ElapsedSeconds());
+              incident_dumps, quarantine_dumps, total.ElapsedSeconds());
 
-  std::printf("\n%zu scenarios, %d failures, %d quarantine instants, %.1fs\n",
-              rows.size(), failures, quarantine_instants,
-              total.ElapsedSeconds());
+  std::printf("\n%zu scenarios, %d failures, %d quarantine instants, "
+              "%d incident dumps (%d quarantine), %.1fs\n",
+              rows.size(), failures, quarantine_instants, incident_dumps,
+              quarantine_dumps, total.ElapsedSeconds());
   return failures == 0 ? 0 : 1;
 }
 

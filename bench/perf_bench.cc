@@ -250,6 +250,8 @@ int Main(int argc, char** argv) {
   flags.AddFlag("repeats", "1", "timing passes per (simd, threads) cell; "
                                 "best-of timing, every pass digest-checked");
   flags.AddFlag("out", "BENCH_pipeline.json", "JSON report path");
+  flags.AddFlag("trace-dir", "bench-archive",
+                "directory the BENCH_pipeline.trace.* exports land in");
   flags.AddFlag("require-speedup", "false",
                 "fail unless the widest run beats serial by --min-speedup "
                 "(leave off on small machines)");
@@ -360,7 +362,8 @@ int Main(int argc, char** argv) {
   const RunTrace trace = Tracer::Global().Collect();
   Tracer::Global().Disable();
   std::printf("%s", trace.Summary().ToString().c_str());
-  const Status trace_written = WriteRunTrace(trace, ".", "BENCH_pipeline");
+  const Status trace_written =
+      WriteRunTrace(trace, flags.GetString("trace-dir"), "BENCH_pipeline");
   if (!trace_written.ok()) {
     std::fprintf(stderr, "trace export failed: %s\n",
                  trace_written.ToString().c_str());

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -34,9 +35,12 @@
 #include "core/activedp.h"
 #include "core/framework.h"
 #include "data/dataset_zoo.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
 #include "serve/model_snapshot.h"
 #include "serve/prediction_service.h"
 #include "serve/snapshot_export.h"
+#include "util/atomic_file.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -79,8 +83,13 @@ std::string HexDigest(uint64_t digest) {
   return buffer;
 }
 
-/// Latency percentiles over one load phase (nearest-rank on the sorted
-/// sample; all values in milliseconds).
+/// Latency percentiles over one load phase (all values in milliseconds).
+/// p50/p95/p99 come from Histogram::Quantile over the labelled
+/// serve.client_latency_ms{phase=...} series — the same buckets the JSON
+/// and Prometheus exports publish, so the summary and the exported
+/// histogram can never disagree (see HistogramQuantile in util/metrics.h
+/// for the interpolation rule and its bucket-width error bounds). mean and
+/// max are exact over the raw samples.
 struct LatencyStats {
   double p50 = 0.0;
   double p95 = 0.0;
@@ -89,22 +98,32 @@ struct LatencyStats {
   double max = 0.0;
 };
 
-LatencyStats Summarize(std::vector<double> latencies_ms) {
+/// Bucket bounds for the per-request client latency histograms. Finer than
+/// the service's batch-latency buckets because quantiles interpolate within
+/// a bucket: the quantile error is at most the containing bucket's width.
+const std::vector<double>& ClientLatencyBounds() {
+  static const std::vector<double> bounds = {
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 3, 5, 8, 12, 20, 50, 100, 250};
+  return bounds;
+}
+
+Histogram& PhaseLatencyHistogram(const std::string& phase) {
+  return MetricsRegistry::Global().histogram(
+      "serve.client_latency_ms", {{"phase", phase}}, ClientLatencyBounds());
+}
+
+LatencyStats Summarize(const Histogram& histogram,
+                       const std::vector<double>& latencies_ms) {
   LatencyStats stats;
   if (latencies_ms.empty()) return stats;
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  const auto rank = [&](double q) {
-    const size_t n = latencies_ms.size();
-    size_t index = static_cast<size_t>(std::ceil(q * n));
-    if (index > 0) --index;
-    return latencies_ms[std::min(index, n - 1)];
-  };
-  stats.p50 = rank(0.50);
-  stats.p95 = rank(0.95);
-  stats.p99 = rank(0.99);
-  stats.max = latencies_ms.back();
+  stats.p50 = histogram.Quantile(0.50);
+  stats.p95 = histogram.Quantile(0.95);
+  stats.p99 = histogram.Quantile(0.99);
   double sum = 0.0;
-  for (double v : latencies_ms) sum += v;
+  for (double v : latencies_ms) {
+    sum += v;
+    stats.max = std::max(stats.max, v);
+  }
   stats.mean = sum / latencies_ms.size();
   return stats;
 }
@@ -121,9 +140,10 @@ struct LoadResult {
 /// back-to-back (a new request only after the previous response). Measures
 /// the service's sustainable throughput.
 LoadResult RunClosedLoop(PredictionService& service, const Dataset& train,
-                         int requests, int clients) {
+                         int requests, int clients, SloEngine* slo) {
   LoadResult result;
   result.requests = requests;
+  Histogram& histogram = PhaseLatencyHistogram("closed");
   std::vector<std::vector<double>> latencies(clients);
   std::atomic<int> failures{0};
   Timer wall;
@@ -138,8 +158,11 @@ LoadResult RunClosedLoop(PredictionService& service, const Dataset& train,
         Timer timer;
         const Result<ServedPrediction> served =
             service.Predict(train.example(row));
-        latencies[c].push_back(timer.ElapsedMillis());
+        const double elapsed_ms = timer.ElapsedMillis();
+        histogram.Observe(elapsed_ms);
+        latencies[c].push_back(elapsed_ms);
         if (!served.ok()) failures.fetch_add(1);
+        if (slo != nullptr) slo->MaybeTick(0.25);
       }
     });
   }
@@ -153,7 +176,7 @@ LoadResult RunClosedLoop(PredictionService& service, const Dataset& train,
   }
   result.throughput_rps =
       result.seconds > 0.0 ? requests / result.seconds : 0.0;
-  result.latency = Summarize(std::move(all));
+  result.latency = Summarize(histogram, all);
   return result;
 }
 
@@ -162,7 +185,7 @@ LoadResult RunClosedLoop(PredictionService& service, const Dataset& train,
 /// tail) while a collector drains the futures in FIFO order, which is also
 /// their completion order under the single dispatcher.
 LoadResult RunOpenLoop(PredictionService& service, const Dataset& train,
-                       int requests, double rate) {
+                       int requests, double rate, SloEngine* slo) {
   using Clock = std::chrono::steady_clock;
   LoadResult result;
   result.requests = requests;
@@ -177,6 +200,7 @@ LoadResult RunOpenLoop(PredictionService& service, const Dataset& train,
   const auto interval = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(1.0 / rate));
 
+  Histogram& histogram = PhaseLatencyHistogram("open");
   std::thread collector([&] {
     for (int i = 0; i < requests; ++i) {
       while (issued.load(std::memory_order_acquire) <= i) {
@@ -186,6 +210,7 @@ LoadResult RunOpenLoop(PredictionService& service, const Dataset& train,
       latencies[i] = std::chrono::duration<double, std::milli>(Clock::now() -
                                                               sent[i])
                          .count();
+      histogram.Observe(latencies[i]);
       if (!served.ok()) failures.fetch_add(1);
     }
   });
@@ -194,13 +219,14 @@ LoadResult RunOpenLoop(PredictionService& service, const Dataset& train,
     sent[i] = Clock::now();
     futures[i] = service.PredictAsync(train.example(i % train.size()));
     issued.store(i + 1, std::memory_order_release);
+    if (slo != nullptr) slo->MaybeTick(0.25);
   }
   collector.join();
   result.seconds = wall.ElapsedSeconds();
   result.failures = failures.load();
   result.throughput_rps =
       result.seconds > 0.0 ? requests / result.seconds : 0.0;
-  result.latency = Summarize(std::move(latencies));
+  result.latency = Summarize(histogram, latencies);
   return result;
 }
 
@@ -310,7 +336,8 @@ void WriteJson(const std::string& path, const ModelSnapshot& snapshot,
                const Dataset& train, bool deterministic, int configs_checked,
                int hot_swap_requests, int hot_swap_mismatches,
                const LoadResult& closed, int clients, const LoadResult& open,
-               double rate, const ServiceHealth& health) {
+               double rate, const ServiceHealth& health, int incidents,
+               bool slos_met) {
   std::ofstream out(path, std::ios::trunc);
   out << "{\n";
   out << "  \"benchmark\": \"serving\",\n";
@@ -360,7 +387,11 @@ void WriteJson(const std::string& path, const ModelSnapshot& snapshot,
       << ", \"has_snapshot\": " << (health.has_snapshot ? "true" : "false")
       << ", \"queue_depth\": " << health.queue_depth
       << ", \"estimated_queue_delay_ms\": " << health.estimated_queue_delay_ms
-      << ", \"breaker_trips\": " << health.breaker_trips << "}\n";
+      << ", \"breaker_trips\": " << health.breaker_trips << "},\n";
+  // Flight-recorder dumps produced during the load phases (a clean run must
+  // report zero) and the SLO verdict from the exported burn-rate status.
+  out << "  \"incidents\": " << incidents << ",\n";
+  out << "  \"slos_met\": " << (slos_met ? "true" : "false") << "\n";
   out << "}\n";
 }
 
@@ -378,6 +409,12 @@ int Main(int argc, char** argv) {
                                "determinism sweep (default: 1,<hardware>)");
   flags.AddFlag("out", "BENCH_serving.json", "JSON report path");
   flags.AddFlag("seed", "7", "dataset split / pipeline seed");
+  flags.AddFlag("trace-dir", "bench-archive",
+                "directory the SLO status / Prometheus exports land in");
+  flags.AddFlag("incident-dir", "",
+                "flight-recorder dump root (default "
+                "<trace-dir>/incidents-serve-bench); wiped at startup — a "
+                "clean run must end with it empty");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -491,37 +528,94 @@ int Main(int argc, char** argv) {
 
   // -- Load phases (metrics reset so the histogram covers only these) -----
   MetricsRegistry::Global().ResetAll();
+
+  // OpsPlane: flight recorder armed with the burst triggers enabled so a
+  // false fire would be caught (the clean-run gate below demands zero
+  // dumps), and a burn-rate SLO engine sampling the registry during load.
+  const std::string trace_dir = flags.GetString("trace-dir");
+  std::string incident_root = flags.GetString("incident-dir");
+  if (incident_root.empty()) {
+    incident_root = trace_dir + "/incidents-serve-bench";
+  }
+  std::filesystem::remove_all(incident_root);
+  FlightRecorderOptions recorder_options;
+  recorder_options.incident_dir = incident_root;
+  FlightRecorder::Global().Enable(recorder_options);
+
+  SloEngine slo(DefaultServingSlos());
   PredictionServiceOptions serve_options;
   serve_options.max_batch_size = flags.GetInt("batch");
   serve_options.max_batch_delay_ms = flags.GetDouble("delay-ms");
+  serve_options.shed_burst_threshold = 64;
+  serve_options.deadline_storm_threshold = 64;
   PredictionService service(serve_options);
+  service.AttachSloEngine(&slo);
   service.LoadSnapshot(snapshot_a);
 
   const int requests = flags.GetInt("requests");
   const int clients = flags.GetInt("clients");
   const double rate = flags.GetDouble("rate");
-  const LoadResult closed = RunClosedLoop(service, train, requests, clients);
+  slo.Tick();  // baseline sample: burn rates are deltas against this
+  const LoadResult closed =
+      RunClosedLoop(service, train, requests, clients, &slo);
   LOG(Info) << "closed loop: " << closed.throughput_rps << " rps, p50 "
             << closed.latency.p50 << "ms p99 " << closed.latency.p99 << "ms";
-  const LoadResult open = RunOpenLoop(service, train, requests, rate);
+  const LoadResult open = RunOpenLoop(service, train, requests, rate, &slo);
   LOG(Info) << "open loop: " << open.throughput_rps << " rps (target " << rate
             << "), p50 " << open.latency.p50 << "ms p99 " << open.latency.p99
             << "ms";
+  slo.Tick();  // final sample so the evaluation covers the whole load
   const ServiceHealth health = service.Health();
   if (!health.ok || !health.has_snapshot) {
     std::fprintf(stderr, "FAIL: service unhealthy after the load phases\n");
     deterministic = false;
   }
   service.Shutdown();
+  service.AttachSloEngine(nullptr);
+  FlightRecorder::Global().Disable();
   SetComputePoolThreads(1);
+
+  // Clean-run incident gate: no breaker trip, shed burst, or deadline storm
+  // should have fired, so the dump root must be empty.
+  const std::vector<std::string> dumps = ListIncidentDumps(incident_root);
+  if (!dumps.empty()) {
+    std::fprintf(stderr,
+                 "FAIL: clean run produced %zu incident dump(s), first: %s\n",
+                 dumps.size(), dumps.front().c_str());
+    deterministic = false;
+  }
+
+  // SLO status + Prometheus exposition, archived next to the trace exports.
+  const SloStatus slo_status = slo.Evaluate();
+  const bool slos_met = slo_status.all_met();
+  std::filesystem::create_directories(trace_dir);
+  const Status slo_written =
+      slo.ExportStatus(trace_dir + "/BENCH_serving.slo.json");
+  const Status prom_written =
+      AtomicWriteFile(trace_dir + "/BENCH_serving.prom",
+                      MetricsRegistry::Global().ToPrometheusText());
+  if (!slo_written.ok() || !prom_written.ok()) {
+    std::fprintf(stderr, "FAIL: status export failed\n");
+    deterministic = false;
+  }
+  if (!slos_met) {
+    for (const SloResult& result : slo_status.results) {
+      if (result.met) continue;
+      std::fprintf(stderr, "FAIL: SLO breached on a clean run: %s (%s)\n",
+                   result.name.c_str(), result.detail.c_str());
+    }
+    deterministic = false;
+  }
 
   WriteJson(flags.GetString("out"), *snapshot_a, train, deterministic,
             configs_checked, hot_swap_requests, hot_swap_mismatches, closed,
-            clients, open, rate, health);
+            clients, open, rate, health, static_cast<int>(dumps.size()),
+            slos_met);
   std::printf("wrote %s (closed %0.0f rps, open %0.0f rps, deterministic: "
-              "%s)\n",
+              "%s, incidents: %zu, slos_met: %s)\n",
               flags.GetString("out").c_str(), closed.throughput_rps,
-              open.throughput_rps, deterministic ? "yes" : "no");
+              open.throughput_rps, deterministic ? "yes" : "no", dumps.size(),
+              slos_met ? "yes" : "no");
   if (closed.failures + open.failures > 0) {
     std::fprintf(stderr, "FAIL: %d load-phase requests failed\n",
                  closed.failures + open.failures);

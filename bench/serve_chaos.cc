@@ -20,11 +20,15 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "serve/chaos_scenario.h"
+#include "serve/prediction_service.h"
 #include "util/atomic_file.h"
+#include "util/deadline.h"
 #include "util/fault.h"
 #include "util/flags.h"
 #include "util/metrics.h"
@@ -38,11 +42,191 @@ struct ScenarioRow {
   std::string site;
   std::string kind;
   uint64_t seed;
+  int incidents = 0;
   ServeChaosOutcome outcome;
 };
 
+/// The incident reason one matrix cell must dump exactly once, or "" when
+/// the cell must not dump at all. Only the two auto-recovery drills leave
+/// an incident behind; every other cell is a clean rejection.
+std::string ExpectedIncidentReason(const std::string& site,
+                                   const std::string& kind) {
+  if (site == "serve.dispatch" && kind == "error") return "serve.breaker_trip";
+  if (site == "rollout.canary" && kind == "error") return "rollout.rollback";
+  return "";
+}
+
+/// The instant name the dumped timeline must contain for each reason — the
+/// acceptance criterion that the trigger is *visible*, not just implied.
+std::string TimelineMarker(const std::string& reason) {
+  if (reason == "serve.breaker_trip") return "circuit_breaker";
+  if (reason == "rollout.rollback") return "rollback";
+  if (reason == "serve.shed_burst") return "shed_burst";
+  if (reason == "serve.deadline_storm") return "deadline_storm";
+  return reason;
+}
+
+/// Verifies one scenario's incident output: exactly one well-formed,
+/// checksummed dump with `expected_reason` (whose timeline contains the
+/// triggering instant), or exactly zero dumps when no reason is expected.
+/// Returns the number of gate failures.
+int CheckScenarioIncidents(const std::string& incident_dir,
+                           const std::string& expected_reason,
+                           int* dump_count) {
+  const std::vector<std::string> dumps = ListIncidentDumps(incident_dir);
+  *dump_count = static_cast<int>(dumps.size());
+  if (expected_reason.empty()) {
+    if (dumps.empty()) return 0;
+    std::fprintf(stderr, "FAIL: %zu unexpected incident dump(s) under %s\n",
+                 dumps.size(), incident_dir.c_str());
+    return 1;
+  }
+  if (dumps.size() != 1) {
+    std::fprintf(stderr,
+                 "FAIL: expected exactly 1 \"%s\" dump under %s, found %zu\n",
+                 expected_reason.c_str(), incident_dir.c_str(), dumps.size());
+    return 1;
+  }
+  int failures = 0;
+  const std::string& dump = dumps[0];
+  const Status verified = VerifyIncidentDump(dump);
+  if (!verified.ok()) {
+    ++failures;
+    std::fprintf(stderr, "FAIL: incident dump %s did not verify: %s\n",
+                 dump.c_str(), verified.ToString().c_str());
+  }
+  const Result<IncidentManifest> manifest = ReadIncidentManifest(dump);
+  if (!manifest.ok() || manifest->reason != expected_reason) {
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL: incident dump %s has reason \"%s\", want \"%s\"\n",
+                 dump.c_str(),
+                 manifest.ok() ? manifest->reason.c_str() : "<unreadable>",
+                 expected_reason.c_str());
+  }
+  const Result<std::string> timeline =
+      ReadFileVerifyingChecksum(dump + "/timeline.jsonl");
+  const std::string marker = TimelineMarker(expected_reason);
+  if (!timeline.ok() || timeline->find(marker) == std::string::npos) {
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL: timeline in %s lacks the triggering instant \"%s\"\n",
+                 dump.c_str(), marker.c_str());
+  }
+  return failures;
+}
+
+/// Dedicated shed-burst drill: a latency spike on every batch warms the
+/// EWMA to ~5ms/request, so a flood of async requests is shed at admission;
+/// `shed_burst_threshold` sheds inside the window must fire exactly one
+/// "serve.shed_burst" incident.
+ScenarioRow RunShedBurstDrill(const ServeChaosFixture& fixture,
+                              const std::string& incident_dir, uint64_t seed,
+                              int* gate_failures) {
+  ScenarioRow row;
+  row.site = "drill.shed_burst";
+  row.kind = "overload";
+  row.seed = seed;
+  Timer timer;
+
+  FlightRecorderOptions recorder_options;
+  recorder_options.incident_dir = incident_dir;
+  FlightRecorder::Global().Enable(recorder_options);
+  {
+    PredictionServiceOptions options;
+    options.max_batch_size = 4;
+    options.max_batch_delay_ms = 0.2;
+    options.max_queue_delay_ms = 0.05;
+    options.shed_burst_threshold = 8;
+    options.incident_window_seconds = 30.0;
+    PredictionService service(options);
+    service.LoadSnapshot(fixture.snapshot_a);
+
+    FaultSpec spec;
+    spec.kind = FaultKind::kLatencySpike;
+    spec.seed = seed;
+    spec.max_fires = -1;
+    FaultScope scope("serve.predict", spec);
+    // Two slow warm-up batches push the EWMA far above the 0.05ms queue
+    // budget; from then on every async request is shed at admission.
+    for (int i = 0; i < 2; ++i) {
+      (void)service.Predict(fixture.trace[i % fixture.trace.size()]);
+    }
+    const int64_t before = FlightRecorder::Global().incidents_dumped();
+    std::vector<std::future<Result<ServedPrediction>>> futures;
+    int shed = 0;
+    for (int i = 0; i < 512; ++i) {
+      futures.push_back(
+          service.PredictAsync(fixture.trace[i % fixture.trace.size()]));
+      if (FlightRecorder::Global().incidents_dumped() > before && i >= 16) {
+        break;
+      }
+    }
+    for (auto& future : futures) {
+      const Result<ServedPrediction> result = future.get();
+      if (!result.ok() && result.status().code() == StatusCode::kUnavailable) {
+        ++shed;
+      }
+    }
+    row.outcome.fires = shed;
+    if (shed < 8) row.outcome.Fail("overload flood shed too few requests");
+  }
+  FlightRecorder::Global().Disable();
+
+  const int failures = CheckScenarioIncidents(incident_dir, "serve.shed_burst",
+                                              &row.incidents);
+  *gate_failures += failures;
+  if (failures == 0 && row.outcome.passed) row.outcome.evidence = 1;
+  row.outcome.elapsed_seconds = timer.ElapsedSeconds();
+  return row;
+}
+
+/// Dedicated deadline-storm drill: requests admitted with already-expired
+/// deadlines; `deadline_storm_threshold` failures inside the window must
+/// fire exactly one "serve.deadline_storm" incident.
+ScenarioRow RunDeadlineStormDrill(const ServeChaosFixture& fixture,
+                                  const std::string& incident_dir,
+                                  uint64_t seed, int* gate_failures) {
+  ScenarioRow row;
+  row.site = "drill.deadline_storm";
+  row.kind = "expired";
+  row.seed = seed;
+  Timer timer;
+
+  FlightRecorderOptions recorder_options;
+  recorder_options.incident_dir = incident_dir;
+  FlightRecorder::Global().Enable(recorder_options);
+  {
+    PredictionServiceOptions options;
+    options.deadline_storm_threshold = 8;
+    options.incident_window_seconds = 30.0;
+    PredictionService service(options);
+    service.LoadSnapshot(fixture.snapshot_a);
+    for (int i = 0; i < 8; ++i) {
+      const Result<ServedPrediction> result = service.Predict(
+          fixture.trace[i % fixture.trace.size()], Deadline::After(0.0));
+      if (!result.ok() &&
+          result.status().code() == StatusCode::kDeadlineExceeded) {
+        ++row.outcome.fires;
+      }
+    }
+    if (row.outcome.fires < 8) {
+      row.outcome.Fail("expired requests were not all deadline-failed");
+    }
+  }
+  FlightRecorder::Global().Disable();
+
+  const int failures = CheckScenarioIncidents(
+      incident_dir, "serve.deadline_storm", &row.incidents);
+  *gate_failures += failures;
+  if (failures == 0 && row.outcome.passed) row.outcome.evidence = 1;
+  row.outcome.elapsed_seconds = timer.ElapsedSeconds();
+  return row;
+}
+
 void WriteReport(const std::string& path, const std::vector<ScenarioRow>& rows,
-                 int failures, int rollback_instants, double total_seconds) {
+                 int failures, int rollback_instants, int incident_dumps,
+                 double total_seconds) {
   std::string out;
   out += "{\n";
   out += "  \"benchmark\": \"serve_chaos\",\n";
@@ -50,6 +234,7 @@ void WriteReport(const std::string& path, const std::vector<ScenarioRow>& rows,
   out += "  \"failures\": " + std::to_string(failures) + ",\n";
   out += "  \"rollback_instants\": " + std::to_string(rollback_instants) +
          ",\n";
+  out += "  \"incident_dumps\": " + std::to_string(incident_dumps) + ",\n";
   out += "  \"breaker_trips\": " +
          std::to_string(
              MetricsRegistry::Global().counter_value("serve.breaker_trips")) +
@@ -71,6 +256,7 @@ void WriteReport(const std::string& path, const std::vector<ScenarioRow>& rows,
            ", \"passed\": " + (row.outcome.passed ? "true" : "false") +
            ", \"fires\": " + std::to_string(row.outcome.fires) +
            ", \"evidence\": " + std::to_string(row.outcome.evidence) +
+           ", \"incidents\": " + std::to_string(row.incidents) +
            ", \"digest_mismatches\": " +
            std::to_string(row.outcome.digest_mismatches) + "}";
     out += i + 1 < rows.size() ? ",\n" : "\n";
@@ -93,6 +279,11 @@ int Main(int argc, char** argv) {
                                "half as many more before B)");
   flags.AddFlag("trace", "48", "request trace length per scenario");
   flags.AddFlag("out", "BENCH_serve_chaos.json", "JSON report path");
+  flags.AddFlag("trace-dir", "bench-archive",
+                "directory the BENCH_serve_chaos.trace.* exports land in");
+  flags.AddFlag("incident-dir", "",
+                "incident dump root (default <trace-dir>/incidents-serve-"
+                "chaos); wiped at startup so counts are per-run");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -105,11 +296,20 @@ int Main(int argc, char** argv) {
           .string();
   std::filesystem::create_directories(tmpdir);
 
+  std::string incident_root = flags.GetString("incident-dir");
+  if (incident_root.empty()) {
+    incident_root = flags.GetString("trace-dir") + "/incidents-serve-chaos";
+  }
+  std::filesystem::remove_all(incident_root);
+
   MetricsRegistry::Global().ResetAll();
   Tracer::Global().Enable();
 
   std::vector<ScenarioRow> rows;
   int failures = 0;
+  int incident_dumps = 0;
+  int breaker_dumps = 0;
+  int rollback_dumps = 0;
   Timer total;
   const int num_seeds = flags.GetInt("seeds");
   const int steps = flags.GetInt("steps");
@@ -130,12 +330,32 @@ int Main(int argc, char** argv) {
         row.site = info.site;
         row.kind = std::string(FaultKindToString(kind));
         row.seed = seed;
+        // One incident directory per matrix cell: the flight recorder is
+        // armed for every scenario so the "clean cells dump nothing" half
+        // of the contract is exercised too.
+        const std::string cell_dir = incident_root + "/" + row.site + "-" +
+                                     row.kind + "-seed" + std::to_string(s);
+        FlightRecorderOptions recorder_options;
+        recorder_options.incident_dir = cell_dir;
+        FlightRecorder::Global().Enable(recorder_options);
         row.outcome = RunServeChaosScenario(*fixture, info.site, kind, seed);
-        std::printf("%-6s %-20s %-14s fires=%-4d evidence=%-3d "
+        FlightRecorder::Global().Disable();
+        const std::string expected_reason =
+            ExpectedIncidentReason(row.site, row.kind);
+        failures +=
+            CheckScenarioIncidents(cell_dir, expected_reason, &row.incidents);
+        incident_dumps += row.incidents;
+        if (row.incidents == 1 && expected_reason == "serve.breaker_trip") {
+          ++breaker_dumps;
+        }
+        if (row.incidents == 1 && expected_reason == "rollout.rollback") {
+          ++rollback_dumps;
+        }
+        std::printf("%-6s %-20s %-14s fires=%-4d evidence=%-3d incidents=%d "
                     "digest_mismatches=%-3d %6.2fs\n",
                     row.outcome.passed ? "ok" : "FAIL", row.site.c_str(),
                     row.kind.c_str(), row.outcome.fires, row.outcome.evidence,
-                    row.outcome.digest_mismatches,
+                    row.incidents, row.outcome.digest_mismatches,
                     row.outcome.elapsed_seconds);
         if (!row.outcome.passed) {
           ++failures;
@@ -146,6 +366,38 @@ int Main(int argc, char** argv) {
         rows.push_back(std::move(row));
       }
     }
+    if (s == 0) {
+      // The incident-trigger drills the fault matrix cannot reach: shed
+      // bursts and deadline storms (admission-path triggers).
+      for (const auto drill : {&RunShedBurstDrill, &RunDeadlineStormDrill}) {
+        ScenarioRow row = (*drill)(
+            *fixture, incident_root + "/" + std::to_string(rows.size()) +
+                          "-drill",
+            seed, &failures);
+        incident_dumps += row.incidents;
+        std::printf("%-6s %-20s %-14s fires=%-4d evidence=%-3d incidents=%d "
+                    "digest_mismatches=%-3d %6.2fs\n",
+                    row.outcome.passed ? "ok" : "FAIL", row.site.c_str(),
+                    row.kind.c_str(), row.outcome.fires, row.outcome.evidence,
+                    row.incidents, row.outcome.digest_mismatches,
+                    row.outcome.elapsed_seconds);
+        if (!row.outcome.passed) {
+          ++failures;
+          std::fprintf(stderr, "  drill: %s\n", row.outcome.failure.c_str());
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  // Run-level incident gate: the auto-recovery cells must actually have
+  // dumped (one per cell — the per-cell checks above enforce exactness).
+  if (breaker_dumps == 0) {
+    ++failures;
+    std::fprintf(stderr, "FAIL: no serve.breaker_trip incident dump\n");
+  }
+  if (rollback_dumps == 0) {
+    ++failures;
+    std::fprintf(stderr, "FAIL: no rollout.rollback incident dump\n");
   }
 
   const RunTrace trace = Tracer::Global().Collect();
@@ -168,16 +420,18 @@ int Main(int argc, char** argv) {
   }
 
   std::printf("\n%s", trace.Summary().ToString().c_str());
-  const Status trace_written = WriteRunTrace(trace, ".", "BENCH_serve_chaos");
+  const Status trace_written = WriteRunTrace(
+      trace, flags.GetString("trace-dir"), "BENCH_serve_chaos");
   if (!trace_written.ok()) {
     std::fprintf(stderr, "trace export failed: %s\n",
                  trace_written.ToString().c_str());
   }
   WriteReport(flags.GetString("out"), rows, failures, rollback_instants,
-              total.ElapsedSeconds());
+              incident_dumps, total.ElapsedSeconds());
 
-  std::printf("\n%zu scenarios, %d failures, %d rollback instants, %.1fs\n",
-              rows.size(), failures, rollback_instants,
+  std::printf("\n%zu scenarios, %d failures, %d rollback instants, "
+              "%d incident dumps, %.1fs\n",
+              rows.size(), failures, rollback_instants, incident_dumps,
               total.ElapsedSeconds());
   return failures == 0 ? 0 : 1;
 }

@@ -40,13 +40,20 @@
 #      holdout accuracy, zero failed client requests and zero served-digest
 #      divergence; BENCH_learn_chaos.json and BENCH_online.json are
 #      archived to bench-archive/)
+#  11. the OpsPlane gate (ctest -L obs: flight-recorder ring/dump/verify and
+#      SLO burn-rate engine tests; then the serve/learn chaos matrices,
+#      whose per-scenario incident assertions require exactly one verified,
+#      checksummed dump per breaker-trip/rollback/quarantine trigger and
+#      zero dumps everywhere else; then a clean serve_bench run that must
+#      produce zero dumps with every SLO met — its SLO status JSON and
+#      Prometheus exposition are archived to bench-archive/)
 #
 # Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-simd]
 #                          [--skip-perf] [--skip-chaos] [--skip-trace]
 #                          [--skip-serve] [--skip-serve-chaos] [--skip-learn]
-#                          [--only <gate>]
+#                          [--skip-obs] [--only <gate>]
 # --only runs a single gate (tier1, trace, asan, tsan, simd, perf, serve,
-# chaos, serve-chaos, learn) after the shared tier-1 build, skipping
+# chaos, serve-chaos, learn, obs) after the shared tier-1 build, skipping
 # everything else. Runs from any directory; build trees live next to the
 # sources as build/, build-asan/, build-tsan/ and build-nosimd/.
 set -euo pipefail
@@ -62,6 +69,7 @@ SKIP_TRACE=0
 SKIP_SERVE=0
 SKIP_SERVE_CHAOS=0
 SKIP_LEARN=0
+SKIP_OBS=0
 ONLY=""
 EXPECT_ONLY=0
 for arg in "$@"; do
@@ -80,6 +88,7 @@ for arg in "$@"; do
     --skip-serve) SKIP_SERVE=1 ;;
     --skip-serve-chaos) SKIP_SERVE_CHAOS=1 ;;
     --skip-learn) SKIP_LEARN=1 ;;
+    --skip-obs) SKIP_OBS=1 ;;
     --only) EXPECT_ONLY=1 ;;
     --only=*) ONLY="${arg#--only=}" ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
@@ -89,7 +98,7 @@ if [[ "$EXPECT_ONLY" -eq 1 ]]; then
   echo "--only requires a gate name" >&2; exit 2
 fi
 case "$ONLY" in
-  ""|tier1|trace|asan|tsan|simd|perf|serve|chaos|serve-chaos|learn) ;;
+  ""|tier1|trace|asan|tsan|simd|perf|serve|chaos|serve-chaos|learn|obs) ;;
   *) echo "unknown gate for --only: $ONLY" >&2; exit 2 ;;
 esac
 
@@ -144,9 +153,9 @@ if gate_enabled tsan "$SKIP_TSAN"; then
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test determinism_test trace_test util_metrics_test \
              logging_test retry_test serve_test snapshot_test registry_test \
-             rollout_test event_log_test retrainer_test
+             rollout_test event_log_test retrainer_test obs_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test|registry_test|rollout_test|event_log_test|retrainer_test"
+    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test|registry_test|rollout_test|event_log_test|retrainer_test|obs_test"
 fi
 
 if gate_enabled simd "$SKIP_SIMD"; then
@@ -171,8 +180,10 @@ if gate_enabled perf "$SKIP_PERF"; then
     PREV="$(ls -1t bench-archive/BENCH_pipeline-????????-??????.json 2>/dev/null | head -1 || true)"
     STAMP="$(date +%Y%m%d-%H%M%S)"
     cp "$BENCH_JSON" "bench-archive/BENCH_pipeline-$STAMP.json"
-    if [[ -f build/bench/BENCH_pipeline.trace.summary.json ]]; then
-      cp build/bench/BENCH_pipeline.trace.summary.json \
+    # Benches route their trace exports to <cwd>/bench-archive (--trace-dir),
+    # which under ctest is build/bench/bench-archive/.
+    if [[ -f build/bench/bench-archive/BENCH_pipeline.trace.summary.json ]]; then
+      cp build/bench/bench-archive/BENCH_pipeline.trace.summary.json \
          "bench-archive/BENCH_pipeline-$STAMP.trace.summary.json"
     fi
     echo "archived bench-archive/BENCH_pipeline-$STAMP.json"
@@ -277,6 +288,48 @@ if gate_enabled learn "$SKIP_LEARN"; then
     build/bench/BENCH_learn_chaos.json | sed 's/^/  /' || true
   grep -oE '"published": [0-9]+|"base_accuracy": [0-9.]+|"final_accuracy": [0-9.]+|"client_failures": [0-9]+' \
     build/bench/BENCH_online.json | sed 's/^/  /' || true
+fi
+
+if gate_enabled obs "$SKIP_OBS"; then
+  echo "== OpsPlane gate (incident dumps + SLO status) =="
+  ctest --test-dir build -L obs --output-on-failure -j "$JOBS"
+
+  # Chaos halves: each binary asserts its own incident contract per scenario
+  # (exactly one verified dump per breaker-trip / rollback / quarantine
+  # trigger, zero everywhere else) and exits nonzero on any violation.
+  (cd build/bench && ./serve_chaos --seeds=1 --steps=12 --trace=48 \
+    --out=BENCH_serve_chaos_obs.json)
+  (cd build/bench && ./learn_chaos --seeds=1 --steps=6 --trace=48 \
+    --out=BENCH_learn_chaos_obs.json)
+
+  # Clean half: a fault-free serve_bench run must end with an empty incident
+  # root and every SLO met (the bench exits nonzero otherwise); re-assert
+  # both from the report here and archive the SLO status + Prometheus text.
+  (cd build/bench && ./serve_bench --requests=400 --clients=4 --rate=2000 \
+    --steps=10 --out=BENCH_serving_obs.json)
+  OBS_JSON="build/bench/BENCH_serving_obs.json"
+  if ! grep -q '"incidents": 0' "$OBS_JSON"; then
+    echo "FAIL: clean serve_bench run reported incident dumps" >&2
+    exit 1
+  fi
+  if ! grep -q '"slos_met": true' "$OBS_JSON"; then
+    echo "FAIL: clean serve_bench run breached an SLO" >&2
+    exit 1
+  fi
+  mkdir -p bench-archive
+  STAMP="$(date +%Y%m%d-%H%M%S)"
+  for artifact in BENCH_serving.slo.json BENCH_serving.prom; do
+    if [[ -f "build/bench/bench-archive/$artifact" ]]; then
+      cp "build/bench/bench-archive/$artifact" \
+         "bench-archive/${artifact%%.*}-$STAMP.${artifact#*.}"
+      echo "archived bench-archive/${artifact%%.*}-$STAMP.${artifact#*.}"
+    fi
+  done
+  grep -oE '"incident_dumps": [0-9]+' \
+    build/bench/BENCH_serve_chaos_obs.json \
+    build/bench/BENCH_learn_chaos_obs.json | sed 's/^/  /' || true
+  grep -oE '"all_met": (true|false)' \
+    build/bench/bench-archive/BENCH_serving.slo.json | sed 's/^/  /' || true
 fi
 
 echo "verify: all gates passed"

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "serve/snapshot_io.h"
 #include "util/fault.h"
 #include "util/metrics.h"
@@ -62,6 +63,7 @@ Result<double> Retrainer::HoldoutAccuracy(const ModelSnapshot& snapshot,
 
 void Retrainer::Quarantine(const std::vector<std::string>& segments,
                            const std::string& reason, RetrainReport* report) {
+  bool any_new = false;
   for (const std::string& segment : segments) {
     if (!quarantined_paths_.insert(segment).second) continue;
     quarantine_.push_back({segment, reason});
@@ -69,6 +71,13 @@ void Retrainer::Quarantine(const std::vector<std::string>& segments,
     ++report->segments_quarantined;
     TraceInstant("fault", "retrain.quarantine", segment + ": " + reason);
     MetricsRegistry::Global().counter("retrain.quarantined_segments").Increment();
+    any_new = true;
+  }
+  // One incident per quarantine event, after every segment's instant is in
+  // the ring (so the dumped timeline shows them all). Quarantine is the
+  // single funnel — failed publishes land here too.
+  if (any_new) {
+    (void)FlightRecorder::Global().TriggerIncident("retrain.quarantine");
   }
 }
 

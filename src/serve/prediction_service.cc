@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
 #include "online/event_log.h"
 #include "util/fault.h"
 #include "util/metrics.h"
@@ -67,6 +69,18 @@ struct ServeMetrics {
   }
 };
 
+/// Fires one flight-recorder incident from its destructor — declared
+/// *before* a lock scope so the dump's file IO always runs after the lock
+/// is released, even on the early-return admission paths.
+struct DeferredIncident {
+  const char* reason = nullptr;
+  ~DeferredIncident() {
+    if (reason != nullptr) {
+      (void)FlightRecorder::Global().TriggerIncident(reason);
+    }
+  }
+};
+
 std::future<Result<ServedPrediction>> ReadyFuture(Status status) {
   std::promise<Result<ServedPrediction>> promise;
   promise.set_value(Result<ServedPrediction>(std::move(status)));
@@ -113,10 +127,28 @@ double PredictionService::EstimatedQueueDelayMsLocked() const {
   return (static_cast<double>(queue_.size()) + 1.0) * ewma_request_ms_;
 }
 
+bool PredictionService::NoteWindowEventLocked(int64_t* window_start_us,
+                                              int* count, int threshold) {
+  if (threshold <= 0) return false;
+  const int64_t now = ObsNowMicros();
+  const int64_t window_us =
+      static_cast<int64_t>(options_.incident_window_seconds * 1e6);
+  if (now - *window_start_us > window_us) {
+    *window_start_us = now;
+    *count = 0;
+  }
+  if (++*count < threshold) return false;
+  *count = 0;
+  return true;
+}
+
 std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
     Example example, Deadline deadline) {
   ServeMetrics& metrics = ServeMetrics::Get();
   metrics.requests.Increment();
+  // Declared before the lock scope: its destructor (which does incident
+  // file IO) runs after the lock_guard's on every return path below.
+  DeferredIncident incident;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) {
@@ -130,6 +162,14 @@ std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
     }
     if (deadline.expired()) {
       metrics.expired.Increment();
+      if (NoteWindowEventLocked(&deadline_window_start_us_,
+                                &deadline_window_count_,
+                                options_.deadline_storm_threshold)) {
+        TraceInstant("serve", "deadline_storm",
+                     std::to_string(options_.deadline_storm_threshold) +
+                         " deadline failures within the incident window");
+        incident.reason = "serve.deadline_storm";
+      }
       return ReadyFuture(
           Status::DeadlineExceeded("request deadline already expired"));
     }
@@ -140,6 +180,14 @@ std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
     if (!deadline.is_infinite() &&
         estimate_ms > deadline.remaining_seconds() * 1000.0) {
       metrics.expired.Increment();
+      if (NoteWindowEventLocked(&deadline_window_start_us_,
+                                &deadline_window_count_,
+                                options_.deadline_storm_threshold)) {
+        TraceInstant("serve", "deadline_storm",
+                     std::to_string(options_.deadline_storm_threshold) +
+                         " deadline failures within the incident window");
+        incident.reason = "serve.deadline_storm";
+      }
       return ReadyFuture(Status::DeadlineExceeded(
           "request would expire while queued (depth=" +
           std::to_string(queue_.size()) + ", estimated " +
@@ -152,6 +200,13 @@ std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
         estimate_ms > options_.max_queue_delay_ms) {
       metrics.rejected.Increment();
       metrics.shed.Increment();
+      if (NoteWindowEventLocked(&shed_window_start_us_, &shed_window_count_,
+                                options_.shed_burst_threshold)) {
+        TraceInstant("serve", "shed_burst",
+                     std::to_string(options_.shed_burst_threshold) +
+                         " requests shed within the incident window");
+        incident.reason = "serve.shed_burst";
+      }
       return ReadyFuture(Status::Unavailable(
           "prediction service overloaded (depth=" +
           std::to_string(queue_.size()) + ", estimated delay " +
@@ -184,6 +239,11 @@ Result<ServedPrediction> PredictionService::Predict(Example example,
 void PredictionService::AttachEventLog(EventLog* log) {
   std::lock_guard<std::mutex> lock(mutex_);
   event_log_ = log;
+}
+
+void PredictionService::AttachSloEngine(SloEngine* engine) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slo_engine_ = engine;
 }
 
 Result<uint64_t> PredictionService::RecordFeedback(const FeedbackEvent& event) {
@@ -245,6 +305,20 @@ Status PredictionService::CheckHealth() const {
         "prediction service overloaded (depth=" +
         std::to_string(health.queue_depth) + ", estimated delay " +
         std::to_string(health.estimated_queue_delay_ms) + "ms)");
+  }
+  SloEngine* engine = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    engine = slo_engine_;
+  }
+  if (engine != nullptr) {
+    const SloStatus slo_status = engine->Evaluate();
+    for (const SloResult& result : slo_status.results) {
+      if (!result.met) {
+        return Status::Unavailable("slo breach: " + result.name + " (" +
+                                   result.detail + ")");
+      }
+    }
   }
   return Status::Ok();
 }
@@ -379,6 +453,7 @@ void PredictionService::RunBatch(
   // the last snapshot that served a healthy batch. State commits *before*
   // the promises resolve, so a blocking caller that observes its result
   // always sees the post-batch EWMA/breaker state on its next admission.
+  bool breaker_tripped = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!live.empty()) {
@@ -405,12 +480,18 @@ void PredictionService::RunBatch(
                        "degraded to last-known-good snapshot after " +
                            std::to_string(options_.breaker_threshold) +
                            " consecutive failed batches");
+          breaker_tripped = true;
         }
       }
     }
   }
   for (size_t k = 0; k < live.size(); ++k) {
     batch[live[k]].promise.set_value(std::move(results[k]));
+  }
+  // Dump after the lock is gone and the promises are resolved — incident
+  // file IO must never stall admission or the waiting callers.
+  if (breaker_tripped) {
+    (void)FlightRecorder::Global().TriggerIncident("serve.breaker_trip");
   }
 }
 

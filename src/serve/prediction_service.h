@@ -18,6 +18,7 @@ namespace activedp {
 
 class EventLog;
 struct FeedbackEvent;
+class SloEngine;
 
 struct PredictionServiceOptions {
   /// A batch is dispatched as soon as this many requests are queued...
@@ -37,6 +38,15 @@ struct PredictionServiceOptions {
   /// batches trip it, and the service degrades to the last snapshot that
   /// completed a healthy batch (the last-known-good). <= 0 disables.
   int breaker_threshold = 0;
+  /// Flight-recorder burst triggers (src/obs): when > 0, this many shed
+  /// rejections within `incident_window_seconds` fire one
+  /// "serve.shed_burst" incident dump; likewise deadline failures fire
+  /// "serve.deadline_storm". 0 disables (the default — benches opt in;
+  /// the dumps themselves are also rate-limited by the recorder's
+  /// per-reason cooldown).
+  int shed_burst_threshold = 0;
+  int deadline_storm_threshold = 0;
+  double incident_window_seconds = 1.0;
 };
 
 /// Point-in-time health of a PredictionService (see CheckHealth()).
@@ -129,10 +139,16 @@ class PredictionService {
   /// Requests currently waiting for a batch.
   int queue_depth() const;
 
+  /// Attaches an SLO engine (borrowed; must outlive the service or be
+  /// detached with nullptr first). With one attached, CheckHealth() also
+  /// fails Unavailable while any SLO is breached — load balancers see burn
+  /// before users do.
+  void AttachSloEngine(SloEngine* engine);
+
   /// Fail-fast health probe: Ok when the service would admit a request right
-  /// now; Unavailable (shut down / overloaded) or FailedPrecondition (no
-  /// snapshot) otherwise — the same statuses admission would return, without
-  /// occupying queue capacity to find out.
+  /// now; Unavailable (shut down / overloaded / SLO breach) or
+  /// FailedPrecondition (no snapshot) otherwise — the same statuses
+  /// admission would return, without occupying queue capacity to find out.
   Status CheckHealth() const;
   ServiceHealth Health() const;
 
@@ -155,6 +171,12 @@ class PredictionService {
   /// Estimated time for a request admitted now to reach dispatch, from the
   /// EWMA per-request service time. Caller holds mutex_.
   double EstimatedQueueDelayMsLocked() const;
+  /// Rolling-window burst counter for the incident triggers: counts one
+  /// event, returns true when `threshold` events landed within
+  /// options_.incident_window_seconds (and resets for the next burst).
+  /// Caller holds mutex_.
+  bool NoteWindowEventLocked(int64_t* window_start_us, int* count,
+                             int threshold);
 
   const PredictionServiceOptions options_;
 
@@ -171,7 +193,14 @@ class PredictionService {
   int consecutive_failed_batches_ = 0;
   int64_t breaker_trips_ = 0;
   std::shared_ptr<const ModelSnapshot> last_good_;
-  EventLog* event_log_ = nullptr;  // borrowed; guarded by mutex_
+  EventLog* event_log_ = nullptr;   // borrowed; guarded by mutex_
+  SloEngine* slo_engine_ = nullptr;  // borrowed; guarded by mutex_
+
+  // Incident burst windows (guarded by mutex_; see the *_threshold options).
+  int64_t shed_window_start_us_ = 0;
+  int shed_window_count_ = 0;
+  int64_t deadline_window_start_us_ = 0;
+  int deadline_window_count_ = 0;
 
   std::thread dispatcher_;
 };

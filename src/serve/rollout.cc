@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "serve/snapshot_io.h"
 #include "util/fault.h"
 #include "util/metrics.h"
@@ -281,6 +282,9 @@ Result<RolloutReport> RunStagedRollout(PredictionService& service,
                  "candidate=" + std::to_string(candidate_id) + " " +
                      report.reason);
     MetricsRegistry::Global().counter("serve.rollout.rollbacks").Increment();
+    // The instant above lands in the flight-recorder ring first, so the
+    // dumped timeline always contains the rollback that triggered it.
+    (void)FlightRecorder::Global().TriggerIncident("rollout.rollback");
   }
   return report;
 }

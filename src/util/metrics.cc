@@ -1,12 +1,129 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "util/check.h"
 #include "util/string_util.h"
 
 namespace activedp {
+namespace {
+
+/// Canonical registry key for one series: "name" for the unlabelled series,
+/// "name{k=\"v\",...}" (keys sorted) otherwise. The map key doubles as the
+/// deterministic export key in ToJson.
+std::string SeriesKey(std::string_view name, const MetricLabels& labels) {
+  if (labels.empty()) return std::string(name);
+  std::string key(name);
+  key += '{';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += labels[i].first;
+    key += "=\"";
+    key += labels[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+MetricLabels CanonicalLabels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// Prometheus metric-name sanitization: [a-zA-Z0-9_:], everything else
+/// (dots in our names) becomes '_'.
+std::string PrometheusName(std::string_view name) {
+  std::string out = "activedp_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string PrometheusEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusLabels(const MetricLabels& labels,
+                             const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += PrometheusName(key).substr(9);  // sanitize, drop the prefix
+    out += "=\"";
+    out += PrometheusEscape(value);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+/// Formats a double the way Prometheus text format expects (plain decimal
+/// or scientific, never locale-dependent).
+std::string PrometheusDouble(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<int64_t>& counts, double q) {
+  CHECK(counts.size() == bounds.size() + 1);
+  q = std::min(1.0, std::max(0.0, q));
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total <= 0) return 0.0;
+  // Smallest value v with CDF(v) >= q: walk the cumulative counts to the
+  // bucket containing the target rank, then interpolate linearly inside it.
+  const double target = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const int64_t before = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (b == bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward; report the
+      // last finite bound (documented underestimate).
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double upper = bounds[b];
+    const double lower =
+        b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
+    if (counts[b] <= 0) return upper;
+    const double fraction =
+        (target - static_cast<double>(before)) / static_cast<double>(counts[b]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
@@ -28,6 +145,12 @@ void Histogram::Observe(double v) {
   }
 }
 
+double Histogram::Quantile(double q) const {
+  std::vector<int64_t> counts(static_cast<size_t>(num_buckets()));
+  for (int i = 0; i < num_buckets(); ++i) counts[i] = bucket_count(i);
+  return HistogramQuantile(bounds_, counts, q);
+}
+
 void Histogram::Reset() {
   for (int i = 0; i < num_buckets(); ++i) {
     counts_[i].store(0, std::memory_order_relaxed);
@@ -41,93 +164,237 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+template <typename T, typename MakeFn>
+T& MetricsRegistry::SeriesFor(SeriesMap<T>& series, std::string_view name,
+                              const MetricLabels& labels, MakeFn make) {
+  MetricLabels canonical = CanonicalLabels(labels);
+  std::string key = SeriesKey(name, canonical);
+  auto it = series.find(key);
+  if (it != series.end()) return *it->second.instrument;
+  if (!canonical.empty()) {
+    // Low-cardinality enforcement: a family past its cap folds every new
+    // label set into one {overflow="true"} series instead of growing the
+    // registry without bound (label values must come from closed sets).
+    int& cardinality = family_cardinality_[std::string(name)];
+    if (cardinality >= kMaxLabelSetsPerFamily) {
+      canonical = MetricLabels{{"overflow", "true"}};
+      key = SeriesKey(name, canonical);
+      it = series.find(key);
+      if (it != series.end()) return *it->second.instrument;
+    } else {
+      ++cardinality;
+    }
+  }
+  Series<T> entry;
+  entry.name = std::string(name);
+  entry.labels = std::move(canonical);
+  entry.instrument = make();
+  it = series.emplace(std::move(key), std::move(entry)).first;
+  return *it->second.instrument;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
-             .first;
-  }
-  return *it->second;
+  return counter(name, {});
 }
 
-Gauge& MetricsRegistry::gauge(std::string_view name) {
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  const MetricLabels& labels) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
-  }
-  return *it->second;
+  return SeriesFor(counters_, name, labels,
+                   [] { return std::make_unique<Counter>(); });
 }
 
-Histogram& MetricsRegistry::histogram(
-    std::string_view name, const std::vector<double>& upper_bounds) {
+Gauge& MetricsRegistry::gauge(std::string_view name) { return gauge(name, {}); }
+
+Gauge& MetricsRegistry::gauge(std::string_view name,
+                              const MetricLabels& labels) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_
-             .emplace(std::string(name),
-                      std::make_unique<Histogram>(upper_bounds))
-             .first;
-  }
-  return *it->second;
+  return SeriesFor(gauges_, name, labels,
+                   [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& upper_bounds) {
+  return histogram(name, {}, upper_bounds);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const MetricLabels& labels,
+                                      const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SeriesFor(histograms_, name, labels, [&upper_bounds] {
+    return std::make_unique<Histogram>(upper_bounds);
+  });
 }
 
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [name, c] : counters_) c->Reset();
-  for (auto& [name, g] : gauges_) g->Reset();
-  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [key, c] : counters_) c.instrument->Reset();
+  for (auto& [key, g] : gauges_) g.instrument->Reset();
+  for (auto& [key, h] : histograms_) h.instrument->Reset();
 }
 
-std::string MetricsRegistry::ToJson() const {
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
   std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [key, series] : counters_) {
+    snapshot.counters.push_back(
+        {series.name, series.labels, series.instrument->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [key, series] : gauges_) {
+    snapshot.gauges.push_back(
+        {series.name, series.labels, series.instrument->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [key, series] : histograms_) {
+    const Histogram& h = *series.instrument;
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = series.name;
+    sample.labels = series.labels;
+    sample.bounds = h.bounds();
+    sample.counts.resize(static_cast<size_t>(h.num_buckets()));
+    // Coherent pass: one atomic read per bucket, and the sample's total is
+    // *defined* as the sum of those reads — a concurrent Observe can add a
+    // bucket increment the total then includes, but the total can never
+    // disagree with the buckets the way reading h.count() separately could
+    // (an Observe between the bucket reads and the count read).
+    int64_t total = 0;
+    for (int b = 0; b < h.num_buckets(); ++b) {
+      sample.counts[static_cast<size_t>(b)] = h.bucket_count(b);
+      total += sample.counts[static_cast<size_t>(b)];
+    }
+    sample.count = total;
+    sample.sum = h.sum();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToJson() const {
   std::ostringstream out;
   out << "{\"counters\": {";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const CounterSample& c : counters) {
     if (!first) out << ", ";
     first = false;
-    out << "\"" << JsonEscape(name) << "\": " << c->value();
+    out << "\"" << JsonEscape(SeriesKey(c.name, c.labels))
+        << "\": " << c.value;
   }
   out << "}, \"gauges\": {";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const GaugeSample& g : gauges) {
     if (!first) out << ", ";
     first = false;
-    out << "\"" << JsonEscape(name) << "\": " << g->value();
+    out << "\"" << JsonEscape(SeriesKey(g.name, g.labels))
+        << "\": " << g.value;
   }
   out << "}, \"histograms\": {";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const HistogramSample& h : histograms) {
     if (!first) out << ", ";
     first = false;
-    out << "\"" << JsonEscape(name) << "\": {\"bounds\": [";
-    for (size_t i = 0; i < h->bounds().size(); ++i) {
+    out << "\"" << JsonEscape(SeriesKey(h.name, h.labels))
+        << "\": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
       if (i > 0) out << ", ";
-      out << h->bounds()[i];
+      out << h.bounds[i];
     }
     out << "], \"counts\": [";
-    for (int i = 0; i < h->num_buckets(); ++i) {
+    for (size_t i = 0; i < h.counts.size(); ++i) {
       if (i > 0) out << ", ";
-      out << h->bucket_count(i);
+      out << h.counts[i];
     }
-    out << "], \"count\": " << h->count() << ", \"sum\": " << h->sum() << "}";
+    out << "], \"count\": " << h.count << ", \"sum\": " << h.sum << "}";
   }
   out << "}}";
   return out.str();
 }
 
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  // Series arrive sorted by (name, labels) from the registry map, so each
+  // family's block is contiguous and the exposition is deterministic.
+  std::string open_family;
+  for (const CounterSample& c : counters) {
+    const std::string family = PrometheusName(c.name) + "_total";
+    if (family != open_family) {
+      out << "# TYPE " << family << " counter\n";
+      open_family = family;
+    }
+    out << family << PrometheusLabels(c.labels) << " " << c.value << "\n";
+  }
+  open_family.clear();
+  for (const GaugeSample& g : gauges) {
+    const std::string family = PrometheusName(g.name);
+    if (family != open_family) {
+      out << "# TYPE " << family << " gauge\n";
+      open_family = family;
+    }
+    out << family << PrometheusLabels(g.labels) << " "
+        << PrometheusDouble(g.value) << "\n";
+  }
+  open_family.clear();
+  for (const HistogramSample& h : histograms) {
+    const std::string family = PrometheusName(h.name);
+    if (family != open_family) {
+      out << "# TYPE " << family << " histogram\n";
+      open_family = family;
+    }
+    // Prometheus buckets are cumulative and always end at le="+Inf".
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size()
+              ? "le=\"" + PrometheusDouble(h.bounds[b]) + "\""
+              : std::string("le=\"+Inf\"");
+      out << family << "_bucket" << PrometheusLabels(h.labels, le) << " "
+          << cumulative << "\n";
+    }
+    out << family << "_sum" << PrometheusLabels(h.labels) << " "
+        << PrometheusDouble(h.sum) << "\n";
+    out << family << "_count" << PrometheusLabels(h.labels) << " " << h.count
+        << "\n";
+  }
+  return out.str();
+}
+
+int64_t MetricsSnapshot::counter_value(std::string_view name,
+                                       const MetricLabels& labels) const {
+  const MetricLabels canonical = CanonicalLabels(labels);
+  for (const CounterSample& c : counters) {
+    if (c.name == name && c.labels == canonical) return c.value;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name, const MetricLabels& labels) const {
+  const MetricLabels canonical = CanonicalLabels(labels);
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name && h.labels == canonical) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::ToJson() const { return Snapshot().ToJson(); }
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  return Snapshot().ToPrometheusText();
+}
+
 int64_t MetricsRegistry::counter_value(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second->value();
+  return it == counters_.end() ? 0 : it->second.instrument->value();
 }
 
 double MetricsRegistry::gauge_value(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0.0 : it->second->value();
+  return it == gauges_.end() ? 0.0 : it->second.instrument->value();
 }
 
 }  // namespace activedp

@@ -22,7 +22,27 @@ thread_local std::vector<int64_t> g_span_stack;
 /// freed, so the cached pointer stays valid for the process lifetime).
 thread_local Tracer::ThreadBuffer* g_buffer = nullptr;
 
+/// The installed TraceSink, if any. Acquire/release so a thread that
+/// observes the sink also observes its construction.
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+
+/// Raw steady-clock micros for sink-side span timing (no tracer epoch —
+/// sinks only ever take differences or keep their own clock).
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+void SetTraceSink(TraceSink* sink) {
+  g_trace_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* ActiveTraceSink() {
+  return g_trace_sink.load(std::memory_order_acquire);
+}
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
@@ -102,6 +122,10 @@ int TraceTrackScope::CurrentTrack() { return g_track; }
 // -------------------------------------------------------------- spans ----
 
 TraceSpan::TraceSpan(std::string_view stage) {
+  if (ActiveTraceSink() != nullptr) {
+    sink_stage_ = std::string(stage);
+    sink_start_us_ = SteadyNowMicros();
+  }
   Tracer& tracer = Tracer::Global();
   if (!tracer.enabled()) return;
   buffer_ = tracer.GetThreadBuffer();
@@ -125,6 +149,12 @@ TraceSpan::TraceSpan(std::string_view stage) {
 }
 
 TraceSpan::~TraceSpan() {
+  if (sink_start_us_ >= 0) {
+    if (TraceSink* sink = ActiveTraceSink()) {
+      sink->OnSpanEnd(sink_stage_, sink_start_us_,
+                      std::max<int64_t>(0, SteadyNowMicros() - sink_start_us_));
+    }
+  }
   if (!active_) return;
   g_span_stack.pop_back();
   Tracer& tracer = Tracer::Global();
@@ -148,6 +178,9 @@ void TraceSpan::AddArg(std::string_view key, int64_t value) {
 
 void TraceInstant(std::string_view category, std::string_view name,
                   std::string_view detail) {
+  if (TraceSink* sink = ActiveTraceSink()) {
+    sink->OnInstant(category, name, detail);
+  }
   Tracer& tracer = Tracer::Global();
   if (!tracer.enabled()) return;
   Tracer::ThreadBuffer* buffer = tracer.GetThreadBuffer();

@@ -117,6 +117,31 @@ struct RunTrace {
 Status WriteRunTrace(const RunTrace& trace, const std::string& dir,
                      const std::string& stem);
 
+/// Observer of the span/instant stream, *independent* of the tracer's
+/// enabled state: a registered sink sees every TraceInstant and every
+/// TraceSpan end even while the full tracer is off. This is how the flight
+/// recorder (src/obs) taps existing call sites without util depending on
+/// obs — the recorder implements this interface and installs itself via
+/// SetTraceSink. Callbacks run inline on the recording thread and must be
+/// cheap and non-blocking. Timestamps passed to OnSpanEnd are raw
+/// steady-clock micros with no particular epoch; sinks needing wall
+/// alignment keep their own clock.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnInstant(std::string_view category, std::string_view name,
+                         std::string_view detail) = 0;
+  virtual void OnSpanEnd(std::string_view stage, int64_t start_us,
+                         int64_t dur_us) = 0;
+};
+
+/// Installs (or with nullptr, removes) the process-wide sink. The sink is
+/// borrowed: the caller keeps it alive until after SetTraceSink(nullptr)
+/// returns. Cost when no sink is installed: one relaxed-ish atomic load
+/// per TraceSpan / TraceInstant.
+void SetTraceSink(TraceSink* sink);
+TraceSink* ActiveTraceSink();
+
 /// The process-wide tracer. Arm with Enable() (resets buffers and the
 /// timestamp epoch), run the pipeline, then Collect(). Enable/Collect must
 /// not race with open spans — bracket whole runs, as RunExperiment does for
@@ -214,6 +239,10 @@ class TraceSpan {
   int64_t seq_ = 0;
   int64_t generation_ = 0;
   int64_t start_us_ = 0;
+  /// Sink-side timing, valid whenever a TraceSink was installed at
+  /// construction — works with the tracer disabled.
+  std::string sink_stage_;
+  int64_t sink_start_us_ = -1;
 };
 
 /// Records one instant event on the calling thread's track. This is the

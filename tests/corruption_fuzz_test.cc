@@ -17,9 +17,11 @@
 
 #include "core/run_checkpoint.h"
 #include "core/session_io.h"
+#include "obs/flight_recorder.h"
 #include "online/event_log.h"
 #include "serve/snapshot_registry.h"
 #include "util/atomic_file.h"
+#include "util/trace.h"
 
 namespace activedp {
 namespace {
@@ -308,6 +310,48 @@ TEST(CorruptionFuzzTest, RepeatedMutationsStayContained) {
           << "round " << round << ": " << loaded.status().ToString();
     }
   }
+}
+
+// Incident dumps (obs/flight_recorder.h): seeded mutations of any file in a
+// dump — the manifest, the timeline, the metrics snapshot, the context —
+// must be *detected* by VerifyIncidentDump (the dump is checksummed end to
+// end), and ReadIncidentManifest must reject rather than mis-parse. A
+// mutation that reproduces the original bytes exactly is the only one
+// allowed to still verify.
+TEST(CorruptionFuzzTest, IncidentDumpMutationsAreDetected) {
+  const std::string root = testing::TempDir() + "/fuzz_incidents";
+  std::filesystem::remove_all(root);
+  FlightRecorder::Global().Enable({.incident_dir = root});
+  TraceInstant("fuzz", "trigger", "cause=fuzz");
+  const Result<std::string> dump =
+      FlightRecorder::Global().TriggerIncident("fuzz.reason");
+  FlightRecorder::Global().Disable();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  ASSERT_TRUE(VerifyIncidentDump(*dump).ok());
+
+  std::vector<std::pair<std::string, std::string>> originals;
+  for (const auto& entry : std::filesystem::directory_iterator(*dump)) {
+    originals.emplace_back(entry.path().string(),
+                           ReadFileOrDie(entry.path().string()));
+  }
+  ASSERT_GE(originals.size(), 3u);
+
+  std::mt19937_64 rng(0x0b5e2ed
+  );
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto& [file, original] = originals[rng() % originals.size()];
+    const std::string mutated = Mutate(original, rng);
+    WriteFileOrDie(file, mutated);
+    const Status verified = VerifyIncidentDump(*dump);
+    if (mutated != original) {
+      EXPECT_FALSE(verified.ok())
+          << "trial " << trial << ": undetected mutation of " << file;
+    }
+    // The manifest reader must never crash, whatever the bytes.
+    (void)ReadIncidentManifest(*dump);
+    WriteFileOrDie(file, original);
+  }
+  EXPECT_TRUE(VerifyIncidentDump(*dump).ok());
 }
 
 }  // namespace

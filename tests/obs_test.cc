@@ -1,0 +1,356 @@
+// OpsPlane tests (src/obs): the flight recorder's bounded ring and
+// checksummed incident dumps, the TraceSink hook that feeds it from every
+// existing span/instant site, and the SLO burn-rate engine's deterministic
+// delta evaluation. Every test disables the global recorder before
+// returning so no sink cost leaks into other tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+#include "util/atomic_file.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace activedp {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+class RecorderGuard {
+ public:
+  explicit RecorderGuard(FlightRecorderOptions options) {
+    FlightRecorder::Global().Enable(std::move(options));
+  }
+  ~RecorderGuard() { FlightRecorder::Global().Disable(); }
+};
+
+bool TimelineContains(const std::vector<FlightRecord>& records,
+                      const std::string& name) {
+  for (const FlightRecord& record : records) {
+    if (record.name == name) return true;
+  }
+  return false;
+}
+
+TEST(FlightRecorderTest, RingCapturesInstantsAndSpansOldestFirst) {
+  Tracer::Global().Disable();  // the sink must not depend on the tracer
+  RecorderGuard guard({.incident_dir = FreshDir("fr_ring")});
+  TraceInstant("test", "first", "detail=1");
+  { TraceSpan span("test.stage"); }
+  TraceInstant("test", "second", "");
+
+  const std::vector<FlightRecord> records =
+      FlightRecorder::Global().CollectRecent();
+  ASSERT_GE(records.size(), 3u);
+  EXPECT_TRUE(TimelineContains(records, "first"));
+  EXPECT_TRUE(TimelineContains(records, "test.stage"));
+  EXPECT_TRUE(TimelineContains(records, "second"));
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].ts_us, records[i].ts_us);
+  }
+  bool saw_span = false;
+  for (const FlightRecord& record : records) {
+    if (record.name == "test.stage") {
+      saw_span = true;
+      EXPECT_TRUE(record.is_span);
+      EXPECT_GE(record.dur_us, 0);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderCapturesNothing) {
+  // Rings survive Disable() (registration is reused), so the check is that
+  // no *new* record lands, not that the rings are empty.
+  FlightRecorder::Global().Disable();
+  TraceInstant("test", "ghost", "");
+  EXPECT_FALSE(TimelineContains(FlightRecorder::Global().CollectRecent(),
+                                "ghost"));
+}
+
+TEST(FlightRecorderTest, WindowAgesOutOldRecords) {
+  RecorderGuard guard(
+      {.window_seconds = 0.05, .incident_dir = FreshDir("fr_window")});
+  TraceInstant("test", "stale", "");
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  TraceInstant("test", "fresh", "");
+  const std::vector<FlightRecord> records =
+      FlightRecorder::Global().CollectRecent();
+  EXPECT_FALSE(TimelineContains(records, "stale"));
+  EXPECT_TRUE(TimelineContains(records, "fresh"));
+}
+
+TEST(FlightRecorderTest, TriggerIncidentWritesVerifiedDump) {
+  const std::string dir = FreshDir("fr_dump");
+  RecorderGuard guard({.incident_dir = dir});
+  FlightRecorder::Global().AddContextProvider(
+      "scenario", [] { return std::string("\"unit-test\""); });
+  TraceInstant("test", "the_trigger", "cause=injected");
+
+  const Result<std::string> dump =
+      FlightRecorder::Global().TriggerIncident("test.reason");
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_TRUE(VerifyIncidentDump(*dump).ok());
+
+  const Result<IncidentManifest> manifest = ReadIncidentManifest(*dump);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->reason, "test.reason");
+  EXPECT_GT(manifest->num_records, 0);
+
+  const Result<std::string> timeline =
+      ReadFileVerifyingChecksum(*dump + "/timeline.jsonl");
+  ASSERT_TRUE(timeline.ok());
+  EXPECT_NE(timeline->find("the_trigger"), std::string::npos);
+  const Result<std::string> context =
+      ReadFileVerifyingChecksum(*dump + "/context.json");
+  ASSERT_TRUE(context.ok());
+  EXPECT_NE(context->find("unit-test"), std::string::npos);
+
+  const std::vector<std::string> listed = ListIncidentDumps(dir);
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed.front(), *dump);
+}
+
+TEST(FlightRecorderTest, TriggerWhileDisabledFailsPrecondition) {
+  FlightRecorder::Global().Disable();
+  const Result<std::string> dump =
+      FlightRecorder::Global().TriggerIncident("whatever");
+  ASSERT_FALSE(dump.ok());
+  EXPECT_EQ(dump.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FlightRecorderTest, CooldownSuppressesRepeatReasonsUntilReenable) {
+  const std::string dir = FreshDir("fr_cooldown");
+  FlightRecorder::Global().Enable({.incident_dir = dir});
+  TraceInstant("test", "blip", "");
+  ASSERT_TRUE(FlightRecorder::Global().TriggerIncident("flap").ok());
+  const Result<std::string> repeat =
+      FlightRecorder::Global().TriggerIncident("flap");
+  ASSERT_FALSE(repeat.ok());
+  EXPECT_EQ(repeat.status().code(), StatusCode::kUnavailable);
+  // A different reason is not throttled by "flap"'s cooldown.
+  EXPECT_TRUE(FlightRecorder::Global().TriggerIncident("other").ok());
+  // Enable() resets cooldowns: a new scenario starts clean.
+  FlightRecorder::Global().Enable({.incident_dir = dir});
+  EXPECT_TRUE(FlightRecorder::Global().TriggerIncident("flap").ok());
+  FlightRecorder::Global().Disable();
+  EXPECT_EQ(ListIncidentDumps(dir).size(), 3u);
+}
+
+TEST(FlightRecorderTest, ListExcludesInProgressTempDirectories) {
+  const std::string dir = FreshDir("fr_list");
+  std::filesystem::create_directories(dir + "/.tmp-incident-000001");
+  std::filesystem::create_directories(dir + "/not-an-incident");
+  EXPECT_TRUE(ListIncidentDumps(dir).empty());
+}
+
+// Writers spam records from several threads while the reader repeatedly
+// collects and dumps. Run under TSan this certifies the seqlock: no torn
+// text, no data race, and the dump still verifies.
+TEST(FlightRecorderTest, ConcurrentWritersAndDumpStayCoherent) {
+  const std::string dir = FreshDir("fr_race");
+  RecorderGuard guard({.ring_capacity = 128, .incident_dir = dir});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        TraceInstant("race", "w" + std::to_string(t),
+                     "i=" + std::to_string(i));
+        TraceSpan span("race.span");
+      }
+    });
+  }
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<FlightRecord> records =
+        FlightRecorder::Global().CollectRecent();
+    for (const FlightRecord& record : records) {
+      // A torn slot would show mixed category/name text.
+      if (record.category == "race") {
+        EXPECT_EQ(record.name.rfind('w', 0) == 0 || record.name == "race.span",
+                  true);
+      }
+    }
+  }
+  const Result<std::string> dump =
+      FlightRecorder::Global().TriggerIncident("race.check");
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_TRUE(VerifyIncidentDump(*dump).ok());
+}
+
+// -- HistogramCdf ---------------------------------------------------------
+
+TEST(HistogramCdfTest, EmptyHistogramIsFullyUnderAnyBound) {
+  EXPECT_DOUBLE_EQ(HistogramCdf({10, 20}, {0, 0, 0}, 15.0), 1.0);
+}
+
+TEST(HistogramCdfTest, InterpolatesWithinTheContainingBucket) {
+  const std::vector<double> bounds = {10, 20};
+  const std::vector<int64_t> counts = {10, 10, 0};
+  EXPECT_DOUBLE_EQ(HistogramCdf(bounds, counts, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(HistogramCdf(bounds, counts, 15.0), 0.75);
+  EXPECT_DOUBLE_EQ(HistogramCdf(bounds, counts, 20.0), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramCdf(bounds, counts, 1000.0), 1.0);
+}
+
+TEST(HistogramCdfTest, OverflowBucketCountsAsOverAnyFiniteBound) {
+  EXPECT_DOUBLE_EQ(HistogramCdf({10}, {0, 5}, 1e12), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramCdf({10}, {5, 5}, 1e12), 0.5);
+}
+
+// -- SLO engine -----------------------------------------------------------
+
+MetricsSnapshot CounterSnapshot(int64_t total, int64_t bad) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"req.total", {}, total});
+  snapshot.counters.push_back({"req.bad", {}, bad});
+  return snapshot;
+}
+
+SloSpec AvailabilitySpec() {
+  SloSpec spec;
+  spec.name = "avail";
+  spec.kind = SloKind::kAvailability;
+  spec.objective = 0.9;  // 10% error budget
+  spec.total_counter = "req.total";
+  spec.bad_counters = {"req.bad"};
+  spec.short_window_seconds = 5.0;
+  spec.long_window_seconds = 60.0;
+  return spec;
+}
+
+TEST(SloEngineTest, BreachRequiresBothWindowsBurning) {
+  SloEngine engine({AvailabilitySpec()});
+  engine.TickWithSnapshot(0, CounterSnapshot(0, 0));
+  // 50% bad over 30s: burn 5.0 on both windows -> breached.
+  engine.TickWithSnapshot(30'000'000, CounterSnapshot(1000, 500));
+  SloStatus status = engine.Evaluate();
+  ASSERT_EQ(status.results.size(), 1u);
+  EXPECT_FALSE(status.results[0].met);
+  EXPECT_GT(status.results[0].burn_short, 1.0);
+  EXPECT_GT(status.results[0].burn_long, 1.0);
+  EXPECT_FALSE(status.all_met());
+
+  // The next 10s are clean: the short window recovers, the long window is
+  // still burning, and the SLO reads met again (both must burn to breach).
+  engine.TickWithSnapshot(36'000'000, CounterSnapshot(1500, 500));
+  engine.TickWithSnapshot(40'000'000, CounterSnapshot(2000, 500));
+  status = engine.Evaluate();
+  EXPECT_LE(status.results[0].burn_short, 1.0);
+  EXPECT_GT(status.results[0].burn_long, 1.0);
+  EXPECT_TRUE(status.results[0].met);
+}
+
+TEST(SloEngineTest, ZeroTrafficBurnsNothing) {
+  SloEngine engine({AvailabilitySpec()});
+  engine.TickWithSnapshot(0, CounterSnapshot(100, 100));
+  engine.TickWithSnapshot(10'000'000, CounterSnapshot(100, 100));
+  const SloStatus status = engine.Evaluate();
+  ASSERT_EQ(status.results.size(), 1u);
+  EXPECT_TRUE(status.results[0].met);
+  EXPECT_DOUBLE_EQ(status.results[0].burn_long, 0.0);
+}
+
+TEST(SloEngineTest, SingleSampleReportsMetWithoutDeltas) {
+  SloEngine engine({AvailabilitySpec()});
+  engine.TickWithSnapshot(0, CounterSnapshot(1000, 1000));
+  EXPECT_TRUE(engine.Evaluate().all_met());
+}
+
+TEST(SloEngineTest, LatencyQuantileJudgesBucketDeltas) {
+  SloSpec spec;
+  spec.name = "p90-under-10ms";
+  spec.kind = SloKind::kLatencyQuantile;
+  spec.objective = 0.9;
+  spec.histogram = "lat";
+  spec.latency_bound_ms = 10.0;
+  SloEngine engine({spec});
+
+  const auto histogram_snapshot = [](int64_t under, int64_t over) {
+    MetricsSnapshot snapshot;
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = "lat";
+    sample.bounds = {10.0};
+    sample.counts = {under, over};
+    sample.count = under + over;
+    snapshot.histograms.push_back(std::move(sample));
+    return snapshot;
+  };
+  engine.TickWithSnapshot(0, histogram_snapshot(0, 0));
+  // 5% over the bound: burn 0.5 -> met.
+  engine.TickWithSnapshot(10'000'000, histogram_snapshot(95, 5));
+  EXPECT_TRUE(engine.Evaluate().all_met());
+  // The next delta is 50% over the bound: burn 5.0 on both windows.
+  engine.TickWithSnapshot(12'000'000, histogram_snapshot(145, 55));
+  EXPECT_FALSE(engine.Evaluate().all_met());
+}
+
+TEST(SloEngineTest, StalenessReadsTheLatestAgeGauge) {
+  SloSpec spec;
+  spec.name = "staleness";
+  spec.kind = SloKind::kSnapshotStaleness;
+  spec.age_gauge = "age_seconds";
+  spec.max_age_seconds = 600.0;
+  SloEngine engine({spec});
+
+  MetricsSnapshot fresh;
+  fresh.gauges.push_back({"age_seconds", {}, 30.0});
+  engine.TickWithSnapshot(0, fresh);
+  EXPECT_TRUE(engine.Evaluate().all_met());
+
+  MetricsSnapshot stale;
+  stale.gauges.push_back({"age_seconds", {}, 700.0});
+  engine.TickWithSnapshot(1'000'000, stale);
+  const SloStatus status = engine.Evaluate();
+  EXPECT_FALSE(status.all_met());
+  EXPECT_DOUBLE_EQ(status.results[0].value, 700.0);
+}
+
+TEST(SloEngineTest, AbsentAgeGaugeIsNotABreach) {
+  SloSpec spec;
+  spec.name = "freshness";
+  spec.kind = SloKind::kRetrainFreshness;
+  spec.age_gauge = "never_published";
+  spec.max_age_seconds = 60.0;
+  SloEngine engine({spec});
+  engine.TickWithSnapshot(0, MetricsSnapshot{});
+  EXPECT_TRUE(engine.Evaluate().all_met());
+}
+
+TEST(SloEngineTest, EvaluationIsAPureFunctionOfTheSampleHistory) {
+  SloEngine a({AvailabilitySpec()});
+  SloEngine b({AvailabilitySpec()});
+  const std::vector<std::pair<int64_t, std::pair<int64_t, int64_t>>> ticks = {
+      {0, {0, 0}}, {7'000'000, {500, 3}}, {61'000'000, {1200, 40}}};
+  for (const auto& [ts, counts] : ticks) {
+    a.TickWithSnapshot(ts, CounterSnapshot(counts.first, counts.second));
+    b.TickWithSnapshot(ts, CounterSnapshot(counts.first, counts.second));
+  }
+  EXPECT_EQ(a.StatusJson(), b.StatusJson());
+}
+
+TEST(SloEngineTest, DefaultServingSlosCoverTheServeAndLearnPlanes) {
+  const std::vector<SloSpec> specs = DefaultServingSlos();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].kind, SloKind::kAvailability);
+  EXPECT_EQ(specs[1].kind, SloKind::kLatencyQuantile);
+  EXPECT_EQ(specs[2].kind, SloKind::kSnapshotStaleness);
+  EXPECT_EQ(specs[3].kind, SloKind::kRetrainFreshness);
+}
+
+}  // namespace
+}  // namespace activedp

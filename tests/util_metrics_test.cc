@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -148,6 +150,100 @@ TEST(MetricsRegistryTest, GlobalIsASingleton) {
   MetricsRegistry::Global().counter("util_metrics_test.global").Increment();
   EXPECT_GE(
       MetricsRegistry::Global().counter_value("util_metrics_test.global"), 1);
+}
+
+TEST(MetricsRegistryTest, LabelledSeriesAreIndependentAndCanonical) {
+  MetricsRegistry registry;
+  registry.counter("req", {{"phase", "open"}}).Increment();
+  registry.counter("req", {{"phase", "closed"}}).Increment();
+  registry.counter("req", {{"phase", "closed"}}).Increment();
+  registry.counter("req").Increment();  // unlabelled is its own series
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter_value("req", {{"phase", "open"}}), 1);
+  EXPECT_EQ(snapshot.counter_value("req", {{"phase", "closed"}}), 2);
+  EXPECT_EQ(snapshot.counter_value("req"), 1);
+  // Labels are canonicalized by key: insertion order cannot fork a series.
+  registry.counter("multi", {{"b", "2"}, {"a", "1"}}).Increment();
+  EXPECT_EQ(
+      registry.Snapshot().counter_value("multi", {{"a", "1"}, {"b", "2"}}),
+      1);
+}
+
+TEST(MetricsRegistryTest, LabelCardinalityIsCapped) {
+  MetricsRegistry registry;
+  for (int i = 0; i < kMaxLabelSetsPerFamily + 16; ++i) {
+    registry.counter("burst", {{"id", std::to_string(i)}}).Increment();
+  }
+  // Past the cap, registrations collapse into the overflow series instead
+  // of growing without bound.
+  EXPECT_GE(registry.Snapshot().counter_value("burst", {{"overflow", "true"}}),
+            1);
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinTheTargetBucket) {
+  // 100 observations spread 50/50 across (0,10] and (10,20].
+  const std::vector<double> bounds = {10, 20};
+  const std::vector<int64_t> counts = {50, 50, 0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.75), 15.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 1.0), 20.0);
+}
+
+TEST(HistogramQuantileTest, ErrorIsBoundedByTheBucketWidth) {
+  // The documented bound: a quantile can be off by at most the width of
+  // its containing bucket. Feed point-mass data at 7.3 and check every
+  // quantile lands inside that value's bucket (5, 10].
+  Histogram histogram({1, 5, 10, 50});
+  for (int i = 0; i < 1000; ++i) histogram.Observe(7.3);
+  for (double q : {0.01, 0.5, 0.99}) {
+    const double value = histogram.Quantile(q);
+    EXPECT_GT(value, 5.0) << q;
+    EXPECT_LE(value, 10.0) << q;
+  }
+}
+
+TEST(HistogramQuantileTest, OverflowBucketClampsToTheLastFiniteBound) {
+  Histogram histogram({1, 2});
+  histogram.Observe(100.0);
+  // There is no finite upper edge; Quantile reports the last finite bound
+  // rather than inventing a value.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 2.0);
+}
+
+// Writers hammer a histogram and counters while a reader snapshots: every
+// snapshot must be internally coherent — within a histogram sample, count
+// equals the sum of its buckets. Exercised under the TSan preset.
+TEST(MetricsRegistryTest, SnapshotsStayCoherentUnderConcurrentWrites) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("hammer.lat", {1, 5, 10});
+  Counter& counter = registry.counter("hammer.total");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        histogram.Observe((t + i) % 13);
+        counter.Increment();
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    for (const MetricsSnapshot::HistogramSample& sample :
+         snapshot.histograms) {
+      int64_t bucket_total = 0;
+      for (int64_t bucket : sample.counts) bucket_total += bucket;
+      EXPECT_EQ(sample.count, bucket_total) << sample.name;
+    }
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  const MetricsSnapshot final_snapshot = registry.Snapshot();
+  ASSERT_EQ(final_snapshot.histograms.size(), 1u);
+  EXPECT_EQ(final_snapshot.histograms[0].count,
+            registry.counter_value("hammer.total"));
 }
 
 }  // namespace
