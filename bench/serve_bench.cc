@@ -15,7 +15,18 @@
 //   ./build/bench/serve_bench --requests=2000 --clients=8 --rate=4000
 //       --out=BENCH_serving.json
 //
-// Registered as a ctest with LABELS serve at a small smoke size.
+// --tenants=N switches to the TenantMesh storm (DESIGN.md §15): an open-loop
+// multi-tenant storm against a ShardRouter with Zipf tenant popularity,
+// mixed burst sizes, one deterministically-overloaded tenant, and a
+// mid-storm per-tenant promote + forced rollback; per-tenant latency
+// percentiles and the digest/isolation gate verdicts land in
+// BENCH_serving_mt.json (see RunMultiTenantStorm below):
+//
+//   ./build/bench/serve_bench --tenants=6 --shards=3 --requests=600
+//       --rate=2500 --out=BENCH_serving_mt.json
+//
+// Both modes are registered as ctests with LABELS serve at small smoke
+// sizes (serve_bench and serve_mt_storm).
 
 #include <algorithm>
 #include <atomic>
@@ -28,6 +39,7 @@
 #include <fstream>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,16 +49,25 @@
 #include "data/dataset_zoo.h"
 #include "obs/flight_recorder.h"
 #include "obs/slo.h"
+#include "serve/chaos_scenario.h"
 #include "serve/model_snapshot.h"
 #include "serve/prediction_service.h"
+#include "serve/rollout.h"
+#include "serve/serve_config.h"
+#include "serve/serve_types.h"
+#include "serve/shard_router.h"
 #include "serve/snapshot_export.h"
+#include "serve/snapshot_registry.h"
 #include "util/atomic_file.h"
+#include "util/fault.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace activedp {
 namespace {
@@ -395,6 +416,524 @@ void WriteJson(const std::string& path, const ModelSnapshot& snapshot,
   out << "}\n";
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant storm (--tenants=N): an open-loop storm against a ShardRouter
+// (DESIGN.md §15) with Zipf tenant popularity and mixed burst sizes. Gates,
+// all hard failures:
+//   * per-tenant served == offline bitwise (PredictionDigest per row);
+//   * per-tenant response digests identical across client thread counts —
+//     routing and replies are a pure function of the schedule;
+//   * isolation: one tenant driven into overload sheds every one of its own
+//     storm requests with a structured RejectInfo (and a priority=1 probe
+//     still gets through), while every other tenant completes with zero
+//     failures and zero sheds;
+//   * a mid-storm per-tenant staged rollout: one tenant promotes, another is
+//     forced into rollback via the "rollout.canary" fault site — both
+//     instants land in the RunTrace tagged with their tenant, the rollback
+//     fires exactly one flight-recorder incident, and no other tenant's
+//     snapshot moves.
+// Per-tenant p50/p95/p99 and the gate verdicts land in BENCH_serving_mt.json.
+
+struct StormSlot {
+  int tenant = 0;
+  int row = 0;
+};
+
+/// Deterministic open-loop schedule: Zipf(1.1) tenant popularity, burst
+/// sizes 1..8, rows assigned per tenant by that tenant's own counter, so a
+/// tenant's row sequence never depends on the other tenants' draws.
+std::vector<StormSlot> BuildStormSchedule(int tenants, int requests,
+                                          int trace_rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> weights(tenants);
+  for (int t = 0; t < tenants; ++t) {
+    weights[t] = 1.0 / std::pow(t + 1.0, 1.1);
+  }
+  std::vector<int> next_row(tenants, 0);
+  std::vector<StormSlot> slots;
+  slots.reserve(requests);
+  while (static_cast<int>(slots.size()) < requests) {
+    const int tenant = rng.Discrete(weights);
+    const int burst = rng.UniformInt(1, 8);
+    for (int b = 0; b < burst && static_cast<int>(slots.size()) < requests;
+         ++b) {
+      slots.push_back({tenant, next_row[tenant]++ % trace_rows});
+    }
+  }
+  return slots;
+}
+
+struct StormTenant {
+  std::string id;
+  /// Offline digests of the snapshot this tenant should currently serve.
+  const std::vector<uint64_t>* expected = nullptr;
+  bool noisy = false;
+};
+
+struct TenantOutcome {
+  int64_t issued = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  /// Hard errors, i.e. anything that is neither a completion nor a
+  /// structured shed. Must stay 0 for every tenant.
+  int64_t failures = 0;
+  int64_t digest_mismatches = 0;
+  /// Sheds whose RejectInfo was missing or malformed (no reason, hint < 1ms).
+  int64_t malformed_rejects = 0;
+  /// FNV-1a over (row, PredictionDigest) of completed requests, folded in
+  /// schedule order — identical across client thread counts by contract.
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  std::vector<double> latencies_ms;
+};
+
+void FoldDigest(uint64_t& hash, uint64_t bits) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (bits >> (8 * byte)) & 0xffu;
+    hash *= 0x100000001b3ULL;
+  }
+}
+
+/// Issues schedule slots [begin, end) open-loop at `rate` across
+/// `client_threads` issuing threads (thread c takes slots where
+/// i % client_threads == c, paced on the global index, so the aggregate
+/// arrival process is thread-count-independent) and folds the replies into
+/// per-tenant outcomes in schedule order.
+std::vector<TenantOutcome> RunStormSlots(ShardRouter& router,
+                                         const std::vector<StormSlot>& slots,
+                                         size_t begin, size_t end,
+                                         const std::vector<Example>& trace,
+                                         const std::vector<StormTenant>& tenants,
+                                         int client_threads, double rate) {
+  using Clock = std::chrono::steady_clock;
+  const size_t n = end - begin;
+  std::vector<std::optional<ServeReply>> replies(n);
+  std::vector<double> latencies(n, 0.0);
+  std::atomic<size_t> completed{0};
+  const Clock::time_point start = Clock::now();
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / rate));
+  std::vector<std::thread> issuers;
+  issuers.reserve(client_threads);
+  for (int c = 0; c < client_threads; ++c) {
+    issuers.emplace_back([&, c] {
+      for (size_t i = c; i < n; i += client_threads) {
+        std::this_thread::sleep_until(start + i * interval);
+        const StormSlot& slot = slots[begin + i];
+        ServeRequest request;
+        request.tenant_id = tenants[slot.tenant].id;
+        request.example = trace[slot.row];
+        Timer timer;
+        router.PredictWithCallback(
+            std::move(request),
+            [&replies, &latencies, &completed, i, timer](ServeReply reply) {
+              latencies[i] = timer.ElapsedMillis();
+              replies[i] = std::move(reply);
+              completed.fetch_add(1, std::memory_order_release);
+            });
+      }
+    });
+  }
+  for (std::thread& t : issuers) t.join();
+  while (completed.load(std::memory_order_acquire) < n) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<TenantOutcome> outcomes(tenants.size());
+  for (size_t i = 0; i < n; ++i) {
+    const StormSlot& slot = slots[begin + i];
+    const StormTenant& tenant = tenants[slot.tenant];
+    TenantOutcome& outcome = outcomes[slot.tenant];
+    ++outcome.issued;
+    CHECK(replies[i].has_value());
+    const ServeReply& reply = *replies[i];
+    if (reply.ok()) {
+      ++outcome.completed;
+      outcome.latencies_ms.push_back(latencies[i]);
+      const uint64_t digest = PredictionDigest(reply.prediction);
+      if (digest != (*tenant.expected)[slot.row]) ++outcome.digest_mismatches;
+      FoldDigest(outcome.digest, static_cast<uint64_t>(slot.row));
+      FoldDigest(outcome.digest, digest);
+    } else if (reply.reject.has_value()) {
+      ++outcome.shed;
+      const RejectInfo& info = *reply.reject;
+      if (info.reason == RejectReason::kNone || info.retry_after_ms < 1.0 ||
+          info.queue_depth < 0) {
+        ++outcome.malformed_rejects;
+      }
+    } else {
+      ++outcome.failures;
+    }
+  }
+  return outcomes;
+}
+
+int RunMultiTenantStorm(FlagParser& flags) {
+  const int num_tenants = flags.GetInt("tenants");
+  const int num_shards = flags.GetInt("shards");
+  const int requests = flags.GetInt("requests");
+  const double rate = flags.GetDouble("rate");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string trace_dir = flags.GetString("trace-dir");
+  if (num_tenants < 5) {
+    std::fprintf(stderr, "--tenants must be >= 5 (noisy + promote + rollback "
+                         "+ at least two bystanders)\n");
+    return 2;
+  }
+  std::vector<int> storm_threads;
+  for (const std::string& part : Split(flags.GetString("storm-threads"), ',')) {
+    if (!part.empty()) storm_threads.push_back(std::stoi(part));
+  }
+  CHECK(!storm_threads.empty());
+
+  // Fixture: two snapshots (A early, B later) saved to disk for the tenant
+  // registries, plus the offline per-row digests both gates compare against.
+  SetComputePoolThreads(1);
+  const int kTraceRows = 64;
+  Result<ServeChaosFixture> built = BuildServeChaosFixture(
+      trace_dir + "/serve-mt-fixture", "youtube", flags.GetDouble("scale"),
+      seed, /*steps_a=*/12, /*steps_b=*/6, kTraceRows);
+  if (!built.ok()) {
+    std::fprintf(stderr, "fixture: %s\n", built.status().ToString().c_str());
+    return 2;
+  }
+  const ServeChaosFixture& fixture = *built;
+
+  // Cast: tenant 1 (second-most popular under Zipf) is the noisy one; 2
+  // promotes A -> B mid-storm; 3 is forced into a canary rollback; everyone
+  // else alternates A/B and must never be perturbed.
+  const int kNoisy = 1, kPromote = 2, kRollback = 3;
+  std::vector<StormTenant> cast(num_tenants);
+  for (int t = 0; t < num_tenants; ++t) {
+    cast[t].id = "tenant-" + std::to_string(t);
+    cast[t].noisy = (t == kNoisy);
+    const bool serves_b =
+        (t % 2 == 1) && t != kNoisy && t != kPromote && t != kRollback;
+    cast[t].expected = serves_b ? &fixture.digests_b : &fixture.digests_a;
+  }
+  const std::vector<StormSlot> slots =
+      BuildStormSchedule(num_tenants, requests, kTraceRows, seed + 101);
+  const size_t half = slots.size() / 2;
+
+  bool passed = true;
+  const auto fail = [&passed](const std::string& why) {
+    std::fprintf(stderr, "FAIL: %s\n", why.c_str());
+    passed = false;
+  };
+
+  TenantLimits default_limits;
+  default_limits.deadline_budget_ms = 5000.0;
+  TenantLimits noisy_limits = default_limits;
+  // Below the router's EWMA sample floor: once the warm-up seeds the
+  // tenant's EWMA, every priority-0 request from it sheds deterministically
+  // (estimate = (in_flight + 1) x EWMA > limit always) — which is what keeps
+  // the thread-independence digest gate exact under overload.
+  noisy_limits.max_queue_delay_ms = 0.0001;
+
+  const auto build_router = [&]() -> std::unique_ptr<ShardRouter> {
+    Result<ServeConfig> config = ServeConfigBuilder()
+                                     .set_num_shards(num_shards)
+                                     .set_virtual_nodes(64)
+                                     .set_max_batch_size(8)
+                                     .set_max_batch_delay_ms(0.3)
+                                     .set_max_queue_depth(requests + 1)
+                                     .set_default_tenant_limits(default_limits)
+                                     .Build();
+    CHECK(config.ok()) << config.status().ToString();
+    auto router = std::make_unique<ShardRouter>(*std::move(config));
+    for (int t = 0; t < num_tenants; ++t) {
+      const Status added = cast[t].noisy
+                               ? router->AddTenant(cast[t].id, noisy_limits)
+                               : router->AddTenant(cast[t].id);
+      CHECK(added.ok()) << added.ToString();
+      const auto snapshot = cast[t].expected == &fixture.digests_b
+                                ? fixture.snapshot_b
+                                : fixture.snapshot_a;
+      CHECK(router->SetTenantSnapshot(cast[t].id, snapshot).ok());
+    }
+    // Warm the noisy tenant's EWMA (priority=1 bypasses its shedder) so its
+    // overload behaviour is deterministic from the first storm slot on.
+    for (int k = 0; k < 4; ++k) {
+      ServeRequest warm;
+      warm.tenant_id = cast[kNoisy].id;
+      warm.example = fixture.trace[k];
+      warm.priority = 1;
+      const ServeReply reply = router->Predict(std::move(warm));
+      CHECK(reply.ok()) << reply.status.ToString();
+    }
+    return router;
+  };
+
+  // Checks shared by every storm pass: bitwise-correct completions, zero
+  // hard failures, structured sheds confined to the noisy tenant (which
+  // sheds *all* of its storm traffic).
+  const auto check_outcomes = [&](const std::vector<TenantOutcome>& outcomes,
+                                  const std::string& pass) {
+    for (int t = 0; t < num_tenants; ++t) {
+      const TenantOutcome& outcome = outcomes[t];
+      if (outcome.failures > 0) {
+        fail(pass + ": " + cast[t].id + " had " +
+             std::to_string(outcome.failures) + " hard failures");
+      }
+      if (outcome.digest_mismatches > 0) {
+        fail(pass + ": " + cast[t].id + " served " +
+             std::to_string(outcome.digest_mismatches) +
+             " responses diverging from its offline digests");
+      }
+      if (outcome.malformed_rejects > 0) {
+        fail(pass + ": " + cast[t].id + " got " +
+             std::to_string(outcome.malformed_rejects) +
+             " rejections without a structured RejectInfo");
+      }
+      if (cast[t].noisy) {
+        if (outcome.issued > 0 && outcome.shed != outcome.issued) {
+          fail(pass + ": noisy tenant shed " + std::to_string(outcome.shed) +
+               " of " + std::to_string(outcome.issued) + " storm requests "
+               "(expected all: its EWMA shedder is warm)");
+        }
+      } else if (outcome.shed > 0) {
+        fail(pass + ": " + cast[t].id + " lost " +
+             std::to_string(outcome.shed) +
+             " requests to another tenant's overload");
+      }
+    }
+  };
+
+  // -- Gate 1: routing / reply determinism across client thread counts -----
+  std::vector<uint64_t> reference_digests;
+  for (size_t run = 0; run < storm_threads.size(); ++run) {
+    const int threads = storm_threads[run];
+    std::unique_ptr<ShardRouter> router = build_router();
+    const std::vector<TenantOutcome> outcomes = RunStormSlots(
+        *router, slots, 0, slots.size(), fixture.trace, cast, threads, rate);
+    router->Shutdown();
+    check_outcomes(outcomes, "sweep threads=" + std::to_string(threads));
+    std::vector<uint64_t> digests(num_tenants);
+    for (int t = 0; t < num_tenants; ++t) digests[t] = outcomes[t].digest;
+    if (run == 0) {
+      reference_digests = digests;
+    } else if (digests != reference_digests) {
+      fail("per-tenant digests differ between storm client thread counts " +
+           std::to_string(storm_threads[0]) + " and " +
+           std::to_string(threads));
+    }
+    LOG(Info) << "storm sweep threads=" << threads << ": "
+              << slots.size() << " slots, digests "
+              << (run == 0 || digests == reference_digests ? "stable"
+                                                           : "DIVERGED");
+  }
+  const bool thread_independent = passed;
+
+  // -- Gate 2: the measured storm with mid-storm per-tenant rollouts -------
+  MetricsRegistry::Global().ResetAll();
+  std::string incident_root = flags.GetString("incident-dir");
+  if (incident_root.empty()) incident_root = trace_dir + "/incidents-serve-mt";
+  std::filesystem::remove_all(incident_root);
+  FlightRecorderOptions recorder_options;
+  recorder_options.incident_dir = incident_root;
+  FlightRecorder::Global().Enable(recorder_options);
+  Tracer::Global().Enable();
+
+  // Per-tenant registries for the two rollout tenants, seeded A(active) ->
+  // B(candidate) from the fixture's on-disk snapshots.
+  const auto open_registry = [&](const std::string& tag) {
+    const std::string manifest = fixture.dir + "/mt-" + tag + ".manifest";
+    std::remove(manifest.c_str());
+    return SnapshotRegistry::Open(manifest);
+  };
+  Result<SnapshotRegistry> promote_registry = open_registry("promote");
+  Result<SnapshotRegistry> rollback_registry = open_registry("rollback");
+  CHECK(promote_registry.ok() && rollback_registry.ok());
+  const auto seed_registry = [&](SnapshotRegistry& registry) {
+    const int64_t id_a =
+        *registry.Register(fixture.snapshot_a_path, -1, "baseline");
+    CHECK(registry.Activate(id_a).ok());
+    return *registry.Register(fixture.snapshot_b_path, id_a, "candidate");
+  };
+  const int64_t promote_candidate = seed_registry(*promote_registry);
+  const int64_t rollback_candidate = seed_registry(*rollback_registry);
+
+  std::unique_ptr<ShardRouter> router = build_router();
+  CHECK(router->AttachTenantRegistry(cast[kPromote].id, &*promote_registry)
+            .ok());
+  CHECK(router->AttachTenantRegistry(cast[kRollback].id, &*rollback_registry)
+            .ok());
+
+  const int storm_clients = storm_threads.back();
+  const std::vector<TenantOutcome> first_half = RunStormSlots(
+      *router, slots, 0, half, fixture.trace, cast, storm_clients, rate);
+  check_outcomes(first_half, "storm first half");
+
+  // Overload bypass probe: a priority request from the shedding tenant must
+  // still get through, bitwise correct.
+  {
+    ServeRequest probe;
+    probe.tenant_id = cast[kNoisy].id;
+    probe.example = fixture.trace[0];
+    probe.priority = 1;
+    const ServeReply reply = router->Predict(std::move(probe));
+    if (!reply.ok() ||
+        PredictionDigest(reply.prediction) != (*cast[kNoisy].expected)[0]) {
+      fail("priority=1 probe from the overloaded tenant did not serve "
+           "bitwise-correctly");
+    }
+  }
+
+  RolloutOptions rollout_options;
+  rollout_options.window = 48;
+  rollout_options.canary_fraction = 0.25;
+  rollout_options.min_canary_samples = 4;
+  rollout_options.seed = 13;
+  rollout_options.client_threads = 2;
+
+  const Result<RolloutReport> promoted = RunTenantStagedRollout(
+      *router, cast[kPromote].id, promote_candidate, fixture.trace,
+      rollout_options);
+  if (!promoted.ok() || promoted->decision != RolloutDecision::kPromote) {
+    fail("mid-storm promote for " + cast[kPromote].id + " did not promote: " +
+         (promoted.ok() ? promoted->Summary() : promoted.status().ToString()));
+  }
+  cast[kPromote].expected = &fixture.digests_b;
+
+  Result<RolloutReport> rolled_back(Status::Internal("rollout never ran"));
+  {
+    FaultSpec spec;
+    spec.kind = FaultKind::kError;
+    FaultScope scope("rollout.canary", spec);
+    rolled_back = RunTenantStagedRollout(*router, cast[kRollback].id,
+                                         rollback_candidate, fixture.trace,
+                                         rollout_options);
+  }
+  if (!rolled_back.ok() ||
+      rolled_back->decision != RolloutDecision::kRollback) {
+    fail("forced rollback for " + cast[kRollback].id + " did not roll back: " +
+         (rolled_back.ok() ? rolled_back->Summary()
+                           : rolled_back.status().ToString()));
+  }
+  if (promote_registry->active_id() !=
+      std::optional<int64_t>(promote_candidate)) {
+    fail("promote registry did not activate the candidate");
+  }
+  if (!rollback_registry->Get(rollback_candidate).ok() ||
+      rollback_registry->Get(rollback_candidate)->status !=
+          SnapshotStatus::kFailed) {
+    fail("rollback registry did not condemn the candidate");
+  }
+
+  // Second half: the promoted tenant must now serve B bitwise; the
+  // rolled-back tenant and every bystander must still serve exactly what
+  // they served before.
+  const std::vector<TenantOutcome> second_half =
+      RunStormSlots(*router, slots, half, slots.size(), fixture.trace, cast,
+                    storm_clients, rate);
+  check_outcomes(second_half, "storm second half");
+
+  const Status health = router->CheckHealth();
+  if (!health.ok()) fail("router unhealthy after the storm: " +
+                         health.ToString());
+  std::vector<TenantStats> stats(num_tenants);
+  for (int t = 0; t < num_tenants; ++t) {
+    Result<TenantStats> tenant_stats = router->StatsFor(cast[t].id);
+    CHECK(tenant_stats.ok());
+    stats[t] = *tenant_stats;
+  }
+  router->Shutdown();
+
+  const RunTrace run_trace = Tracer::Global().Collect();
+  Tracer::Global().Disable();
+  FlightRecorder::Global().Disable();
+
+  // Rollout instants must be in the timeline, tagged with their tenant.
+  int promote_instants = 0, rollback_instants = 0;
+  for (const TraceEventRecord& event : run_trace.events) {
+    if (event.category != "serve.rollout") continue;
+    if (event.name == "promote" &&
+        event.detail.find(cast[kPromote].id) != std::string::npos) {
+      ++promote_instants;
+    }
+    if (event.name == "rollback" &&
+        event.detail.find(cast[kRollback].id) != std::string::npos) {
+      ++rollback_instants;
+    }
+  }
+  if (promote_instants != 1) {
+    fail("expected exactly 1 tagged promote instant, saw " +
+         std::to_string(promote_instants));
+  }
+  if (rollback_instants != 1) {
+    fail("expected exactly 1 tagged rollback instant, saw " +
+         std::to_string(rollback_instants));
+  }
+  // The forced rollback is the storm's only incident: one verified dump.
+  const std::vector<std::string> dumps = ListIncidentDumps(incident_root);
+  if (dumps.size() != 1) {
+    fail("expected exactly 1 incident dump (rollout.rollback), found " +
+         std::to_string(dumps.size()));
+  }
+
+  // -- Report ---------------------------------------------------------------
+  std::ofstream out(flags.GetString("out"), std::ios::trunc);
+  out << "{\n";
+  out << "  \"benchmark\": \"serving_mt\",\n";
+  out << "  \"tenants\": " << num_tenants << ",\n";
+  out << "  \"shards\": " << num_shards << ",\n";
+  out << "  \"requests\": " << slots.size() << ",\n";
+  out << "  \"trace_rows\": " << kTraceRows << ",\n";
+  out << "  \"target_rps\": " << rate << ",\n";
+  out << "  \"thread_counts\": [";
+  for (size_t i = 0; i < storm_threads.size(); ++i) {
+    out << (i ? ", " : "") << storm_threads[i];
+  }
+  out << "],\n";
+  out << "  \"thread_independent\": "
+      << (thread_independent ? "true" : "false") << ",\n";
+  out << "  \"rollout\": {\"promoted_tenant\": \"" << cast[kPromote].id
+      << "\", \"rolled_back_tenant\": \"" << cast[kRollback].id
+      << "\", \"promote_instants\": " << promote_instants
+      << ", \"rollback_instants\": " << rollback_instants << "},\n";
+  out << "  \"incidents\": " << dumps.size() << ",\n";
+  out << "  \"noisy_tenant\": \"" << cast[kNoisy].id << "\",\n";
+  out << "  \"per_tenant\": [\n";
+  for (int t = 0; t < num_tenants; ++t) {
+    TenantOutcome merged = first_half[t];
+    const TenantOutcome& tail = second_half[t];
+    merged.issued += tail.issued;
+    merged.completed += tail.completed;
+    merged.shed += tail.shed;
+    merged.failures += tail.failures;
+    merged.digest_mismatches += tail.digest_mismatches;
+    merged.latencies_ms.insert(merged.latencies_ms.end(),
+                               tail.latencies_ms.begin(),
+                               tail.latencies_ms.end());
+    FoldDigest(merged.digest, tail.digest);
+    const Histogram& histogram = MetricsRegistry::Global().histogram(
+        "serve.router.latency_ms", {{"tenant", cast[t].id}},
+        {0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1, 2, 5, 10, 25, 50, 100, 250});
+    const LatencyStats latency = Summarize(histogram, merged.latencies_ms);
+    out << "    {\"tenant\": \"" << cast[t].id << "\", \"shard\": "
+        << stats[t].shard << ", \"issued\": " << merged.issued
+        << ", \"completed\": " << merged.completed
+        << ", \"shed\": " << merged.shed
+        << ", \"failures\": " << merged.failures
+        << ", \"digest_mismatches\": " << merged.digest_mismatches
+        << ", \"digest\": \"" << HexDigest(merged.digest)
+        << "\", \"latency\": ";
+    AppendLatency(out, latency);
+    out << "}" << (t + 1 < num_tenants ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"passed\": " << (passed ? "true" : "false") << "\n";
+  out << "}\n";
+  out.close();
+
+  SetComputePoolThreads(1);
+  std::printf("wrote %s (%d tenants / %d shards, %zu requests, "
+              "thread_independent: %s, incidents: %zu, passed: %s)\n",
+              flags.GetString("out").c_str(), num_tenants, num_shards,
+              slots.size(), thread_independent ? "yes" : "no", dumps.size(),
+              passed ? "yes" : "no");
+  return passed ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags;
   flags.AddFlag("scale", "0.15", "zoo dataset subsample fraction");
@@ -409,6 +948,13 @@ int Main(int argc, char** argv) {
                                "determinism sweep (default: 1,<hardware>)");
   flags.AddFlag("out", "BENCH_serving.json", "JSON report path");
   flags.AddFlag("seed", "7", "dataset split / pipeline seed");
+  flags.AddFlag("tenants", "0", "run the multi-tenant ShardRouter storm with "
+                                "this many tenants instead of the classic "
+                                "single-service bench (>= 5)");
+  flags.AddFlag("shards", "3", "router shards for the multi-tenant storm");
+  flags.AddFlag("storm-threads", "1,4",
+                "comma-separated client thread counts for the storm's "
+                "routing-determinism sweep");
   flags.AddFlag("trace-dir", "bench-archive",
                 "directory the SLO status / Prometheus exports land in");
   flags.AddFlag("incident-dir", "",
@@ -421,6 +967,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (flags.help_requested()) return 0;
+  if (flags.GetInt("tenants") > 0) return RunMultiTenantStorm(flags);
 
   std::vector<int> thread_counts;
   if (flags.GetString("threads").empty()) {

@@ -47,15 +47,22 @@
 #      zero dumps everywhere else; then a clean serve_bench run that must
 #      produce zero dumps with every SLO met — its SLO status JSON and
 #      Prometheus exposition are archived to bench-archive/)
+#  12. the TenantMesh gate (tests/shard_router_test: consistent-hash
+#      stability, tenant isolation under one-tenant overload, per-tenant
+#      rollout promote/rollback; then the serve_mt_storm smoke run: the
+#      open-loop multi-tenant storm with its per-tenant served==offline
+#      digest gates, thread-count-independence sweep, isolation and
+#      mid-storm rollout assertions; BENCH_serving_mt.json is archived to
+#      bench-archive/)
 #
 # Usage: scripts/verify.sh [--skip-asan] [--skip-tsan] [--skip-simd]
 #                          [--skip-perf] [--skip-chaos] [--skip-trace]
 #                          [--skip-serve] [--skip-serve-chaos] [--skip-learn]
-#                          [--skip-obs] [--only <gate>]
+#                          [--skip-obs] [--skip-mt] [--only <gate>]
 # --only runs a single gate (tier1, trace, asan, tsan, simd, perf, serve,
-# chaos, serve-chaos, learn, obs) after the shared tier-1 build, skipping
-# everything else. Runs from any directory; build trees live next to the
-# sources as build/, build-asan/, build-tsan/ and build-nosimd/.
+# chaos, serve-chaos, learn, obs, mt) after the shared tier-1 build,
+# skipping everything else. Runs from any directory; build trees live next
+# to the sources as build/, build-asan/, build-tsan/ and build-nosimd/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -70,6 +77,7 @@ SKIP_SERVE=0
 SKIP_SERVE_CHAOS=0
 SKIP_LEARN=0
 SKIP_OBS=0
+SKIP_MT=0
 ONLY=""
 EXPECT_ONLY=0
 for arg in "$@"; do
@@ -89,6 +97,7 @@ for arg in "$@"; do
     --skip-serve-chaos) SKIP_SERVE_CHAOS=1 ;;
     --skip-learn) SKIP_LEARN=1 ;;
     --skip-obs) SKIP_OBS=1 ;;
+    --skip-mt) SKIP_MT=1 ;;
     --only) EXPECT_ONLY=1 ;;
     --only=*) ONLY="${arg#--only=}" ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
@@ -98,7 +107,7 @@ if [[ "$EXPECT_ONLY" -eq 1 ]]; then
   echo "--only requires a gate name" >&2; exit 2
 fi
 case "$ONLY" in
-  ""|tier1|trace|asan|tsan|simd|perf|serve|chaos|serve-chaos|learn|obs) ;;
+  ""|tier1|trace|asan|tsan|simd|perf|serve|chaos|serve-chaos|learn|obs|mt) ;;
   *) echo "unknown gate for --only: $ONLY" >&2; exit 2 ;;
 esac
 
@@ -153,9 +162,10 @@ if gate_enabled tsan "$SKIP_TSAN"; then
   cmake --build build-tsan -j "$JOBS" \
     --target thread_pool_test determinism_test trace_test util_metrics_test \
              logging_test retry_test serve_test snapshot_test registry_test \
-             rollout_test event_log_test retrainer_test obs_test
+             rollout_test shard_router_test event_log_test retrainer_test \
+             obs_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test|registry_test|rollout_test|event_log_test|retrainer_test|obs_test"
+    -R "thread_pool_test|determinism_test|trace_test|util_metrics_test|logging_test|retry_test|serve_test|snapshot_test|registry_test|rollout_test|shard_router_test|event_log_test|retrainer_test|obs_test"
 fi
 
 if gate_enabled simd "$SKIP_SIMD"; then
@@ -330,6 +340,23 @@ if gate_enabled obs "$SKIP_OBS"; then
     build/bench/BENCH_learn_chaos_obs.json | sed 's/^/  /' || true
   grep -oE '"all_met": (true|false)' \
     build/bench/bench-archive/BENCH_serving.slo.json | sed 's/^/  /' || true
+fi
+
+if gate_enabled mt "$SKIP_MT"; then
+  echo "== TenantMesh gate (router tests + multi-tenant storm) =="
+  ctest --test-dir build -R "shard_router_test|serve_mt_storm" \
+    --output-on-failure
+  MT_JSON="build/bench/BENCH_serving_mt.json"
+  if [[ -f "$MT_JSON" ]]; then
+    mkdir -p bench-archive
+    STAMP="$(date +%Y%m%d-%H%M%S)"
+    cp "$MT_JSON" "bench-archive/BENCH_serving_mt-$STAMP.json"
+    echo "archived bench-archive/BENCH_serving_mt-$STAMP.json"
+    grep -oE '"thread_independent": (true|false)|"incidents": [0-9]+|"shed": [0-9]+|"passed": (true|false)' \
+      "$MT_JSON" | sed 's/^/  /' || true
+  else
+    echo "note: $MT_JSON not found; skipping archive" >&2
+  fi
 fi
 
 echo "verify: all gates passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -81,19 +82,10 @@ struct DeferredIncident {
   }
 };
 
-std::future<Result<ServedPrediction>> ReadyFuture(Status status) {
-  std::promise<Result<ServedPrediction>> promise;
-  promise.set_value(Result<ServedPrediction>(std::move(status)));
-  return promise.get_future();
-}
-
-/// The "retry-after-ms=<n>" hint attached to Unavailable rejections: the
-/// estimated time for the backlog to drain, floored at 1ms so clients always
-/// get a usable hint. serve/serve_client.h parses it back out.
-std::string RetryAfterHint(double estimated_delay_ms) {
-  const int64_t ms = std::max<int64_t>(
-      1, static_cast<int64_t>(std::ceil(estimated_delay_ms)));
-  return "retry-after-ms=" + std::to_string(ms);
+/// The retry-after carried in RejectInfo: the estimated time for the
+/// backlog to drain, floored at 1ms so clients always get a usable hint.
+double RetryAfterMs(double estimated_delay_ms) {
+  return std::max(1.0, std::ceil(estimated_delay_ms));
 }
 
 }  // namespace
@@ -119,6 +111,11 @@ std::shared_ptr<const ModelSnapshot> PredictionService::snapshot() const {
   return snapshot_;
 }
 
+void PredictionService::SetSnapshotResolver(SnapshotResolver resolver) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_resolver_ = std::move(resolver);
+}
+
 double PredictionService::EstimatedQueueDelayMsLocked() const {
   // The delay a request admitted *now* would see: everything already queued
   // plus itself, each at the EWMA per-request service time. Zero until the
@@ -142,25 +139,39 @@ bool PredictionService::NoteWindowEventLocked(int64_t* window_start_us,
   return true;
 }
 
-std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
-    Example example, Deadline deadline) {
+void PredictionService::Submit(ServeRequest request,
+                               std::function<void(ServeReply)> resolve) {
   ServeMetrics& metrics = ServeMetrics::Get();
   metrics.requests.Increment();
   // Declared before the lock scope: its destructor (which does incident
   // file IO) runs after the lock_guard's on every return path below.
   DeferredIncident incident;
+  // Per-tenant snapshot resolution happens before the admission lock: the
+  // resolver takes its own (e.g. router) lock, and holding both at once
+  // would be a lock-order hazard.
+  std::shared_ptr<const ModelSnapshot> pinned;
+  if (!request.tenant_id.empty()) {
+    SnapshotResolver resolver;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      resolver = snapshot_resolver_;
+    }
+    if (resolver) pinned = resolver(request.tenant_id);
+  }
+  std::optional<ServeReply> immediate;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    const int depth = static_cast<int>(queue_.size());
     if (shutdown_) {
       metrics.rejected.Increment();
-      return ReadyFuture(Status::Unavailable("prediction service is shut down"));
-    }
-    if (snapshot_ == nullptr) {
+      immediate = ServeReply::Rejected(
+          Status::Unavailable("prediction service is shut down"),
+          RejectInfo{0.0, depth, RejectReason::kShutdown});
+    } else if (pinned == nullptr && snapshot_ == nullptr) {
       metrics.rejected.Increment();
-      return ReadyFuture(
+      immediate = ServeReply::Error(
           Status::FailedPrecondition("no model snapshot loaded"));
-    }
-    if (deadline.expired()) {
+    } else if (request.deadline.expired()) {
       metrics.expired.Increment();
       if (NoteWindowEventLocked(&deadline_window_start_us_,
                                 &deadline_window_count_,
@@ -170,65 +181,104 @@ std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
                          " deadline failures within the incident window");
         incident.reason = "serve.deadline_storm";
       }
-      return ReadyFuture(
+      immediate = ServeReply::Error(
           Status::DeadlineExceeded("request deadline already expired"));
-    }
-    const double estimate_ms = EstimatedQueueDelayMsLocked();
-    // Predictive fail-fast: when the backlog estimate says this request
-    // cannot reach dispatch before its deadline, reject now instead of
-    // letting it queue up only to expire there.
-    if (!deadline.is_infinite() &&
-        estimate_ms > deadline.remaining_seconds() * 1000.0) {
-      metrics.expired.Increment();
-      if (NoteWindowEventLocked(&deadline_window_start_us_,
-                                &deadline_window_count_,
-                                options_.deadline_storm_threshold)) {
-        TraceInstant("serve", "deadline_storm",
-                     std::to_string(options_.deadline_storm_threshold) +
-                         " deadline failures within the incident window");
-        incident.reason = "serve.deadline_storm";
+    } else {
+      const double estimate_ms = EstimatedQueueDelayMsLocked();
+      // Predictive fail-fast: when the backlog estimate says this request
+      // cannot reach dispatch before its deadline, reject now instead of
+      // letting it queue up only to expire there.
+      if (!request.deadline.is_infinite() &&
+          estimate_ms > request.deadline.remaining_seconds() * 1000.0) {
+        metrics.expired.Increment();
+        if (NoteWindowEventLocked(&deadline_window_start_us_,
+                                  &deadline_window_count_,
+                                  options_.deadline_storm_threshold)) {
+          TraceInstant("serve", "deadline_storm",
+                       std::to_string(options_.deadline_storm_threshold) +
+                           " deadline failures within the incident window");
+          incident.reason = "serve.deadline_storm";
+        }
+        immediate = ServeReply::Error(Status::DeadlineExceeded(
+            "request would expire while queued (depth=" +
+            std::to_string(depth) + ", estimated " +
+            std::to_string(estimate_ms) + "ms)"));
+      } else if (options_.max_queue_delay_ms > 0.0 &&
+                 estimate_ms > options_.max_queue_delay_ms &&
+                 request.priority < 1) {
+        // Adaptive overload shed: the queue is deep enough that it cannot
+        // drain within the configured delay budget. Carry the depth and a
+        // structured retry-after so clients back off instead of hammering.
+        // priority >= 1 requests bypass this check (never the hard ones
+        // below).
+        metrics.rejected.Increment();
+        metrics.shed.Increment();
+        if (NoteWindowEventLocked(&shed_window_start_us_, &shed_window_count_,
+                                  options_.shed_burst_threshold)) {
+          TraceInstant("serve", "shed_burst",
+                       std::to_string(options_.shed_burst_threshold) +
+                           " requests shed within the incident window");
+          incident.reason = "serve.shed_burst";
+        }
+        immediate = ServeReply::Rejected(
+            Status::Unavailable("prediction service overloaded (depth=" +
+                                std::to_string(depth) + ", estimated delay " +
+                                std::to_string(estimate_ms) + "ms)"),
+            RejectInfo{RetryAfterMs(estimate_ms), depth,
+                       RejectReason::kOverloaded});
+      } else if (depth >= options_.max_queue_depth) {
+        metrics.rejected.Increment();
+        immediate = ServeReply::Rejected(
+            Status::Unavailable(
+                "prediction queue is full (depth=" + std::to_string(depth) +
+                " of max " + std::to_string(options_.max_queue_depth) + ")"),
+            RejectInfo{
+                RetryAfterMs(std::max(estimate_ms, options_.max_batch_delay_ms)),
+                depth, RejectReason::kQueueFull});
+      } else {
+        PendingRequest pending;
+        pending.request = std::move(request);
+        pending.pinned = std::move(pinned);
+        pending.resolve = std::move(resolve);
+        queue_.push_back(std::move(pending));
+        queue_cv_.notify_all();
       }
-      return ReadyFuture(Status::DeadlineExceeded(
-          "request would expire while queued (depth=" +
-          std::to_string(queue_.size()) + ", estimated " +
-          std::to_string(estimate_ms) + "ms)"));
     }
-    // Adaptive overload shed: the queue is deep enough that it cannot drain
-    // within the configured delay budget. Carry the depth and a retry-after
-    // hint so clients back off instead of hammering.
-    if (options_.max_queue_delay_ms > 0.0 &&
-        estimate_ms > options_.max_queue_delay_ms) {
-      metrics.rejected.Increment();
-      metrics.shed.Increment();
-      if (NoteWindowEventLocked(&shed_window_start_us_, &shed_window_count_,
-                                options_.shed_burst_threshold)) {
-        TraceInstant("serve", "shed_burst",
-                     std::to_string(options_.shed_burst_threshold) +
-                         " requests shed within the incident window");
-        incident.reason = "serve.shed_burst";
-      }
-      return ReadyFuture(Status::Unavailable(
-          "prediction service overloaded (depth=" +
-          std::to_string(queue_.size()) + ", estimated delay " +
-          std::to_string(estimate_ms) + "ms); " +
-          RetryAfterHint(estimate_ms)));
-    }
-    if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
-      metrics.rejected.Increment();
-      return ReadyFuture(Status::Unavailable(
-          "prediction queue is full (depth=" + std::to_string(queue_.size()) +
-          " of max " + std::to_string(options_.max_queue_depth) + "); " +
-          RetryAfterHint(std::max(estimate_ms, options_.max_batch_delay_ms))));
-    }
-    PendingRequest request;
-    request.example = std::move(example);
-    request.deadline = deadline;
-    queue_.push_back(std::move(request));
-    std::future<Result<ServedPrediction>> future =
-        queue_.back().promise.get_future();
-    queue_cv_.notify_all();
-    return future;
   }
+  // Rejections resolve outside the lock: the resolve callback may be a
+  // router completion hook that takes the router lock.
+  if (immediate) resolve(std::move(*immediate));
+}
+
+std::future<ServeReply> PredictionService::PredictAsync(ServeRequest request) {
+  auto promise = std::make_shared<std::promise<ServeReply>>();
+  std::future<ServeReply> future = promise->get_future();
+  Submit(std::move(request), [promise](ServeReply reply) {
+    promise->set_value(std::move(reply));
+  });
+  return future;
+}
+
+ServeReply PredictionService::Predict(ServeRequest request) {
+  return PredictAsync(std::move(request)).get();
+}
+
+void PredictionService::PredictWithCallback(
+    ServeRequest request, std::function<void(ServeReply)> done) {
+  Submit(std::move(request), std::move(done));
+}
+
+std::future<Result<ServedPrediction>> PredictionService::PredictAsync(
+    Example example, Deadline deadline) {
+  auto promise = std::make_shared<std::promise<Result<ServedPrediction>>>();
+  std::future<Result<ServedPrediction>> future = promise->get_future();
+  ServeRequest request;
+  request.example = std::move(example);
+  request.deadline = deadline;
+  Submit(std::move(request), [promise](ServeReply reply) {
+    promise->set_value(std::move(reply).ToResult());
+  });
+  return future;
 }
 
 Result<ServedPrediction> PredictionService::Predict(Example example,
@@ -378,10 +428,11 @@ void PredictionService::DispatchLoop() {
         queue_.pop_front();
       }
       // Pin the snapshot current at dispatch: the RCU read side. A
-      // concurrent LoadSnapshot affects later batches only.
+      // concurrent LoadSnapshot affects later batches only. Tenant-pinned
+      // requests carry their own snapshot and ignore this one.
       snapshot = snapshot_;
     }
-    if (!batch.empty() && snapshot != nullptr) {
+    if (!batch.empty()) {
       metrics.batches.Increment();
       metrics.batch_size.Observe(static_cast<double>(batch.size()));
       RunBatch(snapshot, std::move(batch));
@@ -401,22 +452,41 @@ void PredictionService::RunBatch(
 
   // Per-request deadlines are checked at dispatch: a request that spent its
   // budget in the queue fails fast instead of occupying batch capacity.
-  std::vector<Example> examples;
-  std::vector<int> live;
-  examples.reserve(batch.size());
-  live.reserve(batch.size());
+  // Live requests are then partitioned by effective snapshot — a tenant's
+  // pinned snapshot, or the batch's dispatch snapshot — so one micro-batch
+  // can serve many tenant models. Grouping never changes results:
+  // PredictBatch is row-independent and bitwise deterministic.
+  std::vector<std::optional<ServeReply>> replies(batch.size());
+  std::vector<std::shared_ptr<const ModelSnapshot>> group_snapshots;
+  std::vector<std::vector<int>> group_members;
+  int live_count = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].deadline.expired()) {
+    if (batch[i].request.deadline.expired()) {
       metrics.expired.Increment();
-      batch[i].promise.set_value(Result<ServedPrediction>(
-          Status::DeadlineExceeded("request expired while queued")));
+      replies[i] = ServeReply::Error(
+          Status::DeadlineExceeded("request expired while queued"));
       continue;
     }
-    examples.push_back(batch[i].example);
-    live.push_back(static_cast<int>(i));
+    const std::shared_ptr<const ModelSnapshot>& effective =
+        batch[i].pinned != nullptr ? batch[i].pinned : snapshot;
+    if (effective == nullptr) {
+      replies[i] = ServeReply::Error(
+          Status::FailedPrecondition("no model snapshot loaded"));
+      continue;
+    }
+    size_t g = 0;
+    while (g < group_snapshots.size() && group_snapshots[g] != effective) ++g;
+    if (g == group_snapshots.size()) {
+      group_snapshots.push_back(effective);
+      group_members.emplace_back();
+    }
+    group_members[g].push_back(static_cast<int>(i));
+    ++live_count;
   }
   span.AddArg("expired",
-              static_cast<int64_t>(batch.size() - examples.size()));
+              static_cast<int64_t>(batch.size() - live_count));
+  span.AddArg("snapshot_groups",
+              static_cast<int64_t>(group_snapshots.size()));
 
   // Serving-side fault sites (bench/serve_chaos): a latency spike delays the
   // batch without failing it — results stay bitwise correct, tail latency
@@ -431,18 +501,32 @@ void PredictionService::RunBatch(
   const bool dispatch_fault =
       CheckFault("serve.dispatch", {FaultKind::kError}) == FaultKind::kError;
 
-  std::vector<Result<ServedPrediction>> results;
-  if (dispatch_fault) {
-    span.AddArg("injected_dispatch_fault", 1);
-    results.assign(live.size(),
-                   Result<ServedPrediction>(Status::Internal(
-                       "injected fault at serve.dispatch")));
-  } else {
-    results = snapshot->PredictBatch(examples);
-  }
   bool any_ok = false;
-  for (size_t k = 0; k < live.size(); ++k) {
-    if (results[k].ok()) any_ok = true;
+  for (size_t g = 0; g < group_snapshots.size(); ++g) {
+    if (dispatch_fault) {
+      span.AddArg("injected_dispatch_fault", 1);
+      for (int idx : group_members[g]) {
+        replies[idx] = ServeReply::Error(
+            Status::Internal("injected fault at serve.dispatch"));
+      }
+      continue;
+    }
+    std::vector<Example> examples;
+    examples.reserve(group_members[g].size());
+    for (int idx : group_members[g]) {
+      examples.push_back(batch[idx].request.example);
+    }
+    std::vector<Result<ServedPrediction>> results =
+        group_snapshots[g]->PredictBatch(examples);
+    for (size_t k = 0; k < group_members[g].size(); ++k) {
+      const int idx = group_members[g][k];
+      if (results[k].ok()) {
+        any_ok = true;
+        replies[idx] = ServeReply::Ok(std::move(*results[k]));
+      } else {
+        replies[idx] = ServeReply::Error(results[k].status());
+      }
+    }
   }
   const double elapsed_ms = timer.ElapsedMillis();
   metrics.batch_latency_ms.Observe(elapsed_ms);
@@ -451,21 +535,21 @@ void PredictionService::RunBatch(
   // as failed only when it had live requests and none succeeded; enough
   // consecutive failures on the current snapshot degrade the service back to
   // the last snapshot that served a healthy batch. State commits *before*
-  // the promises resolve, so a blocking caller that observes its result
+  // the replies resolve, so a blocking caller that observes its result
   // always sees the post-batch EWMA/breaker state on its next admission.
   bool breaker_tripped = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!live.empty()) {
+    if (live_count > 0) {
       const double sample_ms = std::max(
-          kMinRequestMsSample, elapsed_ms / static_cast<double>(live.size()));
+          kMinRequestMsSample, elapsed_ms / static_cast<double>(live_count));
       ewma_request_ms_ = ewma_request_ms_ <= 0.0
                              ? sample_ms
                              : (1.0 - kEwmaAlpha) * ewma_request_ms_ +
                                    kEwmaAlpha * sample_ms;
       if (any_ok) {
         consecutive_failed_batches_ = 0;
-        last_good_ = snapshot;
+        if (snapshot != nullptr) last_good_ = snapshot;
       } else {
         ++consecutive_failed_batches_;
         if (options_.breaker_threshold > 0 &&
@@ -485,10 +569,12 @@ void PredictionService::RunBatch(
       }
     }
   }
-  for (size_t k = 0; k < live.size(); ++k) {
-    batch[live[k]].promise.set_value(std::move(results[k]));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (replies[i].has_value()) {
+      batch[i].resolve(std::move(*replies[i]));
+    }
   }
-  // Dump after the lock is gone and the promises are resolved — incident
+  // Dump after the lock is gone and the replies are resolved — incident
   // file IO must never stall admission or the waiting callers.
   if (breaker_tripped) {
     (void)FlightRecorder::Global().TriggerIncident("serve.breaker_trip");

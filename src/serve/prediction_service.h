@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "serve/model_snapshot.h"
+#include "serve/serve_types.h"
 #include "util/deadline.h"
 #include "util/result.h"
 
@@ -31,8 +33,9 @@ struct PredictionServiceOptions {
   int max_queue_depth = 1024;
   /// Adaptive overload shedding: when > 0 and the *estimated* queue delay
   /// (queue depth × an EWMA of per-request service time) exceeds this, new
-  /// requests are shed at admission with Unavailable + a retry-after hint —
-  /// before they sit in a queue that cannot drain in time. 0 disables.
+  /// requests are shed at admission with Unavailable + a structured
+  /// RejectInfo retry hint — before they sit in a queue that cannot drain
+  /// in time. 0 disables.
   double max_queue_delay_ms = 0.0;
   /// Per-snapshot circuit breaker: this many *consecutive* fully-failed
   /// batches trip it, and the service degrades to the last snapshot that
@@ -77,6 +80,14 @@ struct ServiceHealth {
 /// batches use the new one, and the old snapshot is freed when its last
 /// batch completes. No request ever observes a half-swapped model.
 ///
+/// Multi-tenant use (DESIGN.md §15): requests carry a ServeRequest with a
+/// tenant id; with a snapshot resolver attached (SetSnapshotResolver — the
+/// ShardRouter installs one per shard), a tenant's request pins that
+/// tenant's active snapshot at admission, so one shard serves many tenant
+/// models in the same micro-batch (RunBatch partitions by snapshot).
+/// Requests without a tenant id use the service's own LoadSnapshot'd model
+/// exactly as before.
+///
 /// Overload protection (DESIGN.md §11): admission sheds adaptively on the
 /// estimated queue delay (before a request's deadline is already blown), a
 /// per-snapshot circuit breaker trips on consecutive failed batches and
@@ -91,6 +102,14 @@ struct ServiceHealth {
 /// serve.batch_size and serve.batch_latency_ms histograms.
 class PredictionService {
  public:
+  /// Maps a tenant id to that tenant's active snapshot (null when the
+  /// tenant is unknown). Called at admission, outside the service lock —
+  /// implementations may take their own locks but must not call back into
+  /// this service.
+  using SnapshotResolver =
+      std::function<std::shared_ptr<const ModelSnapshot>(
+          const std::string& tenant_id)>;
+
   explicit PredictionService(PredictionServiceOptions options = {});
   ~PredictionService();
 
@@ -106,17 +125,42 @@ class PredictionService {
   /// The snapshot new batches would use right now.
   std::shared_ptr<const ModelSnapshot> snapshot() const;
 
-  /// Enqueues one instance. The future resolves when its batch completes:
-  /// the prediction, or DeadlineExceeded when `deadline` expired (or, with
-  /// the adaptive shedder warm, provably *would* expire while queued), or
-  /// Unavailable when the queue is full / the service is overloaded or shut
-  /// down. Unavailable statuses carry the current queue depth and a
-  /// "retry-after-ms=<n>" hint (serve/serve_client.h parses it and wraps
-  /// this call with the util/retry backoff). Never blocks beyond admission.
+  /// Installs the tenant-id → snapshot mapping consulted at admission for
+  /// requests with a non-empty tenant_id (nullptr detaches). The resolved
+  /// snapshot is pinned on the request, so a tenant hot-swap (e.g. a
+  /// per-tenant rollout promote) affects requests admitted after it only —
+  /// the same RCU discipline as LoadSnapshot.
+  void SetSnapshotResolver(SnapshotResolver resolver);
+
+  /// Enqueues one request. The future resolves when its batch completes:
+  /// ServeReply.status is Ok with the prediction, DeadlineExceeded when the
+  /// deadline expired (or, with the adaptive shedder warm, provably *would*
+  /// expire while queued), or Unavailable when the queue is full / the
+  /// service is overloaded or shut down — Unavailable replies carry a
+  /// structured RejectInfo (retry_after_ms, queue_depth, reason) clients
+  /// back off on (serve/serve_client.h wraps this with util/retry).
+  /// Requests with priority >= 1 bypass adaptive shedding (never hard
+  /// queue-depth or deadline checks). Never blocks beyond admission.
+  std::future<ServeReply> PredictAsync(ServeRequest request);
+
+  /// Convenience blocking wrapper around PredictAsync.
+  ServeReply Predict(ServeRequest request);
+
+  /// Callback form of PredictAsync: `done` is invoked exactly once with the
+  /// reply — immediately (before this returns) for admission rejections,
+  /// from the dispatcher thread otherwise. Never invoked under the service
+  /// lock, so `done` may take its own locks (the ShardRouter's completion
+  /// accounting rides on this).
+  void PredictWithCallback(ServeRequest request,
+                           std::function<void(ServeReply)> done);
+
+  /// Deprecated positional-arg shim (pre-TenantMesh API; removal window:
+  /// two PRs, see README). Equivalent to PredictAsync(ServeRequest{...})
+  /// with the RejectInfo dropped from the collapsed Result.
   std::future<Result<ServedPrediction>> PredictAsync(
       Example example, Deadline deadline = Deadline::Infinite());
 
-  /// Convenience blocking wrapper around PredictAsync.
+  /// Deprecated positional-arg shim; see PredictAsync(Example, Deadline).
   Result<ServedPrediction> Predict(Example example,
                                    Deadline deadline = Deadline::Infinite());
 
@@ -160,10 +204,18 @@ class PredictionService {
 
  private:
   struct PendingRequest {
-    Example example;
-    Deadline deadline;
-    std::promise<Result<ServedPrediction>> promise;
+    ServeRequest request;
+    /// The tenant's snapshot pinned at admission (null = use the service
+    /// snapshot current at dispatch).
+    std::shared_ptr<const ModelSnapshot> pinned;
+    std::function<void(ServeReply)> resolve;
   };
+
+  /// The one admission path both public overloads funnel into: either
+  /// queues the request (resolve is called later from the dispatcher) or
+  /// calls resolve with the rejection before returning — always outside
+  /// the service lock.
+  void Submit(ServeRequest request, std::function<void(ServeReply)> resolve);
 
   void DispatchLoop();
   void RunBatch(const std::shared_ptr<const ModelSnapshot>& snapshot,
@@ -185,6 +237,7 @@ class PredictionService {
   std::condition_variable queue_cv_;
   std::deque<PendingRequest> queue_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
+  SnapshotResolver snapshot_resolver_;  // guarded by mutex_; called outside it
   bool shutdown_ = false;
 
   // Overload/resilience state (guarded by mutex_). The EWMA is written by

@@ -1,64 +1,45 @@
 #include "serve/serve_client.h"
 
 #include <algorithm>
-#include <cctype>
 #include <chrono>
-#include <string>
+#include <functional>
 #include <thread>
+#include <utility>
 
-#include "util/string_util.h"
+#include "serve/shard_router.h"
 
 namespace activedp {
 namespace {
 
-constexpr char kHintKey[] = "retry-after-ms=";
 constexpr char kSubmitSite[] = "serve.submit";
 
 bool RetryableAtSubmit(const Status& status) {
-  // Unavailable = shed / full queue / mid-swap hiccup: the service told us
-  // to come back. Internal = a failed batch (injected dispatch fault or a
-  // bad candidate snapshot): the breaker may have already degraded to the
-  // last-known-good, so a retry can land on a healthy snapshot.
+  // Unavailable = shed / full queue / quota / mid-swap hiccup: the service
+  // told us to come back. Internal = a failed batch (injected dispatch
+  // fault or a bad candidate snapshot): the breaker may have already
+  // degraded to the last-known-good, so a retry can land on a healthy
+  // snapshot.
   return status.code() == StatusCode::kUnavailable ||
          status.code() == StatusCode::kInternal;
 }
 
-}  // namespace
-
-std::optional<double> RetryAfterHintMs(const Status& status) {
-  const std::string& message = status.message();
-  const size_t pos = message.find(kHintKey);
-  if (pos == std::string::npos) return std::nullopt;
-  size_t end = pos + sizeof(kHintKey) - 1;
-  const size_t start = end;
-  while (end < message.size() &&
-         (std::isdigit(static_cast<unsigned char>(message[end])) ||
-          message[end] == '.')) {
-    ++end;
-  }
-  double ms = 0.0;
-  if (end == start || !ParseDouble(message.substr(start, end - start), &ms)) {
-    return std::nullopt;
-  }
-  return ms;
-}
-
-Result<ServedPrediction> PredictWithRetry(PredictionService& service,
-                                          const Example& example,
-                                          Deadline deadline,
-                                          const RetryPolicy& policy,
-                                          RetryLog* log) {
+/// The retry core both front-ends share: `submit` is one blocking
+/// submission through whichever entry point (service or router).
+ServeReply PredictWithRetryImpl(
+    const std::function<ServeReply(const ServeRequest&)>& submit,
+    const ServeRequest& request, const RetryPolicy& policy, RetryLog* log) {
+  const Deadline deadline = request.deadline;
   const int attempts = std::max(1, policy.max_attempts);
   const int64_t invocation = log != nullptr ? log->NextInvocation() : 0;
-  Result<ServedPrediction> last(
-      Status::Internal("prediction was never attempted"));
+  ServeReply last =
+      ServeReply::Error(Status::Internal("prediction was never attempted"));
   for (int attempt = 1; attempt <= attempts; ++attempt) {
-    last = service.Predict(example, deadline);
+    last = submit(request);
     if (last.ok()) {
       if (log != nullptr && attempt > 1) log->MarkRecovered(invocation);
       return last;
     }
-    if (!RetryableAtSubmit(last.status())) return last;
+    if (!RetryableAtSubmit(last.status)) return last;
     if (attempt == attempts || deadline.expired()) break;
 
     const int retry = attempt;  // 1-based retry index within this invocation
@@ -67,8 +48,9 @@ Result<ServedPrediction> PredictWithRetry(PredictionService& service,
     // honour whichever wait is longer — but never wait past the request's
     // own deadline: a hint from a deep backlog can exceed the remaining
     // budget, and sleeping through it would guarantee the retry expires.
-    const std::optional<double> hint = RetryAfterHintMs(last.status());
-    if (hint.has_value()) backoff_ms = std::max(backoff_ms, *hint);
+    if (last.reject.has_value() && last.reject->retry_after_ms > 0.0) {
+      backoff_ms = std::max(backoff_ms, last.reject->retry_after_ms);
+    }
     if (!deadline.is_infinite()) {
       // Clamp to half the remaining budget: sleeping the full remainder
       // would wake exactly at expiry, burning the attempt on a deadline
@@ -79,7 +61,7 @@ Result<ServedPrediction> PredictWithRetry(PredictionService& service,
     }
     if (log != nullptr) {
       log->Record(RetryEvent{kSubmitSite, retry, backoff_ms,
-                             last.status().ToString(), false, invocation});
+                             last.status.ToString(), false, invocation});
     }
     if (policy.sleep && backoff_ms > 0.0) {
       std::this_thread::sleep_for(
@@ -87,6 +69,40 @@ Result<ServedPrediction> PredictWithRetry(PredictionService& service,
     }
   }
   return last;
+}
+
+}  // namespace
+
+ServeReply PredictWithRetry(PredictionService& service, ServeRequest request,
+                            const RetryPolicy& policy, RetryLog* log) {
+  return PredictWithRetryImpl(
+      [&service](const ServeRequest& r) {
+        ServeRequest copy = r;
+        return service.Predict(std::move(copy));
+      },
+      request, policy, log);
+}
+
+ServeReply PredictWithRetry(ShardRouter& router, ServeRequest request,
+                            const RetryPolicy& policy, RetryLog* log) {
+  return PredictWithRetryImpl(
+      [&router](const ServeRequest& r) {
+        ServeRequest copy = r;
+        return router.Predict(std::move(copy));
+      },
+      request, policy, log);
+}
+
+Result<ServedPrediction> PredictWithRetry(PredictionService& service,
+                                          const Example& example,
+                                          Deadline deadline,
+                                          const RetryPolicy& policy,
+                                          RetryLog* log) {
+  ServeRequest request;
+  request.example = example;
+  request.deadline = deadline;
+  return PredictWithRetry(service, std::move(request), policy, log)
+      .ToResult();
 }
 
 }  // namespace activedp

@@ -1,0 +1,21 @@
+#include "serve/serve_types.h"
+
+namespace activedp {
+
+std::string_view RejectReasonToString(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kShutdown:
+      return "shutdown";
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kOverloaded:
+      return "overloaded";
+    case RejectReason::kQuotaExceeded:
+      return "quota-exceeded";
+  }
+  return "unknown";
+}
+
+}  // namespace activedp

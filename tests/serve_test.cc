@@ -172,21 +172,24 @@ TEST_F(ServeTest, QueueFullReturnsUnavailable) {
   options.max_batch_delay_ms = 200.0;  // hold the batch window open
   PredictionService service(options);
   service.LoadSnapshot(*snapshot_a_);
-  std::vector<std::future<Result<ServedPrediction>>> futures;
+  std::vector<std::future<ServeReply>> futures;
   int rejected = 0;
   for (int i = 0; i < 32; ++i) {
-    futures.push_back(service.PredictAsync(TrainExample(i)));
+    ServeRequest request;
+    request.example = TrainExample(i);
+    futures.push_back(service.PredictAsync(std::move(request)));
   }
   for (auto& future : futures) {
-    const Result<ServedPrediction> result = future.get();
-    if (!result.ok()) {
-      EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
-      // The rejection is actionable: it names the queue depth and carries a
-      // retry-after hint the client wrapper can honour.
-      EXPECT_NE(result.status().ToString().find("depth"), std::string::npos)
-          << result.status().ToString();
-      EXPECT_TRUE(RetryAfterHintMs(result.status()).has_value())
-          << result.status().ToString();
+    const ServeReply reply = future.get();
+    if (!reply.ok()) {
+      EXPECT_EQ(reply.status.code(), StatusCode::kUnavailable);
+      // The rejection is actionable: structured RejectInfo names the
+      // reason, the queue depth and a retry-after the client wrapper
+      // honours — no string parsing.
+      ASSERT_TRUE(reply.reject.has_value()) << reply.status.ToString();
+      EXPECT_EQ(reply.reject->reason, RejectReason::kQueueFull);
+      EXPECT_EQ(reply.reject->queue_depth, options.max_queue_depth);
+      EXPECT_GE(reply.reject->retry_after_ms, 1.0);
       ++rejected;
     }
   }
@@ -236,7 +239,7 @@ TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
   EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
 }
 
-TEST_F(ServeTest, AdaptiveShedderRejectsWithRetryAfterHint) {
+TEST_F(ServeTest, AdaptiveShedderRejectsWithStructuredRejectInfo) {
   PredictionServiceOptions options;
   options.max_batch_size = 64;
   options.max_batch_delay_ms = 50.0;
@@ -249,14 +252,23 @@ TEST_F(ServeTest, AdaptiveShedderRejectsWithRetryAfterHint) {
   // Cold shedder: the first request is admitted and served normally.
   ASSERT_TRUE(service.Predict(TrainExample(0)).ok());
 
-  const Result<ServedPrediction> shed = service.Predict(TrainExample(1));
+  ServeRequest request;
+  request.example = TrainExample(1);
+  const ServeReply shed = service.Predict(std::move(request));
   ASSERT_FALSE(shed.ok());
-  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
-  EXPECT_NE(shed.status().ToString().find("overloaded"), std::string::npos)
-      << shed.status().ToString();
-  const std::optional<double> hint = RetryAfterHintMs(shed.status());
-  ASSERT_TRUE(hint.has_value()) << shed.status().ToString();
-  EXPECT_GE(*hint, 1.0);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status.ToString().find("overloaded"), std::string::npos)
+      << shed.status.ToString();
+  ASSERT_TRUE(shed.reject.has_value()) << shed.status.ToString();
+  EXPECT_EQ(shed.reject->reason, RejectReason::kOverloaded);
+  EXPECT_GE(shed.reject->retry_after_ms, 1.0);
+
+  // priority >= 1 bypasses the adaptive shedder (never the hard limits):
+  // the same request that just shed is admitted and served.
+  ServeRequest urgent;
+  urgent.example = TrainExample(1);
+  urgent.priority = 1;
+  EXPECT_TRUE(service.Predict(std::move(urgent)).ok());
 
   // The health probe agrees with admission without consuming capacity.
   EXPECT_EQ(service.CheckHealth().code(), StatusCode::kUnavailable);
@@ -352,16 +364,30 @@ TEST_F(ServeTest, PredictWithRetryDoesNotRetryDeterministicFailures) {
   EXPECT_EQ(log.count("serve.submit"), 0);
 }
 
-TEST_F(ServeTest, RetryAfterHintParsing) {
-  EXPECT_EQ(RetryAfterHintMs(Status::Unavailable(
-                "prediction queue is full (depth=8 of max 8); "
-                "retry-after-ms=12")),
-            std::optional<double>(12.0));
-  EXPECT_EQ(RetryAfterHintMs(Status::Unavailable("overloaded; "
-                                                 "retry-after-ms=2.5")),
-            std::optional<double>(2.5));
-  EXPECT_FALSE(RetryAfterHintMs(Status::Unavailable("no hint")).has_value());
-  EXPECT_FALSE(RetryAfterHintMs(Status::Ok()).has_value());
+TEST_F(ServeTest, ServeReplyCarriesStructuredRejectInfo) {
+  // The structured replacement for the old "retry-after-ms=<n>" string
+  // hint: RejectInfo rides alongside the Status, and the deprecated
+  // positional-arg shims collapse it away via ToResult().
+  ServeReply reply = ServeReply::Rejected(
+      Status::Unavailable("prediction queue is full (depth=8 of max 8)"),
+      RejectInfo{12.0, 8, RejectReason::kQueueFull});
+  ASSERT_TRUE(reply.reject.has_value());
+  EXPECT_EQ(reply.reject->retry_after_ms, 12.0);
+  EXPECT_EQ(reply.reject->queue_depth, 8);
+  EXPECT_EQ(RejectReasonToString(reply.reject->reason), "queue-full");
+  const Result<ServedPrediction> collapsed = reply.ToResult();
+  ASSERT_FALSE(collapsed.ok());
+  EXPECT_EQ(collapsed.status().code(), StatusCode::kUnavailable);
+
+  EXPECT_EQ(RejectReasonToString(RejectReason::kOverloaded), "overloaded");
+  EXPECT_EQ(RejectReasonToString(RejectReason::kQuotaExceeded),
+            "quota-exceeded");
+  EXPECT_EQ(RejectReasonToString(RejectReason::kShutdown), "shutdown");
+
+  ServeReply ok_reply = ServeReply::Ok(ServedPrediction{});
+  EXPECT_TRUE(ok_reply.ok());
+  EXPECT_FALSE(ok_reply.reject.has_value());
+  EXPECT_TRUE(ok_reply.ToResult().ok());
 }
 
 TEST_F(ServeTest, PredictWithRetryClampsBackoffToTheDeadlineBudget) {
